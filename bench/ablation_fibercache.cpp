@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Ablation C: Gamma's FiberCache capacity. B-row reuse across rows of
+ * A is what the 3MB FiberCache captures; shrinking it re-exposes the
+ * B re-fetch traffic Gamma was designed to remove.
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Ablation C: Gamma FiberCache capacity sweep "
+                  "(email-Enron stand-in: scattered row reuse)",
+                  scale);
+    const auto in = bench::loadSpmspm("em", scale);
+
+    TextTable table("Gamma with varying FiberCache size");
+    table.setHeader({"capacity", "B DRAM traffic (MB)",
+                     "total traffic (MB)", "total time (ms)"});
+    for (double kb : {32.0, 128.0, 512.0, 3072.0, 16384.0}) {
+        accel::GammaConfig cfg;
+        cfg.fiberCacheBytes = kb * 1024.0;
+        const auto result =
+            bench::runAccelerator(accel::gamma(cfg), in);
+        const double b_mb = result.traffic.count("B")
+                                ? result.traffic.at("B").total() / 1e6
+                                : 0;
+        table.addRow({TextTable::num(kb, 0) + " KiB",
+                      TextTable::num(b_mb, 2),
+                      TextTable::num(
+                          result.totalTrafficBytes() / 1e6, 2),
+                      TextTable::num(result.perf.totalSeconds * 1e3,
+                                     3)});
+    }
+    table.print();
+    return 0;
+}

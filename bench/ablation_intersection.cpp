@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation D: ExTensor's intersection unit type. The skip-ahead unit
+ * (its architectural focus, Table 1) fast-forwards through
+ * non-matching runs; two-finger pays every element.
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Ablation D: ExTensor intersection unit type "
+                  "(email-Enron stand-in)",
+                  scale);
+    const auto in = bench::loadSpmspm("em", scale);
+
+    TextTable table("ExTensor with varying intersection type");
+    table.setHeader({"type", "isect cycles (M)", "isect time (ms)",
+                     "total time (ms)"});
+    for (const char* type :
+         {"two-finger", "leader-follower", "skip-ahead"}) {
+        accel::ExTensorConfig cfg;
+        cfg.intersection = type;
+        const auto result =
+            bench::runAccelerator(accel::extensor(cfg), in);
+        const auto& record = result.records[0];
+        const auto it = record.components.find("SkipAhead");
+        const double cycles =
+            it != record.components.end() ? it->second.count("cycles")
+                                          : 0;
+        const auto ts =
+            result.perf.einsums[0].componentSeconds.find("SkipAhead");
+        const double seconds =
+            ts != result.perf.einsums[0].componentSeconds.end()
+                ? ts->second
+                : 0;
+        table.addRow({type, TextTable::num(cycles / 1e6, 2),
+                      TextTable::num(seconds * 1e3, 3),
+                      TextTable::num(result.perf.totalSeconds * 1e3,
+                                     3)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation B: Gamma's merger comparator radix. A binary merger needs
+ * log2(ways) passes over every merged element; the 64-way merger does
+ * it in one — the design choice that makes the fused swizzle cheap.
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Ablation B: Gamma merger radix sweep (poisson3Da "
+                  "stand-in)",
+                  scale);
+    const auto in = bench::loadSpmspm("po", scale);
+
+    TextTable table("Gamma with varying comparator radix");
+    table.setHeader({"radix", "merge element-passes (M)",
+                     "merger time (ms)", "total time (ms)"});
+    for (int radix : {2, 4, 8, 16, 64}) {
+        accel::GammaConfig cfg;
+        cfg.mergerWays = radix;
+        const auto result =
+            bench::runAccelerator(accel::gamma(cfg), in);
+        double merge_elems = 0;
+        double merger_seconds = 0;
+        for (std::size_t i = 0; i < result.records.size(); ++i) {
+            const auto it =
+                result.records[i].components.find("TopMerger");
+            if (it != result.records[i].components.end())
+                merge_elems += it->second.count("merge_elems");
+            const auto ts =
+                result.perf.einsums[i].componentSeconds.find(
+                    "TopMerger");
+            if (ts != result.perf.einsums[i].componentSeconds.end())
+                merger_seconds += ts->second;
+        }
+        table.addRow({std::to_string(radix),
+                      TextTable::num(merge_elems / 1e6, 2),
+                      TextTable::num(merger_seconds * 1e3, 3),
+                      TextTable::num(result.perf.totalSeconds * 1e3,
+                                     3)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table-reproduction benches.
+ *
+ * Every bench binary prints the same rows/series its paper figure
+ * plots. "Reported" columns are approximate values digitized from the
+ * paper's figures (flagged `approx`): absolute fidelity to them is
+ * not the goal — the cross-workload, cross-accelerator *shape* is
+ * (see EXPERIMENTS.md).
+ *
+ * Workload sizing: full Table 4 sizes make some benches take minutes,
+ * so benches run the validation matrices at TEAAL_SCALE (default
+ * 0.35) and graphs at TEAAL_GRAPH_SCALE (default 0.125). Every bench
+ * prints the scale it used; set the env vars to 1.0 for full-size
+ * runs.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accelerators/accelerators.hpp"
+#include "baselines/baselines.hpp"
+#include "compiler/compiler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal::bench
+{
+
+/** Scale factor from an environment variable. */
+inline double
+envScale(const char* name, double fallback)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    const double parsed = std::atof(value);
+    return parsed > 0 ? parsed : fallback;
+}
+
+inline double
+matrixScale()
+{
+    return envScale("TEAAL_SCALE", 0.35);
+}
+
+inline double
+graphScale()
+{
+    return envScale("TEAAL_GRAPH_SCALE", 0.125);
+}
+
+/** The five validation matrices of Figures 9-11. */
+inline const std::vector<std::string>&
+validationKeys()
+{
+    static const std::vector<std::string> keys{"wi", "p2", "ca", "po",
+                                               "em"};
+    return keys;
+}
+
+/** A and B operands for SpMSpM on a Table 4 stand-in (A x A shape). */
+struct SpmspmInput
+{
+    ft::Tensor a;
+    ft::Tensor b;
+    baselines::SpmspmWork work;
+};
+
+inline SpmspmInput
+loadSpmspm(const std::string& key, double scale)
+{
+    const workloads::DatasetInfo& info = workloads::dataset(key);
+    SpmspmInput in{
+        workloads::synthesize(info, "A", 1000 + key[0], scale,
+                              {"K", "M"}),
+        workloads::synthesize(info, "B", 2000 + key[1], scale,
+                              {"K", "N"}),
+        {}};
+    in.work = baselines::countSpmspmWork(in.a, in.b);
+    return in;
+}
+
+/** Run one accelerator spec on one input. */
+inline compiler::SimulationResult
+runAccelerator(compiler::Specification spec, const SpmspmInput& in)
+{
+    compiler::Simulator sim(std::move(spec));
+    return sim.run({{"A", in.a.clone()}, {"B", in.b.clone()}});
+}
+
+/** Print the standard bench header. */
+inline void
+header(const std::string& what, double scale)
+{
+    std::cout << "# " << what << "\n"
+              << "# workload scale factor: " << scale
+              << "  (set TEAAL_SCALE/TEAAL_GRAPH_SCALE=1.0 for "
+                 "full Table 4 sizes)\n"
+              << "# 'reported' columns are approximate values "
+                 "digitized from the paper's figures\n\n";
+}
+
+// ------------------------------------------------------------------
+// Approximate reported values digitized from the paper's figures.
+// Keyed by dataset; ordering follows validationKeys().
+// ------------------------------------------------------------------
+
+/** Fig. 9a: ExTensor traffic normalized to the algorithmic minimum. */
+inline const std::map<std::string, double>&
+reportedExtensorTraffic()
+{
+    static const std::map<std::string, double> v{
+        {"wi", 2.2}, {"p2", 4.6}, {"ca", 2.4}, {"po", 2.2}, {"em", 2.9}};
+    return v;
+}
+
+/** Fig. 9b: Gamma traffic normalized to the algorithmic minimum. */
+inline const std::map<std::string, double>&
+reportedGammaTraffic()
+{
+    static const std::map<std::string, double> v{
+        {"wi", 1.1}, {"p2", 1.2}, {"ca", 1.1}, {"po", 1.0}, {"em", 1.2}};
+    return v;
+}
+
+/** Fig. 9c: OuterSPACE traffic normalized to the algorithmic min. */
+inline const std::map<std::string, double>&
+reportedOuterSpaceTraffic()
+{
+    static const std::map<std::string, double> v{
+        {"wi", 5.3}, {"p2", 6.2}, {"ca", 5.0}, {"po", 4.1}, {"em", 5.8}};
+    return v;
+}
+
+/** Fig. 10a: ExTensor speedup over MKL. */
+inline const std::map<std::string, double>&
+reportedExtensorSpeedup()
+{
+    static const std::map<std::string, double> v{
+        {"wi", 3.9}, {"p2", 5.2}, {"ca", 3.6}, {"po", 2.9}, {"em", 4.5}};
+    return v;
+}
+
+/** Fig. 10b: Gamma speedup over MKL. */
+inline const std::map<std::string, double>&
+reportedGammaSpeedup()
+{
+    static const std::map<std::string, double> v{{"wi", 19.0},
+                                                 {"p2", 38.0},
+                                                 {"ca", 22.0},
+                                                 {"po", 16.0},
+                                                 {"em", 26.0}};
+    return v;
+}
+
+/** Fig. 11: ExTensor energy in mJ. */
+inline const std::map<std::string, double>&
+reportedExtensorEnergyMj()
+{
+    static const std::map<std::string, double> v{
+        {"wi", 12.0}, {"p2", 26.0}, {"ca", 21.0}, {"po", 28.0},
+        {"em", 52.0}};
+    return v;
+}
+
+} // namespace teaal::bench

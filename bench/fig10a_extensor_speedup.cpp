@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10a: ExTensor speedup over an MKL-class CPU baseline —
+ * Reported vs TeAAL (data-driven) vs the Sparseloop-like analytical
+ * model (uniform hypergeometric sparsity). The analytical model's
+ * larger error on skewed real data reproduces the paper's
+ * methodological contrast (TeAAL 9.0% vs Sparseloop 187% in §7).
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Figure 10a: ExTensor speedup over MKL "
+                  "(Reported vs TeAAL vs Sparseloop-like)",
+                  scale);
+
+    TextTable table("ExTensor speedup over MKL");
+    table.setHeader({"matrix", "reported(approx)", "teaal",
+                     "sparseloop-like"});
+    std::vector<double> teaal_v, sloop_v, reported_v;
+    for (const std::string& key : bench::validationKeys()) {
+        const auto in = bench::loadSpmspm(key, scale);
+        const double mkl = baselines::cpuSpmspmSeconds(in.work);
+
+        const auto result =
+            bench::runAccelerator(accel::extensor(), in);
+        const double ours = mkl / result.perf.totalSeconds;
+
+        // Analytical estimate from summary statistics only.
+        const double da =
+            static_cast<double>(in.a.nnz()) /
+            (static_cast<double>(in.a.rank(0).shape) *
+             static_cast<double>(in.a.rank(1).shape));
+        const double db =
+            static_cast<double>(in.b.nnz()) /
+            (static_cast<double>(in.b.rank(0).shape) *
+             static_cast<double>(in.b.rank(1).shape));
+        const auto analytical = baselines::sparseloopExtensor(
+            {}, in.a.rank(0).shape, in.a.rank(1).shape,
+            in.b.rank(1).shape, da, db);
+        const double sloop = mkl / analytical.seconds;
+
+        table.addRow({key,
+                      TextTable::num(
+                          bench::reportedExtensorSpeedup().at(key), 1),
+                      TextTable::num(ours, 1),
+                      TextTable::num(sloop, 1)});
+        teaal_v.push_back(ours);
+        sloop_v.push_back(sloop);
+        reported_v.push_back(
+            bench::reportedExtensorSpeedup().at(key));
+    }
+    table.addSeparator();
+    table.addRow({"mean-abs-err%", "-",
+                  TextTable::num(
+                      meanAbsRelErrorPct(teaal_v, reported_v), 1),
+                  TextTable::num(
+                      meanAbsRelErrorPct(sloop_v, reported_v), 1)});
+    table.print();
+    std::cout << "\nThe data-driven model tracks the reported trend; "
+                 "the uniform-sparsity analytical model misses the "
+                 "skew of real tensors (paper §7, Fig. 10a).\n";
+    return 0;
+}

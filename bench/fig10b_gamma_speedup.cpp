@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 10b: Gamma speedup over an MKL-class CPU baseline,
+ * Reported vs TeAAL, on the five validation matrices.
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Figure 10b: Gamma speedup over MKL", scale);
+
+    TextTable table("Gamma speedup over MKL");
+    table.setHeader({"matrix", "reported(approx)", "teaal",
+                     "bottleneck"});
+    std::vector<double> ours_v, reported_v;
+    for (const std::string& key : bench::validationKeys()) {
+        const auto in = bench::loadSpmspm(key, scale);
+        const double mkl = baselines::cpuSpmspmSeconds(in.work);
+        const auto result = bench::runAccelerator(accel::gamma(), in);
+        const double ours = mkl / result.perf.totalSeconds;
+        table.addRow({key,
+                      TextTable::num(
+                          bench::reportedGammaSpeedup().at(key), 1),
+                      TextTable::num(ours, 1),
+                      result.perf.blocks[0].bottleneck});
+        ours_v.push_back(ours);
+        reported_v.push_back(bench::reportedGammaSpeedup().at(key));
+    }
+    table.addSeparator();
+    table.addRow({"mean-abs-err%", "-",
+                  TextTable::num(
+                      meanAbsRelErrorPct(ours_v, reported_v), 1)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11: ExTensor energy (mJ) on the five validation matrices,
+ * Reported vs TeAAL, plus the arithmetic mean (AM) the figure plots.
+ *
+ * Measured energy is extrapolated from the bench scale to full size
+ * by the work ratio (energy is dominated by DRAM traffic + compute,
+ * both ~linear in nnz at fixed structure).
+ */
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    const double scale = bench::matrixScale();
+    bench::header("Figure 11: ExTensor energy (mJ)", scale);
+
+    TextTable table("ExTensor energy");
+    table.setHeader({"matrix", "reported(approx)", "teaal(extrap)",
+                     "measured@scale"});
+    std::vector<double> ours_v, reported_v;
+    for (const std::string& key : bench::validationKeys()) {
+        const auto in = bench::loadSpmspm(key, scale);
+        const auto result =
+            bench::runAccelerator(accel::extensor(), in);
+        const double measured = result.energy.totalMilliJoules();
+        // Work scales ~1/scale^2 for A x A style workloads (both
+        // operands shrink).
+        const double extrapolated = measured / (scale * scale);
+        table.addRow({key,
+                      TextTable::num(
+                          bench::reportedExtensorEnergyMj().at(key), 1),
+                      TextTable::num(extrapolated, 1),
+                      TextTable::num(measured, 2)});
+        ours_v.push_back(extrapolated);
+        reported_v.push_back(
+            bench::reportedExtensorEnergyMj().at(key));
+    }
+    table.addSeparator();
+    table.addRow(
+        {"AM", TextTable::num(arithMean(reported_v), 1),
+         TextTable::num(arithMean(ours_v), 1), "-"});
+    table.addRow({"mean-abs-err%", "-",
+                  TextTable::num(
+                      meanAbsRelErrorPct(ours_v, reported_v), 1)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the fibertree substrate: the
+ * operations every simulation is built from.
+ */
+#include <benchmark/benchmark.h>
+
+#include "fibertree/coiter.hpp"
+#include "fibertree/transform.hpp"
+#include "util/random.hpp"
+#include "workloads/datasets.hpp"
+
+namespace
+{
+
+using namespace teaal;
+
+ft::Tensor
+matrix(std::size_t nnz)
+{
+    return workloads::uniformMatrix("A", 4096, 4096, nnz, 42);
+}
+
+void
+BM_FiberAppend(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        ft::Fiber f(static_cast<ft::Coord>(n));
+        for (std::size_t i = 0; i < n; ++i)
+            f.append(static_cast<ft::Coord>(i), ft::Payload(1.0));
+        benchmark::DoNotOptimize(f.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FiberAppend)->Arg(1024)->Arg(65536);
+
+void
+BM_FiberLookup(benchmark::State& state)
+{
+    ft::Fiber f(1 << 20);
+    for (ft::Coord c = 0; c < (1 << 16); ++c)
+        f.append(c * 16, ft::Payload(1.0));
+    Xoshiro256 rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            f.find(static_cast<ft::Coord>(rng.below(1 << 20))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberLookup);
+
+void
+BM_Intersect2(benchmark::State& state)
+{
+    ft::Fiber a(1 << 20), b(1 << 20);
+    Xoshiro256 rng(9);
+    ft::Coord ca = 0, cb = 0;
+    for (int i = 0; i < (1 << 15); ++i) {
+        ca += 1 + static_cast<ft::Coord>(rng.below(30));
+        cb += 1 + static_cast<ft::Coord>(rng.below(30));
+        a.append(ca, ft::Payload(1.0));
+        b.append(cb, ft::Payload(1.0));
+    }
+    for (auto _ : state) {
+        std::size_t matches = 0;
+        ft::intersect2(ft::FiberView::whole(&a),
+                       ft::FiberView::whole(&b),
+                       [&](ft::Coord, std::size_t, std::size_t) {
+                           ++matches;
+                       });
+        benchmark::DoNotOptimize(matches);
+    }
+    state.SetItemsProcessed(state.iterations() * (2 << 15));
+}
+BENCHMARK(BM_Intersect2);
+
+void
+BM_Swizzle(benchmark::State& state)
+{
+    const auto t = matrix(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto s = ft::swizzle(t, {"M", "K"});
+        benchmark::DoNotOptimize(s.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Swizzle)->Arg(10000)->Arg(100000);
+
+void
+BM_PartitionOccupancy(benchmark::State& state)
+{
+    const auto t = matrix(100000);
+    const auto flat = ft::flattenRanks(t, "K", "M");
+    for (auto _ : state) {
+        auto s = ft::splitRankByOccupancy(flat, "KM", 256, "KM1",
+                                          "KM0");
+        benchmark::DoNotOptimize(s.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PartitionOccupancy);
+
+void
+BM_PartitionShape(benchmark::State& state)
+{
+    const auto t = matrix(100000);
+    for (auto _ : state) {
+        auto s = ft::splitRankByShape(t, "K", 256, "K1", "K0");
+        benchmark::DoNotOptimize(s.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PartitionShape);
+
+} // namespace
+
+BENCHMARK_MAIN();

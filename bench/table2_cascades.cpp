@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Table 2: the Einsum cascades for the paper's accelerators and
+ * algorithms — each parsed through the real einsum front end and
+ * re-rendered, proving the language covers every row.
+ */
+#include <iostream>
+
+#include "einsum/parser.hpp"
+#include "graph/vertex_centric.hpp"
+#include "util/table.hpp"
+#include "yaml/yaml.hpp"
+
+namespace
+{
+
+struct Entry
+{
+    const char* name;
+    const char* yaml;
+};
+
+const Entry kCascades[] = {
+    {"ExTensor SpMSpM", "declaration:\n"
+                        "  A: [K, M]\n  B: [K, N]\n  Z: [M, N]\n"
+                        "expressions:\n"
+                        "  - Z[m,n] = A[k,m] * B[k,n]\n"},
+    {"Gamma SpMSpM", "declaration:\n"
+                     "  A: [K, M]\n  B: [K, N]\n  T: [K, M, N]\n"
+                     "  Z: [M, N]\n"
+                     "expressions:\n"
+                     "  - T[k,m,n] = take(A[k,m], B[k,n], 1)\n"
+                     "  - Z[m,n] = T[k,m,n] * A[k,m]\n"},
+    {"OuterSPACE SpMSpM", "declaration:\n"
+                          "  A: [K, M]\n  B: [K, N]\n"
+                          "  T: [K, M, N]\n  Z: [M, N]\n"
+                          "expressions:\n"
+                          "  - T[k,m,n] = A[k,m] * B[k,n]\n"
+                          "  - Z[m,n] = T[k,m,n]\n"},
+    {"SIGMA SpMSpM", "declaration:\n"
+                     "  A: [K, M]\n  B: [K, N]\n  S: [K, M]\n"
+                     "  T: [K, M]\n  Z: [M, N]\n"
+                     "expressions:\n"
+                     "  - S[k,m] = take(A[k,m], B[k,n], 0)\n"
+                     "  - T[k,m] = take(A[k,m], S[k,m], 0)\n"
+                     "  - Z[m,n] = T[k,m] * B[k,n]\n"},
+    {"Eyeriss CONV", "declaration:\n"
+                     "  I: [B, C, H, W]\n  F: [C, M, R, S]\n"
+                     "  O: [B, M, P, Q]\n"
+                     "expressions:\n"
+                     "  - O[b,m,p,q] = I[b,c,p+r,q+s] * F[c,m,r,s]\n"},
+    {"Toeplitz + CONV", "declaration:\n"
+                        "  I: [B, C, H, W]\n  F: [C, M, R, S]\n"
+                        "  T: [B, C, P, Q, R, S]\n  O: [B, M, P, Q]\n"
+                        "expressions:\n"
+                        "  - T[b,c,p,q,r,s] = I[b,c,p+r,q+s]\n"
+                        "  - O[b,m,p,q] = T[b,c,p,q,r,s] * F[c,m,r,s]\n"},
+    {"Tensaurus MTTKRP", "declaration:\n"
+                         "  T: [I, J, K]\n  A: [K, R]\n  B: [J, R]\n"
+                         "  C: [I, R]\n"
+                         "expressions:\n"
+                         "  - C[i,r] = T[i,j,k] * B[j,r] * A[k,r]\n"},
+    {"Factorized MTTKRP", "declaration:\n"
+                          "  T: [I, J, K]\n  A: [K, R]\n  B: [J, R]\n"
+                          "  S: [I, J, R]\n  C: [I, R]\n"
+                          "expressions:\n"
+                          "  - S[i,j,r] = T[i,j,k] * A[k,r]\n"
+                          "  - C[i,r] = S[i,j,r] * B[j,r]\n"},
+    {"Cooley-Tukey FFT step",
+     "declaration:\n"
+     "  P: [Z, K0, N1, W]\n  X: [N1, Z]\n  E0: [K0]\n  O0: [K0]\n"
+     "  T: [K0]\n  Y0: [K0]\n  Y1: [K0]\n"
+     "expressions:\n"
+     "  - E0[k0] = P[0, k0, n1, 0] * X[n1, 0]\n"
+     "  - O0[k0] = P[0, k0, n1, 0] * X[n1, 1]\n"
+     "  - T[k0] = P[0, k0, 0, 1] * O0[k0]\n"
+     "  - Y0[k0] = E0[k0] + T[k0]\n"
+     "  - Y1[k0] = E0[k0] - T[k0]\n"},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace teaal;
+    TextTable table(
+        "Table 2: Einsum cascades (parsed by the einsum front end)");
+    table.setHeader({"accelerator / algorithm", "cascade"});
+    for (const Entry& e : kCascades) {
+        const auto spec =
+            einsum::EinsumSpec::parse(yaml::parse(e.yaml));
+        std::string joined;
+        for (const auto& expr : spec.expressions) {
+            if (!joined.empty())
+                joined += " ; ";
+            joined += expr.toString();
+        }
+        table.addRow({e.name, joined});
+    }
+    // The Figure 12 graph cascades parse through the same front end.
+    for (const auto& [name, yaml_text] :
+         {std::pair<const char*, std::string>{
+              "Graphicionado (Fig 12a)",
+              graph::graphicionadoCascadeYaml()},
+          {"GraphDynS (Fig 12b)", graph::graphDynSCascadeYaml()}}) {
+        const auto spec =
+            einsum::EinsumSpec::parse(yaml::parse(yaml_text));
+        table.addRow({name, std::to_string(spec.expressions.size()) +
+                                " einsums (see fig13 benches)"});
+    }
+    table.print();
+    return 0;
+}

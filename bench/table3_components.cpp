@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 3: supported hardware component classes and their attributes,
+ * as implemented by the architecture specification and the
+ * per-component models.
+ */
+#include "arch/arch.hpp"
+#include "util/table.hpp"
+
+int
+main()
+{
+    using teaal::TextTable;
+    TextTable table("Table 3: supported components and attributes");
+    table.setHeader({"component", "attributes", "model"});
+    table.addRow({"DRAM", "bandwidth (GB/s)",
+                  "bytes / bandwidth; per-tensor traffic buckets"});
+    table.addRow({"Buffer",
+                  "type (buffet|cache), width, depth, size, bandwidth",
+                  "LRU cache or evict-on buffet; fills/drains -> DRAM"});
+    table.addRow({"Intersection",
+                  "type (two-finger|leader-follower|skip-ahead), leader",
+                  "per-type cycles from steps/matches, per-PE max"});
+    table.addRow({"Merger",
+                  "inputs, comparator_radix, outputs, order, reduce",
+                  "elements x ceil(log_radix(ways)) per swizzle"});
+    table.addRow({"Sequencer", "num_ranks",
+                  "fiber walk steps / num_ranks, per-PE max"});
+    table.addRow({"Compute", "type (mul|add)",
+                  "1 op/cycle, per-PE max (load imbalance)"});
+    table.print();
+    return 0;
+}

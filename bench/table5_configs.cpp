@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 5: hardware configurations — printed from the live
+ * architecture specifications so this table cannot drift from what
+ * the models actually simulate.
+ */
+#include "accelerators/accelerators.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+void
+describe(teaal::TextTable& table, const std::string& name,
+         const teaal::compiler::Specification& spec)
+{
+    using namespace teaal;
+    for (const std::string& topo_name :
+         spec.architecture.topologyNames()) {
+        const arch::Topology& topo =
+            spec.architecture.topology(topo_name);
+        for (const auto& [comp, instances] : topo.allComponents()) {
+            std::string attrs;
+            for (const auto& [k, v] : comp->attributes) {
+                if (!attrs.empty())
+                    attrs += ", ";
+                attrs += k + "=" + v;
+            }
+            table.addRow({name + "/" + topo_name,
+                          TextTable::num(topo.clock / 1e9, 2) + " GHz",
+                          comp->name + " x" + std::to_string(instances),
+                          arch::componentClassName(comp->cls), attrs});
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace teaal;
+    TextTable table("Table 5: hardware configurations (live specs)");
+    table.setHeader({"design/topology", "clock", "component", "class",
+                     "attributes"});
+    describe(table, "ExTensor", accel::extensor());
+    describe(table, "Gamma", accel::gamma());
+    describe(table, "OuterSPACE", accel::outerSpace());
+    describe(table, "SIGMA", accel::sigma());
+    table.print();
+    return 0;
+}

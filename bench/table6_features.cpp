@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 6: the sparse-modeling-framework feature matrix, with this
+ * implementation's column verified against the code (each "yes" has a
+ * module/test behind it).
+ */
+#include "util/table.hpp"
+
+int
+main()
+{
+    using teaal::TextTable;
+    TextTable table("Table 6: framework features (this implementation)");
+    table.setHeader({"feature", "supported", "where"});
+    table.addRow({"Models hardware", "yes",
+                  "arch/ + model/ (components, bottleneck analysis)"});
+    table.addRow({"Generic kernels", "yes",
+                  "einsum/ (products, sums, reductions, take)"});
+    table.addRow({"Cascaded Einsums", "yes",
+                  "einsum/parser (DAG), compiler/ (per-einsum runs)"});
+    table.addRow({"Index expressions", "yes",
+                  "einsum/ast IndexExpr (affine q+s, constants)"});
+    table.addRow({"Shape-based partitioning", "yes",
+                  "fibertree/transform splitRankByShape"});
+    table.addRow({"Occupancy-based partitioning", "yes",
+                  "splitRankByOccupancy + leader-follower slicing"});
+    table.addRow({"Generic flattening", "yes",
+                  "fibertree/transform flattenRanks (packed coords)"});
+    table.addRow({"Rank swizzling", "yes",
+                  "ir/builder concordance inference + ft::swizzle"});
+    table.addRow({"Format expressivity", "yes",
+                  "format/ U/C/B, layouts, bit widths, linked lists"});
+    table.addRow({"Caches", "yes", "model/buffer_sim LruCache"});
+    table.addRow({"Precise data set", "yes",
+                  "executor runs real fibertrees, not distributions"});
+    table.addRow({"High model fidelity", "yes",
+                  "validated against reported trends (fig9-11 benches)"});
+    table.print();
+    return 0;
+}

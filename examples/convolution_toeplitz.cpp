@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cascades of Einsums beyond SpMSpM (paper §3.1, Table 2): 1D
+ * convolution implemented both directly (O[q] = I[q+s] * F[s]) and via
+ * the two-stage Toeplitz expansion (T[q,s] = I[q+s]; O = T * F),
+ * executed on the same fibertree machinery, with the generated
+ * loop-nest plans printed for comparison.
+ */
+#include <iostream>
+#include <map>
+
+#include "exec/executor.hpp"
+#include "ir/plan.hpp"
+#include "util/random.hpp"
+#include "yaml/yaml.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+
+    const char* direct_text = "declaration:\n"
+                              "  I: [W]\n"
+                              "  F: [S]\n"
+                              "  O: [Q]\n"
+                              "expressions:\n"
+                              "  - O[q] = I[q+s] * F[s]\n";
+    const char* toeplitz_text = "declaration:\n"
+                                "  I: [W]\n"
+                                "  F: [S]\n"
+                                "  T: [Q, S]\n"
+                                "  O: [Q]\n"
+                                "expressions:\n"
+                                "  - T[q, s] = I[q+s]\n"
+                                "  - O[q] = T[q, s] * F[s]\n";
+
+    // A sparse input signal and a short dense filter.
+    Xoshiro256 rng(11);
+    ft::Tensor input("I", {"W"}, {64});
+    for (ft::Coord w = 0; w < 64; ++w) {
+        if (rng.uniform() < 0.4) {
+            const std::vector<ft::Coord> p{w};
+            input.set(p, 1.0 + rng.uniform());
+        }
+    }
+    ft::Tensor filter("F", {"S"}, {5});
+    for (ft::Coord s = 0; s < 5; ++s) {
+        const std::vector<ft::Coord> p{s};
+        filter.set(p, 0.5 + rng.uniform());
+    }
+
+    auto run_cascade = [&](const char* text) {
+        const auto spec = einsum::EinsumSpec::parse(yaml::parse(text));
+        trace::Observer obs;
+        std::map<std::string, ft::Tensor> tensors{
+            {"I", input.clone()}, {"F", filter.clone()}};
+        std::vector<std::string> intermediates;
+        for (const auto& expr : spec.expressions) {
+            const auto plan =
+                ir::buildPlan(expr, spec, {}, tensors, intermediates);
+            std::cout << plan.toString();
+            exec::Executor ex(plan, obs);
+            tensors.insert_or_assign(expr.output.name, ex.run());
+            intermediates.push_back(expr.output.name);
+        }
+        return tensors.at("O").clone();
+    };
+
+    std::cout << "=== direct convolution ===\n";
+    const ft::Tensor direct = run_cascade(direct_text);
+    std::cout << "\n=== Toeplitz expansion (im2col) cascade ===\n";
+    const ft::Tensor toeplitz = run_cascade(toeplitz_text);
+
+    std::cout << "\ndirect   " << direct.toString(10) << "\n";
+    std::cout << "toeplitz " << toeplitz.toString(10) << "\n";
+    std::cout << "\nresults "
+              << (direct.equals(toeplitz, 1e-9) ? "MATCH" : "DIFFER")
+              << ": the cascade decomposition preserves semantics while"
+                 " exposing\nindependent mapping freedom for each stage"
+                 " (paper Insight 1).\n";
+    return direct.equals(toeplitz, 1e-9) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Vertex-centric graph processing (paper §8): run BFS through the
+ * Figure 12 cascades on an R-MAT graph and compare the three
+ * accelerator designs of Figure 13 — Graphicionado, the GraphDynS-like
+ * bitmap optimization, and the paper's proposal.
+ */
+#include <iostream>
+
+#include "graph/vertex_centric.hpp"
+#include "util/table.hpp"
+#include "workloads/datasets.hpp"
+
+int
+main()
+{
+    using namespace teaal;
+    using graph::Algorithm;
+    using graph::Design;
+
+    const workloads::Graph g = workloads::rmatGraph(1 << 16, 500000, 3);
+    std::cout << "graph: " << g.vertices << " vertices, " << g.edges()
+              << " edges (R-MAT)\n\n";
+
+    const graph::RunStats bfs =
+        graph::runVertexCentric(g, Algorithm::BFS, 0);
+
+    TextTable iterations("BFS frontier evolution");
+    iterations.setHeader(
+        {"iter", "active", "edges", "reduced", "updated", "parts"});
+    for (std::size_t i = 0; i < bfs.iterations.size(); ++i) {
+        const auto& it = bfs.iterations[i];
+        iterations.addRow({std::to_string(i),
+                           std::to_string(it.active),
+                           std::to_string(it.edgesTouched),
+                           std::to_string(it.reduced),
+                           std::to_string(it.updated),
+                           std::to_string(it.partitionsTouched)});
+    }
+    iterations.print();
+
+    TextTable designs("\nBFS cost under the three designs (Fig. 13)");
+    designs.setHeader({"design", "time (ms)", "apply MOPs",
+                       "traffic (MB)", "speedup"});
+    const double base =
+        graph::modelDesign(bfs, Design::Graphicionado, Algorithm::BFS)
+            .seconds;
+    for (Design d : {Design::Graphicionado, Design::GraphDynSLike,
+                     Design::Proposal}) {
+        const auto cost = graph::modelDesign(bfs, d, Algorithm::BFS);
+        designs.addRow({graph::designName(d),
+                        TextTable::num(cost.seconds * 1e3, 3),
+                        TextTable::num(cost.applyOps / 1e6, 2),
+                        TextTable::num(cost.trafficBytes / 1e6, 2),
+                        TextTable::num(base / cost.seconds, 2)});
+    }
+    designs.print();
+
+    std::cout << "\nThe Figure 12 cascade this executes:\n"
+              << graph::graphicionadoCascadeYaml();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Canned TeAAL specifications of the four validated accelerators
+ * (paper Figures 3 and 8) with the Table 5 hardware configurations:
+ *
+ *   OuterSPACE  outer-product multiply/merge SpMSpM (Pal et al.)
+ *   ExTensor    tiled inner-product with skip-ahead intersection
+ *               (Hegde et al.)
+ *   Gamma       row-wise Gustavson with FiberCache + 64-way mergers
+ *               (Zhang et al.)
+ *   SIGMA       occupancy-balanced dense-ish GEMM (Qin et al.)
+ *
+ * Each builder takes a config struct defaulting to the published
+ * parameters; tests use scaled-down configs, benches the defaults.
+ */
+#pragma once
+
+#include <string>
+
+#include "compiler/compiler.hpp"
+
+namespace teaal::accel
+{
+
+/** OuterSPACE (Table 5 row 3, Figures 3 and 5). */
+struct OuterSpaceConfig
+{
+    double clock = 1.5e9;
+    int processingTiles = 16;
+    int pesPerTileMultiply = 16;
+    int pesPerTileMerge = 8;
+    double l0CacheBytes = 16 * 1024;
+    double dramGBs = 128.0; ///< 16 x 64-bit HBM @ 8000 MB/s/channel
+    /// Work-division chunks (paper §3.2.1).
+    std::size_t chunkOuter = 256;
+    std::size_t chunkInner = 16;
+    std::size_t mergeChunkOuter = 128;
+    std::size_t mergeChunkInner = 8;
+};
+
+compiler::Specification outerSpace(const OuterSpaceConfig& cfg = {});
+
+/** Gamma (Table 5 row 2, Figure 8a). */
+struct GammaConfig
+{
+    double clock = 1e9;
+    int pes = 32;
+    int mergerWays = 64;
+    double fiberCacheBytes = 3.0 * 1024 * 1024;
+    double fiberCacheGBs = 512.0;
+    double dramGBs = 128.0; ///< 16 x 64-bit HBM @ 8 GB/s/channel
+    std::size_t rowChunk = 32; ///< rows of A per PE round
+    std::size_t kChunk = 64;   ///< merger radix rows of B per pass
+};
+
+compiler::Specification gamma(const GammaConfig& cfg = {});
+
+/** ExTensor (Table 5 row 1, Figure 8b). */
+struct ExTensorConfig
+{
+    double clock = 1e9;
+    int pes = 128;
+    double peBufferBytes = 64 * 1024;
+    double llcBytes = 30.0 * 1024 * 1024;
+    double llcGBs = 2048.0;
+    double dramGBs = 68.256;
+    /// Shape-partition tile sizes (symbolic params of Figure 8b).
+    /// K1/K0 = 128 gives the space rank K1 its 128-way parallelism.
+    long tileK1 = 8192, tileK0 = 64;
+    long tileM1 = 8192, tileM0 = 1024;
+    long tileN1 = 8192, tileN0 = 1024;
+    /// Intersection unit type (ablation: two-finger, leader-follower,
+    /// skip-ahead).
+    std::string intersection = "skip-ahead";
+};
+
+compiler::Specification extensor(const ExTensorConfig& cfg = {});
+
+/** SIGMA (Table 5 row 4, Figure 8c). */
+struct SigmaConfig
+{
+    double clock = 500e6;
+    int flexDpes = 128;
+    int pesPerDpe = 128;
+    double dataSramBytes = 32.0 * 1024 * 1024;
+    double sramGBs = 960.0;
+    double dramGBs = 1024.0;
+    long kTile = 128;
+    std::size_t stationaryChunk = 16384; ///< nonzeros per PE round
+};
+
+compiler::Specification sigma(const SigmaConfig& cfg = {});
+
+} // namespace teaal::accel

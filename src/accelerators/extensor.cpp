@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ExTensor specification (paper Figure 8b, Table 5).
+ *
+ * Hybrid dataflow, inner-product at the innermost level, with uniform
+ * shape-based partitioning at two levels (DRAM->LLC->PE) and
+ * hierarchical skip-ahead intersection. Partial output tiles live in
+ * the LLC and spill across K2 iterations (the PO traffic of Figure
+ * 9a).
+ */
+#include "accelerators/accelerators.hpp"
+
+#include "accelerators/spec_util.hpp"
+
+namespace teaal::accel
+{
+
+namespace
+{
+
+const char* kTemplate = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  partitioning:
+    Z:
+      K:
+        - uniform_shape(K1)
+        - uniform_shape(K0)
+      M:
+        - uniform_shape(M1)
+        - uniform_shape(M0)
+      N:
+        - uniform_shape(N1)
+        - uniform_shape(N0)
+  loop-order:
+    Z: [N2, K2, M2, M1, N1, K1, M0, N0, K0]
+  spacetime:
+    Z:
+      space: [K1]
+      time: [N2, K2, M2, M1, N1, M0, N0, K0]
+format:
+  A:
+    CSF:
+      K:
+        format: C
+        cbits: 32
+        pbits: 32
+      M:
+        format: C
+        cbits: 32
+        pbits: 64
+  B:
+    CSF:
+      K:
+        format: C
+        cbits: 32
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+  Z:
+    CSR:
+      M:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+architecture:
+  ExTensor:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: MainMemory
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+          - name: LLC
+            class: Buffer
+            attributes:
+              type: buffet
+              size: $LLCBYTES
+              bandwidth: $LLCBW
+        subtree:
+          - name: PE
+            num: $PES
+            local:
+              - name: PEBuffer
+                class: Buffer
+                attributes:
+                  type: buffet
+                  size: $PEBYTES
+              - name: SkipAhead
+                class: Intersection
+                attributes:
+                  type: $ISECT
+              - name: MulALU
+                class: Compute
+                attributes:
+                  type: mul
+              - name: PESeq
+                class: Sequencer
+                attributes:
+                  num_ranks: 4
+binding:
+  Z:
+    config: ExTensor
+    components:
+      - component: LLC
+        bindings:
+          - tensor: A
+            rank: K1
+            type: elem
+            style: eager
+            evict-on: M1
+          - tensor: B
+            rank: K1
+            type: elem
+            style: eager
+            evict-on: M2
+      - component: LLC
+        bindings:
+          - tensor: Z
+            rank: N
+            type: elem
+            style: lazy
+            evict-on: M2
+      - component: SkipAhead
+        bindings:
+          - op: intersect
+      - component: MulALU
+        bindings:
+          - op: mul
+      - component: PESeq
+        bindings:
+          - op: seq
+)";
+
+} // namespace
+
+compiler::Specification
+extensor(const ExTensorConfig& cfg)
+{
+    const std::string yaml =
+        subst(kTemplate, {{"CLOCK", num(cfg.clock)},
+                          {"DRAMBW", num(cfg.dramGBs)},
+                          {"LLCBYTES", num(cfg.llcBytes)},
+                          {"LLCBW", num(cfg.llcGBs)},
+                          {"PEBYTES", num(cfg.peBufferBytes)},
+                          {"PES", num(cfg.pes)},
+                          {"ISECT", cfg.intersection}});
+    const mapping::ParamMap params{
+        {"K1", cfg.tileK1}, {"K0", cfg.tileK0}, {"M1", cfg.tileM1},
+        {"M0", cfg.tileM0}, {"N1", cfg.tileN1}, {"N0", cfg.tileN0}};
+    return compiler::Specification::parse(yaml, params);
+}
+
+} // namespace teaal::accel

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Gamma specification (paper Figure 8a, Table 5).
+ *
+ * Row-wise (Gustavson) SpMSpM: rows of A distributed to PEs; the
+ * take() Einsum fetches the referenced rows of B (cached in the
+ * FiberCache); per-PE 64-way mergers swizzle T from [M, K, N] to
+ * [M, N, K] so the reduction over K is concordant. The two Einsums
+ * fuse into one pipelined block (§4.3).
+ */
+#include "accelerators/accelerators.hpp"
+
+#include "accelerators/spec_util.hpp"
+
+namespace teaal::accel
+{
+
+namespace
+{
+
+const char* kTemplate = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = take(A[k, m], B[k, n], 1)
+    - Z[m, n] = T[k, m, n] * A[k, m]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      M: [uniform_occupancy(A.$MCHUNK)]
+      K: [uniform_occupancy(A.$KCHUNK)]
+    Z:
+      M: [uniform_occupancy(A.$MCHUNK)]
+      K: [uniform_occupancy(A.$KCHUNK)]
+  loop-order:
+    T: [M1, M0, K1, K0, N]
+    Z: [M1, M0, K1, N, K0]
+  spacetime:
+    T:
+      space: [M0, K1]
+      time: [M1, K0, N]
+    Z:
+      space: [M0, K1]
+      time: [M1, N, K0]
+format:
+  A:
+    CSR:
+      M:
+        format: U
+        pbits: 32
+      K:
+        format: C
+        cbits: 32
+        pbits: 64
+  B:
+    CSR:
+      K:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+  T:
+    CSF:
+      M:
+        format: U
+        pbits: 32
+      K:
+        format: C
+        cbits: 32
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+  Z:
+    CSR:
+      M:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+architecture:
+  Gamma:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+          - name: FiberCache
+            class: Buffer
+            attributes:
+              type: cache
+              size: $FCBYTES
+              bandwidth: $FCBW
+        subtree:
+          - name: PE
+            num: $PES
+            local:
+              - name: AccumBuf
+                class: Buffer
+                attributes:
+                  type: buffet
+                  size: 65536
+              - name: TopMerger
+                class: Merger
+                attributes:
+                  inputs: $WAYS
+                  comparator_radix: $WAYS
+                  outputs: 1
+                  order: opt
+                  reduce: 1
+              - name: MulALU
+                class: Compute
+                attributes:
+                  type: mul
+              - name: AddALU
+                class: Compute
+                attributes:
+                  type: add
+              - name: RowIsect
+                class: Intersection
+                attributes:
+                  type: leader-follower
+                  leader: A
+              - name: PESeq
+                class: Sequencer
+                attributes:
+                  num_ranks: 3
+binding:
+  T:
+    config: Gamma
+    components:
+      - component: FiberCache
+        bindings:
+          - tensor: B
+            rank: K
+            type: payload
+            style: eager
+      - component: RowIsect
+        bindings:
+          - op: intersect
+  Z:
+    config: Gamma
+    components:
+      - component: AccumBuf
+        bindings:
+          - tensor: Z
+            rank: N
+            type: elem
+            style: lazy
+            evict-on: M0
+      - component: TopMerger
+        bindings:
+          - op: merge
+            tensor: T
+      - component: MulALU
+        bindings:
+          - op: mul
+      - component: AddALU
+        bindings:
+          - op: add
+)";
+
+} // namespace
+
+compiler::Specification
+gamma(const GammaConfig& cfg)
+{
+    const std::string yaml =
+        subst(kTemplate, {{"CLOCK", num(cfg.clock)},
+                          {"DRAMBW", num(cfg.dramGBs)},
+                          {"FCBYTES", num(cfg.fiberCacheBytes)},
+                          {"FCBW", num(cfg.fiberCacheGBs)},
+                          {"PES", num(cfg.pes)},
+                          {"WAYS", num(cfg.mergerWays)},
+                          {"MCHUNK", num(cfg.rowChunk)},
+                          {"KCHUNK", num(cfg.kChunk)}});
+    return compiler::Specification::parse(yaml);
+}
+
+} // namespace teaal::accel

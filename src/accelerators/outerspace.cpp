@@ -1,0 +1,232 @@
+/**
+ * @file
+ * OuterSPACE specification (paper Figure 3 for einsum+mapping, Figure 5
+ * for format/architecture/binding, Table 5 for parameters).
+ *
+ * Multiply phase: outer products of A columns with B rows, partial
+ * products written to the array-of-linked-lists tensor T. Merge phase:
+ * per-row sort (rank swizzle [M,K,N] -> [M,N,K]) and reduction over K.
+ * The accelerator reorganizes between phases, so two topologies are
+ * specified.
+ */
+#include "accelerators/accelerators.hpp"
+
+#include "accelerators/spec_util.hpp"
+
+namespace teaal::accel
+{
+
+namespace
+{
+
+const char* kTemplate = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    T: [K, M, N]
+    Z: [M, N]
+  expressions:
+    - T[k, m, n] = A[k, m] * B[k, n]
+    - Z[m, n] = T[k, m, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    T: [M, K, N]
+    Z: [M, N]
+  partitioning:
+    T:
+      (K, M): [flatten()]
+      KM: [uniform_occupancy(A.$CHUNK2), uniform_occupancy(A.$CHUNK1)]
+    Z:
+      M: [uniform_occupancy(T.$MCHUNK2), uniform_occupancy(T.$MCHUNK1)]
+  loop-order:
+    T: [KM2, KM1, KM0, N]
+    Z: [M2, M1, M0, N, K]
+  spacetime:
+    T:
+      space: [KM1, KM0]
+      time: [KM2, N]
+    Z:
+      space: [M1, M0]
+      time: [M2, N, K]
+format:
+  A:
+    CSC:
+      K:
+        format: U
+        pbits: 32
+      M:
+        format: C
+        cbits: 32
+        pbits: 64
+  B:
+    CSR:
+      K:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+  T:
+    LinkedLists:
+      M:
+        format: U
+        pbits: 32
+      K:
+        format: C
+        cbits: 32
+        pbits: 32
+      N:
+        format: C
+        fhbits: 32
+        layout: interleaved
+        cbits: 32
+        pbits: 64
+  Z:
+    CSR:
+      M:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+architecture:
+  Multiply:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+        subtree:
+          - name: PT
+            num: $PTS
+            local:
+              - name: L0Cache
+                class: Buffer
+                attributes:
+                  type: cache
+                  size: $L0BYTES
+                  bandwidth: 1024
+            subtree:
+              - name: PE
+                num: $MULPES
+                local:
+                  - name: MulALU
+                    class: Compute
+                    attributes:
+                      type: mul
+                  - name: PESeq
+                    class: Sequencer
+                    attributes:
+                      num_ranks: 4
+  Merge:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+        subtree:
+          - name: PT
+            num: $PTS
+            local:
+              - name: L0Scratch
+                class: Buffer
+                attributes:
+                  type: buffet
+                  size: $L0BYTES
+                  bandwidth: 1024
+            subtree:
+              - name: PE
+                num: $MERGEPES
+                local:
+                  - name: SortNet
+                    class: Merger
+                    attributes:
+                      inputs: 64
+                      comparator_radix: 2
+                      outputs: 1
+                      order: fifo
+                      reduce: 0
+                  - name: AddALU
+                    class: Compute
+                    attributes:
+                      type: add
+                  - name: MergeSeq
+                    class: Sequencer
+                    attributes:
+                      num_ranks: 3
+binding:
+  T:
+    config: Multiply
+    components:
+      - component: L0Cache
+        bindings:
+          - tensor: B
+            rank: K
+            type: payload
+            style: eager
+      - component: MulALU
+        bindings:
+          - op: mul
+      - component: PESeq
+        bindings:
+          - op: seq
+  Z:
+    config: Merge
+    components:
+      - component: L0Scratch
+        bindings:
+          - tensor: T
+            config: LinkedLists
+            rank: M0
+            type: elem
+            style: eager
+            evict-on: M0
+          - tensor: Z
+            rank: N
+            type: elem
+            style: lazy
+            evict-on: M0
+      - component: SortNet
+        bindings:
+          - op: sort
+            tensor: T
+      - component: AddALU
+        bindings:
+          - op: add
+      - component: MergeSeq
+        bindings:
+          - op: seq
+)";
+
+} // namespace
+
+compiler::Specification
+outerSpace(const OuterSpaceConfig& cfg)
+{
+    const std::string yaml = subst(
+        kTemplate,
+        {{"CLOCK", num(cfg.clock)},
+         {"DRAMBW", num(cfg.dramGBs)},
+         {"PTS", num(cfg.processingTiles)},
+         {"MULPES", num(cfg.pesPerTileMultiply)},
+         {"MERGEPES", num(cfg.pesPerTileMerge)},
+         {"L0BYTES", num(cfg.l0CacheBytes)},
+         {"CHUNK2", num(cfg.chunkOuter)},
+         {"CHUNK1", num(cfg.chunkInner)},
+         {"MCHUNK2", num(cfg.mergeChunkOuter)},
+         {"MCHUNK1", num(cfg.mergeChunkInner)}});
+    return compiler::Specification::parse(yaml);
+}
+
+} // namespace teaal::accel

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * SIGMA specification (paper Figure 8c, Table 5).
+ *
+ * A deep-learning GEMM accelerator using occupancy-based partitioning
+ * so only non-zero elements of the stationary matrix occupy PEs
+ * (A-stationary dataflow). The cascade pre-filters A: empty rows of B
+ * are detected (S), removed from A (T), then the multiply runs on the
+ * filtered T. S and T are bitmap metadata (1-bit coordinates), so
+ * their memory footprint is negligible — as in the real design.
+ */
+#include "accelerators/accelerators.hpp"
+
+#include "accelerators/spec_util.hpp"
+
+namespace teaal::accel
+{
+
+namespace
+{
+
+const char* kTemplate = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  expressions:
+    - S[k, m] = take(A[k, m], B[k, n], 0)
+    - T[k, m] = take(A[k, m], S[k, m], 0)
+    - Z[m, n] = T[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [K, M]
+    B: [K, N]
+    S: [K, M]
+    T: [K, M]
+    Z: [M, N]
+  partitioning:
+    Z:
+      K: [uniform_shape($KTILE)]
+      (M, K0): [flatten()]
+      MK0: [uniform_occupancy(T.$CHUNK)]
+  loop-order:
+    S: [K, M, N]
+    T: [K, M]
+    Z: [K1, MK01, MK00, N]
+  spacetime:
+    S:
+      space: []
+      time: [K, M, N]
+    T:
+      space: []
+      time: [K, M]
+    Z:
+      space: [MK00]
+      time: [K1, MK01, N.coord]
+format:
+  A:
+    Bitmap:
+      K:
+        format: U
+        pbits: 32
+      M:
+        format: B
+        cbits: 1
+        pbits: 16
+  B:
+    Bitmap:
+      K:
+        format: U
+        pbits: 32
+      N:
+        format: B
+        cbits: 1
+        pbits: 16
+  S:
+    Bitmap:
+      K:
+        format: U
+        pbits: 1
+      M:
+        format: B
+        cbits: 1
+        pbits: 1
+  T:
+    Bitmap:
+      K:
+        format: U
+        pbits: 1
+      M:
+        format: B
+        cbits: 1
+        pbits: 16
+  Z:
+    Dense:
+      M:
+        format: U
+        pbits: 32
+      N:
+        format: U
+        pbits: 32
+architecture:
+  Sigma:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: HBM
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+          - name: DataSRAM
+            class: Buffer
+            attributes:
+              type: buffet
+              size: $SRAMBYTES
+              bandwidth: $SRAMBW
+          - name: FilterUnit
+            class: Sequencer
+            attributes:
+              num_ranks: 1024
+        subtree:
+          - name: FlexDPE
+            num: $DPES
+            local:
+              - name: Benes
+                class: Merger
+                attributes:
+                  inputs: $DPEPES
+                  comparator_radix: 2
+                  outputs: $DPEPES
+                  order: fifo
+                  reduce: 0
+            subtree:
+              - name: PE
+                num: $DPEPES
+                local:
+                  - name: MulALU
+                    class: Compute
+                    attributes:
+                      type: mul
+                  - name: AddTree
+                    class: Compute
+                    attributes:
+                      type: add
+                  - name: PESeq
+                    class: Sequencer
+                    attributes:
+                      num_ranks: 2
+binding:
+  S:
+    config: Sigma
+    components:
+      - component: FilterUnit
+        bindings:
+          - op: seq
+  T:
+    config: Sigma
+    components:
+      - component: FilterUnit
+        bindings:
+          - op: seq
+  Z:
+    config: Sigma
+    components:
+      - component: DataSRAM
+        bindings:
+          - tensor: T
+            rank: K1
+            type: elem
+            style: eager
+            evict-on: K1
+          - tensor: B
+            rank: K1
+            type: elem
+            style: eager
+            evict-on: K1
+          - tensor: Z
+            rank: N
+            type: elem
+            style: lazy
+      - component: MulALU
+        bindings:
+          - op: mul
+      - component: AddTree
+        bindings:
+          - op: add
+      - component: PESeq
+        bindings:
+          - op: seq
+)";
+
+} // namespace
+
+compiler::Specification
+sigma(const SigmaConfig& cfg)
+{
+    const std::string yaml =
+        subst(kTemplate, {{"CLOCK", num(cfg.clock)},
+                          {"DRAMBW", num(cfg.dramGBs)},
+                          {"SRAMBYTES", num(cfg.dataSramBytes)},
+                          {"SRAMBW", num(cfg.sramGBs)},
+                          {"DPES", num(cfg.flexDpes)},
+                          {"DPEPES", num(cfg.pesPerDpe)},
+                          {"KTILE", num(cfg.kTile)},
+                          {"CHUNK", num(cfg.stationaryChunk)}});
+    return compiler::Specification::parse(yaml);
+}
+
+} // namespace teaal::accel

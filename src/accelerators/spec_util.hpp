@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tiny template substitution for the canned YAML specifications.
+ */
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace teaal::accel
+{
+
+/** Replace each "$KEY" in @p text with its mapped value. */
+inline std::string
+subst(std::string text, const std::map<std::string, std::string>& values)
+{
+    for (const auto& [key, value] : values) {
+        const std::string token = "$" + key;
+        std::size_t pos = 0;
+        while ((pos = text.find(token, pos)) != std::string::npos) {
+            text.replace(pos, token.size(), value);
+            pos += value.size();
+        }
+    }
+    return text;
+}
+
+/** Number to string without trailing zeros noise. */
+inline std::string
+num(double v)
+{
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+inline std::string
+num(long v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+num(int v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+num(std::size_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace teaal::accel

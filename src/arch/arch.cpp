@@ -1,0 +1,230 @@
+#include "arch/arch.hpp"
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::arch
+{
+
+ComponentClass
+componentClassFromString(const std::string& s)
+{
+    const std::string t = toLower(s);
+    if (t == "dram")
+        return ComponentClass::DRAM;
+    if (t == "buffer")
+        return ComponentClass::Buffer;
+    if (t == "intersection")
+        return ComponentClass::Intersection;
+    if (t == "merger")
+        return ComponentClass::Merger;
+    if (t == "sequencer")
+        return ComponentClass::Sequencer;
+    if (t == "compute")
+        return ComponentClass::Compute;
+    specError("unknown component class '", s, "'");
+}
+
+std::string
+componentClassName(ComponentClass c)
+{
+    switch (c) {
+      case ComponentClass::DRAM:
+        return "DRAM";
+      case ComponentClass::Buffer:
+        return "Buffer";
+      case ComponentClass::Intersection:
+        return "Intersection";
+      case ComponentClass::Merger:
+        return "Merger";
+      case ComponentClass::Sequencer:
+        return "Sequencer";
+      case ComponentClass::Compute:
+        return "Compute";
+    }
+    return "?";
+}
+
+double
+Component::attrDouble(const std::string& key, double fallback) const
+{
+    const auto it = attributes.find(key);
+    if (it == attributes.end())
+        return fallback;
+    return parseDouble(it->second, "component " + name + "." + key);
+}
+
+long
+Component::attrLong(const std::string& key, long fallback) const
+{
+    const auto it = attributes.find(key);
+    if (it == attributes.end())
+        return fallback;
+    return parseLong(it->second, "component " + name + "." + key);
+}
+
+std::string
+Component::attrString(const std::string& key,
+                      const std::string& fallback) const
+{
+    const auto it = attributes.find(key);
+    return it == attributes.end() ? fallback : it->second;
+}
+
+double
+Component::requireDouble(const std::string& key) const
+{
+    const auto it = attributes.find(key);
+    if (it == attributes.end())
+        specError("component '", name, "' missing attribute '", key, "'");
+    return parseDouble(it->second, "component " + name + "." + key);
+}
+
+namespace
+{
+
+const Component*
+findInLevel(const Level& level, const std::string& name, long factor,
+            long* instances_out)
+{
+    for (const Component& c : level.local) {
+        if (c.name == name) {
+            if (instances_out)
+                *instances_out = factor;
+            return &c;
+        }
+    }
+    for (const Level& sub : level.subtrees) {
+        const Component* found =
+            findInLevel(sub, name, factor * sub.num, instances_out);
+        if (found)
+            return found;
+    }
+    return nullptr;
+}
+
+void
+collectComponents(const Level& level, long factor,
+                  std::vector<std::pair<const Component*, long>>& out)
+{
+    for (const Component& c : level.local)
+        out.emplace_back(&c, factor);
+    for (const Level& sub : level.subtrees)
+        collectComponents(sub, factor * sub.num, out);
+}
+
+Level
+parseLevel(const yaml::Node& node)
+{
+    Level level;
+    for (const auto& [key, value] : node.mapping()) {
+        if (key == "name") {
+            level.name = value.scalar();
+        } else if (key == "num") {
+            level.num = static_cast<int>(value.asLong());
+            if (level.num <= 0)
+                specError("level '", level.name,
+                          "': num must be positive");
+        } else if (key == "local") {
+            for (const yaml::Node& comp : value.sequence()) {
+                Component c;
+                for (const auto& [ck, cv] : comp.mapping()) {
+                    if (ck == "name") {
+                        c.name = cv.scalar();
+                    } else if (ck == "class") {
+                        c.cls = componentClassFromString(cv.scalar());
+                    } else if (ck == "attributes") {
+                        for (const auto& [ak, av] : cv.mapping())
+                            c.attributes[ak] = av.scalar();
+                    } else {
+                        specError("component '", c.name,
+                                  "': unknown key '", ck, "'");
+                    }
+                }
+                if (c.name.empty())
+                    specError("component without a name in level '",
+                              level.name, "'");
+                level.local.push_back(std::move(c));
+            }
+        } else if (key == "subtree") {
+            for (const yaml::Node& sub : value.sequence())
+                level.subtrees.push_back(parseLevel(sub));
+        } else {
+            specError("level '", level.name, "': unknown key '", key,
+                      "'");
+        }
+    }
+    if (level.name.empty())
+        specError("architecture level missing 'name'");
+    return level;
+}
+
+} // namespace
+
+const Component*
+Topology::findComponent(const std::string& name, long* instances_out) const
+{
+    return findInLevel(root, name, root.num, instances_out);
+}
+
+std::vector<std::pair<const Component*, long>>
+Topology::allComponents() const
+{
+    std::vector<std::pair<const Component*, long>> out;
+    collectComponents(root, root.num, out);
+    return out;
+}
+
+ArchSpec
+ArchSpec::parse(const yaml::Node& node)
+{
+    ArchSpec spec;
+    if (node.isNull())
+        return spec;
+    for (const auto& [name, body] : node.mapping()) {
+        Topology topo;
+        topo.name = name;
+        if (const yaml::Node* clock = body.find("clock"))
+            topo.clock = clock->asDouble();
+        const yaml::Node& subtree = body.at("subtree");
+        const auto& seq = subtree.sequence();
+        if (seq.size() != 1)
+            specError("topology '", name,
+                      "' must have exactly one root level");
+        topo.root = parseLevel(seq[0]);
+        spec.add(std::move(topo));
+    }
+    return spec;
+}
+
+const Topology&
+ArchSpec::topology(const std::string& name) const
+{
+    if (name.empty()) {
+        if (topologies_.size() != 1)
+            specError("architecture has ", topologies_.size(),
+                      " topologies; binding must name one");
+        return topologies_.begin()->second;
+    }
+    const auto it = topologies_.find(name);
+    if (it == topologies_.end())
+        specError("unknown architecture topology '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+ArchSpec::topologyNames() const
+{
+    return order_;
+}
+
+void
+ArchSpec::add(Topology t)
+{
+    if (topologies_.count(t.name))
+        specError("duplicate topology '", t.name, "'");
+    order_.push_back(t.name);
+    topologies_[t.name] = std::move(t);
+}
+
+} // namespace teaal::arch

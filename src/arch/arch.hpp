@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Architecture specification (paper §4.1.2, Figure 5f, Table 3):
+ * the accelerator topology as a tree of levels, each with local
+ * components and replicated subtrees. Component classes and their
+ * attributes follow Table 3:
+ *
+ *   DRAM         bandwidth (GB/s)
+ *   Buffer       type (buffet|cache), width (bits), depth (entries),
+ *                bandwidth (GB/s)
+ *   Intersection type (two-finger|leader-follower|skip-ahead), leader
+ *   Merger       inputs, comparator_radix, outputs, order (fifo|opt),
+ *                reduce (0|1)
+ *   Sequencer    num_ranks
+ *   Compute      type (mul|add)
+ *
+ * An accelerator may reorganize itself between Einsums (OuterSPACE's
+ * multiply vs. merge phases), so a specification can define multiple
+ * named topologies.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "yaml/yaml.hpp"
+
+namespace teaal::arch
+{
+
+/** Component classes of Table 3. */
+enum class ComponentClass
+{
+    DRAM,
+    Buffer,
+    Intersection,
+    Merger,
+    Sequencer,
+    Compute
+};
+
+/** Parse a class name ("DRAM", "Buffer", ...). */
+ComponentClass componentClassFromString(const std::string& s);
+std::string componentClassName(ComponentClass c);
+
+/** One hardware component with free-form, typed-on-access attributes. */
+struct Component
+{
+    std::string name;
+    ComponentClass cls = ComponentClass::Compute;
+    std::map<std::string, std::string> attributes;
+
+    /** Typed attribute access with defaults. */
+    double attrDouble(const std::string& key, double fallback) const;
+    long attrLong(const std::string& key, long fallback) const;
+    std::string attrString(const std::string& key,
+                           const std::string& fallback) const;
+
+    /** Required attribute; SpecError when missing. */
+    double requireDouble(const std::string& key) const;
+};
+
+/** One level of the topology tree. */
+struct Level
+{
+    std::string name;
+    /// Replication factor of this level below its parent (x16 etc.).
+    int num = 1;
+    std::vector<Component> local;
+    std::vector<Level> subtrees;
+};
+
+/** A complete named topology. */
+struct Topology
+{
+    std::string name;
+    /// Clock frequency in Hz (attribute `clock` on the root; 1GHz
+    /// default).
+    double clock = 1e9;
+    Level root;
+
+    /**
+     * Find a component by name anywhere in the tree.
+     * @param instances_out Receives the product of `num` factors on
+     *        the path from the root (how many instances exist).
+     * @return nullptr if not found.
+     */
+    const Component* findComponent(const std::string& name,
+                                   long* instances_out = nullptr) const;
+
+    /** All components, paired with their instance counts. */
+    std::vector<std::pair<const Component*, long>> allComponents() const;
+};
+
+/** The full `architecture:` section: one or more named topologies. */
+class ArchSpec
+{
+  public:
+    ArchSpec() = default;
+
+    static ArchSpec parse(const yaml::Node& node);
+
+    /**
+     * Topology lookup. An empty @p name selects the only topology
+     * (SpecError if ambiguous or absent).
+     */
+    const Topology& topology(const std::string& name = "") const;
+
+    std::vector<std::string> topologyNames() const;
+
+    void add(Topology t);
+
+  private:
+    std::map<std::string, Topology> topologies_;
+    std::vector<std::string> order_;
+};
+
+} // namespace teaal::arch

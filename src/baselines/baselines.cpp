@@ -1,0 +1,165 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace teaal::baselines
+{
+
+SpmspmWork
+countSpmspmWork(const ft::Tensor& a_km, const ft::Tensor& b_kn)
+{
+    TEAAL_ASSERT(a_km.numRanks() == 2 && b_kn.numRanks() == 2,
+                 "SpMSpM expects matrices");
+    SpmspmWork work;
+    work.aNnz = a_km.nnz();
+    work.bNnz = b_kn.nnz();
+
+    // Occupancy of each K fiber on both sides.
+    const ft::Fiber& a_root = *a_km.root();
+    const ft::Fiber& b_root = *b_kn.root();
+    std::size_t ia = 0, ib = 0;
+    // Count multiplies: sum over matching k of |A_k| * |B_k|.
+    while (ia < a_root.size() && ib < b_root.size()) {
+        const ft::Coord ka = a_root.coordAt(ia);
+        const ft::Coord kb = b_root.coordAt(ib);
+        if (ka == kb) {
+            work.mults += a_root.payloadAt(ia).fiber()->size() *
+                          b_root.payloadAt(ib).fiber()->size();
+            ++ia;
+            ++ib;
+        } else if (ka < kb) {
+            ++ia;
+        } else {
+            ++ib;
+        }
+    }
+
+    // Z nnz via a row-wise (Gustavson) sweep with a hash accumulator,
+    // matching gustavsonSpmspm but without storing values.
+    // Swizzle-free: walk A by k and accumulate per-m column sets is
+    // costly; instead reuse gustavsonSpmspm's structure on demand.
+    const ft::Tensor z = gustavsonSpmspm(a_km, b_kn);
+    work.zNnz = z.nnz();
+    return work;
+}
+
+ft::Tensor
+gustavsonSpmspm(const ft::Tensor& a_km, const ft::Tensor& b_kn)
+{
+    const ft::Coord m_shape = a_km.rank(1).shape;
+    const ft::Coord n_shape = b_kn.rank(1).shape;
+    // Gustavson iterates rows of A ([M, K] order); build the M-major
+    // view of A first.
+    std::unordered_map<ft::Coord,
+                       std::vector<std::pair<ft::Coord, double>>>
+        rows_of_a; // m -> (k, value)
+    a_km.forEachLeaf([&](std::span<const ft::Coord> p, double v) {
+        rows_of_a[p[1]].emplace_back(p[0], v);
+    });
+
+    ft::Tensor z("Z", {"M", "N"}, {m_shape, n_shape});
+    const ft::Fiber& b_root = *b_kn.root();
+    std::unordered_map<ft::Coord, double> acc;
+    std::vector<ft::Coord> ms;
+    ms.reserve(rows_of_a.size());
+    for (const auto& [m, row] : rows_of_a)
+        ms.push_back(m);
+    std::sort(ms.begin(), ms.end());
+    for (const ft::Coord m : ms) {
+        acc.clear();
+        for (const auto& [k, va] : rows_of_a[m]) {
+            const auto pos = b_root.find(k);
+            if (!pos)
+                continue;
+            const ft::Fiber& b_row = *b_root.payloadAt(*pos).fiber();
+            for (std::size_t i = 0; i < b_row.size(); ++i) {
+                acc[b_row.coordAt(i)] +=
+                    va * b_row.payloadAt(i).value();
+            }
+        }
+        if (acc.empty())
+            continue;
+        std::vector<std::pair<ft::Coord, ft::Payload>> elems;
+        elems.reserve(acc.size());
+        for (const auto& [n, v] : acc)
+            elems.emplace_back(n, ft::Payload(v));
+        z.root()->getOrInsert(m).setFiber(
+            ft::Fiber::fromUnsorted(std::move(elems), n_shape));
+    }
+    return z;
+}
+
+double
+cpuSpmspmSeconds(const SpmspmWork& work, const CpuConfig& cfg)
+{
+    // Roofline: multiply-adds vs. streaming A once, gathering a B row
+    // element per multiply, and writing Z.
+    const double flops = 2.0 * static_cast<double>(work.mults);
+    const double bytes =
+        12.0 * (static_cast<double>(work.aNnz) +
+                static_cast<double>(work.mults) +
+                2.0 * static_cast<double>(work.zNnz));
+    return std::max(flops / (cfg.effectiveGflops * 1e9),
+                    bytes / (cfg.memGBs * 1e9));
+}
+
+double
+tpuGemmSeconds(ft::Coord m, ft::Coord n, ft::Coord k,
+               const TpuConfig& cfg)
+{
+    // Output-stationary systolic: each MxN macro-tile takes K cycles
+    // (plus drain), and partial tiles still occupy the full array.
+    const double tiles =
+        std::ceil(static_cast<double>(m) / cfg.arrayRows) *
+        std::ceil(static_cast<double>(n) / cfg.arrayCols);
+    const double cycles =
+        tiles * (static_cast<double>(k) +
+                 static_cast<double>(cfg.arrayRows));
+    const double compute_s = cycles / cfg.clock;
+    const double bytes =
+        2.0 * (static_cast<double>(m) * static_cast<double>(k) +
+               static_cast<double>(k) * static_cast<double>(n)) +
+        4.0 * static_cast<double>(m) * static_cast<double>(n);
+    return std::max(compute_s, bytes / (cfg.memGBs * 1e9));
+}
+
+AnalyticalEstimate
+sparseloopExtensor(const accel::ExTensorConfig& cfg, ft::Coord k,
+                   ft::Coord m, ft::Coord n, double density_a,
+                   double density_b)
+{
+    AnalyticalEstimate est;
+    const double dk = static_cast<double>(k);
+    const double dm = static_cast<double>(m);
+    const double dn = static_cast<double>(n);
+
+    // Expected effectual multiplies under independent uniformity.
+    est.mults = dk * dm * dn * density_a * density_b;
+
+    // Expected Z density: a (m, n) pair is nonzero if any of the K
+    // products hits.
+    const double pz = 1.0 - std::pow(1.0 - density_a * density_b, dk);
+    const double z_nnz = dm * dn * pz;
+
+    // Traffic per the ExTensor mapping: A re-read once per N2 tile,
+    // B once per M2 tile, Z partials once per K2 tile (12B/elem).
+    const double n2 = std::ceil(dn / static_cast<double>(cfg.tileN1));
+    const double m2 = std::ceil(dm / static_cast<double>(cfg.tileM1));
+    const double k2 = std::ceil(dk / static_cast<double>(cfg.tileK1));
+    const double a_bytes = dk * dm * density_a * 12.0 * n2;
+    const double b_bytes = dk * dn * density_b * 12.0 * m2;
+    const double z_bytes = z_nnz * 12.0 * (2.0 * k2 - 1.0);
+    est.trafficBytes = a_bytes + b_bytes + z_bytes;
+
+    const double compute_s =
+        est.mults / (static_cast<double>(cfg.pes) * cfg.clock);
+    const double dram_s = est.trafficBytes / (cfg.dramGBs * 1e9);
+    est.seconds = std::max(compute_s, dram_s);
+    return est;
+}
+
+} // namespace teaal::baselines

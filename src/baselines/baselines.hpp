@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Baselines used by the evaluation (paper §6):
+ *
+ *  - Gustavson-algorithm SpMSpM: the functional oracle every
+ *    accelerator model is checked against, and the work counter
+ *    (effectual multiplies, output nnz) feeding the rooflines.
+ *  - An MKL-like CPU roofline: the normalization denominator of
+ *    Figures 10a/10b ("speedup over MKL").
+ *  - A TPU-like systolic roofline: the denominator of Figure 10d.
+ *  - A Sparseloop-like analytical model with uniform (hypergeometric)
+ *    sparsity for ExTensor: the lower-fidelity comparison point of
+ *    Figure 10a. Its error versus the data-driven model on skewed
+ *    matrices reproduces the paper's methodological contrast.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "accelerators/accelerators.hpp"
+#include "fibertree/tensor.hpp"
+
+namespace teaal::baselines
+{
+
+/** Work counts of Z[m,n] = A[k,m] * B[k,n] (SpMSpM). */
+struct SpmspmWork
+{
+    std::size_t mults = 0; ///< effectual multiply ops
+    std::size_t zNnz = 0;
+    std::size_t aNnz = 0;
+    std::size_t bNnz = 0;
+};
+
+/** Count effectual work without materializing Z (fast). */
+SpmspmWork countSpmspmWork(const ft::Tensor& a_km,
+                           const ft::Tensor& b_kn);
+
+/** Reference Gustavson SpMSpM producing Z [M, N]. */
+ft::Tensor gustavsonSpmspm(const ft::Tensor& a_km,
+                           const ft::Tensor& b_kn);
+
+/** MKL-class CPU parameters (effective sparse-kernel rates). */
+struct CpuConfig
+{
+    /// Effective multiply-add throughput on sparse kernels (SpGEMM on
+    /// a server Xeon achieves a small fraction of peak).
+    double effectiveGflops = 0.35;
+    double memGBs = 40.0;
+};
+
+/** Seconds an MKL-like SpMSpM takes for @p work. */
+double cpuSpmspmSeconds(const SpmspmWork& work, const CpuConfig& cfg = {});
+
+/** TPU-like 128x128 systolic array (Figure 10d's baseline). */
+struct TpuConfig
+{
+    double clock = 700e6;
+    int arrayRows = 128;
+    int arrayCols = 128;
+    double memGBs = 700.0;
+};
+
+/**
+ * Seconds a dense M x N x K GEMM takes on the systolic baseline
+ * (dense: it cannot skip zeros; skewed shapes underutilize the array).
+ */
+double tpuGemmSeconds(ft::Coord m, ft::Coord n, ft::Coord k,
+                      const TpuConfig& cfg = {});
+
+/** Sparseloop-style analytical estimate for ExTensor. */
+struct AnalyticalEstimate
+{
+    double seconds = 0;
+    double mults = 0;
+    double trafficBytes = 0;
+};
+
+/**
+ * Analytical ExTensor model assuming uniform (hypergeometric)
+ * sparsity at the given densities — no real-tensor information.
+ */
+AnalyticalEstimate sparseloopExtensor(const accel::ExTensorConfig& cfg,
+                                      ft::Coord k, ft::Coord m,
+                                      ft::Coord n, double density_a,
+                                      double density_b);
+
+} // namespace teaal::baselines

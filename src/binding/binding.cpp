@@ -1,0 +1,121 @@
+#include "binding/binding.hpp"
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::binding
+{
+
+const EinsumBinding BindingSpec::defaultBinding_{};
+
+const ComponentBinding*
+EinsumBinding::findComponent(const std::string& name) const
+{
+    for (const ComponentBinding& c : components) {
+        if (c.component == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+DataType
+parseDataType(const std::string& s)
+{
+    const std::string t = toLower(s);
+    if (t == "coord")
+        return DataType::Coord;
+    if (t == "payload")
+        return DataType::Payload;
+    if (t == "elem")
+        return DataType::Elem;
+    specError("unknown binding data type '", s, "'");
+}
+
+Style
+parseStyle(const std::string& s)
+{
+    const std::string t = toLower(s);
+    if (t == "lazy")
+        return Style::Lazy;
+    if (t == "eager")
+        return Style::Eager;
+    specError("unknown binding style '", s, "'");
+}
+
+ComponentBinding
+parseComponent(const yaml::Node& node)
+{
+    ComponentBinding cb;
+    cb.component = node.at("component").scalar();
+    if (const yaml::Node* bindings = node.find("bindings")) {
+        for (const yaml::Node& b : bindings->sequence()) {
+            if (b.has("op")) {
+                OpBinding op;
+                op.op = toLower(b.at("op").scalar());
+                if (const yaml::Node* t = b.find("tensor"))
+                    op.tensor = t->scalar();
+                cb.ops.push_back(std::move(op));
+                continue;
+            }
+            StorageBinding sb;
+            sb.tensor = b.at("tensor").scalar();
+            if (const yaml::Node* c = b.find("config"))
+                sb.config = c->scalar();
+            if (const yaml::Node* r = b.find("rank"))
+                sb.rank = r->scalar();
+            if (const yaml::Node* t = b.find("type"))
+                sb.type = parseDataType(t->scalar());
+            if (const yaml::Node* s = b.find("style"))
+                sb.style = parseStyle(s->scalar());
+            if (const yaml::Node* e = b.find("evict-on"))
+                sb.evictOn = e->scalar();
+            cb.storage.push_back(std::move(sb));
+        }
+    }
+    return cb;
+}
+
+} // namespace
+
+BindingSpec
+BindingSpec::parse(const yaml::Node& node)
+{
+    BindingSpec spec;
+    if (node.isNull())
+        return spec;
+    for (const auto& [einsum_name, body] : node.mapping()) {
+        EinsumBinding eb;
+        if (const yaml::Node* topo = body.find("config"))
+            eb.topology = topo->scalar();
+        if (const yaml::Node* comps = body.find("components")) {
+            for (const yaml::Node& c : comps->sequence())
+                eb.components.push_back(parseComponent(c));
+        }
+        spec.einsums_[einsum_name] = std::move(eb);
+    }
+    return spec;
+}
+
+const EinsumBinding&
+BindingSpec::einsum(const std::string& output) const
+{
+    const auto it = einsums_.find(output);
+    return it == einsums_.end() ? defaultBinding_ : it->second;
+}
+
+bool
+BindingSpec::hasEinsum(const std::string& output) const
+{
+    return einsums_.count(output) > 0;
+}
+
+void
+BindingSpec::setEinsum(const std::string& output, EinsumBinding b)
+{
+    einsums_[output] = std::move(b);
+}
+
+} // namespace teaal::binding

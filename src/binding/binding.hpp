@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binding specification (paper §4.1.3, Figure 5e): matches the
+ * Einsum- and mapping-induced fibertree operations to concrete
+ * representations and hardware components.
+ *
+ * Per Einsum: which architecture topology runs it; per storage
+ * component: which tensor data resides there (tensor, format config,
+ * rank, element type, lazy/eager style, and — for explicitly managed
+ * buffets — the rank whose change drains the buffer); per compute /
+ * merger / intersection component: which operations it performs.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "yaml/yaml.hpp"
+
+namespace teaal::binding
+{
+
+/** What part of the fiber an access touches. */
+enum class DataType { Coord, Payload, Elem };
+
+/** Lazy = element-at-a-time; eager = whole subtree on first touch. */
+enum class Style { Lazy, Eager };
+
+/** One piece of tensor data resident in a storage component. */
+struct StorageBinding
+{
+    std::string tensor;
+    std::string config;  ///< format configuration name (may be empty)
+    std::string rank;    ///< binding rank within the tensor
+    DataType type = DataType::Elem;
+    Style style = Style::Lazy;
+    /// Buffet drain rank: data is evicted when this loop rank's
+    /// coordinate changes. Empty for caches (replacement-managed).
+    std::string evictOn;
+};
+
+/** One operation bound to a functional component. */
+struct OpBinding
+{
+    /// "mul", "add", "intersect", "merge", "sort", "seq".
+    std::string op;
+    /// Optional tensor the op applies to (e.g. merger sorting T).
+    std::string tensor;
+};
+
+/** Everything bound to one architecture component. */
+struct ComponentBinding
+{
+    std::string component;
+    std::vector<StorageBinding> storage;
+    std::vector<OpBinding> ops;
+};
+
+/** The bindings of one Einsum. */
+struct EinsumBinding
+{
+    /// Architecture topology name (empty = the only one).
+    std::string topology;
+    std::vector<ComponentBinding> components;
+
+    const ComponentBinding* findComponent(const std::string& name) const;
+};
+
+/** The full `binding:` section, keyed by Einsum output tensor. */
+class BindingSpec
+{
+  public:
+    BindingSpec() = default;
+
+    static BindingSpec parse(const yaml::Node& node);
+
+    /** Binding for Einsum @p output; empty default if absent. */
+    const EinsumBinding& einsum(const std::string& output) const;
+
+    bool hasEinsum(const std::string& output) const;
+
+    void setEinsum(const std::string& output, EinsumBinding b);
+
+  private:
+    std::map<std::string, EinsumBinding> einsums_;
+    static const EinsumBinding defaultBinding_;
+};
+
+} // namespace teaal::binding

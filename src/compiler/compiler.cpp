@@ -1,0 +1,182 @@
+#include "compiler/compiler.hpp"
+
+#include <algorithm>
+
+#include "fibertree/transform.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::compiler
+{
+
+Specification
+Specification::parse(const std::string& yaml_text,
+                     const mapping::ParamMap& params)
+{
+    const yaml::Node doc = yaml::parse(yaml_text);
+    Specification spec;
+    spec.einsums = einsum::EinsumSpec::parse(doc.at("einsum"));
+    if (const yaml::Node* m = doc.find("mapping"))
+        spec.mapping = mapping::MappingSpec::parse(*m, params);
+    if (const yaml::Node* f = doc.find("format"))
+        spec.formats = fmt::FormatSpec::parse(*f);
+    if (const yaml::Node* a = doc.find("architecture"))
+        spec.architecture = arch::ArchSpec::parse(*a);
+    if (const yaml::Node* b = doc.find("binding"))
+        spec.bindings = binding::BindingSpec::parse(*b);
+    return spec;
+}
+
+const ft::Tensor&
+SimulationResult::result(const Specification& spec) const
+{
+    const auto it = tensors.find(spec.einsums.resultTensor());
+    TEAAL_ASSERT(it != tensors.end(), "result tensor missing");
+    return it->second;
+}
+
+double
+SimulationResult::totalTrafficBytes() const
+{
+    double total = 0;
+    for (const auto& [tensor, tt] : traffic)
+        total += tt.total();
+    return total;
+}
+
+Simulator::Simulator(Specification spec) : spec_(std::move(spec))
+{
+    // A default single-DRAM topology lets purely functional runs work
+    // without an architecture section.
+    if (spec_.architecture.topologyNames().empty()) {
+        arch::Topology topo;
+        topo.name = "default";
+        topo.root.name = "System";
+        arch::Component dram;
+        dram.name = "MainMemory";
+        dram.cls = arch::ComponentClass::DRAM;
+        dram.attributes["bandwidth"] = "100";
+        topo.root.local.push_back(dram);
+        arch::Component alu;
+        alu.name = "ALU";
+        alu.cls = arch::ComponentClass::Compute;
+        alu.attributes["type"] = "mul";
+        topo.root.local.push_back(alu);
+        spec_.architecture.add(std::move(topo));
+    }
+}
+
+SimulationResult
+Simulator::run(std::map<std::string, ft::Tensor> inputs,
+               exec::Semiring sr)
+{
+    SimulationResult out;
+    const einsum::EinsumSpec& es = spec_.einsums;
+
+    // Check inputs and apply the declared rank-order offline
+    // (§3.2.2: input swizzles are preprocessing and cost nothing).
+    for (const std::string& name : es.inputTensors()) {
+        const auto it = inputs.find(name);
+        if (it == inputs.end())
+            specError("missing input tensor '", name, "'");
+        ft::Tensor t = std::move(it->second);
+        const auto& order = spec_.mapping.rankOrder(name);
+        if (!order.empty() && t.rankIds() != order)
+            t = ft::swizzle(t, order);
+        out.tensors.emplace(name, std::move(t));
+    }
+    inputs.clear();
+
+    // Fused blocks must be known before execution: intermediates that
+    // stay within a block never touch DRAM.
+    out.blocks =
+        model::inferBlocks(es, spec_.mapping, spec_.bindings);
+    std::map<std::size_t, std::size_t> block_of;
+    for (std::size_t b = 0; b < out.blocks.size(); ++b) {
+        for (std::size_t idx : out.blocks[b])
+            block_of[idx] = b;
+    }
+    std::set<std::string> fused_intermediates;
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        const std::string& produced = es.expressions[i].output.name;
+        for (int consumer : es.consumersOf(produced)) {
+            if (block_of[i] ==
+                block_of[static_cast<std::size_t>(consumer)]) {
+                fused_intermediates.insert(produced);
+            }
+        }
+    }
+
+    std::vector<std::string> intermediates;
+
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        const einsum::Expression& expr = es.expressions[i];
+        const binding::EinsumBinding& eb =
+            spec_.bindings.einsum(expr.output.name);
+        const arch::Topology& topo =
+            spec_.architecture.topology(eb.topology);
+
+        ir::EinsumPlan plan = ir::buildPlan(expr, es, spec_.mapping,
+                                            out.tensors, intermediates);
+        logDebug("einsum ", i, ": ", plan.toString());
+
+        // Within a fused block, a tensor streamed by an earlier Einsum
+        // is shared through the pipeline: later Einsums re-use it on
+        // chip instead of re-reading DRAM (e.g. Gamma's A).
+        std::set<std::string> on_chip = fused_intermediates;
+        for (std::size_t j : out.blocks[block_of[i]]) {
+            if (j >= i)
+                break;
+            for (const einsum::TensorRef& in :
+                 es.expressions[j].inputs)
+                on_chip.insert(in.name);
+        }
+        model::ModelObserver observer(plan, topo, eb, spec_.formats,
+                                      on_chip);
+        exec::Executor executor(plan, observer, sr);
+        ft::Tensor produced = executor.run();
+
+        model::EinsumRecord record =
+            observer.finalize(executor.stats());
+        for (const auto& [tensor, tt] : record.traffic) {
+            model::TensorTraffic& agg = out.traffic[tensor];
+            agg.readBytes += tt.readBytes;
+            agg.writeBytes += tt.writeBytes;
+            agg.poBytes += tt.poBytes;
+        }
+        out.records.push_back(std::move(record));
+
+        intermediates.push_back(expr.output.name);
+        out.tensors.insert_or_assign(expr.output.name,
+                                     std::move(produced));
+    }
+
+    out.perf = model::analyze(out.records, spec_.architecture,
+                              out.blocks);
+    for (const model::EinsumRecord& r : out.records) {
+        out.energy += energy::energyOf(
+            r, spec_.architecture.topology(r.topologyName));
+    }
+    return out;
+}
+
+double
+Simulator::algorithmicMinBytes(
+    const std::map<std::string, ft::Tensor>& tensors) const
+{
+    double bits = 0;
+    auto add = [&](const std::string& name) {
+        const auto it = tensors.find(name);
+        if (it == tensors.end())
+            return;
+        bits += static_cast<double>(fmt::tensorBits(
+            spec_.formats.getLenient(name), it->second));
+    };
+    for (const std::string& name : spec_.einsums.inputTensors())
+        add(name);
+    add(spec_.einsums.resultTensor());
+    return bits / 8.0;
+}
+
+} // namespace teaal::compiler

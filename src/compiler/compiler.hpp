@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The TeAAL compiler: parses a full five-part specification (einsum,
+ * mapping, format, architecture, binding — paper Figures 3, 5, 6) and
+ * generates an executable simulator for it.
+ *
+ * This is the public entry point of the library:
+ *
+ *   auto spec = compiler::Specification::parse(yaml_text, params);
+ *   compiler::Simulator sim(std::move(spec));
+ *   auto result = sim.run({{"A", a}, {"B", b}});
+ *   result.perf.totalSeconds; result.traffic["A"].readBytes; ...
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "binding/binding.hpp"
+#include "einsum/parser.hpp"
+#include "energy/energy.hpp"
+#include "exec/executor.hpp"
+#include "format/format.hpp"
+#include "mapping/mapping.hpp"
+#include "model/perf.hpp"
+
+namespace teaal::compiler
+{
+
+/** A complete TeAAL specification. */
+struct Specification
+{
+    einsum::EinsumSpec einsums;
+    mapping::MappingSpec mapping;
+    fmt::FormatSpec formats;
+    arch::ArchSpec architecture;
+    binding::BindingSpec bindings;
+
+    /**
+     * Parse the five top-level sections from one YAML document.
+     * @param params Values for symbolic tile sizes (ExTensor's K1...).
+     */
+    static Specification parse(const std::string& yaml_text,
+                               const mapping::ParamMap& params = {});
+};
+
+/** Everything a simulation produces. */
+struct SimulationResult
+{
+    /// All tensors by name (inputs + produced), declared rank order.
+    std::map<std::string, ft::Tensor> tensors;
+
+    /// Per-Einsum action counts and traffic.
+    std::vector<model::EinsumRecord> records;
+
+    /// Fused-block structure used for the run.
+    std::vector<std::vector<std::size_t>> blocks;
+
+    /// Bottleneck timing.
+    model::CascadePerf perf;
+
+    /// Accelergy-style energy rollup.
+    energy::EnergyBreakdown energy;
+
+    /// DRAM traffic aggregated over the cascade, by tensor.
+    std::map<std::string, model::TensorTraffic> traffic;
+
+    /** The final Einsum's output. */
+    const ft::Tensor& result(const Specification& spec) const;
+
+    /** Total DRAM bytes (reads + writes). */
+    double totalTrafficBytes() const;
+};
+
+/** Generates and runs the model for one specification. */
+class Simulator
+{
+  public:
+    explicit Simulator(Specification spec);
+
+    const Specification& spec() const { return spec_; }
+
+    /**
+     * Execute the cascade on real tensors.
+     * @param inputs One tensor per external input, in declared rank
+     *        order (they are swizzled offline to the mapping's
+     *        rank-order automatically).
+     * @param sr     Operator redefinition for graph algorithms.
+     */
+    SimulationResult run(std::map<std::string, ft::Tensor> inputs,
+                         exec::Semiring sr = exec::Semiring::arithmetic());
+
+    /**
+     * Algorithmic-minimum DRAM traffic: each input read once, the
+     * final result written once (the Figure 9 normalization baseline).
+     */
+    double algorithmicMinBytes(
+        const std::map<std::string, ft::Tensor>& tensors) const;
+
+  private:
+    Specification spec_;
+};
+
+} // namespace teaal::compiler

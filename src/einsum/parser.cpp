@@ -1,0 +1,325 @@
+#include "einsum/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::einsum
+{
+
+namespace
+{
+
+/** Parse "q+s", "k", "q+1", "0" into an IndexExpr. */
+IndexExpr
+parseIndexExpr(const std::string& text, const std::string& context)
+{
+    IndexExpr expr;
+    // Split on +/- keeping signs; only + between vars is meaningful,
+    // constants may be signed.
+    std::string t = trim(text);
+    if (t.empty())
+        specError("empty index expression in ", context);
+    std::size_t i = 0;
+    int sign = 1;
+    while (i < t.size()) {
+        if (t[i] == '+') {
+            sign = 1;
+            ++i;
+            continue;
+        }
+        if (t[i] == '-') {
+            sign = -1;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(t[i]))) {
+            ++i;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(t[i]))) {
+            std::size_t j = i;
+            while (j < t.size() &&
+                   std::isdigit(static_cast<unsigned char>(t[j]))) {
+                ++j;
+            }
+            expr.offset += sign * parseLong(t.substr(i, j - i), context);
+            i = j;
+        } else if (std::isalpha(static_cast<unsigned char>(t[i]))) {
+            if (sign < 0)
+                specError("negative index variable in ", context, ": '",
+                          text, "'");
+            std::size_t j = i;
+            while (j < t.size() &&
+                   (std::isalnum(static_cast<unsigned char>(t[j])) ||
+                    t[j] == '_')) {
+                ++j;
+            }
+            expr.vars.push_back(t.substr(i, j - i));
+            i = j;
+        } else {
+            specError("bad character '", t[i], "' in index expression '",
+                      text, "' (", context, ")");
+        }
+        sign = 1;
+    }
+    return expr;
+}
+
+/** Parse "A[k, m]" or bare "P0" into a TensorRef. */
+TensorRef
+parseTensorRef(const std::string& text, const std::string& context)
+{
+    TensorRef ref;
+    const std::string t = trim(text);
+    const std::size_t lb = t.find('[');
+    if (lb == std::string::npos) {
+        ref.name = t;
+        if (ref.name.empty())
+            specError("empty tensor reference in ", context);
+        return ref;
+    }
+    if (t.back() != ']')
+        specError("unterminated index list in '", text, "' (", context,
+                  ")");
+    ref.name = trim(t.substr(0, lb));
+    const std::string inner = trim(t.substr(lb + 1, t.size() - lb - 2));
+    if (!inner.empty()) {
+        for (const std::string& field : splitTopLevel(inner, ','))
+            ref.indices.push_back(parseIndexExpr(field, context));
+    }
+    if (ref.name.empty())
+        specError("tensor reference missing name in ", context);
+    return ref;
+}
+
+/** Validate a tensor name: identifier starting with a letter. */
+void
+checkName(const std::string& name, const std::string& context)
+{
+    if (name.empty() ||
+        !std::isalpha(static_cast<unsigned char>(name[0])))
+        specError("bad tensor name '", name, "' in ", context);
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            specError("bad tensor name '", name, "' in ", context);
+    }
+}
+
+} // namespace
+
+Expression
+parseExpression(const std::string& text)
+{
+    Expression expr;
+    expr.text = trim(text);
+
+    const std::size_t eq = expr.text.find('=');
+    if (eq == std::string::npos)
+        specError("einsum '", text, "' has no '='");
+    const std::string lhs = trim(expr.text.substr(0, eq));
+    const std::string rhs = trim(expr.text.substr(eq + 1));
+    if (rhs.empty())
+        specError("einsum '", text, "' has empty right-hand side");
+
+    expr.output = parseTensorRef(lhs, "einsum '" + text + "'");
+    checkName(expr.output.name, "einsum '" + text + "'");
+    for (const IndexExpr& ie : expr.output.indices) {
+        if (!ie.isSimpleVar())
+            specError("einsum '", text,
+                      "': output indices must be simple variables");
+    }
+
+    // take(a, b, i)?
+    if (startsWith(rhs, "take(") || startsWith(rhs, "take (")) {
+        const std::size_t open = rhs.find('(');
+        if (rhs.back() != ')')
+            specError("einsum '", text, "': unterminated take()");
+        const std::string inner =
+            rhs.substr(open + 1, rhs.size() - open - 2);
+        const auto args = splitTopLevel(inner, ',');
+        if (args.size() != 3)
+            specError("einsum '", text, "': take() needs 3 arguments");
+        expr.kind = OpKind::Take;
+        expr.inputs.push_back(parseTensorRef(args[0], text));
+        expr.inputs.push_back(parseTensorRef(args[1], text));
+        expr.takeArg = static_cast<int>(parseLong(args[2], text));
+        if (expr.takeArg != 0 && expr.takeArg != 1)
+            specError("einsum '", text, "': take() arg must be 0 or 1");
+        return expr;
+    }
+
+    // Split additive terms at top level (keeping signs).
+    std::vector<std::pair<int, std::string>> terms;
+    {
+        int depth = 0;
+        int sign = 1;
+        std::string current;
+        for (char c : rhs) {
+            if (c == '(' || c == '[')
+                ++depth;
+            else if (c == ')' || c == ']')
+                --depth;
+            if ((c == '+' || c == '-') && depth == 0 &&
+                !trim(current).empty()) {
+                terms.emplace_back(sign, trim(current));
+                sign = c == '-' ? -1 : 1;
+                current.clear();
+            } else {
+                current.push_back(c);
+            }
+        }
+        if (!trim(current).empty())
+            terms.emplace_back(sign, trim(current));
+    }
+    TEAAL_ASSERT(!terms.empty(), "no terms parsed from '", text, "'");
+
+    if (terms.size() > 1) {
+        // Sum/difference of plain references.
+        expr.kind = OpKind::Add;
+        for (const auto& [sign, term] : terms) {
+            if (term.find('*') != std::string::npos)
+                specError("einsum '", text,
+                          "': mixing + and * is not supported");
+            expr.inputs.push_back(parseTensorRef(term, text));
+            expr.signs.push_back(sign);
+        }
+        return expr;
+    }
+
+    // Single term: product or plain copy/reduction.
+    const auto factors = splitTopLevel(terms[0].second, '*');
+    if (factors.size() == 1) {
+        expr.kind = OpKind::Assign;
+        expr.inputs.push_back(parseTensorRef(factors[0], text));
+        return expr;
+    }
+    expr.kind = OpKind::Multiply;
+    for (const std::string& f : factors)
+        expr.inputs.push_back(parseTensorRef(f, text));
+    return expr;
+}
+
+EinsumSpec
+EinsumSpec::parse(const yaml::Node& node)
+{
+    EinsumSpec spec;
+    const yaml::Node& decl = node.at("declaration");
+    for (const auto& [tensor, ranks] : decl.mapping()) {
+        checkName(tensor, "declaration");
+        spec.declaration[tensor] = ranks.scalarList();
+    }
+    for (const yaml::Node& e : node.at("expressions").sequence())
+        spec.expressions.push_back(parseExpression(e.scalar()));
+    spec.validate();
+    return spec;
+}
+
+std::vector<std::string>
+EinsumSpec::producedTensors() const
+{
+    std::vector<std::string> out;
+    for (const Expression& e : expressions)
+        out.push_back(e.output.name);
+    return out;
+}
+
+std::vector<std::string>
+EinsumSpec::inputTensors() const
+{
+    const auto produced = producedTensors();
+    std::vector<std::string> inputs;
+    for (const Expression& e : expressions) {
+        for (const TensorRef& in : e.inputs) {
+            const bool is_produced =
+                std::find(produced.begin(), produced.end(), in.name) !=
+                produced.end();
+            const bool seen =
+                std::find(inputs.begin(), inputs.end(), in.name) !=
+                inputs.end();
+            if (!is_produced && !seen)
+                inputs.push_back(in.name);
+        }
+    }
+    return inputs;
+}
+
+const std::string&
+EinsumSpec::resultTensor() const
+{
+    if (expressions.empty())
+        specError("empty einsum cascade");
+    return expressions.back().output.name;
+}
+
+void
+EinsumSpec::validate() const
+{
+    if (expressions.empty())
+        specError("einsum spec has no expressions");
+    for (const Expression& e : expressions) {
+        auto check_ref = [&](const TensorRef& ref) {
+            const auto it = declaration.find(ref.name);
+            if (it == declaration.end())
+                specError("einsum '", e.text, "': tensor '", ref.name,
+                          "' is not declared");
+            // Whole-tensor references (P1 = P0) skip arity checking.
+            if (!ref.indices.empty() &&
+                ref.indices.size() != it->second.size()) {
+                specError("einsum '", e.text, "': tensor '", ref.name,
+                          "' used with ", ref.indices.size(),
+                          " indices but declared with ",
+                          it->second.size(), " ranks");
+            }
+        };
+        check_ref(e.output);
+        for (const TensorRef& in : e.inputs)
+            check_ref(in);
+        // Each simple index of the output must appear in some input
+        // (otherwise its extent would be unconstrained) unless the
+        // output is dense over that rank -- permitted, the executor
+        // iterates the declared shape.
+    }
+    // Each tensor may be produced at most once except accumulator
+    // updates (GraphDynS writes P0 again); allow re-production but
+    // require it to be declared.
+    for (const Expression& e : expressions) {
+        for (const TensorRef& in : e.inputs) {
+            if (in.name == e.output.name)
+                specError("einsum '", e.text,
+                          "': tensor cannot appear on both sides");
+        }
+    }
+}
+
+int
+EinsumSpec::producerOf(const std::string& tensor) const
+{
+    // The *last* producer wins: re-assignments (P0 updated late in the
+    // GraphDynS cascade) shadow earlier ones for later consumers.
+    int producer = -1;
+    for (std::size_t i = 0; i < expressions.size(); ++i) {
+        if (expressions[i].output.name == tensor)
+            producer = static_cast<int>(i);
+    }
+    return producer;
+}
+
+std::vector<int>
+EinsumSpec::consumersOf(const std::string& tensor) const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < expressions.size(); ++i) {
+        for (const TensorRef& in : expressions[i].inputs) {
+            if (in.name == tensor) {
+                out.push_back(static_cast<int>(i));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace teaal::einsum

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text parser for extended-Einsum expressions and the `einsum:`
+ * section of a TeAAL specification (declaration + expressions).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "einsum/ast.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::einsum
+{
+
+/** Parse one expression, e.g. "Z[m, n] = A[k, m] * B[k, n]". */
+Expression parseExpression(const std::string& text);
+
+/** The `einsum:` section: declarations plus the expression cascade. */
+struct EinsumSpec
+{
+    /// Tensor name -> declared ranks (alphabetical per the paper).
+    std::map<std::string, std::vector<std::string>> declaration;
+
+    /// The cascade, in program order.
+    std::vector<Expression> expressions;
+
+    /** Parse from the `einsum:` YAML node. */
+    static EinsumSpec parse(const yaml::Node& node);
+
+    /** Tensors produced by some expression, in production order. */
+    std::vector<std::string> producedTensors() const;
+
+    /** Tensors never produced (external inputs). */
+    std::vector<std::string> inputTensors() const;
+
+    /** The final expression's output (the kernel result). */
+    const std::string& resultTensor() const;
+
+    /**
+     * Validate arity and rank-name consistency against declarations;
+     * throws SpecError with context on any mismatch.
+     */
+    void validate() const;
+
+    /**
+     * Producer index of @p tensor (position in `expressions`), or -1
+     * for external inputs.
+     */
+    int producerOf(const std::string& tensor) const;
+
+    /** Consumer expression indices of @p tensor. */
+    std::vector<int> consumersOf(const std::string& tensor) const;
+};
+
+} // namespace teaal::einsum

@@ -1,0 +1,67 @@
+#include "energy/energy.hpp"
+
+namespace teaal::energy
+{
+
+EnergyBreakdown&
+EnergyBreakdown::operator+=(const EnergyBreakdown& o)
+{
+    for (const auto& [name, joules] : o.byComponent)
+        byComponent[name] += joules;
+    totalJoules += o.totalJoules;
+    return *this;
+}
+
+EnergyBreakdown
+energyOf(const model::EinsumRecord& record, const arch::Topology& topo,
+         const EnergyTable& table)
+{
+    EnergyBreakdown out;
+    for (const auto& [name, ca] : record.components) {
+        double pj = 0;
+        switch (ca.cls) {
+          case arch::ComponentClass::DRAM:
+            pj = (ca.count("read_bytes") + ca.count("write_bytes")) *
+                 8.0 * table.dramPjPerBit;
+            break;
+          case arch::ComponentClass::Buffer: {
+            const arch::Component* comp = topo.findComponent(name);
+            double capacity_bytes = 0;
+            if (comp) {
+                capacity_bytes = comp->attrDouble("size", 0);
+                if (capacity_bytes == 0) {
+                    capacity_bytes = comp->attrDouble("width", 64) *
+                                     comp->attrDouble("depth", 1024) /
+                                     8.0;
+                }
+            }
+            const double pj_per_bit = capacity_bytes > 256.0 * 1024.0
+                                          ? table.sramLargePjPerBit
+                                          : table.sramSmallPjPerBit;
+            pj = ca.count("access_bytes") * 8.0 * pj_per_bit;
+            break;
+          }
+          case arch::ComponentClass::Compute:
+            pj = ca.count("mul_ops") * table.mulPj +
+                 ca.count("add_ops") * table.addPj;
+            break;
+          case arch::ComponentClass::Merger:
+            pj = ca.count("merge_elems") * table.mergePjPerElem;
+            break;
+          case arch::ComponentClass::Intersection:
+            pj = ca.count("steps") * table.intersectPjPerStep;
+            break;
+          case arch::ComponentClass::Sequencer:
+            pj = (ca.count("steps") + ca.count("swizzle_elems")) *
+                 table.sequencerPjPerStep;
+            break;
+        }
+        if (pj > 0) {
+            out.byComponent[name] += pj * 1e-12;
+            out.totalJoules += pj * 1e-12;
+        }
+    }
+    return out;
+}
+
+} // namespace teaal::energy

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Accelergy-style energy model (paper §4.3, Figure 11): per-action
+ * energy tables translate the component action counts into joules.
+ *
+ * The constants are 45nm-class estimates in the spirit of the
+ * Accelergy plug-in tables; the energy *shape* across workloads (what
+ * Figure 11 validates) depends on the action counts, which come from
+ * executing on real tensors.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arch/arch.hpp"
+#include "model/model.hpp"
+
+namespace teaal::energy
+{
+
+/** Per-action energy constants. */
+struct EnergyTable
+{
+    double dramPjPerBit = 7.0;
+    /// SRAM read/write energy scales with capacity class.
+    double sramSmallPjPerBit = 0.06; ///< <= 256 KiB
+    double sramLargePjPerBit = 0.18; ///< > 256 KiB
+    double mulPj = 3.1;
+    double addPj = 0.9;
+    double mergePjPerElem = 1.2;
+    double intersectPjPerStep = 0.4;
+    double sequencerPjPerStep = 0.08;
+
+    /** The default table used by all benches. */
+    static EnergyTable standard() { return {}; }
+};
+
+/** Energy attribution. */
+struct EnergyBreakdown
+{
+    std::map<std::string, double> byComponent; ///< joules
+    double totalJoules = 0;
+
+    double totalMilliJoules() const { return totalJoules * 1e3; }
+
+    EnergyBreakdown& operator+=(const EnergyBreakdown& o);
+};
+
+/** Energy of one Einsum's action counts. */
+EnergyBreakdown energyOf(const model::EinsumRecord& record,
+                         const arch::Topology& topo,
+                         const EnergyTable& table = EnergyTable::standard());
+
+} // namespace teaal::energy

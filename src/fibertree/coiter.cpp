@@ -1,0 +1,111 @@
+#include "fibertree/coiter.hpp"
+
+namespace teaal::ft
+{
+
+FiberView
+FiberView::whole(const Fiber* f)
+{
+    if (f == nullptr)
+        return {};
+    return {f, 0, f->size()};
+}
+
+FiberView
+FiberView::range(Coord c0, Coord c1) const
+{
+    if (empty())
+        return {};
+    FiberView out;
+    out.fiber = fiber;
+    out.lo = fiber->lowerBound(c0);
+    out.hi = fiber->lowerBound(c1);
+    if (out.lo < lo)
+        out.lo = lo;
+    if (out.hi > hi)
+        out.hi = hi;
+    if (out.lo > out.hi)
+        out.lo = out.hi;
+    return out;
+}
+
+CoIterStats
+intersect2(const FiberView& a, const FiberView& b,
+           const std::function<void(Coord, std::size_t, std::size_t)>& fn)
+{
+    CoIterStats stats;
+    if (a.empty() || b.empty())
+        return stats;
+    std::size_t ia = a.lo;
+    std::size_t ib = b.lo;
+    while (ia < a.hi && ib < b.hi) {
+        const Coord ca = a.coordAt(ia);
+        const Coord cb = b.coordAt(ib);
+        ++stats.steps;
+        if (ca == cb) {
+            ++stats.matches;
+            fn(ca, ia, ib);
+            ++ia;
+            ++ib;
+        } else if (ca < cb) {
+            ++ia;
+        } else {
+            ++ib;
+        }
+    }
+    return stats;
+}
+
+CoIterStats
+unionMerge(const FiberView& a, const FiberView& b,
+           const std::function<void(Coord, std::optional<std::size_t>,
+                                    std::optional<std::size_t>)>& fn)
+{
+    CoIterStats stats;
+    std::size_t ia = a.empty() ? 0 : a.lo;
+    std::size_t ib = b.empty() ? 0 : b.lo;
+    const std::size_t ha = a.empty() ? 0 : a.hi;
+    const std::size_t hb = b.empty() ? 0 : b.hi;
+    while (ia < ha || ib < hb) {
+        ++stats.steps;
+        if (ib >= hb || (ia < ha && a.coordAt(ia) < b.coordAt(ib))) {
+            fn(a.coordAt(ia), ia, std::nullopt);
+            ++ia;
+        } else if (ia >= ha || b.coordAt(ib) < a.coordAt(ia)) {
+            fn(b.coordAt(ib), std::nullopt, ib);
+            ++ib;
+        } else {
+            ++stats.matches;
+            fn(a.coordAt(ia), ia, ib);
+            ++ia;
+            ++ib;
+        }
+    }
+    return stats;
+}
+
+CoIterStats
+leaderFollower(const FiberView& leader, const FiberView& follower,
+               const std::function<void(Coord, std::size_t,
+                                        std::optional<std::size_t>)>& fn)
+{
+    CoIterStats stats;
+    if (leader.empty())
+        return stats;
+    for (std::size_t il = leader.lo; il < leader.hi; ++il) {
+        const Coord c = leader.coordAt(il);
+        ++stats.steps;
+        std::optional<std::size_t> pos;
+        if (!follower.empty()) {
+            const auto found = follower.fiber->find(c);
+            if (found && *found >= follower.lo && *found < follower.hi)
+                pos = *found;
+        }
+        if (pos)
+            ++stats.matches;
+        fn(c, il, pos);
+    }
+    return stats;
+}
+
+} // namespace teaal::ft

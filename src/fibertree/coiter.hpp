@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fiber co-iteration: views, two-finger intersection, and merge-union.
+ *
+ * Intersection realizes the sparsified iteration space of multiplied
+ * operands (paper §2.4); union realizes addition; leader-follower
+ * slicing realizes occupancy partitioning adoption (§3.2.1).
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "fibertree/fiber.hpp"
+
+namespace teaal::ft
+{
+
+/** A contiguous, read-only window [lo, hi) of a fiber's positions. */
+struct FiberView
+{
+    const Fiber* fiber = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+
+    std::size_t size() const { return hi - lo; }
+    bool empty() const { return lo >= hi || fiber == nullptr; }
+
+    Coord coordAt(std::size_t pos) const { return fiber->coordAt(pos); }
+    const Payload&
+    payloadAt(std::size_t pos) const
+    {
+        return fiber->payloadAt(pos);
+    }
+
+    /** View over an entire fiber (empty view if null). */
+    static FiberView whole(const Fiber* f);
+
+    /** Subview restricted to coordinates in [c0, c1). */
+    FiberView range(Coord c0, Coord c1) const;
+};
+
+/** Work counters for co-iteration, fed to the intersection-unit model. */
+struct CoIterStats
+{
+    /// Elements examined (sum of both operands' advances).
+    std::size_t steps = 0;
+    /// Matching coordinates produced.
+    std::size_t matches = 0;
+
+    CoIterStats&
+    operator+=(const CoIterStats& o)
+    {
+        steps += o.steps;
+        matches += o.matches;
+        return *this;
+    }
+};
+
+/**
+ * Two-finger intersection of two views.
+ * @param fn Called as fn(coord, pos_a, pos_b) for every match.
+ */
+CoIterStats intersect2(
+    const FiberView& a, const FiberView& b,
+    const std::function<void(Coord, std::size_t, std::size_t)>& fn);
+
+/**
+ * Merge-union of two views.
+ * @param fn Called as fn(coord, pos_a?, pos_b?) with the positions
+ *           present on each side (at least one is set).
+ */
+CoIterStats unionMerge(
+    const FiberView& a, const FiberView& b,
+    const std::function<void(Coord, std::optional<std::size_t>,
+                             std::optional<std::size_t>)>& fn);
+
+/**
+ * Leader-follower traversal: walk the leader, looking each coordinate
+ * up in the follower (paper's leader-follower intersection).
+ * @param fn Called as fn(coord, pos_leader, pos_follower?) for every
+ *           leader element.
+ */
+CoIterStats leaderFollower(
+    const FiberView& leader, const FiberView& follower,
+    const std::function<void(Coord, std::size_t,
+                             std::optional<std::size_t>)>& fn);
+
+} // namespace teaal::ft

@@ -1,0 +1,120 @@
+#include "fibertree/fiber.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace teaal::ft
+{
+
+bool
+Payload::empty() const
+{
+    if (isValue())
+        return value() == Value{0};
+    const FiberPtr& f = std::get<FiberPtr>(data_);
+    return f == nullptr || f->empty();
+}
+
+std::optional<std::size_t>
+Fiber::find(Coord c) const
+{
+    const auto it = std::lower_bound(coords_.begin(), coords_.end(), c);
+    if (it == coords_.end() || *it != c)
+        return std::nullopt;
+    return static_cast<std::size_t>(it - coords_.begin());
+}
+
+std::size_t
+Fiber::lowerBound(Coord c) const
+{
+    const auto it = std::lower_bound(coords_.begin(), coords_.end(), c);
+    return static_cast<std::size_t>(it - coords_.begin());
+}
+
+void
+Fiber::append(Coord c, Payload p)
+{
+    TEAAL_ASSERT(coords_.empty() || c > coords_.back(),
+                 "append coordinate ", c, " not past fiber end");
+    coords_.push_back(c);
+    payloads_.push_back(std::move(p));
+}
+
+Payload&
+Fiber::getOrInsert(Coord c)
+{
+    if (coords_.empty() || c > coords_.back()) {
+        coords_.push_back(c);
+        payloads_.emplace_back();
+        return payloads_.back();
+    }
+    const std::size_t pos = lowerBound(c);
+    if (pos < coords_.size() && coords_[pos] == c)
+        return payloads_[pos];
+    coords_.insert(coords_.begin() + static_cast<std::ptrdiff_t>(pos), c);
+    payloads_.insert(payloads_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     Payload());
+    return payloads_[pos];
+}
+
+std::size_t
+Fiber::leafCount() const
+{
+    std::size_t total = 0;
+    for (const Payload& p : payloads_) {
+        if (p.isValue())
+            ++total;
+        else if (p.fiber() != nullptr)
+            total += p.fiber()->leafCount();
+    }
+    return total;
+}
+
+void
+Fiber::elementCountsByDepth(std::vector<std::size_t>& counts,
+                            std::size_t depth) const
+{
+    if (counts.size() <= depth)
+        counts.resize(depth + 1, 0);
+    counts[depth] += size();
+    for (const Payload& p : payloads_) {
+        if (p.isFiber() && p.fiber() != nullptr)
+            p.fiber()->elementCountsByDepth(counts, depth + 1);
+    }
+}
+
+FiberPtr
+Fiber::clone() const
+{
+    auto copy = std::make_shared<Fiber>(shape_);
+    copy->coords_ = coords_;
+    copy->payloads_.reserve(payloads_.size());
+    for (const Payload& p : payloads_) {
+        if (p.isValue()) {
+            copy->payloads_.emplace_back(p.value());
+        } else {
+            copy->payloads_.emplace_back(
+                p.fiber() ? p.fiber()->clone() : FiberPtr());
+        }
+    }
+    return copy;
+}
+
+FiberPtr
+Fiber::fromUnsorted(std::vector<std::pair<Coord, Payload>> elems,
+                    Coord shape)
+{
+    std::sort(elems.begin(), elems.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    auto fiber = std::make_shared<Fiber>(shape);
+    for (auto& [c, p] : elems) {
+        if (!fiber->empty() && fiber->coords_.back() == c)
+            modelError("fromUnsorted: duplicate coordinate ", c);
+        fiber->coords_.push_back(c);
+        fiber->payloads_.push_back(std::move(p));
+    }
+    return fiber;
+}
+
+} // namespace teaal::ft

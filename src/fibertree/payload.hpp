@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Payload: the value side of a fiber's coordinate/payload pair.
+ *
+ * A payload is a scalar value at a leaf level or a reference to a fiber
+ * at an interior level (paper Section 2.1).
+ */
+#pragma once
+
+#include <variant>
+
+#include "fibertree/types.hpp"
+#include "util/error.hpp"
+
+namespace teaal::ft
+{
+
+class Fiber;
+
+/** Tagged scalar-or-fiber payload. */
+class Payload
+{
+  public:
+    /** Default: the scalar zero (an empty payload). */
+    Payload() : data_(Value{0}) {}
+
+    explicit Payload(Value v) : data_(v) {}
+    explicit Payload(FiberPtr f) : data_(std::move(f)) {}
+
+    bool isValue() const { return std::holds_alternative<Value>(data_); }
+    bool isFiber() const { return !isValue(); }
+
+    /** Scalar access; throws ModelError when holding a fiber. */
+    Value
+    value() const
+    {
+        if (!isValue())
+            modelError("payload holds a fiber, not a value");
+        return std::get<Value>(data_);
+    }
+
+    /** Fiber access; throws ModelError when holding a scalar. */
+    const FiberPtr&
+    fiber() const
+    {
+        if (!isFiber())
+            modelError("payload holds a value, not a fiber");
+        return std::get<FiberPtr>(data_);
+    }
+
+    /** In-place scalar mutation (for reductions). */
+    void
+    setValue(Value v)
+    {
+        data_ = v;
+    }
+
+    void
+    setFiber(FiberPtr f)
+    {
+        data_ = std::move(f);
+    }
+
+    /** True for the scalar 0 or a null/empty fiber. */
+    bool empty() const;
+
+  private:
+    std::variant<Value, FiberPtr> data_;
+};
+
+} // namespace teaal::ft

@@ -1,0 +1,195 @@
+#include "fibertree/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace teaal::ft
+{
+
+Tensor::Tensor(std::string name, std::vector<RankInfo> ranks)
+    : name_(std::move(name)), ranks_(std::move(ranks))
+{
+    TEAAL_ASSERT(!ranks_.empty(), "tensor '", name_, "' needs >= 1 rank");
+    root_ = std::make_shared<Fiber>(ranks_[0].shape);
+}
+
+Tensor::Tensor(std::string name, const std::vector<std::string>& rank_ids,
+               const std::vector<Coord>& shape)
+    : Tensor(std::move(name),
+             [&] {
+                 TEAAL_ASSERT(rank_ids.size() == shape.size(),
+                              "rank ids / shape length mismatch");
+                 std::vector<RankInfo> ranks;
+                 for (std::size_t i = 0; i < rank_ids.size(); ++i)
+                     ranks.push_back({rank_ids[i], shape[i], {}, {}});
+                 return ranks;
+             }())
+{
+}
+
+std::vector<std::string>
+Tensor::rankIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(ranks_.size());
+    for (const RankInfo& r : ranks_)
+        ids.push_back(r.id);
+    return ids;
+}
+
+int
+Tensor::rankLevel(const std::string& id) const
+{
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+        if (ranks_[i].id == id)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Value
+Tensor::at(std::span<const Coord> point) const
+{
+    TEAAL_ASSERT(point.size() == ranks_.size(), "tensor '", name_,
+                 "': point arity ", point.size(), " != rank count ",
+                 ranks_.size());
+    const Fiber* fiber = root_.get();
+    for (std::size_t level = 0; level < point.size(); ++level) {
+        if (fiber == nullptr)
+            return 0;
+        const auto pos = fiber->find(point[level]);
+        if (!pos)
+            return 0;
+        const Payload& p = fiber->payloadAt(*pos);
+        if (level + 1 == point.size())
+            return p.value();
+        fiber = p.fiber().get();
+    }
+    return 0;
+}
+
+void
+Tensor::set(std::span<const Coord> point, Value v)
+{
+    TEAAL_ASSERT(point.size() == ranks_.size(), "tensor '", name_,
+                 "': point arity mismatch in set()");
+    Fiber* fiber = root_.get();
+    for (std::size_t level = 0; level + 1 < point.size(); ++level) {
+        Payload& p = fiber->getOrInsert(point[level]);
+        if (!p.isFiber() || p.fiber() == nullptr)
+            p.setFiber(std::make_shared<Fiber>(ranks_[level + 1].shape));
+        fiber = p.fiber().get();
+    }
+    fiber->getOrInsert(point.back()).setValue(v);
+}
+
+namespace
+{
+
+void
+forEachLeafImpl(const Fiber& fiber, std::vector<Coord>& point,
+                const std::function<void(std::span<const Coord>, Value)>& fn)
+{
+    for (std::size_t pos = 0; pos < fiber.size(); ++pos) {
+        point.push_back(fiber.coordAt(pos));
+        const Payload& p = fiber.payloadAt(pos);
+        if (p.isValue()) {
+            fn(point, p.value());
+        } else if (p.fiber() != nullptr) {
+            forEachLeafImpl(*p.fiber(), point, fn);
+        }
+        point.pop_back();
+    }
+}
+
+} // namespace
+
+void
+Tensor::forEachLeaf(
+    const std::function<void(std::span<const Coord>, Value)>& fn) const
+{
+    if (root_ == nullptr)
+        return;
+    std::vector<Coord> point;
+    point.reserve(ranks_.size());
+    forEachLeafImpl(*root_, point, fn);
+}
+
+bool
+Tensor::equals(const Tensor& other, double tol) const
+{
+    if (numRanks() != other.numRanks())
+        return false;
+    // Collect both leaf sets; equality requires the same nonzero
+    // support and matching values. Zero-valued leaves are treated as
+    // absent to keep equality representation-independent.
+    std::vector<std::pair<std::vector<Coord>, Value>> mine, theirs;
+    forEachLeaf([&](std::span<const Coord> p, Value v) {
+        if (v != 0)
+            mine.emplace_back(std::vector<Coord>(p.begin(), p.end()), v);
+    });
+    other.forEachLeaf([&](std::span<const Coord> p, Value v) {
+        if (v != 0)
+            theirs.emplace_back(std::vector<Coord>(p.begin(), p.end()), v);
+    });
+    if (mine.size() != theirs.size())
+        return false;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+        if (mine[i].first != theirs[i].first)
+            return false;
+        if (std::abs(mine[i].second - theirs[i].second) > tol)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Tensor::toString(std::size_t max_elems) const
+{
+    std::ostringstream oss;
+    oss << name_ << "[";
+    for (std::size_t i = 0; i < ranks_.size(); ++i)
+        oss << (i ? ", " : "") << ranks_[i].id;
+    oss << "] nnz=" << nnz() << " {";
+    std::size_t shown = 0;
+    bool truncated = false;
+    forEachLeaf([&](std::span<const Coord> p, Value v) {
+        if (shown >= max_elems) {
+            truncated = true;
+            return;
+        }
+        oss << (shown ? ", " : "") << "(";
+        for (std::size_t i = 0; i < p.size(); ++i)
+            oss << (i ? "," : "") << p[i];
+        oss << ")=" << v;
+        ++shown;
+    });
+    if (truncated)
+        oss << ", ...";
+    oss << "}";
+    return oss.str();
+}
+
+Tensor
+Tensor::fromCoo(std::string name, const std::vector<std::string>& rank_ids,
+                const std::vector<Coord>& shape,
+                const std::vector<std::pair<std::vector<Coord>, Value>>&
+                    elems)
+{
+    Tensor t(std::move(name), rank_ids, shape);
+    for (const auto& [point, value] : elems)
+        t.set(point, value);
+    return t;
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor copy(name_, ranks_);
+    copy.root_ = root_ ? root_->clone() : nullptr;
+    return copy;
+}
+
+} // namespace teaal::ft

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tensor: a named fibertree — an ordered list of ranks plus a root
+ * fiber (paper §2.1). Handles dense and sparse contents uniformly.
+ */
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fibertree/fiber.hpp"
+#include "fibertree/types.hpp"
+
+namespace teaal::ft
+{
+
+class Tensor
+{
+  public:
+    /** Default: a placeholder 1-rank scalar holder (for containers). */
+    Tensor() : Tensor("_empty", std::vector<RankInfo>{{"_", 1, {}, {}}})
+    {
+    }
+
+    /** An empty tensor over the given ranks (rank order = list order). */
+    Tensor(std::string name, std::vector<RankInfo> ranks);
+
+    /** Convenience: plain ranks from parallel id/shape lists. */
+    Tensor(std::string name, const std::vector<std::string>& rank_ids,
+           const std::vector<Coord>& shape);
+
+    const std::string& name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    std::size_t numRanks() const { return ranks_.size(); }
+    const RankInfo& rank(std::size_t level) const { return ranks_[level]; }
+    RankInfo& rank(std::size_t level) { return ranks_[level]; }
+    const std::vector<RankInfo>& ranks() const { return ranks_; }
+
+    /** Rank ids top-to-bottom (the rank order). */
+    std::vector<std::string> rankIds() const;
+
+    /** Level of rank @p id, or -1 if the tensor lacks it. */
+    int rankLevel(const std::string& id) const;
+
+    const FiberPtr& root() const { return root_; }
+    FiberPtr& root() { return root_; }
+
+    /** Number of stored scalar leaves. */
+    std::size_t nnz() const { return root_ ? root_->leafCount() : 0; }
+
+    /**
+     * Value at a full point; absent coordinates yield 0 (fibertrees
+     * omit empty payloads).
+     */
+    Value at(std::span<const Coord> point) const;
+
+    /** Insert/overwrite the value at a full point. */
+    void set(std::span<const Coord> point, Value v);
+
+    /** Visit every stored leaf as (point, value), concordantly. */
+    void forEachLeaf(
+        const std::function<void(std::span<const Coord>, Value)>& fn) const;
+
+    /** Structural + value equality within @p tol (ignores names). */
+    bool equals(const Tensor& other, double tol = 1e-9) const;
+
+    /** Human-readable dump, truncated to @p max_elems leaves. */
+    std::string toString(std::size_t max_elems = 32) const;
+
+    /** Build from (point, value) tuples (any order, unique points). */
+    static Tensor fromCoo(
+        std::string name, const std::vector<std::string>& rank_ids,
+        const std::vector<Coord>& shape,
+        const std::vector<std::pair<std::vector<Coord>, Value>>& elems);
+
+    /** Deep copy (fibers are cloned, not shared). */
+    Tensor clone() const;
+
+  private:
+    std::string name_;
+    std::vector<RankInfo> ranks_;
+    FiberPtr root_;
+};
+
+} // namespace teaal::ft

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental types for the fibertree abstraction (Sze et al., used by
+ * the TeAAL paper Section 2.1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace teaal::ft
+{
+
+/** A coordinate within one rank. Flattened ranks pack tuples. */
+using Coord = std::int64_t;
+
+/** Scalar payload value at the leaves. */
+using Value = double;
+
+class Fiber;
+using FiberPtr = std::shared_ptr<Fiber>;
+
+/**
+ * Static description of one rank (level) of a fibertree.
+ *
+ * A flattened rank (e.g. `KM` produced by `flatten()` on `(K, M)`)
+ * records the constituent rank ids and shapes; its packed coordinate is
+ * `upper * lowerShape + lower`, which preserves lexicographic tuple
+ * order (paper Figure 2).
+ */
+struct RankInfo
+{
+    /// Rank identifier, e.g. "K", "KM", "K1".
+    std::string id;
+
+    /// Coordinate-space size: coords lie in [0, shape).
+    Coord shape = 0;
+
+    /// Non-empty iff this rank was produced by flattening.
+    std::vector<std::string> flatIds;
+    std::vector<Coord> flatShapes;
+
+    bool isFlattened() const { return !flatIds.empty(); }
+};
+
+} // namespace teaal::ft

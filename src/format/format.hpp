@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Concrete-representation (format) specification and footprint model
+ * (paper §4.1.1, Figure 5b).
+ *
+ * Each tensor may have several named format configurations (the
+ * fibertree may change representation as it is manipulated). Each rank
+ * of a configuration declares:
+ *   - format type: U (uncompressed), C (compressed), or B (uncompressed
+ *     coordinates + compressed payloads, e.g. SIGMA's bitmap),
+ *   - layout: contiguous (struct-of-arrays) or interleaved
+ *     (array-of-structs, e.g. OuterSPACE's linked lists),
+ *   - data widths: cbits (coordinates), pbits (payloads), fhbits
+ *     (fiber headers, e.g. linked-list pointers).
+ *
+ * Unspecified widths default per format type at query time: implicit
+ * coordinates of a U fiber cost 0 bits, compressed coordinates default
+ * to 32, leaf payloads default to 64, and interior payloads (fiber
+ * references) to 32.
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fibertree/tensor.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::fmt
+{
+
+/** Format of all fibers in one rank. */
+struct RankFormat
+{
+    enum class Type { U, C, B };
+    enum class Layout { Contiguous, Interleaved };
+
+    Type type = Type::C;
+    Layout layout = Layout::Contiguous;
+    std::optional<int> cbits;
+    std::optional<int> pbits;
+    std::optional<int> fhbits;
+
+    /** Resolved coordinate width given defaults. */
+    int coordBits() const;
+    /** Resolved payload width; leaves default wider than references. */
+    int payloadBits(bool is_leaf) const;
+    /** Resolved fiber-header width. */
+    int headerBits() const;
+};
+
+/** One named configuration of one tensor. */
+struct TensorFormat
+{
+    std::string config;
+    /// Rank order of the stored representation (defaults to mapping's).
+    std::vector<std::string> rankOrder;
+    std::map<std::string, RankFormat> ranks;
+
+    /**
+     * Format of @p rank_id with partitioning-aware fallback: an exact
+     * match wins; otherwise trailing digits are stripped (K0 -> K), so
+     * partitioned ranks inherit the base rank's format.
+     */
+    const RankFormat& rankFormat(const std::string& rank_id) const;
+};
+
+/** All formats of all tensors: format -> tensor -> config. */
+class FormatSpec
+{
+  public:
+    FormatSpec() = default;
+
+    /** Parse the `format:` section of a TeAAL specification. */
+    static FormatSpec parse(const yaml::Node& node);
+
+    bool hasTensor(const std::string& tensor) const;
+
+    /**
+     * Configuration lookup. An empty @p config selects the tensor's
+     * only configuration (error if ambiguous). Missing tensors get a
+     * default all-compressed format.
+     */
+    const TensorFormat& get(const std::string& tensor,
+                            const std::string& config = "") const;
+
+    /**
+     * Like get(), but an ambiguous lookup returns the first declared
+     * configuration instead of throwing (used for default routing of
+     * tensors whose binding does not name a config).
+     */
+    const TensorFormat& getLenient(const std::string& tensor) const;
+
+    /** Register a configuration programmatically. */
+    void add(const std::string& tensor, TensorFormat format);
+
+  private:
+    std::map<std::string, std::map<std::string, TensorFormat>> tensors_;
+    mutable std::map<std::string, TensorFormat> defaults_;
+};
+
+/**
+ * Footprint model: bits occupied by one fiber of @p occupancy elements
+ * at a rank with @p shape legal coordinates.
+ *
+ * @param span The coordinate extent the fiber actually stores
+ *        (last - first + 1). Uncompressed (U/B) structures are sized
+ *        by min(shape, span): a shape-partitioned tile's uncompressed
+ *        payload array covers the tile range, not the whole rank.
+ *        Pass shape when unknown.
+ */
+std::uint64_t fiberBits(const RankFormat& fmt, std::size_t occupancy,
+                        ft::Coord shape, bool is_leaf,
+                        ft::Coord span = -1);
+
+/** Total footprint in bits of a tensor in configuration @p format. */
+std::uint64_t tensorBits(const TensorFormat& format, const ft::Tensor& t);
+
+/**
+ * Footprint in bits of the subtree hanging below one payload of the
+ * fiber at @p level (used for eager-binding loads). For a leaf payload
+ * this is just the leaf's payload width.
+ */
+std::uint64_t subtreeBits(const TensorFormat& format,
+                          const std::vector<std::string>& rank_ids,
+                          const ft::Payload& payload, std::size_t level);
+
+} // namespace teaal::fmt

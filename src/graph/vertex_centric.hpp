@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Vertex-centric programming substrate (paper §8, Figure 12).
+ *
+ * A graph algorithm is expressed as per-iteration cascades: the
+ * processing phase selects the edges of active vertices (take), reduces
+ * incoming messages into R (with algorithm-specific x and + operators),
+ * and the apply phase updates the property vector and the next active
+ * set. BFS redefines (x, +) to (select, or); SSSP to (add, min).
+ *
+ * runVertexCentric executes the functional cascade and records the
+ * per-iteration facts the three hardware designs of Figure 13 differ
+ * on; modelDesign turns those facts into time/ops/traffic under the
+ * Graphicionado hardware parameters (Table 5):
+ *
+ *   Graphicionado  applies to every vertex every iteration; edge-list
+ *                  format re-reads source ids and always loads weights.
+ *   GraphDynS-like 256-partition bitmap over the reduced set: only
+ *                  partitions containing updates are applied; CSR
+ *                  format drops per-edge source ids and (for BFS)
+ *                  weights.
+ *   Our proposal   no partitioning: apply exactly the vertices in R
+ *                  (the paper's point change to the mapping).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/datasets.hpp"
+
+namespace teaal::graph
+{
+
+enum class Algorithm { BFS, SSSP };
+
+/** Facts recorded about one iteration of the cascade. */
+struct IterationStats
+{
+    std::size_t active = 0;       ///< |A0| source vertices
+    std::size_t edgesTouched = 0; ///< edges leaving the active set
+    std::size_t reduced = 0;      ///< |R| destinations receiving messages
+    std::size_t updated = 0;      ///< |M| properties actually improved
+    std::size_t partitionsTouched = 0; ///< 256-way bitmap cover of R
+};
+
+/** Whole-run record. */
+struct RunStats
+{
+    std::vector<IterationStats> iterations;
+    std::size_t vertices = 0;
+    std::size_t edges = 0;
+
+    std::size_t totalEdgesTouched() const;
+};
+
+/**
+ * Execute the algorithm functionally from @p source.
+ * @param partitions Bitmap granularity used by the GraphDynS model.
+ */
+RunStats runVertexCentric(const workloads::Graph& g, Algorithm alg,
+                          ft::Coord source = 0,
+                          std::size_t max_iterations = 10000,
+                          std::size_t partitions = 256);
+
+/** The three designs compared in Figure 13. */
+enum class Design { Graphicionado, GraphDynSLike, Proposal };
+
+std::string designName(Design d);
+
+/** Table 5 Graphicionado hardware parameters. */
+struct GraphConfig
+{
+    double clock = 1e9;
+    int streams = 8;
+    double memGBs = 68.0;
+};
+
+/** Modeled cost of a run on one design. */
+struct DesignCost
+{
+    double seconds = 0;
+    double applyOps = 0;
+    double trafficBytes = 0;
+    std::vector<double> applyOpsPerIteration;
+};
+
+DesignCost modelDesign(const RunStats& run, Design design, Algorithm alg,
+                       const GraphConfig& cfg = {});
+
+/**
+ * The Einsum cascades of Figure 12 as einsum-spec YAML (used by the
+ * Table 2 printer, the examples, and the executor-level tests that
+ * show the cascades run on the generic fibertree machinery).
+ */
+std::string graphicionadoCascadeYaml();
+std::string graphDynSCascadeYaml();
+
+} // namespace teaal::graph

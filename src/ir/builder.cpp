@@ -1,0 +1,789 @@
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "ir/plan.hpp"
+
+#include "fibertree/transform.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::ir
+{
+
+namespace
+{
+
+using einsum::IndexExpr;
+using einsum::TensorRef;
+using mapping::PartitionDirective;
+using mapping::RankPartitioning;
+
+/** Strip trailing digits: K0 -> K, KM2 -> KM, MK01 -> MK0. */
+std::string
+baseOfDerived(const std::string& rank)
+{
+    std::string base = rank;
+    while (!base.empty() &&
+           std::isdigit(static_cast<unsigned char>(base.back()))) {
+        base.pop_back();
+    }
+    return base;
+}
+
+/** Analysis of one partitioning group. */
+struct GroupInfo
+{
+    const RankPartitioning* group = nullptr;
+    std::string base;                  // rank the splits apply to
+    std::vector<std::string> results;  // derived rank names, top-down
+    std::vector<const PartitionDirective*> splits; // non-flatten
+    bool hasFlatten = false;
+    bool occupancy = false; // at least one occupancy split
+    std::string leader;     // occupancy leader tensor
+};
+
+std::vector<GroupInfo>
+analyzeGroups(const mapping::EinsumMapping& em)
+{
+    std::vector<GroupInfo> out;
+    for (const RankPartitioning& g : em.partitioning) {
+        GroupInfo info;
+        info.group = &g;
+        info.base = g.baseRank();
+        info.results = g.resultRanks();
+        for (const PartitionDirective& d : g.directives) {
+            if (d.kind == PartitionDirective::Kind::Flatten) {
+                info.hasFlatten = true;
+            } else {
+                info.splits.push_back(&d);
+                if (d.kind == PartitionDirective::Kind::UniformOccupancy) {
+                    info.occupancy = true;
+                    if (!info.leader.empty() && info.leader != d.leader)
+                        specError("partitioning of '", info.base,
+                                  "': conflicting leaders '", info.leader,
+                                  "' and '", d.leader, "'");
+                    info.leader = d.leader;
+                }
+            }
+        }
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+/** Declared-rank position of @p rank_id in @p decl (SpecError if absent). */
+std::size_t
+declPosition(const std::vector<std::string>& decl,
+             const std::string& rank_id, const std::string& tensor)
+{
+    for (std::size_t i = 0; i < decl.size(); ++i) {
+        if (decl[i] == rank_id)
+            return i;
+    }
+    specError("tensor '", tensor, "' has no declared rank '", rank_id,
+              "'");
+}
+
+/**
+ * Apply the split directives of @p info to @p t (rank @p info.base),
+ * producing ranks named info.results top-down.
+ */
+ft::Tensor
+applySplits(ft::Tensor t, const GroupInfo& info)
+{
+    const std::size_t k = info.splits.size();
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::string upper = info.results[i];
+        const std::string lower =
+            i + 1 == k ? info.results[k] : info.base;
+        const PartitionDirective& d = *info.splits[i];
+        if (d.kind == PartitionDirective::Kind::UniformShape) {
+            t = ft::splitRankByShape(t, info.base, d.tile, upper, lower);
+        } else {
+            t = ft::splitRankByOccupancy(t, info.base, d.chunk, upper,
+                                         lower);
+        }
+        if (i + 1 < k) {
+            // The next split applies to the lower part, still named
+            // info.base; adjust in-place by renaming is unnecessary
+            // because we kept the base name for the lower rank.
+        }
+    }
+    return t;
+}
+
+/**
+ * Swizzle @p t so the ranks named in @p components are adjacent, in
+ * order, at the position of their first occurrence; other ranks keep
+ * their relative order. Needed before flattening.
+ */
+ft::Tensor
+makeAdjacent(ft::Tensor t, const std::vector<std::string>& components)
+{
+    const auto ids = t.rankIds();
+    std::size_t first = ids.size();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (std::find(components.begin(), components.end(), ids[i]) !=
+            components.end()) {
+            first = std::min(first, i);
+        }
+    }
+    std::vector<std::string> target;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i == first) {
+            for (const std::string& c : components)
+                target.push_back(c);
+        }
+        if (std::find(components.begin(), components.end(), ids[i]) ==
+            components.end()) {
+            target.push_back(ids[i]);
+        }
+    }
+    if (target == ids)
+        return t;
+    return ft::swizzle(t, target);
+}
+
+/** Find a loop index by rank name; -1 if absent. */
+int
+loopIndexOf(const std::vector<std::string>& loop_order,
+            const std::string& rank)
+{
+    for (std::size_t i = 0; i < loop_order.size(); ++i) {
+        if (loop_order[i] == rank)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace
+
+std::string
+EinsumPlan::toString() const
+{
+    std::ostringstream oss;
+    oss << "plan for: " << expr.toString() << "\n";
+    oss << "  loops:";
+    for (const LoopRank& l : loops) {
+        oss << " " << l.name;
+        if (l.isSpace)
+            oss << "(space)";
+        if (l.isUpperPartition)
+            oss << "(range)";
+    }
+    oss << "\n";
+    for (const TensorPlan& tp : inputs) {
+        oss << "  " << tp.name << " [" << join(tp.prepared.rankIds(), ", ")
+            << "]";
+        if (tp.swizzled)
+            oss << (tp.swizzleOnline ? " online-swizzle" : " swizzled");
+        oss << ":";
+        for (const LevelAction& a : tp.actions) {
+            const char* mode = a.mode == LevelAction::Mode::CoIterate
+                                   ? "co"
+                                   : (a.mode == LevelAction::Mode::Slice
+                                          ? "slice"
+                                          : "lookup");
+            oss << " L" << a.loopIndex << ":" << mode << "@" << a.level;
+        }
+        oss << "\n";
+    }
+    oss << "  output " << output.name << " produces ["
+        << join(output.productionOrder, ", ") << "] stored ["
+        << join(output.declaredOrder, ", ") << "]"
+        << (output.needsReorder ? " (reorder)" : "") << "\n";
+    return oss.str();
+}
+
+EinsumPlan
+buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
+          const mapping::MappingSpec& map,
+          const std::map<std::string, ft::Tensor>& tensors,
+          const std::vector<std::string>& intermediates)
+{
+    EinsumPlan plan;
+    plan.expr = expr;
+    plan.unionCombine = expr.kind == einsum::OpKind::Add;
+
+    // Whole-tensor copy: P1 = P0.
+    if (expr.kind == einsum::OpKind::Assign && expr.output.indices.empty()) {
+        plan.wholeTensorCopy = true;
+        TensorPlan tp;
+        tp.name = expr.inputs[0].name;
+        tp.exprInput = 0;
+        const auto it = tensors.find(tp.name);
+        if (it == tensors.end())
+            specError("einsum '", expr.text, "': tensor '", tp.name,
+                      "' has no data");
+        tp.prepared = it->second.clone();
+        plan.inputs.push_back(std::move(tp));
+        plan.output.name = expr.output.name;
+        return plan;
+    }
+
+    const mapping::EinsumMapping& em = map.einsum(expr.output.name);
+    const std::vector<GroupInfo> groups = analyzeGroups(em);
+
+    // ---------------------------------------------------- rank shapes
+    // Shape of each base rank, taken from every live declared tensor
+    // (a rank's shape may only be discoverable from a tensor used by
+    // a *different* Einsum of the cascade, e.g. Toeplitz S from F).
+    std::map<std::string, ft::Coord> rank_shape;
+    for (const auto& [name, tensor] : tensors) {
+        const auto decl_it = spec.declaration.find(name);
+        if (decl_it == spec.declaration.end())
+            continue;
+        const auto& decl = decl_it->second;
+        for (std::size_t lvl = 0; lvl < tensor.numRanks(); ++lvl) {
+            const ft::RankInfo& ri = tensor.rank(lvl);
+            if (std::find(decl.begin(), decl.end(), ri.id) != decl.end())
+                rank_shape[ri.id] =
+                    std::max(rank_shape[ri.id], ri.shape);
+        }
+    }
+
+    // Shape of each iteration variable's rank. The visiting set guards
+    // against mutually-underconstrained affine shapes (T[q,s]=I[q+s]
+    // with neither Q nor S known elsewhere).
+    std::set<std::string> shape_visiting;
+    std::function<ft::Coord(const std::string&)> var_shape =
+        [&](const std::string& var) -> ft::Coord {
+        if (!shape_visiting.insert(var).second)
+            specError("einsum '", expr.text, "': the shapes of '", var,
+                      "' and its affine partners are underconstrained");
+        struct Eraser
+        {
+            std::set<std::string>& set;
+            const std::string& var;
+            ~Eraser() { set.erase(var); }
+        } eraser{shape_visiting, var};
+        std::string rank = einsum::rankOfVar(var);
+        auto it = rank_shape.find(rank);
+        if (it != rank_shape.end())
+            return it->second;
+        // Derived ranks (K0) inherit the base rank's shape.
+        while (!rank.empty() &&
+               std::isdigit(static_cast<unsigned char>(rank.back()))) {
+            rank.pop_back();
+            it = rank_shape.find(rank);
+            if (it != rank_shape.end())
+                return it->second;
+        }
+        // Affine derivation (e.g. conv Q): find an input slot whose
+        // expression mentions var together with others.
+        for (const TensorRef& in : expr.inputs) {
+            const auto decl_it = spec.declaration.find(in.name);
+            if (decl_it == spec.declaration.end())
+                continue;
+            for (std::size_t slot = 0; slot < in.indices.size(); ++slot) {
+                const IndexExpr& ie = in.indices[slot];
+                const auto found =
+                    std::find(ie.vars.begin(), ie.vars.end(), var);
+                if (found == ie.vars.end() || ie.vars.size() < 2)
+                    continue;
+                const auto sit =
+                    rank_shape.find(decl_it->second[slot]);
+                if (sit == rank_shape.end())
+                    continue;
+                ft::Coord shape = sit->second;
+                for (const std::string& other : ie.vars) {
+                    if (other != var)
+                        shape -= var_shape(other) - 1;
+                }
+                return std::max<ft::Coord>(shape, 0);
+            }
+        }
+        specError("einsum '", expr.text, "': cannot derive the shape of '",
+                  var, "'");
+    };
+
+    // ------------------------------------------------------ loop order
+    std::vector<std::string> loop_order = em.loopOrder;
+    if (loop_order.empty()) {
+        // Default: iteration variables in Einsum order, expanding
+        // partition groups at their first constituent.
+        std::vector<const GroupInfo*> emitted;
+        for (const std::string& var : expr.iterationVars()) {
+            const std::string rank = einsum::rankOfVar(var);
+            const GroupInfo* owner = nullptr;
+            for (const GroupInfo& g : groups) {
+                const auto& src = g.group->sourceRanks;
+                if (std::find(src.begin(), src.end(), rank) != src.end() ||
+                    g.base == rank) {
+                    owner = &g;
+                    break;
+                }
+            }
+            if (owner == nullptr) {
+                loop_order.push_back(rank);
+            } else if (std::find(emitted.begin(), emitted.end(), owner) ==
+                       emitted.end()) {
+                for (const std::string& r : owner->results)
+                    loop_order.push_back(r);
+                emitted.push_back(owner);
+            }
+        }
+    }
+
+    // -------------------------------------------- loop rank metadata
+    // Take ranks private to the non-copied operand become probes.
+    std::vector<std::string> probe_vars;
+    if (expr.kind == einsum::OpKind::Take) {
+        const TensorRef& other = expr.inputs[1 - expr.takeArg];
+        const TensorRef& copied = expr.inputs[expr.takeArg];
+        const auto copied_vars = copied.varNames();
+        const auto out_vars = expr.outputVars();
+        for (const std::string& v : other.varNames()) {
+            const bool in_copied =
+                std::find(copied_vars.begin(), copied_vars.end(), v) !=
+                copied_vars.end();
+            const bool in_out =
+                std::find(out_vars.begin(), out_vars.end(), v) !=
+                out_vars.end();
+            if (!in_copied && !in_out)
+                probe_vars.push_back(v);
+        }
+    }
+
+    for (const std::string& name : loop_order) {
+        LoopRank lr;
+        lr.name = name;
+
+        // Owning partition group, if any.
+        const GroupInfo* owner = nullptr;
+        std::size_t pos_in_results = 0;
+        for (const GroupInfo& g : groups) {
+            const auto it =
+                std::find(g.results.begin(), g.results.end(), name);
+            if (it != g.results.end()) {
+                owner = &g;
+                pos_in_results =
+                    static_cast<std::size_t>(it - g.results.begin());
+                break;
+            }
+        }
+
+        auto bind_rank_vars = [&](const std::string& rank) {
+            // A rank binds its base variable; flattened ranks bind one
+            // variable per constituent with unpack strides. The rank
+            // may have been produced by a *different* group's flatten
+            // (SIGMA: occupancy on MK0, flattened by its own group).
+            const GroupInfo* g = nullptr;
+            for (const GroupInfo& cand : groups) {
+                if (cand.hasFlatten && cand.base == rank)
+                    g = &cand;
+            }
+            if (g != nullptr) {
+                ft::Coord stride = 1;
+                std::vector<ft::Coord> strides, shapes;
+                std::vector<std::string> vars;
+                const auto& src = g->group->sourceRanks;
+                for (auto it = src.rbegin(); it != src.rend(); ++it) {
+                    const std::string comp_base = baseOfDerived(*it);
+                    const ft::Coord shape =
+                        var_shape(einsum::varOfRank(comp_base));
+                    strides.push_back(stride);
+                    shapes.push_back(shape);
+                    vars.push_back(einsum::varOfRank(comp_base));
+                    stride *= shape;
+                }
+                std::reverse(strides.begin(), strides.end());
+                std::reverse(shapes.begin(), shapes.end());
+                std::reverse(vars.begin(), vars.end());
+                lr.bindsVars = vars;
+                lr.unpackStrides = strides;
+                lr.unpackShapes = shapes;
+            } else {
+                lr.bindsVars = {einsum::varOfRank(rank)};
+            }
+        };
+
+        if (owner == nullptr) {
+            // Plain base rank.
+            bind_rank_vars(name);
+            lr.spaceExtent = static_cast<std::size_t>(
+                std::max<ft::Coord>(var_shape(lr.bindsVars[0]), 1));
+        } else if (pos_in_results + 1 == owner->results.size()) {
+            // Group leaf: binds the base variables.
+            bind_rank_vars(owner->base);
+            if (!owner->splits.empty()) {
+                const PartitionDirective& last = *owner->splits.back();
+                lr.spaceExtent =
+                    last.kind == PartitionDirective::Kind::UniformShape
+                        ? static_cast<std::size_t>(last.tile)
+                        : last.chunk;
+            } else {
+                lr.spaceExtent = 1u << 20;
+            }
+        } else {
+            // Upper partition rank: binds a coordinate range.
+            lr.isUpperPartition = true;
+            const PartitionDirective& d = *owner->splits[pos_in_results];
+            if (d.kind == PartitionDirective::Kind::UniformShape)
+                lr.rangeTile = d.tile;
+            // Extent = positions this rank can take inside its parent
+            // tile: size(parent split) / size(this split). The topmost
+            // rank's partition count is data-dependent (large cap).
+            auto size_of = [](const PartitionDirective& dd) {
+                return dd.kind == PartitionDirective::Kind::UniformShape
+                           ? static_cast<std::size_t>(dd.tile)
+                           : dd.chunk;
+            };
+            if (pos_in_results == 0) {
+                lr.spaceExtent = 1u << 20;
+            } else {
+                const std::size_t above =
+                    size_of(*owner->splits[pos_in_results - 1]);
+                const std::size_t mine = size_of(d);
+                lr.spaceExtent =
+                    mine > 0 ? std::max<std::size_t>(above / mine, 1)
+                             : 1;
+            }
+        }
+
+        // Probe-only ranks (take).
+        for (const std::string& v : lr.bindsVars) {
+            if (std::find(probe_vars.begin(), probe_vars.end(), v) !=
+                probe_vars.end())
+                lr.probeOnly = true;
+        }
+
+        plan.loops.push_back(std::move(lr));
+    }
+
+    // Variable binding points.
+    for (std::size_t i = 0; i < plan.loops.size(); ++i) {
+        for (const std::string& v : plan.loops[i].bindsVars) {
+            plan.varBoundAt[v] = static_cast<int>(i);
+            // Derived leaf ranks also bind their base variable (the
+            // coordinates are absolute), e.g. K0 binds both k0 and k.
+            const std::string base_var = einsum::varOfRank(
+                baseOfDerived(einsum::rankOfVar(v)));
+            if (base_var != v && !plan.varBoundAt.count(base_var))
+                plan.varBoundAt[base_var] = static_cast<int>(i);
+        }
+    }
+    // Leaf split ranks named e.g. K0 bind variable "k0"; expression
+    // slots use "k". Register the base var for every group leaf.
+    for (std::size_t i = 0; i < plan.loops.size(); ++i) {
+        const LoopRank& lr = plan.loops[i];
+        if (lr.isUpperPartition)
+            continue;
+        for (const std::string& v : lr.bindsVars) {
+            const std::string base =
+                einsum::varOfRank(baseOfDerived(einsum::rankOfVar(v)));
+            if (!plan.varBoundAt.count(base))
+                plan.varBoundAt[base] = static_cast<int>(i);
+        }
+    }
+
+    // Spacetime flags.
+    for (const mapping::SpaceTimeEntry& e : em.space) {
+        const int idx = loopIndexOf(loop_order, e.rank);
+        if (idx < 0)
+            specError("einsum '", expr.text, "': space rank '", e.rank,
+                      "' is not in the loop order");
+        plan.loops[static_cast<std::size_t>(idx)].isSpace = true;
+        plan.loops[static_cast<std::size_t>(idx)].coordSpace =
+            e.coordSpace;
+    }
+
+    // ------------------------------------------------ input tensors
+    for (std::size_t slot = 0; slot < expr.inputs.size(); ++slot) {
+        const TensorRef& ref = expr.inputs[slot];
+        const auto tit = tensors.find(ref.name);
+        if (tit == tensors.end())
+            specError("einsum '", expr.text, "': tensor '", ref.name,
+                      "' has no data");
+        const auto decl_it = spec.declaration.find(ref.name);
+        TEAAL_ASSERT(decl_it != spec.declaration.end(),
+                     "undeclared tensor '", ref.name, "'");
+        const std::vector<std::string>& decl = decl_it->second;
+
+        TensorPlan tp;
+        tp.name = ref.name;
+        tp.exprInput = static_cast<int>(slot);
+        tp.prepared = tit->second.clone();
+
+        // Dynamic-follower groups for this tensor.
+        std::vector<const GroupInfo*> follower_of;
+
+        // Apply partitioning groups in order.
+        for (const GroupInfo& g : groups) {
+            const auto& src = g.group->sourceRanks;
+            const auto has_rank = [&](const std::string& r) {
+                return tp.prepared.rankLevel(r) >= 0;
+            };
+            if (g.hasFlatten) {
+                const bool has_all = std::all_of(
+                    src.begin(), src.end(), has_rank);
+                if (has_all) {
+                    ft::Tensor t = makeAdjacent(std::move(tp.prepared),
+                                                src);
+                    // Flatten pairwise left-to-right.
+                    std::string upper = src[0];
+                    for (std::size_t i = 1; i < src.size(); ++i) {
+                        t = ft::flattenRanks(t, upper, src[i]);
+                        upper += src[i];
+                    }
+                    TEAAL_ASSERT(upper == g.base, "flatten naming");
+                    tp.prepared = applySplits(std::move(t), g);
+                }
+                // Tensors with only some constituents use lookups at
+                // the flattened rank (handled below).
+            } else if (has_rank(g.base)) {
+                if (!g.occupancy) {
+                    tp.prepared =
+                        applySplits(std::move(tp.prepared), g);
+                } else if (g.leader == ref.name) {
+                    tp.prepared =
+                        applySplits(std::move(tp.prepared), g);
+                } else {
+                    follower_of.push_back(&g);
+                }
+            }
+        }
+
+        // Assign an action to every prepared level, keyed by rank id
+        // first (levels shift after the concordance swizzle).
+        struct PendingAction
+        {
+            std::string rankId;
+            LevelAction::Mode mode;
+            int loopIndex;
+            IndexExpr expr;
+        };
+        std::vector<PendingAction> pending;
+
+        for (const ft::RankInfo& ri : tp.prepared.ranks()) {
+            const std::string& rid = ri.id;
+            const int direct = loopIndexOf(loop_order, rid);
+            if (direct >= 0) {
+                pending.push_back({rid, LevelAction::Mode::CoIterate,
+                                   direct, {}});
+                continue;
+            }
+            // Dynamic follower base rank?
+            const GroupInfo* follow = nullptr;
+            for (const GroupInfo* g : follower_of) {
+                if (g->base == rid)
+                    follow = g;
+            }
+            if (follow != nullptr) {
+                for (std::size_t i = 0; i + 1 < follow->results.size();
+                     ++i) {
+                    const int idx =
+                        loopIndexOf(loop_order, follow->results[i]);
+                    if (idx < 0)
+                        specError("einsum '", expr.text, "': rank '",
+                                  follow->results[i],
+                                  "' missing from the loop order");
+                    pending.push_back(
+                        {rid, LevelAction::Mode::Slice, idx, {}});
+                }
+                const int leaf =
+                    loopIndexOf(loop_order, follow->results.back());
+                if (leaf < 0)
+                    specError("einsum '", expr.text, "': rank '",
+                              follow->results.back(),
+                              "' missing from the loop order");
+                pending.push_back(
+                    {rid, LevelAction::Mode::CoIterate, leaf, {}});
+                continue;
+            }
+            // Lookup: resolve the expression slot via the declared
+            // rank — exact id first (real rank names may end in
+            // digits, e.g. the FFT's N1), then the digit-stripped
+            // base of partition-derived names.
+            std::size_t dpos;
+            if (std::find(decl.begin(), decl.end(), rid) != decl.end()) {
+                dpos = declPosition(decl, rid, ref.name);
+            } else {
+                dpos = declPosition(decl, baseOfDerived(rid), ref.name);
+            }
+            IndexExpr ie = ref.indices.empty()
+                               ? IndexExpr{}
+                               : ref.indices[dpos];
+            int trigger = 0;
+            for (const std::string& v : ie.vars) {
+                const auto bit = plan.varBoundAt.find(v);
+                if (bit == plan.varBoundAt.end())
+                    specError("einsum '", expr.text, "': variable '", v,
+                              "' used by ", ref.name,
+                              " is never bound by the loop order");
+                trigger = std::max(trigger, bit->second);
+            }
+            pending.push_back(
+                {rid, LevelAction::Mode::Lookup, trigger, std::move(ie)});
+        }
+
+        // Lookups cannot fire before their tree parents are descended,
+        // so clamp them to the running maximum in prepared-level
+        // order. CoIterate loop indices come from the loop order and
+        // are never clamped: the concordance swizzle below reorders
+        // the tree instead (e.g. MTTKRP's B[j,r] traversed [R, J]).
+        {
+            int running = -1;
+            for (PendingAction& pa : pending) {
+                if (pa.mode == LevelAction::Mode::Slice)
+                    continue;
+                if (pa.mode == LevelAction::Mode::Lookup)
+                    pa.loopIndex = std::max(pa.loopIndex, running);
+                running = std::max(running, pa.loopIndex);
+            }
+        }
+
+        // Concordant order: sort non-slice actions by (loopIndex,
+        // original level) and require the prepared tensor in that
+        // order (§3.2.2). Stable sort keeps ties in tree order.
+        std::vector<std::string> required;
+        {
+            std::vector<const PendingAction*> nav;
+            for (const PendingAction& pa : pending) {
+                if (pa.mode != LevelAction::Mode::Slice)
+                    nav.push_back(&pa);
+            }
+            std::stable_sort(nav.begin(), nav.end(),
+                             [](const PendingAction* a,
+                                const PendingAction* b) {
+                                 return a->loopIndex < b->loopIndex;
+                             });
+            for (const PendingAction* pa : nav)
+                required.push_back(pa->rankId);
+        }
+        if (required != tp.prepared.rankIds()) {
+            // Estimate merger "ways" before destroying the old order:
+            // the occupancy of the shallowest rank that moves deeper.
+            std::size_t ways = 2;
+            const auto old_ids = tp.prepared.rankIds();
+            for (std::size_t lvl = 0; lvl < old_ids.size(); ++lvl) {
+                const auto npos = std::find(required.begin(),
+                                            required.end(), old_ids[lvl]);
+                const std::size_t new_lvl = static_cast<std::size_t>(
+                    npos - required.begin());
+                if (new_lvl > lvl) {
+                    std::vector<std::size_t> counts;
+                    tp.prepared.root()->elementCountsByDepth(counts);
+                    std::size_t fibers_above =
+                        lvl == 0 ? 1 : counts[lvl - 1];
+                    if (fibers_above > 0 && counts.size() > lvl)
+                        ways = std::max<std::size_t>(
+                            2, counts[lvl] / fibers_above + 1);
+                    break;
+                }
+            }
+            tp.swizzled = true;
+            tp.swizzleOnline =
+                std::find(intermediates.begin(), intermediates.end(),
+                          ref.name) != intermediates.end();
+            tp.swizzleElements = tp.prepared.nnz();
+            tp.swizzleWays = ways;
+            tp.prepared = ft::swizzle(tp.prepared, required);
+        }
+
+        // Materialize final actions with post-swizzle levels.
+        for (const PendingAction& pa : pending) {
+            LevelAction a;
+            a.mode = pa.mode;
+            a.loopIndex = pa.loopIndex;
+            a.expr = pa.expr;
+            const int lvl = tp.prepared.rankLevel(pa.rankId);
+            TEAAL_ASSERT(lvl >= 0, "rank '", pa.rankId,
+                         "' lost during preparation of ", ref.name);
+            a.level = lvl;
+            tp.actions.push_back(std::move(a));
+        }
+        std::sort(tp.actions.begin(), tp.actions.end(),
+                  [](const LevelAction& a, const LevelAction& b) {
+                      if (a.loopIndex != b.loopIndex)
+                          return a.loopIndex < b.loopIndex;
+                      if (a.level != b.level)
+                          return a.level < b.level;
+                      // Slice before CoIterate at the same level.
+                      return static_cast<int>(a.mode) >
+                             static_cast<int>(b.mode);
+                  });
+
+        plan.inputs.push_back(std::move(tp));
+    }
+
+    // Dense extents: ranks binding variables with no co-iterating
+    // driver iterate the variable's shape range.
+    for (std::size_t i = 0; i < plan.loops.size(); ++i) {
+        LoopRank& lr = plan.loops[i];
+        bool has_driver = false;
+        for (const TensorPlan& tp : plan.inputs) {
+            for (const LevelAction& a : tp.actions) {
+                if (a.loopIndex == static_cast<int>(i) &&
+                    a.mode == LevelAction::Mode::CoIterate)
+                    has_driver = true;
+            }
+        }
+        if (!has_driver) {
+            if (lr.isUpperPartition)
+                specError("einsum '", expr.text, "': partition rank '",
+                          lr.name, "' has no driving tensor");
+            TEAAL_ASSERT(!lr.bindsVars.empty(), "rank ", lr.name,
+                         " binds nothing and drives nothing");
+            lr.denseExtent = var_shape(lr.bindsVars[0]);
+        }
+    }
+
+    // ------------------------------------------------------- output
+    OutputPlan& out = plan.output;
+    out.name = expr.output.name;
+    const auto odecl_it = spec.declaration.find(out.name);
+    TEAAL_ASSERT(odecl_it != spec.declaration.end(),
+                 "undeclared output '", out.name, "'");
+    const std::vector<std::string>& odecl = odecl_it->second;
+
+    struct OutLevel
+    {
+        std::string rank;
+        std::string var;
+        int boundAt;
+        int tieBreak;
+    };
+    std::vector<OutLevel> levels;
+    for (std::size_t slot = 0; slot < expr.output.indices.size(); ++slot) {
+        const std::string var = expr.output.indices[slot].vars[0];
+        const auto bit = plan.varBoundAt.find(var);
+        if (bit == plan.varBoundAt.end())
+            specError("einsum '", expr.text, "': output variable '", var,
+                      "' is never bound");
+        const LoopRank& lr =
+            plan.loops[static_cast<std::size_t>(bit->second)];
+        int tie = 0;
+        for (std::size_t i = 0; i < lr.bindsVars.size(); ++i) {
+            if (lr.bindsVars[i] == var ||
+                einsum::varOfRank(baseOfDerived(
+                    einsum::rankOfVar(lr.bindsVars[i]))) == var)
+                tie = static_cast<int>(i);
+        }
+        levels.push_back(
+            {odecl[slot], var, bit->second, tie});
+    }
+    std::stable_sort(levels.begin(), levels.end(),
+                     [](const OutLevel& a, const OutLevel& b) {
+                         if (a.boundAt != b.boundAt)
+                             return a.boundAt < b.boundAt;
+                         return a.tieBreak < b.tieBreak;
+                     });
+    for (const OutLevel& l : levels) {
+        out.productionOrder.push_back(l.rank);
+        out.vars.push_back(l.var);
+        out.boundAtLoop.push_back(l.boundAt);
+        out.shapes.push_back(var_shape(l.var));
+    }
+    out.declaredOrder = map.hasRankOrder(out.name)
+                            ? map.rankOrder(out.name)
+                            : odecl;
+    out.needsReorder = out.productionOrder != out.declaredOrder;
+
+    return plan;
+}
+
+} // namespace teaal::ir

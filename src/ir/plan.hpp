@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The imperative-style IR the simulator generator produces (paper
+ * §4.3, Figure 6): one executable loop-nest plan per Einsum.
+ *
+ * A plan records, per loop rank, how each tensor participates:
+ *
+ *   CoIterate  the tensor owns a fiber at this rank and is walked by
+ *              the rank's co-iterator (intersection for products,
+ *              union for sums),
+ *   Slice      a dynamic occupancy-partitioning follower restricts its
+ *              fiber to the leader's current chunk range (§3.2.1),
+ *   Lookup     the tensor is indexed by an already-bound expression: a
+ *              component of a flattened rank, an affine expression
+ *              (conv), or a constant (FFT).
+ *
+ * Upper partition ranks bind coordinate ranges; leaf ranks bind the
+ * Einsum's index variables (unpacking flattened tuples). The plan also
+ * records the inferred rank swizzles needed for concordant traversal
+ * (§3.2.2) and whether each was online (charged) or offline.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "einsum/parser.hpp"
+#include "fibertree/tensor.hpp"
+#include "mapping/mapping.hpp"
+
+namespace teaal::ir
+{
+
+/** How a tensor level is advanced at some loop rank. */
+struct LevelAction
+{
+    enum class Mode { CoIterate, Slice, Lookup };
+
+    Mode mode = Mode::CoIterate;
+
+    /// Which loop rank triggers this action.
+    int loopIndex = 0;
+
+    /// Which prepared-tensor level it advances (Slice re-restricts the
+    /// same level that a later CoIterate consumes).
+    int level = 0;
+
+    /// For Lookup: the index expression to evaluate.
+    einsum::IndexExpr expr;
+};
+
+/** One input tensor, prepared (partitioned/swizzled) for this Einsum. */
+struct TensorPlan
+{
+    std::string name;
+
+    /// Slot in Expression::inputs.
+    int exprInput = -1;
+
+    /// The materialized, concordantly-ordered fibertree.
+    ft::Tensor prepared;
+
+    /// Actions in execution order (sorted by loopIndex, then level).
+    std::vector<LevelAction> actions;
+
+    /// Swizzle inferred to reach concordant order. Online swizzles
+    /// (on intermediates) are charged to the merger model.
+    bool swizzled = false;
+    bool swizzleOnline = false;
+    std::size_t swizzleElements = 0;
+    std::size_t swizzleWays = 1;
+};
+
+/** One rank of the loop nest. */
+struct LoopRank
+{
+    std::string name;
+
+    /// Index variables bound when a coordinate here is fixed (empty
+    /// for upper partition ranks, multiple for flattened ranks).
+    std::vector<std::string> bindsVars;
+
+    /// For flattened ranks: strides to unpack the packed coordinate,
+    /// parallel to bindsVars (value_i = (c / stride_i) % shape_i).
+    std::vector<ft::Coord> unpackStrides;
+    std::vector<ft::Coord> unpackShapes;
+
+    /// Upper partition ranks narrow a coordinate range instead of
+    /// binding variables.
+    bool isUpperPartition = false;
+
+    /// Static tile extent for shape-partition upper ranks (range end =
+    /// coord + rangeTile); 0 means take the range from the driver.
+    ft::Coord rangeTile = 0;
+
+    /// Spacetime: spatial ranks contribute to the PE index.
+    bool isSpace = false;
+    bool coordSpace = false;
+
+    /// Mixed-radix extent used when folding positions into a PE id.
+    std::size_t spaceExtent = 1;
+
+    /// Extent for dense (shape-range) iteration when nothing
+    /// co-iterates here; 0 if a driver exists.
+    ft::Coord denseExtent = 0;
+
+    /// Take Einsums probe ranks private to the non-copied operand
+    /// instead of fully iterating them (a bitmap check in hardware).
+    bool probeOnly = false;
+};
+
+/** Output production plan. */
+struct OutputPlan
+{
+    std::string name;
+
+    /// Rank ids in production order (projection of the loop order).
+    std::vector<std::string> productionOrder;
+
+    /// Shape of each production rank.
+    std::vector<ft::Coord> shapes;
+
+    /// Index variable of each production rank.
+    std::vector<std::string> vars;
+
+    /// Loop index at which each production level's variable binds.
+    std::vector<int> boundAtLoop;
+
+    /// Declared storage order (mapping rank-order or declaration).
+    std::vector<std::string> declaredOrder;
+
+    /// True if production order differs from declared order: the
+    /// result is swizzled after production (online, charged).
+    bool needsReorder = false;
+};
+
+/** A fully lowered Einsum: the unit the executor interprets. */
+struct EinsumPlan
+{
+    einsum::Expression expr;
+
+    std::vector<LoopRank> loops;
+    std::vector<TensorPlan> inputs;
+    OutputPlan output;
+
+    /// Loop index of each variable's binding (for lookups).
+    std::map<std::string, int> varBoundAt;
+
+    /// True when shared ranks co-iterate by union (Add) rather than
+    /// intersection (Multiply/Take/Assign).
+    bool unionCombine = false;
+
+    /// Whole-tensor copy (P1 = P0) bypasses the loop nest.
+    bool wholeTensorCopy = false;
+
+    std::string toString() const;
+};
+
+/**
+ * Build the plan for @p expr.
+ *
+ * @param spec     The cascade (for declarations).
+ * @param map      The mapping specification.
+ * @param tensors  Live tensors by name (inputs and intermediates built
+ *                 by earlier Einsums), stored in their declared
+ *                 rank-order.
+ * @param intermediates Names of tensors produced by earlier Einsums
+ *                 (their swizzles are online and charged).
+ */
+EinsumPlan buildPlan(const einsum::Expression& expr,
+                     const einsum::EinsumSpec& spec,
+                     const mapping::MappingSpec& map,
+                     const std::map<std::string, ft::Tensor>& tensors,
+                     const std::vector<std::string>& intermediates);
+
+} // namespace teaal::ir

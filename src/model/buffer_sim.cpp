@@ -1,0 +1,103 @@
+#include "model/buffer_sim.hpp"
+
+namespace teaal::model
+{
+
+bool
+LruCache::access(const void* key, double bytes)
+{
+    counters_.accessBytes += bytes;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Hit: move to the front.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++counters_.hits;
+        return true;
+    }
+    ++counters_.misses;
+    counters_.fillBytes += bytes;
+    if (capacity_ > 0) {
+        while (occupied_ + bytes > capacity_ && !lru_.empty()) {
+            const Entry& victim = lru_.back();
+            occupied_ -= victim.bytes;
+            index_.erase(victim.key);
+            lru_.pop_back();
+        }
+    }
+    lru_.push_front({key, bytes});
+    index_[key] = lru_.begin();
+    occupied_ += bytes;
+    return false;
+}
+
+void
+LruCache::reset()
+{
+    lru_.clear();
+    index_.clear();
+    occupied_ = 0;
+}
+
+bool
+Buffet::read(std::uint64_t key, double bytes)
+{
+    counters_.accessBytes += bytes;
+    auto [it, inserted] = resident_.try_emplace(key, Entry{bytes, false});
+    if (!inserted) {
+        ++counters_.hits;
+        return true;
+    }
+    ++counters_.misses;
+    counters_.fillBytes += bytes;
+    resident_bytes_ += bytes;
+    return false;
+}
+
+bool
+Buffet::write(std::uint64_t key, double bytes)
+{
+    counters_.accessBytes += bytes;
+    auto [it, inserted] = resident_.try_emplace(key, Entry{bytes, true});
+    bool revisit = false;
+    if (inserted) {
+        resident_bytes_ += bytes;
+        revisit = everDrained_.count(key) > 0;
+        if (revisit) {
+            // Partial output re-fetched from the parent level.
+            counters_.fillBytes += bytes;
+            ++counters_.misses;
+        }
+    } else {
+        it->second.written = true;
+        ++counters_.hits;
+    }
+    return revisit;
+}
+
+Buffet::DrainResult
+Buffet::evictAll()
+{
+    DrainResult result;
+    for (const auto& [key, entry] : resident_) {
+        if (entry.written) {
+            counters_.drainBytes += entry.bytes;
+            if (everDrained_.insert(key).second)
+                result.firstBytes += entry.bytes;
+            else
+                result.againBytes += entry.bytes;
+        }
+    }
+    resident_.clear();
+    resident_bytes_ = 0;
+    return result;
+}
+
+void
+Buffet::reset()
+{
+    resident_.clear();
+    everDrained_.clear();
+    resident_bytes_ = 0;
+}
+
+} // namespace teaal::model

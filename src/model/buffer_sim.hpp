@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Storage-component simulators used by the performance model (paper
+ * §4.1.2, Table 3):
+ *
+ *  - LruCache: replacement-managed buffer (e.g. Gamma's FiberCache,
+ *    OuterSPACE's L0/L1 caches). Capacity-bounded by bytes; counts
+ *    hits, fills (misses, charged to the parent level), and accesses.
+ *
+ *  - Buffet: explicitly managed buffer (Pellauer et al.), filled on
+ *    first touch and drained when the binding's evict-on loop rank
+ *    changes coordinate (paper §4.1.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace teaal::model
+{
+
+/** Counters shared by both buffer kinds. */
+struct BufferCounters
+{
+    double accessBytes = 0;  ///< all bytes moved through the buffer
+    double fillBytes = 0;    ///< bytes filled from the parent level
+    double drainBytes = 0;   ///< bytes drained to the parent level
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Byte-capacity LRU cache keyed by opaque object identities. */
+class LruCache
+{
+  public:
+    /** @param capacity_bytes Total capacity; 0 = unbounded. */
+    explicit LruCache(double capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    /**
+     * Access an object of @p bytes; returns true on hit. On miss the
+     * object is filled (fillBytes += bytes) and LRU victims are
+     * evicted to fit.
+     */
+    bool access(const void* key, double bytes);
+
+    /** Forget everything (between Einsums). */
+    void reset();
+
+    const BufferCounters& counters() const { return counters_; }
+
+  private:
+    struct Entry
+    {
+        const void* key;
+        double bytes;
+    };
+
+    double capacity_;
+    double occupied_ = 0;
+    std::list<Entry> lru_; // front = most recent
+    std::unordered_map<const void*, std::list<Entry>::iterator> index_;
+    BufferCounters counters_;
+};
+
+/**
+ * Explicitly managed buffet. Objects are identified by 64-bit keys
+ * (payload addresses or output path hashes). All resident objects are
+ * dropped (reads) or drained (writes) when the eviction context
+ * advances.
+ */
+class Buffet
+{
+  public:
+    Buffet() = default;
+
+    /**
+     * Read access; fills on first touch in the current residency.
+     * @return true if the object was already resident.
+     */
+    bool read(std::uint64_t key, double bytes);
+
+    /**
+     * Write access; allocates on first touch. If the object was
+     * drained in an earlier residency, it is re-filled first (partial
+     * output re-read; the caller charges the parent).
+     * @return true if this key was drained before (a partial-output
+     *         revisit).
+     */
+    bool write(std::uint64_t key, double bytes);
+
+    /** Bytes drained by one eviction, split by first-time vs. re-drain
+     *  (re-drains are partial-output traffic). */
+    struct DrainResult
+    {
+        double firstBytes = 0;
+        double againBytes = 0;
+    };
+
+    /**
+     * The eviction context changed: drop reads, drain writes.
+     * drainBytes accumulates the written-resident bytes.
+     */
+    DrainResult evictAll();
+
+    /** Total bytes currently resident. */
+    double residentBytes() const { return resident_bytes_; }
+
+    void reset();
+
+    const BufferCounters& counters() const { return counters_; }
+
+  private:
+    struct Entry
+    {
+        double bytes;
+        bool written;
+    };
+
+    std::unordered_map<std::uint64_t, Entry> resident_;
+    std::unordered_set<std::uint64_t> everDrained_;
+    double resident_bytes_ = 0;
+    BufferCounters counters_;
+};
+
+} // namespace teaal::model

@@ -1,0 +1,673 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace teaal::model
+{
+
+namespace
+{
+
+/** Strip trailing digits: K0 -> K. */
+std::string
+stripDigits(const std::string& rank)
+{
+    std::string base = rank;
+    while (!base.empty() &&
+           std::isdigit(static_cast<unsigned char>(base.back()))) {
+        base.pop_back();
+    }
+    return base;
+}
+
+/**
+ * Tolerant binding-rank resolution against a list of (possibly
+ * partitioned/flattened) rank ids. Exact match wins, then base match,
+ * then flattened-constituent match.
+ */
+int
+resolveRankLevel(const std::vector<ft::RankInfo>& ranks,
+                 const std::string& rank)
+{
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        if (ranks[i].id == rank)
+            return static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        if (stripDigits(ranks[i].id) == rank ||
+            ranks[i].id == stripDigits(rank))
+            return static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        const auto& flat = ranks[i].flatIds;
+        if (std::find(flat.begin(), flat.end(), rank) != flat.end())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::uint64_t
+keyHash(const void* key)
+{
+    return reinterpret_cast<std::uint64_t>(key);
+}
+
+/**
+ * Map a (possibly sparse, mixed-radix) logical PE id onto a physical
+ * instance. When the id already fits the instance count this is the
+ * identity (static placement); larger/sparse id spaces are spread by
+ * a mixing hash, modeling the dynamic work distribution real designs
+ * use to balance irregular task sizes.
+ */
+std::uint64_t
+peSlot(const ComponentActions& ca, std::uint64_t pe)
+{
+    const auto n = static_cast<std::uint64_t>(ca.instances);
+    if (n == 0)
+        return pe;
+    if (pe < n)
+        return pe;
+    std::uint64_t state = pe;
+    return splitMix64(state) % n;
+}
+
+/// DRAM transaction granularity paid per element when chasing
+/// interleaved (array-of-structs / linked-list) layouts; partial
+/// write-combining makes this less than a full 64B line.
+constexpr double kInterleavedTransactionBytes = 32.0;
+
+} // namespace
+
+double
+ComponentActions::maxPerPe() const
+{
+    double best = 0;
+    for (const auto& [pe, v] : perPe)
+        best = std::max(best, v);
+    return best;
+}
+
+double
+ComponentActions::count(const std::string& key) const
+{
+    const auto it = counts.find(key);
+    return it == counts.end() ? 0.0 : it->second;
+}
+
+ModelObserver::ModelObserver(const ir::EinsumPlan& plan,
+                             const arch::Topology& topo,
+                             const binding::EinsumBinding& eb,
+                             const fmt::FormatSpec& formats,
+                             const std::set<std::string>& on_chip)
+    : plan_(plan), topo_(topo), formats_(formats), onChip_(on_chip)
+{
+    record_.output = plan.expr.output.name;
+    record_.topologyName = topo.name;
+    record_.clock = topo.clock;
+    for (const ir::LoopRank& lr : plan.loops) {
+        record_.loopOrder.push_back(lr.name);
+        if (lr.isSpace)
+            break;
+        record_.temporalPrefix.push_back(lr.name);
+    }
+
+    // ------------------------- resolve the functional components
+    for (const auto& [comp, instances] : topo.allComponents()) {
+        switch (comp->cls) {
+          case arch::ComponentClass::DRAM:
+            if (dramName_.empty())
+                dramName_ = comp->name;
+            break;
+          case arch::ComponentClass::Sequencer:
+            if (seqName_.empty())
+                seqName_ = comp->name;
+            break;
+          case arch::ComponentClass::Intersection:
+            if (isectName_.empty()) {
+                isectName_ = comp->name;
+                isectType_ = comp->attrString("type", "two-finger");
+            }
+            break;
+          case arch::ComponentClass::Merger:
+            if (mergerName_.empty()) {
+                mergerName_ = comp->name;
+                mergerRadix_ =
+                    std::max(2L, comp->attrLong("comparator_radix", 2));
+            }
+            break;
+          case arch::ComponentClass::Compute: {
+            const std::string type = comp->attrString("type", "mul");
+            if (type == "mul" && mulName_.empty())
+                mulName_ = comp->name;
+            if (type == "add" && addName_.empty())
+                addName_ = comp->name;
+            break;
+          }
+          case arch::ComponentClass::Buffer:
+            break;
+        }
+        (void)instances;
+    }
+    // Compute fallbacks: a mul-only datapath still executes adds.
+    if (mulName_.empty())
+        mulName_ = addName_;
+    if (addName_.empty())
+        addName_ = mulName_;
+
+    // Op bindings override the defaults.
+    for (const binding::ComponentBinding& cb : eb.components) {
+        for (const binding::OpBinding& op : cb.ops) {
+            if (op.op == "mul")
+                mulName_ = cb.component;
+            else if (op.op == "add")
+                addName_ = cb.component;
+            else if (op.op == "intersect")
+                isectName_ = cb.component;
+            else if (op.op == "merge" || op.op == "sort")
+                mergerName_ = cb.component;
+            else if (op.op == "seq")
+                seqName_ = cb.component;
+            record_.nonStorageComponents.insert(cb.component);
+        }
+    }
+
+    // Pre-create component records with instance counts.
+    auto ensure = [this](const std::string& name) {
+        if (name.empty())
+            return;
+        long instances = 1;
+        const arch::Component* comp =
+            topo_.findComponent(name, &instances);
+        ComponentActions& ca = record_.components[name];
+        ca.name = name;
+        ca.instances = instances;
+        if (comp != nullptr)
+            ca.cls = comp->cls;
+    };
+    ensure(dramName_);
+    ensure(seqName_);
+    ensure(isectName_);
+    ensure(mergerName_);
+    ensure(mulName_);
+    ensure(addName_);
+    auto comp_ptr = [this](const std::string& name) {
+        return name.empty() ? nullptr : &record_.components[name];
+    };
+    dramComp_ = comp_ptr(dramName_);
+    seqComp_ = comp_ptr(seqName_);
+    isectComp_ = comp_ptr(isectName_);
+    mulComp_ = comp_ptr(mulName_);
+    addComp_ = comp_ptr(addName_);
+    for (const ir::TensorPlan& tp : plan.inputs)
+        inputTraffic_.push_back(&record_.traffic[tp.name]);
+    outTraffic_ = &record_.traffic[plan.output.name];
+    // Pre-populating the traffic map inserts zero rows; they are
+    // harmless (the benches skip zero-traffic tensors).
+
+    // ------------------------------------ storage units and routes
+    routes_.resize(plan.inputs.size());
+    pathKey_.resize(plan.inputs.size());
+
+    for (const binding::ComponentBinding& cb : eb.components) {
+        long instances = 1;
+        const arch::Component* comp =
+            topo.findComponent(cb.component, &instances);
+        if (comp == nullptr) {
+            if (!cb.storage.empty())
+                specError("binding references unknown component '",
+                          cb.component, "'");
+            continue;
+        }
+        if (comp->cls != arch::ComponentClass::Buffer)
+            continue;
+        ComponentActions& ca = record_.components[cb.component];
+        ca.name = cb.component;
+        ca.instances = instances;
+        ca.cls = comp->cls;
+
+        for (const binding::StorageBinding& sb : cb.storage) {
+            StorageUnit unit;
+            unit.component = cb.component;
+            unit.sb = sb;
+            unit.tensor = sb.tensor;
+            unit.eager = sb.style == binding::Style::Eager;
+            unit.isCache = comp->attrString("type", "buffet") == "cache";
+            // Output partials always use buffet (drain) semantics,
+            // even when held in a cache-type component: eviction of a
+            // partial result writes it back.
+            if (sb.tensor == plan.output.name)
+                unit.isCache = false;
+            if (unit.isCache) {
+                auto& shared = componentCaches_[cb.component];
+                if (shared == nullptr) {
+                    double bytes = comp->attrDouble("size", 0);
+                    if (bytes == 0) {
+                        bytes = comp->attrDouble("width", 64) *
+                                comp->attrDouble("depth", 1024) / 8.0;
+                    }
+                    // Replicated caches are simulated as one pool of
+                    // the aggregate capacity.
+                    shared = std::make_unique<LruCache>(
+                        bytes * static_cast<double>(instances));
+                }
+                unit.cache = shared.get();
+            }
+            unit.format = sb.config.empty()
+                              ? &formats_.getLenient(sb.tensor)
+                              : &formats_.get(sb.tensor, sb.config);
+
+            // Locate the tensor.
+            if (sb.tensor == plan.output.name) {
+                unit.input = -1;
+                if (!plan.output.productionOrder.empty() &&
+                    !sb.rank.empty()) {
+                    std::vector<ft::RankInfo> ranks;
+                    for (std::size_t i = 0;
+                         i < plan.output.productionOrder.size(); ++i) {
+                        ranks.push_back(
+                            {plan.output.productionOrder[i],
+                             plan.output.shapes[i],
+                             {},
+                             {}});
+                    }
+                    unit.boundLevel =
+                        resolveRankLevel(ranks, sb.rank);
+                }
+            } else {
+                for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
+                    if (plan.inputs[i].name == sb.tensor)
+                        unit.input = static_cast<int>(i);
+                }
+                if (unit.input < 0)
+                    continue; // tensor not used by this Einsum
+                if (!sb.rank.empty()) {
+                    unit.boundLevel = resolveRankLevel(
+                        plan.inputs[static_cast<std::size_t>(unit.input)]
+                            .prepared.ranks(),
+                        sb.rank);
+                }
+                if (unit.boundLevel < 0)
+                    unit.boundLevel = 0;
+            }
+            if (!sb.evictOn.empty()) {
+                for (std::size_t l = 0; l < plan.loops.size(); ++l) {
+                    if (plan.loops[l].name == sb.evictOn ||
+                        stripDigits(plan.loops[l].name) == sb.evictOn)
+                        unit.evictLoop = static_cast<int>(l);
+                }
+            }
+            if (unit.input < 0 && sb.tensor == plan.output.name)
+                outUnit_ = static_cast<int>(storage_.size());
+            // Linked-list style layouts pay DRAM transaction
+            // granularity per element when chased.
+            bool interleaved = false;
+            for (const auto& [rid, rf] : unit.format->ranks) {
+                (void)rid;
+                if (rf.layout == fmt::RankFormat::Layout::Interleaved)
+                    interleaved = true;
+            }
+            unitInterleaved_.push_back(interleaved);
+            storage_.push_back(std::move(unit));
+        }
+    }
+
+    // Routes: per input, per level, pick the deepest covering unit.
+    for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
+        const ir::TensorPlan& tp = plan.inputs[i];
+        const fmt::TensorFormat& tf = formats_.getLenient(tp.name);
+        const std::size_t nr = tp.prepared.numRanks();
+        routes_[i].resize(nr);
+        pathKey_[i].assign(nr, nullptr);
+        for (std::size_t lvl = 0; lvl < nr; ++lvl) {
+            LevelRoute& r = routes_[i][lvl];
+            const fmt::RankFormat& rf =
+                tf.rankFormat(tp.prepared.rank(lvl).id);
+            r.coordBytes = rf.coordBits() / 8.0;
+            r.payloadBytes =
+                rf.payloadBits(lvl + 1 == nr) / 8.0;
+            int best = -1;
+            for (std::size_t u = 0; u < storage_.size(); ++u) {
+                const StorageUnit& unit = storage_[u];
+                if (unit.input != static_cast<int>(i))
+                    continue;
+                if (unit.boundLevel <= static_cast<int>(lvl) &&
+                    (best < 0 ||
+                     unit.boundLevel > storage_[static_cast<std::size_t>(
+                                           best)].boundLevel)) {
+                    best = static_cast<int>(u);
+                }
+            }
+            r.unit = best;
+            r.absorbed =
+                best >= 0 &&
+                storage_[static_cast<std::size_t>(best)].eager &&
+                storage_[static_cast<std::size_t>(best)].boundLevel <
+                    static_cast<int>(lvl);
+        }
+    }
+
+    // Output leaf element size.
+    {
+        const fmt::TensorFormat& tf =
+            formats_.getLenient(plan.output.name);
+        const std::string leaf_rank =
+            plan.output.productionOrder.empty()
+                ? std::string("_S")
+                : plan.output.productionOrder.back();
+        const fmt::RankFormat& rf = tf.rankFormat(leaf_rank);
+        outLeafBytes_ = (rf.coordBits() + rf.payloadBits(true) +
+                         rf.headerBits()) /
+                        8.0;
+        if (rf.layout == fmt::RankFormat::Layout::Interleaved) {
+            // Each linked-list append is its own DRAM transaction.
+            outLineBytes_ =
+                std::max(outLeafBytes_, kInterleavedTransactionBytes);
+        }
+    }
+}
+
+ComponentActions&
+ModelObserver::component(const std::string& name)
+{
+    ComponentActions& ca = record_.components[name];
+    if (ca.name.empty()) {
+        ca.name = name;
+        long instances = 1;
+        const arch::Component* comp =
+            topo_.findComponent(name, &instances);
+        ca.instances = instances;
+        if (comp)
+            ca.cls = comp->cls;
+    }
+    return ca;
+}
+
+void
+ModelObserver::chargeDram(const std::string& tensor, double bytes,
+                          bool write, bool partial)
+{
+    if (onChip_.count(tensor))
+        return;
+    TensorTraffic& tt = record_.traffic[tensor];
+    if (write)
+        tt.writeBytes += bytes;
+    else
+        tt.readBytes += bytes;
+    if (partial)
+        tt.poBytes += bytes;
+    if (dramComp_ != nullptr) {
+        dramComp_->add(write ? "write_bytes" : "read_bytes", bytes);
+    }
+}
+
+double
+ModelObserver::subtreeBytes(const StorageUnit& unit,
+                            const ft::Payload* payload, std::size_t level,
+                            const std::vector<std::string>& rank_ids)
+{
+    const void* key = payload;
+    const auto it = subtreeBytesCache_.find(key);
+    if (it != subtreeBytesCache_.end())
+        return it->second;
+    double bytes =
+        static_cast<double>(fmt::subtreeBits(*unit.format, rank_ids,
+                                             *payload, level + 1)) /
+        8.0;
+    // Interleaved (array-of-structs / linked-list) layouts are chased
+    // element by element: each leaf pays a 64B DRAM transaction.
+    bool interleaved = false;
+    for (const auto& [rid, rf] : unit.format->ranks) {
+        (void)rid;
+        if (rf.layout == fmt::RankFormat::Layout::Interleaved)
+            interleaved = true;
+    }
+    if (interleaved && payload->isFiber() && payload->fiber()) {
+        bytes = std::max(bytes,
+                         kInterleavedTransactionBytes *
+                             static_cast<double>(
+                                 payload->fiber()->leafCount()));
+    }
+    subtreeBytesCache_[key] = bytes;
+    return bytes;
+}
+
+void
+ModelObserver::onLoopEnter(std::size_t loop, ft::Coord c)
+{
+    (void)c;
+    for (std::size_t u = 0; u < storage_.size(); ++u) {
+        StorageUnit& unit = storage_[u];
+        if (unit.evictLoop != static_cast<int>(loop) || unit.isCache)
+            continue;
+        const Buffet::DrainResult drained = unit.buffet.evictAll();
+        const double total = drained.firstBytes + drained.againBytes;
+        if (total > 0) {
+            chargeDram(unit.tensor, drained.firstBytes, true, false);
+            chargeDram(unit.tensor, drained.againBytes, true, true);
+            component(unit.component).add("drain_bytes", total);
+        }
+    }
+}
+
+void
+ModelObserver::onCoIterate(std::size_t loop, std::size_t steps,
+                           std::size_t matches, std::size_t drivers,
+                           std::uint64_t pe)
+{
+    (void)loop;
+    if (seqComp_ != nullptr) {
+        // The sequencer walks fibers at one element per cycle.
+        ComponentActions& seq = *seqComp_;
+        seq.counts["steps"] += static_cast<double>(steps);
+        seq.perPe[peSlot(seq, pe)] += static_cast<double>(steps);
+    }
+    if (drivers >= 2 && !plan_.unionCombine && isectComp_ != nullptr) {
+        ComponentActions& isect = *isectComp_;
+        isect.add("steps", static_cast<double>(steps));
+        isect.add("matches", static_cast<double>(matches));
+        const double skips = static_cast<double>(steps - matches);
+        double cycles;
+        if (isectType_ == "skip-ahead") {
+            // Hegde et al.'s unit fast-forwards through non-matching
+            // runs at ~2 elements/cycle.
+            cycles = static_cast<double>(matches) + skips / 2.0;
+        } else if (isectType_ == "leader-follower") {
+            // Only the leader's elements are examined.
+            cycles = static_cast<double>(steps) / 2.0 +
+                     static_cast<double>(matches) / 2.0;
+        } else { // two-finger
+            cycles = static_cast<double>(steps);
+        }
+        isect.add("cycles", cycles);
+        isect.perPe[peSlot(isect, pe)] += cycles;
+    }
+}
+
+void
+ModelObserver::onCoordScan(int input, std::size_t level,
+                           std::size_t count, std::uint64_t pe)
+{
+    (void)pe;
+    if (input < 0 || count == 0)
+        return;
+    const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
+    const double bytes = r.coordBytes * static_cast<double>(count);
+    if (bytes <= 0)
+        return;
+    if (r.unit >= 0) {
+        const StorageUnit& unit =
+            storage_[static_cast<std::size_t>(r.unit)];
+        if (unit.isCache || !r.absorbed)
+            component(unit.component).add("access_bytes", bytes);
+        if (!r.absorbed && !unit.eager) {
+            // Lazily bound coordinates stream through the buffer.
+            chargeDram(plan_.inputs[static_cast<std::size_t>(input)].name,
+                       bytes, false);
+        }
+    } else {
+        chargeDram(plan_.inputs[static_cast<std::size_t>(input)].name,
+                   bytes, false);
+    }
+}
+
+void
+ModelObserver::onTensorAccess(int input, const std::string& tensor,
+                              std::size_t level, ft::Coord c,
+                              const void* key, const ft::Payload* payload,
+                              std::uint64_t pe)
+{
+    (void)c;
+    (void)pe;
+    if (input < 0)
+        return;
+    pathKey_[static_cast<std::size_t>(input)][level] = key;
+    const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
+    if (r.unit < 0) {
+        chargeDram(tensor, r.payloadBytes, false);
+        return;
+    }
+    StorageUnit& unit = storage_[static_cast<std::size_t>(r.unit)];
+    ComponentActions& ca = component(unit.component);
+    if (r.absorbed) {
+        // Covered by an eager fill above: on-chip hit. Caches pay a
+        // port access per use; explicitly orchestrated buffets feed
+        // registers/multicast networks, so re-uses are free.
+        if (unit.isCache)
+            ca.add("access_bytes", r.payloadBytes);
+        return;
+    }
+    double bytes = r.payloadBytes;
+    if (unit.eager && unit.boundLevel == static_cast<int>(level)) {
+        const ir::TensorPlan& tp =
+            plan_.inputs[static_cast<std::size_t>(input)];
+        bytes = subtreeBytes(unit, payload, level,
+                             tp.prepared.rankIds());
+    }
+    bool hit;
+    if (unit.isCache)
+        hit = unit.cache->access(key, bytes);
+    else
+        hit = unit.buffet.read(keyHash(key), bytes);
+    ca.add("access_bytes", bytes);
+    if (!hit) {
+        ca.add("fill_bytes", bytes);
+        chargeDram(tensor, bytes, false);
+    }
+}
+
+void
+ModelObserver::onOutputWrite(const std::string& tensor, std::size_t level,
+                             ft::Coord c, std::uint64_t path_key,
+                             bool inserted, bool at_leaf, std::uint64_t pe)
+{
+    (void)level;
+    (void)c;
+    (void)inserted;
+    (void)pe;
+    if (!at_leaf)
+        return;
+    const double bytes = outLeafBytes_;
+    if (outUnit_ >= 0) {
+        StorageUnit& unit =
+            storage_[static_cast<std::size_t>(outUnit_)];
+        const double resident_before = unit.buffet.residentBytes();
+        const bool revisit = unit.buffet.write(path_key, bytes);
+        // Repeat writes to a resident partial accumulate in
+        // registers/adder trees; the buffer port is paid on
+        // allocation (and again at drain).
+        if (unit.buffet.residentBytes() != resident_before)
+            component(unit.component).add("access_bytes", bytes);
+        if (revisit) {
+            // Partial result re-fetched from DRAM.
+            chargeDram(tensor, bytes, false, true);
+        }
+        return;
+    }
+    // Streaming output: every write goes to memory; revisits are
+    // partial-output read-modify-writes.
+    const double dram_bytes =
+        outLineBytes_ > 0 ? outLineBytes_ : bytes;
+    auto [it, first] = outWritten_.try_emplace(path_key, 0);
+    ++it->second;
+    if (first) {
+        chargeDram(tensor, dram_bytes, true, false);
+    } else {
+        chargeDram(tensor, dram_bytes, false, true);
+        chargeDram(tensor, dram_bytes, true, true);
+    }
+}
+
+void
+ModelObserver::onCompute(char op, std::uint64_t pe, std::size_t count)
+{
+    ComponentActions* ca = op == 'm' ? mulComp_ : addComp_;
+    if (ca == nullptr)
+        return;
+    ca->counts[op == 'm' ? "mul_ops" : "add_ops"] +=
+        static_cast<double>(count);
+    ca->perPe[peSlot(*ca, pe)] += static_cast<double>(count);
+}
+
+void
+ModelObserver::onSwizzle(const std::string& tensor, std::size_t elements,
+                         std::size_t ways, bool online)
+{
+    if (!online)
+        return;
+    if (mergerName_.empty()) {
+        // No merger hardware: the swizzle still happens (e.g. via
+        // memory round trips); charge the sequencer.
+        if (!seqName_.empty())
+            component(seqName_).add("swizzle_elems",
+                                    static_cast<double>(elements));
+        return;
+    }
+    const double passes = std::max(
+        1.0, std::ceil(std::log(static_cast<double>(std::max<std::size_t>(
+                           ways, 2))) /
+                       std::log(static_cast<double>(mergerRadix_))));
+    ComponentActions& merger = component(mergerName_);
+    merger.add("merge_elems", static_cast<double>(elements) * passes);
+    merger.add("swizzles", 1);
+    (void)tensor;
+}
+
+void
+ModelObserver::onTensorCopy(const std::string& from, const std::string& to,
+                            std::size_t elements)
+{
+    const fmt::TensorFormat& tf = formats_.getLenient(from);
+    fmt::RankFormat leaf; // default compressed
+    const double bytes =
+        static_cast<double>(elements) *
+        (tf.rankFormat("_leaf").coordBits() + leaf.payloadBits(true)) /
+        8.0;
+    chargeDram(from, bytes, false);
+    chargeDram(to, bytes, true);
+}
+
+EinsumRecord
+ModelObserver::finalize(const exec::ExecutionStats& stats)
+{
+    // Drain every output buffet.
+    for (StorageUnit& unit : storage_) {
+        if (unit.isCache)
+            continue;
+        const Buffet::DrainResult drained = unit.buffet.evictAll();
+        const double total = drained.firstBytes + drained.againBytes;
+        if (total > 0) {
+            chargeDram(unit.tensor, drained.firstBytes, true, false);
+            chargeDram(unit.tensor, drained.againBytes, true, true);
+            component(unit.component).add("drain_bytes", total);
+        }
+    }
+    record_.execStats = stats;
+    return std::move(record_);
+}
+
+} // namespace teaal::model

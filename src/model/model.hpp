@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The per-Einsum performance model: consumes the executor's trace
+ * events and produces per-component action counts and per-tensor DRAM
+ * traffic (paper §4.3 "trace consumption").
+ *
+ * Storage bindings route tensor accesses through buffet/cache
+ * simulators; misses and drains charge the DRAM. Unbound tensors
+ * stream: every logical access pays DRAM traffic (no on-chip reuse).
+ * Datapath events (compute, co-iteration, merges) accumulate on the
+ * bound functional components with per-PE counters so load imbalance
+ * is captured.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "binding/binding.hpp"
+#include "exec/executor.hpp"
+#include "format/format.hpp"
+#include "ir/plan.hpp"
+#include "model/buffer_sim.hpp"
+#include "trace/observer.hpp"
+
+namespace teaal::model
+{
+
+/** Action counts of one component during one Einsum. */
+struct ComponentActions
+{
+    std::string name;
+    arch::ComponentClass cls = arch::ComponentClass::Compute;
+    long instances = 1;
+    /// Named action counters (bytes, ops, steps, ...).
+    std::map<std::string, double> counts;
+    /// Per-PE cycle-equivalent load (datapath components).
+    std::unordered_map<std::uint64_t, double> perPe;
+
+    double maxPerPe() const;
+    double count(const std::string& key) const;
+    void add(const std::string& key, double v) { counts[key] += v; }
+};
+
+/** DRAM traffic attributed to one tensor. */
+struct TensorTraffic
+{
+    double readBytes = 0;
+    double writeBytes = 0;
+    /// Partial-output traffic: re-reads + re-writes of evicted partial
+    /// results (the "PO" bars of paper Figure 9).
+    double poBytes = 0;
+
+    double total() const { return readBytes + writeBytes; }
+};
+
+/** Everything the model learned about one Einsum's execution. */
+struct EinsumRecord
+{
+    std::string output;
+    std::string topologyName;
+    double clock = 1e9;
+
+    std::map<std::string, ComponentActions> components;
+    std::map<std::string, TensorTraffic> traffic;
+
+    exec::ExecutionStats execStats;
+
+    // Fusion-relevant facts (paper §4.3).
+    std::vector<std::string> loopOrder;
+    std::vector<std::string> temporalPrefix;
+    std::set<std::string> nonStorageComponents;
+};
+
+/**
+ * Streaming trace consumer for one Einsum.
+ *
+ * Construct, pass to the Executor as the observer, run, then call
+ * finalize() to harvest the EinsumRecord.
+ */
+class ModelObserver : public trace::Observer
+{
+  public:
+    /**
+     * @param plan      The lowered Einsum (must outlive the observer).
+     * @param topo      The architecture topology bound to this Einsum.
+     * @param eb        Its binding.
+     * @param formats   Format specification (concrete representations).
+     * @param on_chip   Tensors that stay on chip (intermediates of a
+     *                  fused block): their DRAM charges are skipped.
+     */
+    ModelObserver(const ir::EinsumPlan& plan, const arch::Topology& topo,
+                  const binding::EinsumBinding& eb,
+                  const fmt::FormatSpec& formats,
+                  const std::set<std::string>& on_chip);
+
+    void onLoopEnter(std::size_t loop, ft::Coord c) override;
+    void onCoIterate(std::size_t loop, std::size_t steps,
+                     std::size_t matches, std::size_t drivers,
+                     std::uint64_t pe) override;
+    void onCoordScan(int input, std::size_t level, std::size_t count,
+                     std::uint64_t pe) override;
+    void onTensorAccess(int input, const std::string& tensor,
+                        std::size_t level, ft::Coord c, const void* key,
+                        const ft::Payload* payload,
+                        std::uint64_t pe) override;
+    void onOutputWrite(const std::string& tensor, std::size_t level,
+                       ft::Coord c, std::uint64_t path_key, bool inserted,
+                       bool at_leaf, std::uint64_t pe) override;
+    void onCompute(char op, std::uint64_t pe, std::size_t count) override;
+    void onSwizzle(const std::string& tensor, std::size_t elements,
+                   std::size_t ways, bool online) override;
+    void onTensorCopy(const std::string& from, const std::string& to,
+                      std::size_t elements) override;
+
+    /** Drain remaining buffers and produce the record. */
+    EinsumRecord finalize(const exec::ExecutionStats& stats);
+
+  private:
+    /** One bound storage simulator. */
+    struct StorageUnit
+    {
+        std::string component;
+        bool isCache = false;
+        /// Caches are shared per component: all tensors bound to one
+        /// cache contend for its capacity.
+        LruCache* cache = nullptr;
+        Buffet buffet;
+        binding::StorageBinding sb;
+        const fmt::TensorFormat* format = nullptr;
+        int input = -1;          // -1 for the output tensor
+        int boundLevel = -1;     // prepared/production level
+        int evictLoop = -1;      // loop index that drains the buffet
+        bool eager = false;
+        std::string tensor;
+    };
+
+    /** Per-level routing for one input tensor. */
+    struct LevelRoute
+    {
+        double coordBytes = 4;
+        double payloadBytes = 4;
+        int unit = -1;       // StorageUnit index handling this level
+        bool absorbed = false; // covered by an eager unit above
+    };
+
+    ComponentActions& component(const std::string& name);
+    void chargeDram(const std::string& tensor, double bytes, bool write,
+                    bool partial = false);
+    double subtreeBytes(const StorageUnit& unit,
+                        const ft::Payload* payload, std::size_t level,
+                        const std::vector<std::string>& rank_ids);
+
+    const ir::EinsumPlan& plan_;
+    const arch::Topology& topo_;
+    const fmt::FormatSpec& formats_;
+    std::set<std::string> onChip_;
+
+    EinsumRecord record_;
+
+    std::vector<StorageUnit> storage_;
+    std::map<std::string, std::unique_ptr<LruCache>> componentCaches_;
+    std::vector<std::vector<LevelRoute>> routes_; // per input, per level
+    std::vector<std::vector<const void*>> pathKey_;
+    // Output routing.
+    int outUnit_ = -1;
+    double outLeafBytes_ = 8;
+    /// DRAM transaction bytes for interleaved (linked-list) layouts:
+    /// pointer chasing pays line granularity per element.
+    double outLineBytes_ = 0;
+    std::unordered_map<std::uint64_t, int> outWritten_;
+
+    // Functional component names (resolved once).
+    std::string dramName_;
+    std::string seqName_;
+    std::string isectName_;
+    std::string isectType_;
+    std::string mergerName_;
+    long mergerRadix_ = 2;
+    std::string mulName_;
+    std::string addName_;
+
+    // Hot-path caches (stable: record_.components is pre-populated and
+    // std::map nodes never move).
+    ComponentActions* dramComp_ = nullptr;
+    ComponentActions* seqComp_ = nullptr;
+    ComponentActions* isectComp_ = nullptr;
+    ComponentActions* mulComp_ = nullptr;
+    ComponentActions* addComp_ = nullptr;
+    std::vector<TensorTraffic*> inputTraffic_; // per input slot
+    TensorTraffic* outTraffic_ = nullptr;
+
+    // Subtree footprint memoization (bytes incl. any transaction
+    // granularity penalty for interleaved layouts).
+    std::unordered_map<const void*, double> subtreeBytesCache_;
+    std::vector<bool> unitInterleaved_; // parallel to storage_
+};
+
+} // namespace teaal::model

@@ -1,0 +1,185 @@
+#include "model/perf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace teaal::model
+{
+
+namespace
+{
+
+/** Temporal prefix of an Einsum's loop order (before first space rank). */
+std::vector<std::string>
+temporalPrefix(const mapping::EinsumMapping& em)
+{
+    std::vector<std::string> prefix;
+    for (const std::string& rank : em.loopOrder) {
+        bool is_space = false;
+        for (const mapping::SpaceTimeEntry& e : em.space) {
+            if (e.rank == rank)
+                is_space = true;
+        }
+        if (is_space)
+            break;
+        prefix.push_back(rank);
+    }
+    return prefix;
+}
+
+/** Non-storage components an Einsum's binding uses exclusively. */
+std::vector<std::string>
+nonStorageComponents(const binding::EinsumBinding& eb)
+{
+    std::vector<std::string> out;
+    for (const binding::ComponentBinding& cb : eb.components) {
+        if (!cb.ops.empty())
+            out.push_back(cb.component);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<std::vector<std::size_t>>
+inferBlocks(const einsum::EinsumSpec& spec, const mapping::MappingSpec& map,
+            const binding::BindingSpec& bindings)
+{
+    std::vector<std::vector<std::size_t>> blocks;
+    for (std::size_t i = 0; i < spec.expressions.size(); ++i) {
+        const std::string& out = spec.expressions[i].output.name;
+        bool fused = false;
+        if (!blocks.empty()) {
+            const std::size_t prev = blocks.back().back();
+            const std::string& prev_out =
+                spec.expressions[prev].output.name;
+            const auto& em = map.einsum(out);
+            const auto& pm = map.einsum(prev_out);
+            const auto& eb = bindings.einsum(out);
+            const auto& pb = bindings.einsum(prev_out);
+            // Criterion 1: same topology.
+            const bool same_topo = eb.topology == pb.topology;
+            // Criterion 2: equal temporal prefixes (explicit orders).
+            const bool same_prefix =
+                !em.loopOrder.empty() && !pm.loopOrder.empty() &&
+                temporalPrefix(em) == temporalPrefix(pm);
+            // Criterion 3: disjoint non-storage components.
+            const auto mine = nonStorageComponents(eb);
+            const auto theirs = nonStorageComponents(pb);
+            bool disjoint = true;
+            for (const std::string& c : mine) {
+                if (std::find(theirs.begin(), theirs.end(), c) !=
+                    theirs.end())
+                    disjoint = false;
+            }
+            fused = same_topo && same_prefix && disjoint;
+        }
+        if (fused)
+            blocks.back().push_back(i);
+        else
+            blocks.push_back({i});
+    }
+    return blocks;
+}
+
+std::map<std::string, double>
+componentTimes(const EinsumRecord& record, const arch::Topology& topo)
+{
+    std::map<std::string, double> times;
+    for (const auto& [name, ca] : record.components) {
+        long instances = 1;
+        const arch::Component* comp =
+            topo.findComponent(name, &instances);
+        double seconds = 0;
+        const double clock = record.clock;
+        switch (ca.cls) {
+          case arch::ComponentClass::DRAM: {
+            const double bw =
+                comp ? comp->attrDouble("bandwidth", 0) : 0;
+            if (bw > 0) {
+                seconds = (ca.count("read_bytes") +
+                           ca.count("write_bytes")) /
+                          (bw * 1e9);
+            }
+            break;
+          }
+          case arch::ComponentClass::Buffer: {
+            const double bw =
+                comp ? comp->attrDouble("bandwidth", 0) : 0;
+            if (bw > 0)
+                seconds = ca.count("access_bytes") / (bw * 1e9);
+            break;
+          }
+          case arch::ComponentClass::Compute:
+          case arch::ComponentClass::Intersection:
+            // One action per cycle on the most-loaded instance.
+            seconds = ca.maxPerPe() / clock;
+            break;
+          case arch::ComponentClass::Sequencer: {
+            // One coordinate per cycle per rank-sequencer; an
+            // instance drives `num_ranks` decoupled rank pipelines.
+            const double ranks = std::max(
+                1.0, comp ? comp->attrDouble("num_ranks", 1) : 1.0);
+            seconds = ca.maxPerPe() / (clock * ranks);
+            break;
+          }
+          case arch::ComponentClass::Merger: {
+            const long lanes = std::max(1L, instances);
+            seconds = ca.count("merge_elems") /
+                      (static_cast<double>(lanes) * clock);
+            break;
+          }
+        }
+        times[name] = seconds;
+    }
+    return times;
+}
+
+CascadePerf
+analyze(const std::vector<EinsumRecord>& records,
+        const arch::ArchSpec& arch,
+        const std::vector<std::vector<std::size_t>>& blocks)
+{
+    CascadePerf perf;
+    for (const EinsumRecord& r : records) {
+        const arch::Topology& topo = arch.topology(r.topologyName);
+        EinsumPerf ep;
+        ep.output = r.output;
+        ep.componentSeconds = componentTimes(r, topo);
+        for (const auto& [name, secs] : ep.componentSeconds) {
+            if (secs > ep.seconds) {
+                ep.seconds = secs;
+                ep.bottleneck = name;
+            }
+        }
+        perf.einsums.push_back(std::move(ep));
+    }
+
+    for (const auto& members : blocks) {
+        BlockPerf bp;
+        bp.einsums = members;
+        // Per-component totals across the fused block; the block runs
+        // as long as its busiest component.
+        std::map<std::string, double> totals;
+        for (std::size_t idx : members) {
+            TEAAL_ASSERT(idx < perf.einsums.size(),
+                         "block index out of range");
+            for (const auto& [name, secs] :
+                 perf.einsums[idx].componentSeconds)
+                totals[name] += secs;
+        }
+        for (const auto& [name, secs] : totals) {
+            if (secs > bp.seconds) {
+                bp.seconds = secs;
+                bp.bottleneck = name;
+            }
+        }
+        perf.totalSeconds += bp.seconds;
+        perf.blocks.push_back(std::move(bp));
+    }
+    return perf;
+}
+
+} // namespace teaal::model

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Execution-time analysis (paper §4.3 "action count consumption"):
+ * fusion-block inference and per-block bottleneck analysis.
+ *
+ * Einsums fuse into one block when (1) they use the same accelerator
+ * topology, (2) the temporal ranks before the first spatial rank of
+ * their loop orders match, and (3) disjoint subsets of the non-storage
+ * components are exclusively used by each Einsum. A block's execution
+ * time is its slowest component's; the cascade's is the sum over
+ * blocks.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "binding/binding.hpp"
+#include "einsum/parser.hpp"
+#include "mapping/mapping.hpp"
+#include "model/model.hpp"
+
+namespace teaal::model
+{
+
+/** Per-Einsum timing. */
+struct EinsumPerf
+{
+    std::string output;
+    std::map<std::string, double> componentSeconds;
+    double seconds = 0;
+    std::string bottleneck;
+};
+
+/** One fused block. */
+struct BlockPerf
+{
+    std::vector<std::size_t> einsums;
+    double seconds = 0;
+    std::string bottleneck;
+};
+
+/** Whole-cascade timing. */
+struct CascadePerf
+{
+    std::vector<EinsumPerf> einsums;
+    std::vector<BlockPerf> blocks;
+    double totalSeconds = 0;
+};
+
+/**
+ * Static fusion inference from the specification alone (it must run
+ * before execution so fused intermediates skip DRAM).
+ * @return Blocks as lists of expression indices, in order.
+ */
+std::vector<std::vector<std::size_t>> inferBlocks(
+    const einsum::EinsumSpec& spec, const mapping::MappingSpec& map,
+    const binding::BindingSpec& bindings);
+
+/** Seconds consumed by each component of @p record. */
+std::map<std::string, double> componentTimes(const EinsumRecord& record,
+                                             const arch::Topology& topo);
+
+/**
+ * Bottleneck analysis over all records, using the supplied block
+ * structure (from inferBlocks).
+ */
+CascadePerf analyze(const std::vector<EinsumRecord>& records,
+                    const arch::ArchSpec& arch,
+                    const std::vector<std::vector<std::size_t>>& blocks);
+
+} // namespace teaal::model

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error types shared by all teaal subsystems.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *  - SpecError is the "fatal" class: the user's specification (Einsum,
+ *    mapping, format, architecture, binding, or workload description) is
+ *    malformed or inconsistent. These carry enough context to fix the
+ *    spec.
+ *  - ModelError is the "panic" class: an internal invariant of the
+ *    simulator generator or performance model was violated; it indicates
+ *    a bug in teaal itself, not in the user's input.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace teaal
+{
+
+/** Base class for all teaal exceptions. */
+class TeaalError : public std::runtime_error
+{
+  public:
+    explicit TeaalError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** The user-provided specification is invalid (gem5 "fatal"). */
+class SpecError : public TeaalError
+{
+  public:
+    explicit SpecError(const std::string& what_arg)
+        : TeaalError("spec error: " + what_arg)
+    {
+    }
+};
+
+/** An internal invariant was violated (gem5 "panic"). */
+class ModelError : public TeaalError
+{
+  public:
+    explicit ModelError(const std::string& what_arg)
+        : TeaalError("model error: " + what_arg)
+    {
+    }
+};
+
+namespace detail
+{
+
+/** Builds a message from streamable parts; used by the throw helpers. */
+template <typename... Args>
+std::string
+concatMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Throw a SpecError built from streamable parts. */
+template <typename... Args>
+[[noreturn]] void
+specError(Args&&... args)
+{
+    throw SpecError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Throw a ModelError built from streamable parts. */
+template <typename... Args>
+[[noreturn]] void
+modelError(Args&&... args)
+{
+    throw ModelError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Assert an internal invariant; throws ModelError on failure.
+ * Active in all build types: model correctness matters more than the
+ * nanoseconds saved by compiling the checks out.
+ */
+#define TEAAL_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::teaal::modelError("assertion failed: " #cond " ",           \
+                                ##__VA_ARGS__);                            \
+        }                                                                  \
+    } while (0)
+
+} // namespace teaal

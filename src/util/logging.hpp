@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal leveled logging to stderr (inform/warn in gem5 terms).
+ */
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace teaal
+{
+
+/** Log severity, lowest to highest. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** Global log configuration. */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger. */
+    static Logger&
+    instance()
+    {
+        static Logger logger;
+        return logger;
+    }
+
+    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Emit a message if @p level is at or above the configured level. */
+    void
+    log(LogLevel level, const std::string& msg)
+    {
+        if (static_cast<int>(level) >= static_cast<int>(level_)) {
+            const char* tag = level == LogLevel::Warn
+                                  ? "warn: "
+                                  : (level == LogLevel::Debug ? "debug: "
+                                                              : "info: ");
+            std::cerr << "[teaal] " << tag << msg << "\n";
+        }
+    }
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Stream-style helpers. */
+template <typename... Args>
+void
+logInfo(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    Logger::instance().log(LogLevel::Info, oss.str());
+}
+
+template <typename... Args>
+void
+logWarn(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    Logger::instance().log(LogLevel::Warn, oss.str());
+}
+
+template <typename... Args>
+void
+logDebug(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    Logger::instance().log(LogLevel::Debug, oss.str());
+}
+
+} // namespace teaal

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation for workload synthesis.
+ *
+ * SplitMix64 for seeding and Xoshiro256** as the main generator: both
+ * are tiny, fast, and give bit-identical streams on every platform,
+ * which the benches rely on for reproducible figures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace teaal
+{
+
+/** SplitMix64 step; used to expand one seed into generator state. */
+inline std::uint64_t
+splitMix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Xoshiro256** generator (satisfies UniformRandomBitGenerator). */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x5eed5eedULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free multiply-shift (Lemire); bias is negligible for
+        // the bounds used in workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace teaal

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers for benches and EXPERIMENTS reporting.
+ *
+ * The paper reports averages as arithmetic means (citing Jacob & Mudge),
+ * so arithMean is the default aggregator throughout.
+ */
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace teaal
+{
+
+/** Arithmetic mean; throws on empty input. */
+inline double
+arithMean(const std::vector<double>& xs)
+{
+    TEAAL_ASSERT(!xs.empty(), "arithMean of empty vector");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Geometric mean of positive values; throws on empty input. */
+inline double
+geoMean(const std::vector<double>& xs)
+{
+    TEAAL_ASSERT(!xs.empty(), "geoMean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        TEAAL_ASSERT(x > 0.0, "geoMean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Mean absolute relative error of model vs. reference, in percent. */
+inline double
+meanAbsRelErrorPct(const std::vector<double>& model,
+                   const std::vector<double>& reference)
+{
+    TEAAL_ASSERT(model.size() == reference.size(),
+                 "error vectors differ in length");
+    std::vector<double> errs;
+    errs.reserve(model.size());
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        TEAAL_ASSERT(reference[i] != 0.0, "reference value is zero");
+        errs.push_back(std::abs(model[i] - reference[i]) /
+                       std::abs(reference[i]) * 100.0);
+    }
+    return arithMean(errs);
+}
+
+} // namespace teaal

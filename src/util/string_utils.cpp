@@ -1,0 +1,140 @@
+#include "util/string_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace teaal
+{
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string>
+split(const std::string& s, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : s) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::vector<std::string>
+splitTopLevel(const std::string& s, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '(' || c == '[')
+            ++depth;
+        else if (c == ')' || c == ']')
+            --depth;
+        if (c == delim && depth == 0) {
+            fields.push_back(trim(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(trim(current));
+    return fields;
+}
+
+std::string
+join(const std::vector<std::string>& fields, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += fields[i];
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string& s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+long
+parseLong(const std::string& s, const std::string& context)
+{
+    const std::string t = trim(s);
+    char* end = nullptr;
+    errno = 0;
+    long value = std::strtol(t.c_str(), &end, 10);
+    if (t.empty() || end != t.c_str() + t.size() || errno == ERANGE)
+        specError("expected integer, got '", s, "' (", context, ")");
+    return value;
+}
+
+double
+parseDouble(const std::string& s, const std::string& context)
+{
+    const std::string t = trim(s);
+    char* end = nullptr;
+    errno = 0;
+    double value = std::strtod(t.c_str(), &end);
+    if (t.empty() || end != t.c_str() + t.size() || errno == ERANGE)
+        specError("expected number, got '", s, "' (", context, ")");
+    return value;
+}
+
+bool
+isInteger(const std::string& s)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+    std::size_t i = (t[0] == '-' || t[0] == '+') ? 1 : 0;
+    if (i == t.size())
+        return false;
+    for (; i < t.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(t[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace teaal

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small string helpers used by the YAML and Einsum parsers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace teaal
+{
+
+/** Remove leading and trailing whitespace. */
+std::string trim(const std::string& s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string& s, const std::string& prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(const std::string& s, const std::string& suffix);
+
+/** Split on a single character delimiter; keeps empty fields. */
+std::vector<std::string> split(const std::string& s, char delim);
+
+/**
+ * Split on @p delim at paren/bracket depth zero only, so
+ * "uniform_occupancy(A.256), flatten()" splits into two fields.
+ * Fields are trimmed.
+ */
+std::vector<std::string> splitTopLevel(const std::string& s, char delim);
+
+/** Join fields with a separator. */
+std::string join(const std::vector<std::string>& fields,
+                 const std::string& sep);
+
+/** Lower-case copy (ASCII). */
+std::string toLower(const std::string& s);
+
+/** Parse a long; throws SpecError with @p context on failure. */
+long parseLong(const std::string& s, const std::string& context);
+
+/** Parse a double; throws SpecError with @p context on failure. */
+double parseDouble(const std::string& s, const std::string& context);
+
+/** True if the string parses fully as a (possibly signed) integer. */
+bool isInteger(const std::string& s);
+
+} // namespace teaal

@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace teaal
+{
+
+namespace
+{
+/// Sentinel row meaning "draw a separator here".
+const std::string kSeparator = "\x01--";
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return std::string(buf);
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths over header and all non-separator rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+        if (!(row.size() == 1 && row[0] == kSeparator))
+            widen(row);
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    auto emit = [&oss, &widths](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            oss << row[i];
+            if (i + 1 < row.size()) {
+                for (std::size_t p = row[i].size(); p < widths[i]; ++p)
+                    oss << ' ';
+                oss << " | ";
+            }
+        }
+        oss << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        oss << std::string(total > 3 ? total - 3 : total, '-') << "\n";
+    }
+    for (const auto& row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            oss << std::string(total > 3 ? total - 3 : total, '-') << "\n";
+        else
+            emit(row);
+    }
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+} // namespace teaal

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by every bench binary so the
+ * regenerated tables/figures print with a uniform, diff-friendly layout.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace teaal
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; width need not match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the full table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision significant decimals. */
+    static std::string num(double value, int precision = 3);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace teaal

@@ -1,0 +1,305 @@
+#include "workloads/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace teaal::workloads
+{
+
+const std::vector<DatasetInfo>&
+table4()
+{
+    static const std::vector<DatasetInfo> datasets = {
+        {"wi", "wiki-Vote", 8300, 8300, 104000, "elections",
+         Structure::PowerLaw},
+        {"p2", "p2p-Gnutella31", 63000, 63000, 148000, "file-sharing",
+         Structure::PowerLaw},
+        {"ca", "ca-CondMat", 23000, 23000, 187000, "collab. net.",
+         Structure::PowerLaw},
+        {"po", "poisson3Da", 14000, 23000, 353000, "fluid dynamics",
+         Structure::QuasiUniform},
+        {"em", "email-Enron", 37000, 37000, 368000, "email comms.",
+         Structure::PowerLaw},
+        {"fl", "flickr", 820000, 820000, 9800000, "site crawl graph",
+         Structure::PowerLaw},
+        {"wk", "wikipedia-20070206", 3600000, 3600000, 42000000,
+         "site link graph", Structure::PowerLaw},
+        {"lj", "soc-LiveJournal1", 4800000, 4800000, 69000000,
+         "follower graph", Structure::PowerLaw},
+    };
+    return datasets;
+}
+
+const DatasetInfo&
+dataset(const std::string& key)
+{
+    for (const DatasetInfo& d : table4()) {
+        if (d.key == key)
+            return d;
+    }
+    specError("unknown dataset '", key, "' (see Table 4)");
+}
+
+namespace
+{
+
+/** Build a [K, M] tensor from (row, col, value) triples. */
+ft::Tensor
+fromTriples(const std::string& name, ft::Coord rows, ft::Coord cols,
+            std::vector<std::pair<std::uint64_t, double>>& packed,
+            const std::vector<std::string>& rank_ids)
+{
+    std::sort(packed.begin(), packed.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    TEAAL_ASSERT(rank_ids.size() == 2, "matrix needs 2 rank ids");
+    ft::Tensor t(name, rank_ids, {rows, cols});
+    const auto ucols = static_cast<std::uint64_t>(cols);
+    for (const auto& [rc, v] : packed) {
+        const auto r = static_cast<ft::Coord>(rc / ucols);
+        const auto c = static_cast<ft::Coord>(rc % ucols);
+        const std::vector<ft::Coord> p{r, c};
+        t.set(p, v);
+    }
+    return t;
+}
+
+} // namespace
+
+ft::Tensor
+uniformMatrix(const std::string& name, ft::Coord rows, ft::Coord cols,
+              std::size_t nnz, std::uint64_t seed,
+              const std::vector<std::string>& rank_ids)
+{
+    TEAAL_ASSERT(rows > 0 && cols > 0, "matrix must be non-empty");
+    Xoshiro256 rng(seed);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(nnz * 2);
+    const auto ucols = static_cast<std::uint64_t>(cols);
+    const std::size_t target = std::min<std::size_t>(
+        nnz, static_cast<std::size_t>(rows) *
+                 static_cast<std::size_t>(cols));
+    while (seen.size() < target) {
+        const std::uint64_t r =
+            rng.below(static_cast<std::uint64_t>(rows));
+        const std::uint64_t c = rng.below(ucols);
+        seen.insert(r * ucols + c);
+    }
+    std::vector<std::pair<std::uint64_t, double>> packed;
+    packed.reserve(seen.size());
+    for (std::uint64_t rc : seen)
+        packed.emplace_back(rc, 1.0 + rng.uniform());
+    return fromTriples(name, rows, cols, packed, rank_ids);
+}
+
+ft::Tensor
+powerLawMatrix(const std::string& name, ft::Coord rows, ft::Coord cols,
+               std::size_t nnz, std::uint64_t seed,
+               const std::vector<std::string>& rank_ids)
+{
+    Xoshiro256 rng(seed);
+    // Zipf-like row degrees: deg(i) ~ (i+1)^-0.8, scaled to nnz, with
+    // the row order shuffled so heavy rows are scattered.
+    std::vector<double> weights(static_cast<std::size_t>(rows));
+    double total = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+        total += weights[i];
+    }
+    std::vector<std::uint32_t> row_of(weights.size());
+    for (std::size_t i = 0; i < row_of.size(); ++i)
+        row_of[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = row_of.size(); i > 1; --i)
+        std::swap(row_of[i - 1], row_of[rng.below(i)]);
+
+    const auto ucols = static_cast<std::uint64_t>(cols);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(nnz * 2);
+    std::vector<std::pair<std::uint64_t, double>> packed;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const auto degree = static_cast<std::size_t>(
+            std::ceil(weights[i] / total * static_cast<double>(nnz)));
+        const std::uint64_t row = row_of[i];
+        for (std::size_t e = 0; e < degree && seen.size() < nnz; ++e) {
+            // Preferential columns: square the uniform draw to skew
+            // toward low column indices (hub vertices).
+            const double u = rng.uniform();
+            const auto col = static_cast<std::uint64_t>(
+                u * u * static_cast<double>(cols));
+            const std::uint64_t rc =
+                row * ucols + std::min(col, ucols - 1);
+            if (seen.insert(rc).second)
+                packed.emplace_back(rc, 1.0 + rng.uniform());
+        }
+        if (seen.size() >= nnz)
+            break;
+    }
+    return fromTriples(name, rows, cols, packed, rank_ids);
+}
+
+ft::Tensor
+bandedMatrix(const std::string& name, ft::Coord rows, ft::Coord cols,
+             std::size_t nnz, std::uint64_t seed,
+             const std::vector<std::string>& rank_ids)
+{
+    Xoshiro256 rng(seed);
+    // PDE-mesh-like: each row has ~nnz/rows entries clustered near the
+    // diagonal (bandwidth ~3x the mean degree).
+    const double mean_degree =
+        static_cast<double>(nnz) / static_cast<double>(rows);
+    const auto band = static_cast<std::int64_t>(
+        std::max(4.0, 3.0 * mean_degree));
+    const auto ucols = static_cast<std::uint64_t>(cols);
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::pair<std::uint64_t, double>> packed;
+    while (seen.size() < nnz) {
+        const auto r = static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(rows)));
+        const std::int64_t center =
+            r * cols / rows; // diagonal position for non-square
+        std::int64_t c = center + static_cast<std::int64_t>(
+                                      rng.below(static_cast<std::uint64_t>(
+                                          2 * band + 1))) -
+                         band;
+        c = std::clamp<std::int64_t>(c, 0, cols - 1);
+        const std::uint64_t rc =
+            static_cast<std::uint64_t>(r) * ucols +
+            static_cast<std::uint64_t>(c);
+        if (seen.insert(rc).second)
+            packed.emplace_back(rc, 1.0 + rng.uniform());
+    }
+    return fromTriples(name, rows, cols, packed, rank_ids);
+}
+
+ft::Tensor
+synthesize(const DatasetInfo& info, const std::string& name,
+           std::uint64_t seed, double scale,
+           const std::vector<std::string>& rank_ids)
+{
+    const auto rows = static_cast<ft::Coord>(
+        std::max(1.0, static_cast<double>(info.rows) * scale));
+    const auto cols = static_cast<ft::Coord>(
+        std::max(1.0, static_cast<double>(info.cols) * scale));
+    const auto nnz = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(info.nnz) * scale));
+    switch (info.structure) {
+      case Structure::PowerLaw:
+        return powerLawMatrix(name, rows, cols, nnz, seed, rank_ids);
+      case Structure::QuasiUniform:
+        return bandedMatrix(name, rows, cols, nnz, seed, rank_ids);
+      case Structure::Uniform:
+        return uniformMatrix(name, rows, cols, nnz, seed, rank_ids);
+    }
+    specError("bad structure for dataset ", info.key);
+}
+
+Graph
+rmatGraph(ft::Coord vertices, std::size_t edges, std::uint64_t seed)
+{
+    TEAAL_ASSERT(vertices > 1, "graph needs >= 2 vertices");
+    Xoshiro256 rng(seed);
+    int levels = 0;
+    while ((ft::Coord{1} << levels) < vertices)
+        ++levels;
+
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges * 2);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+    list.reserve(edges);
+    const auto uvertices = static_cast<std::uint64_t>(vertices);
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = edges * 8 + 1024;
+    while (list.size() < edges && attempts < max_attempts) {
+        ++attempts;
+        std::uint64_t src = 0, dst = 0;
+        for (int l = 0; l < levels; ++l) {
+            const double u = rng.uniform();
+            // a=0.57, b=0.19, c=0.19, d=0.05
+            int quadrant;
+            if (u < 0.57)
+                quadrant = 0;
+            else if (u < 0.76)
+                quadrant = 1;
+            else if (u < 0.95)
+                quadrant = 2;
+            else
+                quadrant = 3;
+            src = (src << 1) | static_cast<std::uint64_t>(quadrant >> 1);
+            dst = (dst << 1) | static_cast<std::uint64_t>(quadrant & 1);
+        }
+        if (src >= uvertices || dst >= uvertices || src == dst)
+            continue;
+        if (seen.insert(src * uvertices + dst).second) {
+            list.emplace_back(static_cast<std::uint32_t>(src),
+                              static_cast<std::uint32_t>(dst));
+        }
+    }
+
+    std::sort(list.begin(), list.end());
+    Graph g;
+    g.vertices = vertices;
+    g.offsets.assign(static_cast<std::size_t>(vertices) + 1, 0);
+    g.targets.reserve(list.size());
+    g.weights.reserve(list.size());
+    for (const auto& [src, dst] : list)
+        ++g.offsets[src + 1];
+    for (std::size_t v = 1; v < g.offsets.size(); ++v)
+        g.offsets[v] += g.offsets[v - 1];
+    for (const auto& [src, dst] : list) {
+        (void)src;
+        g.targets.push_back(dst);
+        g.weights.push_back(
+            1.0f + static_cast<float>(rng.uniform() * 9.0));
+    }
+    return g;
+}
+
+Graph
+synthesizeGraph(const DatasetInfo& info, std::uint64_t seed, double scale)
+{
+    const auto vertices = static_cast<ft::Coord>(
+        std::max(2.0, static_cast<double>(info.rows) * scale));
+    const auto edges = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(info.nnz) * scale));
+    return rmatGraph(vertices, edges, seed);
+}
+
+ft::Tensor
+graphToTensor(const Graph& g, const std::string& name,
+              const std::vector<std::string>& rank_ids)
+{
+    TEAAL_ASSERT(rank_ids.size() == 2, "graph tensor needs 2 ranks");
+    ft::Tensor t(name, rank_ids, {g.vertices, g.vertices});
+    // Build [D, S]: destination-major so the process phase's
+    // reduction over sources is concordant.
+    std::vector<std::pair<std::uint64_t, double>> packed;
+    packed.reserve(g.edges());
+    const auto uv = static_cast<std::uint64_t>(g.vertices);
+    for (ft::Coord s = 0; s < g.vertices; ++s) {
+        for (std::uint32_t e = g.offsets[static_cast<std::size_t>(s)];
+             e < g.offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+            packed.emplace_back(
+                static_cast<std::uint64_t>(g.targets[e]) * uv +
+                    static_cast<std::uint64_t>(s),
+                static_cast<double>(g.weights[e]));
+        }
+    }
+    std::sort(packed.begin(), packed.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    for (const auto& [ds, w] : packed) {
+        const std::vector<ft::Coord> p{
+            static_cast<ft::Coord>(ds / uv),
+            static_cast<ft::Coord>(ds % uv)};
+        t.set(p, w);
+    }
+    return t;
+}
+
+} // namespace teaal::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Table 4 dataset registry and synthetic stand-in generators.
+ *
+ * SuiteSparse/SNAP matrices are not redistributable here, so each
+ * dataset is synthesized deterministically with the published shape
+ * and NNZ and a structure class matching its domain: social/web
+ * graphs get power-law degree distributions (R-MAT), PDE meshes get
+ * quasi-uniform banded structure, and synthetic-uniform matrices are
+ * plain Bernoulli. The model is data-driven, so preserving shape, NNZ
+ * and skew preserves the relative behaviour the figures compare
+ * (DESIGN.md §3 records this substitution).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fibertree/tensor.hpp"
+
+namespace teaal::workloads
+{
+
+/** Sparsity structure class used for synthesis. */
+enum class Structure { PowerLaw, QuasiUniform, Uniform };
+
+/** One Table 4 row. */
+struct DatasetInfo
+{
+    std::string key;  ///< short name used in the figures ("wi")
+    std::string name; ///< published matrix name
+    ft::Coord rows;
+    ft::Coord cols;
+    std::size_t nnz;
+    std::string domain;
+    Structure structure;
+};
+
+/** All eight Table 4 datasets (top 5 validation, bottom 3 graphs). */
+const std::vector<DatasetInfo>& table4();
+
+/** Lookup by key; throws SpecError for unknown keys. */
+const DatasetInfo& dataset(const std::string& key);
+
+/**
+ * Synthesize the stand-in matrix for @p info as a [K, M] fibertree
+ * (K = rows). @p scale scales rows/cols/nnz (benches shrink the
+ * large graphs; the header of each bench records the factor).
+ */
+ft::Tensor synthesize(const DatasetInfo& info, const std::string& name,
+                      std::uint64_t seed, double scale = 1.0,
+                      const std::vector<std::string>& rank_ids = {"K",
+                                                                  "M"});
+
+/** Uniform Bernoulli sparse matrix with ~nnz nonzeros. */
+ft::Tensor uniformMatrix(const std::string& name, ft::Coord rows,
+                         ft::Coord cols, std::size_t nnz,
+                         std::uint64_t seed,
+                         const std::vector<std::string>& rank_ids = {
+                             "K", "M"});
+
+/** Power-law (Zipf row degree) matrix with ~nnz nonzeros. */
+ft::Tensor powerLawMatrix(const std::string& name, ft::Coord rows,
+                          ft::Coord cols, std::size_t nnz,
+                          std::uint64_t seed,
+                          const std::vector<std::string>& rank_ids = {
+                              "K", "M"});
+
+/** Quasi-uniform banded matrix (PDE-mesh-like). */
+ft::Tensor bandedMatrix(const std::string& name, ft::Coord rows,
+                        ft::Coord cols, std::size_t nnz,
+                        std::uint64_t seed,
+                        const std::vector<std::string>& rank_ids = {
+                            "K", "M"});
+
+/** Compressed adjacency for the graph engine. */
+struct Graph
+{
+    ft::Coord vertices = 0;
+    std::vector<std::uint32_t> offsets; ///< size vertices+1
+    std::vector<std::uint32_t> targets;
+    std::vector<float> weights;
+
+    std::size_t edges() const { return targets.size(); }
+};
+
+/**
+ * R-MAT graph with 2^ceil(log2(vertices)) vertex id space truncated
+ * to @p vertices; ~edges edges after dedup (standard a/b/c/d =
+ * 0.57/0.19/0.19/0.05 skew, matching SNAP-like degree distributions).
+ */
+Graph rmatGraph(ft::Coord vertices, std::size_t edges,
+                std::uint64_t seed);
+
+/** Graph stand-in for a Table 4 dataset (fl/wk/lj). */
+Graph synthesizeGraph(const DatasetInfo& info, std::uint64_t seed,
+                      double scale = 1.0);
+
+/** Adjacency as a destination-major fibertree (default ranks [D, S];
+ *  the Figure 12 cascades use [V, S]). */
+ft::Tensor graphToTensor(const Graph& g, const std::string& name,
+                         const std::vector<std::string>& rank_ids = {
+                             "D", "S"});
+
+} // namespace teaal::workloads

@@ -1,0 +1,110 @@
+#include "workloads/mtx.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::workloads
+{
+
+ft::Tensor
+parseMatrixMarket(const std::string& text, const std::string& name,
+                  const std::vector<std::string>& rank_ids)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line))
+        specError("empty MatrixMarket input");
+    const std::string header = toLower(trim(line));
+    if (!startsWith(header, "%%matrixmarket matrix coordinate"))
+        specError("unsupported MatrixMarket header: '", line, "'");
+    const bool pattern = header.find("pattern") != std::string::npos;
+    const bool symmetric = header.find("symmetric") != std::string::npos;
+
+    // Skip comments to the size line.
+    while (std::getline(in, line)) {
+        if (!trim(line).empty() && trim(line)[0] != '%')
+            break;
+    }
+    std::istringstream size_line(line);
+    long rows = 0, cols = 0, nnz = 0;
+    if (!(size_line >> rows >> cols >> nnz))
+        specError("bad MatrixMarket size line: '", line, "'");
+
+    std::vector<std::pair<std::vector<ft::Coord>, double>> coo;
+    coo.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+    long count = 0;
+    while (count < nnz && std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '%')
+            continue;
+        std::istringstream entry(t);
+        long r = 0, c = 0;
+        double v = 1.0;
+        if (!(entry >> r >> c))
+            specError("bad MatrixMarket entry: '", line, "'");
+        if (!pattern && !(entry >> v))
+            specError("missing value in MatrixMarket entry: '", line,
+                      "'");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            specError("MatrixMarket index out of range: '", line, "'");
+        coo.push_back({{r - 1, c - 1}, v});
+        if (symmetric && r != c)
+            coo.push_back({{c - 1, r - 1}, v});
+        ++count;
+    }
+    if (count != nnz)
+        specError("MatrixMarket: expected ", nnz, " entries, got ",
+                  count);
+
+    std::sort(coo.begin(), coo.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+    });
+    ft::Tensor t(name, rank_ids, {rows, cols});
+    for (const auto& [p, v] : coo)
+        t.set(p, v);
+    return t;
+}
+
+ft::Tensor
+readMatrixMarket(const std::string& path, const std::string& name,
+                 const std::vector<std::string>& rank_ids)
+{
+    std::ifstream in(path);
+    if (!in)
+        specError("cannot open MatrixMarket file '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseMatrixMarket(text.str(), name, rank_ids);
+}
+
+std::string
+renderMatrixMarket(const ft::Tensor& t)
+{
+    TEAAL_ASSERT(t.numRanks() == 2, "MatrixMarket needs a matrix");
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by teaal-cpp\n";
+    out << t.rank(0).shape << " " << t.rank(1).shape << " " << t.nnz()
+        << "\n";
+    t.forEachLeaf([&](std::span<const ft::Coord> p, double v) {
+        out << (p[0] + 1) << " " << (p[1] + 1) << " " << v << "\n";
+    });
+    return out.str();
+}
+
+void
+writeMatrixMarket(const std::string& path, const ft::Tensor& t)
+{
+    std::ofstream out(path);
+    if (!out)
+        specError("cannot write MatrixMarket file '", path, "'");
+    out << renderMatrixMarket(t);
+}
+
+} // namespace teaal::workloads

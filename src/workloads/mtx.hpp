@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Matrix Market (.mtx) I/O so the models can run on the actual
+ * SuiteSparse/SNAP matrices of Table 4 when the user has them on disk
+ * (the repository itself ships only synthetic stand-ins).
+ *
+ * Supported subset: `%%MatrixMarket matrix coordinate
+ * (real|integer|pattern) (general|symmetric)`. Pattern entries get
+ * value 1.0; symmetric matrices are expanded. 1-based indices per the
+ * format.
+ */
+#pragma once
+
+#include <string>
+
+#include "fibertree/tensor.hpp"
+
+namespace teaal::workloads
+{
+
+/** Read a Matrix Market file into a [rank_ids] fibertree. */
+ft::Tensor readMatrixMarket(const std::string& path,
+                            const std::string& name,
+                            const std::vector<std::string>& rank_ids = {
+                                "K", "M"});
+
+/** Parse Matrix Market text (for tests and in-memory use). */
+ft::Tensor parseMatrixMarket(const std::string& text,
+                             const std::string& name,
+                             const std::vector<std::string>& rank_ids = {
+                                 "K", "M"});
+
+/** Write a tensor (2 ranks) as Matrix Market coordinate/real/general. */
+void writeMatrixMarket(const std::string& path, const ft::Tensor& t);
+
+/** Render to text (for tests). */
+std::string renderMatrixMarket(const ft::Tensor& t);
+
+} // namespace teaal::workloads

@@ -1,0 +1,434 @@
+#include "yaml/yaml.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::yaml
+{
+
+Node
+Node::makeScalar(std::string value)
+{
+    Node n;
+    n.kind_ = Kind::Scalar;
+    n.scalar_ = std::move(value);
+    return n;
+}
+
+Node
+Node::makeSequence()
+{
+    Node n;
+    n.kind_ = Kind::Sequence;
+    return n;
+}
+
+Node
+Node::makeMapping()
+{
+    Node n;
+    n.kind_ = Kind::Mapping;
+    return n;
+}
+
+const std::string&
+Node::scalar() const
+{
+    if (!isScalar())
+        specError("expected a scalar YAML node");
+    return scalar_;
+}
+
+long
+Node::asLong() const
+{
+    return parseLong(scalar(), "YAML scalar");
+}
+
+double
+Node::asDouble() const
+{
+    return parseDouble(scalar(), "YAML scalar");
+}
+
+const std::vector<Node>&
+Node::sequence() const
+{
+    if (!isSequence())
+        specError("expected a sequence YAML node");
+    return seq_;
+}
+
+std::vector<Node>&
+Node::sequence()
+{
+    if (!isSequence())
+        specError("expected a sequence YAML node");
+    return seq_;
+}
+
+const std::vector<std::pair<std::string, Node>>&
+Node::mapping() const
+{
+    if (!isMapping())
+        specError("expected a mapping YAML node");
+    return map_;
+}
+
+std::vector<std::pair<std::string, Node>>&
+Node::mapping()
+{
+    if (!isMapping())
+        specError("expected a mapping YAML node");
+    return map_;
+}
+
+bool
+Node::has(const std::string& key) const
+{
+    return find(key) != nullptr;
+}
+
+const Node&
+Node::at(const std::string& key) const
+{
+    const Node* n = find(key);
+    if (n == nullptr)
+        specError("missing key '", key, "' in YAML mapping");
+    return *n;
+}
+
+const Node*
+Node::find(const std::string& key) const
+{
+    if (!isMapping())
+        return nullptr;
+    for (const auto& [k, v] : map_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+Node::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto& [k, v] : mapping()) {
+        (void)v;
+        out.push_back(k);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Node::scalarList() const
+{
+    std::vector<std::string> out;
+    if (isNull())
+        return out;
+    if (isScalar()) {
+        out.push_back(scalar_);
+        return out;
+    }
+    for (const Node& n : sequence())
+        out.push_back(n.scalar());
+    return out;
+}
+
+std::string
+Node::dump(int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    std::ostringstream oss;
+    switch (kind_) {
+      case Kind::Null:
+        oss << pad << "~\n";
+        break;
+      case Kind::Scalar:
+        oss << pad << scalar_ << "\n";
+        break;
+      case Kind::Sequence:
+        for (const Node& n : seq_) {
+            if (n.isScalar()) {
+                oss << pad << "- " << n.scalar_ << "\n";
+            } else {
+                oss << pad << "-\n" << n.dump(indent + 2);
+            }
+        }
+        break;
+      case Kind::Mapping:
+        for (const auto& [k, v] : map_) {
+            if (v.isScalar()) {
+                oss << pad << k << ": " << v.scalar_ << "\n";
+            } else if (v.isNull()) {
+                oss << pad << k << ":\n";
+            } else {
+                oss << pad << k << ":\n" << v.dump(indent + 2);
+            }
+        }
+        break;
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+/** One significant input line. */
+struct Line
+{
+    int indent;
+    std::string content;
+    int number;
+};
+
+/** Strip a trailing comment: `#` at start or preceded by whitespace. */
+std::string
+stripComment(const std::string& raw)
+{
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '#' &&
+            (i == 0 || raw[i - 1] == ' ' || raw[i - 1] == '\t')) {
+            return raw.substr(0, i);
+        }
+    }
+    return raw;
+}
+
+/** Split raw text into significant lines with indents. */
+std::vector<Line>
+lex(const std::string& text)
+{
+    std::vector<Line> lines;
+    std::istringstream iss(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(iss, raw)) {
+        ++number;
+        raw = stripComment(raw);
+        int indent = 0;
+        std::size_t i = 0;
+        while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) {
+            indent += raw[i] == '\t' ? 4 : 1;
+            ++i;
+        }
+        std::string content = trim(raw.substr(i));
+        if (content.empty())
+            continue;
+        lines.push_back({indent, content, number});
+    }
+    return lines;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+    Node
+    parseDocument()
+    {
+        if (lines_.empty())
+            return Node();
+        Node root = parseNode(lines_[0].indent);
+        if (pos_ != lines_.size()) {
+            specError("YAML line ", lines_[pos_].number,
+                      ": unexpected dedent/content '",
+                      lines_[pos_].content, "'");
+        }
+        return root;
+    }
+
+  private:
+    /** Parse the block starting at the current position at @p indent. */
+    Node
+    parseNode(int indent)
+    {
+        TEAAL_ASSERT(pos_ < lines_.size(), "parseNode past end");
+        if (startsWith(lines_[pos_].content, "-"))
+            return parseSequence(indent);
+        return parseMapping(indent);
+    }
+
+    Node
+    parseSequence(int indent)
+    {
+        Node seq = Node::makeSequence();
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+               isDashEntry(lines_[pos_].content)) {
+            Line& line = lines_[pos_];
+            std::string rest =
+                line.content.size() > 1 ? trim(line.content.substr(1)) : "";
+            if (rest.empty()) {
+                // `-` alone: item is the following indented block.
+                ++pos_;
+                if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+                    seq.sequence().push_back(
+                        parseNode(lines_[pos_].indent));
+                } else {
+                    seq.sequence().push_back(Node());
+                }
+            } else {
+                // Rewrite `- content` as `content` two columns deeper and
+                // parse the item in place; following lines indented past
+                // the dash belong to the same item.
+                line.indent = indent + 2;
+                line.content = rest;
+                seq.sequence().push_back(parseItem(indent));
+            }
+        }
+        return seq;
+    }
+
+    /**
+     * Parse a sequence item whose first (rewritten) line sits at an
+     * indent greater than the dash. Continuation lines may use any
+     * indent greater than the dash indent.
+     */
+    Node
+    parseItem(int dash_indent)
+    {
+        const Line& first = lines_[pos_];
+        if (!looksLikeMapEntry(first.content))
+            return parseScalarLine();
+        // Normalize all lines of this item to the first line's indent so
+        // `- tensor: T` / `  config: X` parse as one mapping.
+        std::size_t scan = pos_;
+        const int item_indent = first.indent;
+        while (scan < lines_.size() && (scan == pos_ ||
+                                        lines_[scan].indent > dash_indent)) {
+            if (lines_[scan].indent < item_indent &&
+                lines_[scan].indent > dash_indent) {
+                specError("YAML line ", lines_[scan].number,
+                          ": inconsistent indentation in sequence item");
+            }
+            ++scan;
+        }
+        return parseNode(item_indent);
+    }
+
+    Node
+    parseMapping(int indent)
+    {
+        Node map = Node::makeMapping();
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+               !isDashEntry(lines_[pos_].content)) {
+            const Line& line = lines_[pos_];
+            const std::size_t colon = topLevelColon(line.content);
+            if (colon == std::string::npos) {
+                specError("YAML line ", line.number, ": expected 'key:', ",
+                          "got '", line.content, "'");
+            }
+            std::string key = trim(line.content.substr(0, colon));
+            std::string value = trim(line.content.substr(colon + 1));
+            ++pos_;
+            Node child;
+            if (!value.empty()) {
+                child = parseFlow(value, line.number);
+            } else if (pos_ < lines_.size() &&
+                       lines_[pos_].indent > indent) {
+                child = parseNode(lines_[pos_].indent);
+            }
+            if (map.has(key)) {
+                specError("YAML line ", line.number, ": duplicate key '",
+                          key, "'");
+            }
+            map.mapping().emplace_back(std::move(key), std::move(child));
+        }
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+            specError("YAML line ", lines_[pos_].number,
+                      ": unexpected indentation");
+        }
+        return map;
+    }
+
+    Node
+    parseScalarLine()
+    {
+        Node n = parseFlow(lines_[pos_].content, lines_[pos_].number);
+        ++pos_;
+        return n;
+    }
+
+    /** Parse an inline value: flow sequence `[...]` or scalar. */
+    static Node
+    parseFlow(const std::string& value, int line_number)
+    {
+        if (!value.empty() && value.front() == '[') {
+            if (value.back() != ']') {
+                specError("YAML line ", line_number,
+                          ": unterminated flow sequence '", value, "'");
+            }
+            Node seq = Node::makeSequence();
+            const std::string inner =
+                trim(value.substr(1, value.size() - 2));
+            if (inner.empty())
+                return seq;
+            for (const std::string& field : splitTopLevel(inner, ','))
+                seq.sequence().push_back(parseFlow(field, line_number));
+            return seq;
+        }
+        return Node::makeScalar(value);
+    }
+
+    /** `- foo` or bare `-`, but not e.g. `-5` used as a scalar key. */
+    static bool
+    isDashEntry(const std::string& content)
+    {
+        return content == "-" ||
+               (content.size() >= 2 && content[0] == '-' &&
+                content[1] == ' ');
+    }
+
+    /** True if the line contains a top-level `key: value` colon. */
+    static bool
+    looksLikeMapEntry(const std::string& content)
+    {
+        return topLevelColon(content) != std::string::npos;
+    }
+
+    /** Index of the first ':' at paren/bracket depth 0, or npos. */
+    static std::size_t
+    topLevelColon(const std::string& s)
+    {
+        int depth = 0;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const char c = s[i];
+            if (c == '(' || c == '[')
+                ++depth;
+            else if (c == ')' || c == ']')
+                --depth;
+            else if (c == ':' && depth == 0)
+                return i;
+        }
+        return std::string::npos;
+    }
+
+    std::vector<Line> lines_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Node
+parse(const std::string& text)
+{
+    return Parser(lex(text)).parseDocument();
+}
+
+Node
+parseFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        specError("cannot open YAML file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parse(oss.str());
+}
+
+} // namespace teaal::yaml

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A mini-YAML parser covering the subset used by TeAAL specifications
+ * (paper Figures 3 and 8):
+ *
+ *   - block mappings (`key: value` and `key:` + indented block)
+ *   - block sequences (`- item`, including `- key: value` entries)
+ *   - inline flow sequences (`[K, M]`, `[uniform_occupancy(A.256)]`)
+ *   - scalars (strings; typed access on demand)
+ *   - `#` comments and blank lines
+ *
+ * Keys may themselves contain parentheses and commas, e.g. the
+ * OuterSPACE partitioning key `(K, M)`, so key/value splitting is done
+ * at paren depth zero.
+ *
+ * Mappings preserve insertion order: the order of Einsums in a cascade
+ * and of ranks in a loop order is semantically meaningful.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace teaal::yaml
+{
+
+/** A parsed YAML node: null, scalar, sequence, or (ordered) mapping. */
+class Node
+{
+  public:
+    enum class Kind { Null, Scalar, Sequence, Mapping };
+
+    Node() : kind_(Kind::Null) {}
+
+    /** Construct a scalar node. */
+    static Node makeScalar(std::string value);
+    /** Construct an empty sequence node. */
+    static Node makeSequence();
+    /** Construct an empty mapping node. */
+    static Node makeMapping();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isScalar() const { return kind_ == Kind::Scalar; }
+    bool isSequence() const { return kind_ == Kind::Sequence; }
+    bool isMapping() const { return kind_ == Kind::Mapping; }
+
+    /** Scalar access; throws SpecError if not a scalar. */
+    const std::string& scalar() const;
+    /** Scalar parsed as long; throws SpecError on bad type/format. */
+    long asLong() const;
+    /** Scalar parsed as double; throws SpecError on bad type/format. */
+    double asDouble() const;
+
+    /** Sequence access; throws SpecError if not a sequence. */
+    const std::vector<Node>& sequence() const;
+    std::vector<Node>& sequence();
+
+    /** Mapping access; throws SpecError if not a mapping. */
+    const std::vector<std::pair<std::string, Node>>& mapping() const;
+    std::vector<std::pair<std::string, Node>>& mapping();
+
+    /** True if the mapping contains @p key. */
+    bool has(const std::string& key) const;
+
+    /** Mapping lookup; throws SpecError if missing. */
+    const Node& at(const std::string& key) const;
+
+    /** Mapping lookup; returns nullptr if missing. */
+    const Node* find(const std::string& key) const;
+
+    /** Keys of a mapping in insertion order. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Convenience: the node as a list of scalar strings. Accepts a
+     * sequence of scalars or a single scalar (treated as a 1-list);
+     * a null node yields an empty list.
+     */
+    std::vector<std::string> scalarList() const;
+
+    /** Re-render as YAML-ish text (for tests and debugging). */
+    std::string dump(int indent = 0) const;
+
+  private:
+    Kind kind_;
+    std::string scalar_;
+    std::vector<Node> seq_;
+    std::vector<std::pair<std::string, Node>> map_;
+};
+
+/** Parse YAML text; throws SpecError with a line number on failure. */
+Node parse(const std::string& text);
+
+/** Parse the contents of a file; throws SpecError if unreadable. */
+Node parseFile(const std::string& path);
+
+} // namespace teaal::yaml

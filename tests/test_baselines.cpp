@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the baseline models: the Gustavson oracle, the CPU/TPU
+ * rooflines, and the Sparseloop-like analytical ExTensor model.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal::baselines
+{
+namespace
+{
+
+TEST(Gustavson, MatchesBruteForce)
+{
+    const auto a =
+        workloads::uniformMatrix("A", 30, 25, 200, 1, {"K", "M"});
+    const auto b =
+        workloads::uniformMatrix("B", 30, 20, 200, 2, {"K", "N"});
+    const ft::Tensor z = gustavsonSpmspm(a, b);
+    for (ft::Coord m = 0; m < 25; ++m) {
+        for (ft::Coord n = 0; n < 20; ++n) {
+            double ref = 0;
+            for (ft::Coord k = 0; k < 30; ++k) {
+                const std::vector<ft::Coord> pa{k, m}, pb{k, n};
+                ref += a.at(pa) * b.at(pb);
+            }
+            const std::vector<ft::Coord> pz{m, n};
+            EXPECT_NEAR(z.at(pz), ref, 1e-9);
+        }
+    }
+}
+
+TEST(Gustavson, WorkCountsAreExact)
+{
+    const auto a =
+        workloads::uniformMatrix("A", 40, 30, 250, 3, {"K", "M"});
+    const auto b =
+        workloads::uniformMatrix("B", 40, 30, 250, 4, {"K", "N"});
+    const SpmspmWork work = countSpmspmWork(a, b);
+    EXPECT_EQ(work.aNnz, 250u);
+    EXPECT_EQ(work.bNnz, 250u);
+    // Brute-force multiply count.
+    std::size_t mults = 0;
+    for (ft::Coord k = 0; k < 40; ++k) {
+        std::size_t na = 0, nb = 0;
+        for (ft::Coord m = 0; m < 30; ++m) {
+            const std::vector<ft::Coord> p{k, m};
+            na += a.at(p) != 0;
+        }
+        for (ft::Coord n = 0; n < 30; ++n) {
+            const std::vector<ft::Coord> p{k, n};
+            nb += b.at(p) != 0;
+        }
+        mults += na * nb;
+    }
+    EXPECT_EQ(work.mults, mults);
+    EXPECT_EQ(work.zNnz, gustavsonSpmspm(a, b).nnz());
+}
+
+TEST(CpuRoofline, ScalesWithWork)
+{
+    SpmspmWork small{1000, 500, 300, 300};
+    SpmspmWork large{100000, 50000, 3000, 3000};
+    EXPECT_LT(cpuSpmspmSeconds(small), cpuSpmspmSeconds(large));
+    EXPECT_GT(cpuSpmspmSeconds(small), 0);
+}
+
+TEST(TpuRoofline, SkewedShapesWasteTheArray)
+{
+    // Equal FLOPs, but a skinny GEMM underutilizes the 128x128 array.
+    const double square = tpuGemmSeconds(2048, 2048, 2048);
+    const double skinny = tpuGemmSeconds(16, 2048, 2048 * 128);
+    EXPECT_GT(skinny, square);
+}
+
+TEST(TpuRoofline, MonotoneInK)
+{
+    EXPECT_LT(tpuGemmSeconds(256, 256, 512),
+              tpuGemmSeconds(256, 256, 4096));
+}
+
+TEST(Sparseloop, AnalyticalEstimateReasonable)
+{
+    accel::ExTensorConfig cfg;
+    const auto est =
+        sparseloopExtensor(cfg, 10000, 10000, 10000, 1e-3, 1e-3);
+    EXPECT_GT(est.seconds, 0);
+    EXPECT_NEAR(est.mults, 1e12 * 1e-6, 1e7);
+    EXPECT_GT(est.trafficBytes, 0);
+}
+
+TEST(Sparseloop, DensityScalesMults)
+{
+    accel::ExTensorConfig cfg;
+    const auto lo =
+        sparseloopExtensor(cfg, 1000, 1000, 1000, 1e-3, 1e-3);
+    const auto hi = sparseloopExtensor(cfg, 1000, 1000, 1000, 1e-2, 1e-2);
+    EXPECT_NEAR(hi.mults / lo.mults, 100.0, 1.0);
+}
+
+} // namespace
+} // namespace teaal::baselines

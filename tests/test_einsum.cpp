@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the extended-Einsum parser and cascade analysis:
+ * every expression shape from paper Figures 3, 8, 12 and Table 2.
+ */
+#include <gtest/gtest.h>
+
+#include "einsum/parser.hpp"
+#include "util/error.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::einsum
+{
+namespace
+{
+
+TEST(EinsumParse, MatrixMultiply)
+{
+    const Expression e = parseExpression("Z[m, n] = A[k, m] * B[k, n]");
+    EXPECT_EQ(e.kind, OpKind::Multiply);
+    EXPECT_EQ(e.output.name, "Z");
+    ASSERT_EQ(e.output.indices.size(), 2u);
+    EXPECT_TRUE(e.output.indices[0].isSimpleVar());
+    EXPECT_EQ(e.output.indices[0].vars[0], "m");
+    ASSERT_EQ(e.inputs.size(), 2u);
+    EXPECT_EQ(e.inputs[0].name, "A");
+    EXPECT_EQ(e.inputs[1].name, "B");
+    EXPECT_EQ(e.iterationVars(),
+              (std::vector<std::string>{"m", "n", "k"}));
+    EXPECT_EQ(e.reductionVars(), (std::vector<std::string>{"k"}));
+}
+
+TEST(EinsumParse, ReductionOnlyAssign)
+{
+    const Expression e = parseExpression("Z[m, n] = T[k, m, n]");
+    EXPECT_EQ(e.kind, OpKind::Assign);
+    ASSERT_EQ(e.inputs.size(), 1u);
+    EXPECT_EQ(e.inputs[0].name, "T");
+    EXPECT_EQ(e.reductionVars(), (std::vector<std::string>{"k"}));
+}
+
+TEST(EinsumParse, TakeOperator)
+{
+    const Expression e =
+        parseExpression("T[k, m, n] = take(A[k, m], B[k, n], 1)");
+    EXPECT_EQ(e.kind, OpKind::Take);
+    EXPECT_EQ(e.takeArg, 1);
+    ASSERT_EQ(e.inputs.size(), 2u);
+    EXPECT_EQ(e.inputs[0].name, "A");
+    EXPECT_EQ(e.inputs[1].name, "B");
+}
+
+TEST(EinsumParse, TakeArgMustBeBinary)
+{
+    EXPECT_THROW(parseExpression("T[k] = take(A[k], B[k], 2)"),
+                 SpecError);
+    EXPECT_THROW(parseExpression("T[k] = take(A[k], B[k])"), SpecError);
+}
+
+TEST(EinsumParse, AddAndSubtract)
+{
+    const Expression e = parseExpression("M[v] = NP[v] - MP[v]");
+    EXPECT_EQ(e.kind, OpKind::Add);
+    ASSERT_EQ(e.inputs.size(), 2u);
+    EXPECT_EQ(e.signs, (std::vector<int>{1, -1}));
+    const Expression f = parseExpression("P1[v] = R[v] + P0[v]");
+    EXPECT_EQ(f.signs, (std::vector<int>{1, 1}));
+}
+
+TEST(EinsumParse, AffineIndexConvolution)
+{
+    const Expression e = parseExpression("O[q] = I[q+s] * F[s]");
+    EXPECT_EQ(e.kind, OpKind::Multiply);
+    const IndexExpr& affine = e.inputs[0].indices[0];
+    EXPECT_EQ(affine.vars, (std::vector<std::string>{"q", "s"}));
+    EXPECT_EQ(affine.offset, 0);
+    EXPECT_FALSE(affine.isSimpleVar());
+    EXPECT_EQ(e.iterationVars(), (std::vector<std::string>{"q", "s"}));
+}
+
+TEST(EinsumParse, ConstantIndicesFftStep)
+{
+    const Expression e =
+        parseExpression("E0[k0] = P[0, k0, n1, 0] * X[n1, 0]");
+    const auto& idx = e.inputs[0].indices;
+    ASSERT_EQ(idx.size(), 4u);
+    EXPECT_TRUE(idx[0].isConstant());
+    EXPECT_EQ(idx[0].offset, 0);
+    EXPECT_EQ(idx[1].vars, (std::vector<std::string>{"k0"}));
+    EXPECT_TRUE(idx[3].isConstant());
+    EXPECT_EQ(e.output.name, "E0");
+}
+
+TEST(EinsumParse, WholeTensorCopy)
+{
+    const Expression e = parseExpression("P1 = P0");
+    EXPECT_EQ(e.kind, OpKind::Assign);
+    EXPECT_TRUE(e.output.indices.empty());
+    EXPECT_TRUE(e.inputs[0].indices.empty());
+}
+
+TEST(EinsumParse, ThreeOperandProductMttkrp)
+{
+    const Expression e =
+        parseExpression("C[i, r] = T[i, j, k] * B[j, r] * A[k, r]");
+    EXPECT_EQ(e.kind, OpKind::Multiply);
+    EXPECT_EQ(e.inputs.size(), 3u);
+    EXPECT_EQ(e.reductionVars(), (std::vector<std::string>{"j", "k"}));
+}
+
+TEST(EinsumParse, RejectsMalformed)
+{
+    EXPECT_THROW(parseExpression("no equals sign"), SpecError);
+    EXPECT_THROW(parseExpression("Z[m] ="), SpecError);
+    EXPECT_THROW(parseExpression("Z[m+1] = A[m]"), SpecError);
+    EXPECT_THROW(parseExpression("Z[m] = A[m * B[m]"), SpecError);
+    EXPECT_THROW(parseExpression("Z[m] = A[m] + B[m] * C[m]"),
+                 SpecError);
+}
+
+TEST(EinsumParse, ToStringRoundTrips)
+{
+    for (const char* text :
+         {"Z[m,n] = A[k,m] * B[k,n]", "Z[m,n] = T[k,m,n]",
+          "T[k,m,n] = take(A[k,m], B[k,n], 1)",
+          "M[v] = NP[v] - MP[v]", "O[q] = I[q+s] * F[s]"}) {
+        const Expression e = parseExpression(text);
+        const Expression again = parseExpression(e.toString());
+        EXPECT_EQ(again.toString(), e.toString()) << text;
+    }
+}
+
+TEST(RankVarMapping, UppercaseConvention)
+{
+    EXPECT_EQ(rankOfVar("k"), "K");
+    EXPECT_EQ(rankOfVar("k0"), "K0");
+    EXPECT_EQ(rankOfVar("km1"), "KM1");
+    EXPECT_EQ(varOfRank("KM0"), "km0");
+}
+
+namespace
+{
+
+EinsumSpec
+outerSpaceSpec()
+{
+    const std::string text = "declaration:\n"
+                             "  A: [K, M]\n"
+                             "  B: [K, N]\n"
+                             "  T: [K, M, N]\n"
+                             "  Z: [M, N]\n"
+                             "expressions:\n"
+                             "  - T[k, m, n] = A[k, m] * B[k, n]\n"
+                             "  - Z[m, n] = T[k, m, n]\n";
+    return EinsumSpec::parse(yaml::parse(text));
+}
+
+} // namespace
+
+TEST(EinsumSpec, OuterSpaceCascade)
+{
+    const EinsumSpec spec = outerSpaceSpec();
+    EXPECT_EQ(spec.expressions.size(), 2u);
+    EXPECT_EQ(spec.producedTensors(),
+              (std::vector<std::string>{"T", "Z"}));
+    EXPECT_EQ(spec.inputTensors(), (std::vector<std::string>{"A", "B"}));
+    EXPECT_EQ(spec.resultTensor(), "Z");
+    EXPECT_EQ(spec.producerOf("T"), 0);
+    EXPECT_EQ(spec.producerOf("A"), -1);
+    EXPECT_EQ(spec.consumersOf("T"), (std::vector<int>{1}));
+    EXPECT_EQ(spec.consumersOf("A"), (std::vector<int>{0}));
+}
+
+TEST(EinsumSpec, UndeclaredTensorThrows)
+{
+    const std::string text = "declaration:\n"
+                             "  A: [K]\n"
+                             "expressions:\n"
+                             "  - Z[k] = A[k]\n";
+    EXPECT_THROW(EinsumSpec::parse(yaml::parse(text)), SpecError);
+}
+
+TEST(EinsumSpec, ArityMismatchThrows)
+{
+    const std::string text = "declaration:\n"
+                             "  A: [K, M]\n"
+                             "  Z: [K]\n"
+                             "expressions:\n"
+                             "  - Z[k] = A[k]\n";
+    EXPECT_THROW(EinsumSpec::parse(yaml::parse(text)), SpecError);
+}
+
+TEST(EinsumSpec, SelfReferenceThrows)
+{
+    const std::string text = "declaration:\n"
+                             "  A: [K]\n"
+                             "expressions:\n"
+                             "  - A[k] = A[k]\n";
+    EXPECT_THROW(EinsumSpec::parse(yaml::parse(text)), SpecError);
+}
+
+TEST(EinsumSpec, SigmaThreeStageCascade)
+{
+    const std::string text =
+        "declaration:\n"
+        "  A: [K, M]\n"
+        "  B: [K, N]\n"
+        "  S: [K, M]\n"
+        "  T: [K, M]\n"
+        "  Z: [M, N]\n"
+        "expressions:\n"
+        "  - S[k, m] = take(A[k, m], B[k, n], 0)\n"
+        "  - T[k, m] = take(A[k, m], S[k, m], 0)\n"
+        "  - Z[m, n] = T[k, m] * B[k, n]\n";
+    const EinsumSpec spec = EinsumSpec::parse(yaml::parse(text));
+    EXPECT_EQ(spec.expressions.size(), 3u);
+    EXPECT_EQ(spec.consumersOf("B"), (std::vector<int>{0, 2}));
+    EXPECT_EQ(spec.consumersOf("S"), (std::vector<int>{1}));
+    EXPECT_EQ(spec.expressions[0].kind, OpKind::Take);
+    EXPECT_EQ(spec.expressions[0].takeArg, 0);
+}
+
+TEST(EinsumSpec, LastProducerWins)
+{
+    // GraphDynS re-assigns P0 late in the cascade.
+    const std::string text = "declaration:\n"
+                             "  P0: [V]\n"
+                             "  R: [V]\n"
+                             "  M: [V]\n"
+                             "expressions:\n"
+                             "  - M[v] = R[v] + P0[v]\n"
+                             "  - R[v] = M[v]\n";
+    const EinsumSpec spec = EinsumSpec::parse(yaml::parse(text));
+    EXPECT_EQ(spec.producerOf("R"), 1);
+}
+
+} // namespace
+} // namespace teaal::einsum

@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Functional tests of the simulator generator (IR builder) + executor:
+ * every mapped Einsum must produce bit-identical results to a naive
+ * dense reference, including under the paper's real accelerator
+ * mappings (OuterSPACE Fig. 3, Gamma/ExTensor/SIGMA Fig. 8).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/executor.hpp"
+#include "fibertree/transform.hpp"
+#include "ir/plan.hpp"
+#include "util/random.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+using ft::Coord;
+using ft::Tensor;
+
+/** Random sparse matrix with the given density. */
+Tensor
+randomMatrix(const std::string& name, const std::vector<std::string>& ids,
+             Coord rows, Coord cols, double density, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<std::pair<std::vector<Coord>, double>> coo;
+    for (Coord r = 0; r < rows; ++r) {
+        for (Coord c = 0; c < cols; ++c) {
+            if (rng.uniform() < density)
+                coo.push_back({{r, c}, 1.0 + rng.uniform()});
+        }
+    }
+    return Tensor::fromCoo(name, ids, {rows, cols}, coo);
+}
+
+Tensor
+randomVector(const std::string& name, const std::string& id, Coord n,
+             double density, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<std::pair<std::vector<Coord>, double>> coo;
+    for (Coord i = 0; i < n; ++i) {
+        if (rng.uniform() < density)
+            coo.push_back({{i}, 1.0 + rng.uniform()});
+    }
+    return Tensor::fromCoo(name, {id}, {n}, coo);
+}
+
+/** Dense-reference SpMSpM: Z[m,n] = sum_k A[k,m] * B[k,n]. */
+Tensor
+referenceMatmul(const Tensor& a_km, const Tensor& b_kn, Coord m_shape,
+                Coord n_shape)
+{
+    Tensor z("Zref", {"M", "N"}, {m_shape, n_shape});
+    a_km.forEachLeaf([&](std::span<const Coord> pa, double va) {
+        const Coord k = pa[0];
+        const Coord m = pa[1];
+        b_kn.forEachLeaf([&](std::span<const Coord> pb, double vb) {
+            if (pb[0] != k)
+                return;
+            const std::vector<Coord> p{m, pb[1]};
+            z.set(p, z.at(p) + va * vb);
+        });
+    });
+    return z;
+}
+
+/** Build a plan and run it; returns (output, stats). */
+Tensor
+runEinsum(const std::string& einsum_yaml, const std::string& mapping_yaml,
+          std::map<std::string, Tensor> tensors,
+          const std::vector<std::string>& intermediates = {},
+          exec::ExecutionStats* stats_out = nullptr)
+{
+    const auto es = einsum::EinsumSpec::parse(yaml::parse(einsum_yaml));
+    const auto ms = mapping_yaml.empty()
+                        ? mapping::MappingSpec()
+                        : mapping::MappingSpec::parse(
+                              yaml::parse(mapping_yaml));
+    trace::Observer null_obs;
+    Tensor result;
+    for (const auto& expr : es.expressions) {
+        // Swizzle stored tensors to rank-order first (as the compiler
+        // does offline).
+        for (auto& [name, t] : tensors) {
+            const auto& order = ms.rankOrder(name);
+            if (!order.empty() && t.rankIds() != order &&
+                t.rankLevel(order[0]) >= 0) {
+                t = ft::swizzle(t, order);
+            }
+        }
+        const ir::EinsumPlan plan =
+            ir::buildPlan(expr, es, ms, tensors, intermediates);
+        exec::Executor ex(plan, null_obs);
+        result = ex.run();
+        if (stats_out)
+            *stats_out = ex.stats();
+        tensors.insert_or_assign(expr.output.name, result.clone());
+    }
+    return result;
+}
+
+const char* kMatmulEinsum = "declaration:\n"
+                            "  A: [K, M]\n"
+                            "  B: [K, N]\n"
+                            "  Z: [M, N]\n"
+                            "expressions:\n"
+                            "  - Z[m, n] = A[k, m] * B[k, n]\n";
+
+TEST(Exec, UnmappedMatmulMatchesReference)
+{
+    const Tensor a = randomMatrix("A", {"K", "M"}, 20, 16, 0.3, 1);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 20, 24, 0.3, 2);
+    const Tensor ref = referenceMatmul(a, b, 16, 24);
+    const Tensor z =
+        runEinsum(kMatmulEinsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    EXPECT_TRUE(z.equals(ref, 1e-9)) << z.toString(8) << "\nvs\n"
+                                     << ref.toString(8);
+}
+
+TEST(Exec, MatVecMatchesReference)
+{
+    const char* einsum = "declaration:\n"
+                         "  A: [K, M]\n"
+                         "  B: [K]\n"
+                         "  Z: [M]\n"
+                         "expressions:\n"
+                         "  - Z[m] = A[k, m] * B[k]\n";
+    const Tensor a = randomMatrix("A", {"K", "M"}, 30, 25, 0.25, 3);
+    const Tensor b = randomVector("B", "K", 30, 0.5, 4);
+    Tensor ref("Zref", {"M"}, {25});
+    a.forEachLeaf([&](std::span<const Coord> p, double va) {
+        const std::vector<Coord> bk{p[0]};
+        const double vb = b.at(bk);
+        if (vb != 0) {
+            const std::vector<Coord> zm{p[1]};
+            ref.set(zm, ref.at(zm) + va * vb);
+        }
+    });
+    const Tensor z =
+        runEinsum(einsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+TEST(Exec, ReductionAssignSumsOverK)
+{
+    const char* einsum = "declaration:\n"
+                         "  T: [K, M]\n"
+                         "  Z: [M]\n"
+                         "expressions:\n"
+                         "  - Z[m] = T[k, m]\n";
+    const Tensor t = randomMatrix("T", {"K", "M"}, 10, 8, 0.5, 5);
+    Tensor ref("Zref", {"M"}, {8});
+    t.forEachLeaf([&](std::span<const Coord> p, double v) {
+        const std::vector<Coord> zm{p[1]};
+        ref.set(zm, ref.at(zm) + v);
+    });
+    const Tensor z = runEinsum(einsum, "", {{"T", t.clone()}});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+TEST(Exec, AddEinsumIsUnion)
+{
+    const char* einsum = "declaration:\n"
+                         "  A: [V]\n"
+                         "  B: [V]\n"
+                         "  Z: [V]\n"
+                         "expressions:\n"
+                         "  - Z[v] = A[v] + B[v]\n";
+    const Tensor a = randomVector("A", "V", 40, 0.4, 6);
+    const Tensor b = randomVector("B", "V", 40, 0.4, 7);
+    Tensor ref("Zref", {"V"}, {40});
+    for (Coord v = 0; v < 40; ++v) {
+        const std::vector<Coord> p{v};
+        const double s = a.at(p) + b.at(p);
+        if (s != 0)
+            ref.set(p, s);
+    }
+    const Tensor z =
+        runEinsum(einsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+TEST(Exec, SubtractEinsum)
+{
+    const char* einsum = "declaration:\n"
+                         "  A: [V]\n"
+                         "  B: [V]\n"
+                         "  Z: [V]\n"
+                         "expressions:\n"
+                         "  - Z[v] = A[v] - B[v]\n";
+    const Tensor a = randomVector("A", "V", 30, 0.5, 8);
+    const Tensor b = randomVector("B", "V", 30, 0.5, 9);
+    const Tensor z =
+        runEinsum(einsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    for (Coord v = 0; v < 30; ++v) {
+        const std::vector<Coord> p{v};
+        EXPECT_NEAR(z.at(p), a.at(p) - b.at(p), 1e-9);
+    }
+}
+
+TEST(Exec, TakeCopiesSecondOperandGamma)
+{
+    // Gamma's first Einsum: T[k,m,n] = take(A[k,m], B[k,n], 1).
+    const char* einsum =
+        "declaration:\n"
+        "  A: [K, M]\n"
+        "  B: [K, N]\n"
+        "  T: [K, M, N]\n"
+        "expressions:\n"
+        "  - T[k, m, n] = take(A[k, m], B[k, n], 1)\n";
+    const Tensor a = randomMatrix("A", {"K", "M"}, 12, 10, 0.3, 10);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 12, 14, 0.3, 11);
+    const Tensor t =
+        runEinsum(einsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    // T[k,m,n] = B[k,n] wherever A[k,m] != 0 and B[k,n] != 0.
+    std::size_t expected = 0;
+    a.forEachLeaf([&](std::span<const Coord> pa, double) {
+        b.forEachLeaf([&](std::span<const Coord> pb, double vb) {
+            if (pa[0] != pb[0])
+                return;
+            ++expected;
+            const std::vector<Coord> p{pa[0], pa[1], pb[1]};
+            EXPECT_DOUBLE_EQ(t.at(p), vb);
+        });
+    });
+    EXPECT_EQ(t.nnz(), expected);
+}
+
+TEST(Exec, TakeCopiesFirstOperandWithProbe)
+{
+    // SIGMA's first Einsum: S[k,m] = take(A[k,m], B[k,n], 0) keeps
+    // A rows whose B row is non-empty; n is probed, not iterated.
+    const char* einsum = "declaration:\n"
+                         "  A: [K, M]\n"
+                         "  B: [K, N]\n"
+                         "  S: [K, M]\n"
+                         "expressions:\n"
+                         "  - S[k, m] = take(A[k, m], B[k, n], 0)\n";
+    const Tensor a = randomMatrix("A", {"K", "M"}, 16, 10, 0.4, 12);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 16, 14, 0.15, 13);
+    const Tensor s =
+        runEinsum(einsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    a.forEachLeaf([&](std::span<const Coord> pa, double va) {
+        const auto kpos = b.root()->find(pa[0]);
+        const bool row_nonempty = kpos.has_value();
+        const std::vector<Coord> p{pa[0], pa[1]};
+        EXPECT_DOUBLE_EQ(s.at(p), row_nonempty ? va : 0.0);
+    });
+}
+
+TEST(Exec, WholeTensorCopy)
+{
+    const char* einsum = "declaration:\n"
+                         "  P0: [V]\n"
+                         "  P1: [V]\n"
+                         "expressions:\n"
+                         "  - P1 = P0\n";
+    const Tensor p0 = randomVector("P0", "V", 25, 0.5, 14);
+    const Tensor p1 = runEinsum(einsum, "", {{"P0", p0.clone()}});
+    EXPECT_TRUE(p1.equals(p0));
+    EXPECT_EQ(p1.name(), "P1");
+}
+
+TEST(Exec, DirectConvolutionDenseOutput)
+{
+    // O[q] = I[q+s] * F[s] (paper Eq. 4): Q is dense-driven.
+    const char* einsum = "declaration:\n"
+                         "  I: [W]\n"
+                         "  F: [S]\n"
+                         "  O: [Q]\n"
+                         "expressions:\n"
+                         "  - O[q] = I[q+s] * F[s]\n";
+    const Tensor i = randomVector("I", "W", 20, 0.6, 15);
+    const Tensor f = randomVector("F", "S", 4, 1.0, 16);
+    const Tensor o =
+        runEinsum(einsum, "", {{"I", i.clone()}, {"F", f.clone()}});
+    // Q = W - S + 1 = 17.
+    for (Coord q = 0; q < 17; ++q) {
+        double ref = 0;
+        for (Coord s = 0; s < 4; ++s) {
+            const std::vector<Coord> pi{q + s};
+            const std::vector<Coord> pf{s};
+            ref += i.at(pi) * f.at(pf);
+        }
+        const std::vector<Coord> pq{q};
+        EXPECT_NEAR(o.at(pq), ref, 1e-9) << "q=" << q;
+    }
+}
+
+TEST(Exec, ToeplitzCascadeMatchesDirectConv)
+{
+    // Table 2: T[q,s] = I[q+s]; O[q] = T[q,s] * F[s].
+    const char* direct = "declaration:\n"
+                         "  I: [W]\n"
+                         "  F: [S]\n"
+                         "  O: [Q]\n"
+                         "expressions:\n"
+                         "  - O[q] = I[q+s] * F[s]\n";
+    const char* toeplitz = "declaration:\n"
+                           "  I: [W]\n"
+                           "  F: [S]\n"
+                           "  T: [Q, S]\n"
+                           "  O: [Q]\n"
+                           "expressions:\n"
+                           "  - T[q, s] = I[q+s]\n"
+                           "  - O[q] = T[q, s] * F[s]\n";
+    const Tensor i = randomVector("I", "W", 24, 0.5, 17);
+    const Tensor f = randomVector("F", "S", 5, 0.8, 18);
+    const Tensor o1 =
+        runEinsum(direct, "", {{"I", i.clone()}, {"F", f.clone()}});
+    const Tensor o2 =
+        runEinsum(toeplitz, "", {{"I", i.clone()}, {"F", f.clone()}},
+                  {"T"});
+    EXPECT_TRUE(o1.equals(o2, 1e-9));
+}
+
+// ------------------------------------------- full paper mappings
+
+const char* kOuterSpaceMapping =
+    "rank-order:\n"
+    "  A: [K, M]\n"
+    "  B: [K, N]\n"
+    "  T: [M, K, N]\n"
+    "  Z: [M, N]\n"
+    "partitioning:\n"
+    "  T:\n"
+    "    (K, M): [flatten()]\n"
+    "    KM: [uniform_occupancy(A.16), uniform_occupancy(A.4)]\n"
+    "  Z:\n"
+    "    M: [uniform_occupancy(T.8), uniform_occupancy(T.2)]\n"
+    "loop-order:\n"
+    "  T: [KM2, KM1, KM0, N]\n"
+    "  Z: [M2, M1, M0, N, K]\n"
+    "spacetime:\n"
+    "  T:\n"
+    "    space: [KM1, KM0]\n"
+    "    time: [KM2, N]\n"
+    "  Z:\n"
+    "    space: [M1, M0]\n"
+    "    time: [M2, N, K]\n";
+
+const char* kOuterSpaceEinsum = "declaration:\n"
+                                "  A: [K, M]\n"
+                                "  B: [K, N]\n"
+                                "  T: [K, M, N]\n"
+                                "  Z: [M, N]\n"
+                                "expressions:\n"
+                                "  - T[k, m, n] = A[k, m] * B[k, n]\n"
+                                "  - Z[m, n] = T[k, m, n]\n";
+
+TEST(Exec, OuterSpaceMappedCascadeMatchesReference)
+{
+    const Tensor a = randomMatrix("A", {"K", "M"}, 24, 20, 0.25, 19);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 24, 18, 0.25, 20);
+    const Tensor ref = referenceMatmul(a, b, 20, 18);
+    const Tensor z =
+        runEinsum(kOuterSpaceEinsum, kOuterSpaceMapping,
+                  {{"A", a.clone()}, {"B", b.clone()}}, {"T"});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+const char* kGammaEinsum =
+    "declaration:\n"
+    "  A: [K, M]\n"
+    "  B: [K, N]\n"
+    "  T: [K, M, N]\n"
+    "  Z: [M, N]\n"
+    "expressions:\n"
+    "  - T[k, m, n] = take(A[k, m], B[k, n], 1)\n"
+    "  - Z[m, n] = T[k, m, n] * A[k, m]\n";
+
+const char* kGammaMapping = "rank-order:\n"
+                            "  A: [M, K]\n"
+                            "  B: [K, N]\n"
+                            "  T: [M, K, N]\n"
+                            "  Z: [M, N]\n"
+                            "partitioning:\n"
+                            "  T:\n"
+                            "    M: [uniform_occupancy(A.4)]\n"
+                            "    K: [uniform_occupancy(A.8)]\n"
+                            "  Z:\n"
+                            "    M: [uniform_occupancy(A.4)]\n"
+                            "    K: [uniform_occupancy(A.8)]\n"
+                            "loop-order:\n"
+                            "  T: [M1, M0, K1, K0, N]\n"
+                            "  Z: [M1, M0, K1, N, K0]\n"
+                            "spacetime:\n"
+                            "  T:\n"
+                            "    space: [M0, K1]\n"
+                            "    time: [M1, K0, N]\n"
+                            "  Z:\n"
+                            "    space: [M0, K1]\n"
+                            "    time: [M1, N, K0]\n";
+
+TEST(Exec, GammaMappedCascadeMatchesReference)
+{
+    const Tensor a = randomMatrix("A", {"K", "M"}, 20, 16, 0.3, 21);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 20, 14, 0.3, 22);
+    const Tensor ref = referenceMatmul(a, b, 16, 14);
+    const Tensor z = runEinsum(kGammaEinsum, kGammaMapping,
+                               {{"A", ft::swizzle(a, {"M", "K"})},
+                                {"B", b.clone()}},
+                               {"T"});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+const char* kExTensorEinsum = "declaration:\n"
+                              "  A: [K, M]\n"
+                              "  B: [K, N]\n"
+                              "  Z: [M, N]\n"
+                              "expressions:\n"
+                              "  - Z[m, n] = A[k, m] * B[k, n]\n";
+
+const char* kExTensorMapping =
+    "rank-order:\n"
+    "  A: [K, M]\n"
+    "  B: [K, N]\n"
+    "  Z: [M, N]\n"
+    "partitioning:\n"
+    "  Z:\n"
+    "    K:\n"
+    "      - uniform_shape(8)\n"
+    "      - uniform_shape(2)\n"
+    "    M:\n"
+    "      - uniform_shape(6)\n"
+    "      - uniform_shape(3)\n"
+    "    N:\n"
+    "      - uniform_shape(8)\n"
+    "      - uniform_shape(4)\n"
+    "loop-order:\n"
+    "  Z: [N2, K2, M2, M1, N1, K1, M0, N0, K0]\n"
+    "spacetime:\n"
+    "  Z:\n"
+    "    space: [K1]\n"
+    "    time: [N2, K2, M2, M1, N1, M0, N0, K0]\n";
+
+TEST(Exec, ExTensorMappedMatchesReference)
+{
+    const Tensor a = randomMatrix("A", {"K", "M"}, 24, 18, 0.3, 23);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 24, 20, 0.3, 24);
+    const Tensor ref = referenceMatmul(a, b, 18, 20);
+    const Tensor z =
+        runEinsum(kExTensorEinsum, kExTensorMapping,
+                  {{"A", a.clone()}, {"B", b.clone()}});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+const char* kSigmaEinsum =
+    "declaration:\n"
+    "  A: [K, M]\n"
+    "  B: [K, N]\n"
+    "  S: [K, M]\n"
+    "  T: [K, M]\n"
+    "  Z: [M, N]\n"
+    "expressions:\n"
+    "  - S[k, m] = take(A[k, m], B[k, n], 0)\n"
+    "  - T[k, m] = take(A[k, m], S[k, m], 0)\n"
+    "  - Z[m, n] = T[k, m] * B[k, n]\n";
+
+const char* kSigmaMapping =
+    "rank-order:\n"
+    "  A: [K, M]\n"
+    "  B: [K, N]\n"
+    "  S: [K, M]\n"
+    "  T: [K, M]\n"
+    "  Z: [M, N]\n"
+    "partitioning:\n"
+    "  Z:\n"
+    "    K: [uniform_shape(8)]\n"
+    "    (M, K0): [flatten()]\n"
+    "    MK0: [uniform_occupancy(T.16)]\n"
+    "loop-order:\n"
+    "  S: [K, M, N]\n"
+    "  T: [K, M]\n"
+    "  Z: [K1, MK01, MK00, N]\n"
+    "spacetime:\n"
+    "  S:\n"
+    "    space: []\n"
+    "    time: [K, M, N]\n"
+    "  T:\n"
+    "    space: []\n"
+    "    time: [K, M]\n"
+    "  Z:\n"
+    "    space: [MK00]\n"
+    "    time: [K1, MK01, N.coord]\n";
+
+TEST(Exec, SigmaMappedCascadeMatchesReference)
+{
+    const Tensor a = randomMatrix("A", {"K", "M"}, 24, 15, 0.4, 25);
+    const Tensor b = randomMatrix("B", {"K", "N"}, 24, 12, 0.25, 26);
+    const Tensor ref = referenceMatmul(a, b, 15, 12);
+    const Tensor z = runEinsum(kSigmaEinsum, kSigmaMapping,
+                               {{"A", a.clone()}, {"B", b.clone()}},
+                               {"S", "T"});
+    EXPECT_TRUE(z.equals(ref, 1e-9));
+}
+
+TEST(Exec, MinPlusSemiringSssp)
+{
+    // One SSSP relaxation: R[d] = G[d,s] x P[s] with x=+, +=min.
+    const char* einsum = "declaration:\n"
+                         "  G: [D, S]\n"
+                         "  P: [S]\n"
+                         "  R: [D]\n"
+                         "expressions:\n"
+                         "  - R[d] = G[d, s] * P[s]\n";
+    const Tensor g = Tensor::fromCoo(
+        "G", {"D", "S"}, {4, 4},
+        {{{1, 0}, 2.0}, {{2, 0}, 7.0}, {{2, 1}, 1.0}, {{3, 2}, 3.0}});
+    const Tensor p =
+        Tensor::fromCoo("P", {"S"}, {4}, {{{0}, 0.5}, {{1}, 4.0}});
+    const auto es = einsum::EinsumSpec::parse(yaml::parse(einsum));
+    trace::Observer obs;
+    std::map<std::string, Tensor> tensors{{"G", g.clone()},
+                                          {"P", p.clone()}};
+    const auto plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    exec::Executor ex(plan, obs, exec::Semiring::minPlus());
+    const Tensor r = ex.run();
+    const std::vector<Coord> d1{1}, d2{2}, d3{3};
+    EXPECT_DOUBLE_EQ(r.at(d1), 2.5);           // 2 + 0.5
+    EXPECT_DOUBLE_EQ(r.at(d2), 5.0);           // min(7.5, 5.0)
+    EXPECT_DOUBLE_EQ(r.at(d3), 0.0);           // P[2] empty
+}
+
+TEST(Exec, MttkrpThreeOperand)
+{
+    // Tensaurus row of Table 2: C[i,r] = T[i,j,k] * B[j,r] * A[k,r].
+    const char* einsum =
+        "declaration:\n"
+        "  T: [I, J, K]\n"
+        "  B: [J, R]\n"
+        "  A: [K, R]\n"
+        "  C: [I, R]\n"
+        "expressions:\n"
+        "  - C[i, r] = T[i, j, k] * B[j, r] * A[k, r]\n";
+    Xoshiro256 rng(27);
+    std::vector<std::pair<std::vector<Coord>, double>> coo;
+    for (Coord i = 0; i < 6; ++i)
+        for (Coord j = 0; j < 5; ++j)
+            for (Coord k = 0; k < 4; ++k)
+                if (rng.uniform() < 0.3)
+                    coo.push_back({{i, j, k}, 1.0 + rng.uniform()});
+    const Tensor t =
+        Tensor::fromCoo("T", {"I", "J", "K"}, {6, 5, 4}, coo);
+    const Tensor b = randomMatrix("B", {"J", "R"}, 5, 3, 0.7, 28);
+    const Tensor a = randomMatrix("A", {"K", "R"}, 4, 3, 0.7, 29);
+    const Tensor c = runEinsum(
+        einsum, "",
+        {{"T", t.clone()}, {"B", b.clone()}, {"A", a.clone()}});
+    for (Coord i = 0; i < 6; ++i) {
+        for (Coord r = 0; r < 3; ++r) {
+            double ref = 0;
+            for (Coord j = 0; j < 5; ++j) {
+                for (Coord k = 0; k < 4; ++k) {
+                    const std::vector<Coord> pt{i, j, k}, pb{j, r},
+                        pa{k, r};
+                    ref += t.at(pt) * b.at(pb) * a.at(pa);
+                }
+            }
+            const std::vector<Coord> pc{i, r};
+            EXPECT_NEAR(c.at(pc), ref, 1e-9);
+        }
+    }
+}
+
+/// Property: the mapped OuterSPACE cascade agrees with the unmapped
+/// plain matmul for many random seeds.
+class MappedEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MappedEquivalence, OuterSpaceAgreesWithPlain)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Tensor a =
+        randomMatrix("A", {"K", "M"}, 18, 15, 0.3, 100 + seed);
+    const Tensor b =
+        randomMatrix("B", {"K", "N"}, 18, 13, 0.3, 200 + seed);
+    const Tensor plain = runEinsum(
+        kMatmulEinsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    const Tensor mapped =
+        runEinsum(kOuterSpaceEinsum, kOuterSpaceMapping,
+                  {{"A", a.clone()}, {"B", b.clone()}}, {"T"});
+    EXPECT_TRUE(mapped.equals(plain, 1e-9));
+}
+
+TEST_P(MappedEquivalence, GammaAgreesWithPlain)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Tensor a =
+        randomMatrix("A", {"K", "M"}, 16, 12, 0.35, 300 + seed);
+    const Tensor b =
+        randomMatrix("B", {"K", "N"}, 16, 11, 0.35, 400 + seed);
+    const Tensor plain = runEinsum(
+        kMatmulEinsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    const Tensor mapped = runEinsum(kGammaEinsum, kGammaMapping,
+                                    {{"A", ft::swizzle(a, {"M", "K"})},
+                                     {"B", b.clone()}},
+                                    {"T"});
+    EXPECT_TRUE(mapped.equals(plain, 1e-9));
+}
+
+TEST_P(MappedEquivalence, SigmaAgreesWithPlain)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const Tensor a =
+        randomMatrix("A", {"K", "M"}, 20, 10, 0.4, 500 + seed);
+    const Tensor b =
+        randomMatrix("B", {"K", "N"}, 20, 9, 0.3, 600 + seed);
+    const Tensor plain = runEinsum(
+        kMatmulEinsum, "", {{"A", a.clone()}, {"B", b.clone()}});
+    const Tensor mapped = runEinsum(kSigmaEinsum, kSigmaMapping,
+                                    {{"A", a.clone()}, {"B", b.clone()}},
+                                    {"S", "T"});
+    EXPECT_TRUE(mapped.equals(plain, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappedEquivalence,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace teaal

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Extended executor coverage: the Eyeriss 4-D convolution Einsum
+ * (two affine index expressions), dot products (scalar output),
+ * the Cooley-Tukey FFT-step cascade (constant indices), and the
+ * factorized-MTTKRP equivalence (Table 2 rows executed, not just
+ * parsed).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/executor.hpp"
+#include "ir/plan.hpp"
+#include "util/random.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+using ft::Coord;
+using ft::Tensor;
+
+Tensor
+runCascade(const std::string& einsum_yaml,
+           std::map<std::string, Tensor> tensors)
+{
+    const auto spec =
+        einsum::EinsumSpec::parse(yaml::parse(einsum_yaml));
+    trace::Observer obs;
+    std::vector<std::string> produced;
+    Tensor result;
+    for (const auto& e : spec.expressions) {
+        const auto plan = ir::buildPlan(e, spec, {}, tensors, produced);
+        exec::Executor ex(plan, obs);
+        result = ex.run();
+        tensors.insert_or_assign(e.output.name, result.clone());
+        produced.push_back(e.output.name);
+    }
+    return result;
+}
+
+TEST(ExecExtended, EyerissConvMatchesBruteForce)
+{
+    // O[b,m,p,q] = I[b,c,p+r,q+s] * F[c,m,r,s] (Table 2, Eyeriss).
+    const char* einsum =
+        "declaration:\n"
+        "  I: [B, C, H, W]\n"
+        "  F: [C, M, R, S]\n"
+        "  O: [B, M, P, Q]\n"
+        "expressions:\n"
+        "  - O[b, m, p, q] = I[b, c, p+r, q+s] * F[c, m, r, s]\n";
+    const Coord B = 2, C = 3, H = 6, W = 7, M = 2, R = 2, S = 3;
+    const Coord P = H - R + 1, Q = W - S + 1;
+
+    Xoshiro256 rng(55);
+    Tensor input("I", {"B", "C", "H", "W"}, {B, C, H, W});
+    Tensor filter("F", {"C", "M", "R", "S"}, {C, M, R, S});
+    for (Coord b = 0; b < B; ++b)
+        for (Coord c = 0; c < C; ++c)
+            for (Coord h = 0; h < H; ++h)
+                for (Coord w = 0; w < W; ++w)
+                    if (rng.uniform() < 0.5) {
+                        const std::vector<Coord> p{b, c, h, w};
+                        input.set(p, 1.0 + rng.uniform());
+                    }
+    for (Coord c = 0; c < C; ++c)
+        for (Coord m = 0; m < M; ++m)
+            for (Coord r = 0; r < R; ++r)
+                for (Coord s = 0; s < S; ++s)
+                    if (rng.uniform() < 0.8) {
+                        const std::vector<Coord> p{c, m, r, s};
+                        filter.set(p, 0.5 + rng.uniform());
+                    }
+
+    const Tensor o = runCascade(
+        einsum, {{"I", input.clone()}, {"F", filter.clone()}});
+
+    for (Coord b = 0; b < B; ++b) {
+        for (Coord m = 0; m < M; ++m) {
+            for (Coord p = 0; p < P; ++p) {
+                for (Coord q = 0; q < Q; ++q) {
+                    double ref = 0;
+                    for (Coord c = 0; c < C; ++c)
+                        for (Coord r = 0; r < R; ++r)
+                            for (Coord s = 0; s < S; ++s) {
+                                const std::vector<Coord> pi{b, c, p + r,
+                                                            q + s};
+                                const std::vector<Coord> pf{c, m, r, s};
+                                ref += input.at(pi) * filter.at(pf);
+                            }
+                    const std::vector<Coord> po{b, m, p, q};
+                    ASSERT_NEAR(o.at(po), ref, 1e-9)
+                        << b << "," << m << "," << p << "," << q;
+                }
+            }
+        }
+    }
+}
+
+TEST(ExecExtended, DotProductScalarOutput)
+{
+    const char* einsum = "declaration:\n"
+                         "  A: [K]\n"
+                         "  B: [K]\n"
+                         "  Z: []\n"
+                         "expressions:\n"
+                         "  - Z[] = A[k] * B[k]\n";
+    Tensor a("A", {"K"}, {10});
+    Tensor b("B", {"K"}, {10});
+    double ref = 0;
+    for (Coord k = 0; k < 10; k += 2) {
+        const std::vector<Coord> p{k};
+        a.set(p, static_cast<double>(k + 1));
+        b.set(p, 2.0);
+        ref += static_cast<double>(k + 1) * 2.0;
+    }
+    const Tensor z =
+        runCascade(einsum, {{"A", a.clone()}, {"B", b.clone()}});
+    // Scalar results live at coordinate 0 of the internal rank.
+    ASSERT_EQ(z.numRanks(), 1u);
+    const std::vector<Coord> origin{0};
+    EXPECT_DOUBLE_EQ(z.at(origin), ref);
+}
+
+TEST(ExecExtended, FftStepCascadeExecutes)
+{
+    // The Cooley-Tukey step of Table 2: constant indices select
+    // twiddle planes; the final outputs are sum and difference.
+    const char* einsum =
+        "declaration:\n"
+        "  P: [Z, K0, N1, W]\n"
+        "  X: [N1, Z]\n"
+        "  E0: [K0]\n"
+        "  O0: [K0]\n"
+        "  T: [K0]\n"
+        "  Y0: [K0]\n"
+        "  Y1: [K0]\n"
+        "expressions:\n"
+        "  - E0[k0] = P[0, k0, n1, 0] * X[n1, 0]\n"
+        "  - O0[k0] = P[0, k0, n1, 0] * X[n1, 1]\n"
+        "  - T[k0] = P[0, k0, 0, 1] * O0[k0]\n"
+        "  - Y0[k0] = E0[k0] + T[k0]\n"
+        "  - Y1[k0] = E0[k0] - T[k0]\n";
+
+    const Coord K0 = 4, N1 = 2;
+    Tensor p("P", {"Z", "K0", "N1", "W"}, {1, K0, N1, 2});
+    Tensor x("X", {"N1", "Z"}, {N1, 2});
+    Xoshiro256 rng(66);
+    for (Coord k = 0; k < K0; ++k) {
+        for (Coord n = 0; n < N1; ++n) {
+            const std::vector<Coord> pp{0, k, n, 0};
+            p.set(pp, 1.0 + rng.uniform());
+        }
+        const std::vector<Coord> tw{0, k, 0, 1};
+        p.set(tw, 0.5 + rng.uniform()); // twiddle for T
+    }
+    for (Coord n = 0; n < N1; ++n) {
+        const std::vector<Coord> even{n, 0}, odd{n, 1};
+        x.set(even, 1.0 + rng.uniform());
+        x.set(odd, 1.0 + rng.uniform());
+    }
+
+    const auto spec = einsum::EinsumSpec::parse(yaml::parse(einsum));
+    trace::Observer obs;
+    std::map<std::string, Tensor> tensors{{"P", p.clone()},
+                                          {"X", x.clone()}};
+    std::vector<std::string> produced;
+    for (const auto& e : spec.expressions) {
+        const auto plan = ir::buildPlan(e, spec, {}, tensors, produced);
+        exec::Executor ex(plan, obs);
+        tensors.insert_or_assign(e.output.name, ex.run());
+        produced.push_back(e.output.name);
+    }
+
+    for (Coord k = 0; k < K0; ++k) {
+        double e0 = 0, o0 = 0;
+        for (Coord n = 0; n < N1; ++n) {
+            const std::vector<Coord> pp{0, k, n, 0};
+            const std::vector<Coord> xe{n, 0}, xo{n, 1};
+            e0 += p.at(pp) * x.at(xe);
+            o0 += p.at(pp) * x.at(xo);
+        }
+        const std::vector<Coord> tw{0, k, 0, 1};
+        const double t = p.at(tw) * o0;
+        const std::vector<Coord> pk{k};
+        EXPECT_NEAR(tensors.at("Y0").at(pk), e0 + t, 1e-9);
+        EXPECT_NEAR(tensors.at("Y1").at(pk), e0 - t, 1e-9);
+    }
+}
+
+TEST(ExecExtended, FactorizedMttkrpEqualsDirect)
+{
+    // Table 2: factorized MTTKRP must equal the three-operand form.
+    const char* direct =
+        "declaration:\n"
+        "  T: [I, J, K]\n  A: [K, R]\n  B: [J, R]\n  C: [I, R]\n"
+        "expressions:\n"
+        "  - C[i, r] = T[i, j, k] * B[j, r] * A[k, r]\n";
+    const char* factorized =
+        "declaration:\n"
+        "  T: [I, J, K]\n  A: [K, R]\n  B: [J, R]\n"
+        "  S: [I, J, R]\n  C: [I, R]\n"
+        "expressions:\n"
+        "  - S[i, j, r] = T[i, j, k] * A[k, r]\n"
+        "  - C[i, r] = S[i, j, r] * B[j, r]\n";
+
+    Xoshiro256 rng(77);
+    std::vector<std::pair<std::vector<Coord>, double>> coo;
+    for (Coord i = 0; i < 5; ++i)
+        for (Coord j = 0; j < 4; ++j)
+            for (Coord k = 0; k < 6; ++k)
+                if (rng.uniform() < 0.4)
+                    coo.push_back({{i, j, k}, 1.0 + rng.uniform()});
+    const Tensor t =
+        Tensor::fromCoo("T", {"I", "J", "K"}, {5, 4, 6}, coo);
+    coo.clear();
+    for (Coord k = 0; k < 6; ++k)
+        for (Coord r = 0; r < 3; ++r)
+            if (rng.uniform() < 0.8)
+                coo.push_back({{k, r}, 1.0 + rng.uniform()});
+    const Tensor a = Tensor::fromCoo("A", {"K", "R"}, {6, 3}, coo);
+    coo.clear();
+    for (Coord j = 0; j < 4; ++j)
+        for (Coord r = 0; r < 3; ++r)
+            if (rng.uniform() < 0.8)
+                coo.push_back({{j, r}, 1.0 + rng.uniform()});
+    const Tensor b = Tensor::fromCoo("B", {"J", "R"}, {4, 3}, coo);
+
+    const Tensor c1 = runCascade(
+        direct,
+        {{"T", t.clone()}, {"A", a.clone()}, {"B", b.clone()}});
+    const Tensor c2 = runCascade(
+        factorized,
+        {{"T", t.clone()}, {"A", a.clone()}, {"B", b.clone()}});
+    EXPECT_TRUE(c1.equals(c2, 1e-9));
+}
+
+} // namespace
+} // namespace teaal

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Property tests for the format/footprint model: invariants that must
+ * hold for any tensor so traffic accounting is trustworthy.
+ */
+#include <gtest/gtest.h>
+
+#include "format/format.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal::fmt
+{
+namespace
+{
+
+class FormatProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    ft::Tensor
+    matrix() const
+    {
+        const auto seed = static_cast<std::uint64_t>(GetParam());
+        return workloads::uniformMatrix("A", 200, 160,
+                                        400 + 40 * GetParam(),
+                                        seed + 500);
+    }
+};
+
+TEST_P(FormatProperty, CompressedBitsScaleWithNnz)
+{
+    const auto t = matrix();
+    TensorFormat tf; // all-compressed defaults
+    const auto bits = tensorBits(tf, t);
+    // Leaf elements cost cbits+pbits = 96; interior adds more.
+    EXPECT_GE(bits, t.nnz() * 96);
+    EXPECT_LE(bits, t.nnz() * 96 + (t.nnz() + 1) * 64);
+}
+
+TEST_P(FormatProperty, SubtreesSumToTensor)
+{
+    const auto t = matrix();
+    TensorFormat tf;
+    const auto& root = *t.root();
+    std::uint64_t subtree_sum = 0;
+    for (std::size_t pos = 0; pos < root.size(); ++pos) {
+        subtree_sum +=
+            subtreeBits(tf, t.rankIds(), root.payloadAt(pos), 1);
+    }
+    const RankFormat& rf = tf.rankFormat("K");
+    const ft::Coord span = root.empty()
+                               ? 0
+                               : root.coordAt(root.size() - 1) -
+                                     root.coordAt(0) + 1;
+    const std::uint64_t root_bits =
+        fiberBits(rf, root.size(), root.shape(), false, span);
+    EXPECT_EQ(tensorBits(tf, t), root_bits + subtree_sum);
+}
+
+TEST_P(FormatProperty, UncompressedBoundedBySpan)
+{
+    const auto t = matrix();
+    TensorFormat tf;
+    RankFormat u;
+    u.type = RankFormat::Type::U;
+    u.pbits = 32;
+    tf.ranks["K"] = u;
+    tf.ranks["M"] = u;
+    // With span capping, a U tensor never exceeds shape-based sizing.
+    RankFormat u_nospan = u;
+    const std::uint64_t with_span = tensorBits(tf, t);
+    std::uint64_t shape_based =
+        32ull * static_cast<std::uint64_t>(t.rank(0).shape);
+    t.forEachLeaf([&](std::span<const ft::Coord>, double) {});
+    // Row fibers: each at most 32 * M-shape bits.
+    const auto& root = *t.root();
+    shape_based +=
+        32ull * static_cast<std::uint64_t>(t.rank(1).shape) *
+        root.size();
+    EXPECT_LE(with_span, shape_based);
+    (void)u_nospan;
+}
+
+TEST_P(FormatProperty, BitmapBetweenCompressedAndUncompressed)
+{
+    const auto t = matrix();
+    TensorFormat c_fmt;
+    TensorFormat b_fmt;
+    RankFormat b;
+    b.type = RankFormat::Type::B;
+    b.cbits = 1;
+    b.pbits = 64;
+    b_fmt.ranks["M"] = b; // leaf rank bitmap
+    // Bitmap coordinates cost 1 bit/position instead of 32/elem:
+    // cheaper than compressed for dense fibers, never free.
+    const auto cb = tensorBits(c_fmt, t);
+    const auto bb = tensorBits(b_fmt, t);
+    EXPECT_GT(bb, t.nnz() * 64); // payloads still paid
+    EXPECT_NE(cb, bb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatProperty, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace teaal::fmt

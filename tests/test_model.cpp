@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Unit tests for the performance-model building blocks: buffer
+ * simulators, fusion-block inference, component timing, and the
+ * energy tables.
+ */
+#include <gtest/gtest.h>
+
+#include "binding/binding.hpp"
+#include "energy/energy.hpp"
+#include "mapping/mapping.hpp"
+#include "model/buffer_sim.hpp"
+#include "model/perf.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::model
+{
+namespace
+{
+
+// ------------------------------------------------------------ LruCache
+
+TEST(LruCache, HitsAfterFill)
+{
+    LruCache cache(1024);
+    int a, b;
+    EXPECT_FALSE(cache.access(&a, 100));
+    EXPECT_TRUE(cache.access(&a, 100));
+    EXPECT_FALSE(cache.access(&b, 100));
+    EXPECT_TRUE(cache.access(&a, 100));
+    EXPECT_EQ(cache.counters().hits, 2u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_DOUBLE_EQ(cache.counters().fillBytes, 200);
+    EXPECT_DOUBLE_EQ(cache.counters().accessBytes, 400);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    LruCache cache(250);
+    int a, b, c;
+    cache.access(&a, 100);
+    cache.access(&b, 100);
+    cache.access(&a, 100); // a is now MRU
+    cache.access(&c, 100); // evicts b
+    EXPECT_TRUE(cache.access(&a, 100));
+    EXPECT_TRUE(cache.access(&c, 100));
+    EXPECT_FALSE(cache.access(&b, 100)); // b was the victim
+}
+
+TEST(LruCache, UnboundedNeverEvicts)
+{
+    LruCache cache(0);
+    int keys[64];
+    for (int& k : keys)
+        cache.access(&k, 1e6);
+    for (int& k : keys)
+        EXPECT_TRUE(cache.access(&k, 1e6));
+}
+
+TEST(LruCache, ResetForgets)
+{
+    LruCache cache(1024);
+    int a;
+    cache.access(&a, 10);
+    cache.reset();
+    EXPECT_FALSE(cache.access(&a, 10));
+}
+
+// -------------------------------------------------------------- Buffet
+
+TEST(Buffet, ReadFillsOncePerResidency)
+{
+    Buffet buf;
+    EXPECT_FALSE(buf.read(1, 64));
+    EXPECT_TRUE(buf.read(1, 64));
+    EXPECT_DOUBLE_EQ(buf.counters().fillBytes, 64);
+    buf.evictAll();
+    EXPECT_FALSE(buf.read(1, 64));
+    EXPECT_DOUBLE_EQ(buf.counters().fillBytes, 128);
+}
+
+TEST(Buffet, WriteDrainsOnEvict)
+{
+    Buffet buf;
+    buf.write(7, 16);
+    buf.write(7, 16); // same element: hit
+    EXPECT_DOUBLE_EQ(buf.residentBytes(), 16);
+    const auto drained = buf.evictAll();
+    EXPECT_DOUBLE_EQ(drained.firstBytes, 16);
+    EXPECT_DOUBLE_EQ(drained.againBytes, 0);
+    EXPECT_DOUBLE_EQ(buf.counters().drainBytes, 16);
+}
+
+TEST(Buffet, RevisitAfterDrainIsPartialOutput)
+{
+    Buffet buf;
+    buf.write(7, 16);
+    buf.evictAll();
+    // The revisit must report a partial-output re-fetch.
+    EXPECT_TRUE(buf.write(7, 16));
+    const auto drained = buf.evictAll();
+    EXPECT_DOUBLE_EQ(drained.firstBytes, 0);
+    EXPECT_DOUBLE_EQ(drained.againBytes, 16);
+}
+
+TEST(Buffet, ReadsAreDroppedNotDrained)
+{
+    Buffet buf;
+    buf.read(3, 32);
+    const auto drained = buf.evictAll();
+    EXPECT_DOUBLE_EQ(drained.firstBytes + drained.againBytes, 0);
+}
+
+// ------------------------------------------------------- fusion blocks
+
+namespace
+{
+
+einsum::EinsumSpec
+gammaEinsums()
+{
+    return einsum::EinsumSpec::parse(yaml::parse(
+        "declaration:\n"
+        "  A: [K, M]\n"
+        "  B: [K, N]\n"
+        "  T: [K, M, N]\n"
+        "  Z: [M, N]\n"
+        "expressions:\n"
+        "  - T[k, m, n] = take(A[k, m], B[k, n], 1)\n"
+        "  - Z[m, n] = T[k, m, n] * A[k, m]\n"));
+}
+
+mapping::MappingSpec
+gammaMapping()
+{
+    return mapping::MappingSpec::parse(yaml::parse(
+        "loop-order:\n"
+        "  T: [M1, M0, K1, K0, N]\n"
+        "  Z: [M1, M0, K1, N, K0]\n"
+        "spacetime:\n"
+        "  T:\n"
+        "    space: [M0, K1]\n"
+        "    time: [M1, K0, N]\n"
+        "  Z:\n"
+        "    space: [M0, K1]\n"
+        "    time: [M1, N, K0]\n"));
+}
+
+} // namespace
+
+TEST(Fusion, GammaEinsumsFuse)
+{
+    // Same (empty) topology, equal temporal prefix [M1], disjoint
+    // non-storage components -> one block (paper §5 "the two Einsums
+    // in the cascade are fused").
+    const auto blocks = inferBlocks(gammaEinsums(), gammaMapping(),
+                                    binding::BindingSpec());
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Fusion, DifferentTopologiesDoNotFuse)
+{
+    // OuterSPACE reorganizes between phases: no fusion.
+    binding::BindingSpec bindings;
+    binding::EinsumBinding t;
+    t.topology = "Multiply";
+    binding::EinsumBinding z;
+    z.topology = "Merge";
+    bindings.setEinsum("T", t);
+    bindings.setEinsum("Z", z);
+    const auto blocks =
+        inferBlocks(gammaEinsums(), gammaMapping(), bindings);
+    ASSERT_EQ(blocks.size(), 2u);
+}
+
+TEST(Fusion, DifferentTemporalPrefixDoesNotFuse)
+{
+    // Built manually: T's loop order starts [K1, ...] while Z's starts
+    // [M1, ...], so the temporal prefixes differ.
+    mapping::MappingSpec m2;
+    {
+        mapping::EinsumMapping t;
+        t.loopOrder = {"K1", "M1", "M0", "K0", "N"};
+        t.space = {{"M0", false}};
+        t.time = {{"K1", false}, {"M1", false}, {"K0", false},
+                  {"N", false}};
+        mapping::EinsumMapping z;
+        z.loopOrder = {"M1", "M0", "K1", "N", "K0"};
+        z.space = {{"M0", false}};
+        z.time = {{"M1", false}, {"K1", false}, {"N", false},
+                  {"K0", false}};
+        m2.setEinsum("T", t);
+        m2.setEinsum("Z", z);
+    }
+    const auto blocks =
+        inferBlocks(gammaEinsums(), m2, binding::BindingSpec());
+    ASSERT_EQ(blocks.size(), 2u);
+}
+
+TEST(Fusion, SharedNonStorageComponentDoesNotFuse)
+{
+    binding::BindingSpec bindings;
+    binding::EinsumBinding t;
+    binding::ComponentBinding cb;
+    cb.component = "ALU";
+    cb.ops.push_back({"mul", ""});
+    t.components.push_back(cb);
+    bindings.setEinsum("T", t);
+    bindings.setEinsum("Z", t); // same component bound to both
+    const auto blocks =
+        inferBlocks(gammaEinsums(), gammaMapping(), bindings);
+    ASSERT_EQ(blocks.size(), 2u);
+}
+
+// ----------------------------------------------------- componentTimes
+
+TEST(Perf, ComponentTimesUseBandwidthAndClock)
+{
+    arch::Topology topo;
+    topo.name = "X";
+    topo.clock = 2e9;
+    topo.root.name = "Sys";
+    arch::Component dram;
+    dram.name = "DRAM0";
+    dram.cls = arch::ComponentClass::DRAM;
+    dram.attributes["bandwidth"] = "100"; // GB/s
+    topo.root.local.push_back(dram);
+    arch::Component alu;
+    alu.name = "ALU";
+    alu.cls = arch::ComponentClass::Compute;
+    topo.root.local.push_back(alu);
+
+    EinsumRecord record;
+    record.clock = topo.clock;
+    ComponentActions& d = record.components["DRAM0"];
+    d.name = "DRAM0";
+    d.cls = arch::ComponentClass::DRAM;
+    d.counts["read_bytes"] = 50e9;
+    d.counts["write_bytes"] = 50e9;
+    ComponentActions& a = record.components["ALU"];
+    a.name = "ALU";
+    a.cls = arch::ComponentClass::Compute;
+    a.perPe[0] = 4e9;
+
+    const auto times = componentTimes(record, topo);
+    EXPECT_DOUBLE_EQ(times.at("DRAM0"), 1.0); // 100 GB over 100 GB/s
+    EXPECT_DOUBLE_EQ(times.at("ALU"), 2.0);   // 4e9 cycles at 2 GHz
+}
+
+TEST(Perf, AnalyzePicksBottleneckAndSumsBlocks)
+{
+    arch::ArchSpec arch_spec;
+    arch::Topology topo;
+    topo.name = "X";
+    topo.clock = 1e9;
+    topo.root.name = "Sys";
+    arch::Component dram;
+    dram.name = "DRAM0";
+    dram.cls = arch::ComponentClass::DRAM;
+    dram.attributes["bandwidth"] = "1";
+    topo.root.local.push_back(dram);
+    arch_spec.add(topo);
+
+    EinsumRecord r1;
+    r1.output = "T";
+    r1.topologyName = "X";
+    r1.clock = 1e9;
+    r1.components["DRAM0"].name = "DRAM0";
+    r1.components["DRAM0"].cls = arch::ComponentClass::DRAM;
+    r1.components["DRAM0"].counts["read_bytes"] = 1e9; // 1 s
+    EinsumRecord r2 = r1;
+    r2.output = "Z";
+    r2.components["DRAM0"].counts["read_bytes"] = 2e9; // 2 s
+
+    // Separate blocks: total = 3 s.
+    auto perf = analyze({r1, r2}, arch_spec, {{0}, {1}});
+    EXPECT_DOUBLE_EQ(perf.totalSeconds, 3.0);
+    EXPECT_EQ(perf.einsums[0].bottleneck, "DRAM0");
+    // Fused: component sums -> still 3 s for a shared DRAM.
+    perf = analyze({r1, r2}, arch_spec, {{0, 1}});
+    EXPECT_DOUBLE_EQ(perf.totalSeconds, 3.0);
+    EXPECT_EQ(perf.blocks[0].bottleneck, "DRAM0");
+}
+
+// --------------------------------------------------------------- energy
+
+TEST(Energy, DramDominatesForTrafficHeavyRecords)
+{
+    arch::Topology topo;
+    topo.name = "X";
+    topo.root.name = "Sys";
+    arch::Component dram;
+    dram.name = "DRAM0";
+    dram.cls = arch::ComponentClass::DRAM;
+    topo.root.local.push_back(dram);
+    arch::Component alu;
+    alu.name = "ALU";
+    alu.cls = arch::ComponentClass::Compute;
+    topo.root.local.push_back(alu);
+
+    EinsumRecord record;
+    record.components["DRAM0"].name = "DRAM0";
+    record.components["DRAM0"].cls = arch::ComponentClass::DRAM;
+    record.components["DRAM0"].counts["read_bytes"] = 1e6;
+    record.components["ALU"].name = "ALU";
+    record.components["ALU"].cls = arch::ComponentClass::Compute;
+    record.components["ALU"].counts["mul_ops"] = 1e6;
+
+    const auto breakdown = energy::energyOf(record, topo);
+    EXPECT_GT(breakdown.totalJoules, 0);
+    EXPECT_GT(breakdown.byComponent.at("DRAM0"),
+              breakdown.byComponent.at("ALU"));
+}
+
+TEST(Energy, BufferEnergyScalesWithCapacityClass)
+{
+    arch::Topology topo;
+    topo.name = "X";
+    topo.root.name = "Sys";
+    arch::Component small;
+    small.name = "SmallBuf";
+    small.cls = arch::ComponentClass::Buffer;
+    small.attributes["size"] = "1024";
+    arch::Component large;
+    large.name = "LargeBuf";
+    large.cls = arch::ComponentClass::Buffer;
+    large.attributes["size"] = "33554432";
+    topo.root.local.push_back(small);
+    topo.root.local.push_back(large);
+
+    EinsumRecord record;
+    for (const char* name : {"SmallBuf", "LargeBuf"}) {
+        record.components[name].name = name;
+        record.components[name].cls = arch::ComponentClass::Buffer;
+        record.components[name].counts["access_bytes"] = 1e6;
+    }
+    const auto breakdown = energy::energyOf(record, topo);
+    EXPECT_GT(breakdown.byComponent.at("LargeBuf"),
+              breakdown.byComponent.at("SmallBuf"));
+}
+
+TEST(Energy, BreakdownAccumulates)
+{
+    energy::EnergyBreakdown a, b;
+    a.byComponent["X"] = 1.0;
+    a.totalJoules = 1.0;
+    b.byComponent["X"] = 2.0;
+    b.byComponent["Y"] = 3.0;
+    b.totalJoules = 5.0;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.totalJoules, 6.0);
+    EXPECT_DOUBLE_EQ(a.byComponent["X"], 3.0);
+    EXPECT_DOUBLE_EQ(a.byComponent["Y"], 3.0);
+}
+
+} // namespace
+} // namespace teaal::model

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for Matrix Market I/O (the path for running the models on the
+ * real Table 4 matrices when available).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "workloads/mtx.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal::workloads
+{
+namespace
+{
+
+TEST(MatrixMarket, ParseGeneralReal)
+{
+    const char* text = "%%MatrixMarket matrix coordinate real general\n"
+                       "% a comment\n"
+                       "3 4 3\n"
+                       "1 1 2.5\n"
+                       "2 3 -1.0\n"
+                       "3 4 7\n";
+    const auto t = parseMatrixMarket(text, "A");
+    EXPECT_EQ(t.rank(0).shape, 3);
+    EXPECT_EQ(t.rank(1).shape, 4);
+    EXPECT_EQ(t.nnz(), 3u);
+    const std::vector<ft::Coord> p{1, 2};
+    EXPECT_DOUBLE_EQ(t.at(p), -1.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues)
+{
+    const char* text =
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n";
+    const auto t = parseMatrixMarket(text, "A");
+    const std::vector<ft::Coord> p{0, 1};
+    EXPECT_DOUBLE_EQ(t.at(p), 1.0);
+    EXPECT_EQ(t.nnz(), 2u);
+}
+
+TEST(MatrixMarket, SymmetricExpands)
+{
+    const char* text =
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 1.5\n";
+    const auto t = parseMatrixMarket(text, "A");
+    EXPECT_EQ(t.nnz(), 3u); // off-diagonal mirrored, diagonal not
+    const std::vector<ft::Coord> a{1, 0}, b{0, 1};
+    EXPECT_DOUBLE_EQ(t.at(a), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(b), 5.0);
+}
+
+TEST(MatrixMarket, RejectsBadInput)
+{
+    EXPECT_THROW(parseMatrixMarket("", "A"), SpecError);
+    EXPECT_THROW(parseMatrixMarket("%%MatrixMarket matrix array\n1 1\n",
+                                   "A"),
+                 SpecError);
+    EXPECT_THROW(parseMatrixMarket(
+                     "%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n"
+                     "5 1 1.0\n",
+                     "A"),
+                 SpecError);
+    EXPECT_THROW(parseMatrixMarket(
+                     "%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n"
+                     "1 1 1.0\n",
+                     "A"),
+                 SpecError);
+}
+
+TEST(MatrixMarket, RoundTripThroughText)
+{
+    const auto t = uniformMatrix("A", 30, 20, 80, 9);
+    const auto again = parseMatrixMarket(renderMatrixMarket(t), "A");
+    EXPECT_TRUE(again.equals(t, 1e-9));
+}
+
+TEST(MatrixMarket, RoundTripThroughFile)
+{
+    const auto t = uniformMatrix("A", 16, 16, 40, 10);
+    const std::string path = "/tmp/teaal_mtx_test.mtx";
+    writeMatrixMarket(path, t);
+    const auto again = readMatrixMarket(path, "A", {"K", "M"});
+    EXPECT_TRUE(again.equals(t, 1e-9));
+    std::remove(path.c_str());
+    EXPECT_THROW(readMatrixMarket("/nonexistent/file.mtx", "A"),
+                 SpecError);
+}
+
+} // namespace
+} // namespace teaal::workloads

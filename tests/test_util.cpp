@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the util subsystem: strings, errors, RNG, stats,
+ * tables.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+TEST(StringUtils, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim("\t x\n"), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtils, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("uniform_shape(4)", "uniform_"));
+    EXPECT_FALSE(startsWith("ab", "abc"));
+    EXPECT_TRUE(endsWith("A.256", ".256"));
+    EXPECT_FALSE(endsWith("x", "xy"));
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields)
+{
+    const auto fields = split("a,,b", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+}
+
+TEST(StringUtils, SplitTopLevelRespectsParens)
+{
+    const auto fields =
+        splitTopLevel("uniform_occupancy(A.256), flatten(), x", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "uniform_occupancy(A.256)");
+    EXPECT_EQ(fields[1], "flatten()");
+    EXPECT_EQ(fields[2], "x");
+}
+
+TEST(StringUtils, SplitTopLevelRespectsBrackets)
+{
+    const auto fields = splitTopLevel("[a, b], c", ',');
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[0], "[a, b]");
+    EXPECT_EQ(fields[1], "c");
+}
+
+TEST(StringUtils, JoinRoundTrips)
+{
+    EXPECT_EQ(join({"K", "M", "N"}, ", "), "K, M, N");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtils, ParseLongAcceptsIntegers)
+{
+    EXPECT_EQ(parseLong("42", "test"), 42);
+    EXPECT_EQ(parseLong(" -7 ", "test"), -7);
+    EXPECT_THROW(parseLong("4x", "test"), SpecError);
+    EXPECT_THROW(parseLong("", "test"), SpecError);
+}
+
+TEST(StringUtils, ParseDoubleAcceptsNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5", "test"), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("1e-3", "test"), 1e-3);
+    EXPECT_THROW(parseDouble("abc", "test"), SpecError);
+}
+
+TEST(StringUtils, IsIntegerClassifies)
+{
+    EXPECT_TRUE(isInteger("128"));
+    EXPECT_TRUE(isInteger("-3"));
+    EXPECT_FALSE(isInteger("K1"));
+    EXPECT_FALSE(isInteger("1.5"));
+    EXPECT_FALSE(isInteger(""));
+    EXPECT_FALSE(isInteger("-"));
+}
+
+TEST(Errors, SpecErrorCarriesMessage)
+{
+    try {
+        specError("bad rank '", "K", "'");
+        FAIL() << "expected throw";
+    } catch (const SpecError& e) {
+        EXPECT_NE(std::string(e.what()).find("bad rank 'K'"),
+                  std::string::npos);
+    }
+}
+
+TEST(Errors, AssertThrowsModelError)
+{
+    EXPECT_THROW(TEAAL_ASSERT(false, "context"), ModelError);
+    EXPECT_NO_THROW(TEAAL_ASSERT(true, "context"));
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoshiro256 rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.below(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    // All 10 residues should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Xoshiro256 rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, ArithMean)
+{
+    EXPECT_DOUBLE_EQ(arithMean({1, 2, 3}), 2.0);
+    EXPECT_THROW(arithMean({}), ModelError);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_NEAR(geoMean({1, 4}), 2.0, 1e-12);
+    EXPECT_THROW(geoMean({1, -1}), ModelError);
+}
+
+TEST(Stats, MeanAbsRelError)
+{
+    EXPECT_NEAR(meanAbsRelErrorPct({110, 90}, {100, 100}), 10.0, 1e-12);
+    EXPECT_THROW(meanAbsRelErrorPct({1}, {1, 2}), ModelError);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table("demo");
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("alpha | 1"), std::string::npos);
+    EXPECT_NE(out.find("b     | 22"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace teaal

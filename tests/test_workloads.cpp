@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the Table 4 dataset registry and the synthetic workload
+ * generators (shape/NNZ fidelity, determinism, structure classes).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal::workloads
+{
+namespace
+{
+
+TEST(Datasets, Table4HasAllEightRows)
+{
+    const auto& rows = table4();
+    ASSERT_EQ(rows.size(), 8u);
+    const std::vector<std::string> keys{"wi", "p2", "ca", "po",
+                                        "em", "fl", "wk", "lj"};
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(rows[i].key, keys[i]);
+    EXPECT_EQ(dataset("wi").name, "wiki-Vote");
+    EXPECT_EQ(dataset("lj").nnz, 69000000u);
+    EXPECT_THROW(dataset("zz"), SpecError);
+}
+
+TEST(Generators, UniformMatrixHitsNnzAndShape)
+{
+    const auto t = uniformMatrix("A", 100, 80, 500, 42);
+    EXPECT_EQ(t.nnz(), 500u);
+    EXPECT_EQ(t.rank(0).shape, 100);
+    EXPECT_EQ(t.rank(1).shape, 80);
+    t.forEachLeaf([](std::span<const ft::Coord> p, double v) {
+        EXPECT_GE(p[0], 0);
+        EXPECT_LT(p[0], 100);
+        EXPECT_GE(p[1], 0);
+        EXPECT_LT(p[1], 80);
+        EXPECT_GT(v, 0);
+    });
+}
+
+TEST(Generators, UniformMatrixIsDeterministic)
+{
+    const auto a = uniformMatrix("A", 64, 64, 300, 7);
+    const auto b = uniformMatrix("A", 64, 64, 300, 7);
+    EXPECT_TRUE(a.equals(b));
+    const auto c = uniformMatrix("A", 64, 64, 300, 8);
+    EXPECT_FALSE(a.equals(c));
+}
+
+TEST(Generators, CustomRankIds)
+{
+    const auto t = uniformMatrix("B", 10, 12, 30, 1, {"K", "N"});
+    EXPECT_EQ(t.rankIds(), (std::vector<std::string>{"K", "N"}));
+}
+
+TEST(Generators, PowerLawIsSkewed)
+{
+    const auto t = powerLawMatrix("A", 2000, 2000, 20000, 3);
+    EXPECT_NEAR(static_cast<double>(t.nnz()), 20000, 600);
+    // Row occupancies: the top-40 rows should hold far more than 2%
+    // of the nonzeros (heavy tail).
+    std::vector<std::size_t> degrees;
+    const ft::Fiber& root = *t.root();
+    for (std::size_t i = 0; i < root.size(); ++i)
+        degrees.push_back(root.payloadAt(i).fiber()->size());
+    std::sort(degrees.rbegin(), degrees.rend());
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(40, degrees.size());
+         ++i)
+        top += degrees[i];
+    EXPECT_GT(top, t.nnz() / 10);
+}
+
+TEST(Generators, BandedStaysNearDiagonal)
+{
+    const auto t = bandedMatrix("A", 500, 500, 5000, 4);
+    EXPECT_EQ(t.nnz(), 5000u);
+    const auto band = static_cast<ft::Coord>(3 * (5000 / 500) + 1);
+    t.forEachLeaf([&](std::span<const ft::Coord> p, double) {
+        EXPECT_LE(std::abs(p[0] - p[1]), band);
+    });
+}
+
+TEST(Generators, SynthesizeRespectsScale)
+{
+    const DatasetInfo& wi = dataset("wi");
+    const auto full = synthesize(wi, "A", 1, 0.05);
+    EXPECT_NEAR(static_cast<double>(full.rank(0).shape),
+                static_cast<double>(wi.rows) * 0.05, 1.0);
+    EXPECT_LE(full.nnz(),
+              static_cast<std::size_t>(wi.nnz * 0.05 * 1.1));
+}
+
+TEST(Rmat, GraphShapeAndDeterminism)
+{
+    const Graph g = rmatGraph(1024, 8000, 9);
+    EXPECT_EQ(g.vertices, 1024);
+    EXPECT_EQ(g.offsets.size(), 1025u);
+    EXPECT_EQ(g.offsets.back(), g.edges());
+    EXPECT_GT(g.edges(), 7000u); // dedup loses a few
+    for (std::uint32_t d : g.targets)
+        EXPECT_LT(d, 1024u);
+    const Graph g2 = rmatGraph(1024, 8000, 9);
+    EXPECT_EQ(g.targets, g2.targets);
+}
+
+TEST(Rmat, DegreeSkew)
+{
+    const Graph g = rmatGraph(4096, 40000, 10);
+    std::vector<std::size_t> degrees;
+    for (std::size_t v = 0; v < 4096; ++v)
+        degrees.push_back(g.offsets[v + 1] - g.offsets[v]);
+    std::sort(degrees.rbegin(), degrees.rend());
+    // Top 1% of vertices should own >10% of the edges (power law).
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < 41; ++i)
+        top += degrees[i];
+    EXPECT_GT(top, g.edges() / 10);
+}
+
+TEST(Rmat, GraphToTensorTransposesToDestMajor)
+{
+    const Graph g = rmatGraph(64, 300, 11);
+    const auto t = graphToTensor(g, "G");
+    EXPECT_EQ(t.rankIds(), (std::vector<std::string>{"D", "S"}));
+    EXPECT_EQ(t.nnz(), g.edges());
+    // Every edge (s -> d) appears at G[d][s].
+    for (ft::Coord s = 0; s < 64; ++s) {
+        for (std::uint32_t e = g.offsets[static_cast<std::size_t>(s)];
+             e < g.offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+            const std::vector<ft::Coord> p{g.targets[e], s};
+            EXPECT_NE(t.at(p), 0.0);
+        }
+    }
+}
+
+TEST(Rmat, SelfLoopsExcluded)
+{
+    const Graph g = rmatGraph(256, 2000, 12);
+    for (std::size_t v = 0; v < 256; ++v) {
+        for (std::uint32_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e)
+            EXPECT_NE(g.targets[e], static_cast<std::uint32_t>(v));
+    }
+}
+
+} // namespace
+} // namespace teaal::workloads

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the mini-YAML parser, including the exact shapes used
+ * by the TeAAL specifications in paper Figures 3, 5, and 8.
+ */
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "yaml/yaml.hpp"
+
+namespace teaal::yaml
+{
+namespace
+{
+
+TEST(Yaml, EmptyDocumentIsNull)
+{
+    EXPECT_TRUE(parse("").isNull());
+    EXPECT_TRUE(parse("  \n # comment only\n").isNull());
+}
+
+TEST(Yaml, ScalarValue)
+{
+    const Node n = parse("key: hello\n");
+    EXPECT_EQ(n.at("key").scalar(), "hello");
+}
+
+TEST(Yaml, TypedScalars)
+{
+    const Node n = parse("a: 42\nb: 2.5\n");
+    EXPECT_EQ(n.at("a").asLong(), 42);
+    EXPECT_DOUBLE_EQ(n.at("b").asDouble(), 2.5);
+    EXPECT_THROW(n.at("a").sequence(), SpecError);
+}
+
+TEST(Yaml, NestedMapping)
+{
+    const Node n = parse("outer:\n  inner: v\n  other: w\n");
+    EXPECT_EQ(n.at("outer").at("inner").scalar(), "v");
+    EXPECT_EQ(n.at("outer").at("other").scalar(), "w");
+}
+
+TEST(Yaml, MappingPreservesOrder)
+{
+    const Node n = parse("z: 1\na: 2\nm: 3\n");
+    EXPECT_EQ(n.keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Yaml, InlineFlowSequence)
+{
+    const Node n = parse("A: [K, M]\n");
+    EXPECT_EQ(n.at("A").scalarList(),
+              (std::vector<std::string>{"K", "M"}));
+}
+
+TEST(Yaml, FlowSequenceWithParenElements)
+{
+    const Node n =
+        parse("KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n");
+    const auto items = n.at("KM").scalarList();
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0], "uniform_occupancy(A.256)");
+    EXPECT_EQ(items[1], "uniform_occupancy(A.16)");
+}
+
+TEST(Yaml, ParenthesizedKey)
+{
+    const Node n = parse("(K, M): [flatten()]\n");
+    EXPECT_EQ(n.at("(K, M)").scalarList(),
+              (std::vector<std::string>{"flatten()"}));
+}
+
+TEST(Yaml, BlockSequenceOfScalars)
+{
+    const Node n = parse("exprs:\n  - a = b\n  - c = d\n");
+    const auto& seq = n.at("exprs").sequence();
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0].scalar(), "a = b");
+    EXPECT_EQ(seq[1].scalar(), "c = d");
+}
+
+TEST(Yaml, SequenceOfMappings)
+{
+    const std::string text = "binding:\n"
+                             "  - tensor: T\n"
+                             "    rank: N\n"
+                             "    type: elem\n"
+                             "  - tensor: A\n"
+                             "    rank: K\n";
+    const Node n = parse(text);
+    const auto& seq = n.at("binding").sequence();
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0].at("tensor").scalar(), "T");
+    EXPECT_EQ(seq[0].at("rank").scalar(), "N");
+    EXPECT_EQ(seq[0].at("type").scalar(), "elem");
+    EXPECT_EQ(seq[1].at("tensor").scalar(), "A");
+}
+
+TEST(Yaml, CommentsStripped)
+{
+    const Node n = parse("a: 1 # trailing\n# whole line\nb: 2\n");
+    EXPECT_EQ(n.at("a").scalar(), "1");
+    EXPECT_EQ(n.at("b").scalar(), "2");
+}
+
+TEST(Yaml, MissingKeyThrows)
+{
+    const Node n = parse("a: 1\n");
+    EXPECT_THROW(n.at("zzz"), SpecError);
+    EXPECT_EQ(n.find("zzz"), nullptr);
+    EXPECT_TRUE(n.has("a"));
+}
+
+TEST(Yaml, DuplicateKeyThrows)
+{
+    EXPECT_THROW(parse("a: 1\na: 2\n"), SpecError);
+}
+
+TEST(Yaml, BadIndentThrows)
+{
+    EXPECT_THROW(parse("a: 1\n    junk_under_scalar: 2\n  x: 1\n"),
+                 SpecError);
+}
+
+TEST(Yaml, UnterminatedFlowThrows)
+{
+    EXPECT_THROW(parse("a: [K, M\n"), SpecError);
+}
+
+TEST(Yaml, NestedFlowSequences)
+{
+    const Node n = parse("a: [[1, 2], [3]]\n");
+    const auto& outer = n.at("a").sequence();
+    ASSERT_EQ(outer.size(), 2u);
+    EXPECT_EQ(outer[0].scalarList(),
+              (std::vector<std::string>{"1", "2"}));
+    EXPECT_EQ(outer[1].scalarList(), (std::vector<std::string>{"3"}));
+}
+
+TEST(Yaml, ScalarListOfSingleScalar)
+{
+    const Node n = parse("a: K\n");
+    EXPECT_EQ(n.at("a").scalarList(), (std::vector<std::string>{"K"}));
+}
+
+/// The full OuterSPACE specification from paper Figure 3 must parse.
+TEST(Yaml, OuterSpaceFigure3Shape)
+{
+    const std::string text =
+        "einsum:\n"
+        "  declaration:\n"
+        "    A: [K, M]\n"
+        "    B: [K, N]\n"
+        "    T: [K, M, N]\n"
+        "    Z: [M, N]\n"
+        "  expressions:\n"
+        "    - T[k, m, n] = A[k, m] * B[k, n]\n"
+        "    - Z[m, n] = T[k, m, n]\n"
+        "mapping:\n"
+        "  rank-order:\n"
+        "    A: [K, M]\n"
+        "    B: [K, N]\n"
+        "    T: [M, K, N]\n"
+        "    Z: [M, N]\n"
+        "  partitioning:\n"
+        "    T:\n"
+        "      (K, M): [flatten()]\n"
+        "      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n"
+        "    Z:\n"
+        "      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]\n"
+        "  loop-order:\n"
+        "    T: [KM2, KM1, KM0, N]\n"
+        "    Z: [M2, M1, M0, N, K]\n"
+        "  spacetime:\n"
+        "    T:\n"
+        "      space: [KM1, KM0]\n"
+        "      time: [KM2, N]\n"
+        "    Z:\n"
+        "      space: [M1, M0]\n"
+        "      time: [M2, N, K]\n";
+    const Node n = parse(text);
+    EXPECT_EQ(n.at("einsum").at("expressions").sequence().size(), 2u);
+    EXPECT_EQ(n.at("mapping")
+                  .at("partitioning")
+                  .at("T")
+                  .at("(K, M)")
+                  .scalarList(),
+              (std::vector<std::string>{"flatten()"}));
+    EXPECT_EQ(n.at("mapping").at("loop-order").at("Z").scalarList(),
+              (std::vector<std::string>{"M2", "M1", "M0", "N", "K"}));
+    EXPECT_EQ(n.at("mapping").at("spacetime").at("T").at("space")
+                  .scalarList(),
+              (std::vector<std::string>{"KM1", "KM0"}));
+}
+
+TEST(Yaml, DumpRoundTripsStructure)
+{
+    const std::string text = "a:\n  b: [1, 2]\n  c: x\nd:\n  - e: 1\n";
+    const Node n = parse(text);
+    const Node again = parse(n.dump());
+    EXPECT_EQ(again.at("a").at("c").scalar(), "x");
+    EXPECT_EQ(again.at("a").at("b").scalarList(),
+              (std::vector<std::string>{"1", "2"}));
+    EXPECT_EQ(again.at("d").sequence()[0].at("e").scalar(), "1");
+}
+
+} // namespace
+} // namespace teaal::yaml
