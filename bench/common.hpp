@@ -94,6 +94,24 @@ runAccelerator(compiler::Specification spec, const SpmspmInput& in)
     return sim.run({{"A", in.a.clone()}, {"B", in.b.clone()}});
 }
 
+/**
+ * Emit one machine-readable result row as a single-line JSON object:
+ * string labels first, then numeric metrics. Every bench that wants
+ * to be diffed/plotted by tooling prints these alongside its table.
+ */
+inline void
+jsonRow(std::ostream& os, const std::string& bench,
+        const std::vector<std::pair<std::string, std::string>>& labels,
+        const std::vector<std::pair<std::string, double>>& metrics)
+{
+    os << "{\"bench\":\"" << bench << "\"";
+    for (const auto& [key, value] : labels)
+        os << ",\"" << key << "\":\"" << value << "\"";
+    for (const auto& [key, value] : metrics)
+        os << ",\"" << key << "\":" << value;
+    os << "}\n";
+}
+
 /** Print the standard bench header. */
 inline void
 header(const std::string& what, double scale)

@@ -1,14 +1,21 @@
 /**
  * @file
  * Microbenchmarks (google-benchmark) of the fibertree substrate: the
- * operations every simulation is built from.
+ * operations every simulation is built from, plus the executor's
+ * batched trace bus (virtual calls per logical trace event).
  */
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "exec/executor.hpp"
 #include "fibertree/coiter.hpp"
 #include "fibertree/transform.hpp"
+#include "ir/plan.hpp"
+#include "trace/batch.hpp"
 #include "util/random.hpp"
 #include "workloads/datasets.hpp"
+#include "yaml/yaml.hpp"
 
 namespace
 {
@@ -113,6 +120,71 @@ BM_PartitionShape(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_PartitionShape);
+
+// ------------------------------------------------- batched trace bus
+
+/** Observer whose batch hook counts virtual calls across the
+ *  interface without consuming anything. */
+class NullBatchObserver : public trace::Observer
+{
+  public:
+    std::size_t batchCalls = 0;
+    std::size_t records = 0;
+
+    void
+    onEventBatch(const trace::EventBatch& batch) override
+    {
+        ++batchCalls;
+        records += batch.events.size();
+    }
+};
+
+/**
+ * Executor over a mid-size SpMSpM, measuring the trace bus: the
+ * `events_per_call` counter is the observer virtual-call reduction
+ * versus the historical one-virtual-call-per-event engine (>= 10x is
+ * the bar this refactor is held to).
+ */
+void
+BM_ExecutorTraceBus(benchmark::State& state)
+{
+    const char* yaml_text = "declaration:\n"
+                            "  A: [K, M]\n"
+                            "  B: [K, N]\n"
+                            "  Z: [M, N]\n"
+                            "expressions:\n"
+                            "  - Z[m, n] = A[k, m] * B[k, n]\n";
+    const auto es = einsum::EinsumSpec::parse(yaml::parse(yaml_text));
+    const ft::Tensor a = workloads::uniformMatrix("A", 512, 256, 30000,
+                                                  31, {"K", "M"});
+    const ft::Tensor b = workloads::uniformMatrix("B", 512, 256, 30000,
+                                                  37, {"K", "N"});
+    std::map<std::string, ft::Tensor> tensors{{"A", a.clone()},
+                                              {"B", b.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+
+    std::size_t events = 0;
+    std::size_t calls = 0;
+    for (auto _ : state) {
+        NullBatchObserver obs;
+        exec::Executor ex(plan, obs);
+        benchmark::DoNotOptimize(ex.run());
+        events = obs.records;
+        calls = obs.batchCalls;
+    }
+    state.counters["trace_events"] =
+        benchmark::Counter(static_cast<double>(events));
+    state.counters["observer_calls"] =
+        benchmark::Counter(static_cast<double>(calls));
+    state.counters["events_per_call"] = benchmark::Counter(
+        calls == 0 ? 0.0
+                   : static_cast<double>(events) /
+                         static_cast<double>(calls));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ExecutorTraceBus);
 
 } // namespace
 

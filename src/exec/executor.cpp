@@ -1,941 +1,18 @@
 #include "exec/executor.hpp"
 
-#include <algorithm>
-#include <cctype>
-#include <limits>
-
-#include "fibertree/transform.hpp"
-#include "util/error.hpp"
-
 namespace teaal::exec
 {
 
-namespace
-{
-
-double
-opMul(double a, double b)
-{
-    return a * b;
-}
-
-double
-opAdd(double a, double b)
-{
-    return a + b;
-}
-
-double
-opMin(double a, double b)
-{
-    return a < b ? a : b;
-}
-
-double
-opSelectRight(double a, double b)
-{
-    (void)a;
-    return b;
-}
-
-double
-opOr(double a, double b)
-{
-    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-}
-
-constexpr std::uint64_t kHashPrime = 1099511628211ULL;
-constexpr ft::Coord kNoRange = -1;
-
-/**
- * Merger "ways" estimate for swizzling @p t into @p target order: the
- * average occupancy of the shallowest rank that moves deeper (the
- * number of sorted runs merged per output fiber).
- */
-std::size_t
-estimateMergeWays(const ft::Tensor& t,
-                  const std::vector<std::string>& target)
-{
-    const auto old_ids = t.rankIds();
-    for (std::size_t lvl = 0; lvl < old_ids.size(); ++lvl) {
-        const auto npos =
-            std::find(target.begin(), target.end(), old_ids[lvl]);
-        if (npos == target.end())
-            continue;
-        const auto new_lvl =
-            static_cast<std::size_t>(npos - target.begin());
-        if (new_lvl > lvl) {
-            std::vector<std::size_t> counts;
-            if (t.root())
-                t.root()->elementCountsByDepth(counts);
-            const std::size_t above = lvl == 0
-                                          ? 1
-                                          : (counts.size() >= lvl
-                                                 ? counts[lvl - 1]
-                                                 : 1);
-            if (above > 0 && counts.size() > lvl)
-                return std::max<std::size_t>(2,
-                                             counts[lvl] / above + 1);
-            return 2;
-        }
-    }
-    return 2;
-}
-
-} // namespace
-
-Semiring
-Semiring::arithmetic()
-{
-    return {opMul, opAdd, 1.0, 0.0};
-}
-
-Semiring
-Semiring::minPlus()
-{
-    return {opAdd, opMin, 0.0, std::numeric_limits<double>::infinity()};
-}
-
-Semiring
-Semiring::orSelect()
-{
-    return {opSelectRight, opOr, 1.0, 0.0};
-}
-
 Executor::Executor(const ir::EinsumPlan& plan, trace::Observer& obs,
                    Semiring sr)
-    : plan_(plan), obs_(obs), sr_(sr), out_("_uninit", {"_"}, {1})
+    : engine_(plan, obs, sr)
 {
-    const std::size_t nloops = plan_.loops.size();
-    driversAt_.resize(nloops);
-    slicesAt_.resize(nloops);
-    lookupsAt_.resize(nloops);
-    outLevelsAt_.resize(nloops);
-    loopVarSlots_.resize(nloops);
-
-    auto intern = [this](const std::string& name) {
-        for (std::size_t i = 0; i < varNames_.size(); ++i) {
-            if (varNames_[i] == name)
-                return static_cast<int>(i);
-        }
-        varNames_.push_back(name);
-        varBase_.push_back(-1);
-        return static_cast<int>(varNames_.size() - 1);
-    };
-    auto base_var_of = [](const std::string& var) {
-        std::string rank = einsum::rankOfVar(var);
-        while (!rank.empty() &&
-               std::isdigit(static_cast<unsigned char>(rank.back()))) {
-            rank.pop_back();
-        }
-        return einsum::varOfRank(rank);
-    };
-    for (std::size_t l = 0; l < nloops; ++l) {
-        for (const std::string& v : plan_.loops[l].bindsVars) {
-            const int slot = intern(v);
-            const std::string base = base_var_of(v);
-            if (base != v)
-                varBase_[static_cast<std::size_t>(slot)] = intern(base);
-            loopVarSlots_[l].push_back(slot);
-        }
-    }
-
-    preLookupsAt_.resize(nloops);
-    for (std::size_t i = 0; i < plan_.inputs.size(); ++i) {
-        const auto& actions = plan_.inputs[i].actions;
-        for (std::size_t ai = 0; ai < actions.size(); ++ai) {
-            const ir::LevelAction& a = actions[ai];
-            const auto loop = static_cast<std::size_t>(a.loopIndex);
-            TEAAL_ASSERT(loop < nloops, "action loop out of range");
-            switch (a.mode) {
-              case ir::LevelAction::Mode::CoIterate:
-                driversAt_[loop].push_back({static_cast<int>(i), &a});
-                break;
-              case ir::LevelAction::Mode::Slice:
-                slicesAt_[loop].push_back({static_cast<int>(i), &a});
-                break;
-              case ir::LevelAction::Mode::Lookup: {
-                // A lookup can fire on loop *entry* when none of its
-                // variables binds at this loop and its parent level
-                // was descended at an earlier loop (e.g. the constant
-                // plane selectors of the FFT step).
-                bool var_binds_here = false;
-                for (const std::string& v : a.expr.vars) {
-                    const auto it = plan_.varBoundAt.find(v);
-                    if (it != plan_.varBoundAt.end() &&
-                        it->second == a.loopIndex)
-                        var_binds_here = true;
-                }
-                bool parent_ready = true;
-                if (ai > 0 && actions[ai - 1].loopIndex == a.loopIndex)
-                    parent_ready = false;
-                if (!var_binds_here && parent_ready)
-                    preLookupsAt_[loop].push_back(
-                        {static_cast<int>(i), &a});
-                else
-                    lookupsAt_[loop].push_back(
-                        {static_cast<int>(i), &a});
-                break;
-              }
-            }
-        }
-    }
-    for (std::size_t lvl = 0; lvl < plan_.output.boundAtLoop.size();
-         ++lvl) {
-        const auto loop =
-            static_cast<std::size_t>(plan_.output.boundAtLoop[lvl]);
-        outLevelsAt_[loop].push_back(lvl);
-        outVarSlots_.push_back(intern(plan_.output.vars[lvl]));
-    }
-
-    // Pre-resolve lookup expression variables to slots.
-    lookupSlots_.resize(nloops);
-    preLookupSlots_.resize(nloops);
-    for (std::size_t l = 0; l < nloops; ++l) {
-        for (const ActionRef& ar : lookupsAt_[l]) {
-            std::vector<int> slots;
-            for (const std::string& v : ar.action->expr.vars)
-                slots.push_back(intern(v));
-            lookupSlots_[l].push_back(std::move(slots));
-        }
-        for (const ActionRef& ar : preLookupsAt_[l]) {
-            std::vector<int> slots;
-            for (const std::string& v : ar.action->expr.vars)
-                slots.push_back(intern(v));
-            preLookupSlots_[l].push_back(std::move(slots));
-        }
-    }
-
-    varValues_.assign(varNames_.size(), 0);
-}
-
-int
-Executor::varSlot(const std::string& name) const
-{
-    for (std::size_t i = 0; i < varNames_.size(); ++i) {
-        if (varNames_[i] == name)
-            return static_cast<int>(i);
-    }
-    return -1;
-}
-
-ft::Coord
-Executor::evalExpr(const ir::LevelAction& a,
-                   const std::vector<int>& slots) const
-{
-    ft::Coord value = a.expr.offset;
-    for (const int slot : slots)
-        value += varValues_[static_cast<std::size_t>(slot)];
-    (void)a;
-    return value;
 }
 
 ft::Tensor
 Executor::run()
 {
-    // Whole-tensor copy (P1 = P0) bypasses the loop nest.
-    if (plan_.wholeTensorCopy) {
-        const ir::TensorPlan& src = plan_.inputs[0];
-        ft::Tensor out = src.prepared.clone();
-        out.setName(plan_.output.name);
-        obs_.onTensorCopy(src.name, plan_.output.name, out.nnz());
-        stats_.outputWrites += out.nnz();
-        return out;
-    }
-
-    // Fresh output tensor in production order.
-    scalarOutput_ = plan_.output.productionOrder.empty();
-    if (scalarOutput_) {
-        out_ = ft::Tensor(plan_.output.name, {"_S"}, {1});
-    } else {
-        out_ = ft::Tensor(plan_.output.name, plan_.output.productionOrder,
-                          plan_.output.shapes);
-    }
-    outCoord_.assign(out_.numRanks(), 0);
-    outMaterialized_.assign(out_.numRanks(), -1);
-    outPathValid_ = false;
-
-    // Fresh tensor cursors.
-    states_.clear();
-    for (const ir::TensorPlan& tp : plan_.inputs) {
-        TensorState st;
-        const std::size_t nr = tp.prepared.numRanks();
-        st.view.assign(nr, ft::FiberView{});
-        st.pending.assign(nr, {kNoRange, kNoRange});
-        st.view[0] = ft::FiberView::whole(tp.prepared.root().get());
-        st.validDepth = 1;
-        states_.push_back(std::move(st));
-        if (tp.swizzled) {
-            obs_.onSwizzle(tp.name, tp.swizzleElements, tp.swizzleWays,
-                           tp.swizzleOnline);
-        }
-    }
-
-    scratch_.assign(plan_.loops.size(), Scratch{});
-
-    runLoop(0, 0);
-
-    if (!scalarOutput_ && plan_.output.needsReorder) {
-        const std::size_t ways =
-            estimateMergeWays(out_, plan_.output.declaredOrder);
-        obs_.onSwizzle(plan_.output.name, out_.nnz(), ways, true);
-        out_ = ft::swizzle(out_, plan_.output.declaredOrder);
-    }
-    return std::move(out_);
-}
-
-void
-Executor::runLoop(std::size_t loop, std::uint64_t pe)
-{
-    if (loop == plan_.loops.size()) {
-        leafCompute(pe);
-        return;
-    }
-
-    // Loop-entry lookups (constant / already-bound indices).
-    struct PreUndo
-    {
-        int input;
-        int validDepth;
-        double leaf;
-        bool leafValid;
-        bool absent;
-        ft::FiberView childView;
-        bool hadChild;
-        int childLevel;
-    };
-    std::vector<PreUndo> undo;
-    bool skip = false;
-    for (std::size_t li = 0; li < preLookupsAt_[loop].size(); ++li) {
-        const ActionRef& ar = preLookupsAt_[loop][li];
-        TensorState& st = states_[static_cast<std::size_t>(ar.input)];
-        PreUndo u{ar.input, st.validDepth, st.leaf,    st.leafValid,
-                  st.absent, {},            false,      -1};
-        const int level = ar.action->level;
-        if (level + 1 < static_cast<int>(st.view.size())) {
-            u.childLevel = level + 1;
-            u.childView =
-                st.view[static_cast<std::size_t>(level) + 1];
-            u.hadChild = true;
-        }
-        undo.push_back(u);
-        if (st.absent)
-            continue;
-        TEAAL_ASSERT(st.validDepth > level,
-                     "pre-lookup into an undescended level");
-        const ft::Coord target =
-            evalExpr(*ar.action, preLookupSlots_[loop][li]);
-        const ft::FiberView view =
-            st.view[static_cast<std::size_t>(level)];
-        obs_.onCoordScan(ar.input, static_cast<std::size_t>(level), 1,
-                         pe);
-        std::optional<std::size_t> found;
-        if (!view.empty()) {
-            const auto f = view.fiber->find(target);
-            if (f && *f >= view.lo && *f < view.hi)
-                found = *f;
-        }
-        if (!found) {
-            if (plan_.unionCombine) {
-                st.absent = true;
-                st.leafValid = false;
-                continue;
-            }
-            skip = true;
-            break;
-        }
-        const ft::Payload& payload = view.payloadAt(*found);
-        obs_.onTensorAccess(ar.input,
-                            plan_.inputs[static_cast<std::size_t>(
-                                             ar.input)]
-                                .name,
-                            static_cast<std::size_t>(level), target,
-                            &payload, &payload, pe);
-        descend(ar.input, level, payload);
-    }
-
-    if (!skip) {
-        if (driversAt_[loop].empty())
-            denseDrive(loop, pe);
-        else
-            walk(loop, pe);
-    }
-
-    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-        TensorState& st = states_[static_cast<std::size_t>(it->input)];
-        st.validDepth = it->validDepth;
-        st.leaf = it->leaf;
-        st.leafValid = it->leafValid;
-        st.absent = it->absent;
-        if (it->hadChild) {
-            st.view[static_cast<std::size_t>(it->childLevel)] =
-                it->childView;
-        }
-    }
-}
-
-void
-Executor::denseDrive(std::size_t loop, std::uint64_t pe)
-{
-    const ir::LoopRank& lr = plan_.loops[loop];
-    TEAAL_ASSERT(lr.denseExtent > 0, "rank '", lr.name,
-                 "' has neither driver nor dense extent");
-    const ft::Coord limit = lr.probeOnly ? 1 : lr.denseExtent;
-    std::size_t processed = 0;
-    for (ft::Coord c = 0; c < limit; ++c) {
-        std::uint64_t next_pe = pe;
-        if (lr.isSpace) {
-            const std::uint64_t pos =
-                lr.coordSpace
-                    ? static_cast<std::uint64_t>(c) % lr.spaceExtent
-                    : std::min<std::uint64_t>(processed,
-                                              lr.spaceExtent - 1);
-            next_pe = pe * lr.spaceExtent + pos;
-        }
-        atCoordinate(loop, c, kNoRange, {}, {}, next_pe);
-        ++processed;
-    }
-    obs_.onCoIterate(loop, static_cast<std::size_t>(limit), processed, 0,
-                     pe);
-}
-
-void
-Executor::walk(std::size_t loop, std::uint64_t pe)
-{
-    const ir::LoopRank& lr = plan_.loops[loop];
-    const auto& drivers = driversAt_[loop];
-    const std::size_t nd = drivers.size();
-
-    // Collect the current view of every driver (scratch reuse keeps
-    // this allocation-free on the hot path).
-    Scratch& scratch = scratch_[loop];
-    auto& views = scratch.views;
-    auto& pos = scratch.pos;
-    views.assign(nd, ft::FiberView{});
-    pos.assign(nd, 0);
-    for (std::size_t d = 0; d < nd; ++d) {
-        const TensorState& st =
-            states_[static_cast<std::size_t>(drivers[d].input)];
-        const int level = drivers[d].action->level;
-        if (st.absent || st.validDepth <= level) {
-            // Absent in union mode: empty view.
-            TEAAL_ASSERT(plan_.unionCombine || st.absent == false,
-                         "driver view missing at rank '", lr.name, "'");
-            views[d] = ft::FiberView{};
-        } else {
-            views[d] = st.view[static_cast<std::size_t>(level)];
-        }
-        pos[d] = views[d].empty() ? 0 : views[d].lo;
-    }
-
-    std::size_t steps = 0;
-    std::size_t matches = 0;
-    auto& scans = scratch.scans;
-    auto& present = scratch.present;
-    scans.assign(nd, 0);
-    present.assign(nd, false);
-
-    const bool unite = plan_.unionCombine;
-
-    // Asymmetric 2-way intersection: walk the small fiber and look
-    // each coordinate up in the large one (leader-follower / gallop).
-    // This is what row-fetching designs (Gamma) do in hardware, and it
-    // keeps both the executor and the modeled step counts from paying
-    // a full scan of the large fiber.
-    if (!unite && nd == 2 &&
-        (views[0].size() > 8 * views[1].size() ||
-         views[1].size() > 8 * views[0].size())) {
-        const std::size_t lead =
-            views[0].size() <= views[1].size() ? 0 : 1;
-        const std::size_t big = 1 - lead;
-        auto& dpos = scratch.dpos;
-        dpos.assign(nd, 0);
-        present.assign(nd, true);
-        for (std::size_t pl = views[lead].lo; pl < views[lead].hi;
-             ++pl) {
-            const ft::Coord c = views[lead].coordAt(pl);
-            steps += 2; // leader element + follower probe
-            ++scans[lead];
-            const auto found = views[big].fiber->find(c);
-            if (!found || *found < views[big].lo ||
-                *found >= views[big].hi)
-                continue;
-            ++scans[big];
-            ft::Coord range_end = kNoRange;
-            if (lr.isUpperPartition) {
-                range_end =
-                    lr.rangeTile > 0
-                        ? c + lr.rangeTile
-                        : (pl + 1 < views[lead].hi
-                               ? views[lead].coordAt(pl + 1)
-                               : std::numeric_limits<ft::Coord>::max());
-            }
-            std::uint64_t next_pe = pe;
-            if (lr.isSpace) {
-                const std::uint64_t p =
-                    lr.coordSpace
-                        ? static_cast<std::uint64_t>(c) % lr.spaceExtent
-                        : std::min<std::uint64_t>(matches,
-                                                  lr.spaceExtent - 1);
-                next_pe = pe * lr.spaceExtent + p;
-            }
-            dpos[lead] = pl;
-            dpos[big] = *found;
-            ++matches;
-            atCoordinate(loop, c, range_end, dpos, present, next_pe);
-            if (lr.probeOnly)
-                break;
-        }
-        obs_.onCoIterate(loop, steps, matches, nd, pe);
-        for (std::size_t d = 0; d < nd; ++d) {
-            obs_.onCoordScan(drivers[d].input,
-                             static_cast<std::size_t>(
-                                 drivers[d].action->level),
-                             scans[d], pe);
-        }
-        return;
-    }
-
-    while (true) {
-        // Find the next coordinate: min (union) or aligned (intersect).
-        bool any = false;
-        ft::Coord c = 0;
-        if (unite) {
-            for (std::size_t d = 0; d < nd; ++d) {
-                if (pos[d] < views[d].hi) {
-                    const ft::Coord cd = views[d].coordAt(pos[d]);
-                    if (!any || cd < c)
-                        c = cd;
-                    any = true;
-                }
-            }
-            if (!any)
-                break;
-            for (std::size_t d = 0; d < nd; ++d)
-                present[d] =
-                    pos[d] < views[d].hi && views[d].coordAt(pos[d]) == c;
-        } else {
-            // Generalized two-finger: advance below the running max.
-            bool all_have = true;
-            for (std::size_t d = 0; d < nd; ++d) {
-                if (pos[d] >= views[d].hi)
-                    all_have = false;
-            }
-            if (!all_have)
-                break;
-            ft::Coord cmax = views[0].coordAt(pos[0]);
-            for (std::size_t d = 1; d < nd; ++d)
-                cmax = std::max(cmax, views[d].coordAt(pos[d]));
-            bool aligned = true;
-            for (std::size_t d = 0; d < nd; ++d) {
-                while (pos[d] < views[d].hi &&
-                       views[d].coordAt(pos[d]) < cmax) {
-                    ++pos[d];
-                    ++scans[d];
-                    ++steps;
-                }
-                if (pos[d] >= views[d].hi ||
-                    views[d].coordAt(pos[d]) != cmax) {
-                    aligned = false;
-                }
-            }
-            if (!aligned)
-                continue; // re-derive the max and keep advancing
-            c = cmax;
-            present.assign(nd, true);
-            any = true;
-        }
-
-        // Range end for upper partition ranks (from the first driver).
-        ft::Coord range_end = kNoRange;
-        if (lr.isUpperPartition) {
-            if (lr.rangeTile > 0) {
-                range_end = c + lr.rangeTile;
-            } else {
-                range_end = std::numeric_limits<ft::Coord>::max();
-                for (std::size_t d = 0; d < nd; ++d) {
-                    if (present[d] && pos[d] + 1 < views[d].hi) {
-                        range_end = std::min(
-                            range_end, views[d].coordAt(pos[d] + 1));
-                        break;
-                    }
-                }
-            }
-        }
-
-        std::uint64_t next_pe = pe;
-        if (lr.isSpace) {
-            const std::uint64_t p =
-                lr.coordSpace
-                    ? static_cast<std::uint64_t>(c) % lr.spaceExtent
-                    : std::min<std::uint64_t>(matches,
-                                              lr.spaceExtent - 1);
-            next_pe = pe * lr.spaceExtent + p;
-        }
-
-        // Driver positions for this coordinate.
-        auto& dpos = scratch.dpos;
-        dpos.assign(nd, 0);
-        for (std::size_t d = 0; d < nd; ++d)
-            dpos[d] = pos[d];
-
-        ++matches;
-        atCoordinate(loop, c, range_end, dpos, present, next_pe);
-
-        // Advance consumed drivers.
-        for (std::size_t d = 0; d < nd; ++d) {
-            if (present[d]) {
-                ++pos[d];
-                ++scans[d];
-                ++steps;
-            }
-        }
-        if (lr.probeOnly)
-            break;
-    }
-
-    obs_.onCoIterate(loop, steps, matches, nd, pe);
-    for (std::size_t d = 0; d < nd; ++d) {
-        obs_.onCoordScan(drivers[d].input,
-                         static_cast<std::size_t>(
-                             drivers[d].action->level),
-                         scans[d], pe);
-    }
-}
-
-bool
-Executor::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
-                       const std::vector<std::size_t>& driver_pos,
-                       const std::vector<bool>& driver_present,
-                       std::uint64_t pe)
-{
-    const ir::LoopRank& lr = plan_.loops[loop];
-    obs_.onLoopEnter(loop, c);
-
-    // ------------------------------------------------- undo records
-    Scratch& scratch = scratch_[loop];
-    auto& view_undo = scratch.viewUndo;
-    auto& state_undo = scratch.stateUndo;
-    view_undo.clear();
-    state_undo.clear();
-
-    auto save_state = [&](int input) {
-        TensorState& st = states_[static_cast<std::size_t>(input)];
-        state_undo.push_back(
-            {input, st.validDepth, st.leaf, st.leafValid, st.absent});
-    };
-    auto save_view = [&](int input, int level) {
-        TensorState& st = states_[static_cast<std::size_t>(input)];
-        view_undo.push_back(
-            {input, level, st.view[static_cast<std::size_t>(level)],
-             st.pending[static_cast<std::size_t>(level)]});
-    };
-    auto restore = [&]() {
-        for (auto it = view_undo.rbegin(); it != view_undo.rend(); ++it) {
-            TensorState& st =
-                states_[static_cast<std::size_t>(it->input)];
-            st.view[static_cast<std::size_t>(it->level)] = it->view;
-            st.pending[static_cast<std::size_t>(it->level)] =
-                it->pending;
-        }
-        for (auto it = state_undo.rbegin(); it != state_undo.rend();
-             ++it) {
-            TensorState& st =
-                states_[static_cast<std::size_t>(it->input)];
-            st.validDepth = it->validDepth;
-            st.leaf = it->leaf;
-            st.leafValid = it->leafValid;
-            st.absent = it->absent;
-        }
-    };
-
-    // --------------------------------------------------- bind vars
-    auto& saved_vars = scratch.savedVars;
-    auto& saved_slots = scratch.savedSlots;
-    saved_vars.clear();
-    saved_slots.clear();
-    auto bind_var = [&](int slot, ft::Coord value) {
-        saved_slots.push_back(slot);
-        saved_vars.push_back(varValues_[static_cast<std::size_t>(slot)]);
-        varValues_[static_cast<std::size_t>(slot)] = value;
-        const int base = varBase_[static_cast<std::size_t>(slot)];
-        if (base >= 0) {
-            saved_slots.push_back(base);
-            saved_vars.push_back(
-                varValues_[static_cast<std::size_t>(base)]);
-            varValues_[static_cast<std::size_t>(base)] = value;
-        }
-    };
-    if (!lr.unpackStrides.empty()) {
-        for (std::size_t j = 0; j < loopVarSlots_[loop].size(); ++j) {
-            const ft::Coord v =
-                (c / lr.unpackStrides[j]) % lr.unpackShapes[j];
-            bind_var(loopVarSlots_[loop][j], v);
-        }
-    } else {
-        for (int slot : loopVarSlots_[loop])
-            bind_var(slot, c);
-    }
-    auto restore_vars = [&]() {
-        for (std::size_t i = saved_slots.size(); i-- > 0;) {
-            varValues_[static_cast<std::size_t>(saved_slots[i])] =
-                saved_vars[i];
-        }
-    };
-
-    // ------------------------------------------- descend the drivers
-    const auto& drivers = driversAt_[loop];
-    for (std::size_t d = 0; d < drivers.size(); ++d) {
-        const int input = drivers[d].input;
-        TensorState& st = states_[static_cast<std::size_t>(input)];
-        save_state(input);
-        if (!driver_present.empty() && !driver_present[d]) {
-            st.absent = true;
-            st.leafValid = false;
-            continue;
-        }
-        const int level = drivers[d].action->level;
-        const ft::FiberView view =
-            st.view[static_cast<std::size_t>(level)];
-        const ft::Payload& payload = view.payloadAt(driver_pos[d]);
-        obs_.onTensorAccess(input, plan_.inputs[
-                                static_cast<std::size_t>(input)].name,
-                            static_cast<std::size_t>(level), c, &payload,
-                            &payload, pe);
-        if (level + 1 < static_cast<int>(st.view.size()))
-            save_view(input, level + 1);
-        descend(input, level, payload);
-    }
-
-    // -------------------------------------------------- apply slices
-    for (const ActionRef& ar : slicesAt_[loop]) {
-        TensorState& st = states_[static_cast<std::size_t>(ar.input)];
-        const int level = ar.action->level;
-        const ft::Coord lo = c;
-        const ft::Coord hi =
-            range_end == kNoRange
-                ? std::numeric_limits<ft::Coord>::max()
-                : range_end;
-        save_view(ar.input, level);
-        st.pending[static_cast<std::size_t>(level)] = {lo, hi};
-        if (st.validDepth > level) {
-            st.view[static_cast<std::size_t>(level)] =
-                st.view[static_cast<std::size_t>(level)].range(lo, hi);
-        }
-    }
-
-    // ------------------------------------------------------ lookups
-    bool skip = false;
-    for (std::size_t li = 0; li < lookupsAt_[loop].size(); ++li) {
-        const ActionRef& ar = lookupsAt_[loop][li];
-        const int input = ar.input;
-        TensorState& st = states_[static_cast<std::size_t>(input)];
-        if (st.absent)
-            continue;
-        const int level = ar.action->level;
-        TEAAL_ASSERT(st.validDepth > level,
-                     "lookup into an undescended level of ",
-                     plan_.inputs[static_cast<std::size_t>(input)].name);
-        const ft::Coord target =
-            evalExpr(*ar.action, lookupSlots_[loop][li]);
-        const ft::FiberView view =
-            st.view[static_cast<std::size_t>(level)];
-        obs_.onCoordScan(input, static_cast<std::size_t>(level), 1, pe);
-        std::optional<std::size_t> found;
-        if (!view.empty()) {
-            const auto f = view.fiber->find(target);
-            if (f && *f >= view.lo && *f < view.hi)
-                found = *f;
-        }
-        if (!found) {
-            if (plan_.unionCombine) {
-                save_state(input);
-                st.absent = true;
-                st.leafValid = false;
-                continue;
-            }
-            skip = true;
-            break;
-        }
-        const ft::Payload& payload = view.payloadAt(*found);
-        obs_.onTensorAccess(input, plan_.inputs[
-                                static_cast<std::size_t>(input)].name,
-                            static_cast<std::size_t>(level), target,
-                            &payload, &payload, pe);
-        save_state(input);
-        if (level + 1 < static_cast<int>(st.view.size()))
-            save_view(input, level + 1);
-        descend(input, level, payload);
-    }
-
-    if (!skip) {
-        // ------------------------------------------- output descend
-        for (std::size_t lvl : outLevelsAt_[loop]) {
-            const ft::Coord oc = varValues_[static_cast<std::size_t>(
-                outVarSlots_[lvl])];
-            descendOutput(lvl, oc, pe);
-        }
-        runLoop(loop + 1, pe);
-    }
-
-    restore_vars();
-    restore();
-    return !skip;
-}
-
-void
-Executor::descend(int input, int level, const ft::Payload& payload)
-{
-    TensorState& st = states_[static_cast<std::size_t>(input)];
-    const std::size_t nr = st.view.size();
-    if (static_cast<std::size_t>(level) + 1 == nr) {
-        st.leaf = payload.isValue() ? payload.value() : 0.0;
-        st.leafValid = true;
-        st.validDepth = level + 1;
-        return;
-    }
-    const ft::FiberPtr& child = payload.fiber();
-    ft::FiberView view = ft::FiberView::whole(child.get());
-    const auto& pending = st.pending[static_cast<std::size_t>(level) + 1];
-    if (pending.first != kNoRange)
-        view = view.range(pending.first, pending.second);
-    st.view[static_cast<std::size_t>(level) + 1] = view;
-    st.validDepth = level + 2;
-    st.leafValid = false;
-}
-
-void
-Executor::descendOutput(std::size_t level, ft::Coord c, std::uint64_t pe)
-{
-    (void)pe;
-    TEAAL_ASSERT(level < outCoord_.size(), "output level out of range");
-    // Binding only: the path materializes at the first leaf write, so
-    // skipped points never create empty output fibers.
-    if (outCoord_[level] != c || outMaterialized_[level] != c)
-        outPathValid_ = false;
-    outCoord_[level] = c;
-}
-
-void
-Executor::materializeOutputPath(std::uint64_t pe)
-{
-    std::uint64_t hash = 14695981039346656037ULL;
-    ft::Fiber* fiber = out_.root().get();
-    const std::size_t depth = out_.numRanks();
-    for (std::size_t level = 0; level + 1 < depth; ++level) {
-        const ft::Coord c = outCoord_[level];
-        hash = (hash ^ static_cast<std::uint64_t>(c)) * kHashPrime;
-        const std::size_t size_before = fiber->size();
-        ft::Payload& p = fiber->getOrInsert(c);
-        if (fiber->size() != size_before) {
-            obs_.onOutputWrite(plan_.output.name, level, c, hash, true,
-                               false, pe);
-        }
-        if (!p.isFiber() || p.fiber() == nullptr) {
-            p.setFiber(std::make_shared<ft::Fiber>(
-                out_.rank(level + 1).shape));
-        }
-        outMaterialized_[level] = c;
-        fiber = p.fiber().get();
-    }
-    const ft::Coord c = outCoord_[depth - 1];
-    hash = (hash ^ static_cast<std::uint64_t>(c)) * kHashPrime;
-    const std::size_t size_before = fiber->size();
-    fiber->getOrInsert(c);
-    leafFresh_ = fiber->size() != size_before;
-    leafFiber_ = fiber;
-    leafPos_ = *fiber->find(c);
-    leafCoord_ = c;
-    leafHash_ = hash;
-    outMaterialized_[depth - 1] = c;
-    outPathValid_ = true;
-}
-
-void
-Executor::leafCompute(std::uint64_t pe)
-{
-    ++stats_.leafVisits;
-    const einsum::OpKind kind = plan_.expr.kind;
-
-    double value = 0.0;
-    std::size_t muls = 0;
-    std::size_t adds = 0;
-
-    switch (kind) {
-      case einsum::OpKind::Multiply: {
-        value = sr_.multIdentity;
-        bool first = true;
-        for (const TensorState& st : states_) {
-            TEAAL_ASSERT(st.leafValid && !st.absent,
-                         "operand not at leaf in product");
-            value = first ? st.leaf : sr_.multiply(value, st.leaf);
-            if (!first)
-                ++muls;
-            first = false;
-        }
-        break;
-      }
-      case einsum::OpKind::Take: {
-        const auto arg = static_cast<std::size_t>(plan_.expr.takeArg);
-        TEAAL_ASSERT(states_[arg].leafValid, "take operand not at leaf");
-        value = states_[arg].leaf;
-        break;
-      }
-      case einsum::OpKind::Assign: {
-        TEAAL_ASSERT(states_[0].leafValid, "operand not at leaf");
-        value = states_[0].leaf;
-        break;
-      }
-      case einsum::OpKind::Add: {
-        bool negative = false;
-        for (int s : plan_.expr.signs)
-            negative |= s < 0;
-        bool first = true;
-        for (std::size_t i = 0; i < states_.size(); ++i) {
-            const TensorState& st = states_[i];
-            if (st.absent || !st.leafValid)
-                continue;
-            const double term =
-                negative ? plan_.expr.signs[i] * st.leaf : st.leaf;
-            if (first) {
-                value = term;
-                first = false;
-            } else {
-                value = negative ? value + term : sr_.add(value, term);
-                ++adds;
-            }
-        }
-        if (first)
-            return; // nothing present
-        break;
-      }
-    }
-
-    // Reduce into the output leaf (materializing the path lazily so
-    // skipped points never created empty fibers).
-    if (!outPathValid_)
-        materializeOutputPath(pe);
-    TEAAL_ASSERT(leafFiber_ != nullptr, "output leaf not bound");
-    ft::Payload& leaf = leafFiber_->payloadAt(leafPos_);
-    if (kind == einsum::OpKind::Take) {
-        leaf.setValue(value); // idempotent copy
-    } else if (leafFresh_) {
-        leaf.setValue(value);
-        leafFresh_ = false;
-    } else {
-        leaf.setValue(sr_.add(leaf.value(), value));
-        ++adds;
-    }
-
-    ++stats_.outputWrites;
-    stats_.computeMuls += muls;
-    stats_.computeAdds += adds;
-    if (muls > 0)
-        obs_.onCompute('m', pe, muls);
-    if (adds > 0)
-        obs_.onCompute('a', pe, adds);
-    obs_.onOutputWrite(plan_.output.name, out_.numRanks() - 1, leafCoord_,
-                       leafHash_, false, true, pe);
+    return engine_.run();
 }
 
 } // namespace teaal::exec

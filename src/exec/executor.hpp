@@ -1,7 +1,16 @@
 /**
  * @file
- * The loop-nest interpreter: executes an EinsumPlan on real fibertrees,
- * producing the output tensor and streaming trace events (paper §4.3).
+ * The public face of the loop-nest interpreter: executes an EinsumPlan
+ * on real fibertrees, producing the output tensor and streaming trace
+ * events (paper §4.3).
+ *
+ * `Executor` is a thin façade over the modular execution layer:
+ *
+ *   exec/engine.hpp          the recursion / variable-table /
+ *                            output-materialization core,
+ *   exec/coiter_strategy.hpp per-loop co-iteration strategies
+ *                            (two-finger, gallop, dense-drive),
+ *   trace/batch.hpp          the batched trace bus feeding observers.
  *
  * The (x, +) operators are semiring-parameterized so vertex-centric
  * graph algorithms can redefine them (paper Figure 12: SSSP uses
@@ -9,44 +18,10 @@
  */
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "fibertree/coiter.hpp"
-#include "ir/plan.hpp"
-#include "trace/observer.hpp"
+#include "exec/engine.hpp"
 
 namespace teaal::exec
 {
-
-/** Operator redefinition for Einsum evaluation. */
-struct Semiring
-{
-    using BinOp = double (*)(double, double);
-
-    BinOp multiply;
-    BinOp add;
-    double multIdentity;
-    double addIdentity;
-
-    /** Ordinary (x, +) arithmetic. */
-    static Semiring arithmetic();
-
-    /** SSSP: x = addition, + = minimum. */
-    static Semiring minPlus();
-
-    /** BFS-style: x = select-right, + = logical or. */
-    static Semiring orSelect();
-};
-
-/** Functional statistics of one execution. */
-struct ExecutionStats
-{
-    std::size_t computeMuls = 0;
-    std::size_t computeAdds = 0;
-    std::size_t leafVisits = 0;
-    std::size_t outputWrites = 0;
-};
 
 /** Interprets one EinsumPlan. */
 class Executor
@@ -66,130 +41,13 @@ class Executor
      */
     ft::Tensor run();
 
-    const ExecutionStats& stats() const { return stats_; }
+    const ExecutionStats& stats() const { return engine_.stats(); }
+
+    /** Trace-bus diagnostics (events coalesced, batches delivered). */
+    const trace::BatchBus& bus() const { return engine_.bus(); }
 
   private:
-    struct TensorState
-    {
-        /// view[l] is the fiber window at prepared level l; valid for
-        /// l < validDepth.
-        std::vector<ft::FiberView> view;
-        /// Pending range restrictions set by Slice actions before the
-        /// level's view exists ({-1,-1} = none).
-        std::vector<std::pair<ft::Coord, ft::Coord>> pending;
-        int validDepth = 1;
-        double leaf = 0.0;
-        bool leafValid = false;
-        bool absent = false;
-    };
-
-    struct ActionRef
-    {
-        int input;
-        const ir::LevelAction* action;
-    };
-
-    struct ViewUndo
-    {
-        int input;
-        int level;
-        ft::FiberView view;
-        std::pair<ft::Coord, ft::Coord> pending;
-    };
-
-    struct StateUndo
-    {
-        int input;
-        int validDepth;
-        double leaf;
-        bool leafValid;
-        bool absent;
-    };
-
-    /** Per-loop-level scratch buffers (recursion depth is unique per
-     *  loop, so reuse avoids hot-path allocation). */
-    struct Scratch
-    {
-        std::vector<ft::FiberView> views;
-        std::vector<std::size_t> pos;
-        std::vector<std::size_t> scans;
-        std::vector<std::size_t> dpos;
-        std::vector<bool> present;
-        std::vector<ViewUndo> viewUndo;
-        std::vector<StateUndo> stateUndo;
-        std::vector<ft::Coord> savedVars;
-        std::vector<int> savedSlots;
-    };
-
-    void runLoop(std::size_t loop, std::uint64_t pe);
-    void walk(std::size_t loop, std::uint64_t pe);
-    void denseDrive(std::size_t loop, std::uint64_t pe);
-
-    /**
-     * Per-coordinate body shared by walk and denseDrive. @p driver_pos
-     * holds each driver's current position (empty for dense drive).
-     * Returns false if the point was skipped (lookup miss).
-     */
-    bool atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
-                      const std::vector<std::size_t>& driver_pos,
-                      const std::vector<bool>& driver_present,
-                      std::uint64_t pe);
-
-    void leafCompute(std::uint64_t pe);
-
-    void descend(int input, int level, const ft::Payload& payload);
-    void descendOutput(std::size_t level, ft::Coord c, std::uint64_t pe);
-
-    int varSlot(const std::string& name) const;
-    ft::Coord evalExpr(const ir::LevelAction& a,
-                       const std::vector<int>& slots) const;
-
-    const ir::EinsumPlan& plan_;
-    trace::Observer& obs_;
-    Semiring sr_;
-    ExecutionStats stats_;
-
-    // Per-loop action indices (built once). Pre-lookups fire on loop
-    // entry (constant/earlier-bound indices whose parent level is
-    // already descended); post-lookups fire per coordinate.
-    std::vector<std::vector<ActionRef>> driversAt_;
-    std::vector<std::vector<ActionRef>> slicesAt_;
-    std::vector<std::vector<ActionRef>> lookupsAt_;
-    std::vector<std::vector<ActionRef>> preLookupsAt_;
-    std::vector<std::vector<std::vector<int>>> preLookupSlots_;
-    std::vector<std::vector<std::size_t>> outLevelsAt_;
-
-    // Variable table.
-    std::vector<std::string> varNames_;
-    std::vector<int> varBase_; // slot of the base variable (or -1)
-    std::vector<ft::Coord> varValues_;
-    std::vector<std::vector<int>> loopVarSlots_;   // per loop
-    /// Pre-resolved variable slots per lookup action, parallel to
-    /// lookupsAt_[loop].
-    std::vector<std::vector<std::vector<int>>> lookupSlots_;
-    std::vector<int> outVarSlots_;                 // per output level
-
-    // Execution state.
-    std::vector<TensorState> states_;
-    std::vector<Scratch> scratch_;
-
-    // Output production state. Coordinates are only *bound* by
-    // descendOutput; the path materializes lazily at the first leaf
-    // write so skipped points never create empty fibers (fibertrees
-    // omit empty payloads).
-    ft::Tensor out_;
-    std::vector<ft::Coord> outCoord_;
-    std::vector<ft::Coord> outMaterialized_;
-    bool outPathValid_ = false;
-    ft::Fiber* leafFiber_ = nullptr;
-    std::size_t leafPos_ = 0;
-    bool leafFresh_ = false;
-    ft::Coord leafCoord_ = 0;
-    std::uint64_t leafHash_ = 0;
-    bool scalarOutput_ = false;
-
-    /** Materialize the bound output path; sets leafFiber_/leafPos_. */
-    void materializeOutputPath(std::uint64_t pe);
+    Engine engine_;
 };
 
 } // namespace teaal::exec

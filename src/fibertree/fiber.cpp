@@ -44,18 +44,37 @@ Fiber::append(Coord c, Payload p)
 Payload&
 Fiber::getOrInsert(Coord c)
 {
+    bool inserted = false;
+    return payloads_[getOrInsertPos(c, inserted)];
+}
+
+std::size_t
+Fiber::getOrInsertPos(Coord c, bool& inserted)
+{
     if (coords_.empty() || c > coords_.back()) {
         coords_.push_back(c);
         payloads_.emplace_back();
-        return payloads_.back();
+        inserted = true;
+        return coords_.size() - 1;
     }
     const std::size_t pos = lowerBound(c);
-    if (pos < coords_.size() && coords_[pos] == c)
-        return payloads_[pos];
+    if (pos < coords_.size() && coords_[pos] == c) {
+        inserted = false;
+        return pos;
+    }
+    // One insert per array: each shifts the tail exactly once.
     coords_.insert(coords_.begin() + static_cast<std::ptrdiff_t>(pos), c);
     payloads_.insert(payloads_.begin() + static_cast<std::ptrdiff_t>(pos),
                      Payload());
-    return payloads_[pos];
+    inserted = true;
+    return pos;
+}
+
+void
+Fiber::reserve(std::size_t n)
+{
+    coords_.reserve(n);
+    payloads_.reserve(n);
 }
 
 std::size_t
@@ -108,6 +127,7 @@ Fiber::fromUnsorted(std::vector<std::pair<Coord, Payload>> elems,
     std::sort(elems.begin(), elems.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     auto fiber = std::make_shared<Fiber>(shape);
+    fiber->reserve(elems.size());
     for (auto& [c, p] : elems) {
         if (!fiber->empty() && fiber->coords_.back() == c)
             modelError("fromUnsorted: duplicate coordinate ", c);

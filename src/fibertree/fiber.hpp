@@ -64,6 +64,16 @@ class Fiber
      */
     Payload& getOrInsert(Coord c);
 
+    /**
+     * Position-returning getOrInsert: one binary search total, and the
+     * caller learns whether the element is fresh without re-searching
+     * (the engine's output materialization needs both).
+     */
+    std::size_t getOrInsertPos(Coord c, bool& inserted);
+
+    /** Pre-size both the coordinate and payload arrays. */
+    void reserve(std::size_t n);
+
     /** Number of scalar leaves in the subtree rooted at this fiber. */
     std::size_t leafCount() const;
 

@@ -49,6 +49,26 @@ Tensor::rankLevel(const std::string& id) const
     return -1;
 }
 
+std::vector<double>
+Tensor::occupancyHints() const
+{
+    std::vector<double> hints(ranks_.size(), 0.0);
+    if (root_ == nullptr)
+        return hints;
+    std::vector<std::size_t> counts;
+    root_->elementCountsByDepth(counts);
+    for (std::size_t level = 0;
+         level < ranks_.size() && level < counts.size(); ++level) {
+        const std::size_t fibers_above =
+            level == 0 ? 1 : counts[level - 1];
+        if (fibers_above > 0) {
+            hints[level] = static_cast<double>(counts[level]) /
+                           static_cast<double>(fibers_above);
+        }
+    }
+    return hints;
+}
+
 Value
 Tensor::at(std::span<const Coord> point) const
 {

@@ -52,6 +52,15 @@ class Tensor
     std::size_t nnz() const { return root_ ? root_->leafCount() : 0; }
 
     /**
+     * Average fiber occupancy per level (elements per fiber), the
+     * hints the planner uses to pick co-iteration strategies: a
+     * driver much sparser than its partner favors galloping
+     * intersection. One O(nnz) traversal produces every level's
+     * hint; empty levels report 0.
+     */
+    std::vector<double> occupancyHints() const;
+
+    /**
      * Value at a full point; absent coordinates yield 0 (fibertrees
      * omit empty payloads).
      */

@@ -166,6 +166,13 @@ flattenRanks(const Tensor& t, const std::string& upper_id,
         out.root(), static_cast<std::size_t>(upper),
         [&](const Fiber& f) {
             auto merged = std::make_shared<Fiber>(flat.shape);
+            std::size_t total = 0;
+            for (std::size_t pos = 0; pos < f.size(); ++pos) {
+                const Payload& p = f.payloadAt(pos);
+                if (p.isFiber() && p.fiber() != nullptr)
+                    total += p.fiber()->size();
+            }
+            merged->reserve(total);
             for (std::size_t pos = 0; pos < f.size(); ++pos) {
                 const Coord cu = f.coordAt(pos);
                 const Payload& p = f.payloadAt(pos);
@@ -223,6 +230,7 @@ splitImpl(const Tensor& t, const std::string& rank_id,
         [&](const Fiber& f) {
             auto split = std::make_shared<Fiber>(orig.shape);
             const std::vector<Coord> starts = bounds_fn(f);
+            split->reserve(starts.size());
             std::size_t pos = 0;
             for (std::size_t j = 0; j < starts.size(); ++j) {
                 const Coord begin = starts[j];
@@ -232,6 +240,7 @@ splitImpl(const Tensor& t, const std::string& rank_id,
                 auto part = std::make_shared<Fiber>(orig.shape);
                 while (pos < f.size() && f.coordAt(pos) < begin)
                     ++pos; // elements before the first boundary: none
+                part->reserve(f.lowerBound(end) - pos);
                 while (pos < f.size() && f.coordAt(pos) < end) {
                     part->append(f.coordAt(pos), f.payloadAt(pos));
                     ++pos;

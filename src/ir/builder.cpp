@@ -159,7 +159,29 @@ loopIndexOf(const std::vector<std::string>& loop_order,
     return -1;
 }
 
+/**
+ * Occupancy skew above which a 2-driver intersection plans the
+ * galloping strategy: the sparse driver leads and binary-search leaps
+ * skip runs of the dense driver, so the walk stops paying for the
+ * dense fiber's length.
+ */
+constexpr double kGallopSkewThreshold = 32.0;
+
 } // namespace
+
+const char*
+coiterStrategyName(CoiterStrategy s)
+{
+    switch (s) {
+      case CoiterStrategy::TwoFinger:
+        return "2finger";
+      case CoiterStrategy::Gallop:
+        return "gallop";
+      case CoiterStrategy::DenseDrive:
+        return "dense";
+    }
+    return "?";
+}
 
 std::string
 EinsumPlan::toString() const
@@ -173,6 +195,8 @@ EinsumPlan::toString() const
             oss << "(space)";
         if (l.isUpperPartition)
             oss << "(range)";
+        if (l.coiter != CoiterStrategy::TwoFinger)
+            oss << "(" << coiterStrategyName(l.coiter) << ")";
     }
     oss << "\n";
     for (const TensorPlan& tp : inputs) {
@@ -710,25 +734,56 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         plan.inputs.push_back(std::move(tp));
     }
 
-    // Dense extents: ranks binding variables with no co-iterating
-    // driver iterate the variable's shape range.
+    // Dense extents and co-iteration strategies: ranks binding
+    // variables with no co-iterating driver iterate the variable's
+    // shape range (DenseDrive); intersections of two drivers with
+    // strongly skewed occupancy hints plan the galloping walk.
+    // Occupancy hints are gathered once per input (one O(nnz)
+    // traversal each); every per-level occupancy below indexes them.
+    std::vector<std::vector<double>> input_hints;
+    input_hints.reserve(plan.inputs.size());
+    for (const TensorPlan& tp : plan.inputs)
+        input_hints.push_back(tp.prepared.occupancyHints());
     for (std::size_t i = 0; i < plan.loops.size(); ++i) {
         LoopRank& lr = plan.loops[i];
-        bool has_driver = false;
-        for (const TensorPlan& tp : plan.inputs) {
-            for (const LevelAction& a : tp.actions) {
+        std::vector<double> occupancies;
+        for (std::size_t t = 0; t < plan.inputs.size(); ++t) {
+            for (const LevelAction& a : plan.inputs[t].actions) {
                 if (a.loopIndex == static_cast<int>(i) &&
-                    a.mode == LevelAction::Mode::CoIterate)
-                    has_driver = true;
+                    a.mode == LevelAction::Mode::CoIterate) {
+                    const auto lvl = static_cast<std::size_t>(a.level);
+                    occupancies.push_back(
+                        lvl < input_hints[t].size()
+                            ? input_hints[t][lvl]
+                            : 0.0);
+                }
             }
         }
-        if (!has_driver) {
+        if (occupancies.empty()) {
             if (lr.isUpperPartition)
                 specError("einsum '", expr.text, "': partition rank '",
                           lr.name, "' has no driving tensor");
             TEAAL_ASSERT(!lr.bindsVars.empty(), "rank ", lr.name,
                          " binds nothing and drives nothing");
             lr.denseExtent = var_shape(lr.bindsVars[0]);
+            lr.coiter = CoiterStrategy::DenseDrive;
+            continue;
+        }
+        const double densest =
+            *std::max_element(occupancies.begin(), occupancies.end());
+        const double sparsest =
+            *std::min_element(occupancies.begin(), occupancies.end());
+        lr.driverSkew = sparsest > 0 ? densest / sparsest
+                                     : (densest > 0 ? densest : 1.0);
+        // Galloping only pays off for intersections (union must visit
+        // every element of every driver anyway). Upper partition
+        // ranks stay on two-finger: their range ends come from the
+        // first driver's next coordinate, and gallop's leader-based
+        // range end is not equivalent when the leader differs.
+        if (!plan.unionCombine && occupancies.size() == 2 &&
+            !lr.isUpperPartition &&
+            lr.driverSkew >= kGallopSkewThreshold) {
+            lr.coiter = CoiterStrategy::Gallop;
         }
     }
 

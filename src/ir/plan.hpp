@@ -32,6 +32,25 @@
 namespace teaal::ir
 {
 
+/**
+ * How a loop rank's co-iterated fibers are walked. Chosen per loop at
+ * plan time from driver occupancy hints; the execution engine
+ * dispatches on the enum (no virtual call per element).
+ *
+ *   TwoFinger   the classic sorted merge over all drivers (with a
+ *               runtime leader-follower escape for skewed fibers),
+ *   Gallop      leader-follower with binary-search leaps through the
+ *               denser driver — wins when one driver is much sparser,
+ *   DenseDrive  iterate the coordinate space [0, extent) and probe
+ *               the drivers (also the path for driverless ranks).
+ */
+enum class CoiterStrategy
+{
+    TwoFinger,
+    Gallop,
+    DenseDrive,
+};
+
 /** How a tensor level is advanced at some loop rank. */
 struct LevelAction
 {
@@ -108,6 +127,15 @@ struct LoopRank
     /// Take Einsums probe ranks private to the non-copied operand
     /// instead of fully iterating them (a bitmap check in hardware).
     bool probeOnly = false;
+
+    /// Co-iteration strategy, selected at plan time from the drivers'
+    /// occupancy hints (DenseDrive for driverless ranks).
+    CoiterStrategy coiter = CoiterStrategy::TwoFinger;
+
+    /// Occupancy skew between the densest and sparsest driver at this
+    /// rank (1 when uniform or fewer than two drivers); diagnostic for
+    /// the strategy choice.
+    double driverSkew = 1.0;
 };
 
 /** Output production plan. */
@@ -156,6 +184,9 @@ struct EinsumPlan
 
     std::string toString() const;
 };
+
+/** Short human-readable strategy name ("2finger", "gallop", "dense"). */
+const char* coiterStrategyName(CoiterStrategy s);
 
 /**
  * Build the plan for @p expr.

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "trace/batch.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 
@@ -434,6 +435,49 @@ ModelObserver::subtreeBytes(const StorageUnit& unit,
     }
     subtreeBytesCache_[key] = bytes;
     return bytes;
+}
+
+void
+ModelObserver::onEventBatch(const trace::EventBatch& batch)
+{
+    // One virtual call per batch; per-record dispatch below is
+    // statically qualified, so the hot path pays no per-event virtual
+    // calls. Record order is preserved, making every count (cache
+    // hits included) bit-identical to the streaming path.
+    ++record_.traceBatches;
+    record_.traceEvents += batch.events.size();
+    using trace::Event;
+    for (const Event& e : batch.events) {
+        switch (e.kind) {
+          case Event::Kind::LoopEnter:
+            ModelObserver::onLoopEnter(e.loop, e.coord);
+            break;
+          case Event::Kind::CoIterate:
+            ModelObserver::onCoIterate(e.loop, e.a, e.b, e.c, e.pe);
+            break;
+          case Event::Kind::CoordScan:
+            ModelObserver::onCoordScan(e.input, e.level, e.a, e.pe);
+            break;
+          case Event::Kind::TensorAccess:
+            ModelObserver::onTensorAccess(e.input, *e.name, e.level,
+                                          e.coord, e.ptr, e.payload,
+                                          e.pe);
+            break;
+          case Event::Kind::OutputWrite:
+            ModelObserver::onOutputWrite(*e.name, e.level, e.coord,
+                                         e.key, e.flagA, e.flagB, e.pe);
+            break;
+          case Event::Kind::Compute:
+            ModelObserver::onCompute(e.op, e.pe, e.a);
+            break;
+          case Event::Kind::Swizzle:
+            ModelObserver::onSwizzle(*e.name, e.a, e.b, e.flagA);
+            break;
+          case Event::Kind::TensorCopy:
+            ModelObserver::onTensorCopy(*e.name, *e.name2, e.a);
+            break;
+        }
+    }
 }
 
 void

@@ -71,6 +71,11 @@ struct EinsumRecord
 
     exec::ExecutionStats execStats;
 
+    /// Trace-bus diagnostics: logical events consumed and the batches
+    /// that delivered them (events/batches = virtual-call reduction).
+    std::size_t traceEvents = 0;
+    std::size_t traceBatches = 0;
+
     // Fusion-relevant facts (paper §4.3).
     std::vector<std::string> loopOrder;
     std::vector<std::string> temporalPrefix;
@@ -98,6 +103,13 @@ class ModelObserver : public trace::Observer
                   const binding::EinsumBinding& eb,
                   const fmt::FormatSpec& formats,
                   const std::set<std::string>& on_chip);
+
+    /**
+     * Batch entry point: consumes the engine's trace batches directly
+     * (one virtual call per batch, non-virtual dispatch per record),
+     * producing action counts bit-identical to the per-event path.
+     */
+    void onEventBatch(const trace::EventBatch& batch) override;
 
     void onLoopEnter(std::size_t loop, ft::Coord c) override;
     void onCoIterate(std::size_t loop, std::size_t steps,

@@ -144,6 +144,8 @@ analyze(const std::vector<EinsumRecord>& records,
 {
     CascadePerf perf;
     for (const EinsumRecord& r : records) {
+        perf.traceEvents += r.traceEvents;
+        perf.traceBatches += r.traceBatches;
         const arch::Topology& topo = arch.topology(r.topologyName);
         EinsumPerf ep;
         ep.output = r.output;

@@ -48,6 +48,22 @@ struct CascadePerf
     std::vector<EinsumPerf> einsums;
     std::vector<BlockPerf> blocks;
     double totalSeconds = 0;
+
+    /// Trace-bus diagnostics aggregated over the cascade: logical
+    /// events consumed and the batches that delivered them.
+    std::size_t traceEvents = 0;
+    std::size_t traceBatches = 0;
+
+    /** Events per observer call — the virtual-call reduction of the
+     *  batched trace bus (1.0 when nothing was batched). */
+    double
+    traceBatchingFactor() const
+    {
+        return traceBatches == 0
+                   ? 1.0
+                   : static_cast<double>(traceEvents) /
+                         static_cast<double>(traceBatches);
+    }
 };
 
 /**

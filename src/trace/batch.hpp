@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Batched trace bus (paper §4.3 "trace generation", restructured).
+ *
+ * The execution engine used to fire one virtual `Observer` callback
+ * per logical event — one `onLoopEnter`/`onTensorAccess`/... call per
+ * coordinate of every fiber walk. The bus instead records events as
+ * compact PODs in an `EventBatch` and delivers whole batches through a
+ * single virtual call (`Observer::onEventBatch`), flushed at fiber-walk
+ * boundaries. The default `onEventBatch` replays the records through
+ * the per-event virtual interface in their original order, so every
+ * observer — including ones written against the streaming API — sees a
+ * bit-identical event sequence; batch-aware observers (the performance
+ * model) override it and skip the per-event dispatch entirely.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fibertree/payload.hpp"
+#include "fibertree/types.hpp"
+#include "trace/observer.hpp"
+
+namespace teaal::trace
+{
+
+/** One recorded event. POD; strings are borrowed (the plan outlives
+ *  the run, so tensor-name pointers stay valid until the flush). */
+struct Event
+{
+    enum class Kind : std::uint8_t
+    {
+        LoopEnter,
+        CoIterate,
+        CoordScan,
+        TensorAccess,
+        OutputWrite,
+        Compute,
+        Swizzle,
+        TensorCopy,
+    };
+
+    Kind kind = Kind::LoopEnter;
+    char op = 0;          // Compute: 'm' or 'a'
+    bool flagA = false;   // OutputWrite: inserted; Swizzle: online
+    bool flagB = false;   // OutputWrite: at_leaf
+    int input = -1;       // CoordScan/TensorAccess input slot
+    std::size_t loop = 0; // LoopEnter/CoIterate loop index
+    std::size_t level = 0;
+    std::size_t a = 0; // steps / count / elements
+    std::size_t b = 0; // matches / ways
+    std::size_t c = 0; // drivers
+    ft::Coord coord = 0;
+    std::uint64_t pe = 0;
+    std::uint64_t key = 0;              // OutputWrite path key
+    const void* ptr = nullptr;          // TensorAccess identity key
+    const ft::Payload* payload = nullptr;
+    const std::string* name = nullptr;  // tensor name
+    const std::string* name2 = nullptr; // TensorCopy destination
+};
+
+/** An ordered run of events, delivered through one virtual call. */
+struct EventBatch
+{
+    std::vector<Event> events;
+
+    std::size_t size() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * The engine-side producer: append events, flush batches.
+ *
+ * Flush policy: the engine calls walkEnd() when a fiber walk finishes,
+ * which flushes once the pending batch has reached the threshold —
+ * batches stay aligned to walk boundaries without flushing a tiny
+ * batch per innermost row. flush() forces delivery (end of run).
+ */
+class BatchBus
+{
+  public:
+    static constexpr std::size_t kFlushThreshold = 1024;
+
+    explicit BatchBus(Observer& obs, std::size_t threshold = kFlushThreshold)
+        : obs_(obs), threshold_(threshold)
+    {
+        batch_.events.reserve(threshold + threshold / 2);
+    }
+
+    ~BatchBus() { flush(); }
+
+    BatchBus(const BatchBus&) = delete;
+    BatchBus& operator=(const BatchBus&) = delete;
+
+    // ------------------------------------------------ event producers
+    void
+    loopEnter(std::size_t loop, ft::Coord c)
+    {
+        Event& e = push(Event::Kind::LoopEnter);
+        e.loop = loop;
+        e.coord = c;
+    }
+
+    void
+    coIterate(std::size_t loop, std::size_t steps, std::size_t matches,
+              std::size_t drivers, std::uint64_t pe)
+    {
+        Event& e = push(Event::Kind::CoIterate);
+        e.loop = loop;
+        e.a = steps;
+        e.b = matches;
+        e.c = drivers;
+        e.pe = pe;
+    }
+
+    void
+    coordScan(int input, std::size_t level, std::size_t count,
+              std::uint64_t pe)
+    {
+        Event& e = push(Event::Kind::CoordScan);
+        e.input = input;
+        e.level = level;
+        e.a = count;
+        e.pe = pe;
+    }
+
+    void
+    tensorAccess(int input, const std::string& tensor, std::size_t level,
+                 ft::Coord c, const void* key, const ft::Payload* payload,
+                 std::uint64_t pe)
+    {
+        Event& e = push(Event::Kind::TensorAccess);
+        e.input = input;
+        e.name = &tensor;
+        e.level = level;
+        e.coord = c;
+        e.ptr = key;
+        e.payload = payload;
+        e.pe = pe;
+    }
+
+    void
+    outputWrite(const std::string& tensor, std::size_t level, ft::Coord c,
+                std::uint64_t path_key, bool inserted, bool at_leaf,
+                std::uint64_t pe)
+    {
+        Event& e = push(Event::Kind::OutputWrite);
+        e.name = &tensor;
+        e.level = level;
+        e.coord = c;
+        e.key = path_key;
+        e.flagA = inserted;
+        e.flagB = at_leaf;
+        e.pe = pe;
+    }
+
+    void
+    compute(char op, std::uint64_t pe, std::size_t count)
+    {
+        Event& e = push(Event::Kind::Compute);
+        e.op = op;
+        e.pe = pe;
+        e.a = count;
+    }
+
+    void
+    swizzle(const std::string& tensor, std::size_t elements,
+            std::size_t ways, bool online)
+    {
+        Event& e = push(Event::Kind::Swizzle);
+        e.name = &tensor;
+        e.a = elements;
+        e.b = ways;
+        e.flagA = online;
+    }
+
+    void
+    tensorCopy(const std::string& from, const std::string& to,
+               std::size_t elements)
+    {
+        Event& e = push(Event::Kind::TensorCopy);
+        e.name = &from;
+        e.name2 = &to;
+        e.a = elements;
+    }
+
+    // ------------------------------------------------------- flushing
+    /** A fiber walk ended: flush if the pending batch is big enough. */
+    void
+    walkEnd()
+    {
+        if (batch_.events.size() >= threshold_)
+            flush();
+    }
+
+    /** Force-deliver everything buffered (end of run). */
+    void flush();
+
+    /** Events recorded so far (delivered + pending). */
+    std::size_t eventCount() const { return events_; }
+
+    /** Batches delivered so far. */
+    std::size_t batchCount() const { return batches_; }
+
+  private:
+    Event&
+    push(Event::Kind kind)
+    {
+        ++events_;
+        batch_.events.emplace_back();
+        Event& e = batch_.events.back();
+        e.kind = kind;
+        return e;
+    }
+
+    Observer& obs_;
+    std::size_t threshold_;
+    EventBatch batch_;
+    std::size_t events_ = 0;
+    std::size_t batches_ = 0;
+};
+
+} // namespace teaal::trace

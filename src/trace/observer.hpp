@@ -22,11 +22,23 @@
 namespace teaal::trace
 {
 
+struct EventBatch;
+
 /** Receiver of execution events. Default implementations ignore. */
 class Observer
 {
   public:
     virtual ~Observer() = default;
+
+    /**
+     * A batch of events from the engine's trace bus (see
+     * trace/batch.hpp). This is the only call the engine makes on the
+     * hot path; the default implementation (batch.cpp) replays the
+     * records through the per-event methods below in original order,
+     * so observers written against the streaming interface see
+     * bit-identical counts. Batch-aware observers override this.
+     */
+    virtual void onEventBatch(const EventBatch& batch);
 
     /** A new coordinate was entered at loop rank @p loop. */
     virtual void

@@ -2,9 +2,12 @@
  * @file
  * Extended executor coverage: the Eyeriss 4-D convolution Einsum
  * (two affine index expressions), dot products (scalar output),
- * the Cooley-Tukey FFT-step cascade (constant indices), and the
+ * the Cooley-Tukey FFT-step cascade (constant indices), the
  * factorized-MTTKRP equivalence (Table 2 rows executed, not just
- * parsed).
+ * parsed), co-iteration strategy equivalence (two-finger, gallop,
+ * and dense-drive must agree functionally on any plan), and the
+ * batched trace bus (bit-identical replay, >= 10x fewer virtual
+ * calls).
  */
 #include <gtest/gtest.h>
 
@@ -12,6 +15,7 @@
 
 #include "exec/executor.hpp"
 #include "ir/plan.hpp"
+#include "trace/batch.hpp"
 #include "util/random.hpp"
 #include "yaml/yaml.hpp"
 
@@ -236,6 +240,368 @@ TEST(ExecExtended, FactorizedMttkrpEqualsDirect)
         factorized,
         {{"T", t.clone()}, {"A", a.clone()}, {"B", b.clone()}});
     EXPECT_TRUE(c1.equals(c2, 1e-9));
+}
+
+// ------------------------------------------ co-iteration strategies
+
+Tensor
+randomSparse(const std::string& name, const std::vector<std::string>& ids,
+             Coord rows, Coord cols, double density, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<std::pair<std::vector<Coord>, double>> coo;
+    for (Coord r = 0; r < rows; ++r) {
+        for (Coord c = 0; c < cols; ++c) {
+            if (rng.uniform() < density)
+                coo.push_back({{r, c}, 1.0 + rng.uniform()});
+        }
+    }
+    return Tensor::fromCoo(name, ids, {rows, cols}, coo);
+}
+
+const char* kStrategyMatmul = "declaration:\n"
+                              "  A: [K, M]\n"
+                              "  B: [K, N]\n"
+                              "  Z: [M, N]\n"
+                              "expressions:\n"
+                              "  - Z[m, n] = A[k, m] * B[k, n]\n";
+
+/** Run @p plan with every loop forced to strategy @p s. */
+Tensor
+runForced(const ir::EinsumPlan& base, ir::CoiterStrategy s,
+          exec::ExecutionStats& stats)
+{
+    ir::EinsumPlan plan = base;
+    for (ir::LoopRank& lr : plan.loops) {
+        if (!lr.isUpperPartition)
+            lr.coiter = s;
+    }
+    trace::Observer obs;
+    exec::Executor ex(plan, obs);
+    Tensor out = ex.run();
+    stats = ex.stats();
+    return out;
+}
+
+/// Property: the three strategies are functionally interchangeable —
+/// identical output tensors and identical ExecutionStats on random
+/// sparse inputs, uniform or skewed.
+class StrategyEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    check(const Tensor& a, const Tensor& b)
+    {
+        const auto es =
+            einsum::EinsumSpec::parse(yaml::parse(kStrategyMatmul));
+        std::map<std::string, Tensor> tensors{{"A", a.clone()},
+                                              {"B", b.clone()}};
+        const ir::EinsumPlan plan =
+            ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+
+        exec::ExecutionStats s2f, sgal, sdense;
+        const Tensor z2f =
+            runForced(plan, ir::CoiterStrategy::TwoFinger, s2f);
+        const Tensor zgal =
+            runForced(plan, ir::CoiterStrategy::Gallop, sgal);
+        const Tensor zdense =
+            runForced(plan, ir::CoiterStrategy::DenseDrive, sdense);
+
+        EXPECT_TRUE(zgal.equals(z2f, 1e-12))
+            << "gallop:\n" << zgal.toString(8) << "\nvs two-finger\n"
+            << z2f.toString(8);
+        EXPECT_TRUE(zdense.equals(z2f, 1e-12))
+            << "dense-drive:\n" << zdense.toString(8)
+            << "\nvs two-finger\n" << z2f.toString(8);
+        EXPECT_TRUE(sgal == s2f) << "gallop stats diverge";
+        EXPECT_TRUE(sdense == s2f) << "dense-drive stats diverge";
+    }
+};
+
+TEST_P(StrategyEquivalence, UniformOccupancy)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    check(randomSparse("A", {"K", "M"}, 48, 30, 0.25, 900 + seed),
+          randomSparse("B", {"K", "N"}, 48, 24, 0.3, 1900 + seed));
+}
+
+TEST_P(StrategyEquivalence, SkewedOccupancy)
+{
+    // One driver ~40x denser than the other: the gallop sweet spot.
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    check(randomSparse("A", {"K", "M"}, 128, 20, 0.85, 2900 + seed),
+          randomSparse("B", {"K", "N"}, 128, 16, 0.02, 3900 + seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalence,
+                         ::testing::Range(0, 6));
+
+TEST(StrategyPlanning, GallopSelectedForSkewedDrivers)
+{
+    // Dense-rowed A against nearly-empty-rowed B: the K loop's
+    // occupancy hints are skewed far past the threshold.
+    const Tensor a = randomSparse("A", {"K", "M"}, 256, 20, 0.9, 41);
+    const Tensor b = randomSparse("B", {"K", "N"}, 256, 24, 0.015, 42);
+    const auto es =
+        einsum::EinsumSpec::parse(yaml::parse(kStrategyMatmul));
+    std::map<std::string, Tensor> tensors{{"A", a.clone()},
+                                          {"B", b.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    int gallops = 0;
+    for (const ir::LoopRank& lr : plan.loops) {
+        if (lr.coiter == ir::CoiterStrategy::Gallop) {
+            ++gallops;
+            EXPECT_GE(lr.driverSkew, 32.0) << lr.name;
+        }
+    }
+    EXPECT_GE(gallops, 1) << plan.toString();
+}
+
+TEST(StrategyPlanning, UniformOccupancyStaysTwoFinger)
+{
+    const Tensor a = randomSparse("A", {"K", "M"}, 64, 20, 0.3, 43);
+    const Tensor b = randomSparse("B", {"K", "N"}, 64, 24, 0.3, 44);
+    const auto es =
+        einsum::EinsumSpec::parse(yaml::parse(kStrategyMatmul));
+    std::map<std::string, Tensor> tensors{{"A", a.clone()},
+                                          {"B", b.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    for (const ir::LoopRank& lr : plan.loops)
+        EXPECT_EQ(lr.coiter, ir::CoiterStrategy::TwoFinger) << lr.name;
+}
+
+TEST(StrategyPlanning, DriverlessRankPlansDenseDrive)
+{
+    // Direct convolution: Q has no driving fiber, so the planner must
+    // mark it DenseDrive.
+    const char* einsum = "declaration:\n"
+                         "  I: [W]\n"
+                         "  F: [S]\n"
+                         "  O: [Q]\n"
+                         "expressions:\n"
+                         "  - O[q] = I[q+s] * F[s]\n";
+    Tensor i("I", {"W"}, {20});
+    Tensor f("F", {"S"}, {4});
+    for (Coord c = 0; c < 20; ++c) {
+        const std::vector<Coord> p{c};
+        i.set(p, 1.0);
+        if (c < 4)
+            f.set(p, 2.0);
+    }
+    const auto es = einsum::EinsumSpec::parse(yaml::parse(einsum));
+    std::map<std::string, Tensor> tensors{{"I", i.clone()},
+                                          {"F", f.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    bool found_dense = false;
+    for (const ir::LoopRank& lr : plan.loops) {
+        if (lr.name == "Q") {
+            EXPECT_EQ(lr.coiter, ir::CoiterStrategy::DenseDrive);
+            found_dense = true;
+        }
+    }
+    EXPECT_TRUE(found_dense);
+}
+
+// -------------------------------------------------- batched trace bus
+
+/** Counts virtual calls across the Observer interface. */
+class CountingObserver : public trace::Observer
+{
+  public:
+    std::size_t batchCalls = 0;
+    std::size_t recordsSeen = 0;
+    std::size_t perEventCalls = 0;
+
+    void
+    onEventBatch(const trace::EventBatch& batch) override
+    {
+        ++batchCalls;
+        recordsSeen += batch.events.size();
+        trace::Observer::onEventBatch(batch); // replay to the methods
+    }
+
+    void
+    onLoopEnter(std::size_t, ft::Coord) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onCoIterate(std::size_t, std::size_t, std::size_t, std::size_t,
+                std::uint64_t) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onCoordScan(int, std::size_t, std::size_t, std::uint64_t) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onTensorAccess(int, const std::string&, std::size_t, ft::Coord,
+                   const void*, const ft::Payload*, std::uint64_t) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onOutputWrite(const std::string&, std::size_t, ft::Coord,
+                  std::uint64_t, bool, bool, std::uint64_t) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onCompute(char, std::uint64_t, std::size_t) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onSwizzle(const std::string&, std::size_t, std::size_t, bool) override
+    {
+        ++perEventCalls;
+    }
+    void
+    onTensorCopy(const std::string&, const std::string&,
+                 std::size_t) override
+    {
+        ++perEventCalls;
+    }
+};
+
+TEST(TraceBus, BatchingCutsVirtualCallsTenfold)
+{
+    const Tensor a = randomSparse("A", {"K", "M"}, 64, 48, 0.3, 51);
+    const Tensor b = randomSparse("B", {"K", "N"}, 64, 40, 0.3, 52);
+    const auto es =
+        einsum::EinsumSpec::parse(yaml::parse(kStrategyMatmul));
+    std::map<std::string, Tensor> tensors{{"A", a.clone()},
+                                          {"B", b.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+
+    CountingObserver counting;
+    exec::Executor ex(plan, counting);
+    ex.run();
+
+    // The replay fires exactly one per-event call per record, so
+    // perEventCalls is what the unbatched engine would have cost.
+    EXPECT_EQ(counting.perEventCalls, counting.recordsSeen);
+    EXPECT_GE(counting.perEventCalls, counting.batchCalls * 10)
+        << counting.perEventCalls << " events in "
+        << counting.batchCalls << " batches";
+    EXPECT_EQ(ex.bus().eventCount(), counting.recordsSeen);
+    EXPECT_EQ(ex.bus().batchCount(), counting.batchCalls);
+}
+
+/** Sums every numeric field seen through the streaming interface. */
+struct SummingObserver : trace::Observer
+{
+    std::size_t loopEnters = 0;
+    std::size_t steps = 0;
+    std::size_t matches = 0;
+    std::size_t scans = 0;
+    std::size_t accesses = 0;
+    std::size_t writes = 0;
+    std::size_t computes = 0;
+
+    void
+    onLoopEnter(std::size_t, ft::Coord) override
+    {
+        ++loopEnters;
+    }
+    void
+    onCoIterate(std::size_t, std::size_t s, std::size_t m, std::size_t,
+                std::uint64_t) override
+    {
+        steps += s;
+        matches += m;
+    }
+    void
+    onCoordScan(int, std::size_t, std::size_t count, std::uint64_t) override
+    {
+        scans += count;
+    }
+    void
+    onTensorAccess(int, const std::string&, std::size_t, ft::Coord,
+                   const void*, const ft::Payload*, std::uint64_t) override
+    {
+        ++accesses;
+    }
+    void
+    onOutputWrite(const std::string&, std::size_t, ft::Coord,
+                  std::uint64_t, bool, bool, std::uint64_t) override
+    {
+        ++writes;
+    }
+    void
+    onCompute(char, std::uint64_t, std::size_t count) override
+    {
+        computes += count;
+    }
+};
+
+TEST(TraceBus, ReplayedCountsMatchBatchConsumption)
+{
+    const Tensor a = randomSparse("A", {"K", "M"}, 40, 30, 0.35, 61);
+    const Tensor b = randomSparse("B", {"K", "N"}, 40, 26, 0.3, 62);
+    const auto es =
+        einsum::EinsumSpec::parse(yaml::parse(kStrategyMatmul));
+    std::map<std::string, Tensor> tensors{{"A", a.clone()},
+                                          {"B", b.clone()}};
+    const ir::EinsumPlan plan =
+        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+
+    // Default replay path.
+    SummingObserver replayed;
+    exec::Executor ex1(plan, replayed);
+    const Tensor z1 = ex1.run();
+
+    // Batch-consuming path: accumulate from the records directly.
+    struct BatchSummer : SummingObserver
+    {
+        void
+        onEventBatch(const trace::EventBatch& batch) override
+        {
+            using trace::Event;
+            for (const Event& e : batch.events) {
+                switch (e.kind) {
+                  case Event::Kind::LoopEnter:
+                    ++loopEnters;
+                    break;
+                  case Event::Kind::CoIterate:
+                    steps += e.a;
+                    matches += e.b;
+                    break;
+                  case Event::Kind::CoordScan:
+                    scans += e.a;
+                    break;
+                  case Event::Kind::TensorAccess:
+                    ++accesses;
+                    break;
+                  case Event::Kind::OutputWrite:
+                    ++writes;
+                    break;
+                  case Event::Kind::Compute:
+                    computes += e.a;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    } batched;
+    exec::Executor ex2(plan, batched);
+    const Tensor z2 = ex2.run();
+
+    EXPECT_TRUE(z1.equals(z2, 1e-12));
+    EXPECT_EQ(replayed.loopEnters, batched.loopEnters);
+    EXPECT_EQ(replayed.steps, batched.steps);
+    EXPECT_EQ(replayed.matches, batched.matches);
+    EXPECT_EQ(replayed.scans, batched.scans);
+    EXPECT_EQ(replayed.accesses, batched.accesses);
+    EXPECT_EQ(replayed.writes, batched.writes);
+    EXPECT_EQ(replayed.computes, batched.computes);
 }
 
 } // namespace
