@@ -16,7 +16,10 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
@@ -24,13 +27,32 @@
 
 #include "accelerators/accelerators.hpp"
 #include "baselines/baselines.hpp"
-#include "compiler/compiler.hpp"
+#include "compiler/pipeline.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/datasets.hpp"
 
 namespace teaal::bench
 {
+
+/** One warmup call, then the best (minimum — noise-resistant) wall
+ *  time of @p iters timed calls. Shared by the timing microbenches so
+ *  their methodology cannot diverge. */
+inline double
+bestSeconds(const std::function<void()>& fn, int iters)
+{
+    using Clock = std::chrono::steady_clock;
+    fn();
+    double best = 1e30;
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
 
 /** Scale factor from an environment variable. */
 inline double
@@ -86,12 +108,32 @@ loadSpmspm(const std::string& key, double scale)
     return in;
 }
 
-/** Run one accelerator spec on one input. */
+/** Workload borrowing one SpMSpM input pair (no tensor copies). */
+inline compiler::Workload
+workloadOf(const SpmspmInput& in)
+{
+    compiler::Workload w;
+    w.add("A", in.a).add("B", in.b);
+    return w;
+}
+
+/** RunOptions for single-shot bench runs: each workload is run
+ *  exactly once, so caching its plans would only pin memory. */
+inline compiler::RunOptions
+singleShot()
+{
+    compiler::RunOptions opts;
+    opts.cacheState = false;
+    return opts;
+}
+
+/** Compile one accelerator spec and run it on one input. */
 inline compiler::SimulationResult
 runAccelerator(compiler::Specification spec, const SpmspmInput& in)
 {
-    compiler::Simulator sim(std::move(spec));
-    return sim.run({{"A", in.a.clone()}, {"B", in.b.clone()}});
+    auto model = compiler::compile(std::move(spec));
+    const compiler::Workload w = workloadOf(in);
+    return model.run(w, singleShot());
 }
 
 /**

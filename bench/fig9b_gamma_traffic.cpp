@@ -19,13 +19,13 @@ main()
     table.setHeader(
         {"matrix", "reported(approx)", "teaal", "A", "B", "Z", "T"});
     std::vector<double> ours, reported;
+    // One compiled model serves every validation matrix.
+    auto model = compiler::compile(accel::gamma());
     for (const std::string& key : bench::validationKeys()) {
         const auto in = bench::loadSpmspm(key, scale);
-        compiler::Simulator sim(accel::gamma());
-        const auto result =
-            sim.run({{"A", in.a.clone()}, {"B", in.b.clone()}});
-        const double min_bytes =
-            sim.algorithmicMinBytes(result.tensors);
+        const compiler::Workload w = bench::workloadOf(in);
+        const auto result = model.run(w, bench::singleShot());
+        const double min_bytes = model.algorithmicMinBytes(w, result);
         auto norm = [&](const std::string& tensor) {
             const auto it = result.traffic.find(tensor);
             return it == result.traffic.end()

@@ -11,22 +11,19 @@
  *
  * Emits the human table plus bench::jsonRow machine-readable lines.
  */
-#include <chrono>
-#include <functional>
 #include <iostream>
 
 #include "common.hpp"
+#include "compiler/pipeline.hpp"
 #include "exec/coiter_strategy.hpp"
 #include "exec/executor.hpp"
 #include "ir/plan.hpp"
 #include "util/random.hpp"
-#include "yaml/yaml.hpp"
 
 namespace
 {
 
 using namespace teaal;
-using Clock = std::chrono::steady_clock;
 
 ft::Fiber
 randomFiber(std::size_t nnz, ft::Coord space, std::uint64_t seed)
@@ -44,22 +41,6 @@ randomFiber(std::size_t nnz, ft::Coord space, std::uint64_t seed)
         f.append(c, ft::Payload(1.0));
     }
     return f;
-}
-
-double
-secondsOf(const std::function<void()>& fn, int iters)
-{
-    // One warmup, then the best of iters (noise-resistant minimum).
-    fn();
-    double best = 1e30;
-    for (int i = 0; i < iters; ++i) {
-        const auto t0 = Clock::now();
-        fn();
-        const auto t1 = Clock::now();
-        best = std::min(
-            best, std::chrono::duration<double>(t1 - t0).count());
-    }
-    return best;
 }
 
 struct WalkResult
@@ -115,23 +96,27 @@ timeStrategy(ir::CoiterStrategy s, const ft::Fiber& fa,
         }
         r.matches = matches;
     };
-    r.seconds = secondsOf(run, iters);
+    r.seconds = bench::bestSeconds(run, iters);
     return r;
 }
 
-/** Engine-level: SpMSpM with the K loop forced to each strategy. */
+/** Engine-level: SpMSpM with the K loop forced to each strategy via
+ *  ExecOptions overrides — the shared plan is never copied or
+ *  mutated, exactly how RunOptions::coiterOverrides ablates a
+ *  compiled model. */
 double
-timeEngine(const ir::EinsumPlan& base, ir::CoiterStrategy s, int iters)
+timeEngine(const ir::EinsumPlan& plan, ir::CoiterStrategy s, int iters)
 {
-    ir::EinsumPlan plan = base;
-    for (ir::LoopRank& lr : plan.loops) {
+    exec::ExecOptions opts;
+    for (const ir::LoopRank& lr : plan.loops) {
         if (!lr.isUpperPartition)
-            lr.coiter = s;
+            opts.coiterOverrides[lr.name] = s;
     }
-    return secondsOf(
+    return bench::bestSeconds(
         [&]() {
             trace::Observer obs;
-            exec::Executor ex(plan, obs);
+            exec::Executor ex(plan, obs, exec::Semiring::arithmetic(),
+                              opts);
             ex.run();
         },
         iters);
@@ -205,17 +190,18 @@ main()
                                                   220000, 21, {"K", "M"});
     const ft::Tensor b = workloads::uniformMatrix("B", 1 << 11, 256, 6000,
                                                   23, {"K", "N"});
-    const char* yaml_text = "declaration:\n"
-                            "  A: [K, M]\n"
-                            "  B: [K, N]\n"
-                            "  Z: [M, N]\n"
-                            "expressions:\n"
-                            "  - Z[m, n] = A[k, m] * B[k, n]\n";
-    const auto es = einsum::EinsumSpec::parse(yaml::parse(yaml_text));
-    std::map<std::string, ft::Tensor> tensors{{"A", a.clone()},
-                                              {"B", b.clone()}};
-    const ir::EinsumPlan plan =
-        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    const char* yaml_text = "einsum:\n"
+                            "  declaration:\n"
+                            "    A: [K, M]\n"
+                            "    B: [K, N]\n"
+                            "    Z: [M, N]\n"
+                            "  expressions:\n"
+                            "    - Z[m, n] = A[k, m] * B[k, n]\n";
+    auto model =
+        compiler::compile(compiler::Specification::parse(yaml_text));
+    compiler::Workload w;
+    w.add("A", a).add("B", b);
+    const ir::EinsumPlan& plan = model.plans(w)[0];
 
     std::string planned = "2finger";
     for (const ir::LoopRank& lr : plan.loops) {

@@ -8,6 +8,7 @@
 
 #include <map>
 
+#include "compiler/pipeline.hpp"
 #include "exec/executor.hpp"
 #include "fibertree/coiter.hpp"
 #include "fibertree/transform.hpp"
@@ -15,7 +16,6 @@
 #include "trace/batch.hpp"
 #include "util/random.hpp"
 #include "workloads/datasets.hpp"
-#include "yaml/yaml.hpp"
 
 namespace
 {
@@ -148,21 +148,22 @@ class NullBatchObserver : public trace::Observer
 void
 BM_ExecutorTraceBus(benchmark::State& state)
 {
-    const char* yaml_text = "declaration:\n"
-                            "  A: [K, M]\n"
-                            "  B: [K, N]\n"
-                            "  Z: [M, N]\n"
-                            "expressions:\n"
-                            "  - Z[m, n] = A[k, m] * B[k, n]\n";
-    const auto es = einsum::EinsumSpec::parse(yaml::parse(yaml_text));
+    const char* yaml_text = "einsum:\n"
+                            "  declaration:\n"
+                            "    A: [K, M]\n"
+                            "    B: [K, N]\n"
+                            "    Z: [M, N]\n"
+                            "  expressions:\n"
+                            "    - Z[m, n] = A[k, m] * B[k, n]\n";
     const ft::Tensor a = workloads::uniformMatrix("A", 512, 256, 30000,
                                                   31, {"K", "M"});
     const ft::Tensor b = workloads::uniformMatrix("B", 512, 256, 30000,
                                                   37, {"K", "N"});
-    std::map<std::string, ft::Tensor> tensors{{"A", a.clone()},
-                                              {"B", b.clone()}};
-    const ir::EinsumPlan plan =
-        ir::buildPlan(es.expressions[0], es, {}, tensors, {});
+    auto model =
+        compiler::compile(compiler::Specification::parse(yaml_text));
+    compiler::Workload w;
+    w.add("A", a).add("B", b);
+    const ir::EinsumPlan& plan = model.plans(w)[0];
 
     std::size_t events = 0;
     std::size_t calls = 0;

@@ -3,36 +3,35 @@
  * Cascades of Einsums beyond SpMSpM (paper §3.1, Table 2): 1D
  * convolution implemented both directly (O[q] = I[q+s] * F[s]) and via
  * the two-stage Toeplitz expansion (T[q,s] = I[q+s]; O = T * F),
- * executed on the same fibertree machinery, with the generated
- * loop-nest plans printed for comparison.
+ * compiled and run through the pipeline API, with the generated
+ * loop-nest plans (CompiledModel::plans) printed for comparison.
  */
 #include <iostream>
-#include <map>
 
-#include "exec/executor.hpp"
-#include "ir/plan.hpp"
+#include "compiler/pipeline.hpp"
 #include "util/random.hpp"
-#include "yaml/yaml.hpp"
 
 int
 main()
 {
     using namespace teaal;
 
-    const char* direct_text = "declaration:\n"
-                              "  I: [W]\n"
-                              "  F: [S]\n"
-                              "  O: [Q]\n"
-                              "expressions:\n"
-                              "  - O[q] = I[q+s] * F[s]\n";
-    const char* toeplitz_text = "declaration:\n"
-                                "  I: [W]\n"
-                                "  F: [S]\n"
-                                "  T: [Q, S]\n"
-                                "  O: [Q]\n"
-                                "expressions:\n"
-                                "  - T[q, s] = I[q+s]\n"
-                                "  - O[q] = T[q, s] * F[s]\n";
+    const char* direct_text = "einsum:\n"
+                              "  declaration:\n"
+                              "    I: [W]\n"
+                              "    F: [S]\n"
+                              "    O: [Q]\n"
+                              "  expressions:\n"
+                              "    - O[q] = I[q+s] * F[s]\n";
+    const char* toeplitz_text = "einsum:\n"
+                                "  declaration:\n"
+                                "    I: [W]\n"
+                                "    F: [S]\n"
+                                "    T: [Q, S]\n"
+                                "    O: [Q]\n"
+                                "  expressions:\n"
+                                "    - T[q, s] = I[q+s]\n"
+                                "    - O[q] = T[q, s] * F[s]\n";
 
     // A sparse input signal and a short dense filter.
     Xoshiro256 rng(11);
@@ -50,20 +49,14 @@ main()
     }
 
     auto run_cascade = [&](const char* text) {
-        const auto spec = einsum::EinsumSpec::parse(yaml::parse(text));
-        trace::Observer obs;
-        std::map<std::string, ft::Tensor> tensors{
-            {"I", input.clone()}, {"F", filter.clone()}};
-        std::vector<std::string> intermediates;
-        for (const auto& expr : spec.expressions) {
-            const auto plan =
-                ir::buildPlan(expr, spec, {}, tensors, intermediates);
+        auto model =
+            compiler::compile(compiler::Specification::parse(text));
+        compiler::Workload w;
+        w.add("I", input).add("F", filter);
+        const auto result = model.run(w);
+        for (const auto& plan : model.plans(w))
             std::cout << plan.toString();
-            exec::Executor ex(plan, obs);
-            tensors.insert_or_assign(expr.output.name, ex.run());
-            intermediates.push_back(expr.output.name);
-        }
-        return tensors.at("O").clone();
+        return result.result(model.spec()).clone();
     };
 
     std::cout << "=== direct convolution ===\n";

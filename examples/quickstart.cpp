@@ -1,15 +1,17 @@
 /**
  * @file
  * Quickstart: declare a sparse matrix-vector multiply as a TeAAL
- * specification, generate its simulator, run it on a real sparse
- * matrix, and read back the result plus the model's statistics.
+ * specification, compile it once into an executable model, run it on
+ * real sparse data — twice, to show that repeated runs reuse the
+ * compiled plans — and read back the result plus the model's
+ * statistics.
  *
  * This is the 60-second tour of the public API:
- *   Specification::parse -> Simulator -> SimulationResult.
+ *   Specification::parse -> compile -> CompiledModel::run(Workload).
  */
 #include <iostream>
 
-#include "compiler/compiler.hpp"
+#include "compiler/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/datasets.hpp"
 
@@ -70,26 +72,42 @@ binding:
           - op: mul
 )";
 
+    // 2. Compile once: parse the five sections and lower them to an
+    //    executable model (loop nests, fused blocks, resolved
+    //    hardware tables). Malformed specs fail here, as a
+    //    DiagnosticError naming the offending section/key.
     auto spec = compiler::Specification::parse(spec_text);
-    compiler::Simulator sim(std::move(spec));
+    auto model = compiler::compile(std::move(spec));
 
-    // 2. Real data: a 1000 x 800 matrix with 5000 nonzeros and a 60%
-    //    dense vector.
+    // 3. Real data: a 1000 x 800 matrix with 5000 nonzeros and a 60%
+    //    dense vector. The Workload borrows the tensors — nothing is
+    //    deep-copied.
     ft::Tensor a = workloads::uniformMatrix("A", 1000, 800, 5000, 1);
     ft::Tensor b("B", {"K"}, {1000});
     for (ft::Coord k = 0; k < 1000; k += 2) {
         const std::vector<ft::Coord> p{k};
         b.set(p, 1.0 + 0.001 * static_cast<double>(k));
     }
+    compiler::Workload workload;
+    workload.add("A", a).add("B", b);
 
-    // 3. Run the generated simulator.
-    const compiler::SimulationResult result =
-        sim.run({{"A", std::move(a)}, {"B", std::move(b)}});
+    // 4. Run many: the first run binds the workload (prepares tensors,
+    //    selects co-iteration strategies) and caches the plans; later
+    //    runs only execute. Results are deterministic across runs.
+    const compiler::SimulationResult result = model.run(workload);
+    const compiler::SimulationResult again = model.run(workload);
+    std::cout << "run-to-run deterministic: "
+              << (result.perf.totalSeconds == again.perf.totalSeconds &&
+                          result.records[0].execStats ==
+                              again.records[0].execStats
+                      ? "yes"
+                      : "NO")
+              << "\n";
 
-    const ft::Tensor& z = result.result(sim.spec());
+    const ft::Tensor& z = result.result(model.spec());
     std::cout << "result " << z.toString(8) << "\n\n";
 
-    // 4. Model outputs: per-tensor DRAM traffic, time, energy.
+    // 5. Model outputs: per-tensor DRAM traffic, time, energy.
     TextTable table("quickstart: SpMV model statistics");
     table.setHeader({"metric", "value"});
     for (const auto& [tensor, traffic] : result.traffic) {

@@ -9,6 +9,7 @@
 
 #include "accelerators/accelerators.hpp"
 #include "baselines/baselines.hpp"
+#include "compiler/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/datasets.hpp"
 
@@ -34,11 +35,16 @@ main()
     table.setHeader({"accelerator", "time (ms)", "DRAM (MB)",
                      "PO (MB)", "energy (mJ)", "bottleneck"});
 
+    // One workload, borrowed by all four compiled models.
+    compiler::Workload workload;
+    workload.add("A", a).add("B", b);
+
     auto report = [&](const std::string& name,
                       compiler::Specification spec) {
-        compiler::Simulator sim(std::move(spec));
-        const auto result =
-            sim.run({{"A", a.clone()}, {"B", b.clone()}});
+        auto model = compiler::compile(std::move(spec));
+        compiler::RunOptions once;
+        once.cacheState = false; // one run per accelerator
+        const auto result = model.run(workload, once);
         double po = 0;
         for (const auto& [t, traffic] : result.traffic)
             po += traffic.poBytes;

@@ -12,6 +12,11 @@
  *
  * Each builder takes a config struct defaulting to the published
  * parameters; tests use scaled-down configs, benches the defaults.
+ *
+ * The returned Specification is the input to the pipeline:
+ *
+ *   auto model = compiler::compile(accel::gamma(cfg));
+ *   auto r = model.run(workload);   // compile once, run many
  */
 #pragma once
 

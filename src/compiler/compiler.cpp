@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
+#include "compiler/pipeline.hpp"
 #include "fibertree/transform.hpp"
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
-#include "util/logging.hpp"
 #include "yaml/yaml.hpp"
 
 namespace teaal::compiler
@@ -14,17 +15,47 @@ Specification
 Specification::parse(const std::string& yaml_text,
                      const mapping::ParamMap& params)
 {
-    const yaml::Node doc = yaml::parse(yaml_text);
+    yaml::Node doc;
+    try {
+        doc = yaml::parse(yaml_text);
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("document", "", e);
+    }
+    if (!doc.isMapping() || doc.find("einsum") == nullptr) {
+        diagError("einsum", "einsum",
+                  "missing required section 'einsum'");
+    }
+
     Specification spec;
-    spec.einsums = einsum::EinsumSpec::parse(doc.at("einsum"));
-    if (const yaml::Node* m = doc.find("mapping"))
-        spec.mapping = mapping::MappingSpec::parse(*m, params);
-    if (const yaml::Node* f = doc.find("format"))
-        spec.formats = fmt::FormatSpec::parse(*f);
-    if (const yaml::Node* a = doc.find("architecture"))
-        spec.architecture = arch::ArchSpec::parse(*a);
-    if (const yaml::Node* b = doc.find("binding"))
-        spec.bindings = binding::BindingSpec::parse(*b);
+    try {
+        spec.einsums = einsum::EinsumSpec::parse(doc.at("einsum"));
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("einsum", "", e);
+    }
+    try {
+        if (const yaml::Node* m = doc.find("mapping"))
+            spec.mapping = mapping::MappingSpec::parse(*m, params);
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("mapping", "", e);
+    }
+    try {
+        if (const yaml::Node* f = doc.find("format"))
+            spec.formats = fmt::FormatSpec::parse(*f);
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("format", "", e);
+    }
+    try {
+        if (const yaml::Node* a = doc.find("architecture"))
+            spec.architecture = arch::ArchSpec::parse(*a);
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("architecture", "", e);
+    }
+    try {
+        if (const yaml::Node* b = doc.find("binding"))
+            spec.bindings = binding::BindingSpec::parse(*b);
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("binding", "", e);
+    }
     return spec;
 }
 
@@ -45,118 +76,55 @@ SimulationResult::totalTrafficBytes() const
     return total;
 }
 
-Simulator::Simulator(Specification spec) : spec_(std::move(spec))
+Simulator::Simulator(Specification spec)
+    : model_(std::make_unique<CompiledModel>(compile(std::move(spec))))
 {
-    // A default single-DRAM topology lets purely functional runs work
-    // without an architecture section.
-    if (spec_.architecture.topologyNames().empty()) {
-        arch::Topology topo;
-        topo.name = "default";
-        topo.root.name = "System";
-        arch::Component dram;
-        dram.name = "MainMemory";
-        dram.cls = arch::ComponentClass::DRAM;
-        dram.attributes["bandwidth"] = "100";
-        topo.root.local.push_back(dram);
-        arch::Component alu;
-        alu.name = "ALU";
-        alu.cls = arch::ComponentClass::Compute;
-        alu.attributes["type"] = "mul";
-        topo.root.local.push_back(alu);
-        spec_.architecture.add(std::move(topo));
-    }
+}
+
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+const Specification&
+Simulator::spec() const
+{
+    return model_->spec();
 }
 
 SimulationResult
 Simulator::run(std::map<std::string, ft::Tensor> inputs,
                exec::Semiring sr)
 {
-    SimulationResult out;
-    const einsum::EinsumSpec& es = spec_.einsums;
-
-    // Check inputs and apply the declared rank-order offline
-    // (§3.2.2: input swizzles are preprocessing and cost nothing).
-    for (const std::string& name : es.inputTensors()) {
-        const auto it = inputs.find(name);
-        if (it == inputs.end())
-            specError("missing input tensor '", name, "'");
-        ft::Tensor t = std::move(it->second);
-        const auto& order = spec_.mapping.rankOrder(name);
-        if (!order.empty() && t.rankIds() != order)
-            t = ft::swizzle(t, order);
-        out.tensors.emplace(name, std::move(t));
-    }
-    inputs.clear();
-
-    // Fused blocks must be known before execution: intermediates that
-    // stay within a block never touch DRAM.
-    out.blocks =
-        model::inferBlocks(es, spec_.mapping, spec_.bindings);
-    std::map<std::size_t, std::size_t> block_of;
-    for (std::size_t b = 0; b < out.blocks.size(); ++b) {
-        for (std::size_t idx : out.blocks[b])
-            block_of[idx] = b;
-    }
-    std::set<std::string> fused_intermediates;
-    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
-        const std::string& produced = es.expressions[i].output.name;
-        for (int consumer : es.consumersOf(produced)) {
-            if (block_of[i] ==
-                block_of[static_cast<std::size_t>(consumer)]) {
-                fused_intermediates.insert(produced);
-            }
+    // Stage inputs in their mapping rank-order up front (one swizzle
+    // per discordant input, zero copies otherwise — the original
+    // API's exact cost). The pipeline then finds them concordant and
+    // uses them in place.
+    const Specification& spec = model_->spec();
+    std::map<std::string, ft::Tensor> staged;
+    for (auto& [name, tensor] : inputs) {
+        const auto& order = spec.mapping.rankOrder(name);
+        if (!order.empty() && tensor.rankIds() != order) {
+            staged.emplace(name, ft::swizzle(tensor, order));
+        } else {
+            staged.emplace(name, std::move(tensor));
         }
     }
 
-    std::vector<std::string> intermediates;
+    Workload workload;
+    for (const auto& [name, tensor] : staged)
+        workload.add(name, tensor); // borrowed; `staged` outlives run
+    RunOptions opts;
+    opts.semiring = sr;
+    opts.cacheState = false; // the workload dies with this call
+    SimulationResult out = model_->run(workload, opts);
 
-    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
-        const einsum::Expression& expr = es.expressions[i];
-        const binding::EinsumBinding& eb =
-            spec_.bindings.einsum(expr.output.name);
-        const arch::Topology& topo =
-            spec_.architecture.topology(eb.topology);
-
-        ir::EinsumPlan plan = ir::buildPlan(expr, es, spec_.mapping,
-                                            out.tensors, intermediates);
-        logDebug("einsum ", i, ": ", plan.toString());
-
-        // Within a fused block, a tensor streamed by an earlier Einsum
-        // is shared through the pipeline: later Einsums re-use it on
-        // chip instead of re-reading DRAM (e.g. Gamma's A).
-        std::set<std::string> on_chip = fused_intermediates;
-        for (std::size_t j : out.blocks[block_of[i]]) {
-            if (j >= i)
-                break;
-            for (const einsum::TensorRef& in :
-                 es.expressions[j].inputs)
-                on_chip.insert(in.name);
-        }
-        model::ModelObserver observer(plan, topo, eb, spec_.formats,
-                                      on_chip);
-        exec::Executor executor(plan, observer, sr);
-        ft::Tensor produced = executor.run();
-
-        model::EinsumRecord record =
-            observer.finalize(executor.stats());
-        for (const auto& [tensor, tt] : record.traffic) {
-            model::TensorTraffic& agg = out.traffic[tensor];
-            agg.readBytes += tt.readBytes;
-            agg.writeBytes += tt.writeBytes;
-            agg.poBytes += tt.poBytes;
-        }
-        out.records.push_back(std::move(record));
-
-        intermediates.push_back(expr.output.name);
-        out.tensors.insert_or_assign(expr.output.name,
-                                     std::move(produced));
-    }
-
-    out.perf = model::analyze(out.records, spec_.architecture,
-                              out.blocks);
-    for (const model::EinsumRecord& r : out.records) {
-        out.energy += energy::energyOf(
-            r, spec_.architecture.topology(r.topologyName));
+    // Legacy surface: the result's tensor map also carries the
+    // (rank-order-swizzled) declared inputs, moved in without
+    // copying. Undeclared extras are dropped, as the original did.
+    for (const std::string& name : spec.einsums.inputTensors()) {
+        const auto it = staged.find(name);
+        if (it != staged.end() && out.tensors.count(name) == 0)
+            out.tensors.emplace(name, std::move(it->second));
     }
     return out;
 }
@@ -165,17 +133,18 @@ double
 Simulator::algorithmicMinBytes(
     const std::map<std::string, ft::Tensor>& tensors) const
 {
+    const Specification& spec = model_->spec();
     double bits = 0;
     auto add = [&](const std::string& name) {
         const auto it = tensors.find(name);
         if (it == tensors.end())
             return;
         bits += static_cast<double>(fmt::tensorBits(
-            spec_.formats.getLenient(name), it->second));
+            spec.formats.getLenient(name), it->second));
     };
-    for (const std::string& name : spec_.einsums.inputTensors())
+    for (const std::string& name : spec.einsums.inputTensors())
         add(name);
-    add(spec_.einsums.resultTensor());
+    add(spec.einsums.resultTensor());
     return bits / 8.0;
 }
 

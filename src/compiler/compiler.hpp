@@ -1,19 +1,26 @@
 /**
  * @file
- * The TeAAL compiler: parses a full five-part specification (einsum,
- * mapping, format, architecture, binding — paper Figures 3, 5, 6) and
- * generates an executable simulator for it.
+ * The TeAAL specification and simulation-result types, plus the
+ * deprecated single-shot `Simulator` shim.
  *
- * This is the public entry point of the library:
+ * The public entry point is the staged pipeline in
+ * compiler/pipeline.hpp:
  *
- *   auto spec = compiler::Specification::parse(yaml_text, params);
- *   compiler::Simulator sim(std::move(spec));
- *   auto result = sim.run({{"A", a}, {"B", b}});
+ *   auto spec  = compiler::Specification::parse(yaml_text, params);
+ *   auto model = compiler::compile(std::move(spec));
+ *   compiler::Workload w;
+ *   w.add("A", a).add("B", b);
+ *   auto result = model.run(w);
  *   result.perf.totalSeconds; result.traffic["A"].readBytes; ...
+ *
+ * `Simulator` wraps compile+run in one object for source compatibility
+ * with the original API; it recompiles nothing but re-instantiates
+ * plans on every run() — prefer CompiledModel for sweeps.
  */
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +47,8 @@ struct Specification
 
     /**
      * Parse the five top-level sections from one YAML document.
+     * Malformed input surfaces as teaal::DiagnosticError pinning the
+     * offending section and key.
      * @param params Values for symbolic tile sizes (ExTensor's K1...).
      */
     static Specification parse(const std::string& yaml_text,
@@ -74,19 +83,35 @@ struct SimulationResult
     double totalTrafficBytes() const;
 };
 
-/** Generates and runs the model for one specification. */
+class CompiledModel;
+
+/**
+ * Deprecated single-shot shim over the compile/run pipeline
+ * (pipeline.hpp). Compiles in the constructor; every run() binds the
+ * inputs as a fresh Workload and discards the instantiated plans, so
+ * repeated runs pay full plan instantiation — use
+ * `compiler::compile(...)` + `CompiledModel::run(...)` for sweeps and
+ * run-many workloads.
+ */
 class Simulator
 {
   public:
     explicit Simulator(Specification spec);
+    ~Simulator();
+    Simulator(Simulator&&) noexcept;
+    Simulator& operator=(Simulator&&) noexcept;
 
-    const Specification& spec() const { return spec_; }
+    const Specification& spec() const;
+
+    /** The underlying compiled model. */
+    CompiledModel& model() { return *model_; }
 
     /**
      * Execute the cascade on real tensors.
      * @param inputs One tensor per external input, in declared rank
      *        order (they are swizzled offline to the mapping's
-     *        rank-order automatically).
+     *        rank-order automatically). The result's `tensors` map
+     *        includes the (swizzled) inputs, as the original API did.
      * @param sr     Operator redefinition for graph algorithms.
      */
     SimulationResult run(std::map<std::string, ft::Tensor> inputs,
@@ -100,7 +125,7 @@ class Simulator
         const std::map<std::string, ft::Tensor>& tensors) const;
 
   private:
-    Specification spec_;
+    std::unique_ptr<CompiledModel> model_;
 };
 
 } // namespace teaal::compiler

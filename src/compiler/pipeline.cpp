@@ -1,0 +1,408 @@
+#include "compiler/pipeline.hpp"
+
+#include <atomic>
+
+#include "energy/energy.hpp"
+#include "exec/executor.hpp"
+#include "fibertree/transform.hpp"
+#include "format/format.hpp"
+#include "model/model.hpp"
+#include "model/perf.hpp"
+#include "trace/fanout.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace teaal::compiler
+{
+
+// ------------------------------------------------------------ Workload
+
+std::uint64_t
+Workload::nextStamp()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const ft::Tensor&
+Workload::tensor(const std::string& name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        diagError("workload", name, "missing input tensor '", name, "'");
+    return it->second.borrowed != nullptr ? *it->second.borrowed
+                                          : it->second.owned;
+}
+
+std::vector<std::string>
+Workload::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+// ------------------------------------------------------------- compile
+
+CompiledModel
+compile(Specification spec, const CompileOptions& opts)
+{
+    CompiledModel model;
+    model.spec_ = std::move(spec);
+    model.opts_ = opts;
+    Specification& s = model.spec_;
+
+    // A default single-DRAM topology lets purely functional runs work
+    // without an architecture section.
+    if (opts.addDefaultArchitecture &&
+        s.architecture.topologyNames().empty()) {
+        arch::Topology topo;
+        topo.name = "default";
+        topo.root.name = "System";
+        arch::Component dram;
+        dram.name = "MainMemory";
+        dram.cls = arch::ComponentClass::DRAM;
+        dram.attributes["bandwidth"] = "100";
+        topo.root.local.push_back(dram);
+        arch::Component alu;
+        alu.name = "ALU";
+        alu.cls = arch::ComponentClass::Compute;
+        alu.attributes["type"] = "mul";
+        topo.root.local.push_back(alu);
+        s.architecture.add(std::move(topo));
+    }
+
+    const einsum::EinsumSpec& es = s.einsums;
+
+    if (opts.validate) {
+        try {
+            es.validate();
+        } catch (const SpecError& e) {
+            rethrowAsDiagnostic("einsum", "", e);
+        }
+    }
+
+    // Spec-only lowering: one recipe per Einsum (loop order,
+    // partitioning, spacetime, probe ranks, output storage order).
+    for (const einsum::Expression& expr : es.expressions) {
+        try {
+            model.recipes_.push_back(
+                ir::analyzeEinsum(expr, es, s.mapping));
+        } catch (const SpecError& e) {
+            rethrowAsDiagnostic("mapping", expr.output.name, e);
+        }
+    }
+
+    // Resolved per-Einsum binding and topology tables.
+    for (const einsum::Expression& expr : es.expressions) {
+        const binding::EinsumBinding& eb =
+            s.bindings.einsum(expr.output.name);
+        model.bindings_.push_back(&eb);
+        try {
+            model.topologies_.push_back(
+                &s.architecture.topology(eb.topology));
+        } catch (const SpecError& e) {
+            rethrowAsDiagnostic("binding", expr.output.name, e);
+        }
+    }
+
+    // Fused-block schedule: must be known before execution so fused
+    // intermediates skip DRAM.
+    model.blocks_ = model::inferBlocks(es, s.mapping, s.bindings);
+    std::map<std::size_t, std::size_t> block_of;
+    for (std::size_t b = 0; b < model.blocks_.size(); ++b) {
+        for (std::size_t idx : model.blocks_[b])
+            block_of[idx] = b;
+    }
+    std::set<std::string> fused_intermediates;
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        const std::string& produced = es.expressions[i].output.name;
+        for (int consumer : es.consumersOf(produced)) {
+            if (block_of[i] ==
+                block_of[static_cast<std::size_t>(consumer)]) {
+                fused_intermediates.insert(produced);
+            }
+        }
+    }
+
+    // Per-Einsum on-chip sets: within a fused block, a tensor streamed
+    // by an earlier Einsum is shared through the pipeline — later
+    // Einsums re-use it on chip instead of re-reading DRAM (e.g.
+    // Gamma's A).
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        std::set<std::string> on_chip = fused_intermediates;
+        for (std::size_t j : model.blocks_[block_of[i]]) {
+            if (j >= i)
+                break;
+            for (const einsum::TensorRef& in : es.expressions[j].inputs)
+                on_chip.insert(in.name);
+        }
+        model.onChip_.push_back(std::move(on_chip));
+    }
+
+    // Does any Einsum consume an earlier Einsum's output? Then plans()
+    // must execute the cascade once to materialize intermediates.
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        for (const einsum::TensorRef& in : es.expressions[i].inputs) {
+            if (es.producerOf(in.name) >= 0 &&
+                static_cast<std::size_t>(es.producerOf(in.name)) < i)
+                model.plansNeedExecution_ = true;
+        }
+    }
+
+    return model;
+}
+
+// ------------------------------------------------------ CompiledModel
+
+CompiledModel::WorkloadState&
+CompiledModel::stateFor(const Workload& w, const exec::Semiring& sr)
+{
+    for (auto it = states_.begin(); it != states_.end(); ++it) {
+        if (it->fingerprint == w.fingerprint() && it->semiring == sr) {
+            states_.splice(states_.begin(), states_, it);
+            return states_.front();
+        }
+    }
+    states_.emplace_front();
+    states_.front().fingerprint = w.fingerprint();
+    states_.front().semiring = sr;
+    while (states_.size() >
+           std::max<std::size_t>(1, opts_.workloadCacheCapacity))
+        states_.pop_back();
+    return states_.front();
+}
+
+void
+CompiledModel::validateWorkload(const Workload& w) const
+{
+    const einsum::EinsumSpec& es = spec_.einsums;
+    for (const std::string& name : es.inputTensors()) {
+        if (!w.has(name))
+            diagError("workload", name, "missing input tensor '", name,
+                      "'");
+        const auto decl_it = es.declaration.find(name);
+        if (decl_it == es.declaration.end())
+            continue;
+        std::set<std::string> declared(decl_it->second.begin(),
+                                       decl_it->second.end());
+        const auto ids = w.tensor(name).rankIds();
+        std::set<std::string> actual(ids.begin(), ids.end());
+        if (declared != actual)
+            diagError("workload", name, "tensor '", name,
+                      "' has ranks {", join(ids, ", "),
+                      "} but the declaration names {",
+                      join(decl_it->second, ", "), "}");
+    }
+}
+
+void
+CompiledModel::prepareInputs(WorkloadState& st, const Workload& w)
+{
+    if (st.prepared)
+        return;
+    // Apply the declared rank-order offline (§3.2.2: input swizzles
+    // are preprocessing and cost nothing). Concordant inputs are used
+    // in place — no copy of any kind.
+    for (const std::string& name : spec_.einsums.inputTensors()) {
+        const ft::Tensor& t = w.tensor(name);
+        const auto& order = spec_.mapping.rankOrder(name);
+        if (!order.empty() && t.rankIds() != order)
+            st.swizzledInputs.insert_or_assign(name,
+                                               ft::swizzle(t, order));
+    }
+    st.prepared = true;
+}
+
+SimulationResult
+CompiledModel::run(const Workload& workload, const RunOptions& opts)
+{
+    if (opts.validateInputs)
+        validateWorkload(workload);
+    if (opts.cacheState)
+        return runOn(stateFor(workload, opts.semiring), workload, opts);
+    WorkloadState ephemeral;
+    ephemeral.fingerprint = workload.fingerprint();
+    ephemeral.semiring = opts.semiring;
+    return runOn(ephemeral, workload, opts);
+}
+
+ir::TensorRefMap
+CompiledModel::inputRefs(const WorkloadState& st, const Workload& w) const
+{
+    ir::TensorRefMap refs;
+    for (const std::string& name : spec_.einsums.inputTensors()) {
+        const auto sit = st.swizzledInputs.find(name);
+        refs.emplace(name, sit != st.swizzledInputs.end()
+                               ? &sit->second
+                               : &w.tensor(name));
+    }
+    return refs;
+}
+
+SimulationResult
+CompiledModel::runOn(WorkloadState& st, const Workload& w,
+                     const RunOptions& opts)
+{
+    const einsum::EinsumSpec& es = spec_.einsums;
+    prepareInputs(st, w);
+
+    // Live-tensor view for plan instantiation: workload inputs (in
+    // their mapping rank-order) plus intermediates as they appear.
+    ir::TensorRefMap refs;
+    if (!st.plansComplete) {
+        refs = inputRefs(st, w);
+        for (const auto& [name, tensor] : st.intermediates)
+            refs.emplace(name, &tensor);
+    }
+
+    SimulationResult out;
+    out.blocks = blocks_;
+
+    exec::ExecOptions eo;
+    eo.coiterOverrides = opts.coiterOverrides;
+
+    std::vector<std::string> produced;
+    for (std::size_t i = 0; i < es.expressions.size(); ++i) {
+        const einsum::Expression& expr = es.expressions[i];
+
+        if (st.plans.size() <= i) {
+            st.plans.push_back(ir::instantiatePlan(
+                recipes_[i], es, refs, produced,
+                /*share_unprepared=*/true));
+            logDebug("einsum ", i, ": ", st.plans[i].toString());
+        }
+        const ir::EinsumPlan& plan = st.plans[i];
+
+        model::ModelObserver observer(plan, *topologies_[i],
+                                      *bindings_[i], spec_.formats,
+                                      onChip_[i]);
+        trace::FanoutObserver fan;
+        trace::Observer* sink = &observer;
+        if (!opts.observers.empty()) {
+            fan.add(&observer);
+            for (trace::Observer* o : opts.observers)
+                fan.add(o);
+            sink = &fan;
+        }
+
+        exec::Executor executor(plan, *sink, opts.semiring, eo);
+        ft::Tensor result = executor.run();
+
+        model::EinsumRecord record =
+            observer.finalize(executor.stats());
+        for (const auto& [tensor, tt] : record.traffic) {
+            model::TensorTraffic& agg = out.traffic[tensor];
+            agg.readBytes += tt.readBytes;
+            agg.writeBytes += tt.writeBytes;
+            agg.poBytes += tt.poBytes;
+        }
+        out.records.push_back(std::move(record));
+
+        produced.push_back(expr.output.name);
+        const bool bind_later =
+            !st.plansComplete && i + 1 < es.expressions.size();
+        if (bind_later && opts.cacheState) {
+            // Later plans bind this intermediate; the cached state
+            // owns its copy so cached plans never alias a tensor
+            // returned to the caller.
+            auto [iit, fresh] = st.intermediates.insert_or_assign(
+                expr.output.name, result.clone());
+            refs.insert_or_assign(expr.output.name, &iit->second);
+            (void)fresh;
+        }
+        auto [oit, inserted] = out.tensors.insert_or_assign(
+            expr.output.name, std::move(result));
+        (void)inserted;
+        if (bind_later && !opts.cacheState) {
+            // Ephemeral state: plans die with this call, so they can
+            // bind the result tensor in place (map nodes are
+            // address-stable) — no defensive deep copy.
+            refs.insert_or_assign(expr.output.name, &oit->second);
+        }
+    }
+    st.plansComplete = true;
+
+    out.perf = model::analyze(out.records, spec_.architecture, blocks_);
+    for (const model::EinsumRecord& r : out.records) {
+        out.energy += energy::energyOf(
+            r, spec_.architecture.topology(r.topologyName));
+    }
+    return out;
+}
+
+const std::vector<ir::EinsumPlan>&
+CompiledModel::plans(const Workload& workload)
+{
+    WorkloadState& st =
+        stateFor(workload, exec::Semiring::arithmetic());
+    if (!st.plansComplete) {
+        if (plansNeedExecution_) {
+            // Later Einsums bind intermediates: produce them once.
+            RunOptions opts;
+            (void)runOn(st, workload, opts);
+        } else {
+            prepareInputs(st, workload);
+            const einsum::EinsumSpec& es = spec_.einsums;
+            const ir::TensorRefMap refs = inputRefs(st, workload);
+            std::vector<std::string> produced;
+            for (std::size_t i = st.plans.size();
+                 i < es.expressions.size(); ++i) {
+                st.plans.push_back(ir::instantiatePlan(
+                    recipes_[i], es, refs, produced,
+                    /*share_unprepared=*/true));
+            }
+            st.plansComplete = true;
+        }
+    }
+    return st.plans;
+}
+
+double
+CompiledModel::algorithmicMinBytes(const Workload& workload,
+                                   const SimulationResult& result) const
+{
+    double bits = 0;
+    auto add = [&](const std::string& name, const ft::Tensor& t) {
+        bits += static_cast<double>(
+            fmt::tensorBits(spec_.formats.getLenient(name), t));
+    };
+    // A prepared state for this workload already holds any swizzled
+    // inputs; reuse them instead of re-materializing per call (const
+    // lookup — no LRU reordering). Uncached (cacheState=false) runs
+    // leave no state, so discordant inputs cost one throwaway
+    // swizzle here — negligible next to the simulation itself.
+    const WorkloadState* st = nullptr;
+    for (const WorkloadState& s : states_) {
+        if (s.fingerprint == workload.fingerprint() && s.prepared) {
+            st = &s;
+            break;
+        }
+    }
+    for (const std::string& name : spec_.einsums.inputTensors()) {
+        if (!workload.has(name))
+            continue;
+        if (st != nullptr) {
+            const auto sit = st->swizzledInputs.find(name);
+            if (sit != st->swizzledInputs.end()) {
+                add(name, sit->second);
+                continue;
+            }
+        }
+        const ft::Tensor& t = workload.tensor(name);
+        const auto& order = spec_.mapping.rankOrder(name);
+        if (!order.empty() && t.rankIds() != order) {
+            add(name, ft::swizzle(t, order));
+        } else {
+            add(name, t);
+        }
+    }
+    const auto rit = result.tensors.find(spec_.einsums.resultTensor());
+    if (rit != result.tensors.end())
+        add(rit->first, rit->second);
+    return bits / 8.0;
+}
+
+} // namespace teaal::compiler

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The staged compile-once / run-many pipeline — the public entry point
+ * of the library (paper §4: one declarative specification generates an
+ * executable model; Sparseloop and SAM draw the same line between
+ * "lower the spec" and "evaluate it on a workload"):
+ *
+ *   auto spec  = compiler::Specification::parse(yaml_text, params);
+ *   auto model = compiler::compile(std::move(spec));
+ *   compiler::Workload w;
+ *   w.add("A", a).add("B", b);              // borrowed, never deep-copied
+ *   auto r1 = model.run(w);                 // instantiates + executes
+ *   auto r2 = model.run(w);                 // executes only (plans cached)
+ *
+ * compile() owns everything derivable from the specification alone:
+ * per-Einsum ir::EinsumRecipes (loop order, partitioning, spacetime,
+ * probe ranks, output storage order), the fused-block schedule, the
+ * resolved per-Einsum architecture/binding/on-chip tables, and the
+ * declared rank-order swizzle recipe. run() binds a Workload —
+ * preparing tensors and selecting co-iteration strategies on first
+ * contact, cached per workload fingerprint — and executes.
+ *
+ * RunOptions varies a run without recompiling: the semiring, extra
+ * trace observers, per-loop co-iteration overrides (the intersection
+ * ablation), and input validation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "exec/engine.hpp"
+#include "ir/plan.hpp"
+#include "trace/observer.hpp"
+#include "util/diagnostic.hpp"
+
+namespace teaal::compiler
+{
+
+/** Knobs for compile(). */
+struct CompileOptions
+{
+    /// Re-run spec-only einsum validation (arity, declarations) at
+    /// compile time, surfacing problems as teaal::DiagnosticError.
+    /// Specification::parse already validates what it parses; this
+    /// flag matters for specifications assembled programmatically
+    /// (e.g. accelerators/) that never went through parse. Recipe
+    /// analysis and binding/topology resolution always run.
+    bool validate = true;
+
+    /// Inject a single-DRAM default topology when the specification
+    /// has no architecture section, so purely functional runs work.
+    bool addDefaultArchitecture = true;
+
+    /// Per-workload plan caches kept alive (least-recently-used
+    /// eviction beyond this).
+    std::size_t workloadCacheCapacity = 4;
+};
+
+/**
+ * The tensors one simulation runs on. Inputs are borrowed by const
+ * reference and never deep-copied; the caller's tensors must stay
+ * alive and unmodified for the duration of each run() call that uses
+ * them (cached plans share their fiber trees — call touch() after
+ * mutating a tensor's contents in place to invalidate stale plans).
+ */
+class Workload
+{
+  public:
+    Workload() : fingerprint_(nextStamp()) {}
+
+    /** Borrow @p t (no copy). Returns *this for chaining. */
+    Workload&
+    add(const std::string& name, const ft::Tensor& t)
+    {
+        entries_[name] = Entry{&t, {}};
+        fingerprint_ = nextStamp();
+        return *this;
+    }
+
+    /** Take ownership of @p t (moved, not copied). */
+    Workload&
+    add(const std::string& name, ft::Tensor&& t)
+    {
+        entries_[name] = Entry{nullptr, std::move(t)};
+        fingerprint_ = nextStamp();
+        return *this;
+    }
+
+    bool has(const std::string& name) const
+    {
+        return entries_.count(name) != 0;
+    }
+
+    /** The tensor bound to @p name (DiagnosticError if absent). */
+    const ft::Tensor& tensor(const std::string& name) const;
+
+    std::vector<std::string> names() const;
+
+    /**
+     * Identity stamp for plan caching: globally unique, refreshed by
+     * every add()/touch(), so a model never confuses two workloads or
+     * reuses plans across a mutation.
+     */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Declare in-place mutation of a borrowed tensor's contents. */
+    void touch() { fingerprint_ = nextStamp(); }
+
+  private:
+    struct Entry
+    {
+        const ft::Tensor* borrowed = nullptr;
+        ft::Tensor owned;
+    };
+
+    static std::uint64_t nextStamp();
+
+    std::map<std::string, Entry> entries_;
+    std::uint64_t fingerprint_;
+};
+
+/** Per-run knobs — everything that varies without recompiling. */
+struct RunOptions
+{
+    /// Operator redefinition for graph algorithms (paper Figure 12).
+    /// Cached state is keyed per (workload, semiring): intermediate
+    /// values bound into cached plans depend on the operators, so a
+    /// different semiring gets its own plan instantiation.
+    exec::Semiring semiring = exec::Semiring::arithmetic();
+
+    /// Extra trace sinks fed alongside the performance model (each
+    /// receives the same event batches; batch-aware sinks consume
+    /// them directly). Must outlive the run() call.
+    std::vector<trace::Observer*> observers;
+
+    /// Override the planned co-iteration strategy of specific loop
+    /// ranks by name — the intersection-ablation knob. Applied at
+    /// execution time; cached plans are not mutated.
+    std::map<std::string, ir::CoiterStrategy> coiterOverrides;
+
+    /// Validate workload tensors against the declaration (presence
+    /// and rank sets) before executing, surfacing mismatches as
+    /// DiagnosticError instead of a mid-run failure.
+    bool validateInputs = true;
+
+    /// Keep this workload's instantiated plans cached in the model
+    /// for later runs. Disable for fire-and-forget workloads.
+    bool cacheState = true;
+};
+
+/**
+ * A specification lowered to an executable model: the reusable
+ * artifact of the pipeline. Everything spec-derivable is resolved at
+ * compile(); run() only binds data and executes — on a workload it
+ * has seen before, nothing is re-derived, re-prepared, or re-planned.
+ */
+class CompiledModel
+{
+  public:
+    /// Movable but not copyable: the resolved per-Einsum tables point
+    /// into this object's own spec_ (map nodes are address-stable
+    /// across moves, but a copy would alias the source's).
+    CompiledModel(CompiledModel&&) = default;
+    CompiledModel& operator=(CompiledModel&&) = default;
+    CompiledModel(const CompiledModel&) = delete;
+    CompiledModel& operator=(const CompiledModel&) = delete;
+
+    const Specification& spec() const { return spec_; }
+
+    /** Fused-block schedule (expression indices per block). */
+    const std::vector<std::vector<std::size_t>>& blocks() const
+    {
+        return blocks_;
+    }
+
+    /** Spec-only per-Einsum lowering recipes, in cascade order. */
+    const std::vector<ir::EinsumRecipe>& recipes() const
+    {
+        return recipes_;
+    }
+
+    /**
+     * Execute the cascade on @p workload. The first run on a workload
+     * instantiates and caches its plans (preparing tensors, selecting
+     * co-iteration strategies); later runs execute the cached plans
+     * directly. Results are deterministic: repeated runs on the same
+     * workload produce identical records, perf, and traffic.
+     */
+    SimulationResult run(const Workload& workload,
+                         const RunOptions& opts = {});
+
+    /**
+     * The fully instantiated per-Einsum plans for @p workload (under
+     * the arithmetic semiring) — the documented accessor for
+     * plan-level tooling (microbenches, white-box tests) that
+     * previously called ir::buildPlan by hand. Instantiates on first
+     * use; for cascades whose later Einsums consume intermediates
+     * this requires executing the earlier Einsums once (results
+     * discarded).
+     *
+     * The reference points into this model's per-workload cache: it
+     * stays valid until the entry is evicted — i.e. until run()/
+     * plans() touches more than CompileOptions::workloadCacheCapacity
+     * other (workload, semiring) combinations — or clearCache() is
+     * called.
+     */
+    const std::vector<ir::EinsumPlan>& plans(const Workload& workload);
+
+    /**
+     * Algorithmic-minimum DRAM traffic: each input read once, the
+     * final result written once (the Figure 9 normalization
+     * baseline). @p result supplies the produced output tensor.
+     */
+    double algorithmicMinBytes(const Workload& workload,
+                               const SimulationResult& result) const;
+
+    /** Drop all cached per-workload state (plans, prepared tensors). */
+    void clearCache() { states_.clear(); }
+
+  private:
+    friend CompiledModel compile(Specification spec,
+                                 const CompileOptions& opts);
+
+    CompiledModel() = default;
+
+    /** Cached per-(workload, semiring) execution state. Keyed on the
+     *  semiring too because cached plans bind intermediate *values*,
+     *  which depend on the operators that produced them. */
+    struct WorkloadState
+    {
+        std::uint64_t fingerprint = 0;
+        exec::Semiring semiring = exec::Semiring::arithmetic();
+        /// Inputs whose declared rank-order differs from the workload
+        /// tensor's: swizzled once per workload (offline, uncharged —
+        /// paper §3.2.2).
+        std::map<std::string, ft::Tensor> swizzledInputs;
+        /// Intermediates produced on the instantiating run, kept so
+        /// later plans could be (re)bound without re-executing.
+        std::map<std::string, ft::Tensor> intermediates;
+        std::vector<ir::EinsumPlan> plans;
+        bool prepared = false;       // swizzledInputs materialized
+        bool plansComplete = false;
+    };
+
+    WorkloadState& stateFor(const Workload& w,
+                            const exec::Semiring& sr);
+    void prepareInputs(WorkloadState& st, const Workload& w);
+    ir::TensorRefMap inputRefs(const WorkloadState& st,
+                               const Workload& w) const;
+    void validateWorkload(const Workload& w) const;
+    SimulationResult runOn(WorkloadState& st, const Workload& w,
+                           const RunOptions& opts);
+
+    Specification spec_;
+    CompileOptions opts_;
+
+    std::vector<std::vector<std::size_t>> blocks_;
+    std::vector<ir::EinsumRecipe> recipes_;
+
+    /// Per-Einsum resolved tables (pointers into spec_, stable).
+    std::vector<const binding::EinsumBinding*> bindings_;
+    std::vector<const arch::Topology*> topologies_;
+    std::vector<std::set<std::string>> onChip_;
+
+    /// True when some Einsum consumes an earlier Einsum's output, so
+    /// plans() must execute the cascade once to materialize them.
+    bool plansNeedExecution_ = false;
+
+    /// LRU list of per-workload states (front = most recent).
+    std::list<WorkloadState> states_;
+};
+
+/**
+ * Lower @p spec to an executable model. Validates the specification
+ * (per @p opts) and resolves every spec-derivable table; throws
+ * teaal::DiagnosticError pinning problems to their section/key.
+ */
+CompiledModel compile(Specification spec, const CompileOptions& opts = {});
+
+} // namespace teaal::compiler

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -263,13 +264,14 @@ EinsumSpec::validate() const
         auto check_ref = [&](const TensorRef& ref) {
             const auto it = declaration.find(ref.name);
             if (it == declaration.end())
-                specError("einsum '", e.text, "': tensor '", ref.name,
-                          "' is not declared");
+                diagError("einsum", ref.name, "einsum '", e.text,
+                          "': tensor '", ref.name, "' is not declared");
             // Whole-tensor references (P1 = P0) skip arity checking.
             if (!ref.indices.empty() &&
                 ref.indices.size() != it->second.size()) {
-                specError("einsum '", e.text, "': tensor '", ref.name,
-                          "' used with ", ref.indices.size(),
+                diagError("einsum", ref.name, "einsum '", e.text,
+                          "': tensor '", ref.name, "' used with ",
+                          ref.indices.size(),
                           " indices but declared with ",
                           it->second.size(), " ranks");
             }

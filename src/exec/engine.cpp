@@ -108,10 +108,17 @@ Semiring::orSelect()
 }
 
 Engine::Engine(const ir::EinsumPlan& plan, trace::Observer& obs,
-               Semiring sr)
+               Semiring sr, const ExecOptions& opts)
     : plan_(plan), bus_(obs), sr_(sr), out_("_uninit", {"_"}, {1})
 {
     const std::size_t nloops = plan_.loops.size();
+    coiter_.reserve(nloops);
+    for (const ir::LoopRank& lr : plan_.loops) {
+        const auto ov = opts.coiterOverrides.find(lr.name);
+        coiter_.push_back(ov != opts.coiterOverrides.end()
+                              ? ov->second
+                              : lr.coiter);
+    }
     driversAt_.resize(nloops);
     slicesAt_.resize(nloops);
     lookupsAt_.resize(nloops);
@@ -469,15 +476,17 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
     };
 
     WalkCounts wc;
-    // Plan-time choice first; TwoFinger keeps the historical runtime
-    // leader-follower escape for heavily skewed fiber pairs.
+    // Plan-time choice (with any ExecOptions override) first;
+    // TwoFinger keeps the historical runtime leader-follower escape
+    // for heavily skewed fiber pairs.
+    const CoiterStrategy strategy = coiter_[loop];
     const bool force_dense =
-        lr.coiter == CoiterStrategy::DenseDrive && !unite;
+        strategy == CoiterStrategy::DenseDrive && !unite;
     int lead = -1;
     if (!unite && nd == 2 && !force_dense) {
-        if (lr.coiter == CoiterStrategy::Gallop)
+        if (strategy == CoiterStrategy::Gallop)
             lead = views[0].size() <= views[1].size() ? 0 : 1;
-        else if (lr.coiter == CoiterStrategy::TwoFinger)
+        else if (strategy == CoiterStrategy::TwoFinger)
             lead = gallopLeader(views, unite);
     }
 

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "exec/coiter_strategy.hpp"
@@ -26,6 +28,22 @@
 
 namespace teaal::exec
 {
+
+/**
+ * Per-execution knobs that vary a run without touching the plan (so
+ * compiled plans can be shared across runs and ablations).
+ */
+struct ExecOptions
+{
+    /**
+     * Override the planned co-iteration strategy of specific loop
+     * ranks, keyed by rank name (the intersection-ablation knob).
+     * Unknown rank names are ignored; an override that does not apply
+     * to a loop's driver shape (e.g. Gallop on a 3-driver union) falls
+     * back to the two-finger walk, like a plan-time choice would.
+     */
+    std::map<std::string, ir::CoiterStrategy> coiterOverrides;
+};
 
 /** Operator redefinition for Einsum evaluation. */
 struct Semiring
@@ -45,6 +63,15 @@ struct Semiring
 
     /** BFS-style: x = select-right, + = logical or. */
     static Semiring orSelect();
+
+    /** Identity comparison (same operators and identities). */
+    bool
+    operator==(const Semiring& o) const
+    {
+        return multiply == o.multiply && add == o.add &&
+               multIdentity == o.multIdentity &&
+               addIdentity == o.addIdentity;
+    }
 };
 
 /** Functional statistics of one execution. */
@@ -73,7 +100,8 @@ class Engine
      * @param plan Built by ir::buildPlan; must outlive the engine.
      * @param obs  Trace sink; must outlive the engine.
      */
-    Engine(const ir::EinsumPlan& plan, trace::Observer& obs, Semiring sr);
+    Engine(const ir::EinsumPlan& plan, trace::Observer& obs, Semiring sr,
+           const ExecOptions& opts = {});
 
     /**
      * Run the loop nest. Returns the output tensor in its declared
@@ -176,6 +204,10 @@ class Engine
     trace::BatchBus bus_;
     Semiring sr_;
     ExecutionStats stats_;
+
+    /// Effective co-iteration strategy per loop: the plan's choice
+    /// with any ExecOptions overrides applied at construction.
+    std::vector<ir::CoiterStrategy> coiter_;
 
     // Per-loop action indices (built once). Pre-lookups fire on loop
     // entry (constant/earlier-bound indices whose parent level is

@@ -4,8 +4,8 @@ namespace teaal::exec
 {
 
 Executor::Executor(const ir::EinsumPlan& plan, trace::Observer& obs,
-                   Semiring sr)
-    : engine_(plan, obs, sr)
+                   Semiring sr, const ExecOptions& opts)
+    : engine_(plan, obs, sr, opts)
 {
 }
 

@@ -30,9 +30,12 @@ class Executor
     /**
      * @param plan Built by ir::buildPlan; must outlive the executor.
      * @param obs  Trace sink; must outlive the executor.
+     * @param opts Per-run knobs (co-iteration overrides) applied
+     *             without mutating the shared plan.
      */
     Executor(const ir::EinsumPlan& plan, trace::Observer& obs,
-             Semiring sr = Semiring::arithmetic());
+             Semiring sr = Semiring::arithmetic(),
+             const ExecOptions& opts = {});
 
     /**
      * Run the loop nest. Returns the output tensor in its declared

@@ -1,6 +1,8 @@
 #include "fibertree/tensor.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -204,12 +206,24 @@ Tensor::fromCoo(std::string name, const std::vector<std::string>& rank_ids,
     return t;
 }
 
+namespace
+{
+std::atomic<std::uint64_t> g_clone_count{0};
+} // namespace
+
 Tensor
 Tensor::clone() const
 {
+    g_clone_count.fetch_add(1, std::memory_order_relaxed);
     Tensor copy(name_, ranks_);
     copy.root_ = root_ ? root_->clone() : nullptr;
     return copy;
+}
+
+std::uint64_t
+Tensor::cloneCount()
+{
+    return g_clone_count.load(std::memory_order_relaxed);
 }
 
 } // namespace teaal::ft

@@ -85,8 +85,17 @@ class Tensor
         const std::vector<Coord>& shape,
         const std::vector<std::pair<std::vector<Coord>, Value>>& elems);
 
-    /** Deep copy (fibers are cloned, not shared). */
+    /** Deep copy (fibers are cloned, not shared). Note the plain copy
+     *  constructor is a *shallow* copy sharing the fiber tree — cheap
+     *  and safe for read-only consumers like instantiated plans. */
     Tensor clone() const;
+
+    /**
+     * Process-wide count of deep copies (clone() calls). The
+     * compile-once/run-many tests assert the run path stays
+     * clone-free for unmutated inputs.
+     */
+    static std::uint64_t cloneCount();
 
   private:
     std::string name_;

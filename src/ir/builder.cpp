@@ -1,3 +1,21 @@
+/**
+ * @file
+ * The simulator generator, split into the two stages of the
+ * compile-once / run-many pipeline (paper §4.2-§4.3):
+ *
+ *   analyzeEinsum    spec-only: resolve the loop order, partitioning
+ *                    groups, probe ranks, spacetime, and the output's
+ *                    declared storage order; surface specification
+ *                    inconsistencies before any data exists.
+ *   instantiatePlan  bind a recipe to real tensors: prepare
+ *                    (partition/flatten/swizzle) each input, derive
+ *                    rank shapes and dense extents, and select
+ *                    co-iteration strategies from occupancy hints.
+ *
+ * buildPlan composes the two for white-box tests and tools; the
+ * pipeline (compiler::CompiledModel) caches recipes at compile time
+ * and instantiated plans per workload.
+ */
 #include <algorithm>
 #include <cctype>
 #include <functional>
@@ -7,6 +25,7 @@
 #include "ir/plan.hpp"
 
 #include "fibertree/transform.hpp"
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
 
@@ -33,38 +52,26 @@ baseOfDerived(const std::string& rank)
     return base;
 }
 
-/** Analysis of one partitioning group. */
-struct GroupInfo
+std::vector<RecipeGroup>
+analyzeGroups(const mapping::EinsumMapping& em, const std::string& text)
 {
-    const RankPartitioning* group = nullptr;
-    std::string base;                  // rank the splits apply to
-    std::vector<std::string> results;  // derived rank names, top-down
-    std::vector<const PartitionDirective*> splits; // non-flatten
-    bool hasFlatten = false;
-    bool occupancy = false; // at least one occupancy split
-    std::string leader;     // occupancy leader tensor
-};
-
-std::vector<GroupInfo>
-analyzeGroups(const mapping::EinsumMapping& em)
-{
-    std::vector<GroupInfo> out;
+    std::vector<RecipeGroup> out;
     for (const RankPartitioning& g : em.partitioning) {
-        GroupInfo info;
-        info.group = &g;
+        RecipeGroup info;
+        info.sourceRanks = g.sourceRanks;
         info.base = g.baseRank();
         info.results = g.resultRanks();
         for (const PartitionDirective& d : g.directives) {
             if (d.kind == PartitionDirective::Kind::Flatten) {
                 info.hasFlatten = true;
             } else {
-                info.splits.push_back(&d);
+                info.splits.push_back(d);
                 if (d.kind == PartitionDirective::Kind::UniformOccupancy) {
                     info.occupancy = true;
                     if (!info.leader.empty() && info.leader != d.leader)
-                        specError("partitioning of '", info.base,
-                                  "': conflicting leaders '", info.leader,
-                                  "' and '", d.leader, "'");
+                        specError("einsum '", text, "': partitioning of '",
+                                  info.base, "': conflicting leaders '",
+                                  info.leader, "' and '", d.leader, "'");
                     info.leader = d.leader;
                 }
             }
@@ -87,66 +94,6 @@ declPosition(const std::vector<std::string>& decl,
               "'");
 }
 
-/**
- * Apply the split directives of @p info to @p t (rank @p info.base),
- * producing ranks named info.results top-down.
- */
-ft::Tensor
-applySplits(ft::Tensor t, const GroupInfo& info)
-{
-    const std::size_t k = info.splits.size();
-    for (std::size_t i = 0; i < k; ++i) {
-        const std::string upper = info.results[i];
-        const std::string lower =
-            i + 1 == k ? info.results[k] : info.base;
-        const PartitionDirective& d = *info.splits[i];
-        if (d.kind == PartitionDirective::Kind::UniformShape) {
-            t = ft::splitRankByShape(t, info.base, d.tile, upper, lower);
-        } else {
-            t = ft::splitRankByOccupancy(t, info.base, d.chunk, upper,
-                                         lower);
-        }
-        if (i + 1 < k) {
-            // The next split applies to the lower part, still named
-            // info.base; adjust in-place by renaming is unnecessary
-            // because we kept the base name for the lower rank.
-        }
-    }
-    return t;
-}
-
-/**
- * Swizzle @p t so the ranks named in @p components are adjacent, in
- * order, at the position of their first occurrence; other ranks keep
- * their relative order. Needed before flattening.
- */
-ft::Tensor
-makeAdjacent(ft::Tensor t, const std::vector<std::string>& components)
-{
-    const auto ids = t.rankIds();
-    std::size_t first = ids.size();
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        if (std::find(components.begin(), components.end(), ids[i]) !=
-            components.end()) {
-            first = std::min(first, i);
-        }
-    }
-    std::vector<std::string> target;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        if (i == first) {
-            for (const std::string& c : components)
-                target.push_back(c);
-        }
-        if (std::find(components.begin(), components.end(), ids[i]) ==
-            components.end()) {
-            target.push_back(ids[i]);
-        }
-    }
-    if (target == ids)
-        return t;
-    return ft::swizzle(t, target);
-}
-
 /** Find a loop index by rank name; -1 if absent. */
 int
 loopIndexOf(const std::vector<std::string>& loop_order,
@@ -166,6 +113,97 @@ loopIndexOf(const std::vector<std::string>& loop_order,
  * dense fiber's length.
  */
 constexpr double kGallopSkewThreshold = 32.0;
+
+/**
+ * Target rank order that makes @p components adjacent, in order, at
+ * the position of their first occurrence; other ranks keep their
+ * relative order. Needed before flattening.
+ */
+std::vector<std::string>
+adjacentOrder(const std::vector<std::string>& ids,
+              const std::vector<std::string>& components)
+{
+    std::size_t first = ids.size();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (std::find(components.begin(), components.end(), ids[i]) !=
+            components.end()) {
+            first = std::min(first, i);
+        }
+    }
+    std::vector<std::string> target;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i == first) {
+            for (const std::string& c : components)
+                target.push_back(c);
+        }
+        if (std::find(components.begin(), components.end(), ids[i]) ==
+            components.end()) {
+            target.push_back(ids[i]);
+        }
+    }
+    return target;
+}
+
+/**
+ * One input tensor being prepared: starts as a borrowed source and
+ * becomes owned at the first transform, so inputs that need no
+ * preparation are never deep-copied.
+ */
+class Preparing
+{
+  public:
+    explicit Preparing(const ft::Tensor* src) : src_(src) {}
+
+    const ft::Tensor& get() const { return owned_ ? work_ : *src_; }
+
+    void
+    replace(ft::Tensor t)
+    {
+        work_ = std::move(t);
+        owned_ = true;
+    }
+
+    bool owned() const { return owned_; }
+
+    /** Surrender ownership; deep-clones or fiber-shares if borrowed. */
+    ft::Tensor
+    take(bool share_unprepared)
+    {
+        if (owned_)
+            return std::move(work_);
+        // A plain Tensor copy shares the fiber tree (fibers are
+        // shared_ptrs); execution never mutates input trees.
+        return share_unprepared ? *src_ : src_->clone();
+    }
+
+  private:
+    const ft::Tensor* src_;
+    ft::Tensor work_;
+    bool owned_ = false;
+};
+
+/**
+ * Apply the split directives of @p info to @p t (rank @p info.base),
+ * producing ranks named info.results top-down.
+ */
+void
+applySplits(Preparing& t, const RecipeGroup& info)
+{
+    const std::size_t k = info.splits.size();
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::string upper = info.results[i];
+        const std::string lower =
+            i + 1 == k ? info.results[k] : info.base;
+        const PartitionDirective& d = info.splits[i];
+        if (d.kind == PartitionDirective::Kind::UniformShape) {
+            t.replace(ft::splitRankByShape(t.get(), info.base, d.tile,
+                                           upper, lower));
+        } else {
+            t.replace(ft::splitRankByOccupancy(t.get(), info.base,
+                                               d.chunk, upper, lower));
+        }
+    }
+}
 
 } // namespace
 
@@ -222,18 +260,104 @@ EinsumPlan::toString() const
     return oss.str();
 }
 
-EinsumPlan
-buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
-          const mapping::MappingSpec& map,
-          const std::map<std::string, ft::Tensor>& tensors,
-          const std::vector<std::string>& intermediates)
+EinsumRecipe
+analyzeEinsum(const einsum::Expression& expr,
+              const einsum::EinsumSpec& spec,
+              const mapping::MappingSpec& map)
 {
+    EinsumRecipe recipe;
+    recipe.expr = expr;
+    recipe.unionCombine = expr.kind == einsum::OpKind::Add;
+
+    // Whole-tensor copy (P1 = P0) bypasses the loop nest entirely.
+    if (expr.kind == einsum::OpKind::Assign && expr.output.indices.empty()) {
+        recipe.wholeTensorCopy = true;
+        return recipe;
+    }
+
+    const mapping::EinsumMapping& em = map.einsum(expr.output.name);
+    recipe.groups = analyzeGroups(em, expr.text);
+
+    // ------------------------------------------------------ loop order
+    recipe.loopOrder = em.loopOrder;
+    if (recipe.loopOrder.empty()) {
+        // Default: iteration variables in Einsum order, expanding
+        // partition groups at their first constituent.
+        std::vector<const RecipeGroup*> emitted;
+        for (const std::string& var : expr.iterationVars()) {
+            const std::string rank = einsum::rankOfVar(var);
+            const RecipeGroup* owner = nullptr;
+            for (const RecipeGroup& g : recipe.groups) {
+                const auto& src = g.sourceRanks;
+                if (std::find(src.begin(), src.end(), rank) != src.end() ||
+                    g.base == rank) {
+                    owner = &g;
+                    break;
+                }
+            }
+            if (owner == nullptr) {
+                recipe.loopOrder.push_back(rank);
+            } else if (std::find(emitted.begin(), emitted.end(), owner) ==
+                       emitted.end()) {
+                for (const std::string& r : owner->results)
+                    recipe.loopOrder.push_back(r);
+                emitted.push_back(owner);
+            }
+        }
+    }
+
+    // -------------------------------------------- probe ranks (take)
+    // Take ranks private to the non-copied operand become probes.
+    if (expr.kind == einsum::OpKind::Take) {
+        const TensorRef& other = expr.inputs[1 - expr.takeArg];
+        const TensorRef& copied = expr.inputs[expr.takeArg];
+        const auto copied_vars = copied.varNames();
+        const auto out_vars = expr.outputVars();
+        for (const std::string& v : other.varNames()) {
+            const bool in_copied =
+                std::find(copied_vars.begin(), copied_vars.end(), v) !=
+                copied_vars.end();
+            const bool in_out =
+                std::find(out_vars.begin(), out_vars.end(), v) !=
+                out_vars.end();
+            if (!in_copied && !in_out)
+                recipe.probeVars.push_back(v);
+        }
+    }
+
+    // ------------------------------------------------------ spacetime
+    for (const mapping::SpaceTimeEntry& e : em.space) {
+        if (loopIndexOf(recipe.loopOrder, e.rank) < 0)
+            specError("einsum '", expr.text, "': space rank '", e.rank,
+                      "' is not in the loop order");
+        recipe.space.push_back(e);
+    }
+
+    // ------------------------------------------ output storage order
+    const auto odecl_it = spec.declaration.find(expr.output.name);
+    if (odecl_it == spec.declaration.end())
+        diagError("einsum", expr.output.name, "einsum '", expr.text,
+                  "': undeclared output '", expr.output.name, "'");
+    recipe.outputDeclaredOrder = map.hasRankOrder(expr.output.name)
+                                     ? map.rankOrder(expr.output.name)
+                                     : odecl_it->second;
+
+    return recipe;
+}
+
+EinsumPlan
+instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
+                const TensorRefMap& tensors,
+                const std::vector<std::string>& intermediates,
+                bool share_unprepared)
+{
+    const einsum::Expression& expr = recipe.expr;
+
     EinsumPlan plan;
     plan.expr = expr;
-    plan.unionCombine = expr.kind == einsum::OpKind::Add;
+    plan.unionCombine = recipe.unionCombine;
 
-    // Whole-tensor copy: P1 = P0.
-    if (expr.kind == einsum::OpKind::Assign && expr.output.indices.empty()) {
+    if (recipe.wholeTensorCopy) {
         plan.wholeTensorCopy = true;
         TensorPlan tp;
         tp.name = expr.inputs[0].name;
@@ -242,14 +366,15 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         if (it == tensors.end())
             specError("einsum '", expr.text, "': tensor '", tp.name,
                       "' has no data");
-        tp.prepared = it->second.clone();
+        Preparing prep(it->second);
+        tp.prepared = prep.take(share_unprepared);
         plan.inputs.push_back(std::move(tp));
         plan.output.name = expr.output.name;
         return plan;
     }
 
-    const mapping::EinsumMapping& em = map.einsum(expr.output.name);
-    const std::vector<GroupInfo> groups = analyzeGroups(em);
+    const std::vector<RecipeGroup>& groups = recipe.groups;
+    const std::vector<std::string>& loop_order = recipe.loopOrder;
 
     // ---------------------------------------------------- rank shapes
     // Shape of each base rank, taken from every live declared tensor
@@ -261,8 +386,8 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         if (decl_it == spec.declaration.end())
             continue;
         const auto& decl = decl_it->second;
-        for (std::size_t lvl = 0; lvl < tensor.numRanks(); ++lvl) {
-            const ft::RankInfo& ri = tensor.rank(lvl);
+        for (std::size_t lvl = 0; lvl < tensor->numRanks(); ++lvl) {
+            const ft::RankInfo& ri = tensor->rank(lvl);
             if (std::find(decl.begin(), decl.end(), ri.id) != decl.end())
                 rank_shape[ri.id] =
                     std::max(rank_shape[ri.id], ri.shape);
@@ -324,62 +449,15 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
                   var, "'");
     };
 
-    // ------------------------------------------------------ loop order
-    std::vector<std::string> loop_order = em.loopOrder;
-    if (loop_order.empty()) {
-        // Default: iteration variables in Einsum order, expanding
-        // partition groups at their first constituent.
-        std::vector<const GroupInfo*> emitted;
-        for (const std::string& var : expr.iterationVars()) {
-            const std::string rank = einsum::rankOfVar(var);
-            const GroupInfo* owner = nullptr;
-            for (const GroupInfo& g : groups) {
-                const auto& src = g.group->sourceRanks;
-                if (std::find(src.begin(), src.end(), rank) != src.end() ||
-                    g.base == rank) {
-                    owner = &g;
-                    break;
-                }
-            }
-            if (owner == nullptr) {
-                loop_order.push_back(rank);
-            } else if (std::find(emitted.begin(), emitted.end(), owner) ==
-                       emitted.end()) {
-                for (const std::string& r : owner->results)
-                    loop_order.push_back(r);
-                emitted.push_back(owner);
-            }
-        }
-    }
-
     // -------------------------------------------- loop rank metadata
-    // Take ranks private to the non-copied operand become probes.
-    std::vector<std::string> probe_vars;
-    if (expr.kind == einsum::OpKind::Take) {
-        const TensorRef& other = expr.inputs[1 - expr.takeArg];
-        const TensorRef& copied = expr.inputs[expr.takeArg];
-        const auto copied_vars = copied.varNames();
-        const auto out_vars = expr.outputVars();
-        for (const std::string& v : other.varNames()) {
-            const bool in_copied =
-                std::find(copied_vars.begin(), copied_vars.end(), v) !=
-                copied_vars.end();
-            const bool in_out =
-                std::find(out_vars.begin(), out_vars.end(), v) !=
-                out_vars.end();
-            if (!in_copied && !in_out)
-                probe_vars.push_back(v);
-        }
-    }
-
     for (const std::string& name : loop_order) {
         LoopRank lr;
         lr.name = name;
 
         // Owning partition group, if any.
-        const GroupInfo* owner = nullptr;
+        const RecipeGroup* owner = nullptr;
         std::size_t pos_in_results = 0;
-        for (const GroupInfo& g : groups) {
+        for (const RecipeGroup& g : groups) {
             const auto it =
                 std::find(g.results.begin(), g.results.end(), name);
             if (it != g.results.end()) {
@@ -395,8 +473,8 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
             // variable per constituent with unpack strides. The rank
             // may have been produced by a *different* group's flatten
             // (SIGMA: occupancy on MK0, flattened by its own group).
-            const GroupInfo* g = nullptr;
-            for (const GroupInfo& cand : groups) {
+            const RecipeGroup* g = nullptr;
+            for (const RecipeGroup& cand : groups) {
                 if (cand.hasFlatten && cand.base == rank)
                     g = &cand;
             }
@@ -404,7 +482,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
                 ft::Coord stride = 1;
                 std::vector<ft::Coord> strides, shapes;
                 std::vector<std::string> vars;
-                const auto& src = g->group->sourceRanks;
+                const auto& src = g->sourceRanks;
                 for (auto it = src.rbegin(); it != src.rend(); ++it) {
                     const std::string comp_base = baseOfDerived(*it);
                     const ft::Coord shape =
@@ -434,7 +512,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
             // Group leaf: binds the base variables.
             bind_rank_vars(owner->base);
             if (!owner->splits.empty()) {
-                const PartitionDirective& last = *owner->splits.back();
+                const PartitionDirective& last = owner->splits.back();
                 lr.spaceExtent =
                     last.kind == PartitionDirective::Kind::UniformShape
                         ? static_cast<std::size_t>(last.tile)
@@ -445,7 +523,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         } else {
             // Upper partition rank: binds a coordinate range.
             lr.isUpperPartition = true;
-            const PartitionDirective& d = *owner->splits[pos_in_results];
+            const PartitionDirective& d = owner->splits[pos_in_results];
             if (d.kind == PartitionDirective::Kind::UniformShape)
                 lr.rangeTile = d.tile;
             // Extent = positions this rank can take inside its parent
@@ -460,7 +538,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
                 lr.spaceExtent = 1u << 20;
             } else {
                 const std::size_t above =
-                    size_of(*owner->splits[pos_in_results - 1]);
+                    size_of(owner->splits[pos_in_results - 1]);
                 const std::size_t mine = size_of(d);
                 lr.spaceExtent =
                     mine > 0 ? std::max<std::size_t>(above / mine, 1)
@@ -470,8 +548,9 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
 
         // Probe-only ranks (take).
         for (const std::string& v : lr.bindsVars) {
-            if (std::find(probe_vars.begin(), probe_vars.end(), v) !=
-                probe_vars.end())
+            if (std::find(recipe.probeVars.begin(),
+                          recipe.probeVars.end(),
+                          v) != recipe.probeVars.end())
                 lr.probeOnly = true;
         }
 
@@ -504,12 +583,11 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         }
     }
 
-    // Spacetime flags.
-    for (const mapping::SpaceTimeEntry& e : em.space) {
+    // Spacetime flags (validated at analysis time).
+    for (const mapping::SpaceTimeEntry& e : recipe.space) {
         const int idx = loopIndexOf(loop_order, e.rank);
-        if (idx < 0)
-            specError("einsum '", expr.text, "': space rank '", e.rank,
-                      "' is not in the loop order");
+        TEAAL_ASSERT(idx >= 0, "space rank '", e.rank,
+                     "' vanished from the loop order");
         plan.loops[static_cast<std::size_t>(idx)].isSpace = true;
         plan.loops[static_cast<std::size_t>(idx)].coordSpace =
             e.coordSpace;
@@ -523,48 +601,50 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
             specError("einsum '", expr.text, "': tensor '", ref.name,
                       "' has no data");
         const auto decl_it = spec.declaration.find(ref.name);
-        TEAAL_ASSERT(decl_it != spec.declaration.end(),
-                     "undeclared tensor '", ref.name, "'");
+        if (decl_it == spec.declaration.end())
+            specError("einsum '", expr.text, "': undeclared tensor '",
+                      ref.name, "'");
         const std::vector<std::string>& decl = decl_it->second;
 
         TensorPlan tp;
         tp.name = ref.name;
         tp.exprInput = static_cast<int>(slot);
-        tp.prepared = tit->second.clone();
+        Preparing prep(tit->second);
 
         // Dynamic-follower groups for this tensor.
-        std::vector<const GroupInfo*> follower_of;
+        std::vector<const RecipeGroup*> follower_of;
 
         // Apply partitioning groups in order.
-        for (const GroupInfo& g : groups) {
-            const auto& src = g.group->sourceRanks;
+        for (const RecipeGroup& g : groups) {
+            const auto& src = g.sourceRanks;
             const auto has_rank = [&](const std::string& r) {
-                return tp.prepared.rankLevel(r) >= 0;
+                return prep.get().rankLevel(r) >= 0;
             };
             if (g.hasFlatten) {
                 const bool has_all = std::all_of(
                     src.begin(), src.end(), has_rank);
                 if (has_all) {
-                    ft::Tensor t = makeAdjacent(std::move(tp.prepared),
-                                                src);
+                    const auto target =
+                        adjacentOrder(prep.get().rankIds(), src);
+                    if (target != prep.get().rankIds())
+                        prep.replace(ft::swizzle(prep.get(), target));
                     // Flatten pairwise left-to-right.
                     std::string upper = src[0];
                     for (std::size_t i = 1; i < src.size(); ++i) {
-                        t = ft::flattenRanks(t, upper, src[i]);
+                        prep.replace(
+                            ft::flattenRanks(prep.get(), upper, src[i]));
                         upper += src[i];
                     }
                     TEAAL_ASSERT(upper == g.base, "flatten naming");
-                    tp.prepared = applySplits(std::move(t), g);
+                    applySplits(prep, g);
                 }
                 // Tensors with only some constituents use lookups at
                 // the flattened rank (handled below).
             } else if (has_rank(g.base)) {
                 if (!g.occupancy) {
-                    tp.prepared =
-                        applySplits(std::move(tp.prepared), g);
+                    applySplits(prep, g);
                 } else if (g.leader == ref.name) {
-                    tp.prepared =
-                        applySplits(std::move(tp.prepared), g);
+                    applySplits(prep, g);
                 } else {
                     follower_of.push_back(&g);
                 }
@@ -582,7 +662,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         };
         std::vector<PendingAction> pending;
 
-        for (const ft::RankInfo& ri : tp.prepared.ranks()) {
+        for (const ft::RankInfo& ri : prep.get().ranks()) {
             const std::string& rid = ri.id;
             const int direct = loopIndexOf(loop_order, rid);
             if (direct >= 0) {
@@ -591,8 +671,8 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
                 continue;
             }
             // Dynamic follower base rank?
-            const GroupInfo* follow = nullptr;
-            for (const GroupInfo* g : follower_of) {
+            const RecipeGroup* follow = nullptr;
+            for (const RecipeGroup* g : follower_of) {
                 if (g->base == rid)
                     follow = g;
             }
@@ -678,11 +758,11 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
             for (const PendingAction* pa : nav)
                 required.push_back(pa->rankId);
         }
-        if (required != tp.prepared.rankIds()) {
+        if (required != prep.get().rankIds()) {
             // Estimate merger "ways" before destroying the old order:
             // the occupancy of the shallowest rank that moves deeper.
             std::size_t ways = 2;
-            const auto old_ids = tp.prepared.rankIds();
+            const auto old_ids = prep.get().rankIds();
             for (std::size_t lvl = 0; lvl < old_ids.size(); ++lvl) {
                 const auto npos = std::find(required.begin(),
                                             required.end(), old_ids[lvl]);
@@ -690,7 +770,7 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
                     npos - required.begin());
                 if (new_lvl > lvl) {
                     std::vector<std::size_t> counts;
-                    tp.prepared.root()->elementCountsByDepth(counts);
+                    prep.get().root()->elementCountsByDepth(counts);
                     std::size_t fibers_above =
                         lvl == 0 ? 1 : counts[lvl - 1];
                     if (fibers_above > 0 && counts.size() > lvl)
@@ -703,10 +783,12 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
             tp.swizzleOnline =
                 std::find(intermediates.begin(), intermediates.end(),
                           ref.name) != intermediates.end();
-            tp.swizzleElements = tp.prepared.nnz();
+            tp.swizzleElements = prep.get().nnz();
             tp.swizzleWays = ways;
-            tp.prepared = ft::swizzle(tp.prepared, required);
+            prep.replace(ft::swizzle(prep.get(), required));
         }
+
+        tp.prepared = prep.take(share_unprepared);
 
         // Materialize final actions with post-swizzle levels.
         for (const PendingAction& pa : pending) {
@@ -833,12 +915,23 @@ buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
         out.boundAtLoop.push_back(l.boundAt);
         out.shapes.push_back(var_shape(l.var));
     }
-    out.declaredOrder = map.hasRankOrder(out.name)
-                            ? map.rankOrder(out.name)
-                            : odecl;
+    out.declaredOrder = recipe.outputDeclaredOrder;
     out.needsReorder = out.productionOrder != out.declaredOrder;
 
     return plan;
+}
+
+EinsumPlan
+buildPlan(const einsum::Expression& expr, const einsum::EinsumSpec& spec,
+          const mapping::MappingSpec& map,
+          const std::map<std::string, ft::Tensor>& tensors,
+          const std::vector<std::string>& intermediates)
+{
+    TensorRefMap refs;
+    for (const auto& [name, tensor] : tensors)
+        refs.emplace(name, &tensor);
+    return instantiatePlan(analyzeEinsum(expr, spec, map), spec, refs,
+                           intermediates, /*share_unprepared=*/false);
 }
 
 } // namespace teaal::ir

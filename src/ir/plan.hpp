@@ -77,7 +77,12 @@ struct TensorPlan
     /// Slot in Expression::inputs.
     int exprInput = -1;
 
-    /// The materialized, concordantly-ordered fibertree.
+    /// The materialized, concordantly-ordered fibertree. When the
+    /// source tensor was already concordant and the caller allowed
+    /// sharing (instantiatePlan's share_unprepared), this is a shallow
+    /// copy whose fibers are shared with the caller's tensor (fibers
+    /// are shared_ptrs); execution never mutates input trees, so the
+    /// share is safe and costs no deep copy.
     ft::Tensor prepared;
 
     /// Actions in execution order (sorted by loopIndex, then level).
@@ -189,7 +194,100 @@ struct EinsumPlan
 const char* coiterStrategyName(CoiterStrategy s);
 
 /**
- * Build the plan for @p expr.
+ * One partitioning group of a recipe: a value-owning copy of the
+ * mapping's RankPartitioning analysis, so recipes stay valid without
+ * referencing the MappingSpec they came from.
+ */
+struct RecipeGroup
+{
+    /// The group key's ranks (several for a flatten like `(K, M)`).
+    std::vector<std::string> sourceRanks;
+
+    /// Rank the split directives apply to (post-flatten).
+    std::string base;
+
+    /// Derived rank names, top-down (K -> {K1, K0}).
+    std::vector<std::string> results;
+
+    /// Split directives in application order (flattens excluded).
+    std::vector<mapping::PartitionDirective> splits;
+
+    bool hasFlatten = false;
+
+    /// At least one occupancy split; `leader` names its leader tensor.
+    bool occupancy = false;
+    std::string leader;
+};
+
+/**
+ * The spec-only lowering of one Einsum (paper §4.2): everything the
+ * simulator generator can derive from the specification alone, before
+ * any workload data exists. `compiler::compile` produces one recipe
+ * per Einsum; `instantiatePlan` binds a recipe to real tensors.
+ */
+struct EinsumRecipe
+{
+    einsum::Expression expr;
+
+    bool unionCombine = false;
+    bool wholeTensorCopy = false;
+
+    std::vector<RecipeGroup> groups;
+
+    /// Resolved loop order (declared, or derived from Einsum order
+    /// with partition groups expanded).
+    std::vector<std::string> loopOrder;
+
+    /// Take-Einsum probe variables (private to the non-copied operand).
+    std::vector<std::string> probeVars;
+
+    /// Spacetime entries, validated against the loop order.
+    std::vector<mapping::SpaceTimeEntry> space;
+
+    /// Declared storage order of the output (mapping rank-order when
+    /// present, else the declaration).
+    std::vector<std::string> outputDeclaredOrder;
+};
+
+/** Live tensors by name, borrowed from the caller. */
+using TensorRefMap = std::map<std::string, const ft::Tensor*>;
+
+/**
+ * Stage 1 — analyze: derive the spec-only recipe for @p expr.
+ * Surfaces loop-order / partitioning / spacetime inconsistencies as
+ * SpecError without needing any tensor data, so `compile` can reject
+ * bad specifications before the first run.
+ */
+EinsumRecipe analyzeEinsum(const einsum::Expression& expr,
+                           const einsum::EinsumSpec& spec,
+                           const mapping::MappingSpec& map);
+
+/**
+ * Stage 2 — instantiate: bind @p recipe to real tensors, producing the
+ * executable plan (prepared fibertrees, dense extents, co-iteration
+ * strategies from occupancy hints).
+ *
+ * @param tensors  Live tensors by name (workload inputs in their
+ *                 mapping rank-order plus intermediates built by
+ *                 earlier Einsums). Borrowed for the duration of the
+ *                 call only.
+ * @param intermediates Names of tensors produced by earlier Einsums
+ *                 (their swizzles are online and charged).
+ * @param share_unprepared When true, an input needing no preparation
+ *                 is shallow-copied (fiber trees shared) instead of
+ *                 deep-cloned — the compile-once/run-many path.
+ */
+EinsumPlan instantiatePlan(const EinsumRecipe& recipe,
+                           const einsum::EinsumSpec& spec,
+                           const TensorRefMap& tensors,
+                           const std::vector<std::string>& intermediates,
+                           bool share_unprepared = false);
+
+/**
+ * Build the plan for @p expr: analyzeEinsum + instantiatePlan in one
+ * call, with every prepared tensor owned (no aliasing). Kept for
+ * white-box tests and tools; pipeline callers go through
+ * `compiler::CompiledModel`, which caches the two stages separately.
  *
  * @param spec     The cascade (for declarations).
  * @param map      The mapping specification.

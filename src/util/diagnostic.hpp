@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured diagnostics for user-facing specification errors.
+ *
+ * A Diagnostic pins an error to the specification section
+ * ("einsum", "mapping", "format", "architecture", "binding",
+ * "workload") and the offending key (a tensor, rank, or attribute
+ * name) so tools can surface "fix this line" messages instead of a
+ * bare abort. `compiler::Specification::parse` and `compiler::compile`
+ * throw DiagnosticError — which is-a SpecError, so exception-based
+ * callers keep working — instead of tripping internal assertions on
+ * malformed input.
+ */
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace teaal
+{
+
+/** One structured specification error. */
+struct Diagnostic
+{
+    /// Top-level specification section the error belongs to.
+    std::string section;
+
+    /// Offending key within the section (tensor, rank, attribute);
+    /// empty when the whole section is at fault.
+    std::string key;
+
+    /// Human-readable description of what is wrong.
+    std::string message;
+
+    /** "section 'einsum', key 'A': message". */
+    std::string
+    toString() const
+    {
+        std::string out = "section '" + section + "'";
+        if (!key.empty())
+            out += ", key '" + key + "'";
+        out += ": " + message;
+        return out;
+    }
+};
+
+/** A SpecError carrying a structured Diagnostic. */
+class DiagnosticError : public SpecError
+{
+  public:
+    explicit DiagnosticError(Diagnostic d)
+        : SpecError(d.toString()), diagnostic_(std::move(d))
+    {
+    }
+
+    const Diagnostic& diagnostic() const { return diagnostic_; }
+
+  private:
+    Diagnostic diagnostic_;
+};
+
+/** Throw a DiagnosticError built from streamable message parts. */
+template <typename... Args>
+[[noreturn]] void
+diagError(std::string section, std::string key, Args&&... args)
+{
+    throw DiagnosticError(Diagnostic{
+        std::move(section), std::move(key),
+        detail::concatMessage(std::forward<Args>(args)...)});
+}
+
+namespace detail
+{
+
+/** Strip the SpecError ctor prefix when re-wrapping a message. */
+inline std::string
+stripSpecPrefix(const std::string& what)
+{
+    const std::string prefix = "spec error: ";
+    if (what.rfind(prefix, 0) == 0)
+        return what.substr(prefix.size());
+    return what;
+}
+
+} // namespace detail
+
+/**
+ * Re-throw the in-flight SpecError as a DiagnosticError pinned to
+ * @p section (DiagnosticErrors pass through untouched, keeping the
+ * most specific context).
+ */
+[[noreturn]] inline void
+rethrowAsDiagnostic(const std::string& section, const std::string& key,
+                    const SpecError& e)
+{
+    if (const auto* d = dynamic_cast<const DiagnosticError*>(&e))
+        throw *d;
+    throw DiagnosticError(
+        Diagnostic{section, key, detail::stripSpecPrefix(e.what())});
+}
+
+} // namespace teaal
