@@ -154,6 +154,24 @@ jsonRow(std::ostream& os, const std::string& bench,
     os << "}\n";
 }
 
+/**
+ * Timing-bench variant: appends the canonical `threads` and `wall_ms`
+ * fields every timing row carries, so the CI perf differ
+ * (ci/perf_diff.py) can key results per configuration and compare
+ * wall time across runs uniformly.
+ */
+inline void
+jsonRow(std::ostream& os, const std::string& bench,
+        const std::vector<std::pair<std::string, std::string>>& labels,
+        const std::vector<std::pair<std::string, double>>& metrics,
+        unsigned threads, double wall_ms)
+{
+    std::vector<std::pair<std::string, double>> all = metrics;
+    all.emplace_back("threads", static_cast<double>(threads));
+    all.emplace_back("wall_ms", wall_ms);
+    jsonRow(os, bench, labels, all);
+}
+
 /** Print the standard bench header. */
 inline void
 header(const std::string& what, double scale)

@@ -174,7 +174,8 @@ main()
                  {"strategy", ir::coiterStrategyName(s)}},
                 {{"matches", static_cast<double>(r.matches)},
                  {"us_per_walk", r.seconds * 1e6},
-                 {"speedup_vs_two_finger", speedup}});
+                 {"speedup_vs_two_finger", speedup}},
+                /*threads=*/1, /*wall_ms=*/r.seconds * 1e3);
         }
     }
     std::cout << "\n" << table.render() << "\n";
@@ -223,7 +224,8 @@ main()
                        {{"strategy", ir::coiterStrategyName(s)},
                         {"planned", planned}},
                        {{"ms_per_run", secs * 1e3},
-                        {"speedup_vs_two_finger", two / secs}});
+                        {"speedup_vs_two_finger", two / secs}},
+                       /*threads=*/1, /*wall_ms=*/secs * 1e3);
     }
     std::cout << "\n"
               << engine_table.render() << "\nplanner selected: " << planned

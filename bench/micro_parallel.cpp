@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parallel sharded execution microbench: wall time and speedup of
+ * CompiledModel::run at 1/2/4/8 worker threads on Gamma and ExTensor
+ * SpMSpM (the fig10-class workloads), plus the serial-overhead check
+ * — threads=1 must stay within noise of the classic serial path,
+ * because it *is* the classic serial path.
+ *
+ * Run-to-run determinism is exercised too: every thread count must
+ * produce identical traffic and records (the engine guarantees
+ * byte-identical counters and trace batches at any N; see
+ * exec/executor.hpp). A violation aborts the bench.
+ *
+ * Emits bench::jsonRow lines keyed by (accel, dataset, threads) with
+ * `wall_ms` for the CI perf differ.
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "common.hpp"
+
+namespace
+{
+
+using namespace teaal;
+
+void
+runOne(const std::string& accel_name, compiler::Specification spec,
+       const std::string& dataset, const bench::SpmspmInput& in,
+       TextTable& table)
+{
+    auto model = compiler::compile(std::move(spec));
+    const compiler::Workload w = bench::workloadOf(in);
+
+    // Reference result (serial) for the determinism check.
+    const compiler::SimulationResult ref = model.run(w);
+
+    double t1_ms = 0;
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        compiler::RunOptions opts;
+        opts.threads = threads;
+        const double secs =
+            bench::bestSeconds([&]() { (void)model.run(w, opts); }, 3);
+        const double wall_ms = secs * 1e3;
+        if (threads == 1)
+            t1_ms = wall_ms;
+        const double speedup = t1_ms / wall_ms;
+
+        // Determinism: counters and traffic identical at every N.
+        const compiler::SimulationResult got = model.run(w, opts);
+        for (const auto& [tensor, tt] : ref.traffic) {
+            const auto it = got.traffic.find(tensor);
+            if (it == got.traffic.end() ||
+                it->second.readBytes != tt.readBytes ||
+                it->second.writeBytes != tt.writeBytes ||
+                it->second.poBytes != tt.poBytes) {
+                std::cerr << "DETERMINISM VIOLATION: " << accel_name
+                          << "/" << dataset << " threads=" << threads
+                          << " tensor=" << tensor << "\n";
+                std::exit(1);
+            }
+        }
+
+        table.addRow({accel_name, dataset, std::to_string(threads),
+                      TextTable::num(wall_ms, 2),
+                      TextTable::num(speedup, 2) + "x"});
+        bench::jsonRow(std::cout, "micro_parallel",
+                       {{"accel", accel_name}, {"dataset", dataset}},
+                       {{"speedup_vs_serial", speedup}}, threads,
+                       wall_ms);
+    }
+    table.addSeparator();
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = bench::matrixScale();
+    bench::header("parallel sharded execution: run(threads=N) wall "
+                  "time and speedup",
+                  scale);
+
+    TextTable table("CompiledModel::run by worker threads "
+                          "(best of 3; determinism checked per row)");
+    table.setHeader({"accel", "dataset", "threads", "wall ms",
+                     "speedup"});
+
+    for (const std::string& key : {std::string("p2"), std::string("wi")}) {
+        const bench::SpmspmInput in = bench::loadSpmspm(key, scale);
+        runOne("gamma", accel::gamma({}), key, in, table);
+        runOne("extensor", accel::extensor({}), key, in, table);
+    }
+
+    table.print();
+    std::cout << "\nnote: shard plans are fixed per workload, so "
+                 "results and replayed traces are byte-identical at "
+                 "every thread count; speedup depends on host cores "
+                 "(the model-observer stream stays single-threaded "
+                 "by design — it is the Amdahl floor).\n";
+    return 0;
+}

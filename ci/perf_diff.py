@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI microbench artifacts.
+
+Compares the jsonRow lines (bench/common.hpp) of the current run
+against the previous successful run's artifact and fails when any
+configuration's wall time regressed beyond the threshold.
+
+Rows are keyed by their ``bench`` name plus every *string* label field
+(accel, dataset, strategy, ...) plus the ``threads`` field, so each
+configuration is tracked independently; only the canonical ``wall_ms``
+metric is gated (other metrics are informational). Sub-millisecond
+rows are skipped — they sit inside scheduler noise on shared runners —
+and rows with ``threads > 1`` are reported but not gated (CI vCPUs are
+few and shared, so oversubscribed wall times are pure noise).
+
+Usage: perf_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+Exit status 1 on regression, 0 otherwise (including when no baseline
+exists yet — the first run of the gate cannot fail).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+MIN_WALL_MS = 1.0  # below this, runner noise dominates
+
+# Multithreaded rows (threads > 1) are informational only: shared CI
+# runners have few, noisy vCPUs, so oversubscribed wall times swing
+# well beyond any reasonable threshold without a code change. The
+# gate enforces the threshold on threads == 1 configurations.
+GATED_THREADS = "1"
+
+
+def load_rows(directory: pathlib.Path):
+    rows = {}
+    for path in sorted(directory.glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "wall_ms" not in row:
+                continue
+            key_fields = [("bench", str(row.get("bench", "")))]
+            key_fields += sorted(
+                (k, str(v))
+                for k, v in row.items()
+                if isinstance(v, str) and k != "bench"
+            )
+            key_fields.append(("threads", str(row.get("threads", 1))))
+            rows[tuple(key_fields)] = float(row["wall_ms"])
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.15)
+    args = parser.parse_args()
+
+    if not args.baseline.is_dir():
+        print(f"perf_diff: no baseline at {args.baseline}; skipping")
+        return 0
+    base = load_rows(args.baseline)
+    curr = load_rows(args.current)
+    if not base or not curr:
+        print("perf_diff: empty row set; skipping")
+        return 0
+
+    regressions = []
+    compared = 0
+    for key, old_ms in base.items():
+        new_ms = curr.get(key)
+        if new_ms is None or old_ms < MIN_WALL_MS:
+            continue
+        compared += 1
+        ratio = new_ms / old_ms
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        gated = dict(key).get("threads", "1") == GATED_THREADS
+        status = "ok" if gated else "info (not gated)"
+        if gated and ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            regressions.append((label, old_ms, new_ms, ratio))
+        print(
+            f"perf_diff: {label}: {old_ms:.2f} -> {new_ms:.2f} ms "
+            f"({ratio - 1.0:+.1%}) {status}"
+        )
+
+    print(f"perf_diff: compared {compared} configurations")
+    if regressions:
+        print(
+            f"perf_diff: {len(regressions)} configuration(s) regressed "
+            f"beyond {args.threshold:.0%}:"
+        )
+        for label, old_ms, new_ms, ratio in regressions:
+            print(
+                f"  {label}: {old_ms:.2f} -> {new_ms:.2f} ms "
+                f"({ratio - 1.0:.1%})"
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

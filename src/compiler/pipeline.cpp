@@ -1,5 +1,6 @@
 #include "compiler/pipeline.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "energy/energy.hpp"
@@ -95,6 +96,10 @@ compile(Specification spec, const CompileOptions& opts)
         }
     }
 
+    // Shard plan per Einsum: how run(threads=N) may split it.
+    for (const ir::EinsumRecipe& recipe : model.recipes_)
+        model.shardPlans_.push_back(ir::analyzeSharding(recipe));
+
     // Resolved per-Einsum binding and topology tables.
     for (const einsum::Expression& expr : es.expressions) {
         const binding::EinsumBinding& eb =
@@ -157,22 +162,57 @@ compile(Specification spec, const CompileOptions& opts)
 
 // ------------------------------------------------------ CompiledModel
 
-CompiledModel::WorkloadState&
+std::shared_ptr<CompiledModel::WorkloadState>
 CompiledModel::stateFor(const Workload& w, const exec::Semiring& sr)
 {
+    std::lock_guard<std::mutex> lk(*cacheMutex_);
     for (auto it = states_.begin(); it != states_.end(); ++it) {
-        if (it->fingerprint == w.fingerprint() && it->semiring == sr) {
+        if ((*it)->fingerprint == w.fingerprint() &&
+            (*it)->semiring == sr) {
             states_.splice(states_.begin(), states_, it);
             return states_.front();
         }
     }
-    states_.emplace_front();
-    states_.front().fingerprint = w.fingerprint();
-    states_.front().semiring = sr;
+    states_.emplace_front(std::make_shared<WorkloadState>());
+    states_.front()->fingerprint = w.fingerprint();
+    states_.front()->semiring = sr;
+    // Evicted entries only drop the cache's reference: a run still
+    // holding the shared_ptr finishes safely on the detached state.
     while (states_.size() >
            std::max<std::size_t>(1, opts_.workloadCacheCapacity))
         states_.pop_back();
     return states_.front();
+}
+
+util::ThreadPool*
+CompiledModel::poolFor(unsigned threads)
+{
+    if (threads == 1)
+        return nullptr;
+    std::lock_guard<std::mutex> lk(*poolMutex_);
+    if (pool_ == nullptr)
+        pool_ = std::make_shared<util::ThreadPool>();
+    return pool_.get();
+}
+
+void
+CompiledModel::validateOverrides(const RunOptions& opts) const
+{
+    for (const auto& [rank, strategy] : opts.coiterOverrides) {
+        (void)strategy;
+        bool known = false;
+        for (const ir::EinsumRecipe& r : recipes_) {
+            if (std::find(r.loopOrder.begin(), r.loopOrder.end(),
+                          rank) != r.loopOrder.end())
+                known = true;
+        }
+        if (!known) {
+            diagError("exec", rank,
+                      "co-iteration override names rank '", rank,
+                      "', which is not a loop rank of any Einsum in "
+                      "the cascade");
+        }
+    }
 }
 
 void
@@ -221,8 +261,15 @@ CompiledModel::run(const Workload& workload, const RunOptions& opts)
 {
     if (opts.validateInputs)
         validateWorkload(workload);
-    if (opts.cacheState)
-        return runOn(stateFor(workload, opts.semiring), workload, opts);
+    validateOverrides(opts);
+    if (opts.cacheState) {
+        // Keep the shared_ptr for the whole run: a concurrent
+        // eviction only detaches the state from the cache.
+        const std::shared_ptr<WorkloadState> st =
+            stateFor(workload, opts.semiring);
+        std::lock_guard<std::mutex> lk(st->runMutex);
+        return runOn(*st, workload, opts);
+    }
     WorkloadState ephemeral;
     ephemeral.fingerprint = workload.fingerprint();
     ephemeral.semiring = opts.semiring;
@@ -262,11 +309,23 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
     out.blocks = blocks_;
 
     exec::ExecOptions eo;
-    eo.coiterOverrides = opts.coiterOverrides;
+    eo.threads = opts.threads;
+    eo.pool = poolFor(opts.threads == 0 ? 2 : opts.threads);
 
     std::vector<std::string> produced;
     for (std::size_t i = 0; i < es.expressions.size(); ++i) {
         const einsum::Expression& expr = es.expressions[i];
+
+        // Per-Einsum override slice: only the ranks this Einsum loops
+        // over (validateOverrides already rejected names unknown to
+        // the whole cascade; the engine rejects plan-level strays).
+        eo.coiterOverrides.clear();
+        for (const auto& [rank, strategy] : opts.coiterOverrides) {
+            if (std::find(recipes_[i].loopOrder.begin(),
+                          recipes_[i].loopOrder.end(),
+                          rank) != recipes_[i].loopOrder.end())
+                eo.coiterOverrides.emplace(rank, strategy);
+        }
 
         if (st.plans.size() <= i) {
             st.plans.push_back(ir::instantiatePlan(
@@ -336,28 +395,29 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
 const std::vector<ir::EinsumPlan>&
 CompiledModel::plans(const Workload& workload)
 {
-    WorkloadState& st =
+    const std::shared_ptr<WorkloadState> st =
         stateFor(workload, exec::Semiring::arithmetic());
-    if (!st.plansComplete) {
+    std::lock_guard<std::mutex> lk(st->runMutex);
+    if (!st->plansComplete) {
         if (plansNeedExecution_) {
             // Later Einsums bind intermediates: produce them once.
             RunOptions opts;
-            (void)runOn(st, workload, opts);
+            (void)runOn(*st, workload, opts);
         } else {
-            prepareInputs(st, workload);
+            prepareInputs(*st, workload);
             const einsum::EinsumSpec& es = spec_.einsums;
-            const ir::TensorRefMap refs = inputRefs(st, workload);
+            const ir::TensorRefMap refs = inputRefs(*st, workload);
             std::vector<std::string> produced;
-            for (std::size_t i = st.plans.size();
+            for (std::size_t i = st->plans.size();
                  i < es.expressions.size(); ++i) {
-                st.plans.push_back(ir::instantiatePlan(
+                st->plans.push_back(ir::instantiatePlan(
                     recipes_[i], es, refs, produced,
                     /*share_unprepared=*/true));
             }
-            st.plansComplete = true;
+            st->plansComplete = true;
         }
     }
-    return st.plans;
+    return st->plans;
 }
 
 double
@@ -374,17 +434,29 @@ CompiledModel::algorithmicMinBytes(const Workload& workload,
     // lookup — no LRU reordering). Uncached (cacheState=false) runs
     // leave no state, so discordant inputs cost one throwaway
     // swizzle here — negligible next to the simulation itself.
-    const WorkloadState* st = nullptr;
-    for (const WorkloadState& s : states_) {
-        if (s.fingerprint == workload.fingerprint() && s.prepared) {
-            st = &s;
-            break;
+    std::shared_ptr<WorkloadState> st;
+    {
+        std::lock_guard<std::mutex> lk(*cacheMutex_);
+        for (const std::shared_ptr<WorkloadState>& s : states_) {
+            if (s->fingerprint == workload.fingerprint()) {
+                st = s;
+                break;
+            }
         }
+    }
+    // Reading prepared/swizzledInputs must hold the state's run mutex:
+    // a concurrent first run() on the same workload may be populating
+    // them (prepareInputs runs under runMutex).
+    std::unique_lock<std::mutex> run_lk;
+    bool use_state = false;
+    if (st != nullptr) {
+        run_lk = std::unique_lock<std::mutex>(st->runMutex);
+        use_state = st->prepared;
     }
     for (const std::string& name : spec_.einsums.inputTensors()) {
         if (!workload.has(name))
             continue;
-        if (st != nullptr) {
+        if (use_state) {
             const auto sit = st->swizzledInputs.find(name);
             if (sit != st->swizzledInputs.end()) {
                 add(name, sit->second);

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "ir/plan.hpp"
 #include "trace/observer.hpp"
 #include "util/diagnostic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace teaal::compiler
 {
@@ -152,6 +155,16 @@ struct RunOptions
     /// Keep this workload's instantiated plans cached in the model
     /// for later runs. Disable for fire-and-forget workloads.
     bool cacheState = true;
+
+    /// Worker threads per Einsum execution: 1 (default) is the
+    /// classic serial path; 0 means one per hardware thread; N >= 2
+    /// shards each shardable Einsum's outermost loop rank across N
+    /// workers drawn from the model's shared pool (see
+    /// CompiledModel::shardPlans). Counters, output tensors, and
+    /// delivered trace batches are byte-identical at every thread
+    /// count; Einsums whose plan is not shardable (no space rank,
+    /// contraction-outermost, ...) fall back to serial execution.
+    unsigned threads = 1;
 };
 
 /**
@@ -159,6 +172,15 @@ struct RunOptions
  * artifact of the pipeline. Everything spec-derivable is resolved at
  * compile(); run() only binds data and executes — on a workload it
  * has seen before, nothing is re-derived, re-prepared, or re-planned.
+ *
+ * Thread safety: concurrent run() calls from multiple host threads
+ * are supported. The plan-cache LRU is internally synchronized —
+ * entries are held by shared_ptr so eviction never destroys state an
+ * in-flight run is using, and runs on the *same* (workload, semiring)
+ * serialize on a per-state mutex while runs on distinct workloads
+ * proceed in parallel. plans() references follow the documented
+ * eviction lifetime; clearCache() while runs are in flight is safe
+ * (their state stays alive until they finish).
  */
 class CompiledModel
 {
@@ -183,6 +205,17 @@ class CompiledModel
     const std::vector<ir::EinsumRecipe>& recipes() const
     {
         return recipes_;
+    }
+
+    /**
+     * Per-Einsum shard plans, precomputed at compile() from the
+     * recipes: whether (and along which outermost rank) each Einsum's
+     * execution can be split across RunOptions::threads workers, with
+     * the reason when it cannot.
+     */
+    const std::vector<ir::ShardPlan>& shardPlans() const
+    {
+        return shardPlans_;
     }
 
     /**
@@ -221,7 +254,12 @@ class CompiledModel
                                const SimulationResult& result) const;
 
     /** Drop all cached per-workload state (plans, prepared tensors). */
-    void clearCache() { states_.clear(); }
+    void
+    clearCache()
+    {
+        std::lock_guard<std::mutex> lk(*cacheMutex_);
+        states_.clear();
+    }
 
   private:
     friend CompiledModel compile(Specification spec,
@@ -246,22 +284,29 @@ class CompiledModel
         std::vector<ir::EinsumPlan> plans;
         bool prepared = false;       // swizzledInputs materialized
         bool plansComplete = false;
+        /// Serializes runs sharing this state: concurrent run() calls
+        /// on the *same* (workload, semiring) take turns; calls on
+        /// distinct workloads proceed in parallel.
+        std::mutex runMutex;
     };
 
-    WorkloadState& stateFor(const Workload& w,
-                            const exec::Semiring& sr);
+    std::shared_ptr<WorkloadState> stateFor(const Workload& w,
+                                            const exec::Semiring& sr);
     void prepareInputs(WorkloadState& st, const Workload& w);
     ir::TensorRefMap inputRefs(const WorkloadState& st,
                                const Workload& w) const;
     void validateWorkload(const Workload& w) const;
+    void validateOverrides(const RunOptions& opts) const;
     SimulationResult runOn(WorkloadState& st, const Workload& w,
                            const RunOptions& opts);
+    util::ThreadPool* poolFor(unsigned threads);
 
     Specification spec_;
     CompileOptions opts_;
 
     std::vector<std::vector<std::size_t>> blocks_;
     std::vector<ir::EinsumRecipe> recipes_;
+    std::vector<ir::ShardPlan> shardPlans_;
 
     /// Per-Einsum resolved tables (pointers into spec_, stable).
     std::vector<const binding::EinsumBinding*> bindings_;
@@ -272,8 +317,21 @@ class CompiledModel
     /// plans() must execute the cascade once to materialize them.
     bool plansNeedExecution_ = false;
 
-    /// LRU list of per-workload states (front = most recent).
-    std::list<WorkloadState> states_;
+    /// LRU list of per-workload states (front = most recent), held by
+    /// shared_ptr so an eviction racing an in-flight run on another
+    /// host thread can never destroy state under it. cacheMutex_
+    /// guards the list structure only; per-state work is serialized
+    /// by WorkloadState::runMutex. (Concurrent run() calls are
+    /// supported; see the class comment.)
+    std::list<std::shared_ptr<WorkloadState>> states_;
+    std::unique_ptr<std::mutex> cacheMutex_ =
+        std::make_unique<std::mutex>();
+
+    /// Shared worker pool for RunOptions::threads >= 2, created on
+    /// first parallel run.
+    std::shared_ptr<util::ThreadPool> pool_;
+    std::unique_ptr<std::mutex> poolMutex_ =
+        std::make_unique<std::mutex>();
 };
 
 /**

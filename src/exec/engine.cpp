@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "fibertree/transform.hpp"
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 
 namespace teaal::exec
@@ -111,6 +112,34 @@ Engine::Engine(const ir::EinsumPlan& plan, trace::Observer& obs,
                Semiring sr, const ExecOptions& opts)
     : plan_(plan), bus_(obs), sr_(sr), out_("_uninit", {"_"}, {1})
 {
+    buildIndexes(opts);
+}
+
+Engine::Engine(const ir::EinsumPlan& plan, trace::TraceLog& log,
+               Semiring sr, const ExecOptions& opts)
+    : plan_(plan), bus_(log), sr_(sr), out_("_uninit", {"_"}, {1})
+{
+    buildIndexes(opts);
+}
+
+void
+Engine::buildIndexes(const ExecOptions& opts)
+{
+    // A co-iteration override naming a rank this plan does not loop
+    // over would silently do nothing — surface it instead.
+    for (const auto& [rank, strategy] : opts.coiterOverrides) {
+        (void)strategy;
+        const bool known = std::any_of(
+            plan_.loops.begin(), plan_.loops.end(),
+            [&rank](const ir::LoopRank& lr) { return lr.name == rank; });
+        if (!known) {
+            diagError("exec", rank,
+                      "co-iteration override names rank '", rank,
+                      "', which is not a loop rank of Einsum '",
+                      plan_.output.name, "'");
+        }
+    }
+
     const std::size_t nloops = plan_.loops.size();
     coiter_.reserve(nloops);
     for (const ir::LoopRank& lr : plan_.loops) {
@@ -232,6 +261,72 @@ Engine::evalExpr(const ir::LevelAction& a,
     return value;
 }
 
+void
+Engine::beginRun(bool announce_swizzles)
+{
+    // Fresh output tensor in production order.
+    scalarOutput_ = plan_.output.productionOrder.empty();
+    if (scalarOutput_) {
+        out_ = ft::Tensor(plan_.output.name, {"_S"}, {1});
+    } else {
+        out_ = ft::Tensor(plan_.output.name, plan_.output.productionOrder,
+                          plan_.output.shapes);
+    }
+    outCoord_.assign(out_.numRanks(), 0);
+    outMaterialized_.assign(out_.numRanks(), -1);
+    outPathValid_ = false;
+    leafFiber_ = nullptr;
+
+    // Fresh tensor cursors.
+    states_.clear();
+    for (const ir::TensorPlan& tp : plan_.inputs) {
+        TensorState st;
+        const std::size_t nr = tp.prepared.numRanks();
+        st.view.assign(nr, ft::FiberView{});
+        st.pending.assign(nr, {kNoRange, kNoRange});
+        st.view[0] = ft::FiberView::whole(tp.prepared.root().get());
+        st.validDepth = 1;
+        states_.push_back(std::move(st));
+        if (tp.swizzled && announce_swizzles) {
+            bus_.swizzle(tp.name, tp.swizzleElements, tp.swizzleWays,
+                         tp.swizzleOnline);
+        }
+    }
+
+    scratch_.assign(plan_.loops.size(), Scratch{});
+}
+
+void
+Engine::emitSwizzleAnnouncements()
+{
+    for (const ir::TensorPlan& tp : plan_.inputs) {
+        if (tp.swizzled) {
+            bus_.swizzle(tp.name, tp.swizzleElements, tp.swizzleWays,
+                         tp.swizzleOnline);
+        }
+    }
+}
+
+ft::Tensor
+Engine::finishOutput(ft::Tensor produced)
+{
+    if (!plan_.output.productionOrder.empty() &&
+        plan_.output.needsReorder) {
+        const std::size_t ways =
+            estimateMergeWays(produced, plan_.output.declaredOrder);
+        bus_.swizzle(plan_.output.name, produced.nnz(), ways, true);
+        produced = ft::swizzle(produced, plan_.output.declaredOrder);
+    }
+    bus_.flush();
+    return produced;
+}
+
+void
+Engine::replayTrace(const trace::TraceLog& log)
+{
+    bus_.replay(log);
+}
+
 ft::Tensor
 Engine::run()
 {
@@ -246,46 +341,11 @@ Engine::run()
         return out;
     }
 
-    // Fresh output tensor in production order.
-    scalarOutput_ = plan_.output.productionOrder.empty();
-    if (scalarOutput_) {
-        out_ = ft::Tensor(plan_.output.name, {"_S"}, {1});
-    } else {
-        out_ = ft::Tensor(plan_.output.name, plan_.output.productionOrder,
-                          plan_.output.shapes);
-    }
-    outCoord_.assign(out_.numRanks(), 0);
-    outMaterialized_.assign(out_.numRanks(), -1);
-    outPathValid_ = false;
-
-    // Fresh tensor cursors.
-    states_.clear();
-    for (const ir::TensorPlan& tp : plan_.inputs) {
-        TensorState st;
-        const std::size_t nr = tp.prepared.numRanks();
-        st.view.assign(nr, ft::FiberView{});
-        st.pending.assign(nr, {kNoRange, kNoRange});
-        st.view[0] = ft::FiberView::whole(tp.prepared.root().get());
-        st.validDepth = 1;
-        states_.push_back(std::move(st));
-        if (tp.swizzled) {
-            bus_.swizzle(tp.name, tp.swizzleElements, tp.swizzleWays,
-                         tp.swizzleOnline);
-        }
-    }
-
-    scratch_.assign(plan_.loops.size(), Scratch{});
+    beginRun(/*announce_swizzles=*/true);
 
     runLoop(0, 0);
 
-    if (!scalarOutput_ && plan_.output.needsReorder) {
-        const std::size_t ways =
-            estimateMergeWays(out_, plan_.output.declaredOrder);
-        bus_.swizzle(plan_.output.name, out_.nnz(), ways, true);
-        out_ = ft::swizzle(out_, plan_.output.declaredOrder);
-    }
-    bus_.flush();
-    return std::move(out_);
+    return finishOutput(std::move(out_));
 }
 
 void
@@ -410,8 +470,9 @@ Engine::rangeEnd(const ir::LoopRank& lr, ft::Coord c,
     return end;
 }
 
-void
-Engine::denseDrive(std::size_t loop, std::uint64_t pe)
+template <typename Sink>
+WalkCounts
+Engine::denseCore(std::size_t loop, Sink&& sink)
 {
     const ir::LoopRank& lr = plan_.loops[loop];
     TEAAL_ASSERT(lr.denseExtent > 0, "rank '", lr.name,
@@ -419,17 +480,32 @@ Engine::denseDrive(std::size_t loop, std::uint64_t pe)
     const ft::Coord limit = lr.probeOnly ? 1 : lr.denseExtent;
     std::size_t processed = 0;
     for (ft::Coord c = 0; c < limit; ++c) {
-        atCoordinate(loop, c, kNoRange, {}, {},
-                     nextPe(lr, c, processed, pe));
+        sink(c, kNoRange, processed);
         ++processed;
     }
-    bus_.coIterate(loop, static_cast<std::size_t>(limit), processed, 0,
-                   pe);
-    bus_.walkEnd();
+    WalkCounts wc;
+    wc.steps = static_cast<std::size_t>(limit);
+    wc.matches = processed;
+    return wc;
 }
 
 void
-Engine::walk(std::size_t loop, std::uint64_t pe)
+Engine::denseDrive(std::size_t loop, std::uint64_t pe)
+{
+    const ir::LoopRank& lr = plan_.loops[loop];
+    const WalkCounts wc = denseCore(
+        loop, [&](ft::Coord c, ft::Coord range_end, std::size_t ordinal) {
+            atCoordinate(loop, c, range_end, {}, {},
+                         nextPe(lr, c, ordinal, pe));
+            return true;
+        });
+    bus_.coIterate(loop, wc.steps, wc.matches, 0, pe);
+    bus_.walkEnd();
+}
+
+template <typename Sink>
+WalkCounts
+Engine::walkCore(std::size_t loop, Sink&& sink)
 {
     const ir::LoopRank& lr = plan_.loops[loop];
     const auto& drivers = driversAt_[loop];
@@ -469,10 +545,9 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
     // describe the drivers at coordinate c.
     auto body = [&](ft::Coord c) {
         const ft::Coord range_end = rangeEnd(lr, c, views, pos, present);
-        atCoordinate(loop, c, range_end, pos, present,
-                     nextPe(lr, c, produced, pe));
+        const bool keep_going = sink(c, range_end, produced);
         ++produced;
-        return !lr.probeOnly;
+        return keep_going;
     };
 
     WalkCounts wc;
@@ -514,10 +589,9 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
                                    : std::numeric_limits<
                                          ft::Coord>::max());
                 }
-                atCoordinate(loop, c, range_end, pos, present,
-                             nextPe(lr, c, produced, pe));
+                const bool keep_going = sink(c, range_end, produced);
                 ++produced;
-                return !lr.probeOnly;
+                return keep_going;
             });
     } else if (force_dense) {
         // Dense coordinate drive over co-iterated fibers: probe every
@@ -533,13 +607,97 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
         present.assign(nd, true);
         wc = intersectTwoFinger(views, pos, scans, body);
     }
+    return wc;
+}
 
-    bus_.coIterate(loop, wc.steps, wc.matches, nd, pe);
-    for (std::size_t d = 0; d < nd; ++d) {
+void
+Engine::walk(std::size_t loop, std::uint64_t pe)
+{
+    const ir::LoopRank& lr = plan_.loops[loop];
+    Scratch& scratch = scratch_[loop];
+    const WalkCounts wc = walkCore(
+        loop, [&](ft::Coord c, ft::Coord range_end, std::size_t ordinal) {
+            atCoordinate(loop, c, range_end, scratch.pos,
+                         scratch.present, nextPe(lr, c, ordinal, pe));
+            return !lr.probeOnly;
+        });
+    const auto& drivers = driversAt_[loop];
+    bus_.coIterate(loop, wc.steps, wc.matches, drivers.size(), pe);
+    for (std::size_t d = 0; d < drivers.size(); ++d) {
         bus_.coordScan(drivers[d].input,
                        static_cast<std::size_t>(
                            drivers[d].action->level),
-                       scans[d], pe);
+                       scratch.scans[d], pe);
+    }
+    bus_.walkEnd();
+}
+
+void
+Engine::enumerateTop(TopWalk& tw)
+{
+    TEAAL_ASSERT(!plan_.loops.empty(), "enumerateTop on an empty nest");
+    TEAAL_ASSERT(preLookupsAt_[0].empty() && lookupsAt_[0].empty(),
+                 "enumerateTop: loop 0 carries lookup actions");
+    const ir::LoopRank& lr = plan_.loops[0];
+    const std::size_t nd = driversAt_[0].size();
+    tw.drivers = nd;
+    Scratch& scratch = scratch_[0];
+    auto record = [&](ft::Coord c, ft::Coord range_end,
+                      std::size_t ordinal) {
+        tw.entries.push_back({c, range_end, nextPe(lr, c, ordinal, 0)});
+        for (std::size_t d = 0; d < nd; ++d) {
+            tw.pos.push_back(scratch.pos[d]);
+            tw.present.push_back(scratch.present[d] ? 1 : 0);
+        }
+        return !lr.probeOnly;
+    };
+    const WalkCounts wc =
+        nd == 0 ? denseCore(0, record) : walkCore(0, record);
+    tw.steps = wc.steps;
+    tw.matches = wc.matches;
+    tw.scans.assign(nd, 0);
+    for (std::size_t d = 0; d < nd; ++d)
+        tw.scans[d] = scratch.scans[d];
+}
+
+ft::Tensor
+Engine::runShard(const TopWalk& tw, std::size_t lo, std::size_t hi)
+{
+    beginRun(/*announce_swizzles=*/false);
+    runShardContinue(tw, lo, hi);
+    bus_.flush();
+    return std::move(out_);
+}
+
+void
+Engine::runShardContinue(const TopWalk& tw, std::size_t lo,
+                         std::size_t hi)
+{
+    const std::size_t nd = tw.drivers;
+    std::vector<std::size_t> pos(nd, 0);
+    std::vector<bool> present(nd, false);
+    for (std::size_t i = lo; i < hi; ++i) {
+        const TopWalk::Entry& e = tw.entries[i];
+        for (std::size_t d = 0; d < nd; ++d) {
+            pos[d] = tw.pos[i * nd + d];
+            present[d] = tw.present[i * nd + d] != 0;
+        }
+        atCoordinate(0, e.c, e.rangeEnd, pos, present, e.pe);
+    }
+}
+
+void
+Engine::emitTopSummary(const TopWalk& tw)
+{
+    bus_.coIterate(0, tw.steps, tw.matches, tw.drivers, 0);
+    const auto& drivers = driversAt_[0];
+    TEAAL_ASSERT(drivers.size() == tw.drivers,
+                 "top-walk driver count mismatch");
+    for (std::size_t d = 0; d < tw.drivers; ++d) {
+        bus_.coordScan(drivers[d].input,
+                       static_cast<std::size_t>(
+                           drivers[d].action->level),
+                       tw.scans[d], 0);
     }
     bus_.walkEnd();
 }
@@ -769,7 +927,9 @@ Engine::materializeOutputPath(std::uint64_t pe)
         bool inserted = false;
         const std::size_t pos = fiber->getOrInsertPos(c, inserted);
         ft::Payload& p = fiber->payloadAt(pos);
-        if (inserted) {
+        if (inserted &&
+            (insertFilter_ == nullptr ||
+             insertFilter_->insert(hash).second)) {
             bus_.outputWrite(plan_.output.name, level, c, hash, true,
                              false, pe);
         }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/coiter_strategy.hpp"
@@ -25,6 +26,11 @@
 #include "ir/plan.hpp"
 #include "trace/batch.hpp"
 #include "trace/observer.hpp"
+
+namespace teaal::util
+{
+class ThreadPool;
+} // namespace teaal::util
 
 namespace teaal::exec
 {
@@ -38,11 +44,61 @@ struct ExecOptions
     /**
      * Override the planned co-iteration strategy of specific loop
      * ranks, keyed by rank name (the intersection-ablation knob).
-     * Unknown rank names are ignored; an override that does not apply
-     * to a loop's driver shape (e.g. Gallop on a 3-driver union) falls
-     * back to the two-finger walk, like a plan-time choice would.
+     * A rank name missing from the plan raises teaal::DiagnosticError
+     * (section "exec") naming the unknown rank; an override that does
+     * not apply to a loop's driver shape (e.g. Gallop on a 3-driver
+     * union) falls back to the two-finger walk, like a plan-time
+     * choice would.
      */
     std::map<std::string, ir::CoiterStrategy> coiterOverrides;
+
+    /**
+     * Worker threads for sharded execution (exec::Executor): 1 runs
+     * the classic serial path, 0 means one per hardware thread, and
+     * N >= 2 shards the outermost loop rank across N workers when the
+     * plan is shardable (ir::analyzeSharding) — results and delivered
+     * trace batches are byte-identical at every thread count.
+     */
+    unsigned threads = 1;
+
+    /**
+     * Worker pool to draw shard workers from (borrowed; must outlive
+     * the run). Null makes the executor spawn ad-hoc threads instead
+     * — same semantics, slightly higher per-run cost.
+     */
+    util::ThreadPool* pool = nullptr;
+};
+
+/**
+ * The recorded outermost-loop walk of a shardable plan: one entry per
+ * top-level coordinate, carrying everything `atCoordinate` needs to
+ * process it on any engine clone (driver positions/presence, the
+ * bound coordinate range, the PE id with its serial walk ordinal
+ * already folded in). The walk-summary counters reproduce the trace
+ * events the serial walk would emit after its merge loop.
+ */
+struct TopWalk
+{
+    struct Entry
+    {
+        ft::Coord c = 0;
+        ft::Coord rangeEnd = 0;
+        std::uint64_t pe = 0;
+    };
+
+    std::vector<Entry> entries;
+
+    /// Per-entry driver cursors/presence, entries.size() x drivers
+    /// (row-major; empty for driverless dense drives).
+    std::vector<std::size_t> pos;
+    std::vector<char> present;
+
+    std::size_t drivers = 0;
+
+    // Top-walk summary (the serial walk's end-of-merge trace events).
+    std::size_t steps = 0;
+    std::size_t matches = 0;
+    std::vector<std::size_t> scans;
 };
 
 /** Operator redefinition for Einsum evaluation. */
@@ -90,6 +146,17 @@ struct ExecutionStats
                leafVisits == o.leafVisits &&
                outputWrites == o.outputWrites;
     }
+
+    /** Accumulate (per-shard stats sum to the serial run's). */
+    ExecutionStats&
+    operator+=(const ExecutionStats& o)
+    {
+        computeMuls += o.computeMuls;
+        computeAdds += o.computeAdds;
+        leafVisits += o.leafVisits;
+        outputWrites += o.outputWrites;
+        return *this;
+    }
 };
 
 /** Interprets one EinsumPlan (the core behind exec::Executor). */
@@ -104,6 +171,15 @@ class Engine
            const ExecOptions& opts = {});
 
     /**
+     * Capture-mode engine: trace events are recorded into @p log
+     * (with walk boundaries) instead of being delivered — the
+     * per-shard configuration of parallel execution. @p log must
+     * outlive the engine.
+     */
+    Engine(const ir::EinsumPlan& plan, trace::TraceLog& log, Semiring sr,
+           const ExecOptions& opts = {});
+
+    /**
      * Run the loop nest. Returns the output tensor in its declared
      * storage rank order (reordered from production order when the
      * mapping requires it, with the swizzle reported to the observer).
@@ -115,6 +191,87 @@ class Engine
 
     /** The trace bus (for batching diagnostics: event/batch counts). */
     const trace::BatchBus& bus() const { return bus_; }
+
+    // ----------------------------------------------- sharded execution
+    // The pieces exec::Executor composes for the parallel path. Only
+    // meaningful on plans ir::analyzeSharding accepts; the serial
+    // run() is self-contained and does not use them.
+
+    /**
+     * Initialize per-run state (fresh output tensor, tensor cursors,
+     * scratch). run() does this implicitly; the parallel path calls it
+     * before enumerateTop()/runShard(). When @p announce_swizzles is
+     * false the per-input swizzle events are suppressed (the
+     * coordinator emits them once via emitSwizzleAnnouncements so the
+     * merged stream carries them exactly once, up front, like a serial
+     * run).
+     */
+    void beginRun(bool announce_swizzles);
+
+    /**
+     * Walk the outermost loop rank only — no descent, no trace
+     * emission — recording every match into @p tw. Requires
+     * beginRun() and a plan with no lookup actions at loop 0.
+     */
+    void enumerateTop(TopWalk& tw);
+
+    /**
+     * Execute entries [lo, hi) of a recorded top walk: the shard body.
+     * Initializes this engine's run state, processes each entry
+     * through the full loop nest, and returns the partial output in
+     * *production* order (the coordinator merges partials and applies
+     * the declared-order reorder once).
+     */
+    ft::Tensor runShard(const TopWalk& tw, std::size_t lo, std::size_t hi);
+
+    /**
+     * Execute entries [lo, hi) *continuing* the current run state: the
+     * coordinator's live-execution path. Unlike runShard this neither
+     * resets the output (live shards accumulate into one partial,
+     * retrieved once via takeOutput) nor flushes the bus — events
+     * interleave with replayed captures on the delivery bus exactly
+     * where a serial run would put them.
+     */
+    void runShardContinue(const TopWalk& tw, std::size_t lo,
+                          std::size_t hi);
+
+    /**
+     * Shared output-node insert dedup (parallel path). Every shard
+     * materializes output paths lazily from scratch, so an output
+     * node shared between shards (sharded rank deeper than the
+     * output's top rank) would announce its creation once per shard;
+     * the serial engine announces it exactly once. With a filter set,
+     * a non-leaf insert event is emitted only when its path key enters
+     * the set for the first time — the coordinator shares one set
+     * between live execution and capture replay (single-threaded, in
+     * stream order).
+     */
+    void
+    setInsertFilter(std::unordered_set<std::uint64_t>* filter)
+    {
+        insertFilter_ = filter;
+    }
+
+    /** Emit the per-input swizzle announcements a serial run makes. */
+    void emitSwizzleAnnouncements();
+
+    /** Emit the top walk's end-of-merge events (coIterate, per-driver
+     *  coordScans, walkEnd), exactly as the serial walk would. */
+    void emitTopSummary(const TopWalk& tw);
+
+    /**
+     * Apply the declared-order reorder to the merged production-order
+     * output (announcing the online swizzle) and flush the bus: the
+     * tail of a serial run(), applied once to the merged result.
+     */
+    ft::Tensor finishOutput(ft::Tensor produced);
+
+    /** Re-emit a shard's captured trace through this engine's bus. */
+    void replayTrace(const trace::TraceLog& log);
+
+    /** Move the (fresh, empty) output tensor out of a begun run — the
+     *  zero-top-matches degenerate of the parallel path. */
+    ft::Tensor takeOutput() { return std::move(out_); }
 
   private:
     struct TensorState
@@ -168,9 +325,29 @@ class Engine
         std::vector<int> savedSlots;
     };
 
+    /** Shared constructor body (action indexing, variable interning,
+     *  override validation). */
+    void buildIndexes(const ExecOptions& opts);
+
     void runLoop(std::size_t loop, std::uint64_t pe);
     void walk(std::size_t loop, std::uint64_t pe);
     void denseDrive(std::size_t loop, std::uint64_t pe);
+
+    /**
+     * The strategy-dispatched merge loop of walk(), with the
+     * per-coordinate action abstracted: @p sink is invoked as
+     * sink(c, range_end, ordinal) with scratch_[loop].pos/present
+     * describing the drivers at the match, returning false to stop.
+     * Emits no trace events; per-driver scans land in
+     * scratch_[loop].scans. Serial walks and top-walk enumeration
+     * share this body so they cannot diverge.
+     */
+    template <typename Sink>
+    WalkCounts walkCore(std::size_t loop, Sink&& sink);
+
+    /** Driverless counterpart of walkCore (dense coordinate drive). */
+    template <typename Sink>
+    WalkCounts denseCore(std::size_t loop, Sink&& sink);
 
     /** PE id for coordinate @p c at walk position @p ordinal. */
     std::uint64_t nextPe(const ir::LoopRank& lr, ft::Coord c,
@@ -241,6 +418,9 @@ class Engine
     std::vector<ft::Coord> outCoord_;
     std::vector<ft::Coord> outMaterialized_;
     bool outPathValid_ = false;
+    /// Parallel-path insert dedup (null for serial runs).
+    std::unordered_set<std::uint64_t>* insertFilter_ = nullptr;
+
     ft::Fiber* leafFiber_ = nullptr;
     std::size_t leafPos_ = 0;
     bool leafFresh_ = false;

@@ -1,18 +1,310 @@
 #include "exec/executor.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
 namespace teaal::exec
 {
 
+namespace
+{
+
+/**
+ * Shard-count cap. The plan's top walk is split into
+ * min(matches, kMaxShards) contiguous slices — a pure function of the
+ * plan and data, never of the thread count, so traces and results are
+ * identical for every N. 64 slices keep dynamic scheduling balanced
+ * on any realistic worker count while the per-shard engine setup
+ * stays negligible.
+ */
+constexpr std::size_t kMaxShards = 64;
+
+/**
+ * Drop non-leaf output-insert events whose path key an earlier shard
+ * already inserted. Output paths materialize lazily *per shard*, so a
+ * shared ancestor node (e.g. the root row of an output both shards
+ * write under, when the sharded rank is not the output's top rank) is
+ * created once per shard — but the serial engine creates it exactly
+ * once, at the stream position where the first shard's copy lands.
+ * Filtering duplicates during the in-order replay therefore restores
+ * the serial event sequence exactly; walk boundaries are re-indexed
+ * onto the surviving events.
+ *
+ * NOTE: this traversal mirrors BatchBus::replay's chunk/walkEnds
+ * bookkeeping (trace/batch.cpp) — change them together. The
+ * thread-equivalence tests (tests/test_parallel.cpp) compare replayed
+ * streams *including batch boundaries* against the serial path and
+ * will catch any divergence.
+ */
+void
+dropDuplicateInserts(trace::TraceLog& log,
+                     std::unordered_set<std::uint64_t>& inserted)
+{
+    std::size_t dropped = 0;
+    std::size_t we = 0;
+    std::size_t base = 0; // global *input* index of the chunk start
+    for (std::vector<trace::Event>& chunk : log.chunks) {
+        const std::size_t in_size = chunk.size();
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < in_size; ++i) {
+            while (we < log.walkEnds.size() &&
+                   log.walkEnds[we] == base + i) {
+                log.walkEnds[we] -= dropped;
+                ++we;
+            }
+            const trace::Event& e = chunk[i];
+            if (e.kind == trace::Event::Kind::OutputWrite && e.flagA &&
+                !e.flagB && !inserted.insert(e.key).second) {
+                ++dropped;
+                continue;
+            }
+            if (out != i)
+                chunk[out] = e;
+            ++out;
+        }
+        chunk.resize(out);
+        base += in_size;
+    }
+    while (we < log.walkEnds.size()) {
+        log.walkEnds[we] -= dropped;
+        ++we;
+    }
+}
+
+} // namespace
+
 Executor::Executor(const ir::EinsumPlan& plan, trace::Observer& obs,
                    Semiring sr, const ExecOptions& opts)
-    : engine_(plan, obs, sr, opts)
+    : plan_(plan), sr_(sr), opts_(opts), engine_(plan, obs, sr, opts)
 {
 }
 
 ft::Tensor
 Executor::run()
 {
-    return engine_.run();
+    unsigned threads = opts_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads > 1 && plan_.shard.shardable)
+        return runSharded(threads);
+    ft::Tensor out = engine_.run();
+    stats_ = engine_.stats();
+    return out;
+}
+
+ft::Tensor
+Executor::runSharded(unsigned threads)
+{
+    // Serial enumeration of the outermost walk fixes every shard's
+    // coordinates, driver cursors, and PE ids up front (the walk
+    // summary events are replayed after the shards, where the serial
+    // merge loop would emit them).
+    engine_.beginRun(/*announce_swizzles=*/false);
+    TopWalk tw;
+    engine_.enumerateTop(tw);
+
+    const std::size_t n = tw.entries.size();
+    if (n == 0) {
+        engine_.emitSwizzleAnnouncements();
+        engine_.emitTopSummary(tw);
+        stats_ = ExecutionStats{};
+        return engine_.finishOutput(engine_.takeOutput());
+    }
+
+    const std::size_t shards = std::min(n, kMaxShards);
+    std::vector<std::size_t> bounds(shards + 1);
+    for (std::size_t s = 0; s <= shards; ++s)
+        bounds[s] = s * n / shards;
+
+    // Hybrid scheme: workers race ahead claiming shards and executing
+    // them into trace captures; the coordinator walks the shards
+    // strictly in index order, *live-executing* (straight onto the
+    // delivery bus — no capture, no replay) every shard no worker got
+    // to first, and replaying worker captures otherwise. When workers
+    // are starved (few cores) the coordinator degenerates to a nearly
+    // zero-overhead serial run; when they keep up, replay overlaps
+    // their execution.
+    enum : int
+    {
+        kUnclaimed = 0,
+        kWorker = 1,
+        kCoordinator = 2
+    };
+    struct ShardResult
+    {
+        std::atomic<int> claim{kUnclaimed};
+        trace::TraceLog log;
+        ft::Tensor out;
+        ExecutionStats stats;
+        bool done = false;
+    };
+    trace::ChunkPool chunk_pool; // outlives the shard results below
+    std::vector<ShardResult> results(shards);
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    for (ShardResult& r : results)
+        r.log.pool = &chunk_pool;
+
+    // Next shard the coordinator will finalize. Workers only claim
+    // within a window ahead of it, bounding how much captured (not
+    // yet replayed) trace can pile up in memory.
+    std::atomic<std::size_t> coord_pos{0};
+    const std::size_t window =
+        std::max<std::size_t>(8, 4 * static_cast<std::size_t>(threads));
+
+    // First exception from any thread: workers and the coordinator
+    // stop promptly, everyone is joined, then it is rethrown to the
+    // caller — run(threads=N) surfaces errors exactly like the serial
+    // path instead of aborting the process.
+    std::atomic<bool> abort{false};
+    std::exception_ptr first_error;
+    auto record_error = [&]() {
+        {
+            std::lock_guard<std::mutex> lk(mutex);
+            if (first_error == nullptr)
+                first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+        done_cv.notify_all();
+    };
+
+    auto drainShards = [&](unsigned) {
+        for (;;) {
+            if (abort.load(std::memory_order_acquire))
+                return;
+            const std::size_t base =
+                coord_pos.load(std::memory_order_acquire);
+            if (base >= shards)
+                return;
+            bool claimed = false;
+            const std::size_t limit =
+                std::min(shards, base + window);
+            for (std::size_t s = base; s < limit; ++s) {
+                ShardResult& r = results[s];
+                int expected = kUnclaimed;
+                if (!r.claim.compare_exchange_strong(
+                        expected, kWorker, std::memory_order_acq_rel))
+                    continue;
+                try {
+                    Engine shard(plan_, r.log, sr_, opts_);
+                    r.out =
+                        shard.runShard(tw, bounds[s], bounds[s + 1]);
+                    r.stats = shard.stats();
+                } catch (...) {
+                    record_error();
+                }
+                {
+                    std::lock_guard<std::mutex> lk(mutex);
+                    r.done = true;
+                }
+                done_cv.notify_all();
+                claimed = true;
+                break;
+            }
+            if (!claimed) {
+                // Window exhausted: wait for coordinator progress.
+                std::unique_lock<std::mutex> lk(mutex);
+                done_cv.wait_for(
+                    lk, std::chrono::milliseconds(1), [&] {
+                        return coord_pos.load(
+                                   std::memory_order_acquire) !=
+                                   base ||
+                               abort.load(std::memory_order_acquire);
+                    });
+            }
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads - 1, shards));
+    util::ThreadPool::Ticket ticket;
+    std::vector<std::thread> adhoc;
+    if (opts_.pool != nullptr) {
+        ticket = opts_.pool->launch(workers, drainShards);
+    } else {
+        adhoc.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            adhoc.emplace_back(drainShards, w);
+    }
+
+    engine_.emitSwizzleAnnouncements();
+    std::unordered_set<std::uint64_t> inserted_keys;
+    engine_.setInsertFilter(&inserted_keys);
+    ft::Tensor merged;
+    bool first = true;
+    ExecutionStats agg;
+    auto absorb = [&](ft::Tensor&& part) {
+        if (first) {
+            merged = std::move(part);
+            first = false;
+            return;
+        }
+        TEAAL_ASSERT(merged.root() != nullptr && part.root() != nullptr,
+                     "shard output missing a root fiber");
+        merged.root()->absorbDisjoint(std::move(*part.root()));
+    };
+    try {
+        for (std::size_t s = 0; s < shards; ++s) {
+            if (abort.load(std::memory_order_acquire))
+                break;
+            ShardResult& r = results[s];
+            int expected = kUnclaimed;
+            if (r.claim.compare_exchange_strong(
+                    expected, kCoordinator,
+                    std::memory_order_acq_rel)) {
+                engine_.runShardContinue(tw, bounds[s], bounds[s + 1]);
+            } else {
+                {
+                    std::unique_lock<std::mutex> lk(mutex);
+                    done_cv.wait(lk, [&r] { return r.done; });
+                }
+                if (abort.load(std::memory_order_acquire))
+                    break;
+                dropDuplicateInserts(r.log, inserted_keys);
+                engine_.replayTrace(r.log);
+                r.log.clear();
+                agg += r.stats;
+                absorb(std::move(r.out));
+                r.out = ft::Tensor();
+            }
+            coord_pos.store(s + 1, std::memory_order_release);
+            done_cv.notify_all();
+        }
+    } catch (...) {
+        record_error();
+    }
+
+    // Always drain the workers before unwinding: they reference this
+    // frame's state (tw, results, mutex).
+    coord_pos.store(shards, std::memory_order_release);
+    done_cv.notify_all();
+    if (opts_.pool != nullptr) {
+        ticket.wait();
+    } else {
+        for (std::thread& t : adhoc)
+            t.join();
+    }
+    engine_.setInsertFilter(nullptr);
+    if (first_error != nullptr)
+        std::rethrow_exception(first_error);
+
+    // The coordinator's live shards accumulated into the engine's own
+    // output partial and stats.
+    agg += engine_.stats();
+    absorb(engine_.takeOutput());
+
+    engine_.emitTopSummary(tw);
+    stats_ = agg;
+    return engine_.finishOutput(std::move(merged));
 }
 
 } // namespace teaal::exec

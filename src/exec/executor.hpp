@@ -12,6 +12,19 @@
  *                            (two-finger, gallop, dense-drive),
  *   trace/batch.hpp          the batched trace bus feeding observers.
  *
+ * With `ExecOptions::threads >= 2` and a shardable plan
+ * (ir::analyzeSharding: a space rank exists and the outermost loop
+ * rank restricts only output variables), the executor shards the
+ * outermost rank's coordinate range across a worker pool: a serial
+ * enumeration of the top walk fixes every shard's coordinates, driver
+ * cursors, and PE ids; engine clones execute shards against the
+ * shared inputs with capture-mode trace buses; the coordinator
+ * replays captures in canonical shard order (reproducing the serial
+ * engine's event sequence *and* batch boundaries byte-for-byte) and
+ * merges the partial outputs with Fiber::absorbDisjoint. The shard
+ * count depends only on the plan and data — never on the thread
+ * count — so results and traces are identical for every N.
+ *
  * The (x, +) operators are semiring-parameterized so vertex-centric
  * graph algorithms can redefine them (paper Figure 12: SSSP uses
  * addition and minimum).
@@ -30,8 +43,8 @@ class Executor
     /**
      * @param plan Built by ir::buildPlan; must outlive the executor.
      * @param obs  Trace sink; must outlive the executor.
-     * @param opts Per-run knobs (co-iteration overrides) applied
-     *             without mutating the shared plan.
+     * @param opts Per-run knobs (co-iteration overrides, worker
+     *             threads) applied without mutating the shared plan.
      */
     Executor(const ir::EinsumPlan& plan, trace::Observer& obs,
              Semiring sr = Semiring::arithmetic(),
@@ -44,13 +57,21 @@ class Executor
      */
     ft::Tensor run();
 
-    const ExecutionStats& stats() const { return engine_.stats(); }
+    const ExecutionStats& stats() const { return stats_; }
 
-    /** Trace-bus diagnostics (events coalesced, batches delivered). */
+    /** Trace-bus diagnostics (events coalesced, batches delivered).
+     *  Counts replayed shard events too, so totals match the serial
+     *  path at any thread count. */
     const trace::BatchBus& bus() const { return engine_.bus(); }
 
   private:
+    ft::Tensor runSharded(unsigned threads);
+
+    const ir::EinsumPlan& plan_;
+    Semiring sr_;
+    ExecOptions opts_;
     Engine engine_;
+    ExecutionStats stats_;
 };
 
 } // namespace teaal::exec

@@ -77,6 +77,70 @@ Fiber::reserve(std::size_t n)
     payloads_.reserve(n);
 }
 
+void
+Fiber::absorbDisjoint(Fiber&& other)
+{
+    if (other.empty())
+        return;
+    shape_ = std::max(shape_, other.shape_);
+    // Fast path: strictly past our last coordinate — bulk move append.
+    if (coords_.empty() || other.coords_.front() > coords_.back()) {
+        reserve(coords_.size() + other.coords_.size());
+        coords_.insert(coords_.end(), other.coords_.begin(),
+                       other.coords_.end());
+        payloads_.insert(payloads_.end(),
+                         std::make_move_iterator(other.payloads_.begin()),
+                         std::make_move_iterator(other.payloads_.end()));
+        other.coords_.clear();
+        other.payloads_.clear();
+        return;
+    }
+    // Interleaved: sorted union merge, recursing into colliding
+    // subfibers. Scalar collisions are producer bugs, not data.
+    std::vector<Coord> coords;
+    std::vector<Payload> payloads;
+    coords.reserve(coords_.size() + other.coords_.size());
+    payloads.reserve(coords.capacity());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < coords_.size() || b < other.coords_.size()) {
+        const bool take_a =
+            b >= other.coords_.size() ||
+            (a < coords_.size() && coords_[a] < other.coords_[b]);
+        const bool take_b =
+            a >= coords_.size() ||
+            (b < other.coords_.size() && other.coords_[b] < coords_[a]);
+        if (take_a) {
+            coords.push_back(coords_[a]);
+            payloads.push_back(std::move(payloads_[a]));
+            ++a;
+        } else if (take_b) {
+            coords.push_back(other.coords_[b]);
+            payloads.push_back(std::move(other.payloads_[b]));
+            ++b;
+        } else {
+            // Collision: merge subfibers, reject scalar overlap.
+            Payload& pa = payloads_[a];
+            Payload& pb = other.payloads_[b];
+            if (!pa.isFiber() || !pb.isFiber() || pa.fiber() == nullptr ||
+                pb.fiber() == nullptr) {
+                modelError("absorbDisjoint: leaf collision at coordinate ",
+                           coords_[a],
+                           " (two shards produced the same output point)");
+            }
+            pa.fiber()->absorbDisjoint(std::move(*pb.fiber()));
+            coords.push_back(coords_[a]);
+            payloads.push_back(std::move(pa));
+            ++a;
+            ++b;
+        }
+    }
+    coords_ = std::move(coords);
+    payloads_ = std::move(payloads);
+    other.coords_.clear();
+    other.payloads_.clear();
+}
+
 std::size_t
 Fiber::leafCount() const
 {

@@ -74,6 +74,18 @@ class Fiber
     /** Pre-size both the coordinate and payload arrays. */
     void reserve(std::size_t n);
 
+    /**
+     * Merge @p other into this fiber, consuming it. The two fibers
+     * must cover *disjoint* leaf paths: colliding coordinates whose
+     * payloads are subfibers merge recursively; colliding scalar
+     * leaves are a hard error (they would mean two producers wrote
+     * the same output point — the parallel shard merge must never
+     * see that). When @p other's coordinates all lie past this
+     * fiber's last coordinate the merge is a bulk reserve + move
+     * append (the common case for contiguous shard outputs).
+     */
+    void absorbDisjoint(Fiber&& other);
+
     /** Number of scalar leaves in the subtree rooted at this fiber. */
     std::size_t leafCount() const;
 

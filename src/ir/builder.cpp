@@ -370,6 +370,7 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
         tp.prepared = prep.take(share_unprepared);
         plan.inputs.push_back(std::move(tp));
         plan.output.name = expr.output.name;
+        plan.shard = analyzeSharding(plan);
         return plan;
     }
 
@@ -918,7 +919,125 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
     out.declaredOrder = recipe.outputDeclaredOrder;
     out.needsReorder = out.productionOrder != out.declaredOrder;
 
+    plan.shard = analyzeSharding(plan);
     return plan;
+}
+
+namespace
+{
+
+/** Shared core of the two analyzeSharding overloads. */
+ShardPlan
+shardPlanFrom(const einsum::Expression& expr, bool whole_tensor_copy,
+              const std::string& top_rank,
+              const std::vector<std::string>& restricted_vars,
+              const std::string& space_rank, bool top_has_lookup)
+{
+    ShardPlan sp;
+    sp.rank = top_rank;
+    sp.spaceRank = space_rank;
+    auto reject = [&sp](std::string why) {
+        sp.shardable = false;
+        sp.reason = std::move(why);
+        return sp;
+    };
+    if (whole_tensor_copy)
+        return reject("whole-tensor copy bypasses the loop nest");
+    if (top_rank.empty())
+        return reject("no loop ranks");
+    if (space_rank.empty())
+        return reject("no space rank: the mapping declares no spatial "
+                      "parallelism");
+    const std::vector<std::string> out_vars = expr.outputVars();
+    if (out_vars.empty())
+        return reject("scalar output");
+    if (restricted_vars.empty())
+        return reject("rank '" + top_rank + "' binds no index variable");
+    for (const std::string& v : restricted_vars) {
+        if (std::find(out_vars.begin(), out_vars.end(), v) ==
+            out_vars.end()) {
+            return reject("rank '" + top_rank +
+                          "' restricts contraction variable '" + v +
+                          "' (shards would reduce into shared output "
+                          "points)");
+        }
+    }
+    if (top_has_lookup)
+        return reject("rank '" + top_rank + "' carries lookup actions");
+    sp.shardable = true;
+    return sp;
+}
+
+} // namespace
+
+ShardPlan
+analyzeSharding(const EinsumRecipe& recipe)
+{
+    const std::string top =
+        recipe.loopOrder.empty() ? std::string() : recipe.loopOrder[0];
+    const std::string base = baseOfDerived(top);
+    // Variables the top rank binds or (via its partition group's leaf
+    // rank) range-restricts: a flattened base contributes one variable
+    // per constituent rank.
+    std::vector<std::string> vars;
+    if (!top.empty()) {
+        const RecipeGroup* flat = nullptr;
+        for (const RecipeGroup& g : recipe.groups) {
+            if (g.hasFlatten && g.base == base)
+                flat = &g;
+        }
+        if (flat != nullptr) {
+            for (const std::string& src : flat->sourceRanks)
+                vars.push_back(
+                    einsum::varOfRank(baseOfDerived(src)));
+        } else {
+            vars.push_back(einsum::varOfRank(base));
+        }
+    }
+    const std::string space =
+        recipe.space.empty() ? std::string() : recipe.space.front().rank;
+    // Lookup actions only exist on instantiated plans; conservatively
+    // assume none (the plan-level overload is authoritative).
+    return shardPlanFrom(recipe.expr, recipe.wholeTensorCopy, top, vars,
+                         space, /*top_has_lookup=*/false);
+}
+
+ShardPlan
+analyzeSharding(const EinsumPlan& plan)
+{
+    const std::string top =
+        plan.loops.empty() ? std::string() : plan.loops[0].name;
+    const std::string base = baseOfDerived(top);
+    // The top rank's own bound variables plus those of every loop of
+    // the same partition group (M1 restricts m, bound at M0).
+    std::vector<std::string> vars;
+    for (const LoopRank& lr : plan.loops) {
+        if (baseOfDerived(lr.name) != base)
+            continue;
+        for (const std::string& v : lr.bindsVars) {
+            const std::string bv = einsum::varOfRank(
+                baseOfDerived(einsum::rankOfVar(v)));
+            if (std::find(vars.begin(), vars.end(), bv) == vars.end())
+                vars.push_back(bv);
+        }
+    }
+    std::string space;
+    for (const LoopRank& lr : plan.loops) {
+        if (lr.isSpace) {
+            space = lr.name;
+            break;
+        }
+    }
+    bool top_lookup = false;
+    for (const TensorPlan& tp : plan.inputs) {
+        for (const LevelAction& a : tp.actions) {
+            if (a.loopIndex == 0 &&
+                a.mode == LevelAction::Mode::Lookup)
+                top_lookup = true;
+        }
+    }
+    return shardPlanFrom(plan.expr, plan.wholeTensorCopy, top, vars,
+                         space, top_lookup);
 }
 
 EinsumPlan

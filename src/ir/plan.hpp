@@ -168,6 +168,26 @@ struct OutputPlan
     bool needsReorder = false;
 };
 
+/**
+ * How (and whether) one Einsum's execution can be sharded across a
+ * worker pool (the parallel path of `exec::Executor`) — see the
+ * long-form rationale on `analyzeSharding` below.
+ */
+struct ShardPlan
+{
+    bool shardable = false;
+
+    /// Outermost loop rank: the rank whose coordinate range is
+    /// partitioned into contiguous shards.
+    std::string rank;
+
+    /// The (outermost) space rank justifying host-side parallelism.
+    std::string spaceRank;
+
+    /// Why the plan is not shardable (empty when it is).
+    std::string reason;
+};
+
 /** A fully lowered Einsum: the unit the executor interprets. */
 struct EinsumPlan
 {
@@ -186,6 +206,11 @@ struct EinsumPlan
 
     /// Whole-tensor copy (P1 = P0) bypasses the loop nest.
     bool wholeTensorCopy = false;
+
+    /// Authoritative shardability, filled once by instantiatePlan so
+    /// run-many never re-derives it (default: not shardable, which is
+    /// the safe answer for hand-assembled plans).
+    ShardPlan shard;
 
     std::string toString() const;
 };
@@ -248,6 +273,38 @@ struct EinsumRecipe
     /// present, else the declaration).
     std::vector<std::string> outputDeclaredOrder;
 };
+
+/**
+ * Decide shardability (the parallel path of `exec::Executor`).
+ *
+ * Sharding splits the *outermost loop rank* into contiguous
+ * coordinate windows: each shard executes the full loop nest for its
+ * window of top-level coordinates against the shared (immutable,
+ * fiber-shared) inputs, producing a private partial output and a
+ * private trace capture that a finalize step merges in canonical
+ * shard order. This is safe exactly when
+ *
+ *   1. a space rank exists (the mapping declared spatial parallelism
+ *      to exploit — `spacetime:` space entries),
+ *   2. every index variable the outermost rank binds or restricts
+ *      (its own `bindsVars`, plus those of the leaf rank of the same
+ *      partition group, e.g. M1 restricting m via M0) appears in the
+ *      output — so shards write disjoint output subtrees and no
+ *      cross-shard reduction exists, and
+ *   3. the top rank carries no Lookup actions (loop-entry lookups
+ *      would re-fire per shard, duplicating their trace events).
+ *
+ * Plans that fail the predicate run serially (`shardable == false`,
+ * `reason` says why) — notably whole-tensor copies, scalar outputs,
+ * and loop nests whose outermost rank is a contraction (SIGMA's K1).
+ *
+ * The recipe overload is what `compile` can precompute before any
+ * workload exists; the plan overload is authoritative (instantiation
+ * adds lookup actions) and its result is stored in EinsumPlan::shard
+ * by instantiatePlan, so the run path never re-derives it.
+ */
+ShardPlan analyzeSharding(const EinsumRecipe& recipe);
+ShardPlan analyzeSharding(const EinsumPlan& plan);
 
 /** Live tensors by name, borrowed from the caller. */
 using TensorRefMap = std::map<std::string, const ft::Tensor*>;

@@ -42,7 +42,9 @@ bool
 Buffet::read(std::uint64_t key, double bytes)
 {
     counters_.accessBytes += bytes;
-    auto [it, inserted] = resident_.try_emplace(key, Entry{bytes, false});
+    const auto [entry, inserted] =
+        resident_.tryEmplace(key, Entry{bytes, false});
+    (void)entry;
     if (!inserted) {
         ++counters_.hits;
         return true;
@@ -57,18 +59,19 @@ bool
 Buffet::write(std::uint64_t key, double bytes)
 {
     counters_.accessBytes += bytes;
-    auto [it, inserted] = resident_.try_emplace(key, Entry{bytes, true});
+    const auto [entry, inserted] =
+        resident_.tryEmplace(key, Entry{bytes, true});
     bool revisit = false;
     if (inserted) {
         resident_bytes_ += bytes;
-        revisit = everDrained_.count(key) > 0;
+        revisit = everDrained_.contains(key);
         if (revisit) {
             // Partial output re-fetched from the parent level.
             counters_.fillBytes += bytes;
             ++counters_.misses;
         }
     } else {
-        it->second.written = true;
+        entry->written = true;
         ++counters_.hits;
     }
     return revisit;
@@ -78,13 +81,13 @@ Buffet::DrainResult
 Buffet::evictAll()
 {
     DrainResult result;
-    for (const auto& [key, entry] : resident_) {
-        if (entry.written) {
-            counters_.drainBytes += entry.bytes;
-            if (everDrained_.insert(key).second)
-                result.firstBytes += entry.bytes;
+    for (const auto& e : resident_.entries()) {
+        if (e.value.written) {
+            counters_.drainBytes += e.value.bytes;
+            if (everDrained_.insert(e.key))
+                result.firstBytes += e.value.bytes;
             else
-                result.againBytes += entry.bytes;
+                result.againBytes += e.value.bytes;
         }
     }
     resident_.clear();

@@ -16,7 +16,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "model/flat_hash.hpp"
 
 namespace teaal::model
 {
@@ -121,8 +122,14 @@ class Buffet
         bool written;
     };
 
-    std::unordered_map<std::uint64_t, Entry> resident_;
-    std::unordered_set<std::uint64_t> everDrained_;
+    /// Flat tables: one buffet access per trace event made the node
+    /// allocations of std::unordered_map a top profile entry. The
+    /// residency is dropped wholesale at eviction (an O(1) generation
+    /// bump), and evictAll's insertion-order iteration is
+    /// deterministic — all byte quantities are multiples of 1/8, so
+    /// accumulation order cannot perturb the sums either.
+    FlatMap64<Entry> resident_;
+    FlatSet64 everDrained_;
     double resident_bytes_ = 0;
     BufferCounters counters_;
 };

@@ -370,6 +370,28 @@ ModelObserver::ModelObserver(const ir::EinsumPlan& plan,
                 std::max(outLeafBytes_, kInterleavedTransactionBytes);
         }
     }
+
+    // --------------------------------------- per-event slot caches
+    // Traffic rows for inputs/output/units were pre-created above, so
+    // resolving them here adds no new (zero) rows; counter slots stay
+    // null until first use (addCount) for the same reason.
+    for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
+        inputTrafficOrNull_.push_back(
+            onChip_.count(plan.inputs[i].name) ? nullptr
+                                               : inputTraffic_[i]);
+    }
+    outTrafficOrNull_ =
+        onChip_.count(plan.output.name) ? nullptr : outTraffic_;
+    for (const StorageUnit& unit : storage_) {
+        unitComp_.push_back(&record_.components[unit.component]);
+        unitAccessBytes_.push_back(nullptr);
+        unitFillBytes_.push_back(nullptr);
+        unitDrainBytes_.push_back(nullptr);
+        unitTrafficOrNull_.push_back(
+            onChip_.count(unit.tensor)
+                ? nullptr
+                : &record_.traffic[unit.tensor]);
+    }
 }
 
 ComponentActions&
@@ -394,16 +416,7 @@ ModelObserver::chargeDram(const std::string& tensor, double bytes,
 {
     if (onChip_.count(tensor))
         return;
-    TensorTraffic& tt = record_.traffic[tensor];
-    if (write)
-        tt.writeBytes += bytes;
-    else
-        tt.readBytes += bytes;
-    if (partial)
-        tt.poBytes += bytes;
-    if (dramComp_ != nullptr) {
-        dramComp_->add(write ? "write_bytes" : "read_bytes", bytes);
-    }
+    chargeDramTo(&record_.traffic[tensor], bytes, write, partial);
 }
 
 double
@@ -491,9 +504,12 @@ ModelObserver::onLoopEnter(std::size_t loop, ft::Coord c)
         const Buffet::DrainResult drained = unit.buffet.evictAll();
         const double total = drained.firstBytes + drained.againBytes;
         if (total > 0) {
-            chargeDram(unit.tensor, drained.firstBytes, true, false);
-            chargeDram(unit.tensor, drained.againBytes, true, true);
-            component(unit.component).add("drain_bytes", total);
+            chargeDramTo(unitTrafficOrNull_[u], drained.firstBytes,
+                         true, false);
+            chargeDramTo(unitTrafficOrNull_[u], drained.againBytes,
+                         true, true);
+            addCount(unitDrainBytes_[u], unitComp_[u], "drain_bytes",
+                     total);
         }
     }
 }
@@ -507,13 +523,16 @@ ModelObserver::onCoIterate(std::size_t loop, std::size_t steps,
     if (seqComp_ != nullptr) {
         // The sequencer walks fibers at one element per cycle.
         ComponentActions& seq = *seqComp_;
-        seq.counts["steps"] += static_cast<double>(steps);
+        addCount(seqSteps_, seqComp_, "steps",
+                 static_cast<double>(steps));
         seq.perPe[peSlot(seq, pe)] += static_cast<double>(steps);
     }
     if (drivers >= 2 && !plan_.unionCombine && isectComp_ != nullptr) {
         ComponentActions& isect = *isectComp_;
-        isect.add("steps", static_cast<double>(steps));
-        isect.add("matches", static_cast<double>(matches));
+        addCount(isectSteps_, isectComp_, "steps",
+                 static_cast<double>(steps));
+        addCount(isectMatches_, isectComp_, "matches",
+                 static_cast<double>(matches));
         const double skips = static_cast<double>(steps - matches);
         double cycles;
         if (isectType_ == "skip-ahead") {
@@ -527,7 +546,7 @@ ModelObserver::onCoIterate(std::size_t loop, std::size_t steps,
         } else { // two-finger
             cycles = static_cast<double>(steps);
         }
-        isect.add("cycles", cycles);
+        addCount(isectCycles_, isectComp_, "cycles", cycles);
         isect.perPe[peSlot(isect, pe)] += cycles;
     }
 }
@@ -544,18 +563,21 @@ ModelObserver::onCoordScan(int input, std::size_t level,
     if (bytes <= 0)
         return;
     if (r.unit >= 0) {
-        const StorageUnit& unit =
-            storage_[static_cast<std::size_t>(r.unit)];
+        const std::size_t u = static_cast<std::size_t>(r.unit);
+        const StorageUnit& unit = storage_[u];
         if (unit.isCache || !r.absorbed)
-            component(unit.component).add("access_bytes", bytes);
+            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
+                     bytes);
         if (!r.absorbed && !unit.eager) {
             // Lazily bound coordinates stream through the buffer.
-            chargeDram(plan_.inputs[static_cast<std::size_t>(input)].name,
-                       bytes, false);
+            chargeDramTo(
+                inputTrafficOrNull_[static_cast<std::size_t>(input)],
+                bytes, false);
         }
     } else {
-        chargeDram(plan_.inputs[static_cast<std::size_t>(input)].name,
-                   bytes, false);
+        chargeDramTo(
+            inputTrafficOrNull_[static_cast<std::size_t>(input)],
+            bytes, false);
     }
 }
 
@@ -571,18 +593,22 @@ ModelObserver::onTensorAccess(int input, const std::string& tensor,
         return;
     pathKey_[static_cast<std::size_t>(input)][level] = key;
     const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
+    (void)tensor;
     if (r.unit < 0) {
-        chargeDram(tensor, r.payloadBytes, false);
+        chargeDramTo(
+            inputTrafficOrNull_[static_cast<std::size_t>(input)],
+            r.payloadBytes, false);
         return;
     }
-    StorageUnit& unit = storage_[static_cast<std::size_t>(r.unit)];
-    ComponentActions& ca = component(unit.component);
+    const std::size_t u = static_cast<std::size_t>(r.unit);
+    StorageUnit& unit = storage_[u];
     if (r.absorbed) {
         // Covered by an eager fill above: on-chip hit. Caches pay a
         // port access per use; explicitly orchestrated buffets feed
         // registers/multicast networks, so re-uses are free.
         if (unit.isCache)
-            ca.add("access_bytes", r.payloadBytes);
+            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
+                     r.payloadBytes);
         return;
     }
     double bytes = r.payloadBytes;
@@ -597,10 +623,12 @@ ModelObserver::onTensorAccess(int input, const std::string& tensor,
         hit = unit.cache->access(key, bytes);
     else
         hit = unit.buffet.read(keyHash(key), bytes);
-    ca.add("access_bytes", bytes);
+    addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes", bytes);
     if (!hit) {
-        ca.add("fill_bytes", bytes);
-        chargeDram(tensor, bytes, false);
+        addCount(unitFillBytes_[u], unitComp_[u], "fill_bytes", bytes);
+        chargeDramTo(
+            inputTrafficOrNull_[static_cast<std::size_t>(input)],
+            bytes, false);
     }
 }
 
@@ -615,20 +643,22 @@ ModelObserver::onOutputWrite(const std::string& tensor, std::size_t level,
     (void)pe;
     if (!at_leaf)
         return;
+    (void)tensor;
     const double bytes = outLeafBytes_;
     if (outUnit_ >= 0) {
-        StorageUnit& unit =
-            storage_[static_cast<std::size_t>(outUnit_)];
+        const std::size_t u = static_cast<std::size_t>(outUnit_);
+        StorageUnit& unit = storage_[u];
         const double resident_before = unit.buffet.residentBytes();
         const bool revisit = unit.buffet.write(path_key, bytes);
         // Repeat writes to a resident partial accumulate in
         // registers/adder trees; the buffer port is paid on
         // allocation (and again at drain).
         if (unit.buffet.residentBytes() != resident_before)
-            component(unit.component).add("access_bytes", bytes);
+            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
+                     bytes);
         if (revisit) {
             // Partial result re-fetched from DRAM.
-            chargeDram(tensor, bytes, false, true);
+            chargeDramTo(outTrafficOrNull_, bytes, false, true);
         }
         return;
     }
@@ -636,13 +666,13 @@ ModelObserver::onOutputWrite(const std::string& tensor, std::size_t level,
     // partial-output read-modify-writes.
     const double dram_bytes =
         outLineBytes_ > 0 ? outLineBytes_ : bytes;
-    auto [it, first] = outWritten_.try_emplace(path_key, 0);
-    ++it->second;
+    auto [count, first] = outWritten_.tryEmplace(path_key, 0);
+    ++*count;
     if (first) {
-        chargeDram(tensor, dram_bytes, true, false);
+        chargeDramTo(outTrafficOrNull_, dram_bytes, true, false);
     } else {
-        chargeDram(tensor, dram_bytes, false, true);
-        chargeDram(tensor, dram_bytes, true, true);
+        chargeDramTo(outTrafficOrNull_, dram_bytes, false, true);
+        chargeDramTo(outTrafficOrNull_, dram_bytes, true, true);
     }
 }
 
@@ -652,8 +682,10 @@ ModelObserver::onCompute(char op, std::uint64_t pe, std::size_t count)
     ComponentActions* ca = op == 'm' ? mulComp_ : addComp_;
     if (ca == nullptr)
         return;
-    ca->counts[op == 'm' ? "mul_ops" : "add_ops"] +=
-        static_cast<double>(count);
+    if (op == 'm')
+        addCount(mulOps_, ca, "mul_ops", static_cast<double>(count));
+    else
+        addCount(addOps_, ca, "add_ops", static_cast<double>(count));
     ca->perPe[peSlot(*ca, pe)] += static_cast<double>(count);
 }
 

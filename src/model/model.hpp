@@ -185,7 +185,7 @@ class ModelObserver : public trace::Observer
     /// DRAM transaction bytes for interleaved (linked-list) layouts:
     /// pointer chasing pays line granularity per element.
     double outLineBytes_ = 0;
-    std::unordered_map<std::uint64_t, int> outWritten_;
+    FlatMap64<int> outWritten_;
 
     // Functional component names (resolved once).
     std::string dramName_;
@@ -206,6 +206,63 @@ class ModelObserver : public trace::Observer
     ComponentActions* addComp_ = nullptr;
     std::vector<TensorTraffic*> inputTraffic_; // per input slot
     TensorTraffic* outTraffic_ = nullptr;
+
+    /**
+     * Per-event counter slots, resolved lazily on first add (so no
+     * zero-valued counter rows appear that the streaming path would
+     * not have created): one string-keyed map lookup total per
+     * counter instead of one per trace event. std::map nodes are
+     * address-stable, so the cached pointers stay valid.
+     */
+    void
+    addCount(double*& slot, ComponentActions* ca, const char* key,
+             double v)
+    {
+        if (slot == nullptr) {
+            if (ca == nullptr)
+                return;
+            slot = &ca->counts[key];
+        }
+        *slot += v;
+    }
+
+    double* dramReadBytes_ = nullptr;
+    double* dramWriteBytes_ = nullptr;
+    double* seqSteps_ = nullptr;
+    double* isectSteps_ = nullptr;
+    double* isectMatches_ = nullptr;
+    double* isectCycles_ = nullptr;
+    double* mulOps_ = nullptr;
+    double* addOps_ = nullptr;
+    std::vector<double*> unitAccessBytes_; // parallel to storage_
+    std::vector<double*> unitFillBytes_;
+    std::vector<double*> unitDrainBytes_;
+    std::vector<ComponentActions*> unitComp_;
+    /// DRAM traffic rows per consumer, nullptr when the tensor stays
+    /// on chip (fused intermediates) — replaces the per-event
+    /// onChip_.count + traffic map lookup.
+    std::vector<TensorTraffic*> inputTrafficOrNull_;
+    std::vector<TensorTraffic*> unitTrafficOrNull_;
+    TensorTraffic* outTrafficOrNull_ = nullptr;
+
+    /** chargeDram with the traffic row pre-resolved (null = on-chip:
+     *  no DRAM charge at all, matching the name-based overload). */
+    void
+    chargeDramTo(TensorTraffic* tt, double bytes, bool write,
+                 bool partial = false)
+    {
+        if (tt == nullptr)
+            return;
+        if (write) {
+            tt->writeBytes += bytes;
+            addCount(dramWriteBytes_, dramComp_, "write_bytes", bytes);
+        } else {
+            tt->readBytes += bytes;
+            addCount(dramReadBytes_, dramComp_, "read_bytes", bytes);
+        }
+        if (partial)
+            tt->poBytes += bytes;
+    }
 
     // Subtree footprint memoization (bytes incl. any transaction
     // granularity penalty for interleaved layouts).

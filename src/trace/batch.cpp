@@ -6,11 +6,47 @@ namespace teaal::trace
 void
 BatchBus::flush()
 {
-    if (batch_.events.empty())
+    if (log_ != nullptr || batch_.events.empty())
         return;
     ++batches_;
-    obs_.onEventBatch(batch_);
+    obs_->onEventBatch(batch_);
     batch_.events.clear();
+}
+
+// NOTE: dropDuplicateInserts (exec/executor.cpp) mirrors this
+// chunk/walkEnds traversal for its in-place filter — change them
+// together (the thread-equivalence tests compare batch boundaries).
+void
+BatchBus::replay(const TraceLog& log)
+{
+    std::size_t we = 0;
+    std::size_t base = 0; // global index of the current chunk's start
+    for (const std::vector<Event>& chunk : log.chunks) {
+        std::size_t i = 0;
+        while (i < chunk.size()) {
+            while (we < log.walkEnds.size() &&
+                   log.walkEnds[we] == base + i) {
+                walkEnd();
+                ++we;
+            }
+            // Bulk-copy the run up to the next walk boundary.
+            std::size_t stop = chunk.size();
+            if (we < log.walkEnds.size())
+                stop = std::min(stop, log.walkEnds[we] - base);
+            batch_.events.insert(batch_.events.end(),
+                                 chunk.begin() +
+                                     static_cast<std::ptrdiff_t>(i),
+                                 chunk.begin() +
+                                     static_cast<std::ptrdiff_t>(stop));
+            events_ += stop - i;
+            i = stop;
+        }
+        base += chunk.size();
+    }
+    while (we < log.walkEnds.size() && log.walkEnds[we] == base) {
+        walkEnd();
+        ++we;
+    }
 }
 
 void

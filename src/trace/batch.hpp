@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,12 +72,108 @@ struct EventBatch
 };
 
 /**
+ * A captured event stream: every event in emission order plus the
+ * positions at which walkEnd() fired. A capture-mode BatchBus fills
+ * one; `BatchBus::replay` later re-emits it through a delivery-mode
+ * bus, reproducing the original flush points — so a trace produced by
+ * parallel shards and replayed in canonical shard order delivers
+ * batches byte-identical to a serial run's (same events, same batch
+ * boundaries).
+ *
+ * Events are stored in fixed-capacity chunks so capture never
+ * reallocates (a multi-million-event shard would otherwise re-copy
+ * its whole history on every vector growth); replay bulk-copies whole
+ * runs between walk boundaries.
+ */
+/**
+ * Recycles capture chunks between shards: a replayed-and-cleared
+ * shard's chunk memory backs the next shard's capture, so the
+ * first-touch page faults of a multi-megabyte event stream are paid
+ * once per run, not once per shard. Thread-safe (workers capture
+ * while the coordinator frees); the lock is taken once per chunk,
+ * i.e. once per ~1000 events.
+ */
+class ChunkPool
+{
+  public:
+    std::vector<Event>
+    acquire()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (!free_.empty()) {
+                std::vector<Event> c = std::move(free_.back());
+                free_.pop_back();
+                c.clear();
+                return c;
+            }
+        }
+        return {};
+    }
+
+    void
+    release(std::vector<Event>&& chunk)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        free_.push_back(std::move(chunk));
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<std::vector<Event>> free_;
+};
+
+struct TraceLog
+{
+    /// Events per chunk, sized to ~105 KB — under the common malloc
+    /// mmap threshold (128 KB), so freed chunks are recycled from the
+    /// allocator arena instead of being returned to the OS and
+    /// page-faulted back in on the next shard's capture.
+    static constexpr std::size_t kChunkEvents = 1024;
+
+    std::vector<std::vector<Event>> chunks;
+
+    /// Global event counts at which walkEnd() fired (non-decreasing).
+    std::vector<std::size_t> walkEnds;
+
+    /// Optional chunk recycler shared between captures.
+    ChunkPool* pool = nullptr;
+
+    std::size_t
+    eventCount() const
+    {
+        std::size_t n = 0;
+        for (const auto& c : chunks)
+            n += c.size();
+        return n;
+    }
+
+    /** Drop everything, returning chunk memory to the pool if set. */
+    void
+    clear()
+    {
+        if (pool != nullptr) {
+            for (std::vector<Event>& c : chunks)
+                pool->release(std::move(c));
+        }
+        chunks.clear();
+        walkEnds.clear();
+    }
+};
+
+/**
  * The engine-side producer: append events, flush batches.
  *
  * Flush policy: the engine calls walkEnd() when a fiber walk finishes,
  * which flushes once the pending batch has reached the threshold —
  * batches stay aligned to walk boundaries without flushing a tiny
  * batch per innermost row. flush() forces delivery (end of run).
+ *
+ * A bus is either in *delivery* mode (constructed on an Observer:
+ * batches go out through onEventBatch) or in *capture* mode
+ * (constructed on a TraceLog: events and walk boundaries are recorded,
+ * nothing is delivered). Capture mode is how parallel shard engines
+ * defer their trace until the coordinator replays it in order.
  */
 class BatchBus
 {
@@ -84,12 +181,24 @@ class BatchBus
     static constexpr std::size_t kFlushThreshold = 1024;
 
     explicit BatchBus(Observer& obs, std::size_t threshold = kFlushThreshold)
-        : obs_(obs), threshold_(threshold)
+        : obs_(&obs), threshold_(threshold)
     {
         batch_.events.reserve(threshold + threshold / 2);
     }
 
-    ~BatchBus() { flush(); }
+    /** Capture mode: record into @p log instead of delivering. */
+    explicit BatchBus(TraceLog& log) : log_(&log), threshold_(0) {}
+
+    /** Flushes any pending batch; a throwing observer is swallowed
+     *  here (the run that produced the events has already failed —
+     *  its exception is the one in flight). */
+    ~BatchBus()
+    {
+        try {
+            flush();
+        } catch (...) {
+        }
+    }
 
     BatchBus(const BatchBus&) = delete;
     BatchBus& operator=(const BatchBus&) = delete;
@@ -187,16 +296,30 @@ class BatchBus
     }
 
     // ------------------------------------------------------- flushing
-    /** A fiber walk ended: flush if the pending batch is big enough. */
+    /** A fiber walk ended: flush if the pending batch is big enough
+     *  (capture mode records the boundary instead). */
     void
     walkEnd()
     {
+        if (log_ != nullptr) {
+            log_->walkEnds.push_back(logged_);
+            return;
+        }
         if (batch_.events.size() >= threshold_)
             flush();
     }
 
-    /** Force-deliver everything buffered (end of run). */
+    /** Force-deliver everything buffered (end of run; no-op when
+     *  capturing — the log keeps everything). */
     void flush();
+
+    /**
+     * Re-emit a captured stream through this (delivery-mode) bus:
+     * events are pushed in order and every recorded walk boundary
+     * re-fires walkEnd(), so downstream batch boundaries land exactly
+     * where a live engine emitting the same stream would put them.
+     */
+    void replay(const TraceLog& log);
 
     /** Events recorded so far (delivered + pending). */
     std::size_t eventCount() const { return events_; }
@@ -209,13 +332,32 @@ class BatchBus
     push(Event::Kind kind)
     {
         ++events_;
+        if (log_ != nullptr) {
+            if (logChunk_ == nullptr ||
+                logChunk_->size() == TraceLog::kChunkEvents) {
+                if (log_->pool != nullptr)
+                    log_->chunks.push_back(log_->pool->acquire());
+                else
+                    log_->chunks.emplace_back();
+                logChunk_ = &log_->chunks.back();
+                logChunk_->reserve(TraceLog::kChunkEvents);
+            }
+            ++logged_;
+            logChunk_->emplace_back();
+            Event& e = logChunk_->back();
+            e.kind = kind;
+            return e;
+        }
         batch_.events.emplace_back();
         Event& e = batch_.events.back();
         e.kind = kind;
         return e;
     }
 
-    Observer& obs_;
+    Observer* obs_ = nullptr;
+    TraceLog* log_ = nullptr;
+    std::vector<Event>* logChunk_ = nullptr;
+    std::size_t logged_ = 0;
     std::size_t threshold_;
     EventBatch batch_;
     std::size_t events_ = 0;

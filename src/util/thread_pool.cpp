@@ -1,0 +1,114 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace teaal::util
+{
+
+struct ThreadPool::Ticket::Job
+{
+    std::function<void(unsigned)> fn;
+    unsigned slots = 0;
+    unsigned claimed = 0;
+    unsigned finished = 0;
+    std::mutex mutex;
+    std::condition_variable done;
+};
+
+void
+ThreadPool::Ticket::wait()
+{
+    if (job_ == nullptr)
+        return;
+    std::unique_lock<std::mutex> lk(job_->mutex);
+    job_->done.wait(lk,
+                    [this] { return job_->finished == job_->slots; });
+    job_.reset();
+}
+
+ThreadPool::ThreadPool(unsigned max_workers) : maxWorkers_(max_workers)
+{
+    if (maxWorkers_ == 0) {
+        maxWorkers_ =
+            std::max(2u, std::thread::hardware_concurrency());
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+unsigned
+ThreadPool::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return static_cast<unsigned>(workers_.size());
+}
+
+void
+ThreadPool::ensureWorkers(unsigned wanted)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const unsigned target = std::min(wanted, maxWorkers_);
+    while (workers_.size() < target)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::Ticket
+ThreadPool::launch(unsigned slots, std::function<void(unsigned)> fn)
+{
+    Ticket ticket;
+    ticket.job_ = std::make_shared<Ticket::Job>();
+    ticket.job_->fn = std::move(fn);
+    ticket.job_->slots = slots;
+    if (slots == 0) {
+        ticket.job_->finished = 0;
+        ticket.job_.reset();
+        return ticket;
+    }
+    ensureWorkers(slots);
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        jobs_.push_back(ticket.job_);
+    }
+    cv_.notify_all();
+    return ticket;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Ticket::Job> job;
+        unsigned slot = 0;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_.wait(lk,
+                     [this] { return stopping_ || !jobs_.empty(); });
+            if (stopping_ && jobs_.empty())
+                return;
+            job = jobs_.front();
+            {
+                std::lock_guard<std::mutex> jl(job->mutex);
+                slot = job->claimed++;
+                if (job->claimed == job->slots)
+                    jobs_.pop_front();
+            }
+        }
+        job->fn(slot);
+        {
+            std::lock_guard<std::mutex> jl(job->mutex);
+            ++job->finished;
+        }
+        job->done.notify_all();
+    }
+}
+
+} // namespace teaal::util

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small shared worker pool for sharded execution.
+ *
+ * The pool grows on demand up to a hard cap and hands out *slot-style*
+ * jobs: launch(n, fn) asks for fn(0..n-1) to run concurrently, and any
+ * free worker claims the next unclaimed slot. Workers never block on
+ * other workers (each slot's fn drains an external work queue
+ * independently), so a pool smaller than the requested slot count
+ * degrades parallelism but can never deadlock. launch() is safe to
+ * call from multiple host threads at once — jobs queue FIFO — which is
+ * what lets several CompiledModel::run calls share one pool.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace teaal::util
+{
+
+class ThreadPool
+{
+  public:
+    /** @param max_workers Growth cap; 0 means one per hardware
+     *  thread (at least 2). No threads are spawned until needed. */
+    explicit ThreadPool(unsigned max_workers = 0);
+
+    /** Joins all workers (pending jobs are completed first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Handle to an in-flight launch(); wait() blocks until every
+     *  slot's fn has returned. */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+
+        void wait();
+
+      private:
+        friend class ThreadPool;
+        struct Job;
+        std::shared_ptr<Job> job_;
+    };
+
+    /**
+     * Run @p fn(slot) for slot in [0, slots) on pool workers,
+     * returning immediately. Grows the pool toward min(slots,
+     * max_workers) first. The caller must keep @p fn's captures alive
+     * until Ticket::wait() returns.
+     */
+    Ticket launch(unsigned slots, std::function<void(unsigned)> fn);
+
+    /** Workers currently spawned. */
+    unsigned size() const;
+
+  private:
+    void workerLoop();
+    void ensureWorkers(unsigned wanted);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::thread> workers_;
+    std::deque<std::shared_ptr<Ticket::Job>> jobs_;
+    unsigned maxWorkers_;
+    bool stopping_ = false;
+};
+
+} // namespace teaal::util

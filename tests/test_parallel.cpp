@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Tests of parallel sharded execution (RunOptions::threads): the
+ * thread-count equivalence guarantee (identical counters, output
+ * tensors, and delivered trace streams — including batch boundaries —
+ * for every thread count, per Table 1 accelerator spec), the serial
+ * fallback for unshardable plans, the shard-plan predicate, the
+ * disjoint fiber merge, concurrent CompiledModel::run from multiple
+ * host threads, and the unknown-rank diagnostic for co-iteration
+ * overrides.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "accelerators/accelerators.hpp"
+#include "compiler/pipeline.hpp"
+#include "fibertree/fiber.hpp"
+#include "ir/plan.hpp"
+#include "util/diagnostic.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+using compiler::CompiledModel;
+using compiler::RunOptions;
+using compiler::SimulationResult;
+using compiler::Workload;
+
+accel::GammaConfig
+smallGamma()
+{
+    accel::GammaConfig cfg;
+    cfg.pes = 4;
+    cfg.rowChunk = 4;
+    cfg.kChunk = 8;
+    cfg.fiberCacheBytes = 64 * 1024;
+    return cfg;
+}
+
+accel::ExTensorConfig
+smallExTensor()
+{
+    accel::ExTensorConfig cfg;
+    cfg.pes = 4;
+    cfg.tileK1 = 16;
+    cfg.tileK0 = 4;
+    cfg.tileM1 = 16;
+    cfg.tileM0 = 4;
+    cfg.tileN1 = 16;
+    cfg.tileN0 = 4;
+    cfg.llcBytes = 256 * 1024;
+    return cfg;
+}
+
+accel::OuterSpaceConfig
+smallOuterSpace()
+{
+    accel::OuterSpaceConfig cfg;
+    cfg.chunkOuter = 32;
+    cfg.chunkInner = 8;
+    cfg.mergeChunkOuter = 16;
+    cfg.mergeChunkInner = 4;
+    return cfg;
+}
+
+accel::SigmaConfig
+smallSigma()
+{
+    accel::SigmaConfig cfg;
+    cfg.kTile = 16;
+    cfg.stationaryChunk = 64;
+    return cfg;
+}
+
+struct TestMatrices
+{
+    ft::Tensor a;
+    ft::Tensor b;
+};
+
+TestMatrices
+makeMatrices(std::uint64_t seed)
+{
+    return {workloads::uniformMatrix("A", 40, 32, 300, seed, {"K", "M"}),
+            workloads::uniformMatrix("B", 40, 36, 300, seed + 1,
+                                     {"K", "N"})};
+}
+
+/**
+ * Records the full delivered trace — every batch boundary and every
+ * replayed per-event callback — as a flat string log, so two runs can
+ * be compared for byte-identical streams.
+ */
+class StreamRecorder : public trace::Observer
+{
+  public:
+    std::vector<std::string> log;
+
+    void
+    onEventBatch(const trace::EventBatch& batch) override
+    {
+        log.push_back("batch:" + std::to_string(batch.size()));
+        trace::Observer::onEventBatch(batch); // replay per-event below
+    }
+
+    void
+    onLoopEnter(std::size_t loop, ft::Coord c) override
+    {
+        add("L", loop, c);
+    }
+    void
+    onCoIterate(std::size_t loop, std::size_t steps, std::size_t matches,
+                std::size_t drivers, std::uint64_t pe) override
+    {
+        add("I", loop, steps, matches, drivers, pe);
+    }
+    void
+    onCoordScan(int input, std::size_t level, std::size_t count,
+                std::uint64_t pe) override
+    {
+        add("S", input, level, count, pe);
+    }
+    void
+    onTensorAccess(int input, const std::string& tensor,
+                   std::size_t level, ft::Coord c, const void* key,
+                   const ft::Payload* payload, std::uint64_t pe) override
+    {
+        (void)key;
+        (void)payload;
+        add("A", input, level, c, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onOutputWrite(const std::string& tensor, std::size_t level,
+                  ft::Coord c, std::uint64_t path_key, bool inserted,
+                  bool at_leaf, std::uint64_t pe) override
+    {
+        add("W", level, c, path_key, inserted, at_leaf, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onCompute(char op, std::uint64_t pe, std::size_t count) override
+    {
+        add("C", op, pe, count);
+    }
+    void
+    onSwizzle(const std::string& tensor, std::size_t elements,
+              std::size_t ways, bool online) override
+    {
+        add("Z", elements, ways, online);
+        log.back() += ":" + tensor;
+    }
+    void
+    onTensorCopy(const std::string& from, const std::string& to,
+                 std::size_t elements) override
+    {
+        add("Y", elements);
+        log.back() += ":" + from + ">" + to;
+    }
+
+  private:
+    template <typename... Args>
+    void
+    add(const char* tag, Args... args)
+    {
+        std::ostringstream os;
+        os << tag;
+        ((os << ':' << args), ...);
+        log.push_back(os.str());
+    }
+};
+
+void
+expectSameResults(const SimulationResult& x, const SimulationResult& y)
+{
+    ASSERT_EQ(x.records.size(), y.records.size());
+    for (std::size_t i = 0; i < x.records.size(); ++i) {
+        EXPECT_TRUE(x.records[i].execStats == y.records[i].execStats)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceEvents, y.records[i].traceEvents)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceBatches, y.records[i].traceBatches)
+            << "einsum " << i;
+        ASSERT_EQ(x.records[i].traffic.size(),
+                  y.records[i].traffic.size());
+        for (const auto& [tensor, tt] : x.records[i].traffic) {
+            const auto it = y.records[i].traffic.find(tensor);
+            ASSERT_NE(it, y.records[i].traffic.end()) << tensor;
+            EXPECT_DOUBLE_EQ(tt.readBytes, it->second.readBytes);
+            EXPECT_DOUBLE_EQ(tt.writeBytes, it->second.writeBytes);
+            EXPECT_DOUBLE_EQ(tt.poBytes, it->second.poBytes);
+        }
+    }
+    EXPECT_DOUBLE_EQ(x.perf.totalSeconds, y.perf.totalSeconds);
+    EXPECT_DOUBLE_EQ(x.energy.totalJoules, y.energy.totalJoules);
+    ASSERT_EQ(x.tensors.size(), y.tensors.size());
+    for (const auto& [name, t] : x.tensors) {
+        const auto it = y.tensors.find(name);
+        ASSERT_NE(it, y.tensors.end()) << name;
+        EXPECT_TRUE(t.equals(it->second)) << name;
+    }
+}
+
+/** Run the same workload at two thread counts; everything — counters,
+ *  tensors, the delivered trace stream with its batch boundaries —
+ *  must be byte-identical. */
+void
+expectThreadEquivalence(compiler::Specification spec, unsigned t_low,
+                        unsigned t_high)
+{
+    const auto mats = makeMatrices(23);
+    auto model = compiler::compile(std::move(spec));
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+
+    StreamRecorder rec_low;
+    RunOptions low;
+    low.threads = t_low;
+    low.observers.push_back(&rec_low);
+    const SimulationResult r_low = model.run(w, low);
+
+    StreamRecorder rec_high;
+    RunOptions high;
+    high.threads = t_high;
+    high.observers.push_back(&rec_high);
+    const SimulationResult r_high = model.run(w, high);
+
+    expectSameResults(r_low, r_high);
+    ASSERT_EQ(rec_low.log.size(), rec_high.log.size());
+    for (std::size_t i = 0; i < rec_low.log.size(); ++i) {
+        ASSERT_EQ(rec_low.log[i], rec_high.log[i])
+            << "stream diverges at event " << i;
+    }
+}
+
+// ------------------------------------------------- thread equivalence
+
+TEST(Parallel, GammaThreads1Vs4)
+{
+    expectThreadEquivalence(accel::gamma(smallGamma()), 1, 4);
+}
+
+TEST(Parallel, GammaThreads2Vs4)
+{
+    expectThreadEquivalence(accel::gamma(smallGamma()), 2, 4);
+}
+
+TEST(Parallel, ExTensorThreads1Vs4)
+{
+    expectThreadEquivalence(accel::extensor(smallExTensor()), 1, 4);
+}
+
+TEST(Parallel, OuterSpaceThreads1Vs4)
+{
+    expectThreadEquivalence(accel::outerSpace(smallOuterSpace()), 1, 4);
+}
+
+/** SIGMA's Z nest is contraction-outermost (K1) and its take Einsums
+ *  declare no space ranks: every Einsum takes the serial fallback,
+ *  which must still be equivalent (and not crash) at threads=4. */
+TEST(Parallel, SigmaSerialFallbackThreads1Vs4)
+{
+    expectThreadEquivalence(accel::sigma(smallSigma()), 1, 4);
+}
+
+/** A mapping with no spacetime section at all: serial fallback. */
+TEST(Parallel, NoSpaceRankFallsBackToSerial)
+{
+    const char* yaml = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    Z: [M, N]
+  loop-order:
+    Z: [M, K, N]
+)";
+    auto model =
+        compiler::compile(compiler::Specification::parse(yaml));
+    ASSERT_EQ(model.shardPlans().size(), 1u);
+    EXPECT_FALSE(model.shardPlans()[0].shardable);
+    EXPECT_NE(model.shardPlans()[0].reason.find("space"),
+              std::string::npos);
+
+    const auto mats = makeMatrices(5);
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+    RunOptions serial;
+    RunOptions wide;
+    wide.threads = 4;
+    expectSameResults(model.run(w, serial), model.run(w, wide));
+}
+
+// -------------------------------------------------------- shard plans
+
+TEST(Parallel, ShardPlansPrecomputedAtCompile)
+{
+    auto gamma = compiler::compile(accel::gamma(smallGamma()));
+    ASSERT_EQ(gamma.shardPlans().size(), 2u);
+    for (const ir::ShardPlan& sp : gamma.shardPlans()) {
+        EXPECT_TRUE(sp.shardable) << sp.reason;
+        EXPECT_EQ(sp.rank, "M1");
+        EXPECT_EQ(sp.spaceRank, "M0");
+    }
+
+    auto sigma = compiler::compile(accel::sigma(smallSigma()));
+    ASSERT_EQ(sigma.shardPlans().size(), 3u);
+    for (const ir::ShardPlan& sp : sigma.shardPlans())
+        EXPECT_FALSE(sp.shardable) << sp.rank;
+    // Z's outermost rank K1 restricts the contraction variable k.
+    EXPECT_NE(sigma.shardPlans()[2].reason.find("contraction"),
+              std::string::npos)
+        << sigma.shardPlans()[2].reason;
+}
+
+// ------------------------------------------------- unknown overrides
+
+TEST(Parallel, UnknownCoiterOverrideRankIsDiagnosed)
+{
+    const auto mats = makeMatrices(7);
+    auto model = compiler::compile(accel::gamma(smallGamma()));
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+    RunOptions opts;
+    opts.coiterOverrides["QQ"] = ir::CoiterStrategy::Gallop;
+    try {
+        model.run(w, opts);
+        FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "exec");
+        EXPECT_EQ(e.diagnostic().key, "QQ");
+        EXPECT_NE(e.diagnostic().message.find("QQ"),
+                  std::string::npos);
+    }
+    // Valid ranks must keep working after per-Einsum slicing.
+    RunOptions valid;
+    valid.coiterOverrides["K0"] = ir::CoiterStrategy::TwoFinger;
+    EXPECT_NO_THROW(model.run(w, valid));
+}
+
+TEST(Parallel, EngineRejectsUnknownOverrideRank)
+{
+    const auto mats = makeMatrices(9);
+    auto model = compiler::compile(accel::gamma(smallGamma()));
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+    const auto& plans = model.plans(w);
+    ASSERT_FALSE(plans.empty());
+    trace::Observer obs;
+    exec::ExecOptions eo;
+    eo.coiterOverrides["NOPE"] = ir::CoiterStrategy::DenseDrive;
+    EXPECT_THROW(
+        exec::Executor(plans[0], obs, exec::Semiring::arithmetic(), eo),
+        DiagnosticError);
+}
+
+// ------------------------------------------------------- fiber merge
+
+TEST(Parallel, AbsorbDisjointAppendFastPath)
+{
+    ft::Fiber a(100);
+    a.append(1, ft::Payload(1.0));
+    a.append(5, ft::Payload(2.0));
+    ft::Fiber b(100);
+    b.append(7, ft::Payload(3.0));
+    b.append(9, ft::Payload(4.0));
+    a.absorbDisjoint(std::move(b));
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_EQ(a.coordAt(2), 7);
+    EXPECT_DOUBLE_EQ(a.payloadAt(3).value(), 4.0);
+}
+
+TEST(Parallel, AbsorbDisjointInterleavedAndRecursive)
+{
+    auto child = [](ft::Coord c, double v) {
+        auto f = std::make_shared<ft::Fiber>(ft::Coord{10});
+        f->append(c, ft::Payload(v));
+        return f;
+    };
+    ft::Fiber a(100);
+    a.append(2, ft::Payload(child(1, 1.0)));
+    a.append(8, ft::Payload(child(2, 2.0)));
+    ft::Fiber b(100);
+    b.append(2, ft::Payload(child(5, 5.0))); // collides: recurse
+    b.append(4, ft::Payload(child(3, 3.0)));
+    a.absorbDisjoint(std::move(b));
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.coordAt(0), 2);
+    EXPECT_EQ(a.coordAt(1), 4);
+    EXPECT_EQ(a.coordAt(2), 8);
+    // The colliding subfibers merged: {1, 5} under coordinate 2.
+    ASSERT_EQ(a.payloadAt(0).fiber()->size(), 2u);
+    EXPECT_DOUBLE_EQ(a.payloadAt(0).fiber()->payloadAt(1).value(), 5.0);
+}
+
+TEST(Parallel, AbsorbDisjointLeafCollisionIsAnError)
+{
+    ft::Fiber a(10);
+    a.append(3, ft::Payload(1.0));
+    ft::Fiber b(10);
+    b.append(3, ft::Payload(2.0));
+    EXPECT_THROW(a.absorbDisjoint(std::move(b)), ModelError);
+}
+
+/** An observer throwing mid-run must surface as a catchable exception
+ *  from run() at any thread count (workers are drained first), not a
+ *  process abort. */
+TEST(Parallel, ObserverExceptionPropagatesFromShardedRun)
+{
+    struct Thrower : trace::Observer
+    {
+        void
+        onEventBatch(const trace::EventBatch&) override
+        {
+            throw std::runtime_error("observer boom");
+        }
+    };
+    const auto mats = makeMatrices(31);
+    auto model = compiler::compile(accel::gamma(smallGamma()));
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+    for (const unsigned threads : {1u, 4u}) {
+        Thrower thrower;
+        RunOptions opts;
+        opts.threads = threads;
+        opts.cacheState = false;
+        opts.observers.push_back(&thrower);
+        EXPECT_THROW(model.run(w, opts), std::runtime_error)
+            << "threads=" << threads;
+    }
+}
+
+// ------------------------------------------------ concurrent run()
+
+/** Concurrent CompiledModel::run from multiple host threads on
+ *  distinct workloads, with a cache small enough to force eviction
+ *  churn: the internally synchronized LRU must never corrupt state
+ *  or results (run under TSan/ASan in debug builds). */
+TEST(Parallel, ConcurrentRunsOnDistinctWorkloads)
+{
+    compiler::CompileOptions copts;
+    copts.workloadCacheCapacity = 2; // force evictions
+    auto model = compiler::compile(accel::gamma(smallGamma()), copts);
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 3;
+    std::vector<TestMatrices> mats;
+    std::vector<SimulationResult> reference;
+    for (int t = 0; t < kThreads; ++t) {
+        mats.push_back(makeMatrices(100 + 10 * t));
+        Workload w;
+        w.add("A", mats.back().a).add("B", mats.back().b);
+        reference.push_back(model.run(w));
+    }
+    model.clearCache();
+
+    std::vector<SimulationResult> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Workload w;
+            w.add("A", mats[static_cast<std::size_t>(t)].a)
+                .add("B", mats[static_cast<std::size_t>(t)].b);
+            RunOptions opts;
+            // Half the host threads also shard internally, sharing
+            // the model's worker pool.
+            opts.threads = t % 2 == 0 ? 1 : 2;
+            for (int round = 0; round < kRounds; ++round)
+                got[static_cast<std::size_t>(t)] = model.run(w, opts);
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    for (int t = 0; t < kThreads; ++t) {
+        expectSameResults(reference[static_cast<std::size_t>(t)],
+                          got[static_cast<std::size_t>(t)]);
+    }
+}
+
+} // namespace
+} // namespace teaal
