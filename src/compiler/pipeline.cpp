@@ -9,6 +9,7 @@
 #include "format/format.hpp"
 #include "model/model.hpp"
 #include "model/perf.hpp"
+#include "storage/packed.hpp"
 #include "trace/fanout.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
@@ -25,14 +26,75 @@ Workload::nextStamp()
     return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+Workload&
+Workload::add(const std::string& name, const storage::PackedTensor& t)
+{
+    Entry e;
+    e.packedBorrowed = &t;
+    entries_[name] = std::move(e);
+    fingerprint_ = nextStamp();
+    return *this;
+}
+
+Workload&
+Workload::add(const std::string& name, storage::PackedTensor&& t)
+{
+    Entry e;
+    e.packedOwned =
+        std::make_shared<const storage::PackedTensor>(std::move(t));
+    entries_[name] = std::move(e);
+    fingerprint_ = nextStamp();
+    return *this;
+}
+
+Workload&
+Workload::add(const std::string& name,
+              std::shared_ptr<const storage::PackedTensor> t)
+{
+    Entry e;
+    e.packedOwned = std::move(t);
+    entries_[name] = std::move(e);
+    fingerprint_ = nextStamp();
+    return *this;
+}
+
 const ft::Tensor&
 Workload::tensor(const std::string& name) const
 {
     const auto it = entries_.find(name);
     if (it == entries_.end())
         diagError("workload", name, "missing input tensor '", name, "'");
+    if (it->second.isPacked())
+        diagError("workload", name, "input tensor '", name,
+                  "' is bound as a packed rank store");
     return it->second.borrowed != nullptr ? *it->second.borrowed
                                           : it->second.owned;
+}
+
+std::shared_ptr<const storage::PackedTensor>
+Workload::packed(const std::string& name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end() || !it->second.isPacked())
+        return nullptr;
+    if (it->second.packedOwned != nullptr)
+        return it->second.packedOwned;
+    // Borrowed: non-owning handle (empty control block) — the caller
+    // keeps the packed tensor alive, like borrowed pointer tensors.
+    return std::shared_ptr<const storage::PackedTensor>(
+        std::shared_ptr<const storage::PackedTensor>(),
+        it->second.packedBorrowed);
+}
+
+std::vector<std::string>
+Workload::rankIdsOf(const std::string& name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        diagError("workload", name, "missing input tensor '", name, "'");
+    if (it->second.isPacked())
+        return packed(name)->rankIds();
+    return tensor(name).rankIds();
 }
 
 std::vector<std::string>
@@ -110,6 +172,23 @@ compile(Specification spec, const CompileOptions& opts)
                 &s.architecture.topology(eb.topology));
         } catch (const SpecError& e) {
             rethrowAsDiagnostic("binding", expr.output.name, e);
+        }
+        // A storage binding naming a format configuration the format
+        // section does not declare used to fall back to the default
+        // all-compressed format silently (when the tensor had no
+        // format entry at all) or fail mid-run; surface it here.
+        for (const binding::ComponentBinding& cb : eb.components) {
+            for (const binding::StorageBinding& sb : cb.storage) {
+                if (sb.config.empty() ||
+                    s.formats.hasConfig(sb.tensor, sb.config))
+                    continue;
+                diagError("format", sb.tensor, "einsum '",
+                          expr.output.name, "': binding of tensor '",
+                          sb.tensor, "' to component '", cb.component,
+                          "' names format config '", sb.config,
+                          "', which the format section does not "
+                          "declare");
+            }
         }
     }
 
@@ -228,7 +307,7 @@ CompiledModel::validateWorkload(const Workload& w) const
             continue;
         std::set<std::string> declared(decl_it->second.begin(),
                                        decl_it->second.end());
-        const auto ids = w.tensor(name).rankIds();
+        const auto ids = w.rankIdsOf(name);
         std::set<std::string> actual(ids.begin(), ids.end());
         if (declared != actual)
             diagError("workload", name, "tensor '", name,
@@ -245,11 +324,22 @@ CompiledModel::prepareInputs(WorkloadState& st, const Workload& w)
         return;
     // Apply the declared rank-order offline (§3.2.2: input swizzles
     // are preprocessing and cost nothing). Concordant inputs are used
-    // in place — no copy of any kind.
+    // in place — no copy of any kind. Discordant *packed* inputs take
+    // the legacy path: unpacked once here, then swizzled like any
+    // pointer tensor.
     for (const std::string& name : spec_.einsums.inputTensors()) {
-        const ft::Tensor& t = w.tensor(name);
         const auto& order = spec_.mapping.rankOrder(name);
-        if (!order.empty() && t.rankIds() != order)
+        if (order.empty())
+            continue;
+        if (const auto pk = w.packed(name)) {
+            if (pk->rankIds() != order) {
+                st.swizzledInputs.insert_or_assign(
+                    name, ft::swizzle(pk->toTensor(), order));
+            }
+            continue;
+        }
+        const ft::Tensor& t = w.tensor(name);
+        if (t.rankIds() != order)
             st.swizzledInputs.insert_or_assign(name,
                                                ft::swizzle(t, order));
     }
@@ -282,9 +372,26 @@ CompiledModel::inputRefs(const WorkloadState& st, const Workload& w) const
     ir::TensorRefMap refs;
     for (const std::string& name : spec_.einsums.inputTensors()) {
         const auto sit = st.swizzledInputs.find(name);
-        refs.emplace(name, sit != st.swizzledInputs.end()
-                               ? &sit->second
-                               : &w.tensor(name));
+        if (sit != st.swizzledInputs.end()) {
+            refs.emplace(name, &sit->second);
+            continue;
+        }
+        if (w.packed(name) != nullptr)
+            continue; // bound through packedRefs instead
+        refs.emplace(name, &w.tensor(name));
+    }
+    return refs;
+}
+
+ir::PackedRefMap
+CompiledModel::packedRefs(const WorkloadState& st, const Workload& w) const
+{
+    ir::PackedRefMap refs;
+    for (const std::string& name : spec_.einsums.inputTensors()) {
+        if (st.swizzledInputs.count(name) != 0)
+            continue; // discordant: already unpacked + swizzled
+        if (auto pk = w.packed(name))
+            refs.emplace(name, std::move(pk));
     }
     return refs;
 }
@@ -298,9 +405,13 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
 
     // Live-tensor view for plan instantiation: workload inputs (in
     // their mapping rank-order) plus intermediates as they appear.
+    // Packed inputs bind through their own map (zero fibertree
+    // construction when concordant).
     ir::TensorRefMap refs;
+    ir::PackedRefMap prefs;
     if (!st.plansComplete) {
         refs = inputRefs(st, w);
+        prefs = packedRefs(st, w);
         for (const auto& [name, tensor] : st.intermediates)
             refs.emplace(name, &tensor);
     }
@@ -330,7 +441,8 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
         if (st.plans.size() <= i) {
             st.plans.push_back(ir::instantiatePlan(
                 recipes_[i], es, refs, produced,
-                /*share_unprepared=*/true));
+                /*share_unprepared=*/true, prefs,
+                &st.unpackedInputs));
             logDebug("einsum ", i, ": ", st.plans[i].toString());
         }
         const ir::EinsumPlan& plan = st.plans[i];
@@ -407,12 +519,14 @@ CompiledModel::plans(const Workload& workload)
             prepareInputs(*st, workload);
             const einsum::EinsumSpec& es = spec_.einsums;
             const ir::TensorRefMap refs = inputRefs(*st, workload);
+            const ir::PackedRefMap prefs = packedRefs(*st, workload);
             std::vector<std::string> produced;
             for (std::size_t i = st->plans.size();
                  i < es.expressions.size(); ++i) {
                 st->plans.push_back(ir::instantiatePlan(
                     recipes_[i], es, refs, produced,
-                    /*share_unprepared=*/true));
+                    /*share_unprepared=*/true, prefs,
+                    &st->unpackedInputs));
             }
             st->plansComplete = true;
         }
@@ -463,8 +577,20 @@ CompiledModel::algorithmicMinBytes(const Workload& workload,
                 continue;
             }
         }
-        const ft::Tensor& t = workload.tensor(name);
         const auto& order = spec_.mapping.rankOrder(name);
+        if (const auto pk = workload.packed(name)) {
+            if (!order.empty() && pk->rankIds() != order) {
+                add(name, ft::swizzle(pk->toTensor(), order));
+            } else {
+                // Concordant packed input: bits straight off the
+                // packed buffers (identical to the formula on the
+                // unpacked tree).
+                bits += static_cast<double>(storage::packedTensorBits(
+                    spec_.formats.getLenient(name), *pk));
+            }
+            continue;
+        }
+        const ft::Tensor& t = workload.tensor(name);
         if (!order.empty() && t.rankIds() != order) {
             add(name, ft::swizzle(t, order));
         } else {

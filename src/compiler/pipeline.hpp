@@ -71,6 +71,13 @@ struct CompileOptions
  * alive and unmodified for the duration of each run() call that uses
  * them (cached plans share their fiber trees — call touch() after
  * mutating a tensor's contents in place to invalidate stale plans).
+ *
+ * Inputs may alternatively be bound as packed rank stores
+ * (storage::PackedTensor): a packed input whose rank order is already
+ * concordant and that needs no partitioning executes straight off its
+ * packed buffers — no pointer fibertree is ever built for it.
+ * Discordant or partitioned packed inputs are unpacked once at plan
+ * instantiation (the legacy path).
  */
 class Workload
 {
@@ -81,7 +88,7 @@ class Workload
     Workload&
     add(const std::string& name, const ft::Tensor& t)
     {
-        entries_[name] = Entry{&t, {}};
+        entries_[name] = Entry{&t, {}, nullptr, nullptr};
         fingerprint_ = nextStamp();
         return *this;
     }
@@ -90,18 +97,49 @@ class Workload
     Workload&
     add(const std::string& name, ft::Tensor&& t)
     {
-        entries_[name] = Entry{nullptr, std::move(t)};
+        entries_[name] = Entry{nullptr, std::move(t), nullptr, nullptr};
         fingerprint_ = nextStamp();
         return *this;
     }
+
+    /**
+     * Borrow a packed rank store. Sharper lifetime contract than a
+     * borrowed ft::Tensor: cached plans reference the packed buffers
+     * *directly* (pointer tensors share their fibers by shared_ptr,
+     * packed borrows share nothing), so @p t must stay alive for as
+     * long as any run or cached plan of a model uses this workload —
+     * not just the current run() call. Pass ownership (the && or
+     * shared_ptr overloads) when that is hard to guarantee.
+     */
+    Workload& add(const std::string& name,
+                  const storage::PackedTensor& t);
+
+    /** Take ownership of a packed rank store. */
+    Workload& add(const std::string& name, storage::PackedTensor&& t);
+
+    /** Share ownership of a packed rank store: cached plans keep the
+     *  buffers alive however long they outlive the caller's copy. */
+    Workload& add(const std::string& name,
+                  std::shared_ptr<const storage::PackedTensor> t);
 
     bool has(const std::string& name) const
     {
         return entries_.count(name) != 0;
     }
 
-    /** The tensor bound to @p name (DiagnosticError if absent). */
+    /** The pointer tensor bound to @p name (DiagnosticError if absent
+     *  or bound packed). */
     const ft::Tensor& tensor(const std::string& name) const;
+
+    /** The packed store bound to @p name, or null if @p name is
+     *  absent or bound as a pointer tensor. Borrowed entries return a
+     *  non-owning handle. */
+    std::shared_ptr<const storage::PackedTensor>
+    packed(const std::string& name) const;
+
+    /** Rank ids of the entry (pointer or packed); DiagnosticError if
+     *  absent. */
+    std::vector<std::string> rankIdsOf(const std::string& name) const;
 
     std::vector<std::string> names() const;
 
@@ -120,6 +158,14 @@ class Workload
     {
         const ft::Tensor* borrowed = nullptr;
         ft::Tensor owned;
+        const storage::PackedTensor* packedBorrowed = nullptr;
+        std::shared_ptr<const storage::PackedTensor> packedOwned;
+
+        bool
+        isPacked() const
+        {
+            return packedBorrowed != nullptr || packedOwned != nullptr;
+        }
     };
 
     static std::uint64_t nextStamp();
@@ -278,6 +324,10 @@ class CompiledModel
         /// tensor's: swizzled once per workload (offline, uncharged —
         /// paper §3.2.2).
         std::map<std::string, ft::Tensor> swizzledInputs;
+        /// Packed inputs that needed the legacy preparation path
+        /// (partitioned): unpacked once per workload, reused across
+        /// Einsums and slots (ir::instantiatePlan's unpack cache).
+        std::map<std::string, ft::Tensor> unpackedInputs;
         /// Intermediates produced on the instantiating run, kept so
         /// later plans could be (re)bound without re-executing.
         std::map<std::string, ft::Tensor> intermediates;
@@ -295,6 +345,10 @@ class CompiledModel
     void prepareInputs(WorkloadState& st, const Workload& w);
     ir::TensorRefMap inputRefs(const WorkloadState& st,
                                const Workload& w) const;
+    /** Packed workload entries to bind directly (everything packed
+     *  that prepareInputs did not have to unpack-and-swizzle). */
+    ir::PackedRefMap packedRefs(const WorkloadState& st,
+                                const Workload& w) const;
     void validateWorkload(const Workload& w) const;
     void validateOverrides(const RunOptions& opts) const;
     SimulationResult runOn(WorkloadState& st, const Workload& w,

@@ -218,12 +218,9 @@ denseProbe(const std::vector<ft::FiberView>& views, ft::Coord extent,
             ++wc.steps;
             ++scans[d];
             present[d] = false;
-            if (!views[d].empty()) {
-                const auto f = views[d].fiber->find(c);
-                if (f && *f >= views[d].lo && *f < views[d].hi) {
-                    present[d] = true;
-                    pos[d] = *f;
-                }
+            if (const auto f = views[d].find(c)) {
+                present[d] = true;
+                pos[d] = *f;
             }
             all &= present[d];
             any |= present[d];

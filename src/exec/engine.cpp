@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "fibertree/transform.hpp"
+#include "storage/packed.hpp"
 #include "util/diagnostic.hpp"
 #include "util/error.hpp"
 
@@ -274,6 +275,9 @@ Engine::beginRun(bool announce_swizzles)
     }
     outCoord_.assign(out_.numRanks(), 0);
     outMaterialized_.assign(out_.numRanks(), -1);
+    outFiberAt_.assign(out_.numRanks(), nullptr);
+    outHashAt_.assign(out_.numRanks(), 0);
+    outFiberAt_[0] = out_.root().get();
     outPathValid_ = false;
     leafFiber_ = nullptr;
 
@@ -281,10 +285,13 @@ Engine::beginRun(bool announce_swizzles)
     states_.clear();
     for (const ir::TensorPlan& tp : plan_.inputs) {
         TensorState st;
+        st.packed = tp.packed.get();
         const std::size_t nr = tp.prepared.numRanks();
         st.view.assign(nr, ft::FiberView{});
         st.pending.assign(nr, {kNoRange, kNoRange});
-        st.view[0] = ft::FiberView::whole(tp.prepared.root().get());
+        st.view[0] = st.packed != nullptr
+                         ? st.packed->rootView()
+                         : ft::FiberView::whole(tp.prepared.root().get());
         st.validDepth = 1;
         states_.push_back(std::move(st));
         if (tp.swizzled && announce_swizzles) {
@@ -392,12 +399,7 @@ Engine::runLoop(std::size_t loop, std::uint64_t pe)
         const ft::FiberView view =
             st.view[static_cast<std::size_t>(level)];
         bus_.coordScan(ar.input, static_cast<std::size_t>(level), 1, pe);
-        std::optional<std::size_t> found;
-        if (!view.empty()) {
-            const auto f = view.fiber->find(target);
-            if (f && *f >= view.lo && *f < view.hi)
-                found = *f;
-        }
+        const auto found = view.find(target);
         if (!found) {
             if (plan_.unionCombine) {
                 st.absent = true;
@@ -407,14 +409,7 @@ Engine::runLoop(std::size_t loop, std::uint64_t pe)
             skip = true;
             break;
         }
-        const ft::Payload& payload = view.payloadAt(*found);
-        bus_.tensorAccess(ar.input,
-                          plan_.inputs[static_cast<std::size_t>(
-                                           ar.input)]
-                              .name,
-                          static_cast<std::size_t>(level), target,
-                          &payload, &payload, pe);
-        descend(ar.input, level, payload);
+        readAndDescend(ar.input, level, view, *found, target, pe);
     }
 
     if (!skip) {
@@ -598,10 +593,8 @@ Engine::walkCore(std::size_t loop, Sink&& sink)
         // driver per coordinate (never the planner's pick for sparse
         // drivers; selectable for dense data, tests, and benches).
         ft::Coord extent = lr.denseExtent;
-        for (std::size_t d = 0; d < nd; ++d) {
-            if (views[d].fiber != nullptr)
-                extent = std::max(extent, views[d].fiber->shape());
-        }
+        for (std::size_t d = 0; d < nd; ++d)
+            extent = std::max(extent, views[d].shape());
         wc = denseProbe(views, extent, unite, pos, scans, present, body);
     } else {
         present.assign(nd, true);
@@ -794,16 +787,11 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
             continue;
         }
         const int level = drivers[d].action->level;
-        const ft::FiberView view =
-            st.view[static_cast<std::size_t>(level)];
-        const ft::Payload& payload = view.payloadAt(driver_pos[d]);
-        bus_.tensorAccess(input, plan_.inputs[
-                              static_cast<std::size_t>(input)].name,
-                          static_cast<std::size_t>(level), c, &payload,
-                          &payload, pe);
         if (level + 1 < static_cast<int>(st.view.size()))
             save_view(input, level + 1);
-        descend(input, level, payload);
+        readAndDescend(input, level,
+                       st.view[static_cast<std::size_t>(level)],
+                       driver_pos[d], c, pe);
     }
 
     // -------------------------------------------------- apply slices
@@ -840,12 +828,7 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
         const ft::FiberView view =
             st.view[static_cast<std::size_t>(level)];
         bus_.coordScan(input, static_cast<std::size_t>(level), 1, pe);
-        std::optional<std::size_t> found;
-        if (!view.empty()) {
-            const auto f = view.fiber->find(target);
-            if (f && *f >= view.lo && *f < view.hi)
-                found = *f;
-        }
+        const auto found = view.find(target);
         if (!found) {
             if (plan_.unionCombine) {
                 save_state(input);
@@ -856,15 +839,10 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
             skip = true;
             break;
         }
-        const ft::Payload& payload = view.payloadAt(*found);
-        bus_.tensorAccess(input, plan_.inputs[
-                              static_cast<std::size_t>(input)].name,
-                          static_cast<std::size_t>(level), target,
-                          &payload, &payload, pe);
         save_state(input);
         if (level + 1 < static_cast<int>(st.view.size()))
             save_view(input, level + 1);
-        descend(input, level, payload);
+        readAndDescend(input, level, view, *found, target, pe);
     }
 
     if (!skip) {
@@ -880,6 +858,49 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
     restore_vars();
     restore();
     return !skip;
+}
+
+void
+Engine::readAndDescend(int input, int level, const ft::FiberView& view,
+                       std::size_t pos, ft::Coord reported_c,
+                       std::uint64_t pe)
+{
+    const TensorState& st = states_[static_cast<std::size_t>(input)];
+    const std::string& name =
+        plan_.inputs[static_cast<std::size_t>(input)].name;
+    if (st.packed != nullptr) {
+        bus_.tensorAccessPacked(
+            input, name, static_cast<std::size_t>(level), reported_c,
+            st.packed->payloadKey(static_cast<std::size_t>(level), pos),
+            st.packed, pos, pe);
+        descendPacked(input, level, pos);
+        return;
+    }
+    const ft::Payload& payload = view.payloadAt(pos);
+    bus_.tensorAccess(input, name, static_cast<std::size_t>(level),
+                      reported_c, &payload, &payload, pe);
+    descend(input, level, payload);
+}
+
+void
+Engine::descendPacked(int input, int level, std::size_t pos)
+{
+    TensorState& st = states_[static_cast<std::size_t>(input)];
+    const std::size_t nr = st.view.size();
+    if (static_cast<std::size_t>(level) + 1 == nr) {
+        st.leaf = st.packed->leafValue(pos);
+        st.leafValid = true;
+        st.validDepth = level + 1;
+        return;
+    }
+    ft::FiberView view =
+        st.packed->childView(static_cast<std::size_t>(level), pos);
+    const auto& pending = st.pending[static_cast<std::size_t>(level) + 1];
+    if (pending.first != kNoRange)
+        view = view.range(pending.first, pending.second);
+    st.view[static_cast<std::size_t>(level) + 1] = view;
+    st.validDepth = level + 2;
+    st.leafValid = false;
 }
 
 void
@@ -919,9 +940,18 @@ void
 Engine::materializeOutputPath(std::uint64_t pe)
 {
     std::uint64_t hash = 14695981039346656037ULL;
-    ft::Fiber* fiber = out_.root().get();
     const std::size_t depth = out_.numRanks();
-    for (std::size_t level = 0; level + 1 < depth; ++level) {
+    // Resume below the deepest interior prefix whose coordinates are
+    // unchanged since the last materialization: repeated writes under
+    // the same output row skip the per-level searches entirely.
+    std::size_t level = 0;
+    while (level + 1 < depth && outMaterialized_[level] == outCoord_[level]
+           && outFiberAt_[level + 1] != nullptr) {
+        hash = outHashAt_[level];
+        ++level;
+    }
+    ft::Fiber* fiber = outFiberAt_[level];
+    for (; level + 1 < depth; ++level) {
         const ft::Coord c = outCoord_[level];
         hash = (hash ^ static_cast<std::uint64_t>(c)) * kHashPrime;
         bool inserted = false;
@@ -940,7 +970,12 @@ Engine::materializeOutputPath(std::uint64_t pe)
             p.setFiber(std::move(child));
         }
         outMaterialized_[level] = c;
+        outHashAt_[level] = hash;
         fiber = p.fiber().get();
+        outFiberAt_[level + 1] = fiber;
+        // Deeper memo entries described the previous prefix.
+        for (std::size_t l = level + 1; l + 1 < depth; ++l)
+            outFiberAt_[l + 1] = nullptr;
     }
     const ft::Coord c = outCoord_[depth - 1];
     hash = (hash ^ static_cast<std::uint64_t>(c)) * kHashPrime;

@@ -32,6 +32,11 @@ namespace teaal::util
 class ThreadPool;
 } // namespace teaal::util
 
+namespace teaal::storage
+{
+class PackedTensor;
+} // namespace teaal::storage
+
 namespace teaal::exec
 {
 
@@ -276,6 +281,10 @@ class Engine
   private:
     struct TensorState
     {
+        /// Packed backend (null for pointer inputs): views are slices
+        /// of this tensor's packed rank buffers and descend goes
+        /// through its segment arrays instead of ft::Payload.
+        const storage::PackedTensor* packed = nullptr;
         /// view[l] is the fiber window at prepared level l; valid for
         /// l < validDepth.
         std::vector<ft::FiberView> view;
@@ -371,7 +380,22 @@ class Engine
 
     void leafCompute(std::uint64_t pe);
 
+    /**
+     * Backend-dispatching payload read: reports the tensor access of
+     * element @p pos of @p view (at @p reported_c) to the trace bus
+     * and descends — through ft::Payload for pointer inputs, through
+     * the packed segment arrays for packed ones. Both backends emit
+     * the identical event sequence. Callers record their undo state
+     * first.
+     */
+    void readAndDescend(int input, int level, const ft::FiberView& view,
+                        std::size_t pos, ft::Coord reported_c,
+                        std::uint64_t pe);
+
     void descend(int input, int level, const ft::Payload& payload);
+    /** Packed counterpart of descend(): child view via segment arrays
+     *  (interior) or the flat value array (leaf). */
+    void descendPacked(int input, int level, std::size_t pos);
     void descendOutput(std::size_t level, ft::Coord c, std::uint64_t pe);
 
     ft::Coord evalExpr(const ir::LevelAction& a,
@@ -417,6 +441,14 @@ class Engine
     ft::Tensor out_;
     std::vector<ft::Coord> outCoord_;
     std::vector<ft::Coord> outMaterialized_;
+    /// Fiber of the materialized path at each level (outFiberAt_[0] =
+    /// root) and the running path hash *after* folding each level's
+    /// coordinate — lets materializeOutputPath resume below the
+    /// deepest unchanged prefix instead of re-searching from the root
+    /// on every leaf write (Fiber objects are heap-stable, so the
+    /// cached pointers survive sibling inserts).
+    std::vector<ft::Fiber*> outFiberAt_;
+    std::vector<std::uint64_t> outHashAt_;
     bool outPathValid_ = false;
     /// Parallel-path insert dedup (null for serial runs).
     std::unordered_set<std::uint64_t>* insertFilter_ = nullptr;

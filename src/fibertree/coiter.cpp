@@ -1,5 +1,8 @@
 #include "fibertree/coiter.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace teaal::ft
 {
 
@@ -8,7 +11,11 @@ FiberView::whole(const Fiber* f)
 {
     if (f == nullptr)
         return {};
-    return {f, 0, f->size()};
+    FiberView out;
+    out.fiber = f;
+    out.lo = 0;
+    out.hi = f->size();
+    return out;
 }
 
 FiberView
@@ -16,17 +23,69 @@ FiberView::range(Coord c0, Coord c1) const
 {
     if (empty())
         return {};
-    FiberView out;
-    out.fiber = fiber;
-    out.lo = fiber->lowerBound(c0);
-    out.hi = fiber->lowerBound(c1);
-    if (out.lo < lo)
-        out.lo = lo;
-    if (out.hi > hi)
-        out.hi = hi;
+    FiberView out = *this;
+    std::size_t r0;
+    std::size_t r1;
+    if (fiber != nullptr) {
+        r0 = fiber->lowerBound(c0);
+        r1 = fiber->lowerBound(c1);
+    } else {
+        r0 = static_cast<std::size_t>(
+            std::lower_bound(crd + lo, crd + hi, c0) - crd);
+        r1 = static_cast<std::size_t>(
+            std::lower_bound(crd + lo, crd + hi, c1) - crd);
+    }
+    out.lo = std::max(r0, lo);
+    out.hi = std::min(r1, hi);
     if (out.lo > out.hi)
         out.lo = out.hi;
     return out;
+}
+
+std::optional<std::size_t>
+FiberView::find(Coord c) const
+{
+    if (empty())
+        return std::nullopt;
+    if (fiber != nullptr) {
+        // Historical engine semantics: search the whole fiber, reject
+        // positions outside the window.
+        const auto f = fiber->find(c);
+        if (f && *f >= lo && *f < hi)
+            return f;
+        return std::nullopt;
+    }
+    if (bits != nullptr) {
+        // Bitmap probe: O(1) membership, rank directory for position.
+        const Coord off = c - bitFirst;
+        if (off < 0 || off >= bitExtent)
+            return std::nullopt;
+        const std::uint64_t idx = bitBase + static_cast<std::uint64_t>(off);
+        const std::uint64_t word = bits[idx >> 6];
+        if (((word >> (idx & 63)) & 1ULL) == 0)
+            return std::nullopt;
+        const std::uint64_t below =
+            bitRank[idx >> 6] +
+            static_cast<std::uint64_t>(
+                std::popcount(word & ((1ULL << (idx & 63)) - 1)));
+        const auto pos = static_cast<std::size_t>(below);
+        if (pos >= lo && pos < hi)
+            return pos;
+        return std::nullopt;
+    }
+    // Contiguous-coordinate (implicit/dense) fast path: two loads
+    // decide, then position is arithmetic.
+    const Coord first = crd[lo];
+    const Coord last = crd[hi - 1];
+    if (last - first == static_cast<Coord>(hi - lo - 1)) {
+        if (c < first || c > last)
+            return std::nullopt;
+        return lo + static_cast<std::size_t>(c - first);
+    }
+    const Coord* it = std::lower_bound(crd + lo, crd + hi, c);
+    if (it == crd + hi || *it != c)
+        return std::nullopt;
+    return static_cast<std::size_t>(it - crd);
 }
 
 CoIterStats
@@ -95,12 +154,7 @@ leaderFollower(const FiberView& leader, const FiberView& follower,
     for (std::size_t il = leader.lo; il < leader.hi; ++il) {
         const Coord c = leader.coordAt(il);
         ++stats.steps;
-        std::optional<std::size_t> pos;
-        if (!follower.empty()) {
-            const auto found = follower.fiber->find(c);
-            if (found && *found >= follower.lo && *found < follower.hi)
-                pos = *found;
-        }
+        const std::optional<std::size_t> pos = follower.find(c);
         if (pos)
             ++stats.matches;
         fn(c, il, pos);

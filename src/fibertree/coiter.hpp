@@ -17,22 +17,79 @@
 namespace teaal::ft
 {
 
-/** A contiguous, read-only window [lo, hi) of a fiber's positions. */
+/**
+ * A contiguous, read-only window [lo, hi) of one fiber's positions.
+ *
+ * Two interchangeable backends sit behind the same interface, so the
+ * co-iteration strategies and the execution engine walk either without
+ * knowing which:
+ *
+ *   pointer  `fiber` set — a window of a ft::Fiber's coordinate array,
+ *   packed   `crd` set — a slice of a packed rank's flat coordinate
+ *            array (storage/packed.hpp), positions global to the rank.
+ *
+ * Packed views may carry a bitmap auxiliary (B-format ranks): a
+ * presence-bit run plus a per-word rank directory giving O(1)
+ * membership and position in find(). Packed views of contiguous
+ * fibers (dense/U ranks) take an O(1) implicit-coordinate path in
+ * find() — no per-view state needed, contiguity is two loads.
+ */
 struct FiberView
 {
     const Fiber* fiber = nullptr;
     std::size_t lo = 0;
     std::size_t hi = 0;
 
-    std::size_t size() const { return hi - lo; }
-    bool empty() const { return lo >= hi || fiber == nullptr; }
+    // ---- packed backend (set when fiber == nullptr) ----
+    /// Base of the rank's coordinate array (positions are absolute).
+    const Coord* crd = nullptr;
+    /// Rank shape (pointer views read it off the fiber).
+    Coord shapeHint = 0;
+    /// Bitmap auxiliary: the fiber's presence bits occupy pool bits
+    /// [bitBase, bitBase + bitExtent), bit 0 = coordinate bitFirst.
+    /// The pool-global rank of a set bit is the element's position.
+    const std::uint64_t* bits = nullptr;
+    const std::uint64_t* bitRank = nullptr;
+    std::uint64_t bitBase = 0;
+    Coord bitFirst = 0;
+    Coord bitExtent = 0;
 
-    Coord coordAt(std::size_t pos) const { return fiber->coordAt(pos); }
+    std::size_t size() const { return hi - lo; }
+    bool
+    empty() const
+    {
+        return lo >= hi || (fiber == nullptr && crd == nullptr);
+    }
+
+    Coord
+    coordAt(std::size_t pos) const
+    {
+        return fiber != nullptr ? fiber->coordAt(pos) : crd[pos];
+    }
+
+    /** Pointer-backed views only (packed payloads live in the packed
+     *  tensor's own arrays; the engine descends through it directly). */
     const Payload&
     payloadAt(std::size_t pos) const
     {
         return fiber->payloadAt(pos);
     }
+
+    /** Coordinate-space size of the backing rank (0 if unbacked). */
+    Coord
+    shape() const
+    {
+        return fiber != nullptr ? fiber->shape() : shapeHint;
+    }
+
+    /**
+     * Position of coordinate @p c inside this window, or nullopt.
+     * Pointer views search the backing fiber and reject hits outside
+     * [lo, hi) — the engine's historical lookup semantics. Packed
+     * views binary-search the slice, with O(1) fast paths for
+     * contiguous (implicit-coordinate) fibers and bitmap ranks.
+     */
+    std::optional<std::size_t> find(Coord c) const;
 
     /** View over an entire fiber (empty view if null). */
     static FiberView whole(const Fiber* f);

@@ -1,11 +1,29 @@
 #include "fibertree/fiber.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/error.hpp"
 
 namespace teaal::ft
 {
+
+namespace
+{
+std::atomic<std::uint64_t> g_fiber_constructions{0};
+} // namespace
+
+void
+Fiber::noteConstruction()
+{
+    g_fiber_constructions.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Fiber::constructionCount()
+{
+    return g_fiber_constructions.load(std::memory_order_relaxed);
+}
 
 bool
 Payload::empty() const

@@ -21,10 +21,18 @@ namespace teaal::ft
 class Fiber
 {
   public:
-    Fiber() = default;
+    Fiber() { noteConstruction(); }
 
     /** @param shape Legal coordinate range is [0, shape). */
-    explicit Fiber(Coord shape) : shape_(shape) {}
+    explicit Fiber(Coord shape) : shape_(shape) { noteConstruction(); }
+
+    /**
+     * Process-wide count of Fiber constructions. The packed-execution
+     * tests assert that binding and running a packed workload builds
+     * no per-element pointer fibers (the counter's delta stays O(rank
+     * count), independent of nnz).
+     */
+    static std::uint64_t constructionCount();
 
     std::size_t size() const { return coords_.size(); }
     bool empty() const { return coords_.empty(); }
@@ -107,6 +115,8 @@ class Fiber
         std::vector<std::pair<Coord, Payload>> elems, Coord shape);
 
   private:
+    static void noteConstruction();
+
     std::vector<Coord> coords_;
     std::vector<Payload> payloads_;
     Coord shape_ = 0;

@@ -120,6 +120,14 @@ FormatSpec::hasTensor(const std::string& tensor) const
     return tensors_.count(tensor) > 0;
 }
 
+bool
+FormatSpec::hasConfig(const std::string& tensor,
+                      const std::string& config) const
+{
+    const auto it = tensors_.find(tensor);
+    return it != tensors_.end() && it->second.count(config) > 0;
+}
+
 const TensorFormat&
 FormatSpec::get(const std::string& tensor, const std::string& config) const
 {

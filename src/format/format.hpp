@@ -78,6 +78,10 @@ class FormatSpec
 
     bool hasTensor(const std::string& tensor) const;
 
+    /** True iff @p tensor declares a configuration named @p config. */
+    bool hasConfig(const std::string& tensor,
+                   const std::string& config) const;
+
     /**
      * Configuration lookup. An empty @p config selects the tensor's
      * only configuration (error if ambiguous). Missing tensors get a

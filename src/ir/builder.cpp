@@ -25,6 +25,7 @@
 #include "ir/plan.hpp"
 
 #include "fibertree/transform.hpp"
+#include "storage/packed.hpp"
 #include "util/diagnostic.hpp"
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
@@ -183,6 +184,42 @@ class Preparing
 };
 
 /**
+ * What a partitioning group does to one tensor: transforms it
+ * (flatten/split applied in place), dynamically follows it (occupancy
+ * non-leader: Slice actions, no transform), or leaves it alone. The
+ * single source of truth for group applicability — the packed
+ * fast-path eligibility scan and the legacy preparation loop both
+ * dispatch on it, so they cannot diverge.
+ */
+enum class GroupEffect
+{
+    None,
+    Transform,
+    Follow,
+};
+
+template <typename HasRank>
+GroupEffect
+groupEffect(const RecipeGroup& g, HasRank&& has_rank,
+            const std::string& tensor_name)
+{
+    if (g.hasFlatten) {
+        // All constituents present: the tensor is swizzled-adjacent,
+        // flattened, and split. Partial constituents use lookups at
+        // the flattened rank instead (no transform).
+        return std::all_of(g.sourceRanks.begin(), g.sourceRanks.end(),
+                           has_rank)
+                   ? GroupEffect::Transform
+                   : GroupEffect::None;
+    }
+    if (!has_rank(g.base))
+        return GroupEffect::None;
+    if (!g.occupancy || g.leader == tensor_name)
+        return GroupEffect::Transform;
+    return GroupEffect::Follow;
+}
+
+/**
  * Apply the split directives of @p info to @p t (rank @p info.base),
  * producing ranks named info.results top-down.
  */
@@ -221,6 +258,22 @@ coiterStrategyName(CoiterStrategy s)
     return "?";
 }
 
+const char*
+packedWalkName(PackedWalk w)
+{
+    switch (w) {
+      case PackedWalk::None:
+        return "";
+      case PackedWalk::Coords:
+        return "coords";
+      case PackedWalk::DenseImplicit:
+        return "implicit";
+      case PackedWalk::BitmapProbe:
+        return "bitmap";
+    }
+    return "?";
+}
+
 std::string
 EinsumPlan::toString() const
 {
@@ -235,11 +288,15 @@ EinsumPlan::toString() const
             oss << "(range)";
         if (l.coiter != CoiterStrategy::TwoFinger)
             oss << "(" << coiterStrategyName(l.coiter) << ")";
+        if (l.packedWalk != PackedWalk::None)
+            oss << "(" << packedWalkName(l.packedWalk) << ")";
     }
     oss << "\n";
     for (const TensorPlan& tp : inputs) {
         oss << "  " << tp.name << " [" << join(tp.prepared.rankIds(), ", ")
             << "]";
+        if (tp.packed != nullptr)
+            oss << " packed";
         if (tp.swizzled)
             oss << (tp.swizzleOnline ? " online-swizzle" : " swizzled");
         oss << ":";
@@ -349,8 +406,24 @@ EinsumPlan
 instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
                 const TensorRefMap& tensors,
                 const std::vector<std::string>& intermediates,
-                bool share_unprepared)
+                bool share_unprepared, const PackedRefMap& packed,
+                std::map<std::string, ft::Tensor>* unpack_cache)
 {
+    // Materialize a packed input for the legacy path — through the
+    // caller's memo when one is provided, so a tensor is unpacked at
+    // most once per workload, not once per slot and Einsum.
+    auto unpack = [&](const std::string& name,
+                      const storage::PackedTensor& pk,
+                      ft::Tensor& local) -> const ft::Tensor* {
+        if (unpack_cache == nullptr) {
+            local = pk.toTensor();
+            return &local;
+        }
+        auto it = unpack_cache->find(name);
+        if (it == unpack_cache->end())
+            it = unpack_cache->emplace(name, pk.toTensor()).first;
+        return &it->second;
+    };
     const einsum::Expression& expr = recipe.expr;
 
     EinsumPlan plan;
@@ -363,11 +436,19 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
         tp.name = expr.inputs[0].name;
         tp.exprInput = 0;
         const auto it = tensors.find(tp.name);
-        if (it == tensors.end())
+        const auto pit = packed.find(tp.name);
+        if (it == tensors.end() && pit == packed.end())
             specError("einsum '", expr.text, "': tensor '", tp.name,
                       "' has no data");
-        Preparing prep(it->second);
-        tp.prepared = prep.take(share_unprepared);
+        if (it != tensors.end()) {
+            Preparing prep(it->second);
+            tp.prepared = prep.take(share_unprepared);
+        } else {
+            // Whole-tensor copies clone the source; unpack it.
+            ft::Tensor local;
+            Preparing prep(unpack(tp.name, *pit->second, local));
+            tp.prepared = prep.take(share_unprepared);
+        }
         plan.inputs.push_back(std::move(tp));
         plan.output.name = expr.output.name;
         plan.shard = analyzeSharding(plan);
@@ -382,18 +463,22 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
     // (a rank's shape may only be discoverable from a tensor used by
     // a *different* Einsum of the cascade, e.g. Toeplitz S from F).
     std::map<std::string, ft::Coord> rank_shape;
-    for (const auto& [name, tensor] : tensors) {
+    auto note_shapes = [&](const std::string& name,
+                           const std::vector<ft::RankInfo>& ranks) {
         const auto decl_it = spec.declaration.find(name);
         if (decl_it == spec.declaration.end())
-            continue;
+            return;
         const auto& decl = decl_it->second;
-        for (std::size_t lvl = 0; lvl < tensor->numRanks(); ++lvl) {
-            const ft::RankInfo& ri = tensor->rank(lvl);
+        for (const ft::RankInfo& ri : ranks) {
             if (std::find(decl.begin(), decl.end(), ri.id) != decl.end())
                 rank_shape[ri.id] =
                     std::max(rank_shape[ri.id], ri.shape);
         }
-    }
+    };
+    for (const auto& [name, tensor] : tensors)
+        note_shapes(name, tensor->ranks());
+    for (const auto& [name, pk] : packed)
+        note_shapes(name, pk->ranks());
 
     // Shape of each iteration variable's rank. The visiting set guards
     // against mutually-underconstrained affine shapes (T[q,s]=I[q+s]
@@ -595,10 +680,22 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
     }
 
     // ------------------------------------------------ input tensors
+    /// An action to assign to one tensor level, keyed by rank id first
+    /// (levels shift after the concordance swizzle).
+    struct PendingAction
+    {
+        std::string rankId;
+        LevelAction::Mode mode;
+        int loopIndex;
+        IndexExpr expr;
+    };
+
     for (std::size_t slot = 0; slot < expr.inputs.size(); ++slot) {
         const TensorRef& ref = expr.inputs[slot];
         const auto tit = tensors.find(ref.name);
-        if (tit == tensors.end())
+        const auto pit = packed.find(ref.name);
+        const bool have_packed = pit != packed.end();
+        if (tit == tensors.end() && !have_packed)
             specError("einsum '", expr.text, "': tensor '", ref.name,
                       "' has no data");
         const auto decl_it = spec.declaration.find(ref.name);
@@ -610,127 +707,86 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
         TensorPlan tp;
         tp.name = ref.name;
         tp.exprInput = static_cast<int>(slot);
-        Preparing prep(tit->second);
 
-        // Dynamic-follower groups for this tensor.
-        std::vector<const RecipeGroup*> follower_of;
-
-        // Apply partitioning groups in order.
-        for (const RecipeGroup& g : groups) {
-            const auto& src = g.sourceRanks;
-            const auto has_rank = [&](const std::string& r) {
-                return prep.get().rankLevel(r) >= 0;
-            };
-            if (g.hasFlatten) {
-                const bool has_all = std::all_of(
-                    src.begin(), src.end(), has_rank);
-                if (has_all) {
-                    const auto target =
-                        adjacentOrder(prep.get().rankIds(), src);
-                    if (target != prep.get().rankIds())
-                        prep.replace(ft::swizzle(prep.get(), target));
-                    // Flatten pairwise left-to-right.
-                    std::string upper = src[0];
-                    for (std::size_t i = 1; i < src.size(); ++i) {
-                        prep.replace(
-                            ft::flattenRanks(prep.get(), upper, src[i]));
-                        upper += src[i];
+        // Assign an action to every level of @p ranks_in, given the
+        // dynamic-follower groups of this tensor. Shared between the
+        // packed fast path (original rank order, no transforms) and
+        // the prepared pointer path (post-transform rank order).
+        auto compute_pending =
+            [&](const std::vector<ft::RankInfo>& ranks_in,
+                const std::vector<const RecipeGroup*>& follower_of)
+            -> std::vector<PendingAction> {
+            std::vector<PendingAction> pending;
+            for (const ft::RankInfo& ri : ranks_in) {
+                const std::string& rid = ri.id;
+                const int direct = loopIndexOf(loop_order, rid);
+                if (direct >= 0) {
+                    pending.push_back({rid, LevelAction::Mode::CoIterate,
+                                       direct, {}});
+                    continue;
+                }
+                // Dynamic follower base rank?
+                const RecipeGroup* follow = nullptr;
+                for (const RecipeGroup* g : follower_of) {
+                    if (g->base == rid)
+                        follow = g;
+                }
+                if (follow != nullptr) {
+                    for (std::size_t i = 0;
+                         i + 1 < follow->results.size(); ++i) {
+                        const int idx =
+                            loopIndexOf(loop_order, follow->results[i]);
+                        if (idx < 0)
+                            specError("einsum '", expr.text, "': rank '",
+                                      follow->results[i],
+                                      "' missing from the loop order");
+                        pending.push_back(
+                            {rid, LevelAction::Mode::Slice, idx, {}});
                     }
-                    TEAAL_ASSERT(upper == g.base, "flatten naming");
-                    applySplits(prep, g);
-                }
-                // Tensors with only some constituents use lookups at
-                // the flattened rank (handled below).
-            } else if (has_rank(g.base)) {
-                if (!g.occupancy) {
-                    applySplits(prep, g);
-                } else if (g.leader == ref.name) {
-                    applySplits(prep, g);
-                } else {
-                    follower_of.push_back(&g);
-                }
-            }
-        }
-
-        // Assign an action to every prepared level, keyed by rank id
-        // first (levels shift after the concordance swizzle).
-        struct PendingAction
-        {
-            std::string rankId;
-            LevelAction::Mode mode;
-            int loopIndex;
-            IndexExpr expr;
-        };
-        std::vector<PendingAction> pending;
-
-        for (const ft::RankInfo& ri : prep.get().ranks()) {
-            const std::string& rid = ri.id;
-            const int direct = loopIndexOf(loop_order, rid);
-            if (direct >= 0) {
-                pending.push_back({rid, LevelAction::Mode::CoIterate,
-                                   direct, {}});
-                continue;
-            }
-            // Dynamic follower base rank?
-            const RecipeGroup* follow = nullptr;
-            for (const RecipeGroup* g : follower_of) {
-                if (g->base == rid)
-                    follow = g;
-            }
-            if (follow != nullptr) {
-                for (std::size_t i = 0; i + 1 < follow->results.size();
-                     ++i) {
-                    const int idx =
-                        loopIndexOf(loop_order, follow->results[i]);
-                    if (idx < 0)
+                    const int leaf =
+                        loopIndexOf(loop_order, follow->results.back());
+                    if (leaf < 0)
                         specError("einsum '", expr.text, "': rank '",
-                                  follow->results[i],
+                                  follow->results.back(),
                                   "' missing from the loop order");
                     pending.push_back(
-                        {rid, LevelAction::Mode::Slice, idx, {}});
+                        {rid, LevelAction::Mode::CoIterate, leaf, {}});
+                    continue;
                 }
-                const int leaf =
-                    loopIndexOf(loop_order, follow->results.back());
-                if (leaf < 0)
-                    specError("einsum '", expr.text, "': rank '",
-                              follow->results.back(),
-                              "' missing from the loop order");
-                pending.push_back(
-                    {rid, LevelAction::Mode::CoIterate, leaf, {}});
-                continue;
+                // Lookup: resolve the expression slot via the declared
+                // rank — exact id first (real rank names may end in
+                // digits, e.g. the FFT's N1), then the digit-stripped
+                // base of partition-derived names.
+                std::size_t dpos;
+                if (std::find(decl.begin(), decl.end(), rid) !=
+                    decl.end()) {
+                    dpos = declPosition(decl, rid, ref.name);
+                } else {
+                    dpos =
+                        declPosition(decl, baseOfDerived(rid), ref.name);
+                }
+                IndexExpr ie = ref.indices.empty()
+                                   ? IndexExpr{}
+                                   : ref.indices[dpos];
+                int trigger = 0;
+                for (const std::string& v : ie.vars) {
+                    const auto bit = plan.varBoundAt.find(v);
+                    if (bit == plan.varBoundAt.end())
+                        specError("einsum '", expr.text,
+                                  "': variable '", v, "' used by ",
+                                  ref.name,
+                                  " is never bound by the loop order");
+                    trigger = std::max(trigger, bit->second);
+                }
+                pending.push_back({rid, LevelAction::Mode::Lookup,
+                                   trigger, std::move(ie)});
             }
-            // Lookup: resolve the expression slot via the declared
-            // rank — exact id first (real rank names may end in
-            // digits, e.g. the FFT's N1), then the digit-stripped
-            // base of partition-derived names.
-            std::size_t dpos;
-            if (std::find(decl.begin(), decl.end(), rid) != decl.end()) {
-                dpos = declPosition(decl, rid, ref.name);
-            } else {
-                dpos = declPosition(decl, baseOfDerived(rid), ref.name);
-            }
-            IndexExpr ie = ref.indices.empty()
-                               ? IndexExpr{}
-                               : ref.indices[dpos];
-            int trigger = 0;
-            for (const std::string& v : ie.vars) {
-                const auto bit = plan.varBoundAt.find(v);
-                if (bit == plan.varBoundAt.end())
-                    specError("einsum '", expr.text, "': variable '", v,
-                              "' used by ", ref.name,
-                              " is never bound by the loop order");
-                trigger = std::max(trigger, bit->second);
-            }
-            pending.push_back(
-                {rid, LevelAction::Mode::Lookup, trigger, std::move(ie)});
-        }
-
-        // Lookups cannot fire before their tree parents are descended,
-        // so clamp them to the running maximum in prepared-level
-        // order. CoIterate loop indices come from the loop order and
-        // are never clamped: the concordance swizzle below reorders
-        // the tree instead (e.g. MTTKRP's B[j,r] traversed [R, J]).
-        {
+            // Lookups cannot fire before their tree parents are
+            // descended, so clamp them to the running maximum in
+            // level order. CoIterate loop indices come from the loop
+            // order and are never clamped: the concordance swizzle
+            // reorders the tree instead (e.g. MTTKRP's B[j,r]
+            // traversed [R, J]).
             int running = -1;
             for (PendingAction& pa : pending) {
                 if (pa.mode == LevelAction::Mode::Slice)
@@ -739,57 +795,158 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
                     pa.loopIndex = std::max(pa.loopIndex, running);
                 running = std::max(running, pa.loopIndex);
             }
-        }
+            return pending;
+        };
 
-        // Concordant order: sort non-slice actions by (loopIndex,
-        // original level) and require the prepared tensor in that
-        // order (§3.2.2). Stable sort keeps ties in tree order.
-        std::vector<std::string> required;
-        {
-            std::vector<const PendingAction*> nav;
-            for (const PendingAction& pa : pending) {
-                if (pa.mode != LevelAction::Mode::Slice)
-                    nav.push_back(&pa);
-            }
-            std::stable_sort(nav.begin(), nav.end(),
-                             [](const PendingAction* a,
-                                const PendingAction* b) {
-                                 return a->loopIndex < b->loopIndex;
-                             });
-            for (const PendingAction* pa : nav)
-                required.push_back(pa->rankId);
-        }
-        if (required != prep.get().rankIds()) {
-            // Estimate merger "ways" before destroying the old order:
-            // the occupancy of the shallowest rank that moves deeper.
-            std::size_t ways = 2;
-            const auto old_ids = prep.get().rankIds();
-            for (std::size_t lvl = 0; lvl < old_ids.size(); ++lvl) {
-                const auto npos = std::find(required.begin(),
-                                            required.end(), old_ids[lvl]);
-                const std::size_t new_lvl = static_cast<std::size_t>(
-                    npos - required.begin());
-                if (new_lvl > lvl) {
-                    std::vector<std::size_t> counts;
-                    prep.get().root()->elementCountsByDepth(counts);
-                    std::size_t fibers_above =
-                        lvl == 0 ? 1 : counts[lvl - 1];
-                    if (fibers_above > 0 && counts.size() > lvl)
-                        ways = std::max<std::size_t>(
-                            2, counts[lvl] / fibers_above + 1);
+        // Concordant order: non-slice actions sorted by (loopIndex,
+        // original level) — the rank order the walked tree must have
+        // (§3.2.2). Stable sort keeps ties in tree order.
+        auto required_of =
+            [](const std::vector<PendingAction>& pending) {
+                std::vector<const PendingAction*> nav;
+                for (const PendingAction& pa : pending) {
+                    if (pa.mode != LevelAction::Mode::Slice)
+                        nav.push_back(&pa);
+                }
+                std::stable_sort(nav.begin(), nav.end(),
+                                 [](const PendingAction* a,
+                                    const PendingAction* b) {
+                                     return a->loopIndex < b->loopIndex;
+                                 });
+                std::vector<std::string> required;
+                for (const PendingAction* pa : nav)
+                    required.push_back(pa->rankId);
+                return required;
+            };
+
+        std::vector<PendingAction> pending;
+
+        // ---- packed fast path: bind the packed rank store directly
+        // when no partitioning transform touches this tensor and its
+        // rank order is already concordant — zero fibertree
+        // construction, the engine walks the packed buffers.
+        if (have_packed && tp.packed == nullptr) {
+            const std::shared_ptr<const storage::PackedTensor>& pk =
+                pit->second;
+            const auto pk_ids = pk->rankIds();
+            const auto pk_has = [&](const std::string& r) {
+                return std::find(pk_ids.begin(), pk_ids.end(), r) !=
+                       pk_ids.end();
+            };
+            bool transforms = false;
+            std::vector<const RecipeGroup*> pk_followers;
+            for (const RecipeGroup& g : groups) {
+                switch (groupEffect(g, pk_has, ref.name)) {
+                  case GroupEffect::Transform:
+                    transforms = true;
+                    break;
+                  case GroupEffect::Follow:
+                    pk_followers.push_back(&g);
+                    break;
+                  case GroupEffect::None:
                     break;
                 }
             }
-            tp.swizzled = true;
-            tp.swizzleOnline =
-                std::find(intermediates.begin(), intermediates.end(),
-                          ref.name) != intermediates.end();
-            tp.swizzleElements = prep.get().nnz();
-            tp.swizzleWays = ways;
-            prep.replace(ft::swizzle(prep.get(), required));
+            if (!transforms) {
+                pending = compute_pending(pk->ranks(), pk_followers);
+                if (required_of(pending) == pk_ids) {
+                    tp.packed = pk;
+                    // Rank-skeleton placeholder: the model reads rank
+                    // metadata off `prepared`; no fiber data exists.
+                    tp.prepared = ft::Tensor(ref.name, pk->ranks());
+                } else {
+                    pending.clear();
+                }
+            }
         }
 
-        tp.prepared = prep.take(share_unprepared);
+        // ---- legacy pointer path (packed inputs that need
+        // preparation are unpacked here, memoized per workload).
+        ft::Tensor unpacked;
+        if (tp.packed == nullptr) {
+            const ft::Tensor* src;
+            if (tit != tensors.end()) {
+                src = tit->second;
+            } else {
+                src = unpack(ref.name, *pit->second, unpacked);
+            }
+            Preparing prep(src);
+
+            // Dynamic-follower groups for this tensor.
+            std::vector<const RecipeGroup*> follower_of;
+
+            // Apply partitioning groups in order (same applicability
+            // predicate the packed eligibility scan used).
+            for (const RecipeGroup& g : groups) {
+                const auto has_rank = [&](const std::string& r) {
+                    return prep.get().rankLevel(r) >= 0;
+                };
+                switch (groupEffect(g, has_rank, ref.name)) {
+                  case GroupEffect::Transform:
+                    if (g.hasFlatten) {
+                        const auto& src_ranks = g.sourceRanks;
+                        const auto target = adjacentOrder(
+                            prep.get().rankIds(), src_ranks);
+                        if (target != prep.get().rankIds())
+                            prep.replace(ft::swizzle(prep.get(), target));
+                        // Flatten pairwise left-to-right.
+                        std::string upper = src_ranks[0];
+                        for (std::size_t i = 1; i < src_ranks.size();
+                             ++i) {
+                            prep.replace(ft::flattenRanks(
+                                prep.get(), upper, src_ranks[i]));
+                            upper += src_ranks[i];
+                        }
+                        TEAAL_ASSERT(upper == g.base, "flatten naming");
+                    }
+                    applySplits(prep, g);
+                    break;
+                  case GroupEffect::Follow:
+                    follower_of.push_back(&g);
+                    break;
+                  case GroupEffect::None:
+                    // Flatten groups with only some constituents use
+                    // lookups at the flattened rank (handled below).
+                    break;
+                }
+            }
+
+            pending = compute_pending(prep.get().ranks(), follower_of);
+            const std::vector<std::string> required =
+                required_of(pending);
+            if (required != prep.get().rankIds()) {
+                // Estimate merger "ways" before destroying the old
+                // order: occupancy of the shallowest rank moving deeper.
+                std::size_t ways = 2;
+                const auto old_ids = prep.get().rankIds();
+                for (std::size_t lvl = 0; lvl < old_ids.size(); ++lvl) {
+                    const auto npos =
+                        std::find(required.begin(), required.end(),
+                                  old_ids[lvl]);
+                    const std::size_t new_lvl = static_cast<std::size_t>(
+                        npos - required.begin());
+                    if (new_lvl > lvl) {
+                        std::vector<std::size_t> counts;
+                        prep.get().root()->elementCountsByDepth(counts);
+                        std::size_t fibers_above =
+                            lvl == 0 ? 1 : counts[lvl - 1];
+                        if (fibers_above > 0 && counts.size() > lvl)
+                            ways = std::max<std::size_t>(
+                                2, counts[lvl] / fibers_above + 1);
+                        break;
+                    }
+                }
+                tp.swizzled = true;
+                tp.swizzleOnline =
+                    std::find(intermediates.begin(), intermediates.end(),
+                              ref.name) != intermediates.end();
+                tp.swizzleElements = prep.get().nnz();
+                tp.swizzleWays = ways;
+                prep.replace(ft::swizzle(prep.get(), required));
+            }
+
+            tp.prepared = prep.take(share_unprepared);
+        }
 
         // Materialize final actions with post-swizzle levels.
         for (const PendingAction& pa : pending) {
@@ -825,8 +982,14 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
     // traversal each); every per-level occupancy below indexes them.
     std::vector<std::vector<double>> input_hints;
     input_hints.reserve(plan.inputs.size());
-    for (const TensorPlan& tp : plan.inputs)
-        input_hints.push_back(tp.prepared.occupancyHints());
+    for (const TensorPlan& tp : plan.inputs) {
+        // Packed inputs report hints off their buffer lengths —
+        // bit-identical to the unpacked tree's, so strategy selection
+        // (and therefore every modeled count) is backend-independent.
+        input_hints.push_back(tp.packed != nullptr
+                                  ? tp.packed->occupancyHints()
+                                  : tp.prepared.occupancyHints());
+    }
     for (std::size_t i = 0; i < plan.loops.size(); ++i) {
         LoopRank& lr = plan.loops[i];
         std::vector<double> occupancies;
@@ -867,6 +1030,41 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
             !lr.isUpperPartition &&
             lr.driverSkew >= kGallopSkewThreshold) {
             lr.coiter = CoiterStrategy::Gallop;
+        }
+    }
+
+    // Packed-walk variants: for every loop rank with a packed driver,
+    // record how its packed buffers are accessed, from the driver
+    // level's declared format — gallop/two-finger over the raw
+    // coordinate array (C), implicit-coordinate probes (U), bitmap
+    // probes (B). Purely a host-side access note: `coiter` and the
+    // charged counts are unchanged.
+    for (std::size_t i = 0; i < plan.loops.size(); ++i) {
+        LoopRank& lr = plan.loops[i];
+        for (const TensorPlan& tp : plan.inputs) {
+            if (tp.packed == nullptr)
+                continue;
+            for (const LevelAction& a : tp.actions) {
+                if (a.loopIndex != static_cast<int>(i) ||
+                    a.mode != LevelAction::Mode::CoIterate)
+                    continue;
+                PackedWalk w = PackedWalk::Coords;
+                switch (tp.packed->levelType(
+                    static_cast<std::size_t>(a.level))) {
+                  case fmt::RankFormat::Type::U:
+                    w = PackedWalk::DenseImplicit;
+                    break;
+                  case fmt::RankFormat::Type::B:
+                    w = PackedWalk::BitmapProbe;
+                    break;
+                  case fmt::RankFormat::Type::C:
+                    w = PackedWalk::Coords;
+                    break;
+                }
+                if (static_cast<int>(w) >
+                    static_cast<int>(lr.packedWalk))
+                    lr.packedWalk = w;
+            }
         }
     }
 

@@ -22,12 +22,18 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "einsum/parser.hpp"
 #include "fibertree/tensor.hpp"
 #include "mapping/mapping.hpp"
+
+namespace teaal::storage
+{
+class PackedTensor;
+} // namespace teaal::storage
 
 namespace teaal::ir
 {
@@ -49,6 +55,36 @@ enum class CoiterStrategy
     TwoFinger,
     Gallop,
     DenseDrive,
+};
+
+/**
+ * How a loop rank's packed drivers are accessed when the plan binds
+ * packed inputs (storage/packed.hpp) — recorded at instantiation from
+ * the drivers' declared rank formats, for introspection (toString,
+ * tests, tools). The actual dispatch is *structural*: each
+ * ft::FiberView picks its find/walk path from the packed auxiliaries
+ * it carries, so this field describes what instantiation selected
+ * rather than steering execution. It is the host-side access variant,
+ * orthogonal to `coiter` (which fixes the modeled hardware walk and
+ * its charged counts): packed variants accelerate the walk without
+ * changing a single emitted event. A loop with mixed-format packed
+ * drivers records the strongest variant (BitmapProbe > DenseImplicit
+ * > Coords).
+ *
+ *   None           no packed driver at this rank,
+ *   Coords         gallop / two-finger over the raw coordinate array
+ *                  (C-format ranks),
+ *   DenseImplicit  O(1) implicit-coordinate probes on contiguous
+ *                  fibers (U-format ranks),
+ *   BitmapProbe    O(1) presence-bit + rank-directory probes (B-format
+ *                  ranks, SIGMA's bitmap intersection).
+ */
+enum class PackedWalk
+{
+    None,
+    Coords,
+    DenseImplicit,
+    BitmapProbe,
 };
 
 /** How a tensor level is advanced at some loop rank. */
@@ -82,8 +118,17 @@ struct TensorPlan
     /// sharing (instantiatePlan's share_unprepared), this is a shallow
     /// copy whose fibers are shared with the caller's tensor (fibers
     /// are shared_ptrs); execution never mutates input trees, so the
-    /// share is safe and costs no deep copy.
+    /// share is safe and costs no deep copy. When `packed` is set this
+    /// is an empty rank-skeleton placeholder (the model reads rank
+    /// metadata off it; no fiber data exists).
     ft::Tensor prepared;
+
+    /// Bound packed rank store (storage/packed.hpp): set when the
+    /// workload supplied this input packed, no preparation (partition/
+    /// flatten/swizzle) applies, and the packed rank order is already
+    /// concordant. The engine then walks the packed buffers directly —
+    /// no pointer fiber is ever built or cloned for this input.
+    std::shared_ptr<const storage::PackedTensor> packed;
 
     /// Actions in execution order (sorted by loopIndex, then level).
     std::vector<LevelAction> actions;
@@ -136,6 +181,10 @@ struct LoopRank
     /// Co-iteration strategy, selected at plan time from the drivers'
     /// occupancy hints (DenseDrive for driverless ranks).
     CoiterStrategy coiter = CoiterStrategy::TwoFinger;
+
+    /// Packed-driver access variant (None unless a packed input
+    /// co-iterates here); see PackedWalk.
+    PackedWalk packedWalk = PackedWalk::None;
 
     /// Occupancy skew between the densest and sparsest driver at this
     /// rank (1 when uniform or fewer than two drivers); diagnostic for
@@ -217,6 +266,9 @@ struct EinsumPlan
 
 /** Short human-readable strategy name ("2finger", "gallop", "dense"). */
 const char* coiterStrategyName(CoiterStrategy s);
+
+/** Short packed-walk name ("", "coords", "implicit", "bitmap"). */
+const char* packedWalkName(PackedWalk w);
 
 /**
  * One partitioning group of a recipe: a value-owning copy of the
@@ -310,6 +362,14 @@ ShardPlan analyzeSharding(const EinsumPlan& plan);
 using TensorRefMap = std::map<std::string, const ft::Tensor*>;
 
 /**
+ * Live packed tensors by name. Borrowed entries use a non-owning
+ * shared_ptr (empty control block); owned entries keep the packed
+ * buffers alive for as long as any cached plan binds them.
+ */
+using PackedRefMap =
+    std::map<std::string, std::shared_ptr<const storage::PackedTensor>>;
+
+/**
  * Stage 1 — analyze: derive the spec-only recipe for @p expr.
  * Surfaces loop-order / partitioning / spacetime inconsistencies as
  * SpecError without needing any tensor data, so `compile` can reject
@@ -333,12 +393,27 @@ EinsumRecipe analyzeEinsum(const einsum::Expression& expr,
  * @param share_unprepared When true, an input needing no preparation
  *                 is shallow-copied (fiber trees shared) instead of
  *                 deep-cloned — the compile-once/run-many path.
+ * @param packed   Inputs supplied as packed rank stores. A packed
+ *                 input needing no preparation whose rank order is
+ *                 already concordant binds directly (TensorPlan::
+ *                 packed — zero fibertree construction); otherwise it
+ *                 is unpacked and prepared through the legacy path. A
+ *                 name present here must not also be in @p tensors.
+ * @param unpack_cache Optional caller-owned memo of unpacked packed
+ *                 inputs, keyed by name: a packed tensor taking the
+ *                 legacy path is materialized once into the cache and
+ *                 reused by later slots and Einsums (the pipeline
+ *                 passes its per-workload state). Null falls back to
+ *                 a per-slot unpack.
  */
 EinsumPlan instantiatePlan(const EinsumRecipe& recipe,
                            const einsum::EinsumSpec& spec,
                            const TensorRefMap& tensors,
                            const std::vector<std::string>& intermediates,
-                           bool share_unprepared = false);
+                           bool share_unprepared = false,
+                           const PackedRefMap& packed = {},
+                           std::map<std::string, ft::Tensor>* unpack_cache =
+                               nullptr);
 
 /**
  * Build the plan for @p expr: analyzeEinsum + instantiatePlan in one

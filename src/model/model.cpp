@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "storage/packed.hpp"
 #include "trace/batch.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -420,7 +421,7 @@ ModelObserver::chargeDram(const std::string& tensor, double bytes,
 }
 
 double
-ModelObserver::subtreeBytes(const StorageUnit& unit,
+ModelObserver::subtreeBytes(const StorageUnit& unit, bool interleaved,
                             const ft::Payload* payload, std::size_t level,
                             const std::vector<std::string>& rank_ids)
 {
@@ -434,17 +435,35 @@ ModelObserver::subtreeBytes(const StorageUnit& unit,
         8.0;
     // Interleaved (array-of-structs / linked-list) layouts are chased
     // element by element: each leaf pays a 64B DRAM transaction.
-    bool interleaved = false;
-    for (const auto& [rid, rf] : unit.format->ranks) {
-        (void)rid;
-        if (rf.layout == fmt::RankFormat::Layout::Interleaved)
-            interleaved = true;
-    }
     if (interleaved && payload->isFiber() && payload->fiber()) {
         bytes = std::max(bytes,
                          kInterleavedTransactionBytes *
                              static_cast<double>(
                                  payload->fiber()->leafCount()));
+    }
+    subtreeBytesCache_[key] = bytes;
+    return bytes;
+}
+
+double
+ModelObserver::packedSubtreeBytes(const StorageUnit& unit,
+                                  bool interleaved,
+                                  const storage::PackedTensor* packed,
+                                  std::size_t level, std::size_t pos,
+                                  const void* key)
+{
+    const auto it = subtreeBytesCache_.find(key);
+    if (it != subtreeBytesCache_.end())
+        return it->second;
+    double bytes =
+        static_cast<double>(packed->subtreeBits(*unit.format, level,
+                                                pos)) /
+        8.0;
+    if (interleaved && level + 1 < packed->numRanks()) {
+        bytes = std::max(bytes,
+                         kInterleavedTransactionBytes *
+                             static_cast<double>(
+                                 packed->leafCountBelow(level, pos)));
     }
     subtreeBytesCache_[key] = bytes;
     return bytes;
@@ -472,9 +491,8 @@ ModelObserver::onEventBatch(const trace::EventBatch& batch)
             ModelObserver::onCoordScan(e.input, e.level, e.a, e.pe);
             break;
           case Event::Kind::TensorAccess:
-            ModelObserver::onTensorAccess(e.input, *e.name, e.level,
-                                          e.coord, e.ptr, e.payload,
-                                          e.pe);
+            onTensorAccessImpl(e.input, e.level, e.coord, e.ptr,
+                               e.payload, e.packed, e.a, e.pe);
             break;
           case Event::Kind::OutputWrite:
             ModelObserver::onOutputWrite(*e.name, e.level, e.coord,
@@ -587,13 +605,23 @@ ModelObserver::onTensorAccess(int input, const std::string& tensor,
                               const void* key, const ft::Payload* payload,
                               std::uint64_t pe)
 {
+    (void)tensor;
+    onTensorAccessImpl(input, level, c, key, payload, nullptr, 0, pe);
+}
+
+void
+ModelObserver::onTensorAccessImpl(int input, std::size_t level,
+                                  ft::Coord c, const void* key,
+                                  const ft::Payload* payload,
+                                  const void* packed, std::size_t pos,
+                                  std::uint64_t pe)
+{
     (void)c;
     (void)pe;
     if (input < 0)
         return;
     pathKey_[static_cast<std::size_t>(input)][level] = key;
     const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
-    (void)tensor;
     if (r.unit < 0) {
         chargeDramTo(
             inputTrafficOrNull_[static_cast<std::size_t>(input)],
@@ -613,10 +641,22 @@ ModelObserver::onTensorAccess(int input, const std::string& tensor,
     }
     double bytes = r.payloadBytes;
     if (unit.eager && unit.boundLevel == static_cast<int>(level)) {
-        const ir::TensorPlan& tp =
-            plan_.inputs[static_cast<std::size_t>(input)];
-        bytes = subtreeBytes(unit, payload, level,
-                             tp.prepared.rankIds());
+        const bool interleaved = unitInterleaved_[u];
+        if (payload != nullptr) {
+            const ir::TensorPlan& tp =
+                plan_.inputs[static_cast<std::size_t>(input)];
+            bytes = subtreeBytes(unit, interleaved, payload, level,
+                                 tp.prepared.rankIds());
+        } else if (packed != nullptr) {
+            bytes = packedSubtreeBytes(
+                unit, interleaved,
+                static_cast<const storage::PackedTensor*>(packed),
+                level, pos, key);
+        }
+        // Neither set (a packed access replayed through the bare
+        // streaming interface): fall back to the per-payload width —
+        // batch delivery, which the pipeline always uses, carries the
+        // packed context and charges the exact subtree.
     }
     bool hit;
     if (unit.isCache)

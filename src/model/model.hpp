@@ -28,6 +28,11 @@
 #include "model/buffer_sim.hpp"
 #include "trace/observer.hpp"
 
+namespace teaal::storage
+{
+class PackedTensor;
+} // namespace teaal::storage
+
 namespace teaal::model
 {
 
@@ -164,9 +169,23 @@ class ModelObserver : public trace::Observer
     ComponentActions& component(const std::string& name);
     void chargeDram(const std::string& tensor, double bytes, bool write,
                     bool partial = false);
-    double subtreeBytes(const StorageUnit& unit,
+    double subtreeBytes(const StorageUnit& unit, bool interleaved,
                         const ft::Payload* payload, std::size_t level,
                         const std::vector<std::string>& rank_ids);
+
+    /** Packed-input analog of subtreeBytes: same bytes, computed off
+     *  the packed segment arrays (storage/packed.hpp). */
+    double packedSubtreeBytes(const StorageUnit& unit, bool interleaved,
+                              const storage::PackedTensor* packed,
+                              std::size_t level, std::size_t pos,
+                              const void* key);
+
+    /** Shared body of the streaming and batch TensorAccess paths;
+     *  exactly one of @p payload / @p packed is set. */
+    void onTensorAccessImpl(int input, std::size_t level, ft::Coord c,
+                            const void* key, const ft::Payload* payload,
+                            const void* packed, std::size_t pos,
+                            std::uint64_t pe);
 
     const ir::EinsumPlan& plan_;
     const arch::Topology& topo_;

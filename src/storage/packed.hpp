@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Format-aware physical storage: packed compressed rank stores the
+ * execution engine walks directly (paper §4.1.1; the Sparse Abstract
+ * Machine and Sparseloop draw the same line between a format-agnostic
+ * iteration abstraction and a swappable concrete representation).
+ *
+ * A `PackedTensor` materializes a fibertree into contiguous per-rank
+ * buffers (CSF-style): every rank keeps a segment array delimiting its
+ * fibers inside one coordinate array, the leaf rank owns one flat
+ * value array, and the declared `fmt::TensorFormat` adds per-rank
+ * auxiliaries —
+ *
+ *   C  nothing extra: the coordinate/payload arrays *are* the stored
+ *      representation, so footprints are read off the buffer sizes,
+ *   U  implicit coordinates: contiguous fibers take the O(1)
+ *      dense-position fast path in `ft::FiberView::find`,
+ *   B  a contiguous presence-bit pool (SIGMA's bitmap) with a per-word
+ *      rank directory, giving O(1) membership + position probes.
+ *
+ * The skeleton always records the *exact* fibertree structure
+ * (per-fiber occupancy, empty fibers included), so packed execution
+ * walks the same elements, emits the same trace events, and produces
+ * the same counters as the pointer-fibertree walk — the packed and
+ * pointer backends are interchangeable behind `ft::FiberView`.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fibertree/coiter.hpp"
+#include "fibertree/tensor.hpp"
+#include "format/format.hpp"
+
+namespace teaal::storage
+{
+
+/**
+ * One rank's packed buffers. Fiber @p f of this rank occupies
+ * coordinate positions [seg[f], seg[f+1]); positions are global across
+ * all fibers of the rank (the position space the execution engine's
+ * cursors live in).
+ */
+struct PackedLevel
+{
+    /// Charged representation of this rank (from the TensorFormat).
+    fmt::RankFormat::Type type = fmt::RankFormat::Type::C;
+
+    /// Fiber boundaries: size fiberCount()+1, seg[0] == 0.
+    std::vector<std::uint64_t> seg;
+
+    /// Explicit sorted coordinates, all fibers concatenated.
+    std::vector<ft::Coord> crd;
+
+    // ---- B-format auxiliary: one contiguous bit pool. Fiber f's
+    // presence bitmap occupies pool bits [bitBase[f], bitBase[f+1]),
+    // bit 0 standing for the fiber's first stored coordinate. Each
+    // fiber contributes exactly its occupancy in set bits, so the
+    // pool-global rank (popcount prefix) of a set bit *is* the global
+    // element position.
+    std::vector<std::uint64_t> bits;
+    std::vector<std::uint64_t> bitBase; ///< size fiberCount()+1
+    std::vector<std::uint64_t> bitRank; ///< set bits before each word
+
+    std::size_t fiberCount() const { return seg.empty() ? 0 : seg.size() - 1; }
+};
+
+/**
+ * A fibertree materialized into packed rank stores. Immutable after
+ * construction; views handed to the engine point into the buffers, so
+ * a PackedTensor must outlive any plan bound to it (the pipeline holds
+ * plans' packed inputs by shared_ptr).
+ */
+class PackedTensor
+{
+  public:
+    PackedTensor() = default;
+
+    /**
+     * Pack @p t per @p format (rank formats looked up by rank id;
+     * defaults are all-compressed). Preserves the exact fibertree
+     * structure — zero-valued leaves and empty child fibers included —
+     * so toTensor() round-trips structurally.
+     */
+    static PackedTensor fromTensor(const ft::Tensor& t,
+                                   const fmt::TensorFormat& format = {});
+
+    /** Materialize back into a pointer fibertree. */
+    ft::Tensor toTensor() const;
+
+    const std::string& name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    std::size_t numRanks() const { return ranks_.size(); }
+    const ft::RankInfo& rank(std::size_t level) const
+    {
+        return ranks_[level];
+    }
+    const std::vector<ft::RankInfo>& ranks() const { return ranks_; }
+    std::vector<std::string> rankIds() const;
+
+    /** Stored leaf count (== leaf coordinate-array length). */
+    std::size_t nnz() const { return vals_.size(); }
+
+    const PackedLevel& level(std::size_t l) const { return levels_[l]; }
+    const std::vector<ft::Value>& values() const { return vals_; }
+
+    /** Charged format type of one rank. */
+    fmt::RankFormat::Type levelType(std::size_t l) const
+    {
+        return levels_[l].type;
+    }
+
+    /** The format this tensor was packed under. */
+    const fmt::TensorFormat& format() const { return format_; }
+
+    /**
+     * Per-level average fiber occupancy, bit-identical to
+     * ft::Tensor::occupancyHints on the unpacked tree (counts are the
+     * coordinate-array lengths — no traversal needed).
+     */
+    std::vector<double> occupancyHints() const;
+
+    // ------------------------------------------------- engine views
+    // The view/descend accessors are the engine's per-element hot
+    // path; they are defined inline here so they fold into the walk.
+
+    /** View of the root fiber (level 0). */
+    ft::FiberView
+    rootView() const
+    {
+        if (levels_.empty())
+            return {};
+        return childViewOf(0, 0);
+    }
+
+    /**
+     * View of the child fiber below element @p pos of level @p level
+     * (valid for level + 1 < numRanks()).
+     */
+    ft::FiberView
+    childView(std::size_t level, std::size_t pos) const
+    {
+        // Element pos of level l owns fiber #pos of level l+1.
+        return childViewOf(level + 1, pos);
+    }
+
+    /** Leaf value at global leaf position @p pos. */
+    ft::Value leafValue(std::size_t pos) const { return vals_[pos]; }
+
+    /**
+     * Stable identity key for the payload of element (@p level,
+     * @p pos) — the packed analog of a pointer-walk's &Payload, used
+     * by the reuse models (distinct logical payloads get distinct,
+     * run-stable addresses).
+     */
+    const void*
+    payloadKey(std::size_t level, std::size_t pos) const
+    {
+        if (level + 1 == levels_.size())
+            return &vals_[pos];
+        // Interior payload: the child fiber's segment entry is one
+        // stable address per (level, pos).
+        return &levels_[level + 1].seg[pos];
+    }
+
+    // -------------------------------------------------- footprints
+    /**
+     * Footprint in bits of the subtree below element (@p level,
+     * @p pos) under @p format — the packed analog of
+     * fmt::subtreeBits, numerically identical for the same structure.
+     */
+    std::uint64_t subtreeBits(const fmt::TensorFormat& format,
+                              std::size_t level, std::size_t pos) const;
+
+    /** Scalar leaves below element (@p level, @p pos): O(depth). */
+    std::size_t leafCountBelow(std::size_t level, std::size_t pos) const;
+
+  private:
+    friend class PackedBuilder;
+
+    /** Build the B-format bit pools + rank directories. */
+    void buildAux();
+
+    /** View of fiber @p fiber at @p level (position-space window). */
+    ft::FiberView
+    childViewOf(std::size_t level, std::size_t fiber) const
+    {
+        const PackedLevel& L = levels_[level];
+        ft::FiberView v;
+        v.crd = L.crd.data();
+        v.lo = static_cast<std::size_t>(L.seg[fiber]);
+        v.hi = static_cast<std::size_t>(L.seg[fiber + 1]);
+        v.shapeHint = ranks_[level].shape;
+        if (!L.bits.empty() && v.hi > v.lo) {
+            v.bits = L.bits.data();
+            v.bitRank = L.bitRank.data();
+            v.bitBase = L.bitBase[fiber];
+            v.bitFirst = L.crd[v.lo];
+            v.bitExtent = static_cast<ft::Coord>(L.bitBase[fiber + 1] -
+                                                 L.bitBase[fiber]);
+        }
+        return v;
+    }
+
+    std::string name_;
+    std::vector<ft::RankInfo> ranks_;
+    std::vector<PackedLevel> levels_; ///< one per rank
+    std::vector<ft::Value> vals_;     ///< leaf payloads
+    fmt::TensorFormat format_;
+};
+
+/**
+ * Streaming concordant constructor: feed strictly increasing
+ * (lexicographic) points and values, get a PackedTensor without ever
+ * building a pointer fibertree — the bulk path for sorted external
+ * data (Matrix Market CSR streams, COO dumps).
+ */
+class PackedBuilder
+{
+  public:
+    PackedBuilder(std::string name, std::vector<ft::RankInfo> ranks,
+                  const fmt::TensorFormat& format = {});
+
+    PackedBuilder(std::string name,
+                  const std::vector<std::string>& rank_ids,
+                  const std::vector<ft::Coord>& shape,
+                  const fmt::TensorFormat& format = {});
+
+    /** Pre-size every level's buffers for @p nnz leaves. */
+    void reserve(std::size_t nnz);
+
+    /**
+     * Append one leaf. @p point must be lexicographically greater
+     * than the previous point (ModelError otherwise).
+     */
+    void append(std::span<const ft::Coord> point, ft::Value v);
+
+    /** Finalize (seals segment sentinels, builds bitmap pools). */
+    PackedTensor finish() &&;
+
+  private:
+    PackedTensor t_;
+    std::vector<ft::Coord> last_;
+    bool any_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Total footprint in bits of a packed tensor under @p format. C and B
+ * ranks are read off the actual buffer sizes (coordinate-array
+ * lengths, bit-pool length); U ranks use the span-capped formula (the
+ * walk skeleton stores occupancy, not the implicit payload slots).
+ * Numerically identical to fmt::tensorBits on the unpacked tree.
+ */
+std::uint64_t packedTensorBits(const fmt::TensorFormat& format,
+                               const PackedTensor& t);
+
+} // namespace teaal::storage

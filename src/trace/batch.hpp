@@ -58,6 +58,10 @@ struct Event
     std::uint64_t key = 0;              // OutputWrite path key
     const void* ptr = nullptr;          // TensorAccess identity key
     const ft::Payload* payload = nullptr;
+    /// TensorAccess on a packed input: the source storage::PackedTensor
+    /// (opaque here — trace stays below the storage layer) with the
+    /// element position in `a`; `payload` is null for these.
+    const void* packed = nullptr;
     const std::string* name = nullptr;  // tensor name
     const std::string* name2 = nullptr; // TensorCopy destination
 };
@@ -247,6 +251,25 @@ class BatchBus
         e.coord = c;
         e.ptr = key;
         e.payload = payload;
+        e.pe = pe;
+    }
+
+    /** TensorAccess on a packed input: @p packed/@p pos identify the
+     *  element in its storage::PackedTensor (no ft::Payload exists). */
+    void
+    tensorAccessPacked(int input, const std::string& tensor,
+                       std::size_t level, ft::Coord c, const void* key,
+                       const void* packed, std::size_t pos,
+                       std::uint64_t pe)
+    {
+        Event& e = push(Event::Kind::TensorAccess);
+        e.input = input;
+        e.name = &tensor;
+        e.level = level;
+        e.coord = c;
+        e.ptr = key;
+        e.packed = packed;
+        e.a = pos;
         e.pe = pe;
     }
 

@@ -81,6 +81,13 @@ class Observer
      * A payload of input @p input was read (descend into @p payload at
      * @p level, coordinate @p c). @p key is a stable identity usable
      * for reuse modeling.
+     *
+     * @p payload is null when the input is bound as a packed rank
+     * store (storage/packed.hpp) — no ft::Payload object exists
+     * there; the access's full context (source tensor + position)
+     * travels on the batch Event (`packed`/`a`), which batch-aware
+     * observers consume. Streaming observers must treat payload as
+     * nullable.
      */
     virtual void
     onTensorAccess(int input, const std::string& tensor, std::size_t level,

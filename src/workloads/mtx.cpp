@@ -11,9 +11,19 @@
 namespace teaal::workloads
 {
 
-ft::Tensor
-parseMatrixMarket(const std::string& text, const std::string& name,
-                  const std::vector<std::string>& rank_ids)
+namespace
+{
+
+/** One parsed coordinate stream: sorted row-major (r, c, v) triples. */
+struct MtxCoo
+{
+    long rows = 0;
+    long cols = 0;
+    std::vector<std::pair<std::pair<ft::Coord, ft::Coord>, double>> coo;
+};
+
+MtxCoo
+parseCoo(const std::string& text)
 {
     std::istringstream in(text);
     std::string line;
@@ -31,12 +41,12 @@ parseMatrixMarket(const std::string& text, const std::string& name,
             break;
     }
     std::istringstream size_line(line);
-    long rows = 0, cols = 0, nnz = 0;
-    if (!(size_line >> rows >> cols >> nnz))
+    MtxCoo out;
+    long nnz = 0;
+    if (!(size_line >> out.rows >> out.cols >> nnz))
         specError("bad MatrixMarket size line: '", line, "'");
 
-    std::vector<std::pair<std::vector<ft::Coord>, double>> coo;
-    coo.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+    out.coo.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
     long count = 0;
     while (count < nnz && std::getline(in, line)) {
         const std::string t = trim(line);
@@ -50,23 +60,47 @@ parseMatrixMarket(const std::string& text, const std::string& name,
         if (!pattern && !(entry >> v))
             specError("missing value in MatrixMarket entry: '", line,
                       "'");
-        if (r < 1 || r > rows || c < 1 || c > cols)
+        if (r < 1 || r > out.rows || c < 1 || c > out.cols)
             specError("MatrixMarket index out of range: '", line, "'");
-        coo.push_back({{r - 1, c - 1}, v});
+        out.coo.push_back({{r - 1, c - 1}, v});
         if (symmetric && r != c)
-            coo.push_back({{c - 1, r - 1}, v});
+            out.coo.push_back({{c - 1, r - 1}, v});
         ++count;
     }
     if (count != nnz)
         specError("MatrixMarket: expected ", nnz, " entries, got ",
                   count);
 
-    std::sort(coo.begin(), coo.end(), [](const auto& a, const auto& b) {
-        return a.first < b.first;
-    });
-    ft::Tensor t(name, rank_ids, {rows, cols});
-    for (const auto& [p, v] : coo)
-        t.set(p, v);
+    std::sort(out.coo.begin(), out.coo.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        specError("cannot open MatrixMarket file '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+ft::Tensor
+parseMatrixMarket(const std::string& text, const std::string& name,
+                  const std::vector<std::string>& rank_ids)
+{
+    const MtxCoo parsed = parseCoo(text);
+    ft::Tensor t(name, rank_ids, {parsed.rows, parsed.cols});
+    for (const auto& [p, v] : parsed.coo) {
+        const std::vector<ft::Coord> point{p.first, p.second};
+        t.set(point, v);
+    }
     return t;
 }
 
@@ -74,12 +108,37 @@ ft::Tensor
 readMatrixMarket(const std::string& path, const std::string& name,
                  const std::vector<std::string>& rank_ids)
 {
-    std::ifstream in(path);
-    if (!in)
-        specError("cannot open MatrixMarket file '", path, "'");
-    std::ostringstream text;
-    text << in.rdbuf();
-    return parseMatrixMarket(text.str(), name, rank_ids);
+    return parseMatrixMarket(slurp(path), name, rank_ids);
+}
+
+storage::PackedTensor
+parseMatrixMarketPacked(const std::string& text, const std::string& name,
+                        const std::vector<std::string>& rank_ids,
+                        const fmt::TensorFormat& format)
+{
+    const MtxCoo parsed = parseCoo(text);
+    storage::PackedBuilder builder(name, rank_ids,
+                                   {parsed.rows, parsed.cols}, format);
+    builder.reserve(parsed.coo.size());
+    for (std::size_t i = 0; i < parsed.coo.size(); ++i) {
+        // Duplicate points keep the last value, matching what
+        // Tensor::set does on the legacy path.
+        if (i + 1 < parsed.coo.size() &&
+            parsed.coo[i + 1].first == parsed.coo[i].first)
+            continue;
+        const ft::Coord point[2] = {parsed.coo[i].first.first,
+                                    parsed.coo[i].first.second};
+        builder.append(point, parsed.coo[i].second);
+    }
+    return std::move(builder).finish();
+}
+
+storage::PackedTensor
+readMatrixMarketPacked(const std::string& path, const std::string& name,
+                       const std::vector<std::string>& rank_ids,
+                       const fmt::TensorFormat& format)
+{
+    return parseMatrixMarketPacked(slurp(path), name, rank_ids, format);
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "fibertree/tensor.hpp"
+#include "storage/packed.hpp"
 
 namespace teaal::workloads
 {
@@ -29,6 +30,30 @@ ft::Tensor parseMatrixMarket(const std::string& text,
                              const std::string& name,
                              const std::vector<std::string>& rank_ids = {
                                  "K", "M"});
+
+/**
+ * Read a Matrix Market file straight into a packed CSR store: entries
+ * are sorted once and bulk-appended to a storage::PackedBuilder — no
+ * per-element fibertree insert, no pointer fiber ever built. The
+ * first rank is rows, the second columns (the file's coordinate
+ * order); callers wanting a discordant (e.g. column-major) rank order
+ * keep the legacy path: readMatrixMarket + ft::swizzle (or
+ * PackedTensor::fromTensor of the swizzled tree).
+ *
+ * @param format Rank formats for the packed store (footprints,
+ *               bitmap/implicit walk auxiliaries); defaults to
+ *               all-compressed.
+ */
+storage::PackedTensor readMatrixMarketPacked(
+    const std::string& path, const std::string& name,
+    const std::vector<std::string>& rank_ids = {"K", "M"},
+    const fmt::TensorFormat& format = {});
+
+/** Packed counterpart of parseMatrixMarket (tests, in-memory use). */
+storage::PackedTensor parseMatrixMarketPacked(
+    const std::string& text, const std::string& name,
+    const std::vector<std::string>& rank_ids = {"K", "M"},
+    const fmt::TensorFormat& format = {});
 
 /** Write a tensor (2 ranks) as Matrix Market coordinate/real/general. */
 void writeMatrixMarket(const std::string& path, const ft::Tensor& t);

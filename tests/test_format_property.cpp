@@ -1,17 +1,63 @@
 /**
  * @file
  * Property tests for the format/footprint model: invariants that must
- * hold for any tensor so traffic accounting is trustworthy.
+ * hold for any tensor so traffic accounting is trustworthy — and for
+ * the packed physical storage (storage/packed.hpp), which must mirror
+ * the pointer fibertree structurally and in every footprint it
+ * derives from its buffers.
  */
 #include <gtest/gtest.h>
 
 #include "format/format.hpp"
+#include "storage/packed.hpp"
+#include "util/error.hpp"
 #include "workloads/datasets.hpp"
 
 namespace teaal::fmt
 {
 namespace
 {
+
+/** Exact structural equality: same coordinates per fiber, same
+ *  nesting, same leaf values (representation round-trip fidelity —
+ *  stricter than Tensor::equals, which ignores zero leaves). */
+bool
+sameStructure(const ft::Fiber& a, const ft::Fiber& b, std::size_t level,
+              std::size_t depth)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t pos = 0; pos < a.size(); ++pos) {
+        if (a.coordAt(pos) != b.coordAt(pos))
+            return false;
+        const ft::Payload& pa = a.payloadAt(pos);
+        const ft::Payload& pb = b.payloadAt(pos);
+        if (level + 1 == depth) {
+            if (!pa.isValue() || !pb.isValue() ||
+                pa.value() != pb.value())
+                return false;
+        } else {
+            const bool ea = !pa.isFiber() || pa.fiber() == nullptr ||
+                            pa.fiber()->empty();
+            const bool eb = !pb.isFiber() || pb.fiber() == nullptr ||
+                            pb.fiber()->empty();
+            if (ea != eb)
+                return false;
+            if (!ea && !sameStructure(*pa.fiber(), *pb.fiber(),
+                                      level + 1, depth))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+sameStructure(const ft::Tensor& a, const ft::Tensor& b)
+{
+    if (a.numRanks() != b.numRanks())
+        return false;
+    return sameStructure(*a.root(), *b.root(), 0, a.numRanks());
+}
 
 class FormatProperty : public ::testing::TestWithParam<int>
 {
@@ -96,6 +142,139 @@ TEST_P(FormatProperty, BitmapBetweenCompressedAndUncompressed)
     const auto bb = tensorBits(b_fmt, t);
     EXPECT_GT(bb, t.nnz() * 64); // payloads still paid
     EXPECT_NE(cb, bb);
+}
+
+// ------------------------------------------------------------------
+// Packed physical storage: round trips and buffer-derived footprints.
+// ------------------------------------------------------------------
+
+TEST_P(FormatProperty, PackedRoundTripPreservesStructure)
+{
+    const auto t = matrix();
+    for (const auto type :
+         {RankFormat::Type::C, RankFormat::Type::U, RankFormat::Type::B}) {
+        TensorFormat tf;
+        RankFormat rf;
+        rf.type = type;
+        tf.ranks["K"] = rf;
+        tf.ranks["M"] = rf;
+        const auto packed = storage::PackedTensor::fromTensor(t, tf);
+        EXPECT_EQ(packed.nnz(), t.nnz());
+        const ft::Tensor back = packed.toTensor();
+        EXPECT_TRUE(sameStructure(t, back));
+        EXPECT_TRUE(t.equals(back));
+        EXPECT_EQ(back.rankIds(), t.rankIds());
+    }
+}
+
+TEST_P(FormatProperty, PackedFootprintMatchesFiberFormula)
+{
+    // Buffer-derived footprints (C: coordinate/payload array lengths,
+    // B: bit-pool length) must agree exactly with the per-fiber
+    // formula the analytical model uses.
+    const auto t = matrix();
+    for (const auto type :
+         {RankFormat::Type::C, RankFormat::Type::U, RankFormat::Type::B}) {
+        TensorFormat tf;
+        RankFormat rf;
+        rf.type = type;
+        tf.ranks["K"] = rf;
+        tf.ranks["M"] = rf;
+        const auto packed = storage::PackedTensor::fromTensor(t, tf);
+        EXPECT_EQ(storage::packedTensorBits(tf, packed),
+                  tensorBits(tf, t))
+            << "format type " << static_cast<int>(type);
+    }
+}
+
+TEST_P(FormatProperty, PackedSubtreeBitsMatchPointerSubtrees)
+{
+    const auto t = matrix();
+    TensorFormat tf; // all-compressed defaults
+    const auto packed = storage::PackedTensor::fromTensor(t, tf);
+    const auto& root = *t.root();
+    for (std::size_t pos = 0; pos < root.size(); ++pos) {
+        EXPECT_EQ(packed.subtreeBits(tf, 0, pos),
+                  subtreeBits(tf, t.rankIds(), root.payloadAt(pos), 1));
+        ASSERT_TRUE(root.payloadAt(pos).isFiber());
+        EXPECT_EQ(packed.leafCountBelow(0, pos),
+                  root.payloadAt(pos).fiber()->leafCount());
+    }
+}
+
+TEST_P(FormatProperty, PackedOccupancyHintsMatchTensor)
+{
+    const auto t = matrix();
+    const auto packed = storage::PackedTensor::fromTensor(t, {});
+    EXPECT_EQ(packed.occupancyHints(), t.occupancyHints());
+}
+
+TEST_P(FormatProperty, PackedViewsFindEveryCoordinate)
+{
+    // find() through every backend variant — binary search (C),
+    // implicit/contiguous fast path (U, when rows are contiguous),
+    // bitmap probe (B) — agrees with a linear scan of the slice.
+    const auto t = matrix();
+    for (const auto type :
+         {RankFormat::Type::C, RankFormat::Type::U, RankFormat::Type::B}) {
+        TensorFormat tf;
+        RankFormat rf;
+        rf.type = type;
+        tf.ranks["K"] = rf;
+        tf.ranks["M"] = rf;
+        const auto packed = storage::PackedTensor::fromTensor(t, tf);
+        const ft::FiberView rootv = packed.rootView();
+        ASSERT_EQ(rootv.size(), t.root()->size());
+        for (std::size_t pos = rootv.lo; pos < rootv.hi; ++pos) {
+            const ft::FiberView row = packed.childView(0, pos);
+            // Present coordinates are found at their position...
+            for (std::size_t p = row.lo; p < row.hi; ++p) {
+                const auto f = row.find(row.coordAt(p));
+                ASSERT_TRUE(f.has_value());
+                EXPECT_EQ(*f, p);
+            }
+            // ...and a probe sweep agrees with membership.
+            const ft::Coord shape = row.shape();
+            for (ft::Coord c = 0; c < shape; c += 7) {
+                const bool present = [&] {
+                    for (std::size_t p = row.lo; p < row.hi; ++p) {
+                        if (row.coordAt(p) == c)
+                            return true;
+                    }
+                    return false;
+                }();
+                EXPECT_EQ(row.find(c).has_value(), present)
+                    << "type " << static_cast<int>(type) << " coord "
+                    << c;
+            }
+        }
+    }
+}
+
+TEST_P(FormatProperty, PackedBuilderMatchesFromTensor)
+{
+    const auto t = matrix();
+    storage::PackedBuilder builder("A", t.rankIds(),
+                                   {t.rank(0).shape, t.rank(1).shape});
+    t.forEachLeaf([&](std::span<const ft::Coord> p, double v) {
+        builder.append(p, v);
+    });
+    const auto streamed = std::move(builder).finish();
+    const auto packed = storage::PackedTensor::fromTensor(t, {});
+    EXPECT_EQ(streamed.level(0).crd, packed.level(0).crd);
+    EXPECT_EQ(streamed.level(1).crd, packed.level(1).crd);
+    EXPECT_EQ(streamed.level(1).seg, packed.level(1).seg);
+    EXPECT_EQ(streamed.values(), packed.values());
+    EXPECT_TRUE(sameStructure(streamed.toTensor(), t));
+}
+
+TEST(PackedBuilderErrors, RejectsOutOfOrderAppends)
+{
+    storage::PackedBuilder builder("A", {"K", "M"}, {8, 8});
+    const ft::Coord p1[2] = {3, 4};
+    const ft::Coord p2[2] = {3, 2};
+    builder.append(p1, 1.0);
+    EXPECT_THROW(builder.append(p2, 2.0), ModelError);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatProperty, ::testing::Range(0, 6));

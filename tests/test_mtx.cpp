@@ -98,5 +98,73 @@ TEST(MatrixMarket, RoundTripThroughFile)
                  SpecError);
 }
 
+TEST(MatrixMarketPacked, StreamsIntoPackedCsrWithoutFibers)
+{
+    const auto t = uniformMatrix("A", 40, 30, 200, 11);
+    const std::string text = renderMatrixMarket(t);
+
+    const std::uint64_t fibers_before = ft::Fiber::constructionCount();
+    const auto packed = parseMatrixMarketPacked(text, "A");
+    // The streaming path builds packed buffers only — not one pointer
+    // fiber, regardless of matrix size.
+    EXPECT_EQ(ft::Fiber::constructionCount() - fibers_before, 0u);
+
+    EXPECT_EQ(packed.nnz(), t.nnz());
+    EXPECT_TRUE(packed.toTensor().equals(t, 1e-9));
+    EXPECT_EQ(packed.rankIds(), t.rankIds());
+}
+
+TEST(MatrixMarketPacked, MatchesLegacyParserOnEveryVariant)
+{
+    const char* cases[] = {
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 4 3\n"
+        "1 1 2.5\n"
+        "2 3 -1.0\n"
+        "3 4 7\n",
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n",
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 1.5\n",
+    };
+    for (const char* text : cases) {
+        const auto legacy = parseMatrixMarket(text, "A");
+        const auto packed = parseMatrixMarketPacked(text, "A");
+        EXPECT_TRUE(packed.toTensor().equals(legacy, 1e-12)) << text;
+        EXPECT_EQ(packed.nnz(), legacy.nnz()) << text;
+    }
+}
+
+TEST(MatrixMarketPacked, CarriesTheRequestedFormat)
+{
+    fmt::TensorFormat tf;
+    fmt::RankFormat u;
+    u.type = fmt::RankFormat::Type::U;
+    tf.ranks["K"] = u;
+    const char* text = "%%MatrixMarket matrix coordinate real general\n"
+                       "3 4 2\n"
+                       "1 1 1.0\n"
+                       "3 4 2.0\n";
+    const auto packed = parseMatrixMarketPacked(text, "A", {"K", "M"}, tf);
+    EXPECT_EQ(packed.levelType(0), fmt::RankFormat::Type::U);
+    EXPECT_EQ(packed.levelType(1), fmt::RankFormat::Type::C);
+}
+
+TEST(MatrixMarketPacked, ReadsFromFile)
+{
+    const auto t = uniformMatrix("A", 16, 16, 40, 12);
+    const std::string path = "/tmp/teaal_mtx_packed_test.mtx";
+    writeMatrixMarket(path, t);
+    const auto packed = readMatrixMarketPacked(path, "A", {"K", "M"});
+    EXPECT_TRUE(packed.toTensor().equals(t, 1e-9));
+    std::remove(path.c_str());
+    EXPECT_THROW(readMatrixMarketPacked("/nonexistent/file.mtx", "A"),
+                 SpecError);
+}
+
 } // namespace
 } // namespace teaal::workloads

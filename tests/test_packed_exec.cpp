@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Packed-vs-pointer execution equivalence: a workload bound as packed
+ * rank stores (storage/packed.hpp) must produce byte-identical
+ * results, counters, traffic, and delivered trace streams (batch
+ * boundaries included) to the same workload bound as pointer
+ * fibertrees — per Table 1 accelerator, at threads = 1 and 4. Plus
+ * the zero-copy/zero-fiber-construction guarantees of the packed
+ * concordant bind path, the discordant/partitioned fallbacks, and the
+ * unknown-format-config compile diagnostic.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accelerators/accelerators.hpp"
+#include "compiler/pipeline.hpp"
+#include "storage/packed.hpp"
+#include "util/diagnostic.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+using compiler::CompiledModel;
+using compiler::RunOptions;
+using compiler::SimulationResult;
+using compiler::Workload;
+
+accel::GammaConfig
+smallGamma()
+{
+    accel::GammaConfig cfg;
+    cfg.pes = 4;
+    cfg.rowChunk = 4;
+    cfg.kChunk = 8;
+    cfg.fiberCacheBytes = 64 * 1024;
+    return cfg;
+}
+
+accel::ExTensorConfig
+smallExTensor()
+{
+    accel::ExTensorConfig cfg;
+    cfg.pes = 4;
+    cfg.tileK1 = 16;
+    cfg.tileK0 = 4;
+    cfg.tileM1 = 16;
+    cfg.tileM0 = 4;
+    cfg.tileN1 = 16;
+    cfg.tileN0 = 4;
+    cfg.llcBytes = 256 * 1024;
+    return cfg;
+}
+
+accel::OuterSpaceConfig
+smallOuterSpace()
+{
+    accel::OuterSpaceConfig cfg;
+    cfg.chunkOuter = 32;
+    cfg.chunkInner = 8;
+    cfg.mergeChunkOuter = 16;
+    cfg.mergeChunkInner = 4;
+    return cfg;
+}
+
+accel::SigmaConfig
+smallSigma()
+{
+    accel::SigmaConfig cfg;
+    cfg.kTile = 16;
+    cfg.stationaryChunk = 64;
+    return cfg;
+}
+
+struct TestMatrices
+{
+    ft::Tensor a;
+    ft::Tensor b;
+};
+
+TestMatrices
+makeMatrices(std::uint64_t seed)
+{
+    return {workloads::uniformMatrix("A", 40, 32, 300, seed, {"K", "M"}),
+            workloads::uniformMatrix("B", 40, 36, 300, seed + 1,
+                                     {"K", "N"})};
+}
+
+/** Semantic stream log (no pointers), batch boundaries included, so
+ *  packed and pointer runs can be compared for identical delivery. */
+class StreamRecorder : public trace::Observer
+{
+  public:
+    std::vector<std::string> log;
+
+    void
+    onEventBatch(const trace::EventBatch& batch) override
+    {
+        log.push_back("batch:" + std::to_string(batch.size()));
+        trace::Observer::onEventBatch(batch); // replay per-event below
+    }
+
+    void
+    onLoopEnter(std::size_t loop, ft::Coord c) override
+    {
+        add("L", loop, c);
+    }
+    void
+    onCoIterate(std::size_t loop, std::size_t steps, std::size_t matches,
+                std::size_t drivers, std::uint64_t pe) override
+    {
+        add("I", loop, steps, matches, drivers, pe);
+    }
+    void
+    onCoordScan(int input, std::size_t level, std::size_t count,
+                std::uint64_t pe) override
+    {
+        add("S", input, level, count, pe);
+    }
+    void
+    onTensorAccess(int input, const std::string& tensor,
+                   std::size_t level, ft::Coord c, const void* key,
+                   const ft::Payload* payload, std::uint64_t pe) override
+    {
+        (void)key;
+        (void)payload;
+        add("A", input, level, c, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onOutputWrite(const std::string& tensor, std::size_t level,
+                  ft::Coord c, std::uint64_t path_key, bool inserted,
+                  bool at_leaf, std::uint64_t pe) override
+    {
+        add("W", level, c, path_key, inserted, at_leaf, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onCompute(char op, std::uint64_t pe, std::size_t count) override
+    {
+        add("C", op, pe, count);
+    }
+    void
+    onSwizzle(const std::string& tensor, std::size_t elements,
+              std::size_t ways, bool online) override
+    {
+        add("Z", elements, ways, online);
+        log.back() += ":" + tensor;
+    }
+    void
+    onTensorCopy(const std::string& from, const std::string& to,
+                 std::size_t elements) override
+    {
+        add("Y", elements);
+        log.back() += ":" + from + ">" + to;
+    }
+
+  private:
+    template <typename... Args>
+    void
+    add(const char* tag, Args... args)
+    {
+        std::ostringstream os;
+        os << tag;
+        ((os << ':' << args), ...);
+        log.push_back(os.str());
+    }
+};
+
+void
+expectSameResults(const SimulationResult& x, const SimulationResult& y)
+{
+    ASSERT_EQ(x.records.size(), y.records.size());
+    for (std::size_t i = 0; i < x.records.size(); ++i) {
+        EXPECT_TRUE(x.records[i].execStats == y.records[i].execStats)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceEvents, y.records[i].traceEvents)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceBatches, y.records[i].traceBatches)
+            << "einsum " << i;
+        ASSERT_EQ(x.records[i].traffic.size(),
+                  y.records[i].traffic.size());
+        for (const auto& [tensor, tt] : x.records[i].traffic) {
+            const auto it = y.records[i].traffic.find(tensor);
+            ASSERT_NE(it, y.records[i].traffic.end()) << tensor;
+            EXPECT_DOUBLE_EQ(tt.readBytes, it->second.readBytes)
+                << tensor;
+            EXPECT_DOUBLE_EQ(tt.writeBytes, it->second.writeBytes)
+                << tensor;
+            EXPECT_DOUBLE_EQ(tt.poBytes, it->second.poBytes) << tensor;
+        }
+    }
+    EXPECT_DOUBLE_EQ(x.perf.totalSeconds, y.perf.totalSeconds);
+    EXPECT_DOUBLE_EQ(x.energy.totalJoules, y.energy.totalJoules);
+    ASSERT_EQ(x.tensors.size(), y.tensors.size());
+    for (const auto& [name, t] : x.tensors) {
+        const auto it = y.tensors.find(name);
+        ASSERT_NE(it, y.tensors.end()) << name;
+        EXPECT_TRUE(t.equals(it->second)) << name;
+    }
+}
+
+/**
+ * Run @p spec on the same matrices bound as pointer tensors and as
+ * packed stores (packed per the spec's declared formats) at the given
+ * thread count; everything delivered must be identical.
+ */
+void
+expectPackedEquivalence(compiler::Specification spec, unsigned threads,
+                        std::uint64_t seed)
+{
+    const TestMatrices m = makeMatrices(seed);
+    auto model = compiler::compile(std::move(spec));
+
+    const auto packedA = storage::PackedTensor::fromTensor(
+        m.a, model.spec().formats.getLenient("A"));
+    const auto packedB = storage::PackedTensor::fromTensor(
+        m.b, model.spec().formats.getLenient("B"));
+
+    Workload pointer_w;
+    pointer_w.add("A", m.a).add("B", m.b);
+    Workload packed_w;
+    packed_w.add("A", packedA).add("B", packedB);
+
+    StreamRecorder pointer_rec;
+    RunOptions opts;
+    opts.threads = threads;
+    opts.observers = {&pointer_rec};
+    const SimulationResult base = model.run(pointer_w, opts);
+
+    StreamRecorder packed_rec;
+    opts.observers = {&packed_rec};
+    const SimulationResult packed = model.run(packed_w, opts);
+
+    expectSameResults(base, packed);
+    EXPECT_EQ(pointer_rec.log, packed_rec.log);
+}
+
+class PackedAccelerators
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(PackedAccelerators, MatchesPointerExecution)
+{
+    const auto& [name, threads] = GetParam();
+    if (name == "gamma") {
+        expectPackedEquivalence(accel::gamma(smallGamma()), threads, 11);
+    } else if (name == "extensor") {
+        expectPackedEquivalence(accel::extensor(smallExTensor()),
+                                threads, 12);
+    } else if (name == "outerspace") {
+        expectPackedEquivalence(accel::outerSpace(smallOuterSpace()),
+                                threads, 13);
+    } else {
+        expectPackedEquivalence(accel::sigma(smallSigma()), threads, 14);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, PackedAccelerators,
+    ::testing::Combine(::testing::Values("gamma", "extensor",
+                                         "outerspace", "sigma"),
+                       ::testing::Values(1u, 4u)),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// A concordant spec with no partitioning: the packed fast path binds
+// directly, walks packed buffers, and never builds an input fiber.
+// ------------------------------------------------------------------
+
+const char* kConcordantSpmSpm = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [M, K]
+    B: [K, N]
+    Z: [M, N]
+  loop-order:
+    Z: [M, K, N]
+  spacetime:
+    Z:
+      space: [M]
+      time: [K, N]
+)";
+
+/** A/B in the mapping's rank order, built directly as packed stores
+ *  (streaming builder — no fibertree ever exists for them). */
+struct PackedPair
+{
+    storage::PackedTensor a;
+    storage::PackedTensor b;
+};
+
+PackedPair
+buildPackedInputs(std::uint64_t seed)
+{
+    // Materialize the COO through temporary tensors for value
+    // generation only; the workload under test gets independent
+    // packed stores built by streaming appends.
+    const ft::Tensor a =
+        workloads::uniformMatrix("A", 48, 40, 400, seed, {"M", "K"});
+    const ft::Tensor b = workloads::uniformMatrix("B", 40, 44, 420,
+                                                  seed + 1, {"K", "N"});
+    PackedPair out{storage::PackedTensor::fromTensor(a),
+                   storage::PackedTensor::fromTensor(b)};
+    return out;
+}
+
+TEST(PackedBinding, ConcordantInputsBindWithoutClonesOrFibers)
+{
+    // Bind two packed workloads of very different nnz and measure the
+    // pointer-fiber constructions each bind performs: the deltas must
+    // be equal (a fixed handful of empty rank-skeleton roots) — i.e.
+    // zero per-element fiber construction — and clone-free.
+    auto model =
+        compiler::compile(compiler::Specification::parse(kConcordantSpmSpm));
+    const PackedPair in = buildPackedInputs(21);
+    const ft::Tensor big_a =
+        workloads::uniformMatrix("A", 192, 160, 6000, 31, {"M", "K"});
+    const ft::Tensor big_b =
+        workloads::uniformMatrix("B", 160, 176, 6400, 32, {"K", "N"});
+    const PackedPair big{storage::PackedTensor::fromTensor(big_a),
+                         storage::PackedTensor::fromTensor(big_b)};
+
+    auto bind_delta = [&](const PackedPair& pair,
+                          std::uint64_t& clones) {
+        Workload w;
+        w.add("A", pair.a).add("B", pair.b);
+        const std::uint64_t clones_before = ft::Tensor::cloneCount();
+        const std::uint64_t fibers_before =
+            ft::Fiber::constructionCount();
+        const auto& plans = model.plans(w);
+        EXPECT_EQ(plans.size(), 1u);
+        EXPECT_NE(plans[0].inputs[0].packed, nullptr);
+        EXPECT_NE(plans[0].inputs[1].packed, nullptr);
+        // Walk variants recorded: all ranks are C-format by default.
+        EXPECT_EQ(plans[0].loops[0].packedWalk, ir::PackedWalk::Coords);
+        clones = ft::Tensor::cloneCount() - clones_before;
+        return ft::Fiber::constructionCount() - fibers_before;
+    };
+
+    std::uint64_t clones_small = 0;
+    std::uint64_t clones_big = 0;
+    const std::uint64_t fibers_small = bind_delta(in, clones_small);
+    const std::uint64_t fibers_big = bind_delta(big, clones_big);
+    EXPECT_EQ(clones_small, 0u);
+    EXPECT_EQ(clones_big, 0u);
+    EXPECT_EQ(fibers_small, fibers_big);
+    EXPECT_LE(fibers_small, 8u);
+
+    // The packed run matches the pointer run bit for bit.
+    Workload w;
+    w.add("A", in.a).add("B", in.b);
+    Workload pw;
+    pw.add("A", in.a.toTensor()).add("B", in.b.toTensor());
+    StreamRecorder packed_rec;
+    StreamRecorder pointer_rec;
+    RunOptions opts;
+    opts.observers = {&packed_rec};
+    const SimulationResult packed = model.run(w, opts);
+    opts.observers = {&pointer_rec};
+    const SimulationResult base = model.run(pw, opts);
+    expectSameResults(base, packed);
+    EXPECT_EQ(pointer_rec.log, packed_rec.log);
+}
+
+TEST(PackedBinding, ShardedPackedExecutionMatchesSerial)
+{
+    auto model =
+        compiler::compile(compiler::Specification::parse(kConcordantSpmSpm));
+    const PackedPair in = buildPackedInputs(22);
+    Workload w;
+    w.add("A", in.a).add("B", in.b);
+
+    StreamRecorder serial_rec;
+    RunOptions opts;
+    opts.observers = {&serial_rec};
+    opts.threads = 1;
+    const SimulationResult serial = model.run(w, opts);
+
+    StreamRecorder sharded_rec;
+    opts.observers = {&sharded_rec};
+    opts.threads = 4;
+    const SimulationResult sharded = model.run(w, opts);
+
+    expectSameResults(serial, sharded);
+    EXPECT_EQ(serial_rec.log, sharded_rec.log);
+}
+
+TEST(PackedBinding, DenseDriveOverrideProbesPackedViews)
+{
+    // Force the dense coordinate drive so every coordinate probes the
+    // packed views through FiberView::find (the bitmap/implicit probe
+    // paths when the format says B/U).
+    for (const char* fmt_type : {"C", "U", "B"}) {
+        auto model = compiler::compile(
+            compiler::Specification::parse(kConcordantSpmSpm));
+        const PackedPair plain = buildPackedInputs(23);
+        fmt::TensorFormat tf;
+        fmt::RankFormat rf;
+        rf.type = fmt_type[0] == 'C'
+                      ? fmt::RankFormat::Type::C
+                      : (fmt_type[0] == 'U' ? fmt::RankFormat::Type::U
+                                            : fmt::RankFormat::Type::B);
+        for (const char* rank : {"M", "K", "N"})
+            tf.ranks[rank] = rf;
+        const auto pa =
+            storage::PackedTensor::fromTensor(plain.a.toTensor(), tf);
+        const auto pb =
+            storage::PackedTensor::fromTensor(plain.b.toTensor(), tf);
+
+        Workload packed_w;
+        packed_w.add("A", pa).add("B", pb);
+        Workload pointer_w;
+        pointer_w.add("A", plain.a.toTensor())
+            .add("B", plain.b.toTensor());
+
+        RunOptions opts;
+        opts.coiterOverrides = {{"K", ir::CoiterStrategy::DenseDrive}};
+        StreamRecorder packed_rec;
+        StreamRecorder pointer_rec;
+        opts.observers = {&packed_rec};
+        const SimulationResult packed = model.run(packed_w, opts);
+        opts.observers = {&pointer_rec};
+        const SimulationResult base = model.run(pointer_w, opts);
+        expectSameResults(base, packed);
+        EXPECT_EQ(pointer_rec.log, packed_rec.log) << fmt_type;
+    }
+}
+
+TEST(PackedBinding, MixedPointerAndPackedInputs)
+{
+    auto model =
+        compiler::compile(compiler::Specification::parse(kConcordantSpmSpm));
+    const PackedPair in = buildPackedInputs(24);
+
+    Workload mixed;
+    mixed.add("A", in.a.toTensor()).add("B", in.b);
+    Workload pointer_w;
+    pointer_w.add("A", in.a.toTensor()).add("B", in.b.toTensor());
+
+    StreamRecorder mixed_rec;
+    StreamRecorder pointer_rec;
+    RunOptions opts;
+    opts.observers = {&mixed_rec};
+    const SimulationResult mixed_r = model.run(mixed, opts);
+    opts.observers = {&pointer_rec};
+    const SimulationResult base = model.run(pointer_w, opts);
+    expectSameResults(base, mixed_r);
+    EXPECT_EQ(pointer_rec.log, mixed_rec.log);
+}
+
+TEST(PackedBinding, DiscordantPackedFallsBackToLegacyPath)
+{
+    // The packed tensor arrives in [K, M] order but the mapping wants
+    // A as [M, K]: prepareInputs unpacks + swizzles once (the legacy
+    // path), and results still match the pointer binding.
+    auto model =
+        compiler::compile(compiler::Specification::parse(kConcordantSpmSpm));
+    const ft::Tensor a_km =
+        workloads::uniformMatrix("A", 48, 40, 400, 25, {"K", "M"});
+    const ft::Tensor b =
+        workloads::uniformMatrix("B", 48, 44, 420, 26, {"K", "N"});
+
+    Workload packed_w;
+    packed_w.add("A", storage::PackedTensor::fromTensor(a_km)).add("B", b);
+    Workload pointer_w;
+    pointer_w.add("A", a_km).add("B", b);
+
+    const SimulationResult packed = model.run(packed_w);
+    const SimulationResult base = model.run(pointer_w);
+    expectSameResults(base, packed);
+}
+
+TEST(PackedBinding, WorkloadAccessors)
+{
+    const PackedPair in = buildPackedInputs(27);
+    Workload w;
+    w.add("A", in.a);
+    EXPECT_TRUE(w.has("A"));
+    EXPECT_NE(w.packed("A"), nullptr);
+    EXPECT_EQ(w.packed("missing"), nullptr);
+    EXPECT_EQ(w.rankIdsOf("A"), in.a.rankIds());
+    EXPECT_THROW((void)w.tensor("A"), DiagnosticError);
+
+    // Owning add keeps the buffers alive inside the workload.
+    storage::PackedTensor own = storage::PackedTensor::fromTensor(
+        workloads::uniformMatrix("B", 8, 8, 12, 1, {"K", "N"}));
+    w.add("B", std::move(own));
+    EXPECT_NE(w.packed("B"), nullptr);
+    EXPECT_EQ(w.packed("B")->nnz(), 12u);
+}
+
+TEST(FormatDiagnostics, UnknownFormatConfigInBindingFailsCompile)
+{
+    // A storage binding naming a format config the format section
+    // does not declare must fail at compile() with a "format"
+    // diagnostic instead of silently routing the tensor to the
+    // default all-compressed format.
+    const char* bad = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K]
+    Z: [M]
+  expressions:
+    - Z[m] = A[k, m] * B[k]
+format:
+  A:
+    CSR:
+      M:
+        format: U
+      K:
+        format: C
+architecture:
+  Simple:
+    clock: 1e9
+    subtree:
+      - name: System
+        local:
+          - name: Memory
+            class: DRAM
+          - name: Buf
+            class: Buffer
+            attributes:
+              width: 64
+              depth: 1024
+          - name: ALU
+            class: Compute
+            attributes:
+              type: mul
+binding:
+  Z:
+    config: Simple
+    components:
+      - component: ALU
+        bindings:
+          - op: mul
+      - component: Buf
+        bindings:
+          - tensor: A
+            rank: K
+            config: CSC
+)";
+    try {
+        (void)compiler::compile(compiler::Specification::parse(bad));
+        FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "format");
+        EXPECT_NE(std::string(e.what()).find("CSC"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace teaal
