@@ -190,6 +190,22 @@ compile(Specification spec, const CompileOptions& opts)
                           "declare");
             }
         }
+        // A binding naming a component its topology does not declare
+        // used to slip through: storage bindings failed mid-run with
+        // a bare SpecError, and op bindings silently created an empty
+        // pseudo-component (default instance count, wrong class) in
+        // the model. Pin both to the binding section at compile time.
+        const arch::Topology& topo = *model.topologies_.back();
+        for (const binding::ComponentBinding& cb : eb.components) {
+            if (topo.findComponent(cb.component, nullptr) != nullptr)
+                continue;
+            diagError("binding", cb.component, "einsum '",
+                      expr.output.name, "': binding names component '",
+                      cb.component, "', which topology '",
+                      (topo.name.empty() ? eb.topology : topo.name),
+                      "' of the architecture section does not "
+                      "declare");
+        }
     }
 
     // Fused-block schedule: must be known before execution so fused
@@ -459,11 +475,34 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
             sink = &fan;
         }
 
+        // Model split for parallel runs: hand the executor the
+        // model's shard hooks so each worker consumes the
+        // order-independent datapath records inside its shard and the
+        // coordinator replays only the order-dependent storage
+        // records. Requires the model to be the sole trace consumer —
+        // extra observers need the full stream, so their presence
+        // falls back to full capture/replay (byte-identical either
+        // way; see model/model.hpp).
+        eo.modelHooks = exec::ShardModelHooks{};
+        if (opts.threads != 1 && opts.observers.empty()) {
+            eo.modelHooks.classifier = &observer.classifier();
+            eo.modelHooks.coordinatorSink = &observer.coordinatorSink();
+            eo.modelHooks.makeShardSinks =
+                [&observer](std::size_t shards) {
+                    return observer.makeShardSinks(shards);
+                };
+        }
+
         exec::Executor executor(plan, *sink, opts.semiring, eo);
         ft::Tensor result = executor.run();
 
         model::EinsumRecord record =
             observer.finalize(executor.stats());
+        // Trace diagnostics come from the bus, the single source that
+        // counts shard-consumed, replayed, and live records alike —
+        // equal to the serial totals at every thread count.
+        record.traceEvents = executor.bus().eventCount();
+        record.traceBatches = executor.bus().batchCount();
         for (const auto& [tensor, tt] : record.traffic) {
             model::TensorTraffic& agg = out.traffic[tensor];
             agg.readBytes += tt.readBytes;

@@ -210,6 +210,14 @@ struct RunOptions
     /// delivered trace batches are byte-identical at every thread
     /// count; Einsums whose plan is not shardable (no space rank,
     /// contraction-outermost, ...) fall back to serial execution.
+    ///
+    /// The performance model parallelizes with the walk: when no
+    /// extra `observers` are attached, each worker runs the model's
+    /// order-independent tier (model::ShardAccumulator) inside its
+    /// shard and only the order-dependent storage simulation replays
+    /// serially on the coordinator. Extra observers need the full
+    /// event stream, so their presence falls back to full
+    /// capture/replay — records are byte-identical either way.
     unsigned threads = 1;
 };
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_set>
@@ -39,6 +40,42 @@ class PackedTensor;
 
 namespace teaal::exec
 {
+
+/**
+ * The performance model's hooks into sharded execution: when set (and
+ * the run has no extra trace observers needing the full stream), each
+ * worker's capture-mode trace bus routes order-independent datapath
+ * records straight into a per-shard model accumulator instead of
+ * logging them for the coordinator's in-order replay — the model's
+ * Amdahl floor moves into the shards. The coordinator's own bus
+ * routes its datapath records (live-executed shards, the top-walk
+ * summary) to @ref coordinatorSink; only order-dependent storage
+ * records still replay serially. Results stay byte-identical: every
+ * datapath quantity is an exact (dyadic-rational) sum, and the
+ * event/batch diagnostics are accounted as if unfiltered.
+ */
+struct ShardModelHooks
+{
+    /// Record classification (borrowed; typically
+    /// model::ModelObserver::classifier()).
+    const trace::RecordClassifier* classifier = nullptr;
+
+    /// Create the per-shard datapath sinks, [0, shards). Called once
+    /// on the coordinating thread before workers start; sink s is
+    /// then fed only by the thread executing shard s.
+    std::function<std::vector<trace::Observer*>(std::size_t shards)>
+        makeShardSinks;
+
+    /// Sink for datapath records the coordinator emits itself.
+    trace::Observer* coordinatorSink = nullptr;
+
+    bool
+    enabled() const
+    {
+        return classifier != nullptr && coordinatorSink != nullptr &&
+               static_cast<bool>(makeShardSinks);
+    }
+};
 
 /**
  * Per-execution knobs that vary a run without touching the plan (so
@@ -72,6 +109,14 @@ struct ExecOptions
      * — same semantics, slightly higher per-run cost.
      */
     util::ThreadPool* pool = nullptr;
+
+    /**
+     * Model split for sharded runs (see ShardModelHooks). Unset —
+     * the default, and what non-pipeline callers get — captures and
+     * replays the full trace, delivering every record to the
+     * observer like PR 3 always has.
+     */
+    ShardModelHooks modelHooks;
 };
 
 /**
@@ -255,6 +300,20 @@ class Engine
     setInsertFilter(std::unordered_set<std::uint64_t>* filter)
     {
         insertFilter_ = filter;
+    }
+
+    /**
+     * Route datapath-class records on this engine's trace bus to
+     * @p sink per @p cls (see trace::BatchBus::setFilter). Set on
+     * worker capture engines (per-shard accumulator) and on the
+     * coordinator's delivery engine (coordinator sink) when the model
+     * split is active; call before any event is produced.
+     */
+    void
+    setTraceFilter(const trace::RecordClassifier* cls,
+                   trace::Observer* sink)
+    {
+        bus_.setFilter(cls, sink);
     }
 
     /** Emit the per-input swizzle announcements a serial run makes. */

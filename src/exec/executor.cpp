@@ -44,6 +44,12 @@ constexpr std::size_t kMaxShards = 64;
  * thread-equivalence tests (tests/test_parallel.cpp) compare replayed
  * streams *including batch boundaries* against the serial path and
  * will catch any divergence.
+ *
+ * Filtered captures (model split): a dropped record occupies one slot
+ * in the logged stream AND one in the logical stream, so the logical
+ * walk boundaries and total shift by the same running count — keeping
+ * the replay's serial-equivalent event/batch accounting exact (the
+ * serial engine never emitted the duplicate at all).
  */
 void
 dropDuplicateInserts(trace::TraceLog& log,
@@ -59,6 +65,8 @@ dropDuplicateInserts(trace::TraceLog& log,
             while (we < log.walkEnds.size() &&
                    log.walkEnds[we] == base + i) {
                 log.walkEnds[we] -= dropped;
+                if (log.filtered)
+                    log.logicalWalkEnds[we] -= dropped;
                 ++we;
             }
             const trace::Event& e = chunk[i];
@@ -76,8 +84,12 @@ dropDuplicateInserts(trace::TraceLog& log,
     }
     while (we < log.walkEnds.size()) {
         log.walkEnds[we] -= dropped;
+        if (log.filtered)
+            log.logicalWalkEnds[we] -= dropped;
         ++we;
     }
+    if (log.filtered)
+        log.logicalEvents -= dropped;
 }
 
 } // namespace
@@ -108,6 +120,17 @@ Executor::runSharded(unsigned threads)
     // coordinates, driver cursors, and PE ids up front (the walk
     // summary events are replayed after the shards, where the serial
     // merge loop would emit them).
+    // Model split (performance-model hooks set, see ShardModelHooks):
+    // datapath records are consumed by per-shard accumulators inside
+    // the shards; only order-dependent storage records are captured
+    // and replayed. The coordinator's own emissions route through the
+    // same filter to the coordinator sink.
+    const bool split_model = opts_.modelHooks.enabled();
+    if (split_model) {
+        engine_.setTraceFilter(opts_.modelHooks.classifier,
+                               opts_.modelHooks.coordinatorSink);
+    }
+
     engine_.beginRun(/*announce_swizzles=*/false);
     TopWalk tw;
     engine_.enumerateTop(tw);
@@ -124,6 +147,10 @@ Executor::runSharded(unsigned threads)
     std::vector<std::size_t> bounds(shards + 1);
     for (std::size_t s = 0; s <= shards; ++s)
         bounds[s] = s * n / shards;
+
+    std::vector<trace::Observer*> shard_sinks;
+    if (split_model)
+        shard_sinks = opts_.modelHooks.makeShardSinks(shards);
 
     // Hybrid scheme: workers race ahead claiming shards and executing
     // them into trace captures; the coordinator walks the shards
@@ -196,6 +223,11 @@ Executor::runSharded(unsigned threads)
                     continue;
                 try {
                     Engine shard(plan_, r.log, sr_, opts_);
+                    if (split_model) {
+                        shard.setTraceFilter(
+                            opts_.modelHooks.classifier,
+                            shard_sinks[s]);
+                    }
                     r.out =
                         shard.runShard(tw, bounds[s], bounds[s + 1]);
                     r.stats = shard.stats();

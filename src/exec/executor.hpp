@@ -25,6 +25,15 @@
  * count depends only on the plan and data — never on the thread
  * count — so results and traces are identical for every N.
  *
+ * With ExecOptions::modelHooks set (the pipeline sets them whenever
+ * the performance model is the sole trace consumer), the capture
+ * buses additionally *split the model*: order-independent datapath
+ * records are consumed by per-shard model accumulators inside the
+ * workers, and the coordinator replays only the order-dependent
+ * storage records — the model is no longer a serial bottleneck, and
+ * the assembled counters stay byte-identical (trace/batch.hpp
+ * RecordClassifier, model/accumulator.hpp).
+ *
  * The (x, +) operators are semiring-parameterized so vertex-centric
  * graph algorithms can redefine them (paper Figure 12: SSSP uses
  * addition and minimum).

@@ -1,511 +1,61 @@
 #include "model/model.hpp"
 
-#include <algorithm>
-#include <cctype>
-#include <cmath>
-
-#include "storage/packed.hpp"
 #include "trace/batch.hpp"
-#include "util/error.hpp"
-#include "util/random.hpp"
 
 namespace teaal::model
 {
-
-namespace
-{
-
-/** Strip trailing digits: K0 -> K. */
-std::string
-stripDigits(const std::string& rank)
-{
-    std::string base = rank;
-    while (!base.empty() &&
-           std::isdigit(static_cast<unsigned char>(base.back()))) {
-        base.pop_back();
-    }
-    return base;
-}
-
-/**
- * Tolerant binding-rank resolution against a list of (possibly
- * partitioned/flattened) rank ids. Exact match wins, then base match,
- * then flattened-constituent match.
- */
-int
-resolveRankLevel(const std::vector<ft::RankInfo>& ranks,
-                 const std::string& rank)
-{
-    for (std::size_t i = 0; i < ranks.size(); ++i) {
-        if (ranks[i].id == rank)
-            return static_cast<int>(i);
-    }
-    for (std::size_t i = 0; i < ranks.size(); ++i) {
-        if (stripDigits(ranks[i].id) == rank ||
-            ranks[i].id == stripDigits(rank))
-            return static_cast<int>(i);
-    }
-    for (std::size_t i = 0; i < ranks.size(); ++i) {
-        const auto& flat = ranks[i].flatIds;
-        if (std::find(flat.begin(), flat.end(), rank) != flat.end())
-            return static_cast<int>(i);
-    }
-    return -1;
-}
-
-std::uint64_t
-keyHash(const void* key)
-{
-    return reinterpret_cast<std::uint64_t>(key);
-}
-
-/**
- * Map a (possibly sparse, mixed-radix) logical PE id onto a physical
- * instance. When the id already fits the instance count this is the
- * identity (static placement); larger/sparse id spaces are spread by
- * a mixing hash, modeling the dynamic work distribution real designs
- * use to balance irregular task sizes.
- */
-std::uint64_t
-peSlot(const ComponentActions& ca, std::uint64_t pe)
-{
-    const auto n = static_cast<std::uint64_t>(ca.instances);
-    if (n == 0)
-        return pe;
-    if (pe < n)
-        return pe;
-    std::uint64_t state = pe;
-    return splitMix64(state) % n;
-}
-
-/// DRAM transaction granularity paid per element when chasing
-/// interleaved (array-of-structs / linked-list) layouts; partial
-/// write-combining makes this less than a full 64B line.
-constexpr double kInterleavedTransactionBytes = 32.0;
-
-} // namespace
-
-double
-ComponentActions::maxPerPe() const
-{
-    double best = 0;
-    for (const auto& [pe, v] : perPe)
-        best = std::max(best, v);
-    return best;
-}
-
-double
-ComponentActions::count(const std::string& key) const
-{
-    const auto it = counts.find(key);
-    return it == counts.end() ? 0.0 : it->second;
-}
 
 ModelObserver::ModelObserver(const ir::EinsumPlan& plan,
                              const arch::Topology& topo,
                              const binding::EinsumBinding& eb,
                              const fmt::FormatSpec& formats,
                              const std::set<std::string>& on_chip)
-    : plan_(plan), topo_(topo), formats_(formats), onChip_(on_chip)
+    : tables_(ModelTables::build(plan, topo, eb, formats, on_chip)),
+      accum_(tables_), replay_(tables_)
 {
-    record_.output = plan.expr.output.name;
-    record_.topologyName = topo.name;
-    record_.clock = topo.clock;
-    for (const ir::LoopRank& lr : plan.loops) {
-        record_.loopOrder.push_back(lr.name);
-        if (lr.isSpace)
-            break;
-        record_.temporalPrefix.push_back(lr.name);
-    }
-
-    // ------------------------- resolve the functional components
-    for (const auto& [comp, instances] : topo.allComponents()) {
-        switch (comp->cls) {
-          case arch::ComponentClass::DRAM:
-            if (dramName_.empty())
-                dramName_ = comp->name;
-            break;
-          case arch::ComponentClass::Sequencer:
-            if (seqName_.empty())
-                seqName_ = comp->name;
-            break;
-          case arch::ComponentClass::Intersection:
-            if (isectName_.empty()) {
-                isectName_ = comp->name;
-                isectType_ = comp->attrString("type", "two-finger");
-            }
-            break;
-          case arch::ComponentClass::Merger:
-            if (mergerName_.empty()) {
-                mergerName_ = comp->name;
-                mergerRadix_ =
-                    std::max(2L, comp->attrLong("comparator_radix", 2));
-            }
-            break;
-          case arch::ComponentClass::Compute: {
-            const std::string type = comp->attrString("type", "mul");
-            if (type == "mul" && mulName_.empty())
-                mulName_ = comp->name;
-            if (type == "add" && addName_.empty())
-                addName_ = comp->name;
-            break;
-          }
-          case arch::ComponentClass::Buffer:
-            break;
-        }
-        (void)instances;
-    }
-    // Compute fallbacks: a mul-only datapath still executes adds.
-    if (mulName_.empty())
-        mulName_ = addName_;
-    if (addName_.empty())
-        addName_ = mulName_;
-
-    // Op bindings override the defaults.
-    for (const binding::ComponentBinding& cb : eb.components) {
-        for (const binding::OpBinding& op : cb.ops) {
-            if (op.op == "mul")
-                mulName_ = cb.component;
-            else if (op.op == "add")
-                addName_ = cb.component;
-            else if (op.op == "intersect")
-                isectName_ = cb.component;
-            else if (op.op == "merge" || op.op == "sort")
-                mergerName_ = cb.component;
-            else if (op.op == "seq")
-                seqName_ = cb.component;
-            record_.nonStorageComponents.insert(cb.component);
-        }
-    }
-
-    // Pre-create component records with instance counts.
-    auto ensure = [this](const std::string& name) {
-        if (name.empty())
-            return;
-        long instances = 1;
-        const arch::Component* comp =
-            topo_.findComponent(name, &instances);
-        ComponentActions& ca = record_.components[name];
-        ca.name = name;
-        ca.instances = instances;
-        if (comp != nullptr)
-            ca.cls = comp->cls;
-    };
-    ensure(dramName_);
-    ensure(seqName_);
-    ensure(isectName_);
-    ensure(mergerName_);
-    ensure(mulName_);
-    ensure(addName_);
-    auto comp_ptr = [this](const std::string& name) {
-        return name.empty() ? nullptr : &record_.components[name];
-    };
-    dramComp_ = comp_ptr(dramName_);
-    seqComp_ = comp_ptr(seqName_);
-    isectComp_ = comp_ptr(isectName_);
-    mulComp_ = comp_ptr(mulName_);
-    addComp_ = comp_ptr(addName_);
-    for (const ir::TensorPlan& tp : plan.inputs)
-        inputTraffic_.push_back(&record_.traffic[tp.name]);
-    outTraffic_ = &record_.traffic[plan.output.name];
-    // Pre-populating the traffic map inserts zero rows; they are
-    // harmless (the benches skip zero-traffic tensors).
-
-    // ------------------------------------ storage units and routes
-    routes_.resize(plan.inputs.size());
-    pathKey_.resize(plan.inputs.size());
-
-    for (const binding::ComponentBinding& cb : eb.components) {
-        long instances = 1;
-        const arch::Component* comp =
-            topo.findComponent(cb.component, &instances);
-        if (comp == nullptr) {
-            if (!cb.storage.empty())
-                specError("binding references unknown component '",
-                          cb.component, "'");
-            continue;
-        }
-        if (comp->cls != arch::ComponentClass::Buffer)
-            continue;
-        ComponentActions& ca = record_.components[cb.component];
-        ca.name = cb.component;
-        ca.instances = instances;
-        ca.cls = comp->cls;
-
-        for (const binding::StorageBinding& sb : cb.storage) {
-            StorageUnit unit;
-            unit.component = cb.component;
-            unit.sb = sb;
-            unit.tensor = sb.tensor;
-            unit.eager = sb.style == binding::Style::Eager;
-            unit.isCache = comp->attrString("type", "buffet") == "cache";
-            // Output partials always use buffet (drain) semantics,
-            // even when held in a cache-type component: eviction of a
-            // partial result writes it back.
-            if (sb.tensor == plan.output.name)
-                unit.isCache = false;
-            if (unit.isCache) {
-                auto& shared = componentCaches_[cb.component];
-                if (shared == nullptr) {
-                    double bytes = comp->attrDouble("size", 0);
-                    if (bytes == 0) {
-                        bytes = comp->attrDouble("width", 64) *
-                                comp->attrDouble("depth", 1024) / 8.0;
-                    }
-                    // Replicated caches are simulated as one pool of
-                    // the aggregate capacity.
-                    shared = std::make_unique<LruCache>(
-                        bytes * static_cast<double>(instances));
-                }
-                unit.cache = shared.get();
-            }
-            unit.format = sb.config.empty()
-                              ? &formats_.getLenient(sb.tensor)
-                              : &formats_.get(sb.tensor, sb.config);
-
-            // Locate the tensor.
-            if (sb.tensor == plan.output.name) {
-                unit.input = -1;
-                if (!plan.output.productionOrder.empty() &&
-                    !sb.rank.empty()) {
-                    std::vector<ft::RankInfo> ranks;
-                    for (std::size_t i = 0;
-                         i < plan.output.productionOrder.size(); ++i) {
-                        ranks.push_back(
-                            {plan.output.productionOrder[i],
-                             plan.output.shapes[i],
-                             {},
-                             {}});
-                    }
-                    unit.boundLevel =
-                        resolveRankLevel(ranks, sb.rank);
-                }
-            } else {
-                for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
-                    if (plan.inputs[i].name == sb.tensor)
-                        unit.input = static_cast<int>(i);
-                }
-                if (unit.input < 0)
-                    continue; // tensor not used by this Einsum
-                if (!sb.rank.empty()) {
-                    unit.boundLevel = resolveRankLevel(
-                        plan.inputs[static_cast<std::size_t>(unit.input)]
-                            .prepared.ranks(),
-                        sb.rank);
-                }
-                if (unit.boundLevel < 0)
-                    unit.boundLevel = 0;
-            }
-            if (!sb.evictOn.empty()) {
-                for (std::size_t l = 0; l < plan.loops.size(); ++l) {
-                    if (plan.loops[l].name == sb.evictOn ||
-                        stripDigits(plan.loops[l].name) == sb.evictOn)
-                        unit.evictLoop = static_cast<int>(l);
-                }
-            }
-            if (unit.input < 0 && sb.tensor == plan.output.name)
-                outUnit_ = static_cast<int>(storage_.size());
-            // Linked-list style layouts pay DRAM transaction
-            // granularity per element when chased.
-            bool interleaved = false;
-            for (const auto& [rid, rf] : unit.format->ranks) {
-                (void)rid;
-                if (rf.layout == fmt::RankFormat::Layout::Interleaved)
-                    interleaved = true;
-            }
-            unitInterleaved_.push_back(interleaved);
-            storage_.push_back(std::move(unit));
-        }
-    }
-
-    // Routes: per input, per level, pick the deepest covering unit.
-    for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
-        const ir::TensorPlan& tp = plan.inputs[i];
-        const fmt::TensorFormat& tf = formats_.getLenient(tp.name);
-        const std::size_t nr = tp.prepared.numRanks();
-        routes_[i].resize(nr);
-        pathKey_[i].assign(nr, nullptr);
-        for (std::size_t lvl = 0; lvl < nr; ++lvl) {
-            LevelRoute& r = routes_[i][lvl];
-            const fmt::RankFormat& rf =
-                tf.rankFormat(tp.prepared.rank(lvl).id);
-            r.coordBytes = rf.coordBits() / 8.0;
-            r.payloadBytes =
-                rf.payloadBits(lvl + 1 == nr) / 8.0;
-            int best = -1;
-            for (std::size_t u = 0; u < storage_.size(); ++u) {
-                const StorageUnit& unit = storage_[u];
-                if (unit.input != static_cast<int>(i))
-                    continue;
-                if (unit.boundLevel <= static_cast<int>(lvl) &&
-                    (best < 0 ||
-                     unit.boundLevel > storage_[static_cast<std::size_t>(
-                                           best)].boundLevel)) {
-                    best = static_cast<int>(u);
-                }
-            }
-            r.unit = best;
-            r.absorbed =
-                best >= 0 &&
-                storage_[static_cast<std::size_t>(best)].eager &&
-                storage_[static_cast<std::size_t>(best)].boundLevel <
-                    static_cast<int>(lvl);
-        }
-    }
-
-    // Output leaf element size.
-    {
-        const fmt::TensorFormat& tf =
-            formats_.getLenient(plan.output.name);
-        const std::string leaf_rank =
-            plan.output.productionOrder.empty()
-                ? std::string("_S")
-                : plan.output.productionOrder.back();
-        const fmt::RankFormat& rf = tf.rankFormat(leaf_rank);
-        outLeafBytes_ = (rf.coordBits() + rf.payloadBits(true) +
-                         rf.headerBits()) /
-                        8.0;
-        if (rf.layout == fmt::RankFormat::Layout::Interleaved) {
-            // Each linked-list append is its own DRAM transaction.
-            outLineBytes_ =
-                std::max(outLeafBytes_, kInterleavedTransactionBytes);
-        }
-    }
-
-    // --------------------------------------- per-event slot caches
-    // Traffic rows for inputs/output/units were pre-created above, so
-    // resolving them here adds no new (zero) rows; counter slots stay
-    // null until first use (addCount) for the same reason.
-    for (std::size_t i = 0; i < plan.inputs.size(); ++i) {
-        inputTrafficOrNull_.push_back(
-            onChip_.count(plan.inputs[i].name) ? nullptr
-                                               : inputTraffic_[i]);
-    }
-    outTrafficOrNull_ =
-        onChip_.count(plan.output.name) ? nullptr : outTraffic_;
-    for (const StorageUnit& unit : storage_) {
-        unitComp_.push_back(&record_.components[unit.component]);
-        unitAccessBytes_.push_back(nullptr);
-        unitFillBytes_.push_back(nullptr);
-        unitDrainBytes_.push_back(nullptr);
-        unitTrafficOrNull_.push_back(
-            onChip_.count(unit.tensor)
-                ? nullptr
-                : &record_.traffic[unit.tensor]);
-    }
-}
-
-ComponentActions&
-ModelObserver::component(const std::string& name)
-{
-    ComponentActions& ca = record_.components[name];
-    if (ca.name.empty()) {
-        ca.name = name;
-        long instances = 1;
-        const arch::Component* comp =
-            topo_.findComponent(name, &instances);
-        ca.instances = instances;
-        if (comp)
-            ca.cls = comp->cls;
-    }
-    return ca;
-}
-
-void
-ModelObserver::chargeDram(const std::string& tensor, double bytes,
-                          bool write, bool partial)
-{
-    if (onChip_.count(tensor))
-        return;
-    chargeDramTo(&record_.traffic[tensor], bytes, write, partial);
-}
-
-double
-ModelObserver::subtreeBytes(const StorageUnit& unit, bool interleaved,
-                            const ft::Payload* payload, std::size_t level,
-                            const std::vector<std::string>& rank_ids)
-{
-    const void* key = payload;
-    const auto it = subtreeBytesCache_.find(key);
-    if (it != subtreeBytesCache_.end())
-        return it->second;
-    double bytes =
-        static_cast<double>(fmt::subtreeBits(*unit.format, rank_ids,
-                                             *payload, level + 1)) /
-        8.0;
-    // Interleaved (array-of-structs / linked-list) layouts are chased
-    // element by element: each leaf pays a 64B DRAM transaction.
-    if (interleaved && payload->isFiber() && payload->fiber()) {
-        bytes = std::max(bytes,
-                         kInterleavedTransactionBytes *
-                             static_cast<double>(
-                                 payload->fiber()->leafCount()));
-    }
-    subtreeBytesCache_[key] = bytes;
-    return bytes;
-}
-
-double
-ModelObserver::packedSubtreeBytes(const StorageUnit& unit,
-                                  bool interleaved,
-                                  const storage::PackedTensor* packed,
-                                  std::size_t level, std::size_t pos,
-                                  const void* key)
-{
-    const auto it = subtreeBytesCache_.find(key);
-    if (it != subtreeBytesCache_.end())
-        return it->second;
-    double bytes =
-        static_cast<double>(packed->subtreeBits(*unit.format, level,
-                                                pos)) /
-        8.0;
-    if (interleaved && level + 1 < packed->numRanks()) {
-        bytes = std::max(bytes,
-                         kInterleavedTransactionBytes *
-                             static_cast<double>(
-                                 packed->leafCountBelow(level, pos)));
-    }
-    subtreeBytesCache_[key] = bytes;
-    return bytes;
 }
 
 void
 ModelObserver::onEventBatch(const trace::EventBatch& batch)
 {
-    // One virtual call per batch; per-record dispatch below is
-    // statically qualified, so the hot path pays no per-event virtual
-    // calls. Record order is preserved, making every count (cache
-    // hits included) bit-identical to the streaming path.
-    ++record_.traceBatches;
-    record_.traceEvents += batch.events.size();
+    // One virtual call per batch; per-record routing below is
+    // non-virtual. Record order is preserved within each tier, and
+    // the datapath tier is order-free, so every count (cache hits
+    // included) is bit-identical to the streaming path.
+    ++traceBatches_;
+    traceEvents_ += batch.events.size();
     using trace::Event;
+    const trace::RecordClassifier& cls = tables_.classifier;
     for (const Event& e : batch.events) {
         switch (e.kind) {
           case Event::Kind::LoopEnter:
-            ModelObserver::onLoopEnter(e.loop, e.coord);
+            if (cls.loopStateful(e.loop))
+                replay_.loopEnter(e.loop);
             break;
           case Event::Kind::CoIterate:
-            ModelObserver::onCoIterate(e.loop, e.a, e.b, e.c, e.pe);
+            accum_.coIterate(e.a, e.b, e.c, e.pe);
             break;
           case Event::Kind::CoordScan:
-            ModelObserver::onCoordScan(e.input, e.level, e.a, e.pe);
+            accum_.coordScan(e.input, e.level, e.a);
             break;
           case Event::Kind::TensorAccess:
-            onTensorAccessImpl(e.input, e.level, e.coord, e.ptr,
-                               e.payload, e.packed, e.a, e.pe);
+            if (cls.accessStateful(e.input, e.level))
+                replay_.tensorAccess(e.input, e.level, e.ptr,
+                                     e.payload, e.packed, e.a);
+            else
+                accum_.tensorAccess(e.input, e.level);
             break;
           case Event::Kind::OutputWrite:
-            ModelObserver::onOutputWrite(*e.name, e.level, e.coord,
-                                         e.key, e.flagA, e.flagB, e.pe);
+            replay_.outputWrite(e.key, e.flagB);
             break;
           case Event::Kind::Compute:
-            ModelObserver::onCompute(e.op, e.pe, e.a);
+            accum_.compute(e.op, e.pe, e.a);
             break;
           case Event::Kind::Swizzle:
-            ModelObserver::onSwizzle(*e.name, e.a, e.b, e.flagA);
+            replay_.swizzle(e.a, e.b, e.flagA);
             break;
           case Event::Kind::TensorCopy:
-            ModelObserver::onTensorCopy(*e.name, *e.name2, e.a);
+            replay_.tensorCopy(*e.name, *e.name2, e.a);
             break;
         }
     }
@@ -515,21 +65,8 @@ void
 ModelObserver::onLoopEnter(std::size_t loop, ft::Coord c)
 {
     (void)c;
-    for (std::size_t u = 0; u < storage_.size(); ++u) {
-        StorageUnit& unit = storage_[u];
-        if (unit.evictLoop != static_cast<int>(loop) || unit.isCache)
-            continue;
-        const Buffet::DrainResult drained = unit.buffet.evictAll();
-        const double total = drained.firstBytes + drained.againBytes;
-        if (total > 0) {
-            chargeDramTo(unitTrafficOrNull_[u], drained.firstBytes,
-                         true, false);
-            chargeDramTo(unitTrafficOrNull_[u], drained.againBytes,
-                         true, true);
-            addCount(unitDrainBytes_[u], unitComp_[u], "drain_bytes",
-                     total);
-        }
-    }
+    if (tables_.classifier.loopStateful(loop))
+        replay_.loopEnter(loop);
 }
 
 void
@@ -538,35 +75,7 @@ ModelObserver::onCoIterate(std::size_t loop, std::size_t steps,
                            std::uint64_t pe)
 {
     (void)loop;
-    if (seqComp_ != nullptr) {
-        // The sequencer walks fibers at one element per cycle.
-        ComponentActions& seq = *seqComp_;
-        addCount(seqSteps_, seqComp_, "steps",
-                 static_cast<double>(steps));
-        seq.perPe[peSlot(seq, pe)] += static_cast<double>(steps);
-    }
-    if (drivers >= 2 && !plan_.unionCombine && isectComp_ != nullptr) {
-        ComponentActions& isect = *isectComp_;
-        addCount(isectSteps_, isectComp_, "steps",
-                 static_cast<double>(steps));
-        addCount(isectMatches_, isectComp_, "matches",
-                 static_cast<double>(matches));
-        const double skips = static_cast<double>(steps - matches);
-        double cycles;
-        if (isectType_ == "skip-ahead") {
-            // Hegde et al.'s unit fast-forwards through non-matching
-            // runs at ~2 elements/cycle.
-            cycles = static_cast<double>(matches) + skips / 2.0;
-        } else if (isectType_ == "leader-follower") {
-            // Only the leader's elements are examined.
-            cycles = static_cast<double>(steps) / 2.0 +
-                     static_cast<double>(matches) / 2.0;
-        } else { // two-finger
-            cycles = static_cast<double>(steps);
-        }
-        addCount(isectCycles_, isectComp_, "cycles", cycles);
-        isect.perPe[peSlot(isect, pe)] += cycles;
-    }
+    accum_.coIterate(steps, matches, drivers, pe);
 }
 
 void
@@ -574,29 +83,7 @@ ModelObserver::onCoordScan(int input, std::size_t level,
                            std::size_t count, std::uint64_t pe)
 {
     (void)pe;
-    if (input < 0 || count == 0)
-        return;
-    const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
-    const double bytes = r.coordBytes * static_cast<double>(count);
-    if (bytes <= 0)
-        return;
-    if (r.unit >= 0) {
-        const std::size_t u = static_cast<std::size_t>(r.unit);
-        const StorageUnit& unit = storage_[u];
-        if (unit.isCache || !r.absorbed)
-            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
-                     bytes);
-        if (!r.absorbed && !unit.eager) {
-            // Lazily bound coordinates stream through the buffer.
-            chargeDramTo(
-                inputTrafficOrNull_[static_cast<std::size_t>(input)],
-                bytes, false);
-        }
-    } else {
-        chargeDramTo(
-            inputTrafficOrNull_[static_cast<std::size_t>(input)],
-            bytes, false);
-    }
+    accum_.coordScan(input, level, count);
 }
 
 void
@@ -606,70 +93,12 @@ ModelObserver::onTensorAccess(int input, const std::string& tensor,
                               std::uint64_t pe)
 {
     (void)tensor;
-    onTensorAccessImpl(input, level, c, key, payload, nullptr, 0, pe);
-}
-
-void
-ModelObserver::onTensorAccessImpl(int input, std::size_t level,
-                                  ft::Coord c, const void* key,
-                                  const ft::Payload* payload,
-                                  const void* packed, std::size_t pos,
-                                  std::uint64_t pe)
-{
     (void)c;
     (void)pe;
-    if (input < 0)
-        return;
-    pathKey_[static_cast<std::size_t>(input)][level] = key;
-    const LevelRoute& r = routes_[static_cast<std::size_t>(input)][level];
-    if (r.unit < 0) {
-        chargeDramTo(
-            inputTrafficOrNull_[static_cast<std::size_t>(input)],
-            r.payloadBytes, false);
-        return;
-    }
-    const std::size_t u = static_cast<std::size_t>(r.unit);
-    StorageUnit& unit = storage_[u];
-    if (r.absorbed) {
-        // Covered by an eager fill above: on-chip hit. Caches pay a
-        // port access per use; explicitly orchestrated buffets feed
-        // registers/multicast networks, so re-uses are free.
-        if (unit.isCache)
-            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
-                     r.payloadBytes);
-        return;
-    }
-    double bytes = r.payloadBytes;
-    if (unit.eager && unit.boundLevel == static_cast<int>(level)) {
-        const bool interleaved = unitInterleaved_[u];
-        if (payload != nullptr) {
-            const ir::TensorPlan& tp =
-                plan_.inputs[static_cast<std::size_t>(input)];
-            bytes = subtreeBytes(unit, interleaved, payload, level,
-                                 tp.prepared.rankIds());
-        } else if (packed != nullptr) {
-            bytes = packedSubtreeBytes(
-                unit, interleaved,
-                static_cast<const storage::PackedTensor*>(packed),
-                level, pos, key);
-        }
-        // Neither set (a packed access replayed through the bare
-        // streaming interface): fall back to the per-payload width —
-        // batch delivery, which the pipeline always uses, carries the
-        // packed context and charges the exact subtree.
-    }
-    bool hit;
-    if (unit.isCache)
-        hit = unit.cache->access(key, bytes);
+    if (tables_.classifier.accessStateful(input, level))
+        replay_.tensorAccess(input, level, key, payload, nullptr, 0);
     else
-        hit = unit.buffet.read(keyHash(key), bytes);
-    addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes", bytes);
-    if (!hit) {
-        addCount(unitFillBytes_[u], unitComp_[u], "fill_bytes", bytes);
-        chargeDramTo(
-            inputTrafficOrNull_[static_cast<std::size_t>(input)],
-            bytes, false);
-    }
+        accum_.tensorAccess(input, level);
 }
 
 void
@@ -677,113 +106,69 @@ ModelObserver::onOutputWrite(const std::string& tensor, std::size_t level,
                              ft::Coord c, std::uint64_t path_key,
                              bool inserted, bool at_leaf, std::uint64_t pe)
 {
+    (void)tensor;
     (void)level;
     (void)c;
     (void)inserted;
     (void)pe;
-    if (!at_leaf)
-        return;
-    (void)tensor;
-    const double bytes = outLeafBytes_;
-    if (outUnit_ >= 0) {
-        const std::size_t u = static_cast<std::size_t>(outUnit_);
-        StorageUnit& unit = storage_[u];
-        const double resident_before = unit.buffet.residentBytes();
-        const bool revisit = unit.buffet.write(path_key, bytes);
-        // Repeat writes to a resident partial accumulate in
-        // registers/adder trees; the buffer port is paid on
-        // allocation (and again at drain).
-        if (unit.buffet.residentBytes() != resident_before)
-            addCount(unitAccessBytes_[u], unitComp_[u], "access_bytes",
-                     bytes);
-        if (revisit) {
-            // Partial result re-fetched from DRAM.
-            chargeDramTo(outTrafficOrNull_, bytes, false, true);
-        }
-        return;
-    }
-    // Streaming output: every write goes to memory; revisits are
-    // partial-output read-modify-writes.
-    const double dram_bytes =
-        outLineBytes_ > 0 ? outLineBytes_ : bytes;
-    auto [count, first] = outWritten_.tryEmplace(path_key, 0);
-    ++*count;
-    if (first) {
-        chargeDramTo(outTrafficOrNull_, dram_bytes, true, false);
-    } else {
-        chargeDramTo(outTrafficOrNull_, dram_bytes, false, true);
-        chargeDramTo(outTrafficOrNull_, dram_bytes, true, true);
-    }
+    replay_.outputWrite(path_key, at_leaf);
 }
 
 void
 ModelObserver::onCompute(char op, std::uint64_t pe, std::size_t count)
 {
-    ComponentActions* ca = op == 'm' ? mulComp_ : addComp_;
-    if (ca == nullptr)
-        return;
-    if (op == 'm')
-        addCount(mulOps_, ca, "mul_ops", static_cast<double>(count));
-    else
-        addCount(addOps_, ca, "add_ops", static_cast<double>(count));
-    ca->perPe[peSlot(*ca, pe)] += static_cast<double>(count);
+    accum_.compute(op, pe, count);
 }
 
 void
 ModelObserver::onSwizzle(const std::string& tensor, std::size_t elements,
                          std::size_t ways, bool online)
 {
-    if (!online)
-        return;
-    if (mergerName_.empty()) {
-        // No merger hardware: the swizzle still happens (e.g. via
-        // memory round trips); charge the sequencer.
-        if (!seqName_.empty())
-            component(seqName_).add("swizzle_elems",
-                                    static_cast<double>(elements));
-        return;
-    }
-    const double passes = std::max(
-        1.0, std::ceil(std::log(static_cast<double>(std::max<std::size_t>(
-                           ways, 2))) /
-                       std::log(static_cast<double>(mergerRadix_))));
-    ComponentActions& merger = component(mergerName_);
-    merger.add("merge_elems", static_cast<double>(elements) * passes);
-    merger.add("swizzles", 1);
     (void)tensor;
+    replay_.swizzle(elements, ways, online);
 }
 
 void
 ModelObserver::onTensorCopy(const std::string& from, const std::string& to,
                             std::size_t elements)
 {
-    const fmt::TensorFormat& tf = formats_.getLenient(from);
-    fmt::RankFormat leaf; // default compressed
-    const double bytes =
-        static_cast<double>(elements) *
-        (tf.rankFormat("_leaf").coordBits() + leaf.payloadBits(true)) /
-        8.0;
-    chargeDram(from, bytes, false);
-    chargeDram(to, bytes, true);
+    replay_.tensorCopy(from, to, elements);
+}
+
+std::vector<trace::Observer*>
+ModelObserver::makeShardSinks(std::size_t n)
+{
+    shardAccums_.clear();
+    std::vector<trace::Observer*> sinks;
+    sinks.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        shardAccums_.emplace_back(tables_);
+        sinks.push_back(&shardAccums_.back());
+    }
+    return sinks;
 }
 
 EinsumRecord
 ModelObserver::finalize(const exec::ExecutionStats& stats)
 {
-    // Drain every output buffet.
-    for (StorageUnit& unit : storage_) {
-        if (unit.isCache)
-            continue;
-        const Buffet::DrainResult drained = unit.buffet.evictAll();
-        const double total = drained.firstBytes + drained.againBytes;
-        if (total > 0) {
-            chargeDram(unit.tensor, drained.firstBytes, true, false);
-            chargeDram(unit.tensor, drained.againBytes, true, true);
-            component(unit.component).add("drain_bytes", total);
-        }
-    }
-    record_.execStats = stats;
-    return std::move(record_);
+    EinsumRecord record = tables_.skeleton;
+
+    // Deterministic merge: the coordinator's own accumulator first,
+    // then the shard accumulators in shard-index order. (The sums are
+    // exact regardless — see the file comment — the fixed order makes
+    // that property unnecessary rather than load-bearing.)
+    for (const ShardAccumulator& sa : shardAccums_)
+        accum_.merge(sa);
+    accum_.mergeInto(record);
+    replay_.finalizeInto(record);
+
+    record.execStats = stats;
+    // Standalone (non-pipeline) use: what this observer received. The
+    // pipeline overwrites these with the executor bus's counts, which
+    // also account for shard-consumed records at threads >= 2.
+    record.traceEvents = traceEvents_;
+    record.traceBatches = traceBatches_;
+    return record;
 }
 
 } // namespace teaal::model

@@ -4,6 +4,33 @@
  * events and produces per-component action counts and per-tensor DRAM
  * traffic (paper §4.3 "trace consumption").
  *
+ * The model is split into two tiers along the order-dependence
+ * boundary (see model/tables.hpp):
+ *
+ *   model/accumulator.hpp    ShardAccumulator — order-independent
+ *                            datapath counters (compute, sequencer,
+ *                            intersection, coordinate scans, streamed
+ *                            accesses, per-PE loads). Mergeable;
+ *                            sharded runs execute one per shard,
+ *                            inside the shard, off the capture-mode
+ *                            trace bus.
+ *   model/storage_replay.hpp StorageReplay — order-dependent storage
+ *                            simulation (buffets, shared LRU caches,
+ *                            DRAM fills/drains, partial outputs).
+ *                            Fed only in serial event order.
+ *
+ * ModelObserver is the thin façade composing both over one shared
+ * ModelTables: on the serial path it routes every record to its tier
+ * inline; on the sharded path the executor's capture filter consumes
+ * the datapath records in-shard (ModelObserver::makeShardSinks) and
+ * only the stateful remainder flows through the coordinator's
+ * in-order replay into this observer. finalize() merges the shard
+ * accumulators in shard-index order and assembles an EinsumRecord
+ * byte-identical at every thread count (all model sums are dyadic
+ * rationals — integers, halves, bits/8 — so accumulation order cannot
+ * perturb them; only the storage tier's state genuinely needs the
+ * serial order).
+ *
  * Storage bindings route tensor accesses through buffet/cache
  * simulators; misses and drains charge the DRAM. Unbound tensors
  * stream: every logical access pays DRAM traffic (no on-chip reuse).
@@ -13,11 +40,10 @@
  */
 #pragma once
 
-#include <map>
+#include <deque>
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/arch.hpp"
@@ -25,73 +51,23 @@
 #include "exec/executor.hpp"
 #include "format/format.hpp"
 #include "ir/plan.hpp"
-#include "model/buffer_sim.hpp"
+#include "model/accumulator.hpp"
+#include "model/record.hpp"
+#include "model/storage_replay.hpp"
+#include "model/tables.hpp"
 #include "trace/observer.hpp"
-
-namespace teaal::storage
-{
-class PackedTensor;
-} // namespace teaal::storage
 
 namespace teaal::model
 {
-
-/** Action counts of one component during one Einsum. */
-struct ComponentActions
-{
-    std::string name;
-    arch::ComponentClass cls = arch::ComponentClass::Compute;
-    long instances = 1;
-    /// Named action counters (bytes, ops, steps, ...).
-    std::map<std::string, double> counts;
-    /// Per-PE cycle-equivalent load (datapath components).
-    std::unordered_map<std::uint64_t, double> perPe;
-
-    double maxPerPe() const;
-    double count(const std::string& key) const;
-    void add(const std::string& key, double v) { counts[key] += v; }
-};
-
-/** DRAM traffic attributed to one tensor. */
-struct TensorTraffic
-{
-    double readBytes = 0;
-    double writeBytes = 0;
-    /// Partial-output traffic: re-reads + re-writes of evicted partial
-    /// results (the "PO" bars of paper Figure 9).
-    double poBytes = 0;
-
-    double total() const { return readBytes + writeBytes; }
-};
-
-/** Everything the model learned about one Einsum's execution. */
-struct EinsumRecord
-{
-    std::string output;
-    std::string topologyName;
-    double clock = 1e9;
-
-    std::map<std::string, ComponentActions> components;
-    std::map<std::string, TensorTraffic> traffic;
-
-    exec::ExecutionStats execStats;
-
-    /// Trace-bus diagnostics: logical events consumed and the batches
-    /// that delivered them (events/batches = virtual-call reduction).
-    std::size_t traceEvents = 0;
-    std::size_t traceBatches = 0;
-
-    // Fusion-relevant facts (paper §4.3).
-    std::vector<std::string> loopOrder;
-    std::vector<std::string> temporalPrefix;
-    std::set<std::string> nonStorageComponents;
-};
 
 /**
  * Streaming trace consumer for one Einsum.
  *
  * Construct, pass to the Executor as the observer, run, then call
- * finalize() to harvest the EinsumRecord.
+ * finalize() to harvest the EinsumRecord. For sharded runs, also hand
+ * the executor the model hooks (classifier / coordinatorSink /
+ * makeShardSinks) via exec::ExecOptions::modelHooks so the datapath
+ * tier runs inside the shards.
  */
 class ModelObserver : public trace::Observer
 {
@@ -112,7 +88,8 @@ class ModelObserver : public trace::Observer
     /**
      * Batch entry point: consumes the engine's trace batches directly
      * (one virtual call per batch, non-virtual dispatch per record),
-     * producing action counts bit-identical to the per-event path.
+     * routing each record to its tier. Produces action counts
+     * bit-identical to the per-event path.
      */
     void onEventBatch(const trace::EventBatch& batch) override;
 
@@ -135,158 +112,46 @@ class ModelObserver : public trace::Observer
     void onTensorCopy(const std::string& from, const std::string& to,
                       std::size_t elements) override;
 
-    /** Drain remaining buffers and produce the record. */
+    /**
+     * Drain remaining buffers, merge the shard accumulators (in
+     * shard-index order, after the coordinator's own), and produce
+     * the record.
+     */
     EinsumRecord finalize(const exec::ExecutionStats& stats);
 
-  private:
-    /** One bound storage simulator. */
-    struct StorageUnit
+    // ------------------------------------------- sharded-model hooks
+    // What exec::ExecOptions::modelHooks carries for a parallel run
+    // with no extra trace observers attached.
+
+    /** The record classifier for capture-filter routing. */
+    const trace::RecordClassifier& classifier() const
     {
-        std::string component;
-        bool isCache = false;
-        /// Caches are shared per component: all tensors bound to one
-        /// cache contend for its capacity.
-        LruCache* cache = nullptr;
-        Buffet buffet;
-        binding::StorageBinding sb;
-        const fmt::TensorFormat* format = nullptr;
-        int input = -1;          // -1 for the output tensor
-        int boundLevel = -1;     // prepared/production level
-        int evictLoop = -1;      // loop index that drains the buffet
-        bool eager = false;
-        std::string tensor;
-    };
+        return tables_.classifier;
+    }
 
-    /** Per-level routing for one input tensor. */
-    struct LevelRoute
-    {
-        double coordBytes = 4;
-        double payloadBytes = 4;
-        int unit = -1;       // StorageUnit index handling this level
-        bool absorbed = false; // covered by an eager unit above
-    };
-
-    ComponentActions& component(const std::string& name);
-    void chargeDram(const std::string& tensor, double bytes, bool write,
-                    bool partial = false);
-    double subtreeBytes(const StorageUnit& unit, bool interleaved,
-                        const ft::Payload* payload, std::size_t level,
-                        const std::vector<std::string>& rank_ids);
-
-    /** Packed-input analog of subtreeBytes: same bytes, computed off
-     *  the packed segment arrays (storage/packed.hpp). */
-    double packedSubtreeBytes(const StorageUnit& unit, bool interleaved,
-                              const storage::PackedTensor* packed,
-                              std::size_t level, std::size_t pos,
-                              const void* key);
-
-    /** Shared body of the streaming and batch TensorAccess paths;
-     *  exactly one of @p payload / @p packed is set. */
-    void onTensorAccessImpl(int input, std::size_t level, ft::Coord c,
-                            const void* key, const ft::Payload* payload,
-                            const void* packed, std::size_t pos,
-                            std::uint64_t pe);
-
-    const ir::EinsumPlan& plan_;
-    const arch::Topology& topo_;
-    const fmt::FormatSpec& formats_;
-    std::set<std::string> onChip_;
-
-    EinsumRecord record_;
-
-    std::vector<StorageUnit> storage_;
-    std::map<std::string, std::unique_ptr<LruCache>> componentCaches_;
-    std::vector<std::vector<LevelRoute>> routes_; // per input, per level
-    std::vector<std::vector<const void*>> pathKey_;
-    // Output routing.
-    int outUnit_ = -1;
-    double outLeafBytes_ = 8;
-    /// DRAM transaction bytes for interleaved (linked-list) layouts:
-    /// pointer chasing pays line granularity per element.
-    double outLineBytes_ = 0;
-    FlatMap64<int> outWritten_;
-
-    // Functional component names (resolved once).
-    std::string dramName_;
-    std::string seqName_;
-    std::string isectName_;
-    std::string isectType_;
-    std::string mergerName_;
-    long mergerRadix_ = 2;
-    std::string mulName_;
-    std::string addName_;
-
-    // Hot-path caches (stable: record_.components is pre-populated and
-    // std::map nodes never move).
-    ComponentActions* dramComp_ = nullptr;
-    ComponentActions* seqComp_ = nullptr;
-    ComponentActions* isectComp_ = nullptr;
-    ComponentActions* mulComp_ = nullptr;
-    ComponentActions* addComp_ = nullptr;
-    std::vector<TensorTraffic*> inputTraffic_; // per input slot
-    TensorTraffic* outTraffic_ = nullptr;
+    /** Datapath sink for records the coordinator emits itself
+     *  (live-executed shards, the top-walk summary). */
+    trace::Observer& coordinatorSink() { return accum_; }
 
     /**
-     * Per-event counter slots, resolved lazily on first add (so no
-     * zero-valued counter rows appear that the streaming path would
-     * not have created): one string-keyed map lookup total per
-     * counter instead of one per trace event. std::map nodes are
-     * address-stable, so the cached pointers stay valid.
+     * Create @p n per-shard accumulators (one per shard, addresses
+     * stable) and return them as capture-filter sinks. Called once,
+     * on the coordinating thread, before workers start; each sink is
+     * then used by at most one thread.
      */
-    void
-    addCount(double*& slot, ComponentActions* ca, const char* key,
-             double v)
-    {
-        if (slot == nullptr) {
-            if (ca == nullptr)
-                return;
-            slot = &ca->counts[key];
-        }
-        *slot += v;
-    }
+    std::vector<trace::Observer*> makeShardSinks(std::size_t n);
 
-    double* dramReadBytes_ = nullptr;
-    double* dramWriteBytes_ = nullptr;
-    double* seqSteps_ = nullptr;
-    double* isectSteps_ = nullptr;
-    double* isectMatches_ = nullptr;
-    double* isectCycles_ = nullptr;
-    double* mulOps_ = nullptr;
-    double* addOps_ = nullptr;
-    std::vector<double*> unitAccessBytes_; // parallel to storage_
-    std::vector<double*> unitFillBytes_;
-    std::vector<double*> unitDrainBytes_;
-    std::vector<ComponentActions*> unitComp_;
-    /// DRAM traffic rows per consumer, nullptr when the tensor stays
-    /// on chip (fused intermediates) — replaces the per-event
-    /// onChip_.count + traffic map lookup.
-    std::vector<TensorTraffic*> inputTrafficOrNull_;
-    std::vector<TensorTraffic*> unitTrafficOrNull_;
-    TensorTraffic* outTrafficOrNull_ = nullptr;
+    /** The shared resolved tables (tests / tooling). */
+    const ModelTables& tables() const { return tables_; }
 
-    /** chargeDram with the traffic row pre-resolved (null = on-chip:
-     *  no DRAM charge at all, matching the name-based overload). */
-    void
-    chargeDramTo(TensorTraffic* tt, double bytes, bool write,
-                 bool partial = false)
-    {
-        if (tt == nullptr)
-            return;
-        if (write) {
-            tt->writeBytes += bytes;
-            addCount(dramWriteBytes_, dramComp_, "write_bytes", bytes);
-        } else {
-            tt->readBytes += bytes;
-            addCount(dramReadBytes_, dramComp_, "read_bytes", bytes);
-        }
-        if (partial)
-            tt->poBytes += bytes;
-    }
+  private:
+    ModelTables tables_;
+    ShardAccumulator accum_;
+    StorageReplay replay_;
+    std::deque<ShardAccumulator> shardAccums_;
 
-    // Subtree footprint memoization (bytes incl. any transaction
-    // granularity penalty for interleaved layouts).
-    std::unordered_map<const void*, double> subtreeBytesCache_;
-    std::vector<bool> unitInterleaved_; // parallel to storage_
+    std::size_t traceEvents_ = 0;
+    std::size_t traceBatches_ = 0;
 };
 
 } // namespace teaal::model

@@ -4,13 +4,37 @@ namespace teaal::trace
 {
 
 void
+BatchBus::flushSide()
+{
+    if (sideBatch_.events.empty())
+        return;
+    if (sideSink_ != nullptr)
+        sideSink_->onEventBatch(sideBatch_);
+    sideBatch_.events.clear();
+}
+
+void
 BatchBus::flush()
 {
-    if (log_ != nullptr || batch_.events.empty())
+    flushSide();
+    if (log_ != nullptr) {
+        // Capture mode: nothing to deliver, but stamp the logical
+        // stream length so a filtered replay can account for the
+        // records the shard accumulator consumed.
+        log_->logicalEvents = events_;
         return;
+    }
+    if (pendingLogical_ == 0 && batch_.events.empty())
+        return;
+    // The unfiltered stream would deliver a batch here (it had the
+    // datapath records); count it even when filtering left the actual
+    // batch empty, so batchCount() stays serial-identical.
     ++batches_;
-    obs_->onEventBatch(batch_);
-    batch_.events.clear();
+    if (!batch_.events.empty()) {
+        obs_->onEventBatch(batch_);
+        batch_.events.clear();
+    }
+    pendingLogical_ = 0;
 }
 
 // NOTE: dropDuplicateInserts (exec/executor.cpp) mirrors this
@@ -19,6 +43,10 @@ BatchBus::flush()
 void
 BatchBus::replay(const TraceLog& log)
 {
+    if (log.filtered) {
+        replayFiltered(log);
+        return;
+    }
     std::size_t we = 0;
     std::size_t base = 0; // global index of the current chunk's start
     for (const std::vector<Event>& chunk : log.chunks) {
@@ -39,6 +67,7 @@ BatchBus::replay(const TraceLog& log)
                                  chunk.begin() +
                                      static_cast<std::ptrdiff_t>(stop));
             events_ += stop - i;
+            pendingLogical_ += stop - i;
             i = stop;
         }
         base += chunk.size();
@@ -47,6 +76,55 @@ BatchBus::replay(const TraceLog& log)
         walkEnd();
         ++we;
     }
+}
+
+void
+BatchBus::replayFiltered(const TraceLog& log)
+{
+    // The log holds only the stateful records; the logical stream
+    // (datapath records included — already consumed, in-shard, by the
+    // capture filter's accumulator sink) is reconstructed
+    // arithmetically from logicalWalkEnds/logicalEvents so that
+    // events_, pendingLogical_, and therefore every flush decision
+    // and batchCount() land exactly where an unfiltered replay of the
+    // same shard would put them.
+    std::size_t we = 0;
+    std::size_t base = 0;    // logged index of the current chunk start
+    std::size_t logical = 0; // logical records accounted so far
+    auto account = [&](std::size_t upto) {
+        events_ += upto - logical;
+        pendingLogical_ += upto - logical;
+        logical = upto;
+    };
+    for (const std::vector<Event>& chunk : log.chunks) {
+        std::size_t i = 0;
+        while (i < chunk.size()) {
+            while (we < log.walkEnds.size() &&
+                   log.walkEnds[we] == base + i) {
+                account(log.logicalWalkEnds[we]);
+                if (pendingLogical_ >= threshold_)
+                    flush();
+                ++we;
+            }
+            std::size_t stop = chunk.size();
+            if (we < log.walkEnds.size())
+                stop = std::min(stop, log.walkEnds[we] - base);
+            batch_.events.insert(batch_.events.end(),
+                                 chunk.begin() +
+                                     static_cast<std::ptrdiff_t>(i),
+                                 chunk.begin() +
+                                     static_cast<std::ptrdiff_t>(stop));
+            i = stop;
+        }
+        base += chunk.size();
+    }
+    while (we < log.walkEnds.size() && log.walkEnds[we] == base) {
+        account(log.logicalWalkEnds[we]);
+        if (pendingLogical_ >= threshold_)
+            flush();
+        ++we;
+    }
+    account(log.logicalEvents);
 }
 
 void

@@ -76,6 +76,73 @@ struct EventBatch
 };
 
 /**
+ * Cheap per-record order classification (the model split): a record is
+ * either *datapath* — its consumption is a pure, order-independent
+ * accumulation (compute ops, sequencer steps, intersection tallies,
+ * coordinate scans, streamed accesses) — or *stateful* — consuming it
+ * mutates simulator state whose outcome depends on the serial event
+ * order (buffet/cache accesses, output writes, evict-loop entries).
+ *
+ * The performance model builds one per Einsum from its storage
+ * routing tables; a capture-mode BatchBus uses it to feed datapath
+ * records straight to a per-shard accumulator instead of logging them
+ * for the coordinator's in-order replay. Classification is static per
+ * (kind, loop) / (kind, input, level), so the hot path pays one or
+ * two vector reads per record.
+ */
+struct RecordClassifier
+{
+    /// Per loop index: LoopEnter drains a buffet bound to this loop
+    /// (order-dependent). Loops beyond the vector are order-free.
+    std::vector<char> statefulLoopEnter;
+
+    /// Per input, per level: TensorAccess routes to live buffet/cache
+    /// state. Slots beyond the tables conservatively stay stateful.
+    std::vector<std::vector<char>> statefulAccess;
+
+    bool
+    loopStateful(std::size_t loop) const
+    {
+        return loop < statefulLoopEnter.size() &&
+               statefulLoopEnter[loop] != 0;
+    }
+
+    bool
+    accessStateful(int input, std::size_t level) const
+    {
+        if (input < 0)
+            return false; // the model ignores input-less accesses
+        const auto i = static_cast<std::size_t>(input);
+        if (i >= statefulAccess.size() ||
+            level >= statefulAccess[i].size())
+            return true;
+        return statefulAccess[i][level] != 0;
+    }
+
+    /** Full-record classification (used when only an Event is at
+     *  hand; the bus producers classify from their arguments). */
+    bool
+    stateful(const Event& e) const
+    {
+        switch (e.kind) {
+          case Event::Kind::CoIterate:
+          case Event::Kind::CoordScan:
+          case Event::Kind::Compute:
+            return false;
+          case Event::Kind::LoopEnter:
+            return loopStateful(e.loop);
+          case Event::Kind::TensorAccess:
+            return accessStateful(e.input, e.level);
+          case Event::Kind::OutputWrite:
+          case Event::Kind::Swizzle:
+          case Event::Kind::TensorCopy:
+            return true;
+        }
+        return true;
+    }
+};
+
+/**
  * A captured event stream: every event in emission order plus the
  * positions at which walkEnd() fired. A capture-mode BatchBus fills
  * one; `BatchBus::replay` later re-emits it through a delivery-mode
@@ -137,8 +204,21 @@ struct TraceLog
 
     std::vector<std::vector<Event>> chunks;
 
-    /// Global event counts at which walkEnd() fired (non-decreasing).
+    /// Logged event counts at which walkEnd() fired (non-decreasing).
     std::vector<std::size_t> walkEnds;
+
+    /// Filtered capture (a RecordClassifier routed datapath records to
+    /// a shard accumulator instead of the log): chunks hold only the
+    /// stateful records, and the *logical* stream — everything the
+    /// shard emitted, in logical indices — is tracked alongside so a
+    /// replay can keep the delivery bus's event/batch accounting
+    /// byte-identical to an unfiltered serial run.
+    bool filtered = false;
+    /// Per walkEnds entry: the logical event count at that boundary.
+    std::vector<std::size_t> logicalWalkEnds;
+    /// Total logical events the capture produced (== eventCount()
+    /// when not filtered).
+    std::size_t logicalEvents = 0;
 
     /// Optional chunk recycler shared between captures.
     ChunkPool* pool = nullptr;
@@ -162,6 +242,9 @@ struct TraceLog
         }
         chunks.clear();
         walkEnds.clear();
+        logicalWalkEnds.clear();
+        logicalEvents = 0;
+        filtered = false;
     }
 };
 
@@ -207,11 +290,31 @@ class BatchBus
     BatchBus(const BatchBus&) = delete;
     BatchBus& operator=(const BatchBus&) = delete;
 
+    /**
+     * Route datapath-class records (per @p cls) to @p datapath_sink
+     * instead of the normal stream. On a capture bus the log then
+     * holds only the stateful records (plus the logical-stream
+     * bookkeeping replay needs); on a delivery bus only stateful
+     * records reach the observer, while event/batch accounting stays
+     * byte-identical to the unfiltered stream. The sink receives
+     * coalesced batches of the datapath records, in emission order,
+     * on the emitting thread. Both pointers are borrowed.
+     */
+    void
+    setFilter(const RecordClassifier* cls, Observer* datapath_sink)
+    {
+        cls_ = datapath_sink == nullptr ? nullptr : cls;
+        sideSink_ = datapath_sink;
+        if (log_ != nullptr && cls_ != nullptr)
+            log_->filtered = true;
+    }
+
     // ------------------------------------------------ event producers
     void
     loopEnter(std::size_t loop, ft::Coord c)
     {
-        Event& e = push(Event::Kind::LoopEnter);
+        Event& e = push(Event::Kind::LoopEnter,
+                        cls_ != nullptr && !cls_->loopStateful(loop));
         e.loop = loop;
         e.coord = c;
     }
@@ -220,7 +323,7 @@ class BatchBus
     coIterate(std::size_t loop, std::size_t steps, std::size_t matches,
               std::size_t drivers, std::uint64_t pe)
     {
-        Event& e = push(Event::Kind::CoIterate);
+        Event& e = push(Event::Kind::CoIterate, cls_ != nullptr);
         e.loop = loop;
         e.a = steps;
         e.b = matches;
@@ -232,7 +335,7 @@ class BatchBus
     coordScan(int input, std::size_t level, std::size_t count,
               std::uint64_t pe)
     {
-        Event& e = push(Event::Kind::CoordScan);
+        Event& e = push(Event::Kind::CoordScan, cls_ != nullptr);
         e.input = input;
         e.level = level;
         e.a = count;
@@ -244,7 +347,9 @@ class BatchBus
                  ft::Coord c, const void* key, const ft::Payload* payload,
                  std::uint64_t pe)
     {
-        Event& e = push(Event::Kind::TensorAccess);
+        Event& e =
+            push(Event::Kind::TensorAccess,
+                 cls_ != nullptr && !cls_->accessStateful(input, level));
         e.input = input;
         e.name = &tensor;
         e.level = level;
@@ -262,7 +367,9 @@ class BatchBus
                        const void* packed, std::size_t pos,
                        std::uint64_t pe)
     {
-        Event& e = push(Event::Kind::TensorAccess);
+        Event& e =
+            push(Event::Kind::TensorAccess,
+                 cls_ != nullptr && !cls_->accessStateful(input, level));
         e.input = input;
         e.name = &tensor;
         e.level = level;
@@ -278,7 +385,7 @@ class BatchBus
                 std::uint64_t path_key, bool inserted, bool at_leaf,
                 std::uint64_t pe)
     {
-        Event& e = push(Event::Kind::OutputWrite);
+        Event& e = push(Event::Kind::OutputWrite, false);
         e.name = &tensor;
         e.level = level;
         e.coord = c;
@@ -291,7 +398,7 @@ class BatchBus
     void
     compute(char op, std::uint64_t pe, std::size_t count)
     {
-        Event& e = push(Event::Kind::Compute);
+        Event& e = push(Event::Kind::Compute, cls_ != nullptr);
         e.op = op;
         e.pe = pe;
         e.a = count;
@@ -301,7 +408,7 @@ class BatchBus
     swizzle(const std::string& tensor, std::size_t elements,
             std::size_t ways, bool online)
     {
-        Event& e = push(Event::Kind::Swizzle);
+        Event& e = push(Event::Kind::Swizzle, false);
         e.name = &tensor;
         e.a = elements;
         e.b = ways;
@@ -312,7 +419,7 @@ class BatchBus
     tensorCopy(const std::string& from, const std::string& to,
                std::size_t elements)
     {
-        Event& e = push(Event::Kind::TensorCopy);
+        Event& e = push(Event::Kind::TensorCopy, false);
         e.name = &from;
         e.name2 = &to;
         e.a = elements;
@@ -320,15 +427,22 @@ class BatchBus
 
     // ------------------------------------------------------- flushing
     /** A fiber walk ended: flush if the pending batch is big enough
-     *  (capture mode records the boundary instead). */
+     *  (capture mode records the boundary instead). The threshold
+     *  check counts *logical* pending records — filtered-out datapath
+     *  records included — so flush points (and therefore batch counts)
+     *  land exactly where the unfiltered stream's would. */
     void
     walkEnd()
     {
+        if (sideBatch_.events.size() >= kFlushThreshold)
+            flushSide();
         if (log_ != nullptr) {
             log_->walkEnds.push_back(logged_);
+            if (cls_ != nullptr)
+                log_->logicalWalkEnds.push_back(events_);
             return;
         }
-        if (batch_.events.size() >= threshold_)
+        if (pendingLogical_ >= threshold_)
             flush();
     }
 
@@ -344,17 +458,29 @@ class BatchBus
      */
     void replay(const TraceLog& log);
 
-    /** Events recorded so far (delivered + pending). */
+    /** Logical events recorded so far (delivered + pending + routed
+     *  to the datapath sink; filtered replays count the records their
+     *  shard accumulators consumed, so this matches the serial bus). */
     std::size_t eventCount() const { return events_; }
 
-    /** Batches delivered so far. */
+    /** Batches delivered so far (filtered buses count the batches the
+     *  equivalent unfiltered stream would have delivered). */
     std::size_t batchCount() const { return batches_; }
 
   private:
     Event&
-    push(Event::Kind kind)
+    push(Event::Kind kind, bool datapath)
     {
         ++events_;
+        ++pendingLogical_;
+        if (datapath) {
+            // Routed to the datapath sink: never logged or delivered
+            // downstream (flushed to the sink at walk boundaries).
+            sideBatch_.events.emplace_back();
+            Event& e = sideBatch_.events.back();
+            e.kind = kind;
+            return e;
+        }
         if (log_ != nullptr) {
             if (logChunk_ == nullptr ||
                 logChunk_->size() == TraceLog::kChunkEvents) {
@@ -377,6 +503,14 @@ class BatchBus
         return e;
     }
 
+    /** Deliver buffered datapath records to the side sink. */
+    void flushSide();
+
+    /** replay() for filtered captures: pushes the logged (stateful)
+     *  records and accounts the consumed datapath records so flush
+     *  points and diagnostics stay serial-identical. */
+    void replayFiltered(const TraceLog& log);
+
     Observer* obs_ = nullptr;
     TraceLog* log_ = nullptr;
     std::vector<Event>* logChunk_ = nullptr;
@@ -385,6 +519,15 @@ class BatchBus
     EventBatch batch_;
     std::size_t events_ = 0;
     std::size_t batches_ = 0;
+
+    /// Logical records since the last flush (== batch_.size() when no
+    /// filter is set); the serial-equivalent flush criterion.
+    std::size_t pendingLogical_ = 0;
+
+    // Record filtering (see setFilter).
+    const RecordClassifier* cls_ = nullptr;
+    Observer* sideSink_ = nullptr;
+    EventBatch sideBatch_;
 };
 
 } // namespace teaal::trace

@@ -360,6 +360,83 @@ TEST(PipelineDiagnostics, MissingWorkloadInput)
     }
 }
 
+/// A storage binding naming a component the bound topology does not
+/// declare fails compile() (it used to fail mid-run with a bare
+/// SpecError).
+TEST(PipelineDiagnostics, UnknownStorageComponentFailsCompile)
+{
+    const char* text = "einsum:\n"
+                       "  declaration:\n"
+                       "    A: [K, M]\n"
+                       "    B: [K, N]\n"
+                       "    Z: [M, N]\n"
+                       "  expressions:\n"
+                       "    - Z[m, n] = A[k, m] * B[k, n]\n"
+                       "architecture:\n"
+                       "  accel:\n"
+                       "    subtree:\n"
+                       "      - name: System\n"
+                       "        local:\n"
+                       "          - name: Memory\n"
+                       "            class: DRAM\n"
+                       "          - name: Mul\n"
+                       "            class: compute\n"
+                       "binding:\n"
+                       "  Z:\n"
+                       "    components:\n"
+                       "      - component: NoSuchBuffer\n"
+                       "        bindings:\n"
+                       "          - tensor: A\n"
+                       "            rank: M\n";
+    try {
+        (void)compiler::compile(compiler::Specification::parse(text));
+        FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "binding");
+        EXPECT_EQ(e.diagnostic().key, "NoSuchBuffer");
+        EXPECT_NE(e.diagnostic().message.find("NoSuchBuffer"),
+                  std::string::npos);
+        EXPECT_NE(e.diagnostic().message.find("architecture"),
+                  std::string::npos);
+    }
+}
+
+/// Op bindings to unknown components used to silently create an
+/// empty pseudo-component in the model (default instance count,
+/// wrong class); they now fail compile() the same way.
+TEST(PipelineDiagnostics, UnknownOpComponentFailsCompile)
+{
+    const char* text = "einsum:\n"
+                       "  declaration:\n"
+                       "    A: [K, M]\n"
+                       "    B: [K, N]\n"
+                       "    Z: [M, N]\n"
+                       "  expressions:\n"
+                       "    - Z[m, n] = A[k, m] * B[k, n]\n"
+                       "architecture:\n"
+                       "  accel:\n"
+                       "    subtree:\n"
+                       "      - name: System\n"
+                       "        local:\n"
+                       "          - name: Memory\n"
+                       "            class: DRAM\n"
+                       "          - name: Mul\n"
+                       "            class: compute\n"
+                       "binding:\n"
+                       "  Z:\n"
+                       "    components:\n"
+                       "      - component: GhostALU\n"
+                       "        bindings:\n"
+                       "          - op: mul\n";
+    try {
+        (void)compiler::compile(compiler::Specification::parse(text));
+        FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "binding");
+        EXPECT_EQ(e.diagnostic().key, "GhostALU");
+    }
+}
+
 TEST(PipelineDiagnostics, WorkloadRankMismatch)
 {
     const auto mats = makeMatrices(17);
