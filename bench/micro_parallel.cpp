@@ -1,10 +1,12 @@
 /**
  * @file
  * Parallel sharded execution microbench: wall time and speedup of
- * CompiledModel::run at 1/2/4/8 worker threads on Gamma and ExTensor
- * SpMSpM (the fig10-class workloads), plus the serial-overhead check
- * — threads=1 must stay within noise of the classic serial path,
- * because it *is* the classic serial path.
+ * CompiledModel::run at 1/2/4/8 worker threads on all four Table 1
+ * accelerators — Gamma and ExTensor (disjoint sharding), OuterSpace
+ * (disjoint, linear-combine cascade), and SIGMA (reduction sharding
+ * of the contraction-outermost Z nest) — plus the serial-overhead
+ * check — threads=1 must stay within noise of the classic serial
+ * path, because it *is* the classic serial path.
  *
  * Run-to-run determinism is exercised too: every thread count must
  * produce identical traffic and records (the engine guarantees
@@ -91,13 +93,17 @@ main()
         const bench::SpmspmInput in = bench::loadSpmspm(key, scale);
         runOne("gamma", accel::gamma({}), key, in, table);
         runOne("extensor", accel::extensor({}), key, in, table);
+        runOne("outerspace", accel::outerSpace({}), key, in, table);
+        runOne("sigma", accel::sigma({}), key, in, table);
     }
 
     table.print();
     std::cout << "\nnote: shard plans are fixed per workload, so "
-                 "results and replayed traces are byte-identical at "
-                 "every thread count; speedup depends on host cores "
-                 "(the model-observer stream stays single-threaded "
-                 "by design — it is the Amdahl floor).\n";
+                 "counters and replayed traces are byte-identical at "
+                 "every thread count (output values too, up to fp "
+                 "summation grouping under SIGMA's reduce merge); "
+                 "speedup depends on host cores (the order-dependent "
+                 "storage replay stays single-threaded by design — "
+                 "it is the Amdahl floor).\n";
     return 0;
 }

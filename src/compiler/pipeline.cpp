@@ -290,6 +290,41 @@ CompiledModel::poolFor(unsigned threads)
     return pool_.get();
 }
 
+std::string
+CompiledModel::shardingReport() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < shardPlans_.size(); ++i) {
+        const ir::ShardPlan& sp = shardPlans_[i];
+        out += recipes_[i].expr.output.name;
+        out += ": ";
+        if (!sp.shardable) {
+            out += "serial (";
+            out += sp.reason;
+            out += ")";
+        } else {
+            switch (sp.mode) {
+            case ir::ShardPlan::Mode::Disjoint:
+                out += "disjoint sharding along rank '" + sp.rank +
+                       "'";
+                break;
+            case ir::ShardPlan::Mode::Reduce:
+                out += "reduction sharding along rank '" + sp.rank +
+                       "' (partial outputs merged by semiring add)";
+                break;
+            case ir::ShardPlan::Mode::Inner:
+                out += "inner-rank sharding along rank '" + sp.rank +
+                       "' (outermost rank unshardable or too coarse)";
+                break;
+            }
+            if (!sp.spaceRank.empty())
+                out += ", space rank '" + sp.spaceRank + "'";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
 void
 CompiledModel::validateOverrides(const RunOptions& opts) const
 {
@@ -491,6 +526,15 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
                 [&observer](std::size_t shards) {
                     return observer.makeShardSinks(shards);
                 };
+        }
+
+        if (opts.threads != 1 && !plan.shard.shardable &&
+            !serialFallbackLogged_->exchange(true)) {
+            logInfo("threads=", opts.threads, " requested but Einsum '",
+                    plan.output.name, "' is not shardable (",
+                    plan.shard.reason,
+                    "); executing it serially. shardingReport() lists "
+                    "every Einsum's parallelization.");
         }
 
         exec::Executor executor(plan, *sink, opts.semiring, eo);

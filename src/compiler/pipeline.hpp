@@ -26,6 +26,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -204,12 +205,17 @@ struct RunOptions
 
     /// Worker threads per Einsum execution: 1 (default) is the
     /// classic serial path; 0 means one per hardware thread; N >= 2
-    /// shards each shardable Einsum's outermost loop rank across N
-    /// workers drawn from the model's shared pool (see
-    /// CompiledModel::shardPlans). Counters, output tensors, and
-    /// delivered trace batches are byte-identical at every thread
-    /// count; Einsums whose plan is not shardable (no space rank,
-    /// contraction-outermost, ...) fall back to serial execution.
+    /// shards each shardable Einsum's walk across N workers drawn
+    /// from the model's shared pool (see CompiledModel::shardPlans
+    /// and shardingReport). Nearly every mapping shards:
+    /// contraction-outermost nests shard with private partial
+    /// outputs merged by semiring add (ir::ShardPlan::Mode::Reduce),
+    /// and nests whose top rank is lookup-bound or too coarse shard
+    /// the first viable inner rank. Counters and delivered trace
+    /// batches are byte-identical at every thread count; output
+    /// values too, up to floating-point summation grouping under
+    /// reduce merges. The rare unshardable Einsum (e.g. a
+    /// whole-tensor copy) runs serially, logged once per model.
     ///
     /// The performance model parallelizes with the walk: when no
     /// extra `observers` are attached, each worker runs the model's
@@ -271,6 +277,14 @@ class CompiledModel
     {
         return shardPlans_;
     }
+
+    /**
+     * Human-readable summary of how run(threads=N) parallelizes each
+     * Einsum: one line per Einsum naming the shard mode (disjoint /
+     * reduction / inner-rank), the sharded rank, and — for the rare
+     * serial fallback — ir::ShardPlan::reason verbatim.
+     */
+    std::string shardingReport() const;
 
     /**
      * Execute the cascade on @p workload. The first run on a workload
@@ -378,6 +392,11 @@ class CompiledModel
     /// True when some Einsum consumes an earlier Einsum's output, so
     /// plans() must execute the cascade once to materialize them.
     bool plansNeedExecution_ = false;
+
+    /// One-shot latch for the threads>1-but-serial info log (in a
+    /// shared_ptr so the model stays movable).
+    std::shared_ptr<std::atomic<bool>> serialFallbackLogged_ =
+        std::make_shared<std::atomic<bool>>(false);
 
     /// LRU list of per-workload states (front = most recent), held by
     /// shared_ptr so an eviction racing an in-flight run on another

@@ -363,19 +363,24 @@ Engine::runLoop(std::size_t loop, std::uint64_t pe)
         return;
     }
 
+    const bool skip = applyPreLookups(loop, pe);
+
+    if (!skip) {
+        if (driversAt_[loop].empty())
+            denseDrive(loop, pe);
+        else
+            walk(loop, pe);
+    }
+
+    undoPreLookups(loop);
+}
+
+bool
+Engine::applyPreLookups(std::size_t loop, std::uint64_t pe)
+{
     // Loop-entry lookups (constant / already-bound indices).
-    struct PreUndo
-    {
-        int input;
-        int validDepth;
-        double leaf;
-        bool leafValid;
-        bool absent;
-        ft::FiberView childView;
-        bool hadChild;
-        int childLevel;
-    };
-    std::vector<PreUndo> undo;
+    std::vector<PreUndo>& undo = scratch_[loop].preUndo;
+    undo.clear();
     bool skip = false;
     for (std::size_t li = 0; li < preLookupsAt_[loop].size(); ++li) {
         const ActionRef& ar = preLookupsAt_[loop][li];
@@ -411,14 +416,13 @@ Engine::runLoop(std::size_t loop, std::uint64_t pe)
         }
         readAndDescend(ar.input, level, view, *found, target, pe);
     }
+    return skip;
+}
 
-    if (!skip) {
-        if (driversAt_[loop].empty())
-            denseDrive(loop, pe);
-        else
-            walk(loop, pe);
-    }
-
+void
+Engine::undoPreLookups(std::size_t loop)
+{
+    std::vector<PreUndo>& undo = scratch_[loop].preUndo;
     for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
         TensorState& st = states_[static_cast<std::size_t>(it->input)];
         st.validDepth = it->validDepth;
@@ -430,6 +434,7 @@ Engine::runLoop(std::size_t loop, std::uint64_t pe)
                 it->childView;
         }
     }
+    undo.clear();
 }
 
 std::uint64_t
@@ -625,15 +630,60 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
     bus_.walkEnd();
 }
 
+double
+Engine::entryWeight(std::size_t loop) const
+{
+    double w = 1.0;
+    const std::vector<double>& factors = plan_.shard.driverWeight;
+    if (factors.empty())
+        return w;
+    const auto& drivers = driversAt_[loop];
+    const Scratch& s = scratch_[loop];
+    for (std::size_t d = 0; d < drivers.size(); ++d) {
+        if (!s.present[d])
+            continue;
+        const auto input = static_cast<std::size_t>(drivers[d].input);
+        const double factor =
+            input < factors.size() ? factors[input] : 0.0;
+        if (factor <= 0.0)
+            continue;
+        const TensorState& st = states_[input];
+        const int level = drivers[d].action->level;
+        double child = 1.0;
+        if (static_cast<std::size_t>(level) + 1 < st.view.size()) {
+            if (st.packed != nullptr) {
+                child = static_cast<double>(
+                    st.packed
+                        ->childView(static_cast<std::size_t>(level),
+                                    s.pos[d])
+                        .size());
+            } else {
+                const ft::Payload& p = s.views[d].payloadAt(s.pos[d]);
+                child = p.isFiber() && p.fiber() != nullptr
+                            ? static_cast<double>(p.fiber()->size())
+                            : 1.0;
+            }
+        }
+        w += child * factor;
+    }
+    return w;
+}
+
 void
 Engine::enumerateTop(TopWalk& tw)
 {
     TEAAL_ASSERT(!plan_.loops.empty(), "enumerateTop on an empty nest");
+    if (plan_.shard.shardable && plan_.shard.depth == 1) {
+        enumerateInner(tw);
+        return;
+    }
     TEAAL_ASSERT(preLookupsAt_[0].empty() && lookupsAt_[0].empty(),
                  "enumerateTop: loop 0 carries lookup actions");
     const ir::LoopRank& lr = plan_.loops[0];
     const std::size_t nd = driversAt_[0].size();
+    tw.depth = 0;
     tw.drivers = nd;
+    tw.topDrivers = nd;
     Scratch& scratch = scratch_[0];
     auto record = [&](ft::Coord c, ft::Coord range_end,
                       std::size_t ordinal) {
@@ -642,6 +692,7 @@ Engine::enumerateTop(TopWalk& tw)
             tw.pos.push_back(scratch.pos[d]);
             tw.present.push_back(scratch.present[d] ? 1 : 0);
         }
+        tw.weight.push_back(entryWeight(0));
         return !lr.probeOnly;
     };
     const WalkCounts wc =
@@ -653,40 +704,230 @@ Engine::enumerateTop(TopWalk& tw)
         tw.scans[d] = scratch.scans[d];
 }
 
-ft::Tensor
-Engine::runShard(const TopWalk& tw, std::size_t lo, std::size_t hi)
+void
+Engine::enumerateInner(TopWalk& tw)
 {
-    beginRun(/*announce_swizzles=*/false);
-    runShardContinue(tw, lo, hi);
-    bus_.flush();
-    return std::move(out_);
+    TEAAL_ASSERT(plan_.loops.size() >= 2,
+                 "inner-rank sharding needs a second loop");
+    const ir::LoopRank& lr0 = plan_.loops[0];
+    const ir::LoopRank& lr1 = plan_.loops[1];
+    const std::size_t nd0 = driversAt_[0].size();
+    const std::size_t nd1 = driversAt_[1].size();
+    tw.depth = 1;
+    tw.drivers = nd1;
+    tw.topDrivers = nd0;
+
+    // The loop-0 pre-lookups fire once per run and their events lead
+    // the serial stream — emit them live, here, exactly once (shard
+    // engines re-apply them muted in beginShard).
+    tw.topSkipped = applyPreLookups(0, 0);
+    if (tw.topSkipped) {
+        undoPreLookups(0);
+        return;
+    }
+
+    Scratch& s0 = scratch_[0];
+    Scratch& s1 = scratch_[1];
+    bus_.setMuted(true);
+    auto outerSink = [&](ft::Coord c, ft::Coord range_end,
+                         std::size_t ordinal) {
+        TopWalk::Outer o;
+        o.e = {c, range_end, nextPe(lr0, c, ordinal, 0)};
+        o.pos.assign(nd0, 0);
+        o.present.assign(nd0, 0);
+        for (std::size_t d = 0; d < nd0; ++d) {
+            o.pos[d] = s0.pos[d];
+            o.present[d] = s0.present[d] ? 1 : 0;
+        }
+        o.firstUnit = tw.entries.size();
+        // Re-derive (muted) exactly what a serial walk would do at
+        // this outer coordinate, recording loop 1's matches as units.
+        o.entered = atCoordinateEnter(0, c, range_end, s0.pos,
+                                      s0.present, o.e.pe);
+        if (o.entered) {
+            const bool skip1 = applyPreLookups(1, o.e.pe);
+            if (!skip1) {
+                auto unitSink = [&](ft::Coord c1, ft::Coord re1,
+                                    std::size_t ord1) {
+                    tw.entries.push_back(
+                        {c1, re1, nextPe(lr1, c1, ord1, o.e.pe)});
+                    for (std::size_t d = 0; d < nd1; ++d) {
+                        tw.pos.push_back(s1.pos[d]);
+                        tw.present.push_back(s1.present[d] ? 1 : 0);
+                    }
+                    tw.weight.push_back(entryWeight(1));
+                    tw.outerOf.push_back(tw.outers.size());
+                    return !lr1.probeOnly;
+                };
+                const WalkCounts wc1 = nd1 == 0
+                                           ? denseCore(1, unitSink)
+                                           : walkCore(1, unitSink);
+                o.walked = true;
+                o.steps = wc1.steps;
+                o.matches = wc1.matches;
+                o.scans.assign(nd1, 0);
+                for (std::size_t d = 0; d < nd1; ++d)
+                    o.scans[d] = s1.scans[d];
+            }
+            undoPreLookups(1);
+        }
+        atCoordinateExit(0);
+        o.units = tw.entries.size() - o.firstUnit;
+        if (o.units == 0) {
+            // Barren outer (lookup miss or empty loop-1 walk): one
+            // placeholder unit keeps its enter events — and, when it
+            // walked, its empty-walk summary — schedulable.
+            o.barren = true;
+            o.units = 1;
+            tw.entries.push_back(o.e);
+            for (std::size_t d = 0; d < nd1; ++d) {
+                tw.pos.push_back(0);
+                tw.present.push_back(0);
+            }
+            tw.weight.push_back(1.0);
+            tw.outerOf.push_back(tw.outers.size());
+        }
+        tw.outers.push_back(std::move(o));
+        return !lr0.probeOnly;
+    };
+    const WalkCounts wc0 =
+        nd0 == 0 ? denseCore(0, outerSink) : walkCore(0, outerSink);
+    bus_.setMuted(false);
+    tw.steps = wc0.steps;
+    tw.matches = wc0.matches;
+    tw.scans.assign(nd0, 0);
+    for (std::size_t d = 0; d < nd0; ++d)
+        tw.scans[d] = s0.scans[d];
+    undoPreLookups(0);
 }
 
 void
-Engine::runShardContinue(const TopWalk& tw, std::size_t lo,
-                         std::size_t hi)
+Engine::beginShard()
+{
+    beginRun(/*announce_swizzles=*/false);
+    unitOuter_ = kNoOuter;
+    outerPre1_ = false;
+    if (plan_.shard.shardable && plan_.shard.depth == 1) {
+        bus_.setMuted(true);
+        const bool skip = applyPreLookups(0, 0);
+        bus_.setMuted(false);
+        TEAAL_ASSERT(!skip,
+                     "beginShard: loop-0 pre-lookups diverged from "
+                     "enumeration");
+    }
+}
+
+void
+Engine::openOuter(const TopWalk& tw, std::size_t oi, bool own)
+{
+    const TopWalk::Outer& o = tw.outers[oi];
+    if (!own)
+        bus_.setMuted(true);
+    const std::size_t nd0 = tw.topDrivers;
+    unitPos_.assign(nd0, 0);
+    unitPresent_.assign(nd0, false);
+    for (std::size_t d = 0; d < nd0; ++d) {
+        unitPos_[d] = o.pos[d];
+        unitPresent_[d] = o.present[d] != 0;
+    }
+    const bool entered = atCoordinateEnter(0, o.e.c, o.e.rangeEnd,
+                                           unitPos_, unitPresent_,
+                                           o.e.pe);
+    TEAAL_ASSERT(entered == o.entered,
+                 "inner shard diverged from enumeration at outer "
+                 "coordinate ", o.e.c);
+    outerPre1_ = false;
+    if (entered) {
+        const bool skip1 = applyPreLookups(1, o.e.pe);
+        TEAAL_ASSERT(skip1 != o.walked,
+                     "inner shard pre-lookups diverged at outer "
+                     "coordinate ", o.e.c);
+        outerPre1_ = true;
+    }
+    if (!own)
+        bus_.setMuted(false);
+    unitOuter_ = oi;
+}
+
+void
+Engine::closeOuter()
+{
+    if (unitOuter_ == kNoOuter)
+        return;
+    if (outerPre1_) {
+        undoPreLookups(1);
+        outerPre1_ = false;
+    }
+    atCoordinateExit(0);
+    unitOuter_ = kNoOuter;
+}
+
+void
+Engine::executeUnit(const TopWalk& tw, std::size_t u)
 {
     const std::size_t nd = tw.drivers;
-    std::vector<std::size_t> pos(nd, 0);
-    std::vector<bool> present(nd, false);
-    for (std::size_t i = lo; i < hi; ++i) {
-        const TopWalk::Entry& e = tw.entries[i];
+    if (tw.depth == 0) {
+        const TopWalk::Entry& e = tw.entries[u];
+        unitPos_.assign(nd, 0);
+        unitPresent_.assign(nd, false);
         for (std::size_t d = 0; d < nd; ++d) {
-            pos[d] = tw.pos[i * nd + d];
-            present[d] = tw.present[i * nd + d] != 0;
+            unitPos_[d] = tw.pos[u * nd + d];
+            unitPresent_[d] = tw.present[u * nd + d] != 0;
         }
-        atCoordinate(0, e.c, e.rangeEnd, pos, present, e.pe);
+        atCoordinate(0, e.c, e.rangeEnd, unitPos_, unitPresent_, e.pe);
+        return;
     }
+
+    const std::size_t oi = tw.outerOf[u];
+    const TopWalk::Outer& o = tw.outers[oi];
+    if (unitOuter_ != oi) {
+        closeOuter();
+        openOuter(tw, oi, /*own=*/u == o.firstUnit);
+    }
+    if (!o.barren) {
+        const TopWalk::Entry& e = tw.entries[u];
+        unitPos_.assign(nd, 0);
+        unitPresent_.assign(nd, false);
+        for (std::size_t d = 0; d < nd; ++d) {
+            unitPos_[d] = tw.pos[u * nd + d];
+            unitPresent_[d] = tw.present[u * nd + d] != 0;
+        }
+        atCoordinate(1, e.c, e.rangeEnd, unitPos_, unitPresent_, e.pe);
+    }
+    if (u + 1 == o.firstUnit + o.units) {
+        // Last unit: this engine owns the outer's loop-1 walk summary
+        // (emitted by the serial walk after its merge loop) and the
+        // state unwind.
+        if (o.walked) {
+            const auto& drivers = driversAt_[1];
+            bus_.coIterate(1, o.steps, o.matches, nd, o.e.pe);
+            for (std::size_t d = 0; d < nd; ++d) {
+                bus_.coordScan(drivers[d].input,
+                               static_cast<std::size_t>(
+                                   drivers[d].action->level),
+                               o.scans[d], o.e.pe);
+            }
+            bus_.walkEnd();
+        }
+        closeOuter();
+    }
+}
+
+void
+Engine::finishShard()
+{
+    closeOuter();
+    bus_.flush();
 }
 
 void
 Engine::emitTopSummary(const TopWalk& tw)
 {
-    bus_.coIterate(0, tw.steps, tw.matches, tw.drivers, 0);
+    bus_.coIterate(0, tw.steps, tw.matches, tw.topDrivers, 0);
     const auto& drivers = driversAt_[0];
-    TEAAL_ASSERT(drivers.size() == tw.drivers,
+    TEAAL_ASSERT(drivers.size() == tw.topDrivers,
                  "top-walk driver count mismatch");
-    for (std::size_t d = 0; d < tw.drivers; ++d) {
+    for (std::size_t d = 0; d < tw.topDrivers; ++d) {
         bus_.coordScan(drivers[d].input,
                        static_cast<std::size_t>(
                            drivers[d].action->level),
@@ -700,6 +941,21 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
                      const std::vector<std::size_t>& driver_pos,
                      const std::vector<bool>& driver_present,
                      std::uint64_t pe)
+{
+    const bool ok = atCoordinateEnter(loop, c, range_end, driver_pos,
+                                      driver_present, pe);
+    if (ok)
+        runLoop(loop + 1, pe);
+    atCoordinateExit(loop);
+    return ok;
+}
+
+bool
+Engine::atCoordinateEnter(std::size_t loop, ft::Coord c,
+                          ft::Coord range_end,
+                          const std::vector<std::size_t>& driver_pos,
+                          const std::vector<bool>& driver_present,
+                          std::uint64_t pe)
 {
     const ir::LoopRank& lr = plan_.loops[loop];
     bus_.loopEnter(loop, c);
@@ -722,25 +978,6 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
             {input, level, st.view[static_cast<std::size_t>(level)],
              st.pending[static_cast<std::size_t>(level)]});
     };
-    auto restore = [&]() {
-        for (auto it = view_undo.rbegin(); it != view_undo.rend(); ++it) {
-            TensorState& st =
-                states_[static_cast<std::size_t>(it->input)];
-            st.view[static_cast<std::size_t>(it->level)] = it->view;
-            st.pending[static_cast<std::size_t>(it->level)] =
-                it->pending;
-        }
-        for (auto it = state_undo.rbegin(); it != state_undo.rend();
-             ++it) {
-            TensorState& st =
-                states_[static_cast<std::size_t>(it->input)];
-            st.validDepth = it->validDepth;
-            st.leaf = it->leaf;
-            st.leafValid = it->leafValid;
-            st.absent = it->absent;
-        }
-    };
-
     // --------------------------------------------------- bind vars
     auto& saved_vars = scratch.savedVars;
     auto& saved_slots = scratch.savedSlots;
@@ -768,13 +1005,6 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
         for (int slot : loopVarSlots_[loop])
             bind_var(slot, c);
     }
-    auto restore_vars = [&]() {
-        for (std::size_t i = saved_slots.size(); i-- > 0;) {
-            varValues_[static_cast<std::size_t>(saved_slots[i])] =
-                saved_vars[i];
-        }
-    };
-
     // ------------------------------------------- descend the drivers
     const auto& drivers = driversAt_[loop];
     for (std::size_t d = 0; d < drivers.size(); ++d) {
@@ -852,12 +1082,32 @@ Engine::atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
                 outVarSlots_[lvl])];
             descendOutput(lvl, oc, pe);
         }
-        runLoop(loop + 1, pe);
     }
-
-    restore_vars();
-    restore();
     return !skip;
+}
+
+void
+Engine::atCoordinateExit(std::size_t loop)
+{
+    Scratch& scratch = scratch_[loop];
+    for (std::size_t i = scratch.savedSlots.size(); i-- > 0;) {
+        varValues_[static_cast<std::size_t>(scratch.savedSlots[i])] =
+            scratch.savedVars[i];
+    }
+    for (auto it = scratch.viewUndo.rbegin();
+         it != scratch.viewUndo.rend(); ++it) {
+        TensorState& st = states_[static_cast<std::size_t>(it->input)];
+        st.view[static_cast<std::size_t>(it->level)] = it->view;
+        st.pending[static_cast<std::size_t>(it->level)] = it->pending;
+    }
+    for (auto it = scratch.stateUndo.rbegin();
+         it != scratch.stateUndo.rend(); ++it) {
+        TensorState& st = states_[static_cast<std::size_t>(it->input)];
+        st.validDepth = it->validDepth;
+        st.leaf = it->leaf;
+        st.leafValid = it->leafValid;
+        st.absent = it->absent;
+    }
 }
 
 void
@@ -1055,11 +1305,17 @@ Engine::leafCompute(std::uint64_t pe)
         materializeOutputPath(pe);
     TEAAL_ASSERT(leafFiber_ != nullptr, "output leaf not bound");
     ft::Payload& leaf = leafFiber_->payloadAt(leafPos_);
+    bool shard_fresh = false;
     if (kind == einsum::OpKind::Take) {
         leaf.setValue(value); // idempotent copy
     } else if (leafFresh_) {
         leaf.setValue(value);
         leafFresh_ = false;
+        // Reduction sharding: an engine-locally fresh write may be a
+        // reduce into a leaf another shard already wrote; mark it so
+        // the coordinator's in-order replay can tell (and carry the
+        // expression-add count the fixup needs).
+        shard_fresh = markReduce_;
     } else {
         leaf.setValue(sr_.add(leaf.value(), value));
         ++adds;
@@ -1073,7 +1329,8 @@ Engine::leafCompute(std::uint64_t pe)
     if (adds > 0)
         bus_.compute('a', pe, adds);
     bus_.outputWrite(plan_.output.name, out_.numRanks() - 1, leafCoord_,
-                     leafHash_, false, true, pe);
+                     leafHash_, shard_fresh, true, pe,
+                     shard_fresh ? adds : 0);
 }
 
 } // namespace teaal::exec

@@ -120,12 +120,23 @@ struct ExecOptions
 };
 
 /**
- * The recorded outermost-loop walk of a shardable plan: one entry per
- * top-level coordinate, carrying everything `atCoordinate` needs to
- * process it on any engine clone (driver positions/presence, the
- * bound coordinate range, the PE id with its serial walk ordinal
- * already folded in). The walk-summary counters reproduce the trace
- * events the serial walk would emit after its merge loop.
+ * The recorded shardable walk of a plan: one entry per schedulable
+ * *unit* of work, carrying everything `atCoordinate` needs to process
+ * it on any engine clone (driver positions/presence, the bound
+ * coordinate range, the PE id with its serial walk ordinal already
+ * folded in). The walk-summary counters reproduce the trace events
+ * the serial walk would emit after its merge loop.
+ *
+ * Depth 0 (ShardPlan depth 0, the common case): a unit is one
+ * outermost-loop coordinate. Depth 1 (inner-rank sharding, when the
+ * top rank itself cannot be sharded): a unit is one *loop-1*
+ * coordinate, flattened across all outer coordinates; `outers`
+ * records each outer coordinate's enter state and loop-1 walk
+ * summary, and ownership of the outer's events is positional — the
+ * engine executing the outer's first unit emits its enter events
+ * unmuted, the engine executing its last unit emits the loop-1
+ * summary. An outer whose loop-1 walk produced nothing still owns one
+ * placeholder ("barren") unit so its enter events are scheduled.
  */
 struct TopWalk
 {
@@ -143,12 +154,51 @@ struct TopWalk
     std::vector<std::size_t> pos;
     std::vector<char> present;
 
+    /// Driver count of the *sharded* loop (loop 0 at depth 0, loop 1
+    /// at depth 1).
     std::size_t drivers = 0;
 
-    // Top-walk summary (the serial walk's end-of-merge trace events).
+    /// Estimated work per entry: 1 + the present drivers' child-fiber
+    /// occupancy scaled by ShardPlan::driverWeight (deeper-occupancy
+    /// estimate). Work-weighted shard boundaries split on this.
+    std::vector<double> weight;
+
+    /// ShardPlan::depth of the enumeration (0 or 1).
+    std::size_t depth = 0;
+
+    /// Depth 1 only: the loop-0 pre-lookups missed — the serial run
+    /// executes nothing and emits no top-walk summary.
+    bool topSkipped = false;
+
+    // Top-walk summary (the serial walk's end-of-merge trace events);
+    // always describes *loop 0*, whose driver count is topDrivers.
     std::size_t steps = 0;
     std::size_t matches = 0;
     std::vector<std::size_t> scans;
+    std::size_t topDrivers = 0;
+
+    /// Depth 1 only: per outer coordinate — its entry data, loop-0
+    /// driver cursors, whether the serial run entered it (post-lookup
+    /// hit) and walked loop 1 (pre-lookup hit), its unit range, and
+    /// its recorded loop-1 walk summary.
+    struct Outer
+    {
+        Entry e;
+        std::vector<std::size_t> pos;
+        std::vector<char> present;
+        std::size_t firstUnit = 0;
+        std::size_t units = 0;
+        bool entered = false;
+        bool walked = false;
+        bool barren = false;
+        std::size_t steps = 0;
+        std::size_t matches = 0;
+        std::vector<std::size_t> scans;
+    };
+    std::vector<Outer> outers;
+
+    /// Depth 1 only: owning outer index per entry.
+    std::vector<std::size_t> outerOf;
 };
 
 /** Operator redefinition for Einsum evaluation. */
@@ -259,31 +309,52 @@ class Engine
     void beginRun(bool announce_swizzles);
 
     /**
-     * Walk the outermost loop rank only — no descent, no trace
-     * emission — recording every match into @p tw. Requires
-     * beginRun() and a plan with no lookup actions at loop 0.
+     * Enumerate the plan's schedulable units into @p tw — no trace
+     * emission except, at shard depth 1, the loop-0 pre-lookup events
+     * (which lead the serial stream and are emitted live exactly
+     * once, on this engine's bus). Requires beginRun(). At depth 0
+     * the outermost walk is recorded match by match; at depth 1 every
+     * outer coordinate is entered with the bus muted and its loop-1
+     * walk recorded as units (see TopWalk).
      */
     void enumerateTop(TopWalk& tw);
 
     /**
-     * Execute entries [lo, hi) of a recorded top walk: the shard body.
-     * Initializes this engine's run state, processes each entry
-     * through the full loop nest, and returns the partial output in
-     * *production* order (the coordinator merges partials and applies
-     * the declared-order reorder once).
+     * Initialize this engine as a shard body: fresh run state (no
+     * swizzle announcements) plus, at shard depth 1, a *muted*
+     * re-application of the loop-0 pre-lookups (their state is needed
+     * to re-enter outer coordinates; their events were already
+     * emitted once by the enumerating engine).
      */
-    ft::Tensor runShard(const TopWalk& tw, std::size_t lo, std::size_t hi);
+    void beginShard();
 
     /**
-     * Execute entries [lo, hi) *continuing* the current run state: the
-     * coordinator's live-execution path. Unlike runShard this neither
-     * resets the output (live shards accumulate into one partial,
-     * retrieved once via takeOutput) nor flushes the bus — events
-     * interleave with replayed captures on the delivery bus exactly
-     * where a serial run would put them.
+     * Execute unit @p u of a recorded walk. Units given to one engine
+     * must be a contiguous ascending range (a work-stealing slice);
+     * the partial output accumulates in this engine, retrieved once
+     * via takeOutput(). At depth 1 the owning outer coordinate is
+     * entered on demand — unmuted exactly when @p u is the outer's
+     * first unit — and its loop-1 walk summary is emitted when @p u
+     * is its last, so the merged stream is byte-identical to a serial
+     * run no matter where slice boundaries (or steals) fall.
      */
-    void runShardContinue(const TopWalk& tw, std::size_t lo,
-                          std::size_t hi);
+    void executeUnit(const TopWalk& tw, std::size_t u);
+
+    /**
+     * Close an outer coordinate left open by a slice ending mid-outer
+     * (state restore only — the events are owned positionally) and
+     * flush the bus: the tail of a shard body.
+     */
+    void finishShard();
+
+    /**
+     * Reduction sharding: mark leaf output writes that were fresh *in
+     * this engine* (flagA, with the expression-add count riding in
+     * the event's `a` field). The coordinator's replay fixup turns
+     * every marked write whose leaf an earlier shard already wrote
+     * back into the reduce-add form the serial engine emitted.
+     */
+    void setReduceCapture(bool on) { markReduce_ = on; }
 
     /**
      * Shared output-node insert dedup (parallel path). Every shard
@@ -379,6 +450,19 @@ class Engine
         bool absent;
     };
 
+    /** Undo record of one loop-entry (pre-)lookup application. */
+    struct PreUndo
+    {
+        int input;
+        int validDepth;
+        double leaf;
+        bool leafValid;
+        bool absent;
+        ft::FiberView childView;
+        bool hadChild;
+        int childLevel;
+    };
+
     /** Per-loop-level scratch buffers (recursion depth is unique per
      *  loop, so reuse avoids hot-path allocation). */
     struct Scratch
@@ -391,6 +475,7 @@ class Engine
         std::vector<StateUndo> stateUndo;
         std::vector<ft::Coord> savedVars;
         std::vector<int> savedSlots;
+        std::vector<PreUndo> preUndo;
     };
 
     /** Shared constructor body (action indexing, variable interning,
@@ -431,11 +516,56 @@ class Engine
      * Per-coordinate body shared by every walk strategy. @p driver_pos
      * holds each driver's current position (empty for dense drive).
      * Returns false if the point was skipped (lookup miss).
+     * Equivalent to atCoordinateEnter + runLoop(loop+1) + Exit.
      */
     bool atCoordinate(std::size_t loop, ft::Coord c, ft::Coord range_end,
                       const std::vector<std::size_t>& driver_pos,
                       const std::vector<bool>& driver_present,
                       std::uint64_t pe);
+
+    /**
+     * The enter half of atCoordinate: bind variables, descend the
+     * drivers, apply slices and per-coordinate lookups, descend the
+     * output path. Undo state persists in scratch_[loop] until the
+     * matching atCoordinateExit — inner-rank sharding holds an outer
+     * coordinate open across many units this way. Returns false on a
+     * lookup miss (Exit must still be called).
+     */
+    bool atCoordinateEnter(std::size_t loop, ft::Coord c,
+                           ft::Coord range_end,
+                           const std::vector<std::size_t>& driver_pos,
+                           const std::vector<bool>& driver_present,
+                           std::uint64_t pe);
+
+    /** Restore variables, views, and tensor state saved by the
+     *  matching atCoordinateEnter (emits no events). */
+    void atCoordinateExit(std::size_t loop);
+
+    /**
+     * Apply the loop-entry lookups of @p loop, recording undo state in
+     * scratch_[loop].preUndo. Returns true when a lookup missed and
+     * the loop must be skipped. undoPreLookups reverses it.
+     */
+    bool applyPreLookups(std::size_t loop, std::uint64_t pe);
+    void undoPreLookups(std::size_t loop);
+
+    /** Depth-1 enumeration body of enumerateTop (see TopWalk). */
+    void enumerateInner(TopWalk& tw);
+
+    /**
+     * Enter outer coordinate @p oi of a depth-1 walk on this engine:
+     * atCoordinateEnter(0) plus the loop-1 pre-lookups, muted unless
+     * @p own (positional event ownership — only the engine executing
+     * the outer's first unit emits its events).
+     */
+    void openOuter(const TopWalk& tw, std::size_t oi, bool own);
+
+    /** Undo the state applied by openOuter (no events). */
+    void closeOuter();
+
+    /** Estimated work of the current walkCore match at @p loop: 1 +
+     *  present drivers' child occupancy x ShardPlan::driverWeight. */
+    double entryWeight(std::size_t loop) const;
 
     void leafCompute(std::uint64_t pe);
 
@@ -518,6 +648,15 @@ class Engine
     ft::Coord leafCoord_ = 0;
     std::uint64_t leafHash_ = 0;
     bool scalarOutput_ = false;
+
+    // Sharded-execution state (see the public shard API).
+    static constexpr std::size_t kNoOuter =
+        static_cast<std::size_t>(-1);
+    bool markReduce_ = false;      // setReduceCapture
+    std::size_t unitOuter_ = kNoOuter; // outer held open by executeUnit
+    bool outerPre1_ = false;       // loop-1 pre-lookups applied for it
+    std::vector<std::size_t> unitPos_;   // executeUnit driver scratch
+    std::vector<bool> unitPresent_;
 
     /** Materialize the bound output path; sets leafFiber_/leafPos_. */
     void materializeOutputPath(std::uint64_t pe);

@@ -1,9 +1,12 @@
 #include "exec/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -19,77 +22,221 @@ namespace
 {
 
 /**
- * Shard-count cap. The plan's top walk is split into
- * min(matches, kMaxShards) contiguous slices — a pure function of the
- * plan and data, never of the thread count, so traces and results are
- * identical for every N. 64 slices keep dynamic scheduling balanced
- * on any realistic worker count while the per-shard engine setup
- * stays negligible.
+ * Initial slice-count cap. The plan's recorded walk is split into
+ * min(units, kMaxShards) contiguous slices at work-weighted
+ * boundaries. 64 slices keep dynamic scheduling balanced on any
+ * realistic worker count while per-slice engine setup stays
+ * negligible.
  */
 constexpr std::size_t kMaxShards = 64;
 
 /**
- * Drop non-leaf output-insert events whose path key an earlier shard
- * already inserted. Output paths materialize lazily *per shard*, so a
- * shared ancestor node (e.g. the root row of an output both shards
- * write under, when the sharded rank is not the output's top rank) is
- * created once per shard — but the serial engine creates it exactly
- * once, at the stream position where the first shard's copy lands.
- * Filtering duplicates during the in-order replay therefore restores
- * the serial event sequence exactly; walk boundaries are re-indexed
- * onto the surviving events.
- *
- * NOTE: this traversal mirrors BatchBus::replay's chunk/walkEnds
- * bookkeeping (trace/batch.cpp) — change them together. The
- * thread-equivalence tests (tests/test_parallel.cpp) compare replayed
- * streams *including batch boundaries* against the serial path and
- * will catch any divergence.
- *
- * Filtered captures (model split): a dropped record occupies one slot
- * in the logged stream AND one in the logical stream, so the logical
- * walk boundaries and total shift by the same running count — keeping
- * the replay's serial-equivalent event/batch accounting exact (the
- * serial engine never emitted the duplicate at all).
+ * Hard cap on total slices including work-stealing splits. A split
+ * halves a straggler, so a handful suffice; the cap only bounds the
+ * bookkeeping (and the model's per-slice sink pool).
  */
-void
-dropDuplicateInserts(trace::TraceLog& log,
-                     std::unordered_set<std::uint64_t>& inserted)
+constexpr std::size_t kSliceCap = 2 * kMaxShards;
+
+/**
+ * Split [0, n) into @p shards contiguous slices at the weighted
+ * quantiles of tw.weight (each slice non-empty). Falls back to equal
+ * unit counts when no weights were recorded.
+ */
+std::vector<std::size_t>
+weightedBounds(const TopWalk& tw, std::size_t shards)
 {
-    std::size_t dropped = 0;
+    const std::size_t n = tw.entries.size();
+    std::vector<std::size_t> bounds(shards + 1, 0);
+    bounds[shards] = n;
+    if (shards <= 1)
+        return bounds;
+    double total = 0.0;
+    if (tw.weight.size() == n) {
+        for (const double w : tw.weight)
+            total += w;
+    }
+    if (!(total > 0.0)) {
+        for (std::size_t s = 0; s < shards; ++s)
+            bounds[s] = s * n / shards;
+        return bounds;
+    }
+    std::size_t s = 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n && s < shards; ++i) {
+        acc += tw.weight[i];
+        while (s < shards &&
+               acc >= total * static_cast<double>(s) /
+                          static_cast<double>(shards)) {
+            std::size_t cut = std::min(i + 1, n - (shards - s));
+            cut = std::max(cut, bounds[s - 1] + 1);
+            bounds[s] = cut;
+            ++s;
+        }
+    }
+    for (; s < shards; ++s)
+        bounds[s] = std::max(bounds[s - 1] + 1, n - (shards - s));
+    return bounds;
+}
+
+/** Cross-slice state the in-order replay fixup threads through every
+ *  capture (and that the coordinator's live engine shares via
+ *  Engine::setInsertFilter). */
+struct FixupState
+{
+    /// Interior output nodes already announced (shared with the live
+    /// engine's insert filter).
+    std::unordered_set<std::uint64_t> insertedKeys;
+    /// Reduce mode: leaf path keys some earlier slice already wrote.
+    std::unordered_set<std::uint64_t> reducedLeaves;
+};
+
+/**
+ * Restore the serial event stream from one slice's capture, in slice
+ * replay order. Two rewrites happen in a single pass:
+ *
+ * 1. Interior-insert dedup (all modes): output paths materialize
+ *    lazily *per slice*, so an output node shared between slices
+ *    announces its creation once per slice — the serial engine
+ *    announces it exactly once, where the first slice's copy lands.
+ *    Duplicates are dropped.
+ *
+ * 2. Reduce-add restoration (reduction sharding): each slice engine
+ *    held a *private* partial output, so a leaf another slice already
+ *    wrote looks fresh to it — its capture carries flagA=1 and the
+ *    expression-add count in `a` (Engine::setReduceCapture). The
+ *    serial engine instead reduced into the existing leaf: one extra
+ *    semiring add, folded into the leaf's compute('a') record. For
+ *    every marked write whose key was already seen, the immediately
+ *    preceding compute('a') is bumped by one (or, when the expression
+ *    itself had no adds, a compute('a', pe, 1) is inserted before the
+ *    write). Marked writes are then normalized to the serial form
+ *    (flagA=0, a=0) either way.
+ *
+ * Filtered captures (model split) hold no compute records — those
+ * went to the slice's datapath accumulator with the shard-local
+ * count. The restored adds are delivered to @p datapath_sink as
+ * synthetic compute events instead, and the *logical* stream
+ * accounting (logicalWalkEnds/logicalEvents) absorbs the inserted
+ * events so replayed flush points stay serial-identical.
+ *
+ * Walk boundaries are re-indexed onto the surviving events (drops
+ * shift them down, inserts up). No boundary can fall between a leaf's
+ * compute and its output write — both are emitted inside one
+ * leafCompute with no walkEnd between — so the insert position is
+ * unambiguous.
+ *
+ * NOTE: the chunk/walkEnds traversal mirrors BatchBus::replay
+ * (trace/batch.cpp) — change them together. The thread-equivalence
+ * tests (tests/test_parallel.cpp) compare replayed streams including
+ * batch boundaries against the serial path and catch any divergence.
+ *
+ * Returns the number of reduce adds restored (the serial run counted
+ * them in ExecutionStats::computeAdds; slice engines could not).
+ */
+std::size_t
+fixupReplayLog(trace::TraceLog& log, FixupState& fs, bool reduce,
+               trace::Observer* datapath_sink)
+{
+    std::ptrdiff_t dlog = 0;     // logged-index shift (drops/inserts)
+    std::ptrdiff_t dlogical = 0; // logical-index shift (filtered)
+    std::size_t fixups = 0;
     std::size_t we = 0;
     std::size_t base = 0; // global *input* index of the chunk start
+    std::vector<trace::Event>* prev_chunk = nullptr;
+    trace::EventBatch synthetic;
+
     for (std::vector<trace::Event>& chunk : log.chunks) {
         const std::size_t in_size = chunk.size();
-        std::size_t out = 0;
+        std::vector<trace::Event> out;
+        out.reserve(in_size + 4);
         for (std::size_t i = 0; i < in_size; ++i) {
             while (we < log.walkEnds.size() &&
                    log.walkEnds[we] == base + i) {
-                log.walkEnds[we] -= dropped;
-                if (log.filtered)
-                    log.logicalWalkEnds[we] -= dropped;
+                log.walkEnds[we] = static_cast<std::size_t>(
+                    static_cast<std::ptrdiff_t>(log.walkEnds[we]) +
+                    dlog);
+                if (log.filtered) {
+                    log.logicalWalkEnds[we] = static_cast<std::size_t>(
+                        static_cast<std::ptrdiff_t>(
+                            log.logicalWalkEnds[we]) +
+                        dlogical);
+                }
                 ++we;
             }
-            const trace::Event& e = chunk[i];
+            trace::Event e = chunk[i];
             if (e.kind == trace::Event::Kind::OutputWrite && e.flagA &&
-                !e.flagB && !inserted.insert(e.key).second) {
-                ++dropped;
+                !e.flagB && !fs.insertedKeys.insert(e.key).second) {
+                --dlog;
+                if (log.filtered)
+                    --dlogical;
                 continue;
             }
-            if (out != i)
-                chunk[out] = e;
-            ++out;
+            if (reduce && e.kind == trace::Event::Kind::OutputWrite &&
+                e.flagB && e.flagA) {
+                if (!fs.reducedLeaves.insert(e.key).second) {
+                    // An earlier slice wrote this leaf: the serial
+                    // engine reduced — restore the missing add.
+                    ++fixups;
+                    if (log.filtered) {
+                        synthetic.events.emplace_back();
+                        trace::Event& c = synthetic.events.back();
+                        c.kind = trace::Event::Kind::Compute;
+                        c.op = 'a';
+                        c.pe = e.pe;
+                        c.a = 1;
+                        if (e.a == 0)
+                            ++dlogical; // serial had one more event
+                    } else if (e.a > 0) {
+                        trace::Event* prev =
+                            !out.empty() ? &out.back()
+                            : prev_chunk != nullptr
+                                ? &prev_chunk->back()
+                                : nullptr;
+                        TEAAL_ASSERT(
+                            prev != nullptr &&
+                                prev->kind ==
+                                    trace::Event::Kind::Compute &&
+                                prev->op == 'a' && prev->pe == e.pe,
+                            "reduce fixup: leaf write not preceded by "
+                            "its compute record");
+                        ++prev->a;
+                    } else {
+                        trace::Event c{};
+                        c.kind = trace::Event::Kind::Compute;
+                        c.op = 'a';
+                        c.pe = e.pe;
+                        c.a = 1;
+                        out.push_back(c);
+                        ++dlog;
+                    }
+                }
+                e.flagA = false;
+                e.a = 0;
+            }
+            out.push_back(e);
         }
-        chunk.resize(out);
+        chunk = std::move(out);
+        if (!chunk.empty())
+            prev_chunk = &chunk;
         base += in_size;
     }
     while (we < log.walkEnds.size()) {
-        log.walkEnds[we] -= dropped;
-        if (log.filtered)
-            log.logicalWalkEnds[we] -= dropped;
+        log.walkEnds[we] = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(log.walkEnds[we]) + dlog);
+        if (log.filtered) {
+            log.logicalWalkEnds[we] = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(log.logicalWalkEnds[we]) +
+                dlogical);
+        }
         ++we;
     }
-    if (log.filtered)
-        log.logicalEvents -= dropped;
+    if (log.filtered) {
+        log.logicalEvents = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(log.logicalEvents) + dlogical);
+        if (!synthetic.events.empty() && datapath_sink != nullptr)
+            datapath_sink->onEventBatch(synthetic);
+    }
+    return fixups;
 }
 
 } // namespace
@@ -116,209 +263,330 @@ Executor::run()
 ft::Tensor
 Executor::runSharded(unsigned threads)
 {
-    // Serial enumeration of the outermost walk fixes every shard's
-    // coordinates, driver cursors, and PE ids up front (the walk
-    // summary events are replayed after the shards, where the serial
-    // merge loop would emit them).
-    // Model split (performance-model hooks set, see ShardModelHooks):
-    // datapath records are consumed by per-shard accumulators inside
-    // the shards; only order-dependent storage records are captured
-    // and replayed. The coordinator's own emissions route through the
-    // same filter to the coordinator sink.
+    // Serial enumeration of the sharded walk fixes every unit's
+    // coordinates, driver cursors, and PE ids up front (the top-walk
+    // summary events are replayed after the slices, where the serial
+    // merge loop would emit them). Model split (performance-model
+    // hooks set, see ShardModelHooks): datapath records are consumed
+    // by per-slice accumulators inside the workers; only
+    // order-dependent storage records are captured and replayed.
     const bool split_model = opts_.modelHooks.enabled();
     if (split_model) {
         engine_.setTraceFilter(opts_.modelHooks.classifier,
                                opts_.modelHooks.coordinatorSink);
     }
+    const ir::ShardPlan& sp = plan_.shard;
+    const bool reduce_mode = sp.reduceMerge;
+    // Live execution writes straight to the delivery bus, which only
+    // reproduces the serial stream when slice outputs are disjoint
+    // and units are top-level (no positional outer ownership).
+    const bool live_ok = !reduce_mode && sp.depth == 0;
 
     engine_.beginRun(/*announce_swizzles=*/false);
+    engine_.emitSwizzleAnnouncements();
     TopWalk tw;
     engine_.enumerateTop(tw);
 
     const std::size_t n = tw.entries.size();
     if (n == 0) {
-        engine_.emitSwizzleAnnouncements();
-        engine_.emitTopSummary(tw);
+        if (!tw.topSkipped)
+            engine_.emitTopSummary(tw);
         stats_ = ExecutionStats{};
         return engine_.finishOutput(engine_.takeOutput());
     }
 
-    const std::size_t shards = std::min(n, kMaxShards);
-    std::vector<std::size_t> bounds(shards + 1);
-    for (std::size_t s = 0; s <= shards; ++s)
-        bounds[s] = s * n / shards;
+    const std::size_t init_shards = std::min(n, kMaxShards);
+    const std::vector<std::size_t> bounds =
+        weightedBounds(tw, init_shards);
+    const std::size_t sink_cap = std::min(n, kSliceCap);
 
     std::vector<trace::Observer*> shard_sinks;
     if (split_model)
-        shard_sinks = opts_.modelHooks.makeShardSinks(shards);
+        shard_sinks = opts_.modelHooks.makeShardSinks(sink_cap);
 
-    // Hybrid scheme: workers race ahead claiming shards and executing
-    // them into trace captures; the coordinator walks the shards
-    // strictly in index order, *live-executing* (straight onto the
-    // delivery bus — no capture, no replay) every shard no worker got
-    // to first, and replaying worker captures otherwise. When workers
-    // are starved (few cores) the coordinator degenerates to a nearly
-    // zero-overhead serial run; when they keep up, replay overlaps
-    // their execution.
-    enum : int
+    /**
+     * One contiguous, exclusively-owned unit range [lo, hi). The unit
+     * cursor advances under the global mutex so an idle thread can
+     * steal the unexecuted upper half of any in-flight slice (the
+     * victim simply observes its hi shrink at its next claim). Slices
+     * stay sorted by lo and are replayed in that order — which is
+     * serial unit order, so results, counters, and replayed streams
+     * are byte-identical no matter where steals land.
+     */
+    struct Slice
     {
-        kUnclaimed = 0,
-        kWorker = 1,
-        kCoordinator = 2
-    };
-    struct ShardResult
-    {
-        std::atomic<int> claim{kUnclaimed};
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        std::size_t cursor = 0;
+        std::size_t sink = 0;
+        bool running = false;
+        bool done = false;
+        bool live = false; // coordinator executed it on the delivery bus
         trace::TraceLog log;
         ft::Tensor out;
         ExecutionStats stats;
-        bool done = false;
     };
-    trace::ChunkPool chunk_pool; // outlives the shard results below
-    std::vector<ShardResult> results(shards);
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    for (ShardResult& r : results)
-        r.log.pool = &chunk_pool;
 
-    // Next shard the coordinator will finalize. Workers only claim
-    // within a window ahead of it, bounding how much captured (not
-    // yet replayed) trace can pile up in memory.
-    std::atomic<std::size_t> coord_pos{0};
+    trace::ChunkPool chunk_pool; // outlives the slices below
+    std::vector<std::unique_ptr<Slice>> slices;
+    slices.reserve(sink_cap);
+    for (std::size_t s = 0; s < init_shards; ++s) {
+        auto sl = std::make_unique<Slice>();
+        sl->lo = bounds[s];
+        sl->hi = bounds[s + 1];
+        sl->cursor = bounds[s];
+        sl->sink = s;
+        sl->log.pool = &chunk_pool;
+        slices.push_back(std::move(sl));
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t replay_idx = 0;   // next slice the coordinator finalizes
+    std::size_t sink_next = init_shards;
+    bool abort = false;
+    std::exception_ptr first_error;
+
+    // Workers only claim within a window ahead of the replay cursor,
+    // bounding how much captured (not yet replayed) trace can pile up.
     const std::size_t window =
         std::max<std::size_t>(8, 4 * static_cast<std::size_t>(threads));
 
-    // First exception from any thread: workers and the coordinator
-    // stop promptly, everyone is joined, then it is rethrown to the
-    // caller — run(threads=N) surfaces errors exactly like the serial
-    // path instead of aborting the process.
-    std::atomic<bool> abort{false};
-    std::exception_ptr first_error;
     auto record_error = [&]() {
         {
             std::lock_guard<std::mutex> lk(mutex);
             if (first_error == nullptr)
                 first_error = std::current_exception();
+            abort = true;
         }
-        abort.store(true, std::memory_order_release);
-        done_cv.notify_all();
+        cv.notify_all();
     };
 
-    auto drainShards = [&](unsigned) {
-        for (;;) {
-            if (abort.load(std::memory_order_acquire))
-                return;
-            const std::size_t base =
-                coord_pos.load(std::memory_order_acquire);
-            if (base >= shards)
-                return;
-            bool claimed = false;
-            const std::size_t limit =
-                std::min(shards, base + window);
-            for (std::size_t s = base; s < limit; ++s) {
-                ShardResult& r = results[s];
-                int expected = kUnclaimed;
-                if (!r.claim.compare_exchange_strong(
-                        expected, kWorker, std::memory_order_acq_rel))
-                    continue;
-                try {
-                    Engine shard(plan_, r.log, sr_, opts_);
-                    if (split_model) {
-                        shard.setTraceFilter(
-                            opts_.modelHooks.classifier,
-                            shard_sinks[s]);
-                    }
-                    r.out =
-                        shard.runShard(tw, bounds[s], bounds[s + 1]);
-                    r.stats = shard.stats();
-                } catch (...) {
-                    record_error();
-                }
+    // Claim work under the lock: the first unclaimed slice in the
+    // window, else steal — split the largest unexecuted remainder of
+    // an in-flight slice and claim its upper half.
+    auto claim_work = [&]() -> Slice* {
+        const std::size_t limit =
+            std::min(slices.size(), replay_idx + window);
+        for (std::size_t i = replay_idx; i < limit; ++i) {
+            Slice* s = slices[i].get();
+            if (!s->running && !s->done) {
+                s->running = true;
+                return s;
+            }
+        }
+        // Reduce-merge partials fold per slice, so the partition IS
+        // the fp summation grouping: it must stay a pure function of
+        // plan and data. Never split reduce slices — idle workers
+        // fall back to waiting for unclaimed whole slices.
+        if (reduce_mode)
+            return nullptr;
+        if (slices.size() >= kSliceCap || sink_next >= sink_cap)
+            return nullptr;
+        std::size_t best = limit;
+        std::size_t best_rem = 1; // a split needs >= 2 remaining units
+        for (std::size_t i = replay_idx; i < limit; ++i) {
+            Slice* s = slices[i].get();
+            if (s->done)
+                continue;
+            const std::size_t rem = s->hi - s->cursor;
+            if (rem > best_rem) {
+                best_rem = rem;
+                best = i;
+            }
+        }
+        if (best == limit)
+            return nullptr;
+        Slice* victim = slices[best].get();
+        const std::size_t mid =
+            victim->cursor + (victim->hi - victim->cursor + 1) / 2;
+        auto stolen = std::make_unique<Slice>();
+        stolen->lo = mid;
+        stolen->hi = victim->hi;
+        stolen->cursor = mid;
+        stolen->sink = sink_next++;
+        stolen->running = true;
+        stolen->log.pool = &chunk_pool;
+        victim->hi = mid;
+        Slice* p = stolen.get();
+        slices.insert(slices.begin() +
+                          static_cast<std::ptrdiff_t>(best) + 1,
+                      std::move(stolen));
+        return p;
+    };
+
+    // Execute one claimed slice on a fresh capture engine, advancing
+    // the shared cursor unit by unit so thieves can shrink hi.
+    auto work_slice = [&](Slice* s) {
+        try {
+            Engine eng(plan_, s->log, sr_, opts_);
+            if (split_model) {
+                eng.setTraceFilter(opts_.modelHooks.classifier,
+                                   shard_sinks[s->sink]);
+            }
+            if (reduce_mode)
+                eng.setReduceCapture(true);
+            eng.beginShard();
+            for (;;) {
+                std::size_t u;
                 {
                     std::lock_guard<std::mutex> lk(mutex);
-                    r.done = true;
+                    if (abort || s->cursor >= s->hi)
+                        break;
+                    u = s->cursor++;
                 }
-                done_cv.notify_all();
-                claimed = true;
-                break;
+                eng.executeUnit(tw, u);
             }
-            if (!claimed) {
-                // Window exhausted: wait for coordinator progress.
+            eng.finishShard();
+            s->out = eng.takeOutput();
+            s->stats = eng.stats();
+        } catch (...) {
+            record_error();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mutex);
+            s->done = true;
+        }
+        cv.notify_all();
+    };
+
+    auto drain = [&](unsigned) {
+        for (;;) {
+            Slice* s = nullptr;
+            {
                 std::unique_lock<std::mutex> lk(mutex);
-                done_cv.wait_for(
-                    lk, std::chrono::milliseconds(1), [&] {
-                        return coord_pos.load(
-                                   std::memory_order_acquire) !=
-                                   base ||
-                               abort.load(std::memory_order_acquire);
-                    });
+                if (abort || replay_idx >= slices.size())
+                    return;
+                s = claim_work();
+                if (s == nullptr) {
+                    cv.wait_for(lk, std::chrono::milliseconds(1));
+                    continue;
+                }
             }
+            work_slice(s);
         }
     };
 
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads - 1, shards));
+        std::min<std::size_t>(threads - 1, n));
     util::ThreadPool::Ticket ticket;
     std::vector<std::thread> adhoc;
     if (opts_.pool != nullptr) {
-        ticket = opts_.pool->launch(workers, drainShards);
+        ticket = opts_.pool->launch(workers, drain);
     } else {
         adhoc.reserve(workers);
         for (unsigned w = 0; w < workers; ++w)
-            adhoc.emplace_back(drainShards, w);
+            adhoc.emplace_back(drain, w);
     }
 
-    engine_.emitSwizzleAnnouncements();
-    std::unordered_set<std::uint64_t> inserted_keys;
-    engine_.setInsertFilter(&inserted_keys);
+    FixupState fixup_state;
+    engine_.setInsertFilter(&fixup_state.insertedKeys);
+    ft::AbsorbContext actx;
+    actx.einsum = plan_.output.name;
+    actx.rankIds = plan_.output.productionOrder.empty()
+                       ? std::vector<std::string>{"_S"}
+                       : plan_.output.productionOrder;
     ft::Tensor merged;
-    bool first = true;
+    bool first_merge = true;
     ExecutionStats agg;
+    std::size_t fixup_adds = 0;
     auto absorb = [&](ft::Tensor&& part) {
-        if (first) {
+        if (first_merge) {
             merged = std::move(part);
-            first = false;
+            first_merge = false;
             return;
         }
-        TEAAL_ASSERT(merged.root() != nullptr && part.root() != nullptr,
+        if (part.root() == nullptr)
+            return;
+        TEAAL_ASSERT(merged.root() != nullptr,
                      "shard output missing a root fiber");
-        merged.root()->absorbDisjoint(std::move(*part.root()));
+        if (reduce_mode) {
+            merged.root()->absorbReduce(std::move(*part.root()),
+                                        sr_.add, &actx);
+        } else {
+            merged.root()->absorbDisjoint(std::move(*part.root()),
+                                          &actx);
+        }
     };
+
+    // The coordinator walks slices strictly in begin order:
+    // live-executing (disjoint depth-0) or capture-executing every
+    // slice no worker got to first, and replaying worker captures
+    // otherwise (after the in-order fixup pass).
     try {
-        for (std::size_t s = 0; s < shards; ++s) {
-            if (abort.load(std::memory_order_acquire))
-                break;
-            ShardResult& r = results[s];
-            int expected = kUnclaimed;
-            if (r.claim.compare_exchange_strong(
-                    expected, kCoordinator,
-                    std::memory_order_acq_rel)) {
-                engine_.runShardContinue(tw, bounds[s], bounds[s + 1]);
-            } else {
+        for (;;) {
+            Slice* s = nullptr;
+            bool execute_here = false;
+            {
+                std::unique_lock<std::mutex> lk(mutex);
+                if (abort || replay_idx >= slices.size())
+                    break;
+                s = slices[replay_idx].get();
+                if (!s->running && !s->done) {
+                    s->running = true;
+                    s->live = live_ok;
+                    execute_here = true;
+                } else if (!s->done) {
+                    cv.wait(lk, [&] { return s->done || abort; });
+                    if (abort)
+                        break;
+                }
+            }
+            if (execute_here && s->live) {
+                for (;;) {
+                    std::size_t u;
+                    {
+                        std::lock_guard<std::mutex> lk(mutex);
+                        if (abort || s->cursor >= s->hi)
+                            break;
+                        u = s->cursor++;
+                    }
+                    engine_.executeUnit(tw, u);
+                }
+                {
+                    std::lock_guard<std::mutex> lk(mutex);
+                    s->done = true;
+                }
+                cv.notify_all();
+            } else if (execute_here) {
+                work_slice(s);
+            }
+            if (!s->live) {
                 {
                     std::unique_lock<std::mutex> lk(mutex);
-                    done_cv.wait(lk, [&r] { return r.done; });
+                    if (!s->done)
+                        cv.wait(lk,
+                                [&] { return s->done || abort; });
+                    if (abort)
+                        break;
                 }
-                if (abort.load(std::memory_order_acquire))
-                    break;
-                dropDuplicateInserts(r.log, inserted_keys);
-                engine_.replayTrace(r.log);
-                r.log.clear();
-                agg += r.stats;
-                absorb(std::move(r.out));
-                r.out = ft::Tensor();
+                fixup_adds += fixupReplayLog(
+                    s->log, fixup_state, reduce_mode,
+                    split_model ? opts_.modelHooks.coordinatorSink
+                                : nullptr);
+                engine_.replayTrace(s->log);
+                s->log.clear();
+                agg += s->stats;
+                absorb(std::move(s->out));
+                s->out = ft::Tensor();
             }
-            coord_pos.store(s + 1, std::memory_order_release);
-            done_cv.notify_all();
+            {
+                std::lock_guard<std::mutex> lk(mutex);
+                ++replay_idx;
+            }
+            cv.notify_all();
         }
     } catch (...) {
         record_error();
     }
 
     // Always drain the workers before unwinding: they reference this
-    // frame's state (tw, results, mutex).
-    coord_pos.store(shards, std::memory_order_release);
-    done_cv.notify_all();
+    // frame's state (tw, slices, mutex).
+    {
+        std::lock_guard<std::mutex> lk(mutex);
+        replay_idx = slices.size();
+    }
+    cv.notify_all();
     if (opts_.pool != nullptr) {
         ticket.wait();
     } else {
@@ -329,12 +597,16 @@ Executor::runSharded(unsigned threads)
     if (first_error != nullptr)
         std::rethrow_exception(first_error);
 
-    // The coordinator's live shards accumulated into the engine's own
-    // output partial and stats.
+    // The coordinator's live slices accumulated into the delivery
+    // engine's own output partial and stats; the reduce adds restored
+    // during replay were counted by the serial run but invisible to
+    // the slice engines.
     agg += engine_.stats();
     absorb(engine_.takeOutput());
+    agg.computeAdds += fixup_adds;
 
-    engine_.emitTopSummary(tw);
+    if (!tw.topSkipped)
+        engine_.emitTopSummary(tw);
     stats_ = agg;
     return engine_.finishOutput(std::move(merged));
 }

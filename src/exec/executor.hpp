@@ -13,17 +13,33 @@
  *   trace/batch.hpp          the batched trace bus feeding observers.
  *
  * With `ExecOptions::threads >= 2` and a shardable plan
- * (ir::analyzeSharding: a space rank exists and the outermost loop
- * rank restricts only output variables), the executor shards the
- * outermost rank's coordinate range across a worker pool: a serial
- * enumeration of the top walk fixes every shard's coordinates, driver
- * cursors, and PE ids; engine clones execute shards against the
- * shared inputs with capture-mode trace buses; the coordinator
- * replays captures in canonical shard order (reproducing the serial
- * engine's event sequence *and* batch boundaries byte-for-byte) and
- * merges the partial outputs with Fiber::absorbDisjoint. The shard
- * count depends only on the plan and data — never on the thread
- * count — so results and traces are identical for every N.
+ * (ir::analyzeSharding — nearly every mapping qualifies; see
+ * ir::ShardPlan for the three modes and the rare refusals), the
+ * executor shards a loop rank's coordinate range across a worker
+ * pool: a serial enumeration of the sharded walk fixes every unit's
+ * coordinates, driver cursors, and PE ids; engine clones execute
+ * contiguous unit slices against the shared inputs with capture-mode
+ * trace buses; the coordinator replays captures in slice order
+ * (reproducing the serial engine's event sequence *and* batch
+ * boundaries byte-for-byte) and merges the partial outputs —
+ * Fiber::absorbDisjoint when slice outputs cannot overlap,
+ * Fiber::absorbReduce (semiring add on leaf collisions, with the
+ * captured streams fixed up to the serial engine's reduce records)
+ * when the sharded rank restricts contraction variables. Plans whose
+ * top rank cannot shard (lookup-bound, scalar-binding, or too coarse)
+ * shard the first viable inner rank instead, with positional
+ * ownership of the enclosing outer-loop events.
+ *
+ * Slice boundaries are placed at work-weighted quantiles of the
+ * enumerated units (per-rank occupancy estimates), and idle workers
+ * steal the unexecuted upper half of the largest in-flight slice
+ * rather than going to sleep. The initial slice count and boundaries
+ * depend only on the plan and data — never on the thread count — so
+ * counters and traces are identical for every N, and tensor values
+ * are too up to floating-point summation grouping in reduce mode
+ * (exactly identical when the semiring add is associative; reduce
+ * slices are never split by steals, keeping the grouping
+ * deterministic).
  *
  * With ExecOptions::modelHooks set (the pipeline sets them whenever
  * the performance model is the sole trace consumer), the capture

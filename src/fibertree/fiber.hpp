@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fibertree/payload.hpp"
@@ -17,6 +18,18 @@
 
 namespace teaal::ft
 {
+
+/**
+ * Provenance for shard-merge diagnostics: which Einsum produced the
+ * partial outputs being merged and what the output's rank ids are
+ * (root to leaf), so a collision error can name the rank it happened
+ * on instead of only the coordinate.
+ */
+struct AbsorbContext
+{
+    std::string einsum;
+    std::vector<std::string> rankIds;
+};
 
 class Fiber
 {
@@ -87,12 +100,27 @@ class Fiber
      * must cover *disjoint* leaf paths: colliding coordinates whose
      * payloads are subfibers merge recursively; colliding scalar
      * leaves are a hard error (they would mean two producers wrote
-     * the same output point — the parallel shard merge must never
-     * see that). When @p other's coordinates all lie past this
-     * fiber's last coordinate the merge is a bulk reserve + move
-     * append (the common case for contiguous shard outputs).
+     * the same output point — a disjoint-mode shard merge must never
+     * see that; the error names the Einsum and rank when @p ctx is
+     * given). When @p other's coordinates all lie past this fiber's
+     * last coordinate the merge is a bulk reserve + move append (the
+     * common case for contiguous shard outputs).
      */
-    void absorbDisjoint(Fiber&& other);
+    void absorbDisjoint(Fiber&& other,
+                        const AbsorbContext* ctx = nullptr,
+                        std::size_t depth = 0);
+
+    /**
+     * Merge @p other into this fiber, consuming it, summing colliding
+     * scalar leaves with the semiring add @p add (reduction-mode shard
+     * merges: each shard held a private partial output, and shards of
+     * a contraction-restricting rank legitimately touch the same
+     * output points). Structural collisions (a scalar against a
+     * subfiber) are still producer bugs and raise a ModelError.
+     */
+    void absorbReduce(Fiber&& other, Value (*add)(Value, Value),
+                      const AbsorbContext* ctx = nullptr,
+                      std::size_t depth = 0);
 
     /** Number of scalar leaves in the subtree rooted at this fiber. */
     std::size_t leafCount() const;

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cctype>
 #include <functional>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -1124,90 +1125,67 @@ instantiatePlan(const EinsumRecipe& recipe, const einsum::EinsumSpec& spec,
 namespace
 {
 
-/** Shared core of the two analyzeSharding overloads. */
-ShardPlan
-shardPlanFrom(const einsum::Expression& expr, bool whole_tensor_copy,
-              const std::string& top_rank,
-              const std::vector<std::string>& restricted_vars,
-              const std::string& space_rank, bool top_has_lookup)
+constexpr std::size_t kInnerMinTopEntries = 4;
+
+bool
+inOutput(const std::vector<std::string>& out_vars, const std::string& v)
 {
-    ShardPlan sp;
-    sp.rank = top_rank;
-    sp.spaceRank = space_rank;
-    auto reject = [&sp](std::string why) {
-        sp.shardable = false;
-        sp.reason = std::move(why);
-        return sp;
-    };
-    if (whole_tensor_copy)
-        return reject("whole-tensor copy bypasses the loop nest");
-    if (top_rank.empty())
-        return reject("no loop ranks");
-    if (space_rank.empty())
-        return reject("no space rank: the mapping declares no spatial "
-                      "parallelism");
+    return std::find(out_vars.begin(), out_vars.end(), v) !=
+           out_vars.end();
+}
+
+/**
+ * Finish a ShardPlan for sharding loop @p depth (rank @p rank) given
+ * the variables the loops 0..depth bind or restrict: pick the merge
+ * (Disjoint vs Reduce) from whether any of those variables is a
+ * contraction (partial outputs then overlap), and reject the one
+ * unmergeable combination — a take whose sharded prefix restricts the
+ * probe variable, since its idempotent leaf writes would double-count
+ * under a semiring-add merge.
+ */
+ShardPlan
+classifyShard(ShardPlan sp, const einsum::Expression& expr,
+              std::size_t depth, const std::string& rank,
+              const std::vector<std::string>& prefix_vars)
+{
     const std::vector<std::string> out_vars = expr.outputVars();
-    if (out_vars.empty())
-        return reject("scalar output");
-    if (restricted_vars.empty())
-        return reject("rank '" + top_rank + "' binds no index variable");
-    for (const std::string& v : restricted_vars) {
-        if (std::find(out_vars.begin(), out_vars.end(), v) ==
-            out_vars.end()) {
-            return reject("rank '" + top_rank +
-                          "' restricts contraction variable '" + v +
-                          "' (shards would reduce into shared output "
-                          "points)");
+    // A scalar output is the degenerate reduction: every shard writes
+    // the single output point.
+    bool reduce = out_vars.empty();
+    std::string contraction;
+    for (const std::string& v : prefix_vars) {
+        if (!inOutput(out_vars, v)) {
+            reduce = true;
+            contraction = v;
         }
     }
-    if (top_has_lookup)
-        return reject("rank '" + top_rank + "' carries lookup actions");
+    if (reduce && expr.kind == einsum::OpKind::Take) {
+        sp.shardable = false;
+        sp.reason = "rank '" + rank + "' restricts variable '" +
+                    contraction +
+                    "' of a take (idempotent writes cannot "
+                    "reduce-merge)";
+        return sp;
+    }
     sp.shardable = true;
+    sp.rank = rank;
+    sp.depth = depth;
+    sp.reduceMerge = reduce;
+    sp.mode = depth > 0 ? ShardPlan::Mode::Inner
+                        : (reduce ? ShardPlan::Mode::Reduce
+                                  : ShardPlan::Mode::Disjoint);
     return sp;
 }
 
-} // namespace
-
-ShardPlan
-analyzeSharding(const EinsumRecipe& recipe)
+/**
+ * The variables loop @p idx of @p plan binds or — via the other loops
+ * of its partition group (M1 restricts m, bound at M0) — restricts,
+ * as base variables.
+ */
+std::vector<std::string>
+loopGroupVars(const EinsumPlan& plan, std::size_t idx)
 {
-    const std::string top =
-        recipe.loopOrder.empty() ? std::string() : recipe.loopOrder[0];
-    const std::string base = baseOfDerived(top);
-    // Variables the top rank binds or (via its partition group's leaf
-    // rank) range-restricts: a flattened base contributes one variable
-    // per constituent rank.
-    std::vector<std::string> vars;
-    if (!top.empty()) {
-        const RecipeGroup* flat = nullptr;
-        for (const RecipeGroup& g : recipe.groups) {
-            if (g.hasFlatten && g.base == base)
-                flat = &g;
-        }
-        if (flat != nullptr) {
-            for (const std::string& src : flat->sourceRanks)
-                vars.push_back(
-                    einsum::varOfRank(baseOfDerived(src)));
-        } else {
-            vars.push_back(einsum::varOfRank(base));
-        }
-    }
-    const std::string space =
-        recipe.space.empty() ? std::string() : recipe.space.front().rank;
-    // Lookup actions only exist on instantiated plans; conservatively
-    // assume none (the plan-level overload is authoritative).
-    return shardPlanFrom(recipe.expr, recipe.wholeTensorCopy, top, vars,
-                         space, /*top_has_lookup=*/false);
-}
-
-ShardPlan
-analyzeSharding(const EinsumPlan& plan)
-{
-    const std::string top =
-        plan.loops.empty() ? std::string() : plan.loops[0].name;
-    const std::string base = baseOfDerived(top);
-    // The top rank's own bound variables plus those of every loop of
-    // the same partition group (M1 restricts m, bound at M0).
+    const std::string base = baseOfDerived(plan.loops[idx].name);
     std::vector<std::string> vars;
     for (const LoopRank& lr : plan.loops) {
         if (baseOfDerived(lr.name) != base)
@@ -1219,23 +1197,183 @@ analyzeSharding(const EinsumPlan& plan)
                 vars.push_back(bv);
         }
     }
-    std::string space;
+    return vars;
+}
+
+/** True when any input carries a Lookup action at loop @p idx. */
+bool
+loopHasLookup(const EinsumPlan& plan, std::size_t idx)
+{
+    for (const TensorPlan& tp : plan.inputs) {
+        for (const LevelAction& a : tp.actions) {
+            if (a.loopIndex == static_cast<int>(idx) &&
+                a.mode == LevelAction::Mode::Lookup)
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Estimated entry count of the top walk: the smallest driver root
+ * occupancy (the walk is an intersection), the dense extent when no
+ * driver co-iterates, 1 for a probe-only top.
+ */
+std::size_t
+estimateTopEntries(const EinsumPlan& plan)
+{
+    if (plan.loops[0].probeOnly)
+        return 1;
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const TensorPlan& tp : plan.inputs) {
+        for (const LevelAction& a : tp.actions) {
+            if (a.loopIndex != 0 ||
+                a.mode != LevelAction::Mode::CoIterate)
+                continue;
+            const std::size_t occ =
+                tp.packed != nullptr
+                    ? tp.packed->rootView().size()
+                    : (tp.prepared.root() ? tp.prepared.root()->size()
+                                          : 0);
+            best = std::min(best, occ);
+        }
+    }
+    if (best == std::numeric_limits<std::size_t>::max())
+        best = static_cast<std::size_t>(
+            std::max<ft::Coord>(plan.loops[0].denseExtent, 0));
+    return best;
+}
+
+/**
+ * Per-input work-weighting factors for sharding loop @p depth:
+ * expected leaves below one *child* of that input's driver fiber,
+ * i.e. the product of the input's occupancy hints strictly below the
+ * child level (a leaf-level driver scores 1 per element). Inputs
+ * without a driver at @p depth get 0 and contribute nothing.
+ */
+std::vector<double>
+driverWeightsAt(const EinsumPlan& plan, std::size_t depth)
+{
+    std::vector<double> w(plan.inputs.size(), 0.0);
+    for (std::size_t t = 0; t < plan.inputs.size(); ++t) {
+        const TensorPlan& tp = plan.inputs[t];
+        int level = -1;
+        for (const LevelAction& a : tp.actions) {
+            if (a.loopIndex == static_cast<int>(depth) &&
+                a.mode == LevelAction::Mode::CoIterate)
+                level = a.level;
+        }
+        if (level < 0)
+            continue;
+        const std::vector<double> hints =
+            tp.packed != nullptr ? tp.packed->occupancyHints()
+                                 : tp.prepared.occupancyHints();
+        double factor = 1.0;
+        for (std::size_t l = static_cast<std::size_t>(level) + 2;
+             l < hints.size(); ++l)
+            factor *= std::max(hints[l], 1.0);
+        w[t] = factor;
+    }
+    return w;
+}
+
+} // namespace
+
+ShardPlan
+analyzeSharding(const EinsumRecipe& recipe)
+{
+    ShardPlan sp;
+    if (!recipe.space.empty())
+        sp.spaceRank = recipe.space.front().rank;
+    auto reject = [&sp](std::string why) {
+        sp.shardable = false;
+        sp.reason = std::move(why);
+        return sp;
+    };
+    if (recipe.wholeTensorCopy)
+        return reject("whole-tensor copy bypasses the loop nest");
+    if (recipe.loopOrder.empty())
+        return reject("no loop ranks");
+    const std::string top = recipe.loopOrder[0];
+    const std::string base = baseOfDerived(top);
+    // Variables the top rank binds or (via its partition group's leaf
+    // rank) range-restricts: a flattened base contributes one variable
+    // per constituent rank.
+    std::vector<std::string> vars;
+    const RecipeGroup* flat = nullptr;
+    for (const RecipeGroup& g : recipe.groups) {
+        if (g.hasFlatten && g.base == base)
+            flat = &g;
+    }
+    if (flat != nullptr) {
+        for (const std::string& src : flat->sourceRanks)
+            vars.push_back(einsum::varOfRank(baseOfDerived(src)));
+    } else {
+        vars.push_back(einsum::varOfRank(base));
+    }
+    // Lookup actions and occupancy only exist on instantiated plans,
+    // so the precomputed answer reports the depth-0 modes; the
+    // plan-level overload may still fall through to Mode::Inner.
+    return classifyShard(std::move(sp), recipe.expr, 0, top, vars);
+}
+
+ShardPlan
+analyzeSharding(const EinsumPlan& plan)
+{
+    ShardPlan sp;
     for (const LoopRank& lr : plan.loops) {
         if (lr.isSpace) {
-            space = lr.name;
+            sp.spaceRank = lr.name;
             break;
         }
     }
-    bool top_lookup = false;
-    for (const TensorPlan& tp : plan.inputs) {
-        for (const LevelAction& a : tp.actions) {
-            if (a.loopIndex == 0 &&
-                a.mode == LevelAction::Mode::Lookup)
-                top_lookup = true;
-        }
+    auto reject = [&sp](std::string why) {
+        sp.shardable = false;
+        sp.reason = std::move(why);
+        return sp;
+    };
+    if (plan.wholeTensorCopy)
+        return reject("whole-tensor copy bypasses the loop nest");
+    if (plan.loops.empty())
+        return reject("no loop ranks");
+
+    const std::string top = plan.loops[0].name;
+    std::vector<std::string> vars = loopGroupVars(plan, 0);
+
+    // Depth 0 — the outermost rank — unless it is unshardable:
+    // loop-entry lookups would re-fire per shard, a rank binding no
+    // variable partitions nothing, and a walk thinner than a few
+    // entries cannot feed a pool. Those fall through to the loop
+    // below (Mode::Inner) instead of rejecting the plan.
+    std::string why_inner;
+    if (loopHasLookup(plan, 0))
+        why_inner = "rank '" + top + "' carries lookup actions";
+    else if (vars.empty())
+        why_inner = "rank '" + top + "' binds no index variable";
+    else if (estimateTopEntries(plan) < kInnerMinTopEntries)
+        why_inner = "rank '" + top + "' walks too few entries";
+
+    if (why_inner.empty()) {
+        sp = classifyShard(std::move(sp), plan.expr, 0, top, vars);
+        if (sp.shardable)
+            sp.driverWeight = driverWeightsAt(plan, 0);
+        return sp;
     }
-    return shardPlanFrom(plan.expr, plan.wholeTensorCopy, top, vars,
-                         space, top_lookup);
+    if (plan.loops.size() < 2)
+        return reject(why_inner + " and no inner loop exists");
+
+    // Inner fall-through: shard loop 1's walk below each top
+    // coordinate. The merge classifies over everything loops 0 and 1
+    // bind or restrict (partials span both).
+    for (const std::string& v : loopGroupVars(plan, 1)) {
+        if (std::find(vars.begin(), vars.end(), v) == vars.end())
+            vars.push_back(v);
+    }
+    sp = classifyShard(std::move(sp), plan.expr, 1, plan.loops[1].name,
+                       vars);
+    if (sp.shardable)
+        sp.driverWeight = driverWeightsAt(plan, 1);
+    return sp;
 }
 
 EinsumPlan

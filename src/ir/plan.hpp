@@ -224,17 +224,57 @@ struct OutputPlan
  */
 struct ShardPlan
 {
+    /**
+     * How shard partial outputs relate, which picks the merge:
+     *  - Disjoint: the sharded prefix binds only output variables,
+     *    so shards write disjoint output subtrees; merged with
+     *    `Fiber::absorbDisjoint` (leaf collisions are hard errors —
+     *    the debug check of this mode).
+     *  - Reduce: the sharded prefix restricts a contraction variable
+     *    (or the output is a scalar), so shards hold private partial
+     *    outputs that legitimately overlap; merged with
+     *    `Fiber::absorbReduce` (semiring-add on leaf collisions),
+     *    and the replayed trace stream is patched so the reduce adds
+     *    land exactly where the serial run put them.
+     *  - Inner: the outermost rank itself is unshardable (lookup
+     *    actions, binds no variable) or too thin to feed a pool, so
+     *    the walk *below* each top coordinate is sharded instead
+     *    (`depth == 1`); partials merge per Disjoint/Reduce rules via
+     *    `reduceMerge`.
+     */
+    enum class Mode { Disjoint, Reduce, Inner };
+
     bool shardable = false;
 
-    /// Outermost loop rank: the rank whose coordinate range is
-    /// partitioned into contiguous shards.
+    Mode mode = Mode::Disjoint;
+
+    /// Loop index whose walk is partitioned into contiguous shards:
+    /// 0 for Disjoint/Reduce, 1 for Inner.
+    std::size_t depth = 0;
+
+    /// True when partial outputs may overlap and must merge with
+    /// absorbReduce (Mode::Reduce, or Mode::Inner over a
+    /// contraction-restricting prefix).
+    bool reduceMerge = false;
+
+    /// The sharded loop rank (loop `depth`'s rank id).
     std::string rank;
 
-    /// The (outermost) space rank justifying host-side parallelism.
+    /// The (outermost) space rank, when the mapping declares one.
+    /// Informational since PR 6: host-side sharding no longer
+    /// requires declared spatial parallelism.
     std::string spaceRank;
 
     /// Why the plan is not shardable (empty when it is).
     std::string reason;
+
+    /// Work-weighting factors, one per input slot (plan overload
+    /// only): expected leaves below one child of that input's driver
+    /// fiber at the sharded loop, from occupancy hints. The engine
+    /// scores each top-walk entry as 1 + sum over present drivers of
+    /// child-occupancy x factor, and the executor places shard
+    /// boundaries at weighted quantiles instead of equal counts.
+    std::vector<double> driverWeight;
 };
 
 /** A fully lowered Einsum: the unit the executor interprets. */
@@ -329,30 +369,43 @@ struct EinsumRecipe
 /**
  * Decide shardability (the parallel path of `exec::Executor`).
  *
- * Sharding splits the *outermost loop rank* into contiguous
- * coordinate windows: each shard executes the full loop nest for its
- * window of top-level coordinates against the shared (immutable,
- * fiber-shared) inputs, producing a private partial output and a
- * private trace capture that a finalize step merges in canonical
- * shard order. This is safe exactly when
+ * Sharding splits one loop rank's walk into contiguous coordinate
+ * windows: each shard executes the loop nest below its window against
+ * the shared (immutable, fiber-shared) inputs, producing a private
+ * partial output and a private trace capture that a finalize step
+ * merges in canonical shard order. Since PR 6 every loop nest that
+ * actually walks its inputs shards — the analysis picks *how*:
  *
- *   1. a space rank exists (the mapping declared spatial parallelism
- *      to exploit — `spacetime:` space entries),
- *   2. every index variable the outermost rank binds or restricts
- *      (its own `bindsVars`, plus those of the leaf rank of the same
- *      partition group, e.g. M1 restricting m via M0) appears in the
- *      output — so shards write disjoint output subtrees and no
- *      cross-shard reduction exists, and
- *   3. the top rank carries no Lookup actions (loop-entry lookups
- *      would re-fire per shard, duplicating their trace events).
+ *   - The sharded rank defaults to the outermost loop (`depth` 0).
+ *     When every variable that rank binds or restricts (its own
+ *     `bindsVars`, plus those of the leaf rank of the same partition
+ *     group, e.g. M1 restricting m via M0) appears in the output,
+ *     shards write disjoint output subtrees: Mode::Disjoint, merged
+ *     with absorbDisjoint.
+ *   - When the prefix restricts a contraction variable (SIGMA's K1)
+ *     or the output is a scalar, shards legitimately write the same
+ *     output points: Mode::Reduce, merged with absorbReduce
+ *     (semiring-add on leaf collisions) plus a replay-time patch
+ *     that keeps counters and trace streams serial-identical.
+ *   - When the top rank is unshardable — it carries Lookup actions
+ *     (loop-entry lookups would re-fire per shard), binds no index
+ *     variable, or its walk is too thin to feed a pool (estimated
+ *     from driver root occupancy) — the analysis falls through to
+ *     the loop below it: Mode::Inner (`depth` 1), where shards split
+ *     the flattened inner walk and replicate the outer entry/exit
+ *     state machine (muted except for the owning shard).
  *
- * Plans that fail the predicate run serially (`shardable == false`,
- * `reason` says why) — notably whole-tensor copies, scalar outputs,
- * and loop nests whose outermost rank is a contraction (SIGMA's K1).
+ * Plans that still run serially (`shardable == false`, `reason` says
+ * why): whole-tensor copies, empty loop nests, single-loop nests
+ * whose only rank is unshardable, and take-Einsums whose sharded
+ * prefix restricts the probe variable (a take reduce-merge would
+ * double-count the idempotent writes).
  *
  * The recipe overload is what `compile` can precompute before any
- * workload exists; the plan overload is authoritative (instantiation
- * adds lookup actions) and its result is stored in EinsumPlan::shard
+ * workload exists (it cannot see lookup actions or occupancy, so it
+ * reports depth-0 modes only); the plan overload is authoritative
+ * (instantiation adds lookup actions, occupancy hints, and the
+ * work-weighting table) and its result is stored in EinsumPlan::shard
  * by instantiatePlan, so the run path never re-derives it.
  */
 ShardPlan analyzeSharding(const EinsumRecipe& recipe);

@@ -309,6 +309,16 @@ class BatchBus
             log_->filtered = true;
     }
 
+    /**
+     * Suppress the bus entirely while set: muted records are neither
+     * counted, logged, delivered, nor routed to the datapath sink.
+     * Inner-rank (depth-1) sharding uses this when a shard engine
+     * re-derives an outer coordinate's loop state that another shard
+     * owns the events for — the state transitions must happen, their
+     * trace must not.
+     */
+    void setMuted(bool muted) { muted_ = muted; }
+
     // ------------------------------------------------ event producers
     void
     loopEnter(std::size_t loop, ft::Coord c)
@@ -380,10 +390,13 @@ class BatchBus
         e.pe = pe;
     }
 
+    /** @p reduce_adds rides in `a` on reduce-mode shard captures
+     *  only (the expression-add count of a shard-fresh leaf write,
+     *  which the replay fixup needs); serial streams leave it 0. */
     void
     outputWrite(const std::string& tensor, std::size_t level, ft::Coord c,
                 std::uint64_t path_key, bool inserted, bool at_leaf,
-                std::uint64_t pe)
+                std::uint64_t pe, std::size_t reduce_adds = 0)
     {
         Event& e = push(Event::Kind::OutputWrite, false);
         e.name = &tensor;
@@ -393,6 +406,7 @@ class BatchBus
         e.flagA = inserted;
         e.flagB = at_leaf;
         e.pe = pe;
+        e.a = reduce_adds;
     }
 
     void
@@ -434,6 +448,8 @@ class BatchBus
     void
     walkEnd()
     {
+        if (muted_)
+            return;
         if (sideBatch_.events.size() >= kFlushThreshold)
             flushSide();
         if (log_ != nullptr) {
@@ -471,6 +487,11 @@ class BatchBus
     Event&
     push(Event::Kind kind, bool datapath)
     {
+        if (muted_) {
+            mutedScratch_ = Event{};
+            mutedScratch_.kind = kind;
+            return mutedScratch_;
+        }
         ++events_;
         ++pendingLogical_;
         if (datapath) {
@@ -528,6 +549,10 @@ class BatchBus
     const RecordClassifier* cls_ = nullptr;
     Observer* sideSink_ = nullptr;
     EventBatch sideBatch_;
+
+    // Muting (see setMuted): producers write into the scratch event.
+    bool muted_ = false;
+    Event mutedScratch_;
 };
 
 } // namespace teaal::trace

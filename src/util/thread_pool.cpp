@@ -20,9 +20,14 @@ ThreadPool::Ticket::wait()
 {
     if (job_ == nullptr)
         return;
-    std::unique_lock<std::mutex> lk(job_->mutex);
-    job_->done.wait(lk,
-                    [this] { return job_->finished == job_->slots; });
+    {
+        // The lock must be released before dropping job_: if this is
+        // the last reference, reset() destroys the Job — mutex
+        // included — and the unlock would touch freed memory.
+        std::unique_lock<std::mutex> lk(job_->mutex);
+        job_->done.wait(
+            lk, [this] { return job_->finished == job_->slots; });
+    }
     job_.reset();
 }
 

@@ -206,8 +206,10 @@ TEST(ModelParallel, OuterSpacePointerThreads124)
 
 TEST(ModelParallel, SigmaPointerThreads124)
 {
-    // Serial fallback everywhere (contraction-outermost Z): the split
-    // hooks are armed but never engage; must stay identical.
+    // Contraction-outermost Z shards with the reduce merge (and at
+    // this thin K1 geometry, inner-rank sharding below the top tile
+    // loop): the split model must survive the reduce-record fixup
+    // with bit-identical counters.
     expectModelEquivalence(accel::sigma(smallSigma()));
 }
 

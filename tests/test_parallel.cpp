@@ -3,22 +3,26 @@
  * Tests of parallel sharded execution (RunOptions::threads): the
  * thread-count equivalence guarantee (identical counters, output
  * tensors, and delivered trace streams — including batch boundaries —
- * for every thread count, per Table 1 accelerator spec), the serial
- * fallback for unshardable plans, the shard-plan predicate, the
- * disjoint fiber merge, concurrent CompiledModel::run from multiple
- * host threads, and the unknown-rank diagnostic for co-iteration
- * overrides.
+ * for every thread count, per Table 1 accelerator spec), reduction
+ * and inner-rank sharding (contraction-outermost SIGMA, scalar-output
+ * cascades, no-space-rank mappings — all shardable since PR 6), the
+ * shard-plan classification, the disjoint and reducing fiber merges,
+ * concurrent CompiledModel::run from multiple host threads, and the
+ * unknown-rank diagnostic for co-iteration overrides.
  */
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "accelerators/accelerators.hpp"
 #include "compiler/pipeline.hpp"
 #include "fibertree/fiber.hpp"
 #include "ir/plan.hpp"
+#include "storage/packed.hpp"
 #include "util/diagnostic.hpp"
 #include "workloads/datasets.hpp"
 
@@ -90,6 +94,36 @@ makeMatrices(std::uint64_t seed)
     return {workloads::uniformMatrix("A", 40, 32, 300, seed, {"K", "M"}),
             workloads::uniformMatrix("B", 40, 36, 300, seed + 1,
                                      {"K", "N"})};
+}
+
+/**
+ * Sparse matrix with small *integer* values: sums of products of
+ * these are exact in double no matter how a reduction-sharded merge
+ * groups the partial sums, so reduce-mode tests can assert exact
+ * tensor equality across thread counts.
+ */
+ft::Tensor
+intMatrix(std::string name, ft::Coord rows, ft::Coord cols,
+          std::size_t nnz, std::uint64_t seed,
+          std::vector<std::string> rank_ids)
+{
+    std::vector<std::pair<std::vector<ft::Coord>, ft::Value>> elems;
+    std::set<std::pair<ft::Coord, ft::Coord>> used;
+    std::uint64_t s = seed;
+    auto next = [&s] {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 33;
+    };
+    while (elems.size() < nnz) {
+        const ft::Coord r = static_cast<ft::Coord>(next() % rows);
+        const ft::Coord c = static_cast<ft::Coord>(next() % cols);
+        if (!used.insert({r, c}).second)
+            continue;
+        elems.push_back(
+            {{r, c}, static_cast<ft::Value>(1 + next() % 7)});
+    }
+    return ft::Tensor::fromCoo(std::move(name), rank_ids,
+                               {rows, cols}, elems);
 }
 
 /**
@@ -211,14 +245,9 @@ expectSameResults(const SimulationResult& x, const SimulationResult& y)
  *  tensors, the delivered trace stream with its batch boundaries —
  *  must be byte-identical. */
 void
-expectThreadEquivalence(compiler::Specification spec, unsigned t_low,
-                        unsigned t_high)
+expectThreadEquivalenceOn(CompiledModel& model, const Workload& w,
+                          unsigned t_low, unsigned t_high)
 {
-    const auto mats = makeMatrices(23);
-    auto model = compiler::compile(std::move(spec));
-    Workload w;
-    w.add("A", mats.a).add("B", mats.b);
-
     StreamRecorder rec_low;
     RunOptions low;
     low.threads = t_low;
@@ -238,6 +267,34 @@ expectThreadEquivalence(compiler::Specification spec, unsigned t_low,
             << "stream diverges at event " << i;
     }
 }
+
+void
+expectThreadEquivalence(compiler::Specification spec, unsigned t_low,
+                        unsigned t_high)
+{
+    const auto mats = makeMatrices(23);
+    auto model = compiler::compile(std::move(spec));
+    Workload w;
+    w.add("A", mats.a).add("B", mats.b);
+    expectThreadEquivalenceOn(model, w, t_low, t_high);
+}
+
+/** A two-Einsum cascade ending in a scalar output: the matmul shards
+ *  disjoint; Z[] = T[m, n] * W[m, n] has no space rank and a scalar
+ *  output — the degenerate reduction where every shard writes the
+ *  single output point. */
+const char* kScalarCascadeYaml = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    W: [M, N]
+    T: [M, N]
+    Z: []
+  expressions:
+    - T[m, n] = A[k, m] * B[k, n]
+    - Z[] = T[m, n] * W[m, n]
+)";
 
 // ------------------------------------------------- thread equivalence
 
@@ -261,16 +318,78 @@ TEST(Parallel, OuterSpaceThreads1Vs4)
     expectThreadEquivalence(accel::outerSpace(smallOuterSpace()), 1, 4);
 }
 
-/** SIGMA's Z nest is contraction-outermost (K1) and its take Einsums
- *  declare no space ranks: every Einsum takes the serial fallback,
- *  which must still be equivalent (and not crash) at threads=4. */
-TEST(Parallel, SigmaSerialFallbackThreads1Vs4)
+/** SIGMA's Z nest is contraction-outermost (K1): since PR 6 it shards
+ *  with private partial outputs and a semiring-add merge (and at this
+ *  thin K1 geometry, inner-rank sharding below the top tile loop).
+ *  Counters and streams must stay byte-identical at threads=4. */
+TEST(Parallel, SigmaReductionShardingThreads1Vs4)
 {
     expectThreadEquivalence(accel::sigma(smallSigma()), 1, 4);
 }
 
-/** A mapping with no spacetime section at all: serial fallback. */
-TEST(Parallel, NoSpaceRankFallsBackToSerial)
+/** SIGMA with exact tensor equality: integer values make every
+ *  partial-sum grouping exact, so the reduce merge must reproduce
+ *  the serial tensor bit-for-bit at 1/2/4 threads, pointer and
+ *  packed backends alike. */
+TEST(Parallel, SigmaIntegerExactThreads124PointerAndPacked)
+{
+    const ft::Tensor a = intMatrix("A", 40, 32, 300, 23, {"K", "M"});
+    const ft::Tensor b = intMatrix("B", 40, 36, 300, 29, {"K", "N"});
+
+    auto model = compiler::compile(accel::sigma(smallSigma()));
+    Workload w;
+    w.add("A", a).add("B", b);
+    expectThreadEquivalenceOn(model, w, 1, 2);
+    expectThreadEquivalenceOn(model, w, 1, 4);
+
+    auto packed_model = compiler::compile(accel::sigma(smallSigma()));
+    const auto pa = storage::PackedTensor::fromTensor(
+        a, packed_model.spec().formats.getLenient("A"));
+    const auto pb = storage::PackedTensor::fromTensor(
+        b, packed_model.spec().formats.getLenient("B"));
+    Workload pw;
+    pw.add("A", pa).add("B", pb);
+    expectThreadEquivalenceOn(packed_model, pw, 1, 2);
+    expectThreadEquivalenceOn(packed_model, pw, 1, 4);
+}
+
+/** Scalar-output cascade: the final Einsum reduces everything into
+ *  Z[] — the degenerate reduction where every shard writes the same
+ *  output point. Exact at 1/2/4 threads, pointer and packed. */
+TEST(Parallel, ScalarCascadeThreads124PointerAndPacked)
+{
+    const ft::Tensor a = intMatrix("A", 40, 32, 300, 31, {"K", "M"});
+    const ft::Tensor b = intMatrix("B", 40, 36, 300, 37, {"K", "N"});
+    const ft::Tensor wt = intMatrix("W", 32, 36, 400, 41, {"M", "N"});
+
+    auto model = compiler::compile(
+        compiler::Specification::parse(kScalarCascadeYaml));
+    ASSERT_EQ(model.shardPlans().size(), 2u);
+    EXPECT_TRUE(model.shardPlans()[1].shardable);
+    EXPECT_TRUE(model.shardPlans()[1].reduceMerge);
+    Workload w;
+    w.add("A", a).add("B", b).add("W", wt);
+    expectThreadEquivalenceOn(model, w, 1, 2);
+    expectThreadEquivalenceOn(model, w, 1, 4);
+
+    auto packed_model = compiler::compile(
+        compiler::Specification::parse(kScalarCascadeYaml));
+    const auto pa = storage::PackedTensor::fromTensor(
+        a, packed_model.spec().formats.getLenient("A"));
+    const auto pb = storage::PackedTensor::fromTensor(
+        b, packed_model.spec().formats.getLenient("B"));
+    const auto pwt = storage::PackedTensor::fromTensor(
+        wt, packed_model.spec().formats.getLenient("W"));
+    Workload pw;
+    pw.add("A", pa).add("B", pb).add("W", pwt);
+    expectThreadEquivalenceOn(packed_model, pw, 1, 2);
+    expectThreadEquivalenceOn(packed_model, pw, 1, 4);
+}
+
+/** A mapping with no spacetime section at all still shards: the top
+ *  rank M binds only output variables, so the walk splits disjoint —
+ *  declared spatial parallelism is no longer a prerequisite. */
+TEST(Parallel, NoSpaceRankShardsDisjoint)
 {
     const char* yaml = R"(
 einsum:
@@ -291,9 +410,11 @@ mapping:
     auto model =
         compiler::compile(compiler::Specification::parse(yaml));
     ASSERT_EQ(model.shardPlans().size(), 1u);
-    EXPECT_FALSE(model.shardPlans()[0].shardable);
-    EXPECT_NE(model.shardPlans()[0].reason.find("space"),
-              std::string::npos);
+    EXPECT_TRUE(model.shardPlans()[0].shardable);
+    EXPECT_EQ(model.shardPlans()[0].mode,
+              ir::ShardPlan::Mode::Disjoint);
+    EXPECT_EQ(model.shardPlans()[0].rank, "M");
+    EXPECT_TRUE(model.shardPlans()[0].spaceRank.empty());
 
     const auto mats = makeMatrices(5);
     Workload w;
@@ -312,18 +433,50 @@ TEST(Parallel, ShardPlansPrecomputedAtCompile)
     ASSERT_EQ(gamma.shardPlans().size(), 2u);
     for (const ir::ShardPlan& sp : gamma.shardPlans()) {
         EXPECT_TRUE(sp.shardable) << sp.reason;
+        EXPECT_EQ(sp.mode, ir::ShardPlan::Mode::Disjoint);
         EXPECT_EQ(sp.rank, "M1");
         EXPECT_EQ(sp.spaceRank, "M0");
     }
 
+    // SIGMA: the take Einsums shard disjoint along K; Z's outermost
+    // rank K1 restricts the contraction variable k, so it shards with
+    // the reduce merge. (The instantiated plan may still fall through
+    // to inner-rank sharding when K1 is too thin — see
+    // SigmaReductionShardingThreads1Vs4.)
     auto sigma = compiler::compile(accel::sigma(smallSigma()));
     ASSERT_EQ(sigma.shardPlans().size(), 3u);
     for (const ir::ShardPlan& sp : sigma.shardPlans())
-        EXPECT_FALSE(sp.shardable) << sp.rank;
-    // Z's outermost rank K1 restricts the contraction variable k.
-    EXPECT_NE(sigma.shardPlans()[2].reason.find("contraction"),
+        EXPECT_TRUE(sp.shardable) << sp.reason;
+    EXPECT_EQ(sigma.shardPlans()[0].mode,
+              ir::ShardPlan::Mode::Disjoint);
+    EXPECT_EQ(sigma.shardPlans()[1].mode,
+              ir::ShardPlan::Mode::Disjoint);
+    EXPECT_EQ(sigma.shardPlans()[2].mode, ir::ShardPlan::Mode::Reduce);
+    EXPECT_TRUE(sigma.shardPlans()[2].reduceMerge);
+    EXPECT_EQ(sigma.shardPlans()[2].rank, "K1");
+
+    // The report names each Einsum's parallelization.
+    const std::string report = sigma.shardingReport();
+    EXPECT_NE(report.find("Z: reduction sharding along rank 'K1'"),
               std::string::npos)
-        << sigma.shardPlans()[2].reason;
+        << report;
+
+    // A remaining refusal: a unary full reduction lowers to the
+    // whole-tensor-copy path, which bypasses the loop nest — nothing
+    // to shard. The report says so.
+    auto copy = compiler::compile(
+        compiler::Specification::parse(R"(
+einsum:
+  declaration:
+    T: [M, N]
+    Z: []
+  expressions:
+    - Z[] = T[m, n]
+)"));
+    ASSERT_EQ(copy.shardPlans().size(), 1u);
+    EXPECT_FALSE(copy.shardPlans()[0].shardable);
+    EXPECT_NE(copy.shardingReport().find("serial ("),
+              std::string::npos);
 }
 
 // ------------------------------------------------- unknown overrides
@@ -413,6 +566,107 @@ TEST(Parallel, AbsorbDisjointLeafCollisionIsAnError)
     ft::Fiber b(10);
     b.append(3, ft::Payload(2.0));
     EXPECT_THROW(a.absorbDisjoint(std::move(b)), ModelError);
+}
+
+/** The disjoint merge's collision error names the Einsum and rank it
+ *  happened on when given context. */
+TEST(Parallel, AbsorbDisjointErrorNamesEinsumAndRank)
+{
+    ft::Fiber a(10);
+    a.append(3, ft::Payload(1.0));
+    ft::Fiber b(10);
+    b.append(3, ft::Payload(2.0));
+    ft::AbsorbContext ctx;
+    ctx.einsum = "Z";
+    ctx.rankIds = {"N"};
+    try {
+        a.absorbDisjoint(std::move(b), &ctx);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'N'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("'Z'"), std::string::npos) << msg;
+    }
+}
+
+static double
+addOp(double x, double y)
+{
+    return x + y;
+}
+
+TEST(Parallel, AbsorbReduceSumsLeafCollisions)
+{
+    ft::Fiber a(10);
+    a.append(1, ft::Payload(1.0));
+    a.append(3, ft::Payload(2.0));
+    ft::Fiber b(10);
+    b.append(3, ft::Payload(5.0)); // collides: summed
+    b.append(7, ft::Payload(4.0));
+    a.absorbReduce(std::move(b), addOp);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.coordAt(0), 1);
+    EXPECT_EQ(a.coordAt(1), 3);
+    EXPECT_EQ(a.coordAt(2), 7);
+    EXPECT_DOUBLE_EQ(a.payloadAt(1).value(), 7.0);
+}
+
+TEST(Parallel, AbsorbReduceRecursesIntoSubfibers)
+{
+    auto child = [](ft::Coord c, double v) {
+        auto f = std::make_shared<ft::Fiber>(ft::Coord{10});
+        f->append(c, ft::Payload(v));
+        return f;
+    };
+    ft::Fiber a(100);
+    a.append(2, ft::Payload(child(1, 1.0)));
+    ft::Fiber b(100);
+    b.append(2, ft::Payload(child(1, 4.0))); // leaf collision below
+    b.append(5, ft::Payload(child(3, 3.0)));
+    a.absorbReduce(std::move(b), addOp);
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(a.payloadAt(0).fiber()->size(), 1u);
+    EXPECT_DOUBLE_EQ(a.payloadAt(0).fiber()->payloadAt(0).value(),
+                     5.0);
+    EXPECT_DOUBLE_EQ(a.payloadAt(1).fiber()->payloadAt(0).value(),
+                     3.0);
+}
+
+TEST(Parallel, AbsorbReduceEmptySidesAndAppendFastPath)
+{
+    ft::Fiber a(10);
+    ft::Fiber empty(10);
+    a.absorbReduce(std::move(empty), addOp); // empty other: no-op
+    EXPECT_EQ(a.size(), 0u);
+
+    ft::Fiber b(10);
+    b.append(4, ft::Payload(2.0));
+    a.absorbReduce(std::move(b), addOp); // empty self: adopt
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_DOUBLE_EQ(a.payloadAt(0).value(), 2.0);
+
+    ft::Fiber c(10);
+    c.append(8, ft::Payload(3.0));
+    a.absorbReduce(std::move(c), addOp); // strictly after: append
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.coordAt(1), 8);
+}
+
+/** Merging a scalar leaf against a subfiber at the same coordinate is
+ *  a structural error, named with the rank when context is given. */
+TEST(Parallel, AbsorbReduceRankMismatchIsAnError)
+{
+    ft::Fiber a(10);
+    a.append(3, ft::Payload(1.0));
+    ft::Fiber b(10);
+    auto sub = std::make_shared<ft::Fiber>(ft::Coord{4});
+    sub->append(0, ft::Payload(2.0));
+    b.append(3, ft::Payload(sub));
+    ft::AbsorbContext ctx;
+    ctx.einsum = "Z";
+    ctx.rankIds = {"M", "N"};
+    EXPECT_THROW(a.absorbReduce(std::move(b), addOp, &ctx),
+                 ModelError);
 }
 
 /** An observer throwing mid-run must surface as a catchable exception
