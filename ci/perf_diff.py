@@ -45,6 +45,14 @@ def load_rows(directory: pathlib.Path):
                 continue
             if "wall_ms" not in row:
                 continue
+            try:
+                wall_ms = float(row["wall_ms"])
+            except (TypeError, ValueError):
+                print(
+                    f"perf_diff: unparseable wall_ms in {path.name}: "
+                    f"{line[:120]}; row skipped"
+                )
+                continue
             key_fields = [("bench", str(row.get("bench", "")))]
             key_fields += sorted(
                 (k, str(v))
@@ -52,7 +60,7 @@ def load_rows(directory: pathlib.Path):
                 if isinstance(v, str) and k != "bench"
             )
             key_fields.append(("threads", str(row.get("threads", 1))))
-            rows[tuple(key_fields)] = float(row["wall_ms"])
+            rows[tuple(key_fields)] = wall_ms
     return rows
 
 
@@ -71,6 +79,22 @@ def main() -> int:
     if not base or not curr:
         print("perf_diff: empty row set; skipping")
         return 0
+
+    # Rows only one side has are logged, never failed: a bench added
+    # in this commit has no baseline yet (it gets gated on the next
+    # run), and a bench removed or renamed should not wedge the gate.
+    for key in sorted(set(curr) - set(base)):
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        print(
+            f"perf_diff: new configuration (no baseline): {label} "
+            f"({curr[key]:.2f} ms); gated from the next baseline on"
+        )
+    for key in sorted(set(base) - set(curr)):
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        print(
+            f"perf_diff: baseline row missing from current run: "
+            f"{label} (was {base[key]:.2f} ms); not gated"
+        )
 
     regressions = []
     compared = 0

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Serving walkthrough: drive the simulation-as-a-service protocol end
+ * to end — compile a model, register datasets, evaluate twice (the
+ * second request hits the cached plan), and read the introspection
+ * endpoints.
+ *
+ * With no arguments it starts an in-process server on an ephemeral
+ * port, so the example is self-contained; pass a port number to talk
+ * to an already-running `teaal-serve` daemon instead:
+ *
+ *   ./teaal-serve --port 7471 &
+ *   ./example_serve_client 7471
+ */
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "workloads/datasets.hpp"
+#include "workloads/mtx.hpp"
+
+using namespace teaal;
+
+int
+main(int argc, char** argv)
+{
+    // An in-process server unless the caller points us at a daemon.
+    std::unique_ptr<serve::Server> local;
+    int port = 0;
+    if (argc > 1) {
+        port = std::atoi(argv[1]);
+    } else {
+        local = std::make_unique<serve::Server>();
+        local->start();
+        port = local->port();
+        std::cout << "started in-process server on 127.0.0.1:" << port
+                  << "\n";
+    }
+
+    // The protocol carries dataset *paths*, so materialize two small
+    // synthetic operands as Matrix Market files.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "teaal_serve_example";
+    std::filesystem::create_directories(dir);
+    const workloads::DatasetInfo& info = workloads::dataset("wi");
+    workloads::writeMatrixMarket(
+        (dir / "a.mtx").string(),
+        workloads::synthesize(info, "A", 11, 0.05, {"K", "M"}));
+    workloads::writeMatrixMarket(
+        (dir / "b.mtx").string(),
+        workloads::synthesize(info, "B", 22, 0.05, {"K", "N"}));
+
+    serve::Client client;
+    client.connect(port);
+    const auto call = [&](const std::string& line) {
+        std::cout << ">> " << line << "\n";
+        const std::string response = client.requestLine(line);
+        std::cout << "<< " << response << "\n";
+        return serve::parseJson(response);
+    };
+
+    // 1. Compile the Gamma accelerator model once.
+    const serve::Json compiled =
+        call(R"({"op":"compile","accel":"gamma","id":1})");
+    const std::string model = compiled.find("model")->str();
+
+    // 2. Register both operands as resident packed datasets.
+    const std::string da =
+        call("{\"op\":\"load_dataset\",\"path\":\"" +
+             (dir / "a.mtx").string() +
+             "\",\"name\":\"A\",\"rank_ids\":[\"K\",\"M\"]}")
+            .find("dataset")
+            ->str();
+    const std::string db =
+        call("{\"op\":\"load_dataset\",\"path\":\"" +
+             (dir / "b.mtx").string() +
+             "\",\"name\":\"B\",\"rank_ids\":[\"K\",\"N\"]}")
+            .find("dataset")
+            ->str();
+
+    // 3. Evaluate twice: the first request instantiates and caches
+    //    the plan ("cache":"miss"), the second rides it ("hit").
+    const std::string evaluate =
+        "{\"op\":\"evaluate\",\"model\":\"" + model +
+        "\",\"bindings\":{\"A\":\"" + da + "\",\"B\":\"" + db +
+        "\"},\"threads\":1}";
+    call(evaluate);
+    call(evaluate);
+
+    // 4. Introspection: how each Einsum parallelizes, and the
+    //    registry/admission/plan-cache counters.
+    call("{\"op\":\"sharding_report\",\"model\":\"" + model + "\"}");
+    call(R"({"op":"stats"})");
+
+    client.close();
+    if (local != nullptr)
+        local->stop();
+    std::filesystem::remove_all(dir);
+    return 0;
+}

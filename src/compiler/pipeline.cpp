@@ -258,29 +258,45 @@ compile(Specification spec, const CompileOptions& opts)
 // ------------------------------------------------------ CompiledModel
 
 std::shared_ptr<CompiledModel::WorkloadState>
-CompiledModel::stateFor(const Workload& w, const exec::Semiring& sr)
+CompiledModel::stateFor(const Workload& w, const exec::Semiring& sr) const
 {
     std::lock_guard<std::mutex> lk(*cacheMutex_);
     for (auto it = states_.begin(); it != states_.end(); ++it) {
         if ((*it)->fingerprint == w.fingerprint() &&
             (*it)->semiring == sr) {
             states_.splice(states_.begin(), states_, it);
+            ++cacheCounters_->hits;
             return states_.front();
         }
     }
     states_.emplace_front(std::make_shared<WorkloadState>());
     states_.front()->fingerprint = w.fingerprint();
     states_.front()->semiring = sr;
+    ++cacheCounters_->misses;
     // Evicted entries only drop the cache's reference: a run still
     // holding the shared_ptr finishes safely on the detached state.
     while (states_.size() >
-           std::max<std::size_t>(1, opts_.workloadCacheCapacity))
+           std::max<std::size_t>(1, opts_.workloadCacheCapacity)) {
         states_.pop_back();
+        ++cacheCounters_->evictions;
+    }
     return states_.front();
 }
 
+PlanCacheStats
+CompiledModel::planCacheStats() const
+{
+    std::lock_guard<std::mutex> lk(*cacheMutex_);
+    PlanCacheStats s;
+    s.hits = cacheCounters_->hits;
+    s.misses = cacheCounters_->misses;
+    s.evictions = cacheCounters_->evictions;
+    s.entries = states_.size();
+    return s;
+}
+
 util::ThreadPool*
-CompiledModel::poolFor(unsigned threads)
+CompiledModel::poolFor(unsigned threads) const
 {
     if (threads == 1)
         return nullptr;
@@ -290,35 +306,58 @@ CompiledModel::poolFor(unsigned threads)
     return pool_.get();
 }
 
+std::vector<ShardingEntry>
+CompiledModel::shardingEntries() const
+{
+    std::vector<ShardingEntry> out;
+    out.reserve(shardPlans_.size());
+    for (std::size_t i = 0; i < shardPlans_.size(); ++i) {
+        const ir::ShardPlan& sp = shardPlans_[i];
+        ShardingEntry e;
+        e.einsum = recipes_[i].expr.output.name;
+        e.shardable = sp.shardable;
+        if (!sp.shardable) {
+            e.mode = "serial";
+            e.reason = sp.reason;
+        } else {
+            switch (sp.mode) {
+            case ir::ShardPlan::Mode::Disjoint:
+                e.mode = "disjoint";
+                break;
+            case ir::ShardPlan::Mode::Reduce: e.mode = "reduce"; break;
+            case ir::ShardPlan::Mode::Inner: e.mode = "inner"; break;
+            }
+            e.rank = sp.rank;
+            e.spaceRank = sp.spaceRank;
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
 std::string
 CompiledModel::shardingReport() const
 {
     std::string out;
-    for (std::size_t i = 0; i < shardPlans_.size(); ++i) {
-        const ir::ShardPlan& sp = shardPlans_[i];
-        out += recipes_[i].expr.output.name;
+    for (const ShardingEntry& e : shardingEntries()) {
+        out += e.einsum;
         out += ": ";
-        if (!sp.shardable) {
+        if (!e.shardable) {
             out += "serial (";
-            out += sp.reason;
+            out += e.reason;
             out += ")";
         } else {
-            switch (sp.mode) {
-            case ir::ShardPlan::Mode::Disjoint:
-                out += "disjoint sharding along rank '" + sp.rank +
-                       "'";
-                break;
-            case ir::ShardPlan::Mode::Reduce:
-                out += "reduction sharding along rank '" + sp.rank +
+            if (e.mode == "disjoint") {
+                out += "disjoint sharding along rank '" + e.rank + "'";
+            } else if (e.mode == "reduce") {
+                out += "reduction sharding along rank '" + e.rank +
                        "' (partial outputs merged by semiring add)";
-                break;
-            case ir::ShardPlan::Mode::Inner:
-                out += "inner-rank sharding along rank '" + sp.rank +
+            } else {
+                out += "inner-rank sharding along rank '" + e.rank +
                        "' (outermost rank unshardable or too coarse)";
-                break;
             }
-            if (!sp.spaceRank.empty())
-                out += ", space rank '" + sp.spaceRank + "'";
+            if (!e.spaceRank.empty())
+                out += ", space rank '" + e.spaceRank + "'";
         }
         out += "\n";
     }
@@ -369,7 +408,7 @@ CompiledModel::validateWorkload(const Workload& w) const
 }
 
 void
-CompiledModel::prepareInputs(WorkloadState& st, const Workload& w)
+CompiledModel::prepareInputs(WorkloadState& st, const Workload& w) const
 {
     if (st.prepared)
         return;
@@ -398,7 +437,8 @@ CompiledModel::prepareInputs(WorkloadState& st, const Workload& w)
 }
 
 SimulationResult
-CompiledModel::run(const Workload& workload, const RunOptions& opts)
+CompiledModel::run(const Workload& workload,
+                   const RunOptions& opts) const
 {
     if (opts.validateInputs)
         validateWorkload(workload);
@@ -449,7 +489,7 @@ CompiledModel::packedRefs(const WorkloadState& st, const Workload& w) const
 
 SimulationResult
 CompiledModel::runOn(WorkloadState& st, const Workload& w,
-                     const RunOptions& opts)
+                     const RunOptions& opts) const
 {
     const einsum::EinsumSpec& es = spec_.einsums;
     prepareInputs(st, w);
@@ -472,7 +512,9 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
 
     exec::ExecOptions eo;
     eo.threads = opts.threads;
-    eo.pool = poolFor(opts.threads == 0 ? 2 : opts.threads);
+    eo.pool = opts.pool != nullptr
+                  ? (opts.threads == 1 ? nullptr : opts.pool)
+                  : poolFor(opts.threads == 0 ? 2 : opts.threads);
 
     std::vector<std::string> produced;
     for (std::size_t i = 0; i < es.expressions.size(); ++i) {

@@ -225,6 +225,55 @@ struct RunOptions
     /// event stream, so their presence falls back to full
     /// capture/replay — records are byte-identical either way.
     unsigned threads = 1;
+
+    /// Worker pool for threads >= 2. Default (nullptr) uses the
+    /// model's own lazily-created pool; a host serving many models
+    /// (serve::Server) passes its one shared pool here so every
+    /// model's sharded runs and the request queue draw from the same
+    /// workers instead of spawning a pool per model. Must outlive the
+    /// run() call.
+    util::ThreadPool* pool = nullptr;
+};
+
+/**
+ * One Einsum's parallelization, in stable struct form — what
+ * shardingReport() prints, exposed so tools (the serving daemon's
+ * `sharding_report` endpoint, tests) can assert on fields instead of
+ * parsing a log line.
+ */
+struct ShardingEntry
+{
+    std::string einsum;
+
+    bool shardable = false;
+
+    /// "disjoint", "reduce", or "inner" when shardable; "serial"
+    /// otherwise.
+    std::string mode;
+
+    /// The sharded loop rank (empty when serial).
+    std::string rank;
+
+    /// The declared outermost space rank, when any (informational).
+    std::string spaceRank;
+
+    /// ir::ShardPlan::reason, verbatim, for the serial fallback.
+    std::string reason;
+};
+
+/**
+ * Plan-cache counters since compile(), in stable struct form for the
+ * serving daemon's `stats` endpoint and tests. A hit is a run()/
+ * plans() call that found its (workload, semiring) state cached; an
+ * eviction is an LRU drop past CompileOptions::workloadCacheCapacity
+ * (the evicted state stays alive until in-flight runs on it finish).
+ */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0; ///< currently cached states
 };
 
 /**
@@ -241,6 +290,12 @@ struct RunOptions
  * proceed in parallel. plans() references follow the documented
  * eviction lifetime; clearCache() while runs are in flight is safe
  * (their state stays alive until they finish).
+ *
+ * run() is const: evaluation is logically read-only (the plan cache,
+ * pool, and counters are internally synchronized implementation
+ * state), so holders of a `const CompiledModel&` — e.g. the serving
+ * daemon's registry, which shares models across request threads —
+ * can evaluate without a cast.
  */
 class CompiledModel
 {
@@ -286,6 +341,13 @@ class CompiledModel
      */
     std::string shardingReport() const;
 
+    /** The same information as shardingReport(), one stable struct
+     *  per Einsum in cascade order. */
+    std::vector<ShardingEntry> shardingEntries() const;
+
+    /** Plan-cache hit/miss/eviction counters since compile(). */
+    PlanCacheStats planCacheStats() const;
+
     /**
      * Execute the cascade on @p workload. The first run on a workload
      * instantiates and caches its plans (preparing tensors, selecting
@@ -294,7 +356,7 @@ class CompiledModel
      * workload produce identical records, perf, and traffic.
      */
     SimulationResult run(const Workload& workload,
-                         const RunOptions& opts = {});
+                         const RunOptions& opts = {}) const;
 
     /**
      * The fully instantiated per-Einsum plans for @p workload (under
@@ -323,7 +385,7 @@ class CompiledModel
 
     /** Drop all cached per-workload state (plans, prepared tensors). */
     void
-    clearCache()
+    clearCache() const
     {
         std::lock_guard<std::mutex> lk(*cacheMutex_);
         states_.clear();
@@ -362,9 +424,9 @@ class CompiledModel
         std::mutex runMutex;
     };
 
-    std::shared_ptr<WorkloadState> stateFor(const Workload& w,
-                                            const exec::Semiring& sr);
-    void prepareInputs(WorkloadState& st, const Workload& w);
+    std::shared_ptr<WorkloadState>
+    stateFor(const Workload& w, const exec::Semiring& sr) const;
+    void prepareInputs(WorkloadState& st, const Workload& w) const;
     ir::TensorRefMap inputRefs(const WorkloadState& st,
                                const Workload& w) const;
     /** Packed workload entries to bind directly (everything packed
@@ -374,8 +436,8 @@ class CompiledModel
     void validateWorkload(const Workload& w) const;
     void validateOverrides(const RunOptions& opts) const;
     SimulationResult runOn(WorkloadState& st, const Workload& w,
-                           const RunOptions& opts);
-    util::ThreadPool* poolFor(unsigned threads);
+                           const RunOptions& opts) const;
+    util::ThreadPool* poolFor(unsigned threads) const;
 
     Specification spec_;
     CompileOptions opts_;
@@ -403,14 +465,27 @@ class CompiledModel
     /// host thread can never destroy state under it. cacheMutex_
     /// guards the list structure only; per-state work is serialized
     /// by WorkloadState::runMutex. (Concurrent run() calls are
-    /// supported; see the class comment.)
-    std::list<std::shared_ptr<WorkloadState>> states_;
+    /// supported; see the class comment.) Mutable: the cache is
+    /// internally-synchronized implementation state of the logically
+    /// const run() surface.
+    mutable std::list<std::shared_ptr<WorkloadState>> states_;
     std::unique_ptr<std::mutex> cacheMutex_ =
         std::make_unique<std::mutex>();
 
+    /// Plan-cache counters (under cacheMutex_), in a shared_ptr so
+    /// the model stays movable.
+    struct CacheCounters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+    std::shared_ptr<CacheCounters> cacheCounters_ =
+        std::make_shared<CacheCounters>();
+
     /// Shared worker pool for RunOptions::threads >= 2, created on
     /// first parallel run.
-    std::shared_ptr<util::ThreadPool> pool_;
+    mutable std::shared_ptr<util::ThreadPool> pool_;
     std::unique_ptr<std::mutex> poolMutex_ =
         std::make_unique<std::mutex>();
 };

@@ -1,0 +1,86 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace teaal::serve
+{
+
+Admission::Admission(util::ThreadPool& pool, unsigned max_in_flight)
+    : pool_(pool), maxInFlight_(std::max(1u, max_in_flight))
+{
+}
+
+Admission::~Admission()
+{
+    close();
+    drain();
+}
+
+Admission::Reject
+Admission::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (closed_) {
+            ++shed_;
+            return Reject::ShuttingDown;
+        }
+        if (inFlight_ >= maxInFlight_) {
+            ++shed_;
+            return Reject::Overloaded;
+        }
+        ++inFlight_;
+        peakInFlight_ = std::max(peakInFlight_, inFlight_);
+        ++accepted_;
+    }
+    auto wrapped = std::make_shared<std::function<void()>>(
+        std::move(job));
+    pool_.launch(1, [this, wrapped](unsigned) {
+        (*wrapped)();
+        std::lock_guard<std::mutex> lk(mutex_);
+        --inFlight_;
+        ++completed_;
+        if (inFlight_ == 0)
+            idleCv_.notify_all();
+    });
+    return Reject::None;
+}
+
+void
+Admission::close()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    closed_ = true;
+}
+
+void
+Admission::reopen()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    closed_ = false;
+}
+
+void
+Admission::drain()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    idleCv_.wait(lk, [this] { return inFlight_ == 0; });
+}
+
+Admission::Stats
+Admission::stats() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    Stats s;
+    s.accepted = accepted_;
+    s.shed = shed_;
+    s.completed = completed_;
+    s.inFlight = inFlight_;
+    s.peakInFlight = peakInFlight_;
+    s.maxInFlight = maxInFlight_;
+    return s;
+}
+
+} // namespace teaal::serve

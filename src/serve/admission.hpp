@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Admission control for the serving daemon: a bounded request queue
+ * over the shared util::ThreadPool, with load shedding.
+ *
+ * Each accepted request is dispatched as its own one-slot pool launch
+ * — the pool's FIFO job queue is the request queue — and the bound is
+ * an in-flight cap covering queued *and* executing requests. At the
+ * cap, submit() rejects immediately (the caller answers `overloaded`)
+ * instead of queueing unboundedly: open-loop arrivals past saturation
+ * shed instead of building a standing queue, which is what keeps the
+ * p99 of *accepted* requests disciplined (TailBench's open-loop
+ * methodology; the harness in bench/serve_latency.cpp measures it).
+ *
+ * close() flips the gate for graceful shutdown: new submissions shed
+ * (the caller answers `shutting_down`) while drain() waits for every
+ * accepted request to finish.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace teaal::serve
+{
+
+class Admission
+{
+  public:
+    /**
+     * @param pool Shared worker pool (also used by CompiledModel::run
+     *     for intra-request sharding; the pool grows on demand, so
+     *     admission workers blocking on nested launches cannot
+     *     deadlock it).
+     * @param max_in_flight Accepted-but-unfinished cap (queued +
+     *     executing). 0 is pinned to 1.
+     */
+    Admission(util::ThreadPool& pool, unsigned max_in_flight);
+
+    /** Closes and drains: accepted jobs reference this object, so it
+     *  cannot die while any is queued or running. */
+    ~Admission();
+
+    /** Why submit() declined a request. */
+    enum class Reject { None, Overloaded, ShuttingDown };
+
+    /**
+     * Run @p job on the pool unless the in-flight cap is reached
+     * (Reject::Overloaded) or close() was called
+     * (Reject::ShuttingDown). @p job runs exactly once; completion is
+     * tracked for drain().
+     */
+    Reject submit(std::function<void()> job);
+
+    /** Stop accepting; already-accepted jobs keep running. */
+    void close();
+
+    /** Re-open after close() (tests). */
+    void reopen();
+
+    /** Block until every accepted job has finished. */
+    void drain();
+
+    struct Stats
+    {
+        std::uint64_t accepted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t completed = 0;
+        unsigned inFlight = 0;
+        unsigned peakInFlight = 0;
+        unsigned maxInFlight = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    util::ThreadPool& pool_;
+    const unsigned maxInFlight_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idleCv_;
+    bool closed_ = false;
+    unsigned inFlight_ = 0;
+    unsigned peakInFlight_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace teaal::serve

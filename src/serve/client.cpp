@@ -1,0 +1,112 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace teaal::serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), pending_(std::move(other.pending_))
+{
+    other.fd_ = -1;
+}
+
+Client&
+Client::operator=(Client&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        pending_ = std::move(other.pending_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Client::connect(int port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw SpecError("serve client: socket() failed: " +
+                        std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw SpecError("serve client: connect(127.0.0.1:" +
+                        std::to_string(port) + ") failed: " + why);
+    }
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+std::string
+Client::requestLine(const std::string& line)
+{
+    if (fd_ < 0)
+        throw SpecError("serve client: not connected");
+    std::string framed = line;
+    framed += '\n';
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+        const ssize_t w = ::send(fd_, p, left, MSG_NOSIGNAL);
+        if (w <= 0)
+            throw SpecError(
+                "serve client: connection lost while sending");
+        p += w;
+        left -= static_cast<std::size_t>(w);
+    }
+    char buf[4096];
+    for (;;) {
+        const std::size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            std::string response = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            return response;
+        }
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0)
+            throw SpecError(
+                "serve client: connection closed before a response "
+                "arrived");
+        pending_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+Json
+Client::request(const Json& req)
+{
+    return parseJson(requestLine(req.dump()));
+}
+
+} // namespace teaal::serve

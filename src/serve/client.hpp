@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A minimal blocking client for the serving protocol
+ * (serve/server.hpp): connect to 127.0.0.1:<port>, send one
+ * newline-delimited JSON request per call, read the matching response
+ * line. Used by examples/serve_client.cpp, bench/serve_latency.cpp,
+ * and the end-to-end tests; kept deliberately synchronous — the load
+ * generator gets concurrency by running many clients, matching how
+ * real open-loop harnesses drive a service.
+ */
+#pragma once
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace teaal::serve
+{
+
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Closes the connection if open. */
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+
+    /** Connect to 127.0.0.1:@p port; throws SpecError on failure. */
+    void connect(int port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /** Send one request line, block for the response line (no
+     *  trailing newline). Throws SpecError if the connection drops. */
+    std::string requestLine(const std::string& line);
+
+    /** requestLine + JSON round trip. */
+    Json request(const Json& req);
+
+  private:
+    int fd_ = -1;
+    std::string pending_; ///< bytes past the last response line
+};
+
+} // namespace teaal::serve

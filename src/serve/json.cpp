@@ -1,0 +1,498 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace teaal::serve
+{
+
+Json
+Json::makeBool(bool v)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::makeNumber(double v)
+{
+    Json j;
+    j.kind_ = Kind::Number;
+    j.num_ = v;
+    return j;
+}
+
+Json
+Json::makeString(std::string v)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.str_ = std::move(v);
+    return j;
+}
+
+Json
+Json::makeArray()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::makeObject()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        throw SpecError("json value is not a boolean");
+    return bool_;
+}
+
+double
+Json::number() const
+{
+    if (kind_ != Kind::Number)
+        throw SpecError("json value is not a number");
+    return num_;
+}
+
+const std::string&
+Json::str() const
+{
+    if (kind_ != Kind::String)
+        throw SpecError("json value is not a string");
+    return str_;
+}
+
+const std::vector<Json>&
+Json::array() const
+{
+    if (kind_ != Kind::Array)
+        throw SpecError("json value is not an array");
+    return arr_;
+}
+
+std::vector<Json>&
+Json::array()
+{
+    if (kind_ != Kind::Array)
+        throw SpecError("json value is not an array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>>&
+Json::object() const
+{
+    if (kind_ != Kind::Object)
+        throw SpecError("json value is not an object");
+    return obj_;
+}
+
+std::vector<std::pair<std::string, Json>>&
+Json::object()
+{
+    if (kind_ != Kind::Object)
+        throw SpecError("json value is not an object");
+    return obj_;
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Json&
+Json::set(const std::string& key, Json value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw SpecError("json set() on a non-object");
+    for (auto& [k, v] : obj_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json&
+Json::push(Json value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw SpecError("json push() on a non-array");
+    arr_.push_back(std::move(value));
+    return *this;
+}
+
+namespace
+{
+
+void
+dumpString(const std::string& s, std::string& out)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+dumpNumber(double v, std::string& out)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no inf/nan
+        return;
+    }
+    // Integers (the common protocol case: ids, counters, bytes) print
+    // without an exponent or trailing ".0"; everything else gets
+    // round-trippable shortest-ish formatting.
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+dumpValue(const Json& j, std::string& out)
+{
+    switch (j.kind()) {
+    case Json::Kind::Null: out += "null"; break;
+    case Json::Kind::Bool: out += j.boolean() ? "true" : "false"; break;
+    case Json::Kind::Number: dumpNumber(j.number(), out); break;
+    case Json::Kind::String: dumpString(j.str(), out); break;
+    case Json::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json& v : j.array()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpValue(v, out);
+        }
+        out += ']';
+        break;
+    }
+    case Json::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : j.object()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpString(k, out);
+            out += ':';
+            dumpValue(v, out);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        throw SpecError("json parse error at offset " +
+                        std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char* word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    void
+    appendUtf8(unsigned cp, std::string& out)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape digit");
+        }
+        return v;
+    }
+
+    std::string
+    stringBody()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = hex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // Surrogate pair.
+                    if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                        text_[pos_ + 1] == 'u') {
+                        pos_ += 2;
+                        const unsigned lo = hex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            fail("bad low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else {
+                        fail("lone high surrogate");
+                    }
+                }
+                appendUtf8(cp, out);
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            fail("bad number '" + tok + "'");
+        return Json::makeNumber(v);
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::makeObject();
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return obj;
+            }
+            for (;;) {
+                skipWs();
+                std::string key = stringBody();
+                skipWs();
+                expect(':');
+                obj.object().emplace_back(std::move(key), value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::makeArray();
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return arr;
+            }
+            for (;;) {
+                arr.array().push_back(value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"')
+            return Json::makeString(stringBody());
+        if (c == 't') {
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return Json::makeBool(true);
+        }
+        if (c == 'f') {
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return Json::makeBool(false);
+        }
+        if (c == 'n') {
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Json();
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return numberValue();
+        fail("unexpected character");
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpValue(*this, out);
+    return out;
+}
+
+Json
+parseJson(const std::string& text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace teaal::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A mini-JSON value type for the serving protocol (serve/server.hpp):
+ * the same philosophy as yaml/yaml.hpp — cover exactly the subset the
+ * newline-delimited protocol needs, with no external dependency.
+ *
+ *   - objects (insertion-ordered, like yaml::Node mappings), arrays
+ *   - strings with the standard escapes (\uXXXX included, encoded to
+ *     UTF-8), numbers (doubles), booleans, null
+ *   - one value per line: parse() consumes a whole document and
+ *     rejects trailing garbage, dump() never emits a newline, so a
+ *     dumped value is always a valid NDJSON frame
+ *
+ * Parse errors throw teaal::SpecError with a character offset; the
+ * server maps them to structured `bad_request` responses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace teaal::serve
+{
+
+/** A parsed JSON value. Numbers are stored as double (the protocol
+ *  carries counters that fit a double exactly up to 2^53). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() : kind_(Kind::Null) {}
+
+    static Json makeBool(bool v);
+    static Json makeNumber(double v);
+    static Json makeString(std::string v);
+    static Json makeArray();
+    static Json makeObject();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed access; throws SpecError on kind mismatch. */
+    bool boolean() const;
+    double number() const;
+    const std::string& str() const;
+    const std::vector<Json>& array() const;
+    std::vector<Json>& array();
+    const std::vector<std::pair<std::string, Json>>& object() const;
+    std::vector<std::pair<std::string, Json>>& object();
+
+    /** Object lookup; returns nullptr when missing (or not an
+     *  object). */
+    const Json* find(const std::string& key) const;
+
+    /** Object insert-or-assign (makes *this an object if null). */
+    Json& set(const std::string& key, Json value);
+
+    /** Array append (makes *this an array if null). */
+    Json& push(Json value);
+
+    /** Render as a single-line JSON document (no newline). */
+    std::string dump() const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Parse one JSON document; throws SpecError (with the character
+ *  offset) on malformed input or trailing non-whitespace. */
+Json parseJson(const std::string& text);
+
+} // namespace teaal::serve

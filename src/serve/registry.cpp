@@ -1,0 +1,165 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+namespace teaal::serve
+{
+
+std::vector<std::string>
+Registry::insertLocked(Entry entry)
+{
+    const std::string id = entry.id;
+    lru_.push_front(std::move(entry));
+    index_[id] = lru_.begin();
+    residentBytes_ += lru_.front().bytes;
+    evicted_.erase(id);
+
+    // Evict cold entries until back under budget. The entry just
+    // inserted is never evicted by its own insertion — a dataset
+    // larger than the whole budget is admitted alone (everything
+    // else goes), rather than bouncing with a spurious failure.
+    std::vector<std::string> evicted;
+    while (residentBytes_ > budgetBytes_ && lru_.size() > 1) {
+        Entry& cold = lru_.back();
+        residentBytes_ -= cold.bytes;
+        index_.erase(cold.id);
+        evicted_.insert(cold.id);
+        ++evictions_;
+        evicted.push_back(cold.id);
+        lru_.pop_back();
+    }
+    return evicted;
+}
+
+std::string
+Registry::addModel(std::shared_ptr<const compiler::CompiledModel> model,
+                   std::uint64_t bytes)
+{
+    std::vector<std::string> evicted;
+    std::string id;
+    std::function<void(const std::string&)> hook;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        id = "m" + std::to_string(nextModel_++);
+        Entry e;
+        e.id = id;
+        e.bytes = bytes;
+        e.model = std::move(model);
+        evicted = insertLocked(std::move(e));
+        hook = evictionHook_;
+    }
+    if (hook) {
+        for (const std::string& gone : evicted)
+            hook(gone);
+    }
+    return id;
+}
+
+std::string
+Registry::addDataset(
+    std::shared_ptr<const storage::PackedTensor> dataset)
+{
+    std::vector<std::string> evicted;
+    std::string id;
+    std::function<void(const std::string&)> hook;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        id = "d" + std::to_string(nextDataset_++);
+        Entry e;
+        e.id = id;
+        e.bytes = dataset->residentBytes();
+        e.dataset = std::move(dataset);
+        evicted = insertLocked(std::move(e));
+        hook = evictionHook_;
+    }
+    if (hook) {
+        for (const std::string& gone : evicted)
+            hook(gone);
+    }
+    return id;
+}
+
+const Registry::Entry*
+Registry::touchLocked(const std::string& id)
+{
+    const auto it = index_.find(id);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    return &*it->second;
+}
+
+std::shared_ptr<const compiler::CompiledModel>
+Registry::model(const std::string& id)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const Entry* e = touchLocked(id);
+    return e != nullptr ? e->model : nullptr;
+}
+
+std::shared_ptr<const storage::PackedTensor>
+Registry::dataset(const std::string& id)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    const Entry* e = touchLocked(id);
+    return e != nullptr ? e->dataset : nullptr;
+}
+
+bool
+Registry::evicted(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return evicted_.count(id) != 0;
+}
+
+std::vector<std::string>
+Registry::modelIds() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<std::string> out;
+    for (const Entry& e : lru_) {
+        if (e.model != nullptr)
+            out.push_back(e.id);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const compiler::CompiledModel>>>
+Registry::peekModels() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<std::pair<
+        std::string, std::shared_ptr<const compiler::CompiledModel>>>
+        out;
+    for (const Entry& e : lru_) {
+        if (e.model != nullptr)
+            out.emplace_back(e.id, e.model);
+    }
+    return out;
+}
+
+Registry::Stats
+Registry::stats() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    Stats s;
+    for (const Entry& e : lru_) {
+        if (e.model != nullptr)
+            ++s.models;
+        else
+            ++s.datasets;
+    }
+    s.residentBytes = residentBytes_;
+    s.budgetBytes = budgetBytes_;
+    s.evictions = evictions_;
+    s.hits = hits_;
+    s.misses = misses_;
+    return s;
+}
+
+} // namespace teaal::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The serving daemon's resident-state store: compiled models and
+ * packed datasets behind one byte-accounted LRU (serve/server.hpp is
+ * the consumer).
+ *
+ * Entries are held by shared_ptr, so eviction never destroys state an
+ * in-flight evaluation is using — the same lifetime discipline as the
+ * pipeline's plan cache. Eviction only drops the registry's
+ * reference; the memory is reclaimed when the last request finishes.
+ *
+ * Byte accounting: datasets charge their actual resident buffer bytes
+ * (storage::PackedTensor::residentBytes); models charge an estimate
+ * supplied by the caller (spec size plus a fixed overhead — a model's
+ * dominant memory is its per-workload plan cache, which the pipeline
+ * bounds separately via CompileOptions::workloadCacheCapacity).
+ *
+ * Lookups of an evicted id are distinguishable from ids that never
+ * existed, so the protocol can answer "evicted, re-register" instead
+ * of a bare "unknown id".
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "compiler/pipeline.hpp"
+#include "storage/packed.hpp"
+
+namespace teaal::serve
+{
+
+class Registry
+{
+  public:
+    /** @param budget_bytes Resident-byte budget. Inserting past it
+     *  evicts cold entries (LRU) until back under; a single entry
+     *  larger than the whole budget is admitted alone (the budget
+     *  then holds for everything else). */
+    explicit Registry(std::uint64_t budget_bytes)
+        : budgetBytes_(budget_bytes)
+    {
+    }
+
+    /** Register a model; returns its id ("m1", "m2", ...). */
+    std::string addModel(
+        std::shared_ptr<const compiler::CompiledModel> model,
+        std::uint64_t bytes);
+
+    /** Register a dataset (charged at residentBytes()); returns its
+     *  id ("d1", "d2", ...). */
+    std::string
+    addDataset(std::shared_ptr<const storage::PackedTensor> dataset);
+
+    /** Look up a model, marking it most-recently-used; nullptr when
+     *  absent (evicted() distinguishes why). */
+    std::shared_ptr<const compiler::CompiledModel>
+    model(const std::string& id);
+
+    /** Look up a dataset, marking it most-recently-used. */
+    std::shared_ptr<const storage::PackedTensor>
+    dataset(const std::string& id);
+
+    /** True if @p id was registered and later evicted (the protocol's
+     *  "evicted, re-register" case). */
+    bool evicted(const std::string& id) const;
+
+    /** Ids of live model entries, LRU order (cold last). */
+    std::vector<std::string> modelIds() const;
+
+    /** Live model entries without touching the LRU or the hit/miss
+     *  counters (the `stats` endpoint's aggregation walk). */
+    std::vector<
+        std::pair<std::string,
+                  std::shared_ptr<const compiler::CompiledModel>>>
+    peekModels() const;
+
+    /** Called (outside the registry lock) with each id as it is
+     *  evicted — the server uses it to drop bound-workload cache
+     *  entries that reference the id. */
+    void
+    setEvictionHook(std::function<void(const std::string&)> hook)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        evictionHook_ = std::move(hook);
+    }
+
+    struct Stats
+    {
+        std::uint64_t models = 0;
+        std::uint64_t datasets = 0;
+        std::uint64_t residentBytes = 0;
+        std::uint64_t budgetBytes = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string id;
+        std::uint64_t bytes = 0;
+        std::shared_ptr<const compiler::CompiledModel> model;
+        std::shared_ptr<const storage::PackedTensor> dataset;
+    };
+
+    /** Insert at the hot end, then evict cold entries past the
+     *  budget. Returns the evicted ids (hook runs on them after the
+     *  lock drops). */
+    std::vector<std::string> insertLocked(Entry entry);
+
+    const Entry* touchLocked(const std::string& id);
+
+    mutable std::mutex mutex_;
+    std::uint64_t budgetBytes_;
+    std::uint64_t residentBytes_ = 0;
+    std::uint64_t evictions_ = 0;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t nextModel_ = 1;
+    std::uint64_t nextDataset_ = 1;
+    /// Hot first; lookups splice to the front.
+    std::list<Entry> lru_;
+    std::map<std::string, std::list<Entry>::iterator> index_;
+    std::set<std::string> evicted_;
+    std::function<void(const std::string&)> evictionHook_;
+};
+
+} // namespace teaal::serve

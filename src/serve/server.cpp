@@ -1,0 +1,715 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+
+#include "accelerators/accelerators.hpp"
+#include "util/diagnostic.hpp"
+#include "util/logging.hpp"
+#include "workloads/mtx.hpp"
+
+namespace teaal::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+const Clock::time_point g_start = Clock::now();
+
+const Json&
+requireField(const Json& req, const char* key)
+{
+    const Json* f = req.find(key);
+    if (f == nullptr)
+        diagError("protocol", key, "missing required field '", key,
+                  "'");
+    return *f;
+}
+
+std::string
+requireString(const Json& req, const char* key)
+{
+    const Json& f = requireField(req, key);
+    if (!f.isString())
+        diagError("protocol", key, "field '", key,
+                  "' must be a string");
+    return f.str();
+}
+
+bool
+optionalBool(const Json& req, const char* key, bool fallback)
+{
+    const Json* f = req.find(key);
+    if (f == nullptr)
+        return fallback;
+    if (!f->isBool())
+        diagError("protocol", key, "field '", key,
+                  "' must be a boolean");
+    return f->boolean();
+}
+
+Json
+errorResponse(const std::string& code, const std::string& section,
+              const std::string& key, const std::string& message)
+{
+    Json e = Json::makeObject();
+    e.set("code", Json::makeString(code));
+    if (!section.empty())
+        e.set("section", Json::makeString(section));
+    if (!key.empty())
+        e.set("key", Json::makeString(key));
+    e.set("message", Json::makeString(message));
+    Json r = Json::makeObject();
+    r.set("ok", Json::makeBool(false));
+    r.set("error", std::move(e));
+    return r;
+}
+
+Json
+okResponse()
+{
+    Json r = Json::makeObject();
+    r.set("ok", Json::makeBool(true));
+    return r;
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts), registry_(opts.memoryBudgetBytes), pool_(0),
+      admission_(std::make_unique<Admission>(pool_, opts.maxInFlight))
+{
+    registry_.setEvictionHook([this](const std::string& id) {
+        dropWorkloadsReferencing(id);
+    });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw SpecError("serve: socket() failed: " +
+                        std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw SpecError("serve: bind(port " +
+                        std::to_string(opts_.port) +
+                        ") failed: " + std::strerror(errno));
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw SpecError("serve: listen() failed: " +
+                        std::string(std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound),
+                  &len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 200);
+        if (stopping_.load())
+            break;
+        if (pr <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            continue;
+        }
+        auto session = std::make_unique<Session>();
+        session->fd = fd;
+        Session* raw = session.get();
+        {
+            std::lock_guard<std::mutex> lk(sessionsMutex_);
+            reapSessionsLocked();
+            sessions_.push_back(std::move(session));
+        }
+        raw->thread = std::thread([this, raw] { sessionLoop(*raw); });
+    }
+}
+
+void
+Server::reapSessionsLocked()
+{
+    // Only ever called from the acceptor (or after it is joined), so
+    // Session::thread is never touched from two threads at once.
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        Session& s = **it;
+        if (s.done.load() && s.thread.joinable()) {
+            s.thread.join();
+            if (s.fd >= 0)
+                ::close(s.fd);
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::sessionLoop(Session& session)
+{
+    std::string pending;
+    char buf[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(session.fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, nl);
+            pending.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const std::string response = handleLine(line) + "\n";
+            const char* p = response.data();
+            std::size_t left = response.size();
+            while (left > 0) {
+                const ssize_t w =
+                    ::send(session.fd, p, left, MSG_NOSIGNAL);
+                if (w <= 0) {
+                    open = false;
+                    break;
+                }
+                p += w;
+                left -= static_cast<std::size_t>(w);
+            }
+            if (!open)
+                break;
+        }
+    }
+    // The fd is closed by the reaper/stop() after the join, so a
+    // concurrent stop() never shutdown()s a recycled descriptor.
+    session.done.store(true);
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true)) {
+        // Second caller: the first stop() owns the teardown.
+        if (acceptThread_.joinable())
+            acceptThread_.join();
+        return;
+    }
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Shed work not yet admitted; everything accepted runs to
+    // completion and its session writes the response before exiting.
+    admission_->close();
+    {
+        std::lock_guard<std::mutex> lk(sessionsMutex_);
+        for (const std::unique_ptr<Session>& s : sessions_) {
+            if (s->fd >= 0)
+                ::shutdown(s->fd, SHUT_RD);
+        }
+    }
+    std::list<std::unique_ptr<Session>> gone;
+    {
+        std::lock_guard<std::mutex> lk(sessionsMutex_);
+        gone.swap(sessions_);
+    }
+    for (const std::unique_ptr<Session>& s : gone) {
+        if (s->thread.joinable())
+            s->thread.join();
+        if (s->fd >= 0)
+            ::close(s->fd);
+    }
+    admission_->drain();
+    running_.store(false);
+    logInfo("serve: drained in-flight requests and stopped");
+}
+
+// ------------------------------------------------------------ protocol
+
+std::string
+Server::handleLine(const std::string& line)
+{
+    Json request;
+    try {
+        request = parseJson(line);
+    } catch (const SpecError& e) {
+        return errorResponse("bad_request", "protocol", "json",
+                             detail::stripSpecPrefix(e.what()))
+            .dump();
+    }
+    return handle(request).dump();
+}
+
+Json
+Server::handle(const Json& request)
+{
+    const Json* id = request.find("id");
+    Json response;
+    try {
+        if (!request.isObject())
+            diagError("protocol", "",
+                      "request must be a JSON object");
+        const std::string op = requireString(request, "op");
+        if (op == "compile")
+            response = handleCompile(request);
+        else if (op == "load_dataset")
+            response = handleLoadDataset(request);
+        else if (op == "evaluate")
+            response = handleEvaluate(request);
+        else if (op == "stats")
+            response = handleStats(request);
+        else if (op == "sharding_report")
+            response = handleShardingReport(request);
+        else
+            diagError("protocol", "op", "unknown op '", op, "'");
+    } catch (const DiagnosticError& e) {
+        response = errorResponse("bad_request", e.diagnostic().section,
+                                 e.diagnostic().key,
+                                 e.diagnostic().message);
+    } catch (const std::exception& e) {
+        response = errorResponse("internal", "", "", e.what());
+    }
+    if (id != nullptr)
+        response.set("id", *id);
+    return response;
+}
+
+Json
+Server::handleCompile(const Json& request)
+{
+    compiler::Specification spec;
+    std::uint64_t bytes = 64 * 1024; // nominal model overhead
+    if (const Json* accel = request.find("accel")) {
+        if (!accel->isString())
+            diagError("protocol", "accel",
+                      "field 'accel' must be a string");
+        const std::string& name = accel->str();
+        if (name == "outerspace")
+            spec = accel::outerSpace();
+        else if (name == "gamma")
+            spec = accel::gamma();
+        else if (name == "extensor")
+            spec = accel::extensor();
+        else if (name == "sigma")
+            spec = accel::sigma();
+        else
+            diagError("protocol", "accel", "unknown accelerator '",
+                      name,
+                      "' (expected outerspace, gamma, extensor, or "
+                      "sigma)");
+    } else {
+        const std::string text = requireString(request, "spec");
+        mapping::ParamMap params;
+        if (const Json* p = request.find("params")) {
+            if (!p->isObject())
+                diagError("protocol", "params",
+                          "field 'params' must be an object of "
+                          "numbers");
+            for (const auto& [k, v] : p->object()) {
+                if (!v.isNumber())
+                    diagError("protocol", "params", "parameter '", k,
+                              "' must be a number");
+                params[k] = static_cast<long>(v.number());
+            }
+        }
+        spec = compiler::Specification::parse(text, params);
+        bytes += text.size();
+    }
+
+    compiler::CompileOptions co;
+    co.workloadCacheCapacity = opts_.planCacheCapacity;
+    auto model = std::make_shared<const compiler::CompiledModel>(
+        compiler::compile(std::move(spec), co));
+    const std::string id = registry_.addModel(std::move(model), bytes);
+
+    Json r = okResponse();
+    r.set("model", Json::makeString(id));
+    return r;
+}
+
+Json
+Server::handleLoadDataset(const Json& request)
+{
+    const std::string path = requireString(request, "path");
+    std::string name = "A";
+    if (const Json* n = request.find("name")) {
+        if (!n->isString())
+            diagError("protocol", "name",
+                      "field 'name' must be a string");
+        name = n->str();
+    }
+    std::vector<std::string> rank_ids{"K", "M"};
+    if (const Json* r = request.find("rank_ids")) {
+        if (!r->isArray())
+            diagError("protocol", "rank_ids",
+                      "field 'rank_ids' must be an array of strings");
+        rank_ids.clear();
+        for (const Json& v : r->array()) {
+            if (!v.isString())
+                diagError("protocol", "rank_ids",
+                          "field 'rank_ids' must be an array of "
+                          "strings");
+            rank_ids.push_back(v.str());
+        }
+    }
+
+    std::shared_ptr<const storage::PackedTensor> dataset;
+    try {
+        dataset = std::make_shared<const storage::PackedTensor>(
+            workloads::readMatrixMarketPacked(path, name, rank_ids));
+    } catch (const DiagnosticError&) {
+        throw;
+    } catch (const SpecError& e) {
+        rethrowAsDiagnostic("protocol", "path", e);
+    }
+
+    Json r = okResponse();
+    r.set("dataset",
+          Json::makeString(registry_.addDataset(dataset)));
+    r.set("bytes", Json::makeNumber(
+                       static_cast<double>(dataset->residentBytes())));
+    r.set("nnz",
+          Json::makeNumber(static_cast<double>(dataset->nnz())));
+    return r;
+}
+
+std::shared_ptr<const Server::BoundWorkload>
+Server::boundWorkloadFor(const std::string& model_id,
+                         const Json& bindings, bool& cache_hit)
+{
+    // Canonical key: the bindings object sorted by tensor name, so
+    // {"A":"d1","B":"d2"} and {"B":"d2","A":"d1"} share a Workload
+    // (and therefore a plan-cache entry in the model).
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (const auto& [tensor, did] : bindings.object()) {
+        if (!did.isString())
+            diagError("protocol", tensor, "binding of tensor '",
+                      tensor, "' must be a dataset id string");
+        pairs.emplace_back(tensor, did.str());
+    }
+    std::sort(pairs.begin(), pairs.end());
+    std::string key = model_id + "|";
+    for (const auto& [tensor, did] : pairs)
+        key += tensor + "=" + did + ",";
+
+    // Resolve the datasets first (touches the registry LRU, surfaces
+    // evicted/unknown ids) — outside workloadsMutex_ to keep the two
+    // locks unordered.
+    std::vector<
+        std::pair<std::string,
+                  std::shared_ptr<const storage::PackedTensor>>>
+        resolved;
+    for (const auto& [tensor, did] : pairs) {
+        auto dataset = registry_.dataset(did);
+        if (dataset == nullptr) {
+            if (registry_.evicted(did))
+                throw DiagnosticError(Diagnostic{
+                    "workload", did,
+                    "dataset '" + did +
+                        "' was evicted under memory pressure; "
+                        "re-register it with load_dataset"});
+            diagError("workload", did, "unknown dataset id '", did,
+                      "'");
+        }
+        resolved.emplace_back(tensor, std::move(dataset));
+    }
+
+    std::lock_guard<std::mutex> lk(workloadsMutex_);
+    for (auto it = workloads_.begin(); it != workloads_.end(); ++it) {
+        if (it->first == key) {
+            workloads_.splice(workloads_.begin(), workloads_, it);
+            cache_hit = true;
+            return workloads_.front().second;
+        }
+    }
+    cache_hit = false;
+    auto bound = std::make_shared<BoundWorkload>();
+    bound->refIds.insert(model_id);
+    for (auto& [tensor, dataset] : resolved) {
+        bound->workload.add(tensor, std::move(dataset));
+    }
+    for (const auto& [tensor, did] : pairs)
+        bound->refIds.insert(did);
+    workloads_.emplace_front(key, bound);
+    while (workloads_.size() > std::max<std::size_t>(
+                                   1, opts_.workloadCacheEntries))
+        workloads_.pop_back();
+    return bound;
+}
+
+void
+Server::dropWorkloadsReferencing(const std::string& id)
+{
+    std::lock_guard<std::mutex> lk(workloadsMutex_);
+    for (auto it = workloads_.begin(); it != workloads_.end();) {
+        if (it->second->refIds.count(id) != 0)
+            it = workloads_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Json
+Server::handleEvaluate(const Json& request)
+{
+    const std::string model_id = requireString(request, "model");
+    const Json& bindings = requireField(request, "bindings");
+    if (!bindings.isObject())
+        diagError("protocol", "bindings",
+                  "field 'bindings' must be an object mapping tensor "
+                  "names to dataset ids");
+
+    unsigned threads = 1;
+    if (const Json* t = request.find("threads")) {
+        if (!t->isNumber())
+            diagError("protocol", "threads",
+                      "field 'threads' must be a number");
+        const double v = t->number();
+        if (v != std::floor(v) || v < 1.0 ||
+            v > static_cast<double>(opts_.maxEvalThreads))
+            diagError("protocol", "threads",
+                      "field 'threads' must be an integer in [1, ",
+                      opts_.maxEvalThreads, "]");
+        threads = static_cast<unsigned>(v);
+    }
+    const bool validate = optionalBool(request, "validate", true);
+    const bool cache = optionalBool(request, "cache", true);
+
+    auto model = registry_.model(model_id);
+    if (model == nullptr) {
+        if (registry_.evicted(model_id))
+            return errorResponse(
+                "evicted", "workload", model_id,
+                "model '" + model_id +
+                    "' was evicted under memory pressure; re-register "
+                    "it with compile");
+        return errorResponse("unknown_id", "workload", model_id,
+                             "unknown model id '" + model_id + "'");
+    }
+
+    bool workload_cached = false;
+    std::shared_ptr<const BoundWorkload> bound;
+    try {
+        bound = boundWorkloadFor(model_id, bindings, workload_cached);
+    } catch (const DiagnosticError& e) {
+        const std::string code =
+            e.diagnostic().message.find("evicted") != std::string::npos
+                ? "evicted"
+                : (e.diagnostic().section == "workload" ? "unknown_id"
+                                                        : "bad_request");
+        return errorResponse(code, e.diagnostic().section,
+                             e.diagnostic().key,
+                             e.diagnostic().message);
+    }
+
+    // Per-request RunOptions: nothing mutable is shared between
+    // requests; the server's one pool hosts any intra-request shards.
+    compiler::RunOptions ro;
+    ro.threads = threads;
+    ro.validateInputs = validate;
+    ro.cacheState = cache;
+    ro.pool = &pool_;
+
+    std::promise<Json> done;
+    std::future<Json> future = done.get_future();
+    const Admission::Reject rejected =
+        admission_->submit([&model, &bound, &ro, &done,
+                            workload_cached] {
+            Json response;
+            try {
+                const Clock::time_point t0 = Clock::now();
+                const compiler::SimulationResult result =
+                    model->run(bound->workload, ro);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+                double muls = 0;
+                for (const auto& record : result.records)
+                    muls += static_cast<double>(
+                        record.execStats.computeMuls);
+                response = okResponse();
+                response.set("latency_ms", Json::makeNumber(ms));
+                response.set(
+                    "exec_seconds",
+                    Json::makeNumber(result.perf.totalSeconds));
+                response.set(
+                    "traffic_bytes",
+                    Json::makeNumber(result.totalTrafficBytes()));
+                response.set("compute_muls", Json::makeNumber(muls));
+                response.set(
+                    "energy_joules",
+                    Json::makeNumber(result.energy.totalJoules));
+                response.set("cache",
+                             Json::makeString(workload_cached
+                                                  ? "hit"
+                                                  : "miss"));
+            } catch (const DiagnosticError& e) {
+                response = errorResponse(
+                    "bad_request", e.diagnostic().section,
+                    e.diagnostic().key, e.diagnostic().message);
+            } catch (const std::exception& e) {
+                response = errorResponse("internal", "", "", e.what());
+            }
+            done.set_value(std::move(response));
+        });
+    if (rejected == Admission::Reject::Overloaded)
+        return errorResponse(
+            "overloaded", "admission", "",
+            "in-flight evaluation cap reached; retry later");
+    if (rejected == Admission::Reject::ShuttingDown)
+        return errorResponse("shutting_down", "admission", "",
+                             "server is draining; not accepting new "
+                             "evaluations");
+    return future.get();
+}
+
+Json
+Server::handleStats(const Json&)
+{
+    const Registry::Stats rs = registry_.stats();
+    const Admission::Stats as = admission_->stats();
+
+    Json registry = Json::makeObject();
+    registry.set("models",
+                 Json::makeNumber(static_cast<double>(rs.models)));
+    registry.set("datasets",
+                 Json::makeNumber(static_cast<double>(rs.datasets)));
+    registry.set("resident_bytes", Json::makeNumber(static_cast<double>(
+                                       rs.residentBytes)));
+    registry.set("budget_bytes", Json::makeNumber(static_cast<double>(
+                                     rs.budgetBytes)));
+    registry.set("evictions",
+                 Json::makeNumber(static_cast<double>(rs.evictions)));
+    registry.set("hits",
+                 Json::makeNumber(static_cast<double>(rs.hits)));
+    registry.set("misses",
+                 Json::makeNumber(static_cast<double>(rs.misses)));
+
+    Json admission = Json::makeObject();
+    admission.set("accepted",
+                  Json::makeNumber(static_cast<double>(as.accepted)));
+    admission.set("shed",
+                  Json::makeNumber(static_cast<double>(as.shed)));
+    admission.set("completed",
+                  Json::makeNumber(static_cast<double>(as.completed)));
+    admission.set("in_flight",
+                  Json::makeNumber(static_cast<double>(as.inFlight)));
+    admission.set("peak_in_flight", Json::makeNumber(static_cast<double>(
+                                        as.peakInFlight)));
+    admission.set("max_in_flight", Json::makeNumber(static_cast<double>(
+                                       as.maxInFlight)));
+
+    // Plan-cache counters aggregated over resident models (peek —
+    // introspection must not reorder the LRU it reports on).
+    compiler::PlanCacheStats agg;
+    for (const auto& [id, model] : registry_.peekModels()) {
+        const compiler::PlanCacheStats s = model->planCacheStats();
+        agg.hits += s.hits;
+        agg.misses += s.misses;
+        agg.evictions += s.evictions;
+        agg.entries += s.entries;
+    }
+    Json plan_cache = Json::makeObject();
+    plan_cache.set("hits",
+                   Json::makeNumber(static_cast<double>(agg.hits)));
+    plan_cache.set("misses",
+                   Json::makeNumber(static_cast<double>(agg.misses)));
+    plan_cache.set("evictions", Json::makeNumber(static_cast<double>(
+                                    agg.evictions)));
+    plan_cache.set("entries",
+                   Json::makeNumber(static_cast<double>(agg.entries)));
+
+    Json r = okResponse();
+    r.set("registry", std::move(registry));
+    r.set("admission", std::move(admission));
+    r.set("plan_cache", std::move(plan_cache));
+    r.set("uptime_seconds",
+          Json::makeNumber(std::chrono::duration<double>(Clock::now() -
+                                                         g_start)
+                               .count()));
+    return r;
+}
+
+Json
+Server::handleShardingReport(const Json& request)
+{
+    const std::string model_id = requireString(request, "model");
+    auto model = registry_.model(model_id);
+    if (model == nullptr) {
+        if (registry_.evicted(model_id))
+            return errorResponse(
+                "evicted", "workload", model_id,
+                "model '" + model_id +
+                    "' was evicted under memory pressure; re-register "
+                    "it with compile");
+        return errorResponse("unknown_id", "workload", model_id,
+                             "unknown model id '" + model_id + "'");
+    }
+    Json einsums = Json::makeArray();
+    for (const compiler::ShardingEntry& e : model->shardingEntries()) {
+        Json entry = Json::makeObject();
+        entry.set("einsum", Json::makeString(e.einsum));
+        entry.set("shardable", Json::makeBool(e.shardable));
+        entry.set("mode", Json::makeString(e.mode));
+        if (!e.rank.empty())
+            entry.set("rank", Json::makeString(e.rank));
+        if (!e.spaceRank.empty())
+            entry.set("space_rank", Json::makeString(e.spaceRank));
+        if (!e.reason.empty())
+            entry.set("reason", Json::makeString(e.reason));
+        einsums.push(std::move(entry));
+    }
+    Json r = okResponse();
+    r.set("model", Json::makeString(model_id));
+    r.set("einsums", std::move(einsums));
+    return r;
+}
+
+} // namespace teaal::serve

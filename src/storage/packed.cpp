@@ -183,6 +183,20 @@ PackedTensor::leafCountBelow(std::size_t level, std::size_t pos) const
 }
 
 std::uint64_t
+PackedTensor::residentBytes() const
+{
+    std::uint64_t bytes = vals_.size() * sizeof(ft::Value);
+    for (const PackedLevel& L : levels_) {
+        bytes += L.seg.size() * sizeof(std::uint64_t);
+        bytes += L.crd.size() * sizeof(ft::Coord);
+        bytes += L.bits.size() * sizeof(std::uint64_t);
+        bytes += L.bitBase.size() * sizeof(std::uint64_t);
+        bytes += L.bitRank.size() * sizeof(std::uint64_t);
+    }
+    return bytes;
+}
+
+std::uint64_t
 PackedTensor::subtreeBits(const fmt::TensorFormat& format,
                           std::size_t level, std::size_t pos) const
 {

@@ -179,6 +179,15 @@ class PackedTensor
     /** Scalar leaves below element (@p level, @p pos): O(depth). */
     std::size_t leafCountBelow(std::size_t level, std::size_t pos) const;
 
+    /**
+     * Actual resident heap bytes of the packed buffers (segment,
+     * coordinate, value, and bitmap arrays) — host memory accounting
+     * for caches holding packed tensors (serve::Registry's eviction
+     * budget), as opposed to packedTensorBits' *charged* format
+     * footprint.
+     */
+    std::uint64_t residentBytes() const;
+
   private:
     friend class PackedBuilder;
 

@@ -744,5 +744,86 @@ TEST(Parallel, ConcurrentRunsOnDistinctWorkloads)
     }
 }
 
+/**
+ * Plan-cache LRU eviction under concurrent churn (deterministic, no
+ * sleeps — run under TSan in CI): more live workloads than cache
+ * capacity, every host thread cycling through all of them in a
+ * different order, so entries are concurrently hit, missed, evicted,
+ * and re-instantiated. Results must match the serial reference
+ * exactly, counters must balance, and eviction must actually have
+ * happened (the stress is vacuous otherwise).
+ */
+TEST(Parallel, PlanCacheEvictionStress)
+{
+    compiler::CompileOptions copts;
+    copts.workloadCacheCapacity = 2;
+    auto model = compiler::compile(accel::gamma(smallGamma()), copts);
+
+    constexpr int kWorkloads = 5;
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 4;
+    std::vector<TestMatrices> mats;
+    std::vector<Workload> workloads(kWorkloads);
+    std::vector<SimulationResult> reference;
+    for (int i = 0; i < kWorkloads; ++i)
+        mats.push_back(makeMatrices(500 + 10 * i));
+    for (int i = 0; i < kWorkloads; ++i) {
+        // Workloads are shared across host threads (stable
+        // fingerprints — a per-thread Workload would never share
+        // cache entries), so borrow from the stable mats vector.
+        workloads[static_cast<std::size_t>(i)]
+            .add("A", mats[static_cast<std::size_t>(i)].a)
+            .add("B", mats[static_cast<std::size_t>(i)].b);
+        reference.push_back(model.run(
+            workloads[static_cast<std::size_t>(i)]));
+    }
+    model.clearCache();
+    // Counters survive clearCache (entries do not); assert on deltas.
+    const compiler::PlanCacheStats before = model.planCacheStats();
+    ASSERT_EQ(before.entries, 0u);
+
+    std::vector<std::vector<SimulationResult>> got(
+        kThreads, std::vector<SimulationResult>(kWorkloads));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                for (int i = 0; i < kWorkloads; ++i) {
+                    // A different cycling order per thread maximizes
+                    // LRU churn (thread t starts at workload t).
+                    const int w = (i + t) % kWorkloads;
+                    got[static_cast<std::size_t>(t)]
+                       [static_cast<std::size_t>(w)] = model.run(
+                           workloads[static_cast<std::size_t>(w)]);
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kWorkloads; ++i)
+            expectSameResults(reference[static_cast<std::size_t>(i)],
+                              got[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(i)]);
+    }
+
+    const compiler::PlanCacheStats stats = model.planCacheStats();
+    const std::uint64_t total = kThreads * kRounds * kWorkloads;
+    EXPECT_EQ((stats.hits - before.hits) +
+                  (stats.misses - before.misses),
+              total); // every run() is exactly one hit or one miss
+    EXPECT_GT(stats.evictions,
+              before.evictions); // capacity 2 < 5 live workloads
+    EXPECT_LE(stats.entries, 2u);
+    // Since clearCache, every miss instantiated a state and every
+    // eviction retired one; whatever the interleaving, the ledger
+    // balances to the live entry count.
+    EXPECT_EQ(stats.misses - before.misses, stats.evictions -
+                                                before.evictions +
+                                                stats.entries);
+}
+
 } // namespace
 } // namespace teaal

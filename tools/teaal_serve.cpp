@@ -1,0 +1,109 @@
+/**
+ * @file
+ * `teaal-serve` — the simulation-as-a-service daemon. Binds the
+ * newline-delimited JSON protocol (serve/server.hpp) on loopback and
+ * serves until SIGINT/SIGTERM, then drains gracefully: in-flight
+ * evaluations finish and answer before the process exits.
+ *
+ *   teaal-serve [--port N] [--budget-mb N] [--max-in-flight N]
+ *               [--max-threads N]
+ *
+ * Prints one "teaal-serve: listening on 127.0.0.1:<port>" line to
+ * stdout when ready and "teaal-serve: drained, exiting" after a clean
+ * shutdown — the CI smoke job greps for both.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+namespace
+{
+
+// Async-signal-safe: the handler only sets a flag; main() polls it.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+long
+parseLong(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "teaal-serve: %s expects a non-negative "
+                             "integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    teaal::serve::ServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--port" && has_value) {
+            opts.port = static_cast<int>(parseLong("--port", argv[++i]));
+        } else if (arg == "--budget-mb" && has_value) {
+            opts.memoryBudgetBytes = static_cast<std::uint64_t>(
+                                         parseLong("--budget-mb",
+                                                   argv[++i]))
+                                     << 20;
+        } else if (arg == "--max-in-flight" && has_value) {
+            opts.maxInFlight = static_cast<unsigned>(
+                parseLong("--max-in-flight", argv[++i]));
+        } else if (arg == "--max-threads" && has_value) {
+            opts.maxEvalThreads = static_cast<unsigned>(
+                parseLong("--max-threads", argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: teaal-serve [--port N] [--budget-mb N] "
+                "[--max-in-flight N] [--max-threads N]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "teaal-serve: unknown flag '%s' "
+                                 "(see --help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    teaal::serve::Server server(opts);
+    try {
+        server.start();
+    } catch (const teaal::SpecError& e) {
+        std::fprintf(stderr, "teaal-serve: %s\n", e.what());
+        return 1;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::printf("teaal-serve: listening on 127.0.0.1:%d\n",
+                server.port());
+    std::fflush(stdout);
+
+    while (g_stop == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("teaal-serve: draining\n");
+    std::fflush(stdout);
+    server.stop();
+    std::printf("teaal-serve: drained, exiting\n");
+    return 0;
+}
