@@ -20,10 +20,17 @@
  *      Past saturation the server sheds with `overloaded` instead of
  *      letting the accepted tail collapse.
  *
+ *   4. Deadline sweep: closed-loop requests carrying `deadline_ms`
+ *      budgets at fractions of the measured service time. Budgets
+ *      below the service time must come back as structured
+ *      `deadline_exceeded` (and promptly — elapsed_ms tracks the
+ *      budget, not the full run); generous budgets must not fire.
+ *
  * Rows: one gated closed-loop jsonRow (threads/wall_ms), plus
- * informational open-loop rows (p50/p95/p99/shed per target rate —
- * no wall_ms, so the perf differ reports them without gating; their
- * wall time is load-dependent by construction).
+ * informational open-loop rows (p50/p95/p99/shed per target rate)
+ * and deadline-sweep rows (ok/deadline_exceeded/p95 elapsed per
+ * budget) — no wall_ms on either, so the perf differ reports them
+ * without gating; their wall time is load-dependent by construction.
  */
 #include <atomic>
 #include <chrono>
@@ -297,6 +304,60 @@ main()
                       std::to_string(point.shed)});
     }
     std::cout << table.render() << "\n";
+
+    // --------------------------------------------- deadline sweep
+    // Per-request budgets as fractions of the measured service time.
+    // Informational (no assertions): the structured-timeout contract
+    // itself is covered by the serve tests; this charts how the cut
+    // moves with the budget on this machine.
+    struct DeadlinePoint
+    {
+        std::string label;
+        double deadlineMs = 0;
+        std::uint64_t ok = 0;
+        std::uint64_t exceeded = 0;
+        std::uint64_t other = 0;
+        double p95ElapsedMs = 0;
+    };
+    TextTable dtable("deadline sweep (budget as a fraction of "
+                     "closed-loop service time)");
+    dtable.setHeader({"budget", "deadline ms", "ok",
+                      "deadline_exceeded", "other", "p95 elapsed ms"});
+    std::vector<DeadlinePoint> dsweep;
+    constexpr int kDeadlineRequests = 20;
+    const std::vector<std::pair<const char*, double>> budgets{
+        {"0.25x", 0.25}, {"1x", 1.0}, {"4x", 4.0}};
+    for (const auto& [label, frac] : budgets) {
+        DeadlinePoint point;
+        point.label = label;
+        point.deadlineMs = std::max(0.05, serviceMs * frac);
+        std::vector<double> elapsed;
+        for (int i = 0; i < kDeadlineRequests; ++i) {
+            serve::Json req =
+                serve::parseJson(evaluateLines[i % kPairs]);
+            req.set("deadline_ms",
+                    serve::Json::makeNumber(point.deadlineMs));
+            const serve::Json r = control.request(req);
+            const std::string code = serve::responseErrorCode(r);
+            if (code.empty())
+                ++point.ok;
+            else if (code == "deadline_exceeded")
+                ++point.exceeded;
+            else
+                ++point.other;
+            if (const serve::Json* e = r.find("elapsed_ms"))
+                elapsed.push_back(e->number());
+        }
+        point.p95ElapsedMs = percentile(elapsed, 0.95);
+        dsweep.push_back(point);
+        dtable.addRow({point.label, TextTable::num(point.deadlineMs),
+                       std::to_string(point.ok),
+                       std::to_string(point.exceeded),
+                       std::to_string(point.other),
+                       TextTable::num(point.p95ElapsedMs)});
+    }
+    std::cout << dtable.render() << "\n";
+
     const double rssKb = peakRssKb();
     std::cout << "peak RSS: " << rssKb << " kB\n";
     const serve::Json stats = serve::parseJson(
@@ -324,6 +385,17 @@ main()
                         {"p99_ms", point.p99Ms},
                         {"ok", static_cast<double>(point.ok)},
                         {"shed", static_cast<double>(point.shed)}});
+    }
+    for (const DeadlinePoint& point : dsweep) {
+        bench::jsonRow(
+            std::cout, "serve_latency",
+            {{"phase", "deadline_sweep"}, {"budget", point.label}},
+            {{"deadline_ms", point.deadlineMs},
+             {"requests", static_cast<double>(kDeadlineRequests)},
+             {"ok", static_cast<double>(point.ok)},
+             {"deadline_exceeded", static_cast<double>(point.exceeded)},
+             {"other", static_cast<double>(point.other)},
+             {"p95_elapsed_ms", point.p95ElapsedMs}});
     }
 
     control.close();

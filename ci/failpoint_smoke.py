@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fault-injection smoke for the serving daemon.
+
+Run against a `teaal-serve` started with
+
+    TEAAL_FAILPOINTS='serve.registry.evict_inflight=trig*1'
+
+so the first registry lookup made by an evaluate evicts the coldest
+entry (the model) mid-request. The daemon must answer a structured
+`evicted` error naming the model id -- never a dropped connection or
+an `unknown_id` -- and a re-register plus retry must succeed.
+
+Usage: failpoint_smoke.py PORT
+"""
+import json
+import os
+import socket
+import sys
+import tempfile
+
+MTX = """%%MatrixMarket matrix coordinate real general
+4 4 4
+1 1 1.0
+2 2 2.0
+3 3 3.0
+4 4 4.0
+"""
+
+
+def main():
+    port = int(sys.argv[1])
+    sock = socket.create_connection(("127.0.0.1", port))
+    stream = sock.makefile("rw")
+
+    def call(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        line = stream.readline()
+        assert line, "daemon dropped the connection"
+        return json.loads(line)
+
+    tmp = tempfile.mkdtemp(prefix="teaal_fp_smoke")
+    apath = os.path.join(tmp, "a.mtx")
+    bpath = os.path.join(tmp, "b.mtx")
+    for path in (apath, bpath):
+        with open(path, "w") as f:
+            f.write(MTX)
+
+    model = call({"op": "compile", "accel": "gamma"})["model"]
+    da = call({"op": "load_dataset", "path": apath, "name": "A",
+               "rank_ids": ["K", "M"]})["dataset"]
+    db = call({"op": "load_dataset", "path": bpath, "name": "B",
+               "rank_ids": ["K", "N"]})["dataset"]
+    evaluate = {"op": "evaluate", "model": model,
+                "bindings": {"A": da, "B": db}, "threads": 1}
+
+    # The armed failpoint fires on this request's model lookup and
+    # evicts the model out from under it: structured error, not a
+    # crash, not unknown_id.
+    first = call(evaluate)
+    assert first.get("ok") is False, first
+    assert first["error"]["code"] == "evicted", first
+    assert first["error"]["key"] == model, first
+
+    # The failpoint's *1 limit is spent; re-registering and retrying
+    # is the documented client recovery, and it must work.
+    evaluate["model"] = call({"op": "compile", "accel": "gamma"})["model"]
+    second = call(evaluate)
+    assert second.get("ok") is True, second
+    assert second.get("elapsed_ms", -1) >= 0, second
+
+    stream.close()
+    sock.close()
+    print("failpoint smoke ok: structured `evicted` mid-flight, "
+          "then successful retry after re-registering")
+
+
+if __name__ == "__main__":
+    main()

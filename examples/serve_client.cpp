@@ -11,6 +11,11 @@
  *
  *   ./teaal-serve --port 7471 &
  *   ./example_serve_client 7471
+ *
+ * Also demonstrates the robustness surface: a `deadline_ms` too small
+ * for the run comes back as a structured `deadline_exceeded` (the
+ * daemon stays healthy), and requestWithRetry() retries transient
+ * `overloaded`/`evicted` answers with seeded exponential backoff.
  */
 #include <cstdlib>
 #include <filesystem>
@@ -94,6 +99,33 @@ main(int argc, char** argv)
     //    registry/admission/plan-cache counters.
     call("{\"op\":\"sharding_report\",\"model\":\"" + model + "\"}");
     call(R"({"op":"stats"})");
+
+    // 5. Deadlines: a budget far below the run's wall time comes back
+    //    as a structured `deadline_exceeded` with `elapsed_ms` — and
+    //    the daemon is immediately healthy for the next request.
+    call("{\"op\":\"evaluate\",\"model\":\"" + model +
+         "\",\"bindings\":{\"A\":\"" + da + "\",\"B\":\"" + db +
+         "\"},\"deadline_ms\":0.01,\"id\":\"hurried\"}");
+
+    // 6. Bounded retry with seeded exponential backoff: transient
+    //    codes (`overloaded`, `evicted`) are retried, everything else
+    //    passes through. Here the request succeeds on the first try;
+    //    onRetry would log and approve each backoff step.
+    serve::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.baseDelayMs = 5.0;
+    policy.seed = 42;
+    policy.onRetry = [](const std::string& code, serve::Json&) {
+        std::cout << "   retrying after transient '" << code << "'\n";
+        return true;
+    };
+    unsigned attempts = 0;
+    const serve::Json retried = client.requestWithRetry(
+        serve::parseJson(evaluate), policy, &attempts);
+    std::cout << "requestWithRetry: " << attempts << " attempt(s), ok="
+              << (serve::responseErrorCode(retried).empty() ? "true"
+                                                            : "false")
+              << "\n";
 
     client.close();
     if (local != nullptr)

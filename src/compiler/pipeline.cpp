@@ -11,6 +11,7 @@
 #include "model/perf.hpp"
 #include "storage/packed.hpp"
 #include "trace/fanout.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
 
@@ -283,6 +284,20 @@ CompiledModel::stateFor(const Workload& w, const exec::Semiring& sr) const
     return states_.front();
 }
 
+void
+CompiledModel::dropState(
+    const std::shared_ptr<WorkloadState>& st) const
+{
+    std::lock_guard<std::mutex> lk(*cacheMutex_);
+    for (auto it = states_.begin(); it != states_.end(); ++it) {
+        if (*it == st) {
+            states_.erase(it);
+            ++cacheCounters_->evictions;
+            return;
+        }
+    }
+}
+
 PlanCacheStats
 CompiledModel::planCacheStats() const
 {
@@ -449,7 +464,18 @@ CompiledModel::run(const Workload& workload,
         const std::shared_ptr<WorkloadState> st =
             stateFor(workload, opts.semiring);
         std::lock_guard<std::mutex> lk(st->runMutex);
-        return runOn(*st, workload, opts);
+        try {
+            return runOn(*st, workload, opts);
+        } catch (...) {
+            // A run that died before its plans were fully
+            // instantiated (cancellation, deadline, injected fault)
+            // must not leave a half-built state in the LRU — evict it
+            // so the next run on this workload re-instantiates
+            // cleanly instead of binding stale intermediates.
+            if (!st->plansComplete)
+                dropState(st);
+            throw;
+        }
     }
     WorkloadState ephemeral;
     ephemeral.fingerprint = workload.fingerprint();
@@ -516,6 +542,16 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
                   ? (opts.threads == 1 ? nullptr : opts.pool)
                   : poolFor(opts.threads == 0 ? 2 : opts.threads);
 
+    // One cancellation context for the whole cascade: every Einsum's
+    // engines (and workers) share the token, deadline, and elapsed
+    // base. A request already past its deadline (queued too long)
+    // stops here, before any plan work.
+    eo.cancel.token = opts.cancelToken;
+    eo.cancel.deadline = opts.deadline;
+    eo.cancel.start = std::chrono::steady_clock::now();
+    if (eo.cancel.armed())
+        eo.cancel.throwIfCancelled("before execution");
+
     std::vector<std::string> produced;
     for (std::size_t i = 0; i < es.expressions.size(); ++i) {
         const einsum::Expression& expr = es.expressions[i];
@@ -531,7 +567,17 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
                 eo.coiterOverrides.emplace(rank, strategy);
         }
 
+        // Cascade boundary: catch a cancel/deadline that fired after
+        // the previous Einsum's engines flushed (their polls are
+        // amortized, so the tail of a walk may outlive the deadline
+        // by one batch).
+        if (eo.cancel.armed()) {
+            eo.cancel.throwIfCancelled("einsum '" + expr.output.name +
+                                       "'");
+        }
+
         if (st.plans.size() <= i) {
+            TEAAL_FAILPOINT("compiler.pipeline.instantiate");
             st.plans.push_back(ir::instantiatePlan(
                 recipes_[i], es, refs, produced,
                 /*share_unprepared=*/true, prefs,

@@ -233,6 +233,21 @@ struct RunOptions
     /// workers instead of spawning a pool per model. Must outlive the
     /// run() call.
     util::ThreadPool* pool = nullptr;
+
+    /// Cooperative cancellation: when set (borrowed; must outlive the
+    /// run), the engine polls the token at walk-batch granularity and
+    /// the run unwinds with util::CancelledError — a DiagnosticError
+    /// of section "cancelled" carrying the reason, the elapsed time,
+    /// and the loop position reached. A cancelled run leaves no
+    /// partial outputs and never poisons the plan cache: the next run
+    /// on the same workload re-instantiates cleanly.
+    const util::CancelToken* cancelToken = nullptr;
+
+    /// Hard deadline for the run (steady clock). Unset (default)
+    /// never expires; expiry cancels exactly like a token with reason
+    /// CancelReason::Deadline. Checked alongside cancelToken by the
+    /// same amortized poll.
+    util::Deadline deadline;
 };
 
 /**
@@ -426,6 +441,9 @@ class CompiledModel
 
     std::shared_ptr<WorkloadState>
     stateFor(const Workload& w, const exec::Semiring& sr) const;
+    /** Detach @p st from the LRU (no-op if already evicted) — used to
+     *  discard a state whose instantiating run failed mid-way. */
+    void dropState(const std::shared_ptr<WorkloadState>& st) const;
     void prepareInputs(WorkloadState& st, const Workload& w) const;
     ir::TensorRefMap inputRefs(const WorkloadState& st,
                                const Workload& w) const;

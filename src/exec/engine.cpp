@@ -8,12 +8,17 @@
 #include "storage/packed.hpp"
 #include "util/diagnostic.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace teaal::exec
 {
 
 namespace
 {
+
+/** Events between full cancellation checks — roughly one trace batch,
+ *  so the poll amortizes against the flush the bus already does. */
+constexpr std::size_t kCancelPollEvents = 1024;
 
 double
 opMul(double a, double b)
@@ -126,6 +131,9 @@ Engine::Engine(const ir::EinsumPlan& plan, trace::TraceLog& log,
 void
 Engine::buildIndexes(const ExecOptions& opts)
 {
+    cancel_ = opts.cancel;
+    cancelArmed_ = cancel_.armed();
+
     // A co-iteration override naming a rank this plan does not loop
     // over would silently do nothing — surface it instead.
     for (const auto& [rank, strategy] : opts.coiterOverrides) {
@@ -249,6 +257,19 @@ Engine::buildIndexes(const ExecOptions& opts)
     }
 
     varValues_.assign(varNames_.size(), 0);
+}
+
+void
+Engine::cancelCheckpoint(std::size_t loop)
+{
+    nextCancelPoll_ = bus_.eventCount() + kCancelPollEvents;
+    const util::CancelReason r = cancel_.state();
+    if (r == util::CancelReason::None)
+        return;
+    std::string position = "einsum '" + plan_.output.name + "'";
+    if (loop < plan_.loops.size())
+        position += ", loop rank '" + plan_.loops[loop].name + "'";
+    cancel_.raise(r, position);
 }
 
 ft::Coord
@@ -501,6 +522,7 @@ Engine::denseDrive(std::size_t loop, std::uint64_t pe)
         });
     bus_.coIterate(loop, wc.steps, wc.matches, 0, pe);
     bus_.walkEnd();
+    pollCancel(loop);
 }
 
 template <typename Sink>
@@ -628,6 +650,8 @@ Engine::walk(std::size_t loop, std::uint64_t pe)
                        scratch.scans[d], pe);
     }
     bus_.walkEnd();
+    TEAAL_FAILPOINT("exec.engine.walk");
+    pollCancel(loop);
 }
 
 double
@@ -687,6 +711,10 @@ Engine::enumerateTop(TopWalk& tw)
     Scratch& scratch = scratch_[0];
     auto record = [&](ft::Coord c, ft::Coord range_end,
                       std::size_t ordinal) {
+        // Enumeration emits no trace events, so the cancel poll keys
+        // off the entry count instead of the bus.
+        if (cancelArmed_ && (tw.entries.size() & 0xfff) == 0)
+            cancelCheckpoint(0);
         tw.entries.push_back({c, range_end, nextPe(lr, c, ordinal, 0)});
         for (std::size_t d = 0; d < nd; ++d) {
             tw.pos.push_back(scratch.pos[d]);
@@ -731,6 +759,9 @@ Engine::enumerateInner(TopWalk& tw)
     bus_.setMuted(true);
     auto outerSink = [&](ft::Coord c, ft::Coord range_end,
                          std::size_t ordinal) {
+        // Muted enumeration produces no bus events; poll per outer.
+        if (cancelArmed_ && (tw.outers.size() & 0x3ff) == 0)
+            cancelCheckpoint(0);
         TopWalk::Outer o;
         o.e = {c, range_end, nextPe(lr0, c, ordinal, 0)};
         o.pos.assign(nd0, 0);
@@ -875,6 +906,7 @@ Engine::executeUnit(const TopWalk& tw, std::size_t u)
             unitPresent_[d] = tw.present[u * nd + d] != 0;
         }
         atCoordinate(0, e.c, e.rangeEnd, unitPos_, unitPresent_, e.pe);
+        pollCancel(0);
         return;
     }
 
@@ -911,6 +943,7 @@ Engine::executeUnit(const TopWalk& tw, std::size_t u)
         }
         closeOuter();
     }
+    pollCancel(1);
 }
 
 void

@@ -27,6 +27,7 @@
 #include "ir/plan.hpp"
 #include "trace/batch.hpp"
 #include "trace/observer.hpp"
+#include "util/cancel.hpp"
 
 namespace teaal::util
 {
@@ -117,6 +118,17 @@ struct ExecOptions
      * observer like PR 3 always has.
      */
     ShardModelHooks modelHooks;
+
+    /**
+     * Cooperative cancellation: token + deadline + start point,
+     * value-copied into every worker engine of a sharded run. When
+     * armed, the engine polls at walk-batch granularity (amortized
+     * against the trace-batch flush) and unwinds with
+     * util::CancelledError; disarmed (the default) costs one branch
+     * per walk end. Polling emits no trace events, so a run that is
+     * never cancelled is byte-identical to one with no token.
+     */
+    util::CancelCheck cancel;
 };
 
 /**
@@ -567,6 +579,25 @@ class Engine
      *  present drivers' child occupancy x ShardPlan::driverWeight. */
     double entryWeight(std::size_t loop) const;
 
+    /**
+     * Amortized cancellation poll, called at walk boundaries. The
+     * fast path is two loads and a compare; the real check
+     * (cancelCheckpoint) runs roughly once per trace batch worth of
+     * events and throws util::CancelledError naming the loop rank
+     * reached.
+     */
+    void
+    pollCancel(std::size_t loop)
+    {
+        if (!cancelArmed_ || bus_.eventCount() < nextCancelPoll_)
+            return;
+        cancelCheckpoint(loop);
+    }
+
+    /** Slow path of pollCancel: re-arm the event threshold, then
+     *  check token and deadline. */
+    void cancelCheckpoint(std::size_t loop);
+
     void leafCompute(std::uint64_t pe);
 
     /**
@@ -648,6 +679,13 @@ class Engine
     ft::Coord leafCoord_ = 0;
     std::uint64_t leafHash_ = 0;
     bool scalarOutput_ = false;
+
+    // Cancellation (see ExecOptions::cancel). nextCancelPoll_ starts
+    // at 0 so the first poll always runs the full check — a
+    // pre-cancelled token stops a run before any unit executes.
+    util::CancelCheck cancel_;
+    bool cancelArmed_ = false;
+    std::size_t nextCancelPoll_ = 0;
 
     // Sharded-execution state (see the public shard API).
     static constexpr std::size_t kNoOuter =

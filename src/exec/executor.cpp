@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace teaal::exec
@@ -419,6 +420,7 @@ Executor::runSharded(unsigned threads)
     // the shared cursor unit by unit so thieves can shrink hi.
     auto work_slice = [&](Slice* s) {
         try {
+            TEAAL_FAILPOINT("exec.executor.slice");
             Engine eng(plan_, s->log, sr_, opts_);
             if (split_model) {
                 eng.setTraceFilter(opts_.modelHooks.classifier,
@@ -588,7 +590,17 @@ Executor::runSharded(unsigned threads)
     }
     cv.notify_all();
     if (opts_.pool != nullptr) {
-        ticket.wait();
+        // wait() rethrows anything a drain job threw outside
+        // work_slice's own catch (e.g. an allocation failure in
+        // claim_work); fold it into the run's first error rather than
+        // letting it preempt an earlier, more specific one.
+        try {
+            ticket.wait();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mutex);
+            if (first_error == nullptr)
+                first_error = std::current_exception();
+        }
     } else {
         for (std::thread& t : adhoc)
             t.join();

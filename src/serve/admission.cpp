@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace teaal::serve
 {
 
@@ -27,7 +29,8 @@ Admission::submit(std::function<void()> job)
             ++shed_;
             return Reject::ShuttingDown;
         }
-        if (inFlight_ >= maxInFlight_) {
+        if (inFlight_ >= maxInFlight_ ||
+            TEAAL_FAILPOINT_TRIGGERED("serve.admission.overload")) {
             ++shed_;
             return Reject::Overloaded;
         }
@@ -38,14 +41,30 @@ Admission::submit(std::function<void()> job)
     auto wrapped = std::make_shared<std::function<void()>>(
         std::move(job));
     pool_.launch(1, [this, wrapped](unsigned) {
-        (*wrapped)();
-        std::lock_guard<std::mutex> lk(mutex_);
-        --inFlight_;
-        ++completed_;
-        if (inFlight_ == 0)
-            idleCv_.notify_all();
+        // The in-flight slot must be returned even when the job
+        // throws (the pool now surfaces job exceptions at its
+        // Ticket::wait(), so a throw no longer aborts the process —
+        // but an unguarded one here would leak the slot and hang
+        // drain() forever).
+        try {
+            (*wrapped)();
+        } catch (...) {
+            releaseSlot();
+            throw;
+        }
+        releaseSlot();
     });
     return Reject::None;
+}
+
+void
+Admission::releaseSlot()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    --inFlight_;
+    ++completed_;
+    if (inFlight_ == 0)
+        idleCv_.notify_all();
 }
 
 void

@@ -78,6 +78,9 @@ class Admission
     Stats stats() const;
 
   private:
+    /// Return an in-flight slot (job finished or threw).
+    void releaseSlot();
+
     util::ThreadPool& pool_;
     const unsigned maxInFlight_;
 

@@ -5,14 +5,32 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/random.hpp"
 
 namespace teaal::serve
 {
+
+std::string
+responseErrorCode(const Json& response)
+{
+    const Json* ok = response.find("ok");
+    if (ok != nullptr && ok->isBool() && ok->boolean())
+        return "";
+    const Json* error = response.find("error");
+    if (error == nullptr)
+        return "";
+    const Json* code = error->find("code");
+    return code != nullptr && code->isString() ? code->str()
+                                               : std::string();
+}
 
 Client::~Client()
 {
@@ -107,6 +125,32 @@ Json
 Client::request(const Json& req)
 {
     return parseJson(requestLine(req.dump()));
+}
+
+Json
+Client::requestWithRetry(Json req, const RetryPolicy& policy,
+                         unsigned* attempts_out)
+{
+    Xoshiro256 rng(policy.seed);
+    const unsigned max_attempts = std::max(1u, policy.maxAttempts);
+    for (unsigned attempt = 0;; ++attempt) {
+        Json response = request(req);
+        if (attempts_out != nullptr)
+            *attempts_out = attempt + 1;
+        const std::string code = responseErrorCode(response);
+        const bool transient = code == "overloaded" || code == "evicted";
+        if (!transient || attempt + 1 >= max_attempts)
+            return response;
+        if (policy.onRetry && !policy.onRetry(code, req))
+            return response;
+        const double step = std::min(
+            policy.maxDelayMs,
+            policy.baseDelayMs *
+                static_cast<double>(1ULL << std::min(attempt, 30u)));
+        const double delay_ms = step * (0.5 + 0.5 * rng.uniform());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+    }
 }
 
 } // namespace teaal::serve

@@ -7,15 +7,49 @@
  * and the end-to-end tests; kept deliberately synchronous — the load
  * generator gets concurrency by running many clients, matching how
  * real open-loop harnesses drive a service.
+ *
+ * requestWithRetry() layers the client-side half of the server's
+ * load-shedding contract on top: `overloaded` and `evicted` are
+ * transient by design (capacity frees up; evicted ids can be
+ * re-registered), so they get bounded retries with exponential
+ * backoff and seeded jitter. Everything else — including `cancelled`
+ * and `deadline_exceeded`, which mean the server deliberately stopped
+ * the run — returns to the caller untouched.
  */
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/json.hpp"
 
 namespace teaal::serve
 {
+
+/** The `error.code` of a response, or "" when `ok` is true. */
+std::string responseErrorCode(const Json& response);
+
+/**
+ * Retry policy for requestWithRetry(). Backoff for attempt n (0-based)
+ * is min(maxDelayMs, baseDelayMs * 2^n) scaled by a jitter factor in
+ * [0.5, 1.0) drawn from a seeded Xoshiro256 stream — deterministic
+ * for tests, decorrelated across clients seeded differently.
+ */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 4;   ///< total tries, including the first
+    double baseDelayMs = 10.0;  ///< first backoff step
+    double maxDelayMs = 250.0;  ///< backoff ceiling
+    std::uint64_t seed = 0x5eed5eedULL; ///< jitter stream seed
+
+    /// Consulted before each retry with the error code and the
+    /// mutable request. Return false to give up now (keeping the
+    /// error response). Mutating the request is the `evicted`
+    /// recovery path: re-register the dropped model/dataset, then
+    /// point the retried request at the fresh ids.
+    std::function<bool(const std::string& code, Json& request)> onRetry;
+};
 
 class Client
 {
@@ -43,6 +77,16 @@ class Client
 
     /** requestLine + JSON round trip. */
     Json request(const Json& req);
+
+    /**
+     * request() with bounded retries on the transient codes
+     * (`overloaded`, `evicted`) per @p policy. Returns the first
+     * non-retryable response, or the last error once attempts are
+     * exhausted / onRetry declines. @p attempts_out (optional) gets
+     * the number of requests actually sent.
+     */
+    Json requestWithRetry(Json req, const RetryPolicy& policy,
+                          unsigned* attempts_out = nullptr);
 
   private:
     int fd_ = -1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
+
 namespace teaal::serve
 {
 
@@ -93,20 +95,57 @@ Registry::touchLocked(const std::string& id)
     return &*it->second;
 }
 
+void
+Registry::evictHotLocked()
+{
+    // Fault injection (serve.registry.evict_inflight): evict the
+    // entry a lookup just touched, exactly as memory pressure would —
+    // bytes returned, eviction recorded, id remembered as evicted so
+    // the protocol answers "evicted, re-register".
+    Entry& hot = lru_.front();
+    residentBytes_ -= hot.bytes;
+    index_.erase(hot.id);
+    evicted_.insert(hot.id);
+    ++evictions_;
+    lru_.pop_front();
+}
+
 std::shared_ptr<const compiler::CompiledModel>
 Registry::model(const std::string& id)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
-    const Entry* e = touchLocked(id);
-    return e != nullptr ? e->model : nullptr;
+    std::function<void(const std::string&)> hook;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        const Entry* e = touchLocked(id);
+        if (e == nullptr)
+            return nullptr;
+        if (!TEAAL_FAILPOINT_TRIGGERED("serve.registry.evict_inflight"))
+            return e->model;
+        evictHotLocked();
+        hook = evictionHook_;
+    }
+    if (hook)
+        hook(id);
+    return nullptr;
 }
 
 std::shared_ptr<const storage::PackedTensor>
 Registry::dataset(const std::string& id)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
-    const Entry* e = touchLocked(id);
-    return e != nullptr ? e->dataset : nullptr;
+    std::function<void(const std::string&)> hook;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        const Entry* e = touchLocked(id);
+        if (e == nullptr)
+            return nullptr;
+        if (!TEAAL_FAILPOINT_TRIGGERED("serve.registry.evict_inflight"))
+            return e->dataset;
+        evictHotLocked();
+        hook = evictionHook_;
+    }
+    if (hook)
+        hook(id);
+    return nullptr;
 }
 
 bool

@@ -120,6 +120,11 @@ class Registry
 
     const Entry* touchLocked(const std::string& id);
 
+    /** Evict the front (just-touched) entry — the
+     *  serve.registry.evict_inflight failpoint's as-if-under-pressure
+     *  eviction. */
+    void evictHotLocked();
+
     mutable std::mutex mutex_;
     std::uint64_t budgetBytes_;
     std::uint64_t residentBytes_ = 0;

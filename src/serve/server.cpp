@@ -244,9 +244,17 @@ Server::stop()
         ::close(listenFd_);
         listenFd_ = -1;
     }
-    // Shed work not yet admitted; everything accepted runs to
-    // completion and its session writes the response before exiting.
+    // Shed work not yet admitted; everything accepted observes
+    // shutdown through the same cancellation path as a user `cancel`,
+    // so the drain below is bounded by one poll interval instead of a
+    // full run, and its session still writes the (structured
+    // `cancelled`) response before exiting.
     admission_->close();
+    {
+        std::lock_guard<std::mutex> lk(inflightMutex_);
+        for (auto& [key, token] : inflight_)
+            token->cancel(util::CancelReason::Shutdown);
+    }
     {
         std::lock_guard<std::mutex> lk(sessionsMutex_);
         for (const std::unique_ptr<Session>& s : sessions_) {
@@ -302,6 +310,8 @@ Server::handle(const Json& request)
             response = handleLoadDataset(request);
         else if (op == "evaluate")
             response = handleEvaluate(request);
+        else if (op == "cancel")
+            response = handleCancel(request);
         else if (op == "stats")
             response = handleStats(request);
         else if (op == "sharding_report")
@@ -498,6 +508,15 @@ Server::dropWorkloadsReferencing(const std::string& id)
 Json
 Server::handleEvaluate(const Json& request)
 {
+    // The deadline clock starts at receipt, so time spent queued in
+    // admission counts against the request's budget.
+    const Clock::time_point received = Clock::now();
+    const auto elapsedMs = [received] {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         received)
+            .count();
+    };
+
     const std::string model_id = requireString(request, "model");
     const Json& bindings = requireField(request, "bindings");
     if (!bindings.isObject())
@@ -520,6 +539,17 @@ Server::handleEvaluate(const Json& request)
     }
     const bool validate = optionalBool(request, "validate", true);
     const bool cache = optionalBool(request, "cache", true);
+
+    double deadline_ms = opts_.maxDeadlineMs;
+    if (const Json* d = request.find("deadline_ms")) {
+        if (!d->isNumber() || !(d->number() > 0.0))
+            diagError("protocol", "deadline_ms",
+                      "field 'deadline_ms' must be a positive number "
+                      "of milliseconds");
+        deadline_ms = opts_.maxDeadlineMs > 0.0
+                          ? std::min(d->number(), opts_.maxDeadlineMs)
+                          : d->number();
+    }
 
     auto model = registry_.model(model_id);
     if (model == nullptr) {
@@ -548,6 +578,31 @@ Server::handleEvaluate(const Json& request)
                              e.diagnostic().message);
     }
 
+    // Register in the in-flight table so the `cancel` op and stop()
+    // can reach this run through its token. Keyed by the serialized
+    // request `id`; id-less requests sit under the empty key, out of
+    // reach of `cancel` but still cancelled at shutdown.
+    auto token = std::make_shared<util::CancelToken>();
+    const Json* rid = request.find("id");
+    std::multimap<std::string,
+                  std::shared_ptr<util::CancelToken>>::iterator entry;
+    {
+        std::lock_guard<std::mutex> lk(inflightMutex_);
+        entry = inflight_.emplace(
+            rid != nullptr ? rid->dump() : std::string(), token);
+    }
+    struct Unregister
+    {
+        Server* server;
+        std::multimap<std::string,
+                      std::shared_ptr<util::CancelToken>>::iterator it;
+        ~Unregister()
+        {
+            std::lock_guard<std::mutex> lk(server->inflightMutex_);
+            server->inflight_.erase(it);
+        }
+    } unregister{this, entry};
+
     // Per-request RunOptions: nothing mutable is shared between
     // requests; the server's one pool hosts any intra-request shards.
     compiler::RunOptions ro;
@@ -555,6 +610,12 @@ Server::handleEvaluate(const Json& request)
     ro.validateInputs = validate;
     ro.cacheState = cache;
     ro.pool = &pool_;
+    ro.cancelToken = token.get();
+    if (deadline_ms > 0.0)
+        ro.deadline = util::Deadline::at(
+            received + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms)));
 
     std::promise<Json> done;
     std::future<Json> future = done.get_future();
@@ -590,6 +651,18 @@ Server::handleEvaluate(const Json& request)
                              Json::makeString(workload_cached
                                                   ? "hit"
                                                   : "miss"));
+            } catch (const util::CancelledError& e) {
+                // Distinct from `overloaded`: the run was admitted
+                // and then stopped cooperatively.
+                const bool deadline =
+                    e.reason() == util::CancelReason::Deadline;
+                response = errorResponse(
+                    deadline ? "deadline_exceeded" : "cancelled",
+                    e.diagnostic().section, e.diagnostic().key,
+                    e.diagnostic().message);
+                response.set("reason",
+                             Json::makeString(util::cancelReasonName(
+                                 e.reason())));
             } catch (const DiagnosticError& e) {
                 response = errorResponse(
                     "bad_request", e.diagnostic().section,
@@ -599,15 +672,44 @@ Server::handleEvaluate(const Json& request)
             }
             done.set_value(std::move(response));
         });
-    if (rejected == Admission::Reject::Overloaded)
-        return errorResponse(
-            "overloaded", "admission", "",
-            "in-flight evaluation cap reached; retry later");
-    if (rejected == Admission::Reject::ShuttingDown)
-        return errorResponse("shutting_down", "admission", "",
-                             "server is draining; not accepting new "
-                             "evaluations");
-    return future.get();
+    if (rejected != Admission::Reject::None) {
+        Json shed =
+            rejected == Admission::Reject::Overloaded
+                ? errorResponse("overloaded", "admission", "",
+                                "in-flight evaluation cap reached; "
+                                "retry later")
+                : errorResponse("shutting_down", "admission", "",
+                                "server is draining; not accepting "
+                                "new evaluations");
+        shed.set("elapsed_ms", Json::makeNumber(elapsedMs()));
+        return shed;
+    }
+    Json response = future.get();
+    response.set("elapsed_ms", Json::makeNumber(elapsedMs()));
+    return response;
+}
+
+Json
+Server::handleCancel(const Json& request)
+{
+    // Cancels every in-flight evaluation whose request `id` equals
+    // `target` (compared by serialized value, so any JSON id type
+    // works). Already-finished requests are simply not in the table;
+    // cancelling nothing is not an error — the caller learns the
+    // count either way.
+    const Json& target = requireField(request, "target");
+    std::size_t n = 0;
+    {
+        std::lock_guard<std::mutex> lk(inflightMutex_);
+        auto [lo, hi] = inflight_.equal_range(target.dump());
+        for (auto it = lo; it != hi; ++it) {
+            it->second->cancel(util::CancelReason::User);
+            ++n;
+        }
+    }
+    Json r = okResponse();
+    r.set("cancelled", Json::makeNumber(static_cast<double>(n)));
+    return r;
 }
 
 Json

@@ -22,14 +22,26 @@
  *            "traffic_bytes":...,"compute_muls":...,"cache":"hit"}
  *   {"op":"stats"}            -> registry/admission/plan-cache counters
  *   {"op":"sharding_report","model":"m1"} -> per-Einsum entries
+ *   {"op":"cancel","target":<id>}         -> {"ok":true,"cancelled":N}
+ *
+ * Evaluations accept an optional `deadline_ms`; the server clamps it
+ * to ServerOptions::maxDeadlineMs (also the default when absent). The
+ * deadline clock starts at request receipt, so queueing time counts.
+ * Every evaluate response — success or error — reports `elapsed_ms`.
+ * `cancel` cooperatively stops in-flight evaluations whose request
+ * `id` equals `target`; they answer with code `cancelled`.
  *
  * Errors are structured, mirroring util::Diagnostic:
  *   {"ok":false,"error":{"code":"bad_request"|"unknown_id"|"evicted"|
- *                        "overloaded"|"shutting_down"|"internal",
+ *                        "overloaded"|"shutting_down"|"cancelled"|
+ *                        "deadline_exceeded"|"internal",
  *                        "section":"...","key":"...","message":"..."}}
  * `evicted` means "this id was registered and later LRU-evicted under
  * the memory budget — re-register it"; `overloaded` is admission
- * shedding (serve/admission.hpp).
+ * shedding (serve/admission.hpp); `cancelled` / `deadline_exceeded`
+ * are cooperative-cancellation outcomes (util/cancel.hpp) and are
+ * deliberately distinct from `overloaded` so clients can tell "shed
+ * before running" from "stopped while running".
  *
  * Evaluations run through serve::Admission on the server's single
  * shared ThreadPool (also passed into RunOptions::pool, so sharded
@@ -39,8 +51,10 @@
  * between requests.
  *
  * Graceful shutdown: stop() (the daemon calls it on SIGINT/SIGTERM)
- * stops accepting connections and new work, lets every in-flight
- * request finish and write its response, then joins all sessions.
+ * stops accepting connections and new work, cancels in-flight
+ * evaluations through the same token path (reason `shutdown`, so the
+ * drain is bounded), lets every request write its response, then
+ * joins all sessions.
  */
 #pragma once
 
@@ -58,6 +72,7 @@
 #include "serve/admission.hpp"
 #include "serve/json.hpp"
 #include "serve/registry.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace teaal::serve
@@ -87,6 +102,13 @@ struct ServerOptions
     /// Bound-workload cache entries (model + binding-set combinations
     /// kept alive so repeated evaluations hit the plan cache).
     std::size_t workloadCacheEntries = 64;
+
+    /// Deadline policy for evaluations, in milliseconds: the default
+    /// applied when a request names no `deadline_ms`, and the cap a
+    /// requested one is clamped to. 0 disables both (no deadline
+    /// unless a request asks, uncapped). Expiry cancels the run
+    /// cooperatively and answers `deadline_exceeded`.
+    double maxDeadlineMs = 30000.0;
 };
 
 class Server
@@ -152,6 +174,7 @@ class Server
     Json handleCompile(const Json& request);
     Json handleLoadDataset(const Json& request);
     Json handleEvaluate(const Json& request);
+    Json handleCancel(const Json& request);
     Json handleStats(const Json& request);
     Json handleShardingReport(const Json& request);
 
@@ -183,6 +206,13 @@ class Server
     std::list<std::pair<std::string,
                         std::shared_ptr<const BoundWorkload>>>
         workloads_;
+
+    /// In-flight evaluations by serialized request `id` (empty key
+    /// for id-less requests — uncancellable by op, still reached by
+    /// shutdown). Multimap: duplicate ids cancel together.
+    std::mutex inflightMutex_;
+    std::multimap<std::string, std::shared_ptr<util::CancelToken>>
+        inflight_;
 };
 
 } // namespace teaal::serve

@@ -1,0 +1,118 @@
+#include "util/cancel.hpp"
+
+#include <limits>
+
+namespace teaal::util
+{
+
+const char*
+cancelReasonName(CancelReason r)
+{
+    switch (r) {
+    case CancelReason::User: return "user";
+    case CancelReason::Deadline: return "deadline";
+    case CancelReason::Shutdown: return "shutdown";
+    case CancelReason::None: break;
+    }
+    return "none";
+}
+
+Deadline
+Deadline::in(double ms)
+{
+    Deadline d;
+    d.set_ = true;
+    d.when_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+    return d;
+}
+
+Deadline
+Deadline::at(std::chrono::steady_clock::time_point when)
+{
+    Deadline d;
+    d.set_ = true;
+    d.when_ = when;
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    return set_ && std::chrono::steady_clock::now() >= when_;
+}
+
+double
+Deadline::remainingMs() const
+{
+    if (!set_)
+        return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(
+               when_ - std::chrono::steady_clock::now())
+        .count();
+}
+
+void
+CancelToken::cancel(CancelReason reason)
+{
+    if (reason == CancelReason::None)
+        return;
+    std::uint8_t expected =
+        static_cast<std::uint8_t>(CancelReason::None);
+    state_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+namespace
+{
+
+Diagnostic
+cancelDiagnostic(CancelReason reason, double elapsed_ms,
+                 const std::string& position)
+{
+    Diagnostic d;
+    d.section = "cancelled";
+    d.key = cancelReasonName(reason);
+    d.message = reason == CancelReason::Deadline
+                    ? "deadline exceeded"
+                    : std::string("run cancelled (") +
+                          cancelReasonName(reason) + ")";
+    d.message += " after " +
+                 std::to_string(static_cast<long long>(elapsed_ms)) +
+                 " ms";
+    if (!position.empty())
+        d.message += " at " + position;
+    return d;
+}
+
+} // namespace
+
+CancelledError::CancelledError(CancelReason reason, double elapsed_ms,
+                               std::string position)
+    : DiagnosticError(cancelDiagnostic(reason, elapsed_ms, position)),
+      reason_(reason), elapsedMs_(elapsed_ms),
+      position_(std::move(position))
+{
+}
+
+double
+CancelCheck::elapsedMs() const
+{
+    if (start == std::chrono::steady_clock::time_point{})
+        return 0.0;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+CancelCheck::raise(CancelReason reason,
+                   const std::string& position) const
+{
+    throw CancelledError(reason, elapsedMs(), position);
+}
+
+} // namespace teaal::util

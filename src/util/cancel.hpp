@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running simulations.
+ *
+ * A `CancelToken` is a thread-safe, reason-carrying flag: any thread
+ * may call cancel() (user request, deadline enforcement, server
+ * shutdown) and the executing engine polls it at walk-batch
+ * granularity, unwinding with a `CancelledError` — a structured
+ * `DiagnosticError` (section "cancelled") that records why, how long
+ * the run had been going, and the loop position reached. A `Deadline`
+ * is a steady-clock time point the poller checks alongside the token;
+ * the token's explicit reason wins over deadline expiry when both
+ * fire, so a user cancel is never misreported as a timeout.
+ *
+ * `CancelCheck` bundles the two plus the run's start time; it is what
+ * flows through ExecOptions/RunOptions so every layer shares one
+ * elapsed-time base. Polling is cheap but not free — callers amortize
+ * it (the engine checks once per trace-batch flush, ~1000 events).
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/diagnostic.hpp"
+
+namespace teaal::util
+{
+
+/** Why a run was asked to stop. Ordered only for storage; the first
+ *  reason stored in a token wins. */
+enum class CancelReason : std::uint8_t
+{
+    None = 0,
+    User = 1,     ///< explicit cancel (serve `cancel` op, test)
+    Deadline = 2, ///< the run's deadline expired
+    Shutdown = 3, ///< the owning daemon is draining for exit
+};
+
+/** "user" / "deadline" / "shutdown" / "none". */
+const char* cancelReasonName(CancelReason r);
+
+/** An optional steady-clock expiry point. Default-constructed ⇒ unset
+ *  (never expires). Copyable and cheap; not a synchronization object. */
+class Deadline
+{
+  public:
+    Deadline() = default;
+
+    /** A deadline @p ms milliseconds from now. Non-positive values
+     *  produce an already-expired deadline. */
+    static Deadline in(double ms);
+
+    /** A deadline at an absolute steady-clock point. */
+    static Deadline at(std::chrono::steady_clock::time_point when);
+
+    bool set() const { return set_; }
+    bool expired() const;
+
+    /** Milliseconds until expiry (negative if past); +inf when unset. */
+    double remainingMs() const;
+
+  private:
+    std::chrono::steady_clock::time_point when_{};
+    bool set_ = false;
+};
+
+/**
+ * Thread-safe cancellation flag. cancel() may be called from any
+ * thread, any number of times — the first reason sticks. cancelled()
+ * is a single relaxed atomic load, cheap enough for hot-loop polling.
+ */
+class CancelToken
+{
+  public:
+    /** Request cancellation. The first caller's reason is kept. */
+    void cancel(CancelReason reason = CancelReason::User);
+
+    bool cancelled() const
+    {
+        return state_.load(std::memory_order_relaxed) !=
+               static_cast<std::uint8_t>(CancelReason::None);
+    }
+
+    CancelReason reason() const
+    {
+        return static_cast<CancelReason>(
+            state_.load(std::memory_order_acquire));
+    }
+
+    /** Re-arm for reuse (tests; serve request tables make fresh ones). */
+    void reset()
+    {
+        state_.store(static_cast<std::uint8_t>(CancelReason::None),
+                     std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint8_t> state_{
+        static_cast<std::uint8_t>(CancelReason::None)};
+};
+
+/**
+ * The structured error a cancelled run unwinds with. Is-a
+ * DiagnosticError with section "cancelled" and key = reason name, so
+ * existing catch sites surface it like any other diagnostic while
+ * aware callers (the serve layer) read the typed fields.
+ */
+class CancelledError : public DiagnosticError
+{
+  public:
+    CancelledError(CancelReason reason, double elapsed_ms,
+                   std::string position);
+
+    CancelReason reason() const { return reason_; }
+
+    /** Wall time from the run's start to the poll that fired. */
+    double elapsedMs() const { return elapsedMs_; }
+
+    /** Loop position reached, e.g. "einsum 'Z', loop rank 'k'". */
+    const std::string& position() const { return position_; }
+
+  private:
+    CancelReason reason_;
+    double elapsedMs_;
+    std::string position_;
+};
+
+/**
+ * Poll bundle threaded through exec::ExecOptions. Value-copied into
+ * every worker engine, so all shards of a run share the token, the
+ * deadline, and the start point.
+ */
+struct CancelCheck
+{
+    const CancelToken* token = nullptr;
+    Deadline deadline;
+    std::chrono::steady_clock::time_point start{};
+
+    /** Anything to poll at all? Checked once at engine construction. */
+    bool armed() const { return token != nullptr || deadline.set(); }
+
+    /** Current stop request: the token's explicit reason first, then
+     *  deadline expiry; None when the run may continue. */
+    CancelReason state() const
+    {
+        if (token != nullptr && token->cancelled())
+            return token->reason();
+        if (deadline.expired())
+            return CancelReason::Deadline;
+        return CancelReason::None;
+    }
+
+    double elapsedMs() const;
+
+    /** Throw CancelledError for @p reason at @p position. */
+    [[noreturn]] void raise(CancelReason reason,
+                            const std::string& position) const;
+
+    /** Poll-and-throw in one step (slow path; call after a cheap
+     *  amortization gate). */
+    void
+    throwIfCancelled(const std::string& position) const
+    {
+        const CancelReason r = state();
+        if (r != CancelReason::None)
+            raise(r, position);
+    }
+};
+
+} // namespace teaal::util

@@ -1,0 +1,263 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/diagnostic.hpp"
+
+namespace teaal::util::failpoint
+{
+
+namespace
+{
+
+struct Point
+{
+    Program program;
+    std::size_t hits = 0;
+};
+
+struct RegistryState
+{
+    std::mutex mutex;
+    std::map<std::string, Point> points;
+    /// Armed-point count, readable without the mutex (the site fast
+    /// path). Relaxed is fine: a site racing an arm/disarm either
+    /// sees the old world or the new one, both valid.
+    std::atomic<std::size_t> active{0};
+};
+
+RegistryState&
+registry()
+{
+    static RegistryState state;
+    return state;
+}
+
+[[noreturn]] void
+specError(const std::string& name, const std::string& spec,
+          const std::string& why)
+{
+    diagError("failpoint", name, "bad failpoint spec '", spec, "': ",
+              why);
+}
+
+/** Parse `action{+skip(N)|*M}` (grammar in the header). */
+Program
+parseSpec(const std::string& name, const std::string& spec)
+{
+    Program p;
+    std::size_t pos = 0;
+    auto parenArg = [&](const char* what) -> std::string {
+        if (pos >= spec.size() || spec[pos] != '(')
+            specError(name, spec,
+                      std::string("expected '(' after ") + what);
+        const std::size_t close = spec.find(')', pos);
+        if (close == std::string::npos)
+            specError(name, spec, "missing ')'");
+        std::string arg = spec.substr(pos + 1, close - pos - 1);
+        pos = close + 1;
+        return arg;
+    };
+    auto number = [&](const std::string& arg,
+                      const char* what) -> double {
+        char* end = nullptr;
+        const double v = std::strtod(arg.c_str(), &end);
+        if (arg.empty() || end != arg.c_str() + arg.size() || v < 0)
+            specError(name, spec,
+                      std::string("bad numeric argument for ") + what +
+                          ": '" + arg + "'");
+        return v;
+    };
+
+    if (spec.rfind("error", 0) == 0) {
+        p.action = Program::Action::Error;
+        pos = 5;
+        p.message = parenArg("error");
+        if (p.message.empty())
+            p.message = "injected failure";
+    } else if (spec.rfind("delay", 0) == 0) {
+        p.action = Program::Action::Delay;
+        pos = 5;
+        p.delayMs = number(parenArg("delay"), "delay");
+    } else if (spec.rfind("trig", 0) == 0) {
+        p.action = Program::Action::Trigger;
+        pos = 4;
+    } else if (spec == "off") {
+        p.action = Program::Action::Off;
+        pos = 3;
+    } else {
+        specError(name, spec,
+                  "unknown action (want error(msg) | delay(ms) | trig "
+                  "| off)");
+    }
+
+    while (pos < spec.size()) {
+        if (spec.compare(pos, 6, "+skip(") == 0) {
+            pos += 5;
+            p.after = static_cast<std::size_t>(
+                number(parenArg("+skip"), "+skip"));
+        } else if (spec[pos] == '*') {
+            const std::size_t start = ++pos;
+            while (pos < spec.size() && spec[pos] >= '0' &&
+                   spec[pos] <= '9')
+                ++pos;
+            if (pos == start)
+                specError(name, spec, "expected a count after '*'");
+            p.limit = static_cast<std::size_t>(
+                number(spec.substr(start, pos - start), "*"));
+        } else {
+            specError(name, spec,
+                      "trailing garbage at '" + spec.substr(pos) + "'");
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+void
+set(const std::string& name, Program program)
+{
+    RegistryState& st = registry();
+    std::lock_guard<std::mutex> lk(st.mutex);
+    auto it = st.points.find(name);
+    const bool was_armed =
+        it != st.points.end() &&
+        it->second.program.action != Program::Action::Off;
+    const bool armed = program.action != Program::Action::Off;
+    if (it == st.points.end()) {
+        if (!armed)
+            return;
+        it = st.points.emplace(name, Point{}).first;
+    }
+    it->second.program = std::move(program);
+    it->second.hits = 0;
+    if (armed && !was_armed)
+        st.active.fetch_add(1, std::memory_order_relaxed);
+    else if (!armed && was_armed)
+        st.active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+setFromSpec(const std::string& name, const std::string& spec)
+{
+    set(name, parseSpec(name, spec));
+}
+
+void
+clear(const std::string& name)
+{
+    set(name, Program{});
+}
+
+void
+clearAll()
+{
+    RegistryState& st = registry();
+    std::lock_guard<std::mutex> lk(st.mutex);
+    for (auto& [name, point] : st.points) {
+        point.program = Program{};
+        point.hits = 0;
+    }
+    st.active.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+hitCount(const std::string& name)
+{
+    RegistryState& st = registry();
+    std::lock_guard<std::mutex> lk(st.mutex);
+    const auto it = st.points.find(name);
+    return it == st.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string>
+activeNames()
+{
+    RegistryState& st = registry();
+    std::lock_guard<std::mutex> lk(st.mutex);
+    std::vector<std::string> out;
+    for (const auto& [name, point] : st.points) {
+        if (point.program.action != Program::Action::Off)
+            out.push_back(name);
+    }
+    return out;
+}
+
+std::size_t
+configureFromEnv(const char* var)
+{
+    const char* raw = std::getenv(var);
+    if (raw == nullptr || *raw == '\0')
+        return 0;
+    std::size_t armed = 0;
+    const std::string all(raw);
+    std::size_t begin = 0;
+    while (begin <= all.size()) {
+        std::size_t end = all.find(';', begin);
+        if (end == std::string::npos)
+            end = all.size();
+        const std::string item = all.substr(begin, end - begin);
+        begin = end + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            diagError("failpoint", var, "bad ", var, " entry '", item,
+                      "' (want name=spec)");
+        setFromSpec(item.substr(0, eq), item.substr(eq + 1));
+        ++armed;
+    }
+    return armed;
+}
+
+namespace detail
+{
+
+bool
+anyActive()
+{
+    return registry().active.load(std::memory_order_relaxed) != 0;
+}
+
+bool
+evaluate(const char* name)
+{
+    Program fire;
+    {
+        RegistryState& st = registry();
+        std::lock_guard<std::mutex> lk(st.mutex);
+        const auto it = st.points.find(name);
+        if (it == st.points.end() ||
+            it->second.program.action == Program::Action::Off)
+            return false;
+        Point& pt = it->second;
+        const std::size_t hit_index = pt.hits++;
+        if (hit_index < pt.program.after)
+            return false;
+        if (pt.program.limit != 0 &&
+            hit_index >= pt.program.after + pt.program.limit)
+            return false;
+        fire = pt.program;
+    }
+    switch (fire.action) {
+    case Program::Action::Error:
+        diagError("failpoint", name, fire.message);
+    case Program::Action::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(fire.delayMs));
+        return true;
+    case Program::Action::Trigger: return true;
+    case Program::Action::Off: break;
+    }
+    return false;
+}
+
+} // namespace detail
+
+} // namespace teaal::util::failpoint

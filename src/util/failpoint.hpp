@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Named failpoints for deterministic fault injection.
+ *
+ * A failpoint is a named hook compiled into a failure path ("what if
+ * the registry evicts this model mid-request?", "what if reading the
+ * matrix file errors?"). Tests and the CI smoke job arm a point with a
+ * *program* — inject an error, sleep, or just report "triggered" so
+ * the site runs its own failure branch — optionally skipping the
+ * first N hits and firing at most M times.
+ *
+ * Build gating: the registry (set/clear/spec parsing) is always
+ * compiled so tests link in every configuration, but the *sites* are
+ * the `TEAAL_FAILPOINT*` macros below, which compile to nothing unless
+ * CMake is configured with `-DTEAAL_FAILPOINTS=ON` (which defines
+ * `TEAAL_FAILPOINTS_ENABLED`). With failpoints compiled in but none
+ * armed, a site costs one relaxed atomic load of a global counter.
+ *
+ * Program spec grammar (used by setFromSpec and the
+ * `TEAAL_FAILPOINTS` environment variable, parsed by
+ * configureFromEnv):
+ *
+ *     spec      := action modifiers
+ *     action    := "error(" message ")" | "delay(" millis ")" | "trig"
+ *     modifiers := { "+skip(" N ")" | "*" M }
+ *     env var   := name "=" spec { ";" name "=" spec }
+ *
+ * e.g. `TEAAL_FAILPOINTS='serve.registry.evict_inflight=trig*1'`
+ * makes the daemon evict the touched model exactly once.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace teaal::util::failpoint
+{
+
+/** What an armed failpoint does when hit. */
+struct Program
+{
+    enum class Action
+    {
+        Off,     ///< disarmed
+        Error,   ///< hit() throws DiagnosticError(section "failpoint")
+        Delay,   ///< hit() sleeps delayMs
+        Trigger, ///< triggered() returns true; hit() is a no-op
+    };
+
+    Action action = Action::Off;
+    /// Skip the first `after` hits before firing.
+    std::size_t after = 0;
+    /// Fire at most `limit` times (0 = unlimited).
+    std::size_t limit = 0;
+    double delayMs = 0.0;
+    std::string message;
+};
+
+/** Arm @p name with @p program (replacing any existing program and
+ *  resetting its hit count). An Off program disarms. */
+void set(const std::string& name, Program program);
+
+/** Arm @p name from a spec string (grammar above). Throws
+ *  DiagnosticError(section "failpoint") on a malformed spec. */
+void setFromSpec(const std::string& name, const std::string& spec);
+
+/** Disarm @p name. */
+void clear(const std::string& name);
+
+/** Disarm everything (test fixtures call this in TearDown). */
+void clearAll();
+
+/** Times @p name was evaluated while armed (including skipped and
+ *  limit-exhausted hits); 0 when never armed. */
+std::size_t hitCount(const std::string& name);
+
+/** Names currently armed, sorted. */
+std::vector<std::string> activeNames();
+
+/**
+ * Arm failpoints from the `TEAAL_FAILPOINTS` environment variable
+ * (`name=spec;name=spec`). Called by daemon/tool mains so the CI
+ * smoke job can inject faults into the shipped binary. Returns the
+ * number of points armed; throws on malformed specs.
+ */
+std::size_t configureFromEnv(const char* var = "TEAAL_FAILPOINTS");
+
+namespace detail
+{
+
+/** Fast gate: true iff any failpoint is armed (relaxed load). */
+bool anyActive();
+
+/** Full evaluation of site @p name: counts the hit, applies
+ *  after/limit, throws or sleeps per the program. Returns true when
+ *  the program fired as Trigger or Error-already-thrown is
+ *  unreachable — i.e. the site's custom branch should run. */
+bool evaluate(const char* name);
+
+} // namespace detail
+
+/** Site check without side effects beyond counting: true when the
+ *  armed program fires this hit (Trigger action). */
+inline bool
+triggered(const char* name)
+{
+    if (!detail::anyActive())
+        return false;
+    return detail::evaluate(name);
+}
+
+/** Plain site: error programs throw out of here, delay programs
+ *  sleep here, trigger programs are counted but do nothing. */
+inline void
+hit(const char* name)
+{
+    if (!detail::anyActive())
+        return;
+    (void)detail::evaluate(name);
+}
+
+} // namespace teaal::util::failpoint
+
+/**
+ * Failpoint site macros — the only thing the build option gates.
+ * `TEAAL_FAILPOINT(name)` marks a plain site; use
+ * `TEAAL_FAILPOINT_TRIGGERED(name)` in a condition to guard a
+ * site-specific failure branch.
+ */
+#ifdef TEAAL_FAILPOINTS_ENABLED
+#define TEAAL_FAILPOINT(name) ::teaal::util::failpoint::hit(name)
+#define TEAAL_FAILPOINT_TRIGGERED(name)                                \
+    ::teaal::util::failpoint::triggered(name)
+#else
+#define TEAAL_FAILPOINT(name) ((void)0)
+#define TEAAL_FAILPOINT_TRIGGERED(name) false
+#endif

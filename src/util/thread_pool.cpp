@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace teaal::util
 {
@@ -11,6 +12,8 @@ struct ThreadPool::Ticket::Job
     unsigned slots = 0;
     unsigned claimed = 0;
     unsigned finished = 0;
+    /// First exception thrown by any slot's fn; rethrown at wait().
+    std::exception_ptr error;
     std::mutex mutex;
     std::condition_variable done;
 };
@@ -20,6 +23,7 @@ ThreadPool::Ticket::wait()
 {
     if (job_ == nullptr)
         return;
+    std::exception_ptr error;
     {
         // The lock must be released before dropping job_: if this is
         // the last reference, reset() destroys the Job — mutex
@@ -27,8 +31,11 @@ ThreadPool::Ticket::wait()
         std::unique_lock<std::mutex> lk(job_->mutex);
         job_->done.wait(
             lk, [this] { return job_->finished == job_->slots; });
+        error = job_->error;
     }
     job_.reset();
+    if (error != nullptr)
+        std::rethrow_exception(error);
 }
 
 ThreadPool::ThreadPool(unsigned max_workers) : maxWorkers_(max_workers)
@@ -107,9 +114,19 @@ ThreadPool::workerLoop()
                     jobs_.pop_front();
             }
         }
-        job->fn(slot);
+        std::exception_ptr error;
+        try {
+            job->fn(slot);
+        } catch (...) {
+            // A throwing job must not take down the worker (and the
+            // whole process): capture the first failure and surface
+            // it where the launcher waits.
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> jl(job->mutex);
+            if (error != nullptr && job->error == nullptr)
+                job->error = error;
             ++job->finished;
         }
         job->done.notify_all();

@@ -39,7 +39,9 @@ class ThreadPool
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /** Handle to an in-flight launch(); wait() blocks until every
-     *  slot's fn has returned. */
+     *  slot's fn has returned, then rethrows the first exception any
+     *  slot threw (workers themselves never die from a throwing
+     *  job). */
     class Ticket
     {
       public:

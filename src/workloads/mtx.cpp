@@ -1,11 +1,15 @@
 #include "workloads/mtx.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/string_utils.hpp"
 
 namespace teaal::workloads
@@ -22,59 +26,136 @@ struct MtxCoo
     std::vector<std::pair<std::pair<ft::Coord, ft::Coord>, double>> coo;
 };
 
+/** Whitespace-split @p s (already trimmed). */
+std::vector<std::string>
+splitFields(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string tok;
+    while (in >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Strict integer field: the whole token must parse (no '1x', '1.5',
+ *  or overflow slipping through as a truncated long). */
+long
+parseIndex(const std::string& tok, std::size_t line_no,
+           const char* what)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (tok.empty() || end != tok.c_str() + tok.size() ||
+        errno == ERANGE) {
+        diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                  ": non-numeric ", what, " '", tok, "'");
+    }
+    return v;
+}
+
+/** Strict floating-point field. */
+double
+parseValue(const std::string& tok, std::size_t line_no)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+        diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                  ": non-numeric value '", tok, "'");
+    }
+    return v;
+}
+
 MtxCoo
 parseCoo(const std::string& text)
 {
     std::istringstream in(text);
     std::string line;
+    std::size_t line_no = 0;
     if (!std::getline(in, line))
-        specError("empty MatrixMarket input");
+        diagError("workload", "mtx", "empty MatrixMarket input");
+    ++line_no;
     const std::string header = toLower(trim(line));
     if (!startsWith(header, "%%matrixmarket matrix coordinate"))
-        specError("unsupported MatrixMarket header: '", line, "'");
+        diagError("workload", "mtx",
+                  "unsupported MatrixMarket header: '", line, "'");
     const bool pattern = header.find("pattern") != std::string::npos;
     const bool symmetric = header.find("symmetric") != std::string::npos;
 
     // Skip comments to the size line.
+    bool have_size = false;
     while (std::getline(in, line)) {
-        if (!trim(line).empty() && trim(line)[0] != '%')
+        ++line_no;
+        if (!trim(line).empty() && trim(line)[0] != '%') {
+            have_size = true;
             break;
+        }
     }
-    std::istringstream size_line(line);
+    if (!have_size)
+        diagError("workload", "mtx",
+                  "MatrixMarket input ends before the size line");
+    const std::vector<std::string> size_f = splitFields(trim(line));
+    if (size_f.size() != 3)
+        diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                  ": bad size line '", line,
+                  "' (want 'rows cols nnz')");
     MtxCoo out;
-    long nnz = 0;
-    if (!(size_line >> out.rows >> out.cols >> nnz))
-        specError("bad MatrixMarket size line: '", line, "'");
+    out.rows = parseIndex(size_f[0], line_no, "row count");
+    out.cols = parseIndex(size_f[1], line_no, "column count");
+    const long nnz = parseIndex(size_f[2], line_no, "entry count");
+    if (out.rows < 0 || out.cols < 0 || nnz < 0)
+        diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                  ": negative dimension in size line '", line, "'");
 
     out.coo.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
     long count = 0;
     while (count < nnz && std::getline(in, line)) {
+        ++line_no;
         const std::string t = trim(line);
         if (t.empty() || t[0] == '%')
             continue;
-        std::istringstream entry(t);
-        long r = 0, c = 0;
-        double v = 1.0;
-        if (!(entry >> r >> c))
-            specError("bad MatrixMarket entry: '", line, "'");
-        if (!pattern && !(entry >> v))
-            specError("missing value in MatrixMarket entry: '", line,
-                      "'");
+        const std::vector<std::string> f = splitFields(t);
+        const std::size_t want = pattern ? 2 : 3;
+        if (f.size() != want)
+            diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                      ": bad entry '", line, "' (want ", want,
+                      " fields)");
+        const long r = parseIndex(f[0], line_no, "row index");
+        const long c = parseIndex(f[1], line_no, "column index");
+        const double v = pattern ? 1.0 : parseValue(f[2], line_no);
         if (r < 1 || r > out.rows || c < 1 || c > out.cols)
-            specError("MatrixMarket index out of range: '", line, "'");
+            diagError("workload", "mtx", "MatrixMarket line ", line_no,
+                      ": index (", r, ", ", c,
+                      ") out of range for a ", out.rows, " x ",
+                      out.cols, " matrix");
         out.coo.push_back({{r - 1, c - 1}, v});
         if (symmetric && r != c)
             out.coo.push_back({{c - 1, r - 1}, v});
         ++count;
     }
     if (count != nnz)
-        specError("MatrixMarket: expected ", nnz, " entries, got ",
-                  count);
+        diagError("workload", "mtx",
+                  "truncated MatrixMarket input: expected ", nnz,
+                  " entries, got ", count);
 
     std::sort(out.coo.begin(), out.coo.end(),
               [](const auto& a, const auto& b) {
                   return a.first < b.first;
               });
+    // Duplicate coordinates used to be resolved last-wins, silently —
+    // but which value the writer meant is ambiguous (and the packed
+    // and pointer paths could have disagreed), so reject them.
+    for (std::size_t i = 1; i < out.coo.size(); ++i) {
+        if (out.coo[i].first == out.coo[i - 1].first) {
+            diagError("workload", "mtx",
+                      "duplicate MatrixMarket entry at (",
+                      out.coo[i].first.first + 1, ", ",
+                      out.coo[i].first.second + 1, ")");
+        }
+    }
     return out;
 }
 
@@ -83,7 +164,9 @@ slurp(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
-        specError("cannot open MatrixMarket file '", path, "'");
+        diagError("workload", "path",
+                  "cannot open MatrixMarket file '", path, "'");
+    TEAAL_FAILPOINT("workloads.mtx.io_error");
     std::ostringstream text;
     text << in.rdbuf();
     return text.str();
@@ -121,11 +204,8 @@ parseMatrixMarketPacked(const std::string& text, const std::string& name,
                                    {parsed.rows, parsed.cols}, format);
     builder.reserve(parsed.coo.size());
     for (std::size_t i = 0; i < parsed.coo.size(); ++i) {
-        // Duplicate points keep the last value, matching what
-        // Tensor::set does on the legacy path.
-        if (i + 1 < parsed.coo.size() &&
-            parsed.coo[i + 1].first == parsed.coo[i].first)
-            continue;
+        // parseCoo rejects duplicate coordinates, so the sorted
+        // stream appends straight into the packed builder.
         const ft::Coord point[2] = {parsed.coo[i].first.first,
                                     parsed.coo[i].first.second};
         builder.append(point, parsed.coo[i].second);

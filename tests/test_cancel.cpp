@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines (util/cancel.hpp + the
+ * engine/executor/pipeline plumbing): token and deadline semantics,
+ * the ThreadPool exception-propagation regression, structured
+ * CancelledError surfacing at threads 1 and 4, and the determinism
+ * guarantee — a run cancelled mid-flight and then re-run to
+ * completion is byte-identical to one that was never cancelled, with
+ * no poisoned plan-cache entries left behind.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "accelerators/accelerators.hpp"
+#include "compiler/pipeline.hpp"
+#include "model/record.hpp"
+#include "trace/observer.hpp"
+#include "util/cancel.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+using compiler::CompiledModel;
+using compiler::RunOptions;
+using compiler::SimulationResult;
+using compiler::Workload;
+
+// ------------------------------------------------------------ units
+
+TEST(CancelToken, FirstReasonWinsAndResetRearms)
+{
+    util::CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), util::CancelReason::None);
+
+    token.cancel(util::CancelReason::User);
+    token.cancel(util::CancelReason::Shutdown); // loses the race
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), util::CancelReason::User);
+
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+    token.cancel(util::CancelReason::Deadline);
+    EXPECT_EQ(token.reason(), util::CancelReason::Deadline);
+}
+
+TEST(CancelDeadline, UnsetNeverExpiresAndPastExpiresNow)
+{
+    const util::Deadline none;
+    EXPECT_FALSE(none.set());
+    EXPECT_FALSE(none.expired());
+    EXPECT_GT(none.remainingMs(), 1e12);
+
+    const util::Deadline past = util::Deadline::in(-5.0);
+    EXPECT_TRUE(past.set());
+    EXPECT_TRUE(past.expired());
+    EXPECT_LT(past.remainingMs(), 0.0);
+
+    const util::Deadline far = util::Deadline::in(1e9);
+    EXPECT_TRUE(far.set());
+    EXPECT_FALSE(far.expired());
+    EXPECT_GT(far.remainingMs(), 0.0);
+
+    const util::Deadline at = util::Deadline::at(
+        std::chrono::steady_clock::now() - std::chrono::seconds(1));
+    EXPECT_TRUE(at.expired());
+}
+
+TEST(CancelCheck, TokenReasonBeatsExpiredDeadline)
+{
+    util::CancelToken token;
+    token.cancel(util::CancelReason::Shutdown);
+
+    util::CancelCheck check;
+    check.token = &token;
+    check.deadline = util::Deadline::in(-1.0);
+    check.start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(check.armed());
+    // The explicit reason wins: a shutdown is not a timeout.
+    EXPECT_EQ(check.state(), util::CancelReason::Shutdown);
+
+    util::CancelCheck deadline_only;
+    deadline_only.deadline = util::Deadline::in(-1.0);
+    deadline_only.start = std::chrono::steady_clock::now();
+    EXPECT_EQ(deadline_only.state(), util::CancelReason::Deadline);
+
+    try {
+        deadline_only.throwIfCancelled("einsum 'Z', loop rank 'k'");
+        FAIL() << "expected CancelledError";
+    } catch (const util::CancelledError& e) {
+        EXPECT_EQ(e.reason(), util::CancelReason::Deadline);
+        EXPECT_GE(e.elapsedMs(), 0.0);
+        EXPECT_EQ(e.position(), "einsum 'Z', loop rank 'k'");
+        EXPECT_EQ(e.diagnostic().section, "cancelled");
+        EXPECT_NE(e.diagnostic().message.find("deadline exceeded"),
+                  std::string::npos);
+    }
+    // Is-a DiagnosticError, so generic catch sites still work.
+    EXPECT_THROW(deadline_only.throwIfCancelled("x"), DiagnosticError);
+}
+
+TEST(CancelCheck, UnarmedCheckNeverFires)
+{
+    const util::CancelCheck check;
+    EXPECT_FALSE(check.armed());
+    EXPECT_EQ(check.state(), util::CancelReason::None);
+    EXPECT_NO_THROW(check.throwIfCancelled("anywhere"));
+}
+
+// --------------------------------------- ThreadPool error plumbing
+
+TEST(ThreadPoolErrors, JobExceptionRethrownAtWaitNotTerminate)
+{
+    util::ThreadPool pool(3);
+    util::ThreadPool::Ticket ticket = pool.launch(3, [](unsigned slot) {
+        if (slot == 1)
+            throw std::runtime_error("slot 1 boom");
+    });
+    try {
+        ticket.wait();
+        FAIL() << "expected the job's exception at wait()";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "slot 1 boom");
+    }
+
+    // The pool survives a throwing job: workers keep serving.
+    std::atomic<int> ran{0};
+    pool.launch(3, [&](unsigned) { ran.fetch_add(1); }).wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+// ------------------------------------------------- engine plumbing
+
+accel::GammaConfig
+smallGamma()
+{
+    accel::GammaConfig cfg;
+    cfg.pes = 4;
+    cfg.rowChunk = 4;
+    cfg.kChunk = 8;
+    cfg.fiberCacheBytes = 64 * 1024;
+    return cfg;
+}
+
+accel::ExTensorConfig
+smallExTensor()
+{
+    accel::ExTensorConfig cfg;
+    cfg.pes = 4;
+    cfg.tileK1 = 16;
+    cfg.tileK0 = 4;
+    cfg.tileM1 = 16;
+    cfg.tileM0 = 4;
+    cfg.tileN1 = 16;
+    cfg.tileN0 = 4;
+    cfg.llcBytes = 256 * 1024;
+    return cfg;
+}
+
+Workload
+matmulWorkload(ft::Tensor& a, ft::Tensor& b)
+{
+    Workload w;
+    w.add("A", a).add("B", b);
+    return w;
+}
+
+/** Observer that requests cancellation at the first trace batch — a
+ *  deterministic mid-run cancel with no timing assumptions. */
+class CancelAtFirstBatch : public trace::Observer
+{
+  public:
+    explicit CancelAtFirstBatch(util::CancelToken& token)
+        : token_(&token)
+    {
+    }
+
+    void
+    onEventBatch(const trace::EventBatch&) override
+    {
+        token_->cancel(util::CancelReason::User);
+    }
+
+  private:
+    util::CancelToken* token_;
+};
+
+TEST(CancelRun, PreCancelledTokenStopsBeforeAnyWork)
+{
+    ft::Tensor a =
+        workloads::uniformMatrix("A", 40, 32, 300, 23, {"K", "M"});
+    ft::Tensor b =
+        workloads::uniformMatrix("B", 40, 36, 300, 24, {"K", "N"});
+    const Workload w = matmulWorkload(a, b);
+
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        auto model = compiler::compile(accel::gamma(smallGamma()));
+        util::CancelToken token;
+        token.cancel();
+        RunOptions opts;
+        opts.threads = threads;
+        opts.cancelToken = &token;
+        try {
+            model.run(w, opts);
+            FAIL() << "expected CancelledError";
+        } catch (const util::CancelledError& e) {
+            EXPECT_EQ(e.reason(), util::CancelReason::User);
+        }
+        // Un-cancel: the model is immediately healthy again.
+        token.reset();
+        EXPECT_NO_THROW(model.run(w, opts));
+    }
+}
+
+TEST(CancelRun, DeadlineStopsShardedRunAndPoolStaysUsable)
+{
+    ft::Tensor a =
+        workloads::uniformMatrix("A", 64, 64, 1200, 31, {"K", "M"});
+    ft::Tensor b =
+        workloads::uniformMatrix("B", 64, 64, 1200, 32, {"K", "N"});
+    const Workload w = matmulWorkload(a, b);
+    util::ThreadPool pool(4);
+
+    auto model = compiler::compile(accel::gamma(smallGamma()));
+    // Calibrate: one full run tells us a deadline the next run cannot
+    // possibly meet, whatever this machine's speed.
+    RunOptions opts;
+    opts.threads = 4;
+    opts.pool = &pool;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimulationResult full = model.run(w, opts);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    opts.deadline = util::Deadline::in(
+        std::max(0.01, wall_ms / 100.0));
+    try {
+        model.run(w, opts);
+        FAIL() << "expected deadline CancelledError";
+    } catch (const util::CancelledError& e) {
+        EXPECT_EQ(e.reason(), util::CancelReason::Deadline);
+        EXPECT_FALSE(e.position().empty());
+    }
+
+    // No leaked tickets, no wedged workers: the same pool completes
+    // the same run once the deadline is lifted, identically.
+    opts.deadline = util::Deadline();
+    const SimulationResult redo = model.run(w, opts);
+    EXPECT_EQ(redo.perf.totalSeconds, full.perf.totalSeconds);
+    EXPECT_EQ(redo.energy.totalJoules, full.energy.totalJoules);
+}
+
+// ------------------------------------------ determinism guarantee
+
+/** Byte-exact comparison of the counters that matter for figures:
+ *  exec stats, trace diagnostics, traffic rows, perf and energy. */
+void
+expectIdenticalResults(const SimulationResult& x,
+                       const SimulationResult& y, const char* what)
+{
+    ASSERT_EQ(x.records.size(), y.records.size()) << what;
+    for (std::size_t i = 0; i < x.records.size(); ++i) {
+        const model::EinsumRecord& p = x.records[i];
+        const model::EinsumRecord& q = y.records[i];
+        SCOPED_TRACE(std::string(what) + ", einsum " +
+                     std::to_string(i) + " (" + p.output + ")");
+        EXPECT_TRUE(p.execStats == q.execStats);
+        EXPECT_EQ(p.traceEvents, q.traceEvents);
+        EXPECT_EQ(p.traceBatches, q.traceBatches);
+        ASSERT_EQ(p.traffic.size(), q.traffic.size());
+        for (const auto& [tensor, tp] : p.traffic) {
+            const auto it = q.traffic.find(tensor);
+            ASSERT_NE(it, q.traffic.end()) << tensor;
+            EXPECT_EQ(tp.readBytes, it->second.readBytes) << tensor;
+            EXPECT_EQ(tp.writeBytes, it->second.writeBytes) << tensor;
+            EXPECT_EQ(tp.poBytes, it->second.poBytes) << tensor;
+        }
+    }
+    EXPECT_EQ(x.perf.totalSeconds, y.perf.totalSeconds) << what;
+    EXPECT_EQ(x.energy.totalJoules, y.energy.totalJoules) << what;
+}
+
+/**
+ * The satellite contract, per accelerator: cancel a run mid-flight,
+ * then re-run to completion — results, counters, and trace
+ * diagnostics must be byte-identical to a serial run that was never
+ * cancelled, at threads 1 and 4, and the aborted attempt must leave
+ * no half-instantiated plan-cache entry behind.
+ */
+template <typename MakeSpec>
+void
+expectCancelledRerunIdentical(MakeSpec make_spec)
+{
+    ft::Tensor a =
+        workloads::uniformMatrix("A", 40, 32, 300, 51, {"K", "M"});
+    ft::Tensor b =
+        workloads::uniformMatrix("B", 40, 36, 300, 52, {"K", "N"});
+    const Workload w = matmulWorkload(a, b);
+
+    auto reference_model = compiler::compile(make_spec());
+    RunOptions serial;
+    serial.threads = 1;
+    const SimulationResult reference = reference_model.run(w, serial);
+
+    auto model = compiler::compile(make_spec());
+    util::CancelToken token;
+    CancelAtFirstBatch canceller(token);
+    RunOptions cancelled;
+    cancelled.threads = 1;
+    cancelled.cancelToken = &token;
+    cancelled.observers.push_back(&canceller);
+    EXPECT_THROW(model.run(w, cancelled), util::CancelledError);
+
+    // The aborted attempt's half-built state was dropped, not cached:
+    // nothing resident, and the drop was counted as an eviction.
+    const compiler::PlanCacheStats dropped = model.planCacheStats();
+    EXPECT_EQ(dropped.entries, 0u);
+    EXPECT_GE(dropped.evictions, 1u);
+
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("re-run threads=" + std::to_string(threads));
+        RunOptions clean;
+        clean.threads = threads;
+        const SimulationResult redo = model.run(w, clean);
+        expectIdenticalResults(reference, redo,
+                               "never-cancelled serial vs "
+                               "cancelled-then-rerun");
+    }
+    // The completed state cached normally: the second clean run hit.
+    EXPECT_GE(model.planCacheStats().hits, 1u);
+}
+
+TEST(CancelDeterminism, GammaCancelledRerunByteIdentical)
+{
+    expectCancelledRerunIdentical(
+        [] { return accel::gamma(smallGamma()); });
+}
+
+TEST(CancelDeterminism, ExTensorCancelledRerunByteIdentical)
+{
+    expectCancelledRerunIdentical(
+        [] { return accel::extensor(smallExTensor()); });
+}
+
+} // namespace
+} // namespace teaal

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
+#include "util/diagnostic.hpp"
 #include "util/error.hpp"
 #include "workloads/mtx.hpp"
 #include "workloads/datasets.hpp"
@@ -77,6 +79,133 @@ TEST(MatrixMarket, RejectsBadInput)
                      "1 1 1.0\n",
                      "A"),
                  SpecError);
+}
+
+/**
+ * Table-driven hardening pass: every class of malformed input —
+ * truncation, non-numeric fields, out-of-range indices, duplicate
+ * entries, bad field counts — must surface as a structured
+ * DiagnosticError (section "workload", key "mtx") with a diagnosable
+ * message, from BOTH the pointer and the packed parser, and never
+ * crash.
+ */
+TEST(MatrixMarket, MalformedInputsAreStructuredDiagnostics)
+{
+    struct Case
+    {
+        const char* what;
+        const char* text;
+        const char* expect; ///< required message fragment
+    };
+    const Case cases[] = {
+        {"truncated entry stream",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "3 3 5\n"
+         "1 1 1.0\n",
+         "truncated"},
+        {"ends before the size line",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "% only comments\n",
+         "ends before the size line"},
+        {"size line with two fields",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "3 3\n",
+         "bad size line"},
+        {"non-numeric size field",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "3 x 1\n"
+         "1 1 1.0\n",
+         "non-numeric"},
+        {"negative dimension",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "-3 3 1\n"
+         "1 1 1.0\n",
+         "negative dimension"},
+        {"non-numeric row index",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "1x 1 1.0\n",
+         "non-numeric row index"},
+        {"non-numeric value",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "1 1 abc\n",
+         "non-numeric value"},
+        {"partially numeric value",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "1 1 1.5x\n",
+         "non-numeric value"},
+        {"row index past the declared shape",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "5 1 1.0\n",
+         "out of range"},
+        {"zero index (MatrixMarket is 1-based)",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "0 1 1.0\n",
+         "out of range"},
+        {"real entry missing its value",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 1\n"
+         "1 1\n",
+         "bad entry"},
+        {"pattern entry with a value",
+         "%%MatrixMarket matrix coordinate pattern general\n"
+         "2 2 1\n"
+         "1 1 1.0\n",
+         "bad entry"},
+        {"duplicate coordinates",
+         "%%MatrixMarket matrix coordinate real general\n"
+         "2 2 2\n"
+         "1 1 1.0\n"
+         "1 1 2.0\n",
+         "duplicate"},
+        {"duplicate via symmetric mirroring",
+         "%%MatrixMarket matrix coordinate real symmetric\n"
+         "2 2 2\n"
+         "2 1 5.0\n"
+         "1 2 3.0\n",
+         "duplicate"},
+    };
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.what);
+        for (const bool packed : {false, true}) {
+            SCOPED_TRACE(packed ? "packed parser" : "pointer parser");
+            try {
+                if (packed)
+                    parseMatrixMarketPacked(c.text, "A");
+                else
+                    parseMatrixMarket(c.text, "A");
+                FAIL() << "expected DiagnosticError";
+            } catch (const DiagnosticError& e) {
+                EXPECT_EQ(e.diagnostic().section, "workload");
+                EXPECT_EQ(e.diagnostic().key, "mtx");
+                EXPECT_NE(e.diagnostic().message.find(c.expect),
+                          std::string::npos)
+                    << e.diagnostic().message;
+            }
+        }
+    }
+}
+
+/** Entry-level diagnostics name the offending line number. */
+TEST(MatrixMarket, DiagnosticsCarryLineNumbers)
+{
+    try {
+        parseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                          "general\n"
+                          "% comment\n"
+                          "2 2 1\n"
+                          "1 1 bogus\n",
+                          "A");
+        FAIL() << "expected DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_NE(e.diagnostic().message.find("line 4"),
+                  std::string::npos)
+            << e.diagnostic().message;
+    }
 }
 
 TEST(MatrixMarket, RoundTripThroughText)

@@ -345,6 +345,29 @@ TEST_F(ServeProtocol, EvaluateValidatesItsArguments)
                 "unknown_id", "d404");
 }
 
+TEST_F(ServeProtocol, DeadlineFieldIsValidated)
+{
+    // The field is validated before the model is even looked up, so a
+    // bogus deadline on a bogus model still names the real problem.
+    const std::string prefix =
+        R"({"op":"evaluate","model":"m9","bindings":{},)";
+    expectError(call(prefix + R"("deadline_ms":-5})"), "bad_request",
+                "deadline_ms");
+    expectError(call(prefix + R"("deadline_ms":0})"), "bad_request",
+                "deadline_ms");
+    expectError(call(prefix + R"("deadline_ms":"soon"})"),
+                "bad_request", "deadline_ms");
+}
+
+TEST_F(ServeProtocol, CancelValidatesAndCountsMatches)
+{
+    expectError(call(R"({"op":"cancel"})"), "bad_request", "target");
+    // A target with nothing in flight is an answer, not an error.
+    const Json r = call(R"({"op":"cancel","target":"nobody"})");
+    ASSERT_TRUE(r.find("ok")->boolean()) << r.dump();
+    EXPECT_DOUBLE_EQ(r.find("cancelled")->number(), 0.0);
+}
+
 TEST_F(ServeProtocol, ShardingReportNeedsAKnownModel)
 {
     expectError(call(R"({"op":"sharding_report","model":"m7"})"),
@@ -401,6 +424,64 @@ class ServeEndToEnd : public ::testing::Test
                col + R"("]})";
     }
 
+    /** Registered big workload: the serial evaluate wall time is
+     *  large enough to dominate cancel/deadline round trips. */
+    struct BigWorkload
+    {
+        std::string model, da, db;
+    };
+
+    BigWorkload
+    setUpBig(serve::Client& client)
+    {
+        const std::string cPath = (dir_ / "c.mtx").string();
+        const std::string dPath = (dir_ / "d.mtx").string();
+        workloads::writeMatrixMarket(
+            cPath, workloads::uniformMatrix("A", 200, 200, 8000, 7,
+                                            {"K", "M"}));
+        workloads::writeMatrixMarket(
+            dPath, workloads::uniformMatrix("B", 200, 200, 8000, 8,
+                                            {"K", "N"}));
+        BigWorkload w;
+        const Json compiled = client.request(
+            parseJson(R"({"op":"compile","accel":"gamma"})"));
+        EXPECT_TRUE(compiled.find("ok")->boolean())
+            << compiled.dump();
+        w.model = compiled.find("model")->str();
+        w.da = client.request(parseJson(loadLine(cPath, "A", "M")))
+                   .find("dataset")
+                   ->str();
+        w.db = client.request(parseJson(loadLine(dPath, "B", "N")))
+                   .find("dataset")
+                   ->str();
+        return w;
+    }
+
+    /** Evaluate request over a big workload; `extra` appends raw
+     *  JSON fields, e.g. ",\"threads\":1,\"deadline_ms\":40". */
+    static std::string
+    evalLine(const BigWorkload& w, const std::string& extra)
+    {
+        return R"({"op":"evaluate","model":")" + w.model +
+               R"(","bindings":{"A":")" + w.da + R"(","B":")" +
+               w.db + R"("})" + extra + "}";
+    }
+
+    static void
+    expectCancelled(const Json& r, const std::string& code,
+                    const std::string& reason)
+    {
+        ASSERT_NE(r.find("ok"), nullptr) << r.dump();
+        EXPECT_FALSE(r.find("ok")->boolean()) << r.dump();
+        const Json* error = r.find("error");
+        ASSERT_NE(error, nullptr) << r.dump();
+        EXPECT_EQ(error->find("code")->str(), code) << r.dump();
+        ASSERT_NE(r.find("reason"), nullptr) << r.dump();
+        EXPECT_EQ(r.find("reason")->str(), reason) << r.dump();
+        ASSERT_NE(r.find("elapsed_ms"), nullptr) << r.dump();
+        EXPECT_GE(r.find("elapsed_ms")->number(), 0.0);
+    }
+
     std::filesystem::path dir_;
     std::string aPath_, bPath_;
 };
@@ -441,6 +522,9 @@ TEST_F(ServeEndToEnd, LoopbackRoundTripWithPlanCacheReuse)
     EXPECT_GT(first.find("exec_seconds")->number(), 0.0);
     EXPECT_GT(first.find("traffic_bytes")->number(), 0.0);
     EXPECT_GT(first.find("compute_muls")->number(), 0.0);
+    // Every evaluate response reports its server-side wall time.
+    ASSERT_NE(first.find("elapsed_ms"), nullptr) << first.dump();
+    EXPECT_GE(first.find("elapsed_ms")->number(), 0.0);
 
     const Json second = parseJson(client.requestLine(evaluate));
     ASSERT_TRUE(second.find("ok")->boolean()) << second.dump();
@@ -594,6 +678,140 @@ TEST_F(ServeEndToEnd, ConcurrentClientsGetConsistentAnswers)
         t.join();
     EXPECT_EQ(mismatches.load(), 0);
     server.stop();
+}
+
+TEST_F(ServeEndToEnd, DeadlineExceededIsStructuredPromptAndRecoverable)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client;
+    client.connect(server.port());
+    const BigWorkload w = setUpBig(client);
+
+    // Calibrate the budget from this machine's actual wall time so
+    // the test carries no absolute timing assumptions: take the
+    // faster of two full runs (the second rides the cached plan).
+    const Json full1 =
+        parseJson(client.requestLine(evalLine(w, R"(,"threads":1)")));
+    ASSERT_TRUE(full1.find("ok")->boolean()) << full1.dump();
+    const Json full2 =
+        parseJson(client.requestLine(evalLine(w, R"(,"threads":1)")));
+    ASSERT_TRUE(full2.find("ok")->boolean()) << full2.dump();
+    const double wall =
+        std::min(full1.find("elapsed_ms")->number(),
+                 full2.find("elapsed_ms")->number());
+    const double deadline =
+        std::clamp(wall / 8.0, 5.0, 200.0);
+    // The workload is sized so the serial run dwarfs the budget even
+    // at the clamp floor; if this ever fires, grow the matrices.
+    ASSERT_GT(wall, 4.0 * deadline) << "workload too small to test "
+                                       "deadlines: wall="
+                                    << wall << "ms";
+
+    // A budget far below the wall time comes back as a structured
+    // deadline_exceeded, promptly (within 2x the budget — the poll
+    // granularity is far finer than the run), at every thread count.
+    for (const char* threads : {"1", "4"}) {
+        const Json r = parseJson(client.requestLine(evalLine(
+            w, std::string(",\"threads\":") + threads +
+                   ",\"deadline_ms\":" + std::to_string(deadline))));
+        expectCancelled(r, "deadline_exceeded", "deadline");
+        EXPECT_LE(r.find("elapsed_ms")->number(), 2.0 * deadline)
+            << "threads=" << threads << ": " << r.dump();
+    }
+
+    // The daemon is immediately healthy: the next unbudgeted run
+    // succeeds (the cancelled runs dropped their plan-cache state,
+    // so this re-instantiates rather than riding a poisoned entry).
+    const Json after =
+        parseJson(client.requestLine(evalLine(w, R"(,"threads":1)")));
+    ASSERT_TRUE(after.find("ok")->boolean()) << after.dump();
+    EXPECT_DOUBLE_EQ(after.find("exec_seconds")->number(),
+                     full1.find("exec_seconds")->number());
+
+    client.close();
+    server.stop();
+}
+
+TEST_F(ServeEndToEnd, CancelOpStopsARunningEvaluateById)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client;
+    client.connect(server.port());
+    const BigWorkload w = setUpBig(client);
+
+    // Launch a long evaluate under a known id on its own connection.
+    std::atomic<bool> done{false};
+    Json result;
+    std::thread runner([&] {
+        serve::Client c2;
+        c2.connect(server.port());
+        result = parseJson(c2.requestLine(
+            evalLine(w, R"(,"threads":1,"id":"slow")")));
+        done.store(true);
+        c2.close();
+    });
+
+    // Spam `cancel` from a second connection until it reports a
+    // match; the run takes hundreds of milliseconds, the loopback
+    // round trip microseconds.
+    double matched = 0.0;
+    while (!done.load() && matched < 1.0) {
+        const Json r = client.request(
+            parseJson(R"({"op":"cancel","target":"slow"})"));
+        ASSERT_TRUE(r.find("ok")->boolean()) << r.dump();
+        matched = r.find("cancelled")->number();
+    }
+    runner.join();
+    EXPECT_GE(matched, 1.0);
+    expectCancelled(result, "cancelled", "user");
+
+    // A finished request is out of the in-flight table.
+    const Json gone = client.request(
+        parseJson(R"({"op":"cancel","target":"slow"})"));
+    EXPECT_DOUBLE_EQ(gone.find("cancelled")->number(), 0.0);
+
+    // And the daemon still evaluates cleanly.
+    const Json after =
+        parseJson(client.requestLine(evalLine(w, R"(,"threads":1)")));
+    EXPECT_TRUE(after.find("ok")->boolean()) << after.dump();
+
+    client.close();
+    server.stop();
+}
+
+TEST_F(ServeEndToEnd, StopCancelsInFlightRunsWithShutdownReason)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client;
+    client.connect(server.port());
+    const BigWorkload w = setUpBig(client);
+
+    Json result;
+    std::thread runner([&] {
+        serve::Client c2;
+        c2.connect(server.port());
+        result = parseJson(c2.requestLine(
+            evalLine(w, R"(,"threads":1,"id":"doomed")")));
+        c2.close();
+    });
+
+    // Wait until the evaluation is structurally in flight, then stop:
+    // the drain must not wait out the full run — shutdown reaches it
+    // through the same token path as a user cancel.
+    for (;;) {
+        const Json s =
+            client.request(parseJson(R"({"op":"stats"})"));
+        if (s.find("admission")->find("in_flight")->number() >= 1.0)
+            break;
+        std::this_thread::yield();
+    }
+    server.stop();
+    runner.join();
+    expectCancelled(result, "cancelled", "shutdown");
+    client.close();
 }
 
 } // namespace

@@ -11,6 +11,11 @@
  * Prints one "teaal-serve: listening on 127.0.0.1:<port>" line to
  * stdout when ready and "teaal-serve: drained, exiting" after a clean
  * shutdown — the CI smoke job greps for both.
+ *
+ * In failpoint-enabled builds (-DTEAAL_FAILPOINTS=ON) the daemon
+ * honors TEAAL_FAILPOINTS='name=spec;...' at startup, so the CI fault
+ * smoke can inject e.g. serve.registry.evict_inflight without
+ * touching the protocol.
  */
 #include <csignal>
 #include <cstdio>
@@ -21,6 +26,7 @@
 
 #include "serve/server.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace
 {
@@ -81,6 +87,18 @@ main(int argc, char** argv)
                          arg.c_str());
             return 2;
         }
+    }
+
+    try {
+        const std::size_t armed =
+            teaal::util::failpoint::configureFromEnv();
+        if (armed > 0)
+            std::printf("teaal-serve: %zu failpoint(s) armed from "
+                        "TEAAL_FAILPOINTS\n",
+                        armed);
+    } catch (const teaal::SpecError& e) {
+        std::fprintf(stderr, "teaal-serve: %s\n", e.what());
+        return 2;
     }
 
     teaal::serve::Server server(opts);
