@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Two-speed modeling microbenchmark: what does an analytic estimate
+ * cost next to the trace simulation it stands in for, and what does
+ * the autotuner save end to end?
+ *
+ * Part 1 — per-mapping cost on the four Table 1 accelerators
+ * (Gamma, OuterSPACE, ExTensor, SIGMA): time CompiledModel::estimate
+ * (cache defeated via Workload::touch, so every sample recomputes the
+ * closed forms) against a single-shot trace run of the same model and
+ * workload. The headline invariant: the analytic tier is >= 50x
+ * faster per mapping.
+ *
+ * Part 2 — the autotuner end to end on the explorer's 36-candidate
+ * SpMSpM design space: analytic prune + top-K trace vs exhaustive
+ * trace search, asserting both find the same best mapping.
+ *
+ * Emits bench::jsonRow lines for the CI perf artifact and the
+ * ci/perf_diff.py >15% regression gate.
+ */
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "tuner/tuner.hpp"
+
+namespace
+{
+
+using teaal::accel::ExTensorConfig;
+using teaal::compiler::Specification;
+
+Specification
+specOf(const std::string& name)
+{
+    if (name == "gamma")
+        return teaal::accel::gamma();
+    if (name == "outerspace")
+        return teaal::accel::outerSpace();
+    if (name == "sigma")
+        return teaal::accel::sigma();
+    // ExTensor: tile the bench-sized operands meaningfully (defaults
+    // are sized for full-scale matrices).
+    ExTensorConfig cfg;
+    cfg.tileK1 = 512;
+    cfg.tileK0 = 64;
+    cfg.tileM1 = 512;
+    cfg.tileM0 = 64;
+    cfg.tileN1 = 512;
+    cfg.tileN0 = 64;
+    return teaal::accel::extensor(cfg);
+}
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point& t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace teaal;
+    bench::header("micro_analytic: analytic estimate vs trace "
+                  "simulation, and the two-speed autotuner",
+                  1.0);
+
+    const auto a =
+        workloads::uniformMatrix("A", 600, 500, 4000, 21, {"K", "M"});
+    const auto b =
+        workloads::uniformMatrix("B", 600, 550, 4000, 22, {"K", "N"});
+
+    TextTable table("per-mapping cost (best of 5)");
+    table.setHeader({"accelerator", "estimate (us)", "trace (ms)",
+                     "trace/estimate"});
+    bool fastEnough = true;
+    for (const std::string name :
+         {"gamma", "outerspace", "extensor", "sigma"}) {
+        auto model = compiler::compile(specOf(name));
+        compiler::Workload w;
+        w.add("A", a).add("B", b);
+
+        // touch() refreshes the fingerprint, so every sample misses
+        // the estimate LRU and pays the full closed-form walk.
+        const double est_s = bench::bestSeconds(
+            [&]() {
+                w.touch();
+                (void)model.estimate(w);
+            },
+            5);
+        const double trace_s = bench::bestSeconds(
+            [&]() { (void)model.run(w, bench::singleShot()); }, 5);
+        const double ratio = trace_s / est_s;
+        fastEnough = fastEnough && ratio >= 50.0;
+
+        table.addRow({name, TextTable::num(est_s * 1e6, 1),
+                      TextTable::num(trace_s * 1e3, 3),
+                      TextTable::num(ratio, 0) + "x"});
+        // wall_ms carries the trace time: the estimate is far below
+        // the differ's noise floor (MIN_WALL_MS), and a trace-tier
+        // regression is exactly what the >15% gate should catch.
+        bench::jsonRow(std::cout, "micro_analytic",
+                       {{"accel", name}},
+                       {{"estimate_us", est_s * 1e6},
+                        {"trace_ms", trace_s * 1e3},
+                        {"trace_vs_estimate", ratio}},
+                       /*threads=*/1, /*wall_ms=*/trace_s * 1e3);
+    }
+    table.print();
+    std::cout << "\nanalytic >= 50x faster per mapping: "
+              << (fastEnough ? "HOLDS" : "VIOLATED") << "\n\n";
+
+    // ---------------------------------------- autotuner end to end
+    const auto ta =
+        workloads::powerLawMatrix("A", 900, 800, 14000, 5, {"K", "M"});
+    const auto tb =
+        workloads::powerLawMatrix("B", 900, 850, 14000, 6, {"K", "N"});
+    compiler::Workload tw;
+    tw.add("A", ta).add("B", tb);
+    const auto cands = tuner::spmspmSearchSpace();
+
+    tuner::TunerOptions pruned;
+    pruned.topK = 4;
+    pruned.threads = 4;
+    auto t0 = std::chrono::steady_clock::now();
+    const auto fast = tuner::tune(cands, tw, pruned);
+    const double pruned_s = wallSeconds(t0);
+
+    tuner::TunerOptions full;
+    full.topK = cands.size();
+    full.threads = 4;
+    t0 = std::chrono::steady_clock::now();
+    const auto exact = tuner::tune(cands, tw, full);
+    const double full_s = wallSeconds(t0);
+
+    const bool agree = fast.bestIndex == exact.bestIndex;
+    std::cout << "autotuner on " << cands.size()
+              << " candidates: pruned "
+              << TextTable::num(pruned_s * 1e3, 0) << " ms ("
+              << fast.tracedCount << " traced) vs exhaustive "
+              << TextTable::num(full_s * 1e3, 0) << " ms — "
+              << TextTable::num(full_s / pruned_s, 1)
+              << "x, same best mapping: " << (agree ? "yes" : "NO")
+              << " (" << fast.best().label << ")\n";
+    bench::jsonRow(std::cout, "micro_analytic",
+                   {{"accel", "autotuner_spmspm36"}},
+                   {{"pruned_ms", pruned_s * 1e3},
+                    {"exhaustive_ms", full_s * 1e3},
+                    {"exhaustive_vs_pruned", full_s / pruned_s},
+                    {"agreement", agree ? 1.0 : 0.0}},
+                   /*threads=*/4, /*wall_ms=*/pruned_s * 1e3);
+
+    return fastEnough && agree ? 0 : 1;
+}

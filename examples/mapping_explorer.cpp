@@ -1,77 +1,104 @@
 /**
  * @file
- * Mapping-space exploration (paper §10 names DSE as the natural next
- * layer above TeAAL): because specifications are data, sweeping a
- * design choice is a loop over configs. This example sweeps Gamma's
- * two occupancy-partitioning chunk sizes — how many rows of A each PE
- * round takes (M chunk) and how many B rows each merger pass covers
- * (K chunk) — and reports the modeled time/traffic frontier on a
- * skewed matrix.
+ * The two-speed mapping autotuner (paper §10 names DSE as the natural
+ * layer above TeAAL): enumerate a real design space — loop orders ×
+ * partitionings × format assignments for SpMSpM on a generic spatial
+ * machine — rank every candidate with the analytic model
+ * (CompiledModel::estimate, no fibertree walk), and trace-simulate
+ * only the top-K survivors. An exhaustive trace search of the same
+ * space runs after it, to show the pruned search finds the same best
+ * mapping at a fraction of the wall time.
  *
- * The paper's own observation (§8: "our proposed optimization only
- * required meaningful changes to the mapping specification") is what
- * makes this loop possible at all. The pipeline API keeps the sweep
- * honest: specifications compile once per design point, the workload
- * is bound once for the whole sweep, and run() is all a point pays.
+ * Both searches shard across a thread pool with deterministic
+ * tie-breaking (tuner::tune), so the printed winner is reproducible
+ * at any thread count.
  */
+#include <chrono>
 #include <iostream>
-#include <limits>
 
-#include "accelerators/accelerators.hpp"
-#include "compiler/pipeline.hpp"
+#include "tuner/tuner.hpp"
 #include "util/table.hpp"
 #include "workloads/datasets.hpp"
+
+namespace
+{
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point& t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 int
 main()
 {
     using namespace teaal;
 
-    // The workload is bound once, up front: every design point borrows
-    // the same tensors (no per-point cloning), and each design point
-    // is compiled once — the compiled model could be reused across as
-    // many workloads as the sweep needs.
+    // The workload binds once; every candidate borrows the same
+    // tensors. Skewed (power-law) inputs are the interesting case for
+    // a tuner: densities vary wildly across rows, so mapping choices
+    // actually separate.
     const auto a =
-        workloads::powerLawMatrix("A", 1500, 1200, 12000, 5, {"K", "M"});
+        workloads::powerLawMatrix("A", 900, 800, 14000, 5, {"K", "M"});
     const auto b =
-        workloads::powerLawMatrix("B", 1500, 1300, 12000, 6, {"K", "N"});
+        workloads::powerLawMatrix("B", 900, 850, 14000, 6, {"K", "N"});
     compiler::Workload workload;
     workload.add("A", a).add("B", b);
-    std::cout << "workload: power-law 1500x1200/1300, 12K nnz each\n\n";
 
-    TextTable table("Gamma mapping sweep (rows-per-PE x merger chunk)");
-    table.setHeader({"M chunk", "K chunk", "time (us)", "DRAM (MB)",
-                     "bottleneck"});
+    const auto candidates = tuner::spmspmSearchSpace();
+    std::cout << "workload: power-law 900x800 / 900x850, 14K nnz each\n"
+              << "design space: " << candidates.size()
+              << " candidates (3 loop orders x 3 M tiles x 2x2 leaf "
+                 "formats)\n\n";
 
-    double best_time = std::numeric_limits<double>::infinity();
-    std::pair<std::size_t, std::size_t> best{0, 0};
-    for (std::size_t m_chunk : {8u, 32u, 128u}) {
-        for (std::size_t k_chunk : {16u, 64u, 256u}) {
-            accel::GammaConfig cfg;
-            cfg.rowChunk = m_chunk;
-            cfg.kChunk = k_chunk;
-            auto model = compiler::compile(accel::gamma(cfg));
-            compiler::RunOptions once;
-            once.cacheState = false; // one run per design point
-            const auto result = model.run(workload, once);
-            const double us = result.perf.totalSeconds * 1e6;
-            table.addRow({std::to_string(m_chunk),
-                          std::to_string(k_chunk),
-                          TextTable::num(us, 2),
-                          TextTable::num(
-                              result.totalTrafficBytes() / 1e6, 2),
-                          result.perf.blocks[0].bottleneck});
-            if (us < best_time) {
-                best_time = us;
-                best = {m_chunk, k_chunk};
-            }
-        }
+    tuner::TunerOptions pruned;
+    pruned.topK = 4;
+    pruned.threads = 4;
+    auto t0 = std::chrono::steady_clock::now();
+    const tuner::TuneResult fast = tuner::tune(candidates, workload, pruned);
+    const double prunedWall = wallSeconds(t0);
+
+    tuner::TunerOptions full;
+    full.topK = candidates.size(); // trace everything
+    full.threads = 4;
+    t0 = std::chrono::steady_clock::now();
+    const tuner::TuneResult exact = tuner::tune(candidates, workload, full);
+    const double fullWall = wallSeconds(t0);
+
+    TextTable table("analytic ranking (top 8 of " +
+                    std::to_string(candidates.size()) + ")");
+    table.setHeader(
+        {"rank", "mapping", "analytic (us)", "trace (us)", "traced"});
+    for (std::size_t r = 0; r < fast.ranking.size() && r < 8; ++r) {
+        const tuner::RankedCandidate& rc = fast.ranking[r];
+        table.addRow({std::to_string(r + 1), rc.label,
+                      TextTable::num(rc.analyticSeconds * 1e6, 2),
+                      rc.traced
+                          ? TextTable::num(rc.traceSeconds * 1e6, 2)
+                          : std::string("-"),
+                      rc.traced ? "yes" : "no"});
     }
     table.print();
-    std::cout << "\nbest mapping: M chunk " << best.first
-              << ", K chunk " << best.second << " ("
-              << TextTable::num(best_time, 2)
-              << " us) — found by editing two numbers in the mapping "
-                 "specification.\n";
-    return 0;
+
+    const tuner::RankedCandidate& bestFast = fast.best();
+    const tuner::RankedCandidate& bestExact = exact.best();
+    std::cout << "\npruned search:     best " << bestFast.label << " ("
+              << TextTable::num(bestFast.traceSeconds * 1e6, 2)
+              << " us modeled), traced " << fast.tracedCount << "/"
+              << candidates.size() << ", wall "
+              << TextTable::num(prunedWall, 3) << " s\n"
+              << "exhaustive trace:  best " << bestExact.label << " ("
+              << TextTable::num(bestExact.traceSeconds * 1e6, 2)
+              << " us modeled), traced " << exact.tracedCount << "/"
+              << candidates.size() << ", wall "
+              << TextTable::num(fullWall, 3) << " s\n"
+              << "agreement: "
+              << (fast.bestIndex == exact.bestIndex ? "yes" : "NO")
+              << ", autotuner speedup "
+              << TextTable::num(fullWall / prunedWall, 1) << "x\n";
+    return fast.bestIndex == exact.bestIndex ? 0 : 1;
 }

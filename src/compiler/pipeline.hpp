@@ -39,6 +39,7 @@
 #include "compiler/compiler.hpp"
 #include "exec/engine.hpp"
 #include "ir/plan.hpp"
+#include "model/analytic/estimator.hpp"
 #include "trace/observer.hpp"
 #include "util/diagnostic.hpp"
 #include "util/thread_pool.hpp"
@@ -374,6 +375,24 @@ class CompiledModel
                          const RunOptions& opts = {}) const;
 
     /**
+     * Analytic fast path: predict what run() would measure — compute
+     * ops, intersection work, per-level traffic, buffer occupancy —
+     * from metadata alone (rank shapes, occupancy hints, format
+     * footprints). No fibertree walk and no plan instantiation
+     * happen; the same cached EinsumRecipes are bound symbolically
+     * (model/analytic/). Orders of magnitude faster than run(), at
+     * bounded relative error: the mapping autotuner ranks every
+     * candidate with this and trace-simulates only the survivors.
+     *
+     * Results are cached per workload fingerprint (same LRU capacity
+     * as the plan cache). Mappings whose constructs the closed forms
+     * cannot express throw DiagnosticError (section "analytic");
+     * callers degrade to run().
+     */
+    model::analytic::AnalyticEstimate
+    estimate(const Workload& workload) const;
+
+    /**
      * The fully instantiated per-Einsum plans for @p workload (under
      * the arithmetic semiring) — the documented accessor for
      * plan-level tooling (microbenches, white-box tests) that
@@ -500,6 +519,13 @@ class CompiledModel
     };
     std::shared_ptr<CacheCounters> cacheCounters_ =
         std::make_shared<CacheCounters>();
+
+    /// Analytic-estimate LRU (front = most recent), keyed on the
+    /// workload fingerprint; sized like the plan cache. Under
+    /// cacheMutex_.
+    mutable std::list<
+        std::pair<std::uint64_t, model::analytic::AnalyticEstimate>>
+        estimates_;
 
     /// Shared worker pool for RunOptions::threads >= 2, created on
     /// first parallel run.

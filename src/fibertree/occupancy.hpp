@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared per-level occupancy-hint math.
+ *
+ * Both fibertree tensors (ft::Tensor) and packed tensors
+ * (storage::PackedTensor) expose `occupancyHints()`: for each rank
+ * level, the average number of elements per fiber at that level —
+ * elements(level) / fibers(level), where the fiber count of a level
+ * is the element count of the level above (one fiber per parent
+ * element) and the root level has exactly one fiber.
+ *
+ * The two implementations were maintained bit-identical by
+ * convention; this helper is the single definition both call. It is
+ * also the vocabulary of the analytic model (model/analytic), which
+ * inverts it: given hints, per-level element counts are recovered as
+ * a running product.
+ */
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace teaal::ft
+{
+
+/**
+ * Per-level occupancy hints from per-level element counts.
+ *
+ * @p counts element count at each rank level (level 0 outermost);
+ *           may be shorter than @p num_ranks (missing levels hint 0).
+ * @p num_ranks number of rank levels in the tensor; sets the result
+ *           size.
+ * @return hints[l] = counts[l] / (l == 0 ? 1 : counts[l-1]), or 0
+ *         when the level above is empty.
+ */
+inline std::vector<double>
+occupancyHintsFromCounts(std::span<const std::size_t> counts,
+                         std::size_t num_ranks)
+{
+    std::vector<double> hints(num_ranks, 0.0);
+    for (std::size_t level = 0;
+         level < num_ranks && level < counts.size(); ++level) {
+        const std::size_t fibers_above =
+            level == 0 ? 1 : counts[level - 1];
+        if (fibers_above > 0) {
+            hints[level] = static_cast<double>(counts[level]) /
+                           static_cast<double>(fibers_above);
+        }
+    }
+    return hints;
+}
+
+} // namespace teaal::ft

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <sstream>
 
+#include "fibertree/occupancy.hpp"
 #include "util/error.hpp"
 
 namespace teaal::ft
@@ -54,21 +55,11 @@ Tensor::rankLevel(const std::string& id) const
 std::vector<double>
 Tensor::occupancyHints() const
 {
-    std::vector<double> hints(ranks_.size(), 0.0);
     if (root_ == nullptr)
-        return hints;
+        return std::vector<double>(ranks_.size(), 0.0);
     std::vector<std::size_t> counts;
     root_->elementCountsByDepth(counts);
-    for (std::size_t level = 0;
-         level < ranks_.size() && level < counts.size(); ++level) {
-        const std::size_t fibers_above =
-            level == 0 ? 1 : counts[level - 1];
-        if (fibers_above > 0) {
-            hints[level] = static_cast<double>(counts[level]) /
-                           static_cast<double>(fibers_above);
-        }
-    }
-    return hints;
+    return occupancyHintsFromCounts(counts, ranks_.size());
 }
 
 Value

@@ -310,6 +310,8 @@ Server::handle(const Json& request)
             response = handleLoadDataset(request);
         else if (op == "evaluate")
             response = handleEvaluate(request);
+        else if (op == "estimate")
+            response = handleEstimate(request);
         else if (op == "cancel")
             response = handleCancel(request);
         else if (op == "stats")
@@ -686,6 +688,71 @@ Server::handleEvaluate(const Json& request)
     }
     Json response = future.get();
     response.set("elapsed_ms", Json::makeNumber(elapsedMs()));
+    return response;
+}
+
+Json
+Server::handleEstimate(const Json& request)
+{
+    // The analytic fast path: same model/bindings resolution and
+    // error codes as `evaluate`, but the prediction comes from
+    // CompiledModel::estimate — microseconds of closed-form
+    // arithmetic, no fibertree walk — so the request bypasses
+    // admission control, deadlines, and the cancel table entirely.
+    const Clock::time_point received = Clock::now();
+    const std::string model_id = requireString(request, "model");
+    const Json& bindings = requireField(request, "bindings");
+    if (!bindings.isObject())
+        diagError("protocol", "bindings",
+                  "field 'bindings' must be an object mapping tensor "
+                  "names to dataset ids");
+
+    auto model = registry_.model(model_id);
+    if (model == nullptr) {
+        if (registry_.evicted(model_id))
+            return errorResponse(
+                "evicted", "workload", model_id,
+                "model '" + model_id +
+                    "' was evicted under memory pressure; re-register "
+                    "it with compile");
+        return errorResponse("unknown_id", "workload", model_id,
+                             "unknown model id '" + model_id + "'");
+    }
+
+    bool workload_cached = false;
+    std::shared_ptr<const BoundWorkload> bound;
+    try {
+        bound = boundWorkloadFor(model_id, bindings, workload_cached);
+    } catch (const DiagnosticError& e) {
+        const std::string code =
+            e.diagnostic().message.find("evicted") != std::string::npos
+                ? "evicted"
+                : (e.diagnostic().section == "workload" ? "unknown_id"
+                                                        : "bad_request");
+        return errorResponse(code, e.diagnostic().section,
+                             e.diagnostic().key,
+                             e.diagnostic().message);
+    }
+
+    // Estimate failures (section "analytic": constructs the closed
+    // forms cannot express) propagate to handle()'s DiagnosticError
+    // catch and come back in the standard {code,section,key,message}
+    // shape — clients degrade to `evaluate`.
+    const model::analytic::AnalyticEstimate est =
+        model->estimate(bound->workload);
+
+    Json response = okResponse();
+    response.set("latency_ms",
+                 Json::makeNumber(
+                     std::chrono::duration<double, std::milli>(
+                         Clock::now() - received)
+                         .count()));
+    response.set("exec_seconds_est", Json::makeNumber(est.seconds()));
+    response.set("traffic_bytes_est",
+                 Json::makeNumber(est.totalTrafficBytes()));
+    response.set("compute_muls_est", Json::makeNumber(est.mulOps));
+    response.set("cache", Json::makeString(est.cacheHit ? "hit"
+                                                        : "miss"));
     return response;
 }
 

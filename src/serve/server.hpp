@@ -174,6 +174,7 @@ class Server
     Json handleCompile(const Json& request);
     Json handleLoadDataset(const Json& request);
     Json handleEvaluate(const Json& request);
+    Json handleEstimate(const Json& request);
     Json handleCancel(const Json& request);
     Json handleStats(const Json& request);
     Json handleShardingReport(const Json& request);

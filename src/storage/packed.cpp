@@ -4,6 +4,7 @@
 #include <bit>
 #include <functional>
 
+#include "fibertree/occupancy.hpp"
 #include "util/error.hpp"
 
 namespace teaal::storage
@@ -35,17 +36,11 @@ PackedTensor::rankIds() const
 std::vector<double>
 PackedTensor::occupancyHints() const
 {
-    std::vector<double> hints(ranks_.size(), 0.0);
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-        const std::size_t count = levels_[l].crd.size();
-        const std::size_t fibers_above =
-            l == 0 ? 1 : levels_[l - 1].crd.size();
-        if (fibers_above > 0) {
-            hints[l] = static_cast<double>(count) /
-                       static_cast<double>(fibers_above);
-        }
-    }
-    return hints;
+    std::vector<std::size_t> counts;
+    counts.reserve(levels_.size());
+    for (const PackedLevel& level : levels_)
+        counts.push_back(level.crd.size());
+    return ft::occupancyHintsFromCounts(counts, ranks_.size());
 }
 
 void

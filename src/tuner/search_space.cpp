@@ -1,0 +1,188 @@
+#include "tuner/search_space.hpp"
+
+#include "accelerators/spec_util.hpp"
+#include "util/error.hpp"
+
+namespace teaal::tuner
+{
+
+namespace
+{
+
+const char* kTemplate = R"(
+einsum:
+  declaration:
+    A: [K, M]
+    B: [K, N]
+    Z: [M, N]
+  expressions:
+    - Z[m, n] = A[k, m] * B[k, n]
+mapping:
+  rank-order:
+    A: [$AORDER]
+    B: [$BORDER]
+    Z: [M, N]
+  partitioning:
+    Z:
+      M: [uniform_shape($MTILE)]
+  loop-order:
+    Z: [$LOOP]
+  spacetime:
+    Z:
+      space: [M0]
+      time: [$TIME]
+format:
+  A:
+    Tuned:
+      $AUP:
+        format: U
+        pbits: 32
+      $ALOW:
+        format: $AFMT
+        cbits: $ACBITS
+        pbits: 64
+  B:
+    Tuned:
+      $BUP:
+        format: U
+        pbits: 32
+      $BLOW:
+        format: $BFMT
+        cbits: $BCBITS
+        pbits: 64
+  Z:
+    Tuned:
+      M:
+        format: U
+        pbits: 32
+      N:
+        format: C
+        cbits: 32
+        pbits: 64
+architecture:
+  Machine:
+    clock: $CLOCK
+    subtree:
+      - name: System
+        local:
+          - name: DDR
+            class: DRAM
+            attributes:
+              bandwidth: $DRAMBW
+        subtree:
+          - name: PE
+            num: $PES
+            local:
+              - name: AccumBuf
+                class: Buffer
+                attributes:
+                  type: buffet
+                  size: 65536
+              - name: MulALU
+                class: Compute
+                attributes:
+                  type: mul
+              - name: AddALU
+                class: Compute
+                attributes:
+                  type: add
+              - name: KIsect
+                class: Intersection
+                attributes:
+                  type: leader-follower
+                  leader: A
+              - name: Seq
+                class: Sequencer
+                attributes:
+                  num_ranks: 2
+binding:
+  Z:
+    config: Machine
+    components:
+      - component: AccumBuf
+        bindings:
+          - tensor: Z
+            rank: N
+            type: elem
+            style: lazy
+            evict-on: M0
+      - component: MulALU
+        bindings:
+          - op: mul
+      - component: AddALU
+        bindings:
+          - op: add
+      - component: KIsect
+        bindings:
+          - op: intersect
+      - component: Seq
+        bindings:
+          - op: seq
+)";
+
+/** Per-loop-order tensor layouts and schedules. */
+struct OrderInfo
+{
+    const char* aOrder; ///< A rank-order ("M, K" or "K, M")
+    const char* bOrder;
+    const char* loop;   ///< loop-order for Z
+    const char* time;   ///< loop order minus the space rank M0
+};
+
+OrderInfo
+orderInfo(const std::string& name)
+{
+    if (name == "gustavson")
+        return {"M, K", "K, N", "M1, M0, K, N", "M1, K, N"};
+    if (name == "inner")
+        return {"M, K", "N, K", "M1, M0, N, K", "M1, N, K"};
+    if (name == "outer")
+        return {"K, M", "K, N", "K, M1, M0, N", "K, M1, N"};
+    specError("search space: unknown loop order '", name, "'");
+}
+
+} // namespace
+
+std::vector<Candidate>
+spmspmSearchSpace(const SearchSpaceOptions& opts)
+{
+    std::vector<Candidate> out;
+    for (const std::string& order : opts.loopOrders) {
+        const OrderInfo oi = orderInfo(order);
+        // The format section lists ranks in the tensor's rank-order.
+        const bool aSwizzled = order == "outer"; // A stored [K, M]
+        const bool bSwizzled = order == "inner"; // B stored [N, K]
+        for (long tile : opts.mTiles) {
+            for (char af : opts.aLeafFormats) {
+                for (char bf : opts.bLeafFormats) {
+                    const std::string yaml = accel::subst(
+                        kTemplate,
+                        {{"AORDER", oi.aOrder},
+                         {"BORDER", oi.bOrder},
+                         {"LOOP", oi.loop},
+                         {"TIME", oi.time},
+                         {"MTILE", accel::num(tile)},
+                         {"AUP", aSwizzled ? "K" : "M"},
+                         {"ALOW", aSwizzled ? "M" : "K"},
+                         {"AFMT", std::string(1, af)},
+                         {"ACBITS", af == 'B' ? "1" : "32"},
+                         {"BUP", bSwizzled ? "N" : "K"},
+                         {"BLOW", bSwizzled ? "K" : "N"},
+                         {"BFMT", std::string(1, bf)},
+                         {"BCBITS", bf == 'B' ? "1" : "32"},
+                         {"CLOCK", accel::num(opts.clock)},
+                         {"DRAMBW", accel::num(opts.dramGBs)},
+                         {"PES", accel::num(opts.pes)}});
+                    Candidate c;
+                    c.label = order + "/m" + std::to_string(tile) +
+                              "/A:" + af + "/B:" + bf;
+                    c.spec = compiler::Specification::parse(yaml);
+                    out.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace teaal::tuner

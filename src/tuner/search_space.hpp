@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The mapping explorer's design space: a parameterized family of
+ * SpMSpM (Z = A · B) specifications over one generic spatial machine.
+ *
+ * Three orthogonal axes, every combination a complete compilable
+ * specification:
+ *
+ *   loop order    Gustavson (row-wise, K between M and N), inner
+ *                 product (K innermost, full reduction per output
+ *                 element), outer product (K outermost, every k
+ *                 revisits the whole output);
+ *   partitioning  the M rank shape-split into tiles of 16/64/256 —
+ *                 the tile is also the spatial fan-out (space: [M0]);
+ *   formats       the leaf rank of each input stored compressed-
+ *                 coordinate (C, 32-bit coords) or bitmap (B, 1-bit
+ *                 presence), independently for A and B.
+ *
+ * The machine itself is fixed (DRAM + per-PE accumulation buffet +
+ * ALUs + intersection unit + sequencer) so the tuner ranks *mappings*,
+ * not hardware budgets.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+
+namespace teaal::tuner
+{
+
+/** One point of the design space: a label and its specification. */
+struct Candidate
+{
+    std::string label;
+    compiler::Specification spec;
+};
+
+/** Knobs for spmspmSearchSpace — defaults give the canonical
+ *  3 × 3 × 2 × 2 = 36-candidate space. */
+struct SearchSpaceOptions
+{
+    /// Loop-order axis; valid names: "gustavson", "inner", "outer".
+    std::vector<std::string> loopOrders = {"gustavson", "inner",
+                                           "outer"};
+    /// M-rank uniform_shape tile sizes (also the spatial width).
+    std::vector<long> mTiles = {16, 64, 256};
+    /// Leaf-rank format of A / of B: 'C' or 'B'.
+    std::vector<char> aLeafFormats = {'C', 'B'};
+    std::vector<char> bLeafFormats = {'C', 'B'};
+
+    /// Machine constants.
+    double clock = 1e9;
+    double dramGBs = 128;
+    long pes = 256; ///< >= max mTile so the space never overflows
+};
+
+/**
+ * Enumerate the design space in deterministic order (loop order
+ * outermost, then tile, then A format, then B format). Labels look
+ * like "gustavson/m64/A:C/B:B".
+ */
+std::vector<Candidate>
+spmspmSearchSpace(const SearchSpaceOptions& opts = {});
+
+} // namespace teaal::tuner

@@ -1,0 +1,151 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "util/diagnostic.hpp"
+
+namespace teaal::tuner
+{
+
+namespace
+{
+
+/**
+ * Run fn(0..n-1) striped across min(threads, n) pool slots. Slot s
+ * takes indices s, s+slots, ... — which indices run where is fixed by
+ * the count alone, and every result lands in its own per-index cell,
+ * so the outcome is identical at any thread count.
+ */
+template <typename Fn>
+void
+forEachSharded(std::size_t n, unsigned threads, util::ThreadPool* pool,
+               std::unique_ptr<util::ThreadPool>& owned, const Fn& fn)
+{
+    const unsigned slots = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(threads, 1u), std::max<std::size_t>(n, 1)));
+    if (slots <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (pool == nullptr) {
+        if (!owned)
+            owned = std::make_unique<util::ThreadPool>(slots);
+        pool = owned.get();
+    }
+    pool->launch(slots,
+                 [&](unsigned s) {
+                     for (std::size_t i = s; i < n; i += slots)
+                         fn(i);
+                 })
+        .wait();
+}
+
+} // namespace
+
+TuneResult
+tune(const std::vector<Candidate>& candidates,
+     const compiler::Workload& workload, const TunerOptions& opts)
+{
+    const std::size_t n = candidates.size();
+    if (n == 0)
+        diagError("tuner", "candidates", "empty candidate set");
+
+    std::unique_ptr<util::ThreadPool> owned;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    // Phase 1: compile + analytic estimate, one cell per candidate.
+    // Compile failures propagate (malformed search space = caller
+    // bug); estimate failures degrade the candidate to the trace set.
+    std::vector<std::unique_ptr<compiler::CompiledModel>> models(n);
+    std::vector<double> analytic(n, kInf);
+    std::vector<char> failed(n, 0);
+    forEachSharded(n, opts.threads, opts.pool, owned,
+                   [&](std::size_t i) {
+                       models[i] =
+                           std::make_unique<compiler::CompiledModel>(
+                               compiler::compile(candidates[i].spec));
+                       try {
+                           analytic[i] =
+                               models[i]->estimate(workload).seconds();
+                       } catch (const DiagnosticError&) {
+                           failed[i] = 1;
+                       }
+                   });
+
+    // Rank: successful estimates ascending, failures last, every tie
+    // broken by input index.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (failed[a] != failed[b])
+                      return failed[a] < failed[b];
+                  if (analytic[a] != analytic[b])
+                      return analytic[a] < analytic[b];
+                  return a < b;
+              });
+
+    // Trace set: the top-K estimates plus every estimate failure.
+    std::vector<char> doTrace(n, 0);
+    std::vector<std::size_t> traceIdx;
+    std::size_t picked = 0;
+    for (std::size_t i : order) {
+        if (failed[i])
+            doTrace[i] = 1;
+        else if (picked < opts.topK) {
+            doTrace[i] = 1;
+            ++picked;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (doTrace[i])
+            traceIdx.push_back(i);
+    }
+
+    // Phase 2: confirm by trace simulation. Fire-and-forget runs —
+    // each model is used exactly once more.
+    std::vector<double> traceSec(n, kInf);
+    forEachSharded(traceIdx.size(), opts.threads, opts.pool, owned,
+                   [&](std::size_t t) {
+                       const std::size_t i = traceIdx[t];
+                       compiler::RunOptions ro;
+                       ro.cacheState = false;
+                       traceSec[i] =
+                           models[i]->run(workload, ro).perf.totalSeconds;
+                   });
+
+    TuneResult res;
+    res.tracedCount = traceIdx.size();
+    for (std::size_t i = 0; i < n; ++i)
+        res.estimateFailures += failed[i] != 0;
+    res.analyticUsed = res.estimateFailures < n;
+
+    for (std::size_t i : order) {
+        RankedCandidate rc;
+        rc.index = i;
+        rc.label = candidates[i].label;
+        rc.analyticSeconds = analytic[i];
+        rc.traced = doTrace[i] != 0;
+        rc.traceSeconds = traceSec[i];
+        rc.estimateFailed = failed[i] != 0;
+        res.ranking.push_back(std::move(rc));
+    }
+
+    // Winner: best traced seconds (first index wins ties); with an
+    // empty trace set (topK = 0, no failures) fall back to the best
+    // estimate.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!doTrace[i])
+            continue;
+        if (best == n || traceSec[i] < traceSec[best])
+            best = i;
+    }
+    res.bestIndex = best != n ? best : order.front();
+    return res;
+}
+
+} // namespace teaal::tuner

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The two-speed mapping autotuner: rank every candidate with the
+ * analytic model (CompiledModel::estimate — microseconds per mapping,
+ * no fibertree walk), then trace-simulate only the top-K survivors to
+ * confirm the winner.
+ *
+ * Both phases shard across a util::ThreadPool by candidate index
+ * (strided slots, results written to per-candidate cells), and every
+ * tie breaks on the candidate's position in the input vector — so the
+ * ranking, the traced set, and the chosen best mapping are identical
+ * at any thread count.
+ *
+ * Degradation: a candidate whose estimate throws DiagnosticError
+ * (section "analytic" for constructs the closed forms cannot express,
+ * or an injected "model.analytic.estimate" failpoint) is not dropped —
+ * it joins the trace set unconditionally. When *every* estimate fails,
+ * the tuner transparently becomes an exhaustive trace search
+ * (analyticUsed = false): slower, never wrong.
+ */
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+#include "tuner/search_space.hpp"
+
+namespace teaal::tuner
+{
+
+/** Knobs for tune(). */
+struct TunerOptions
+{
+    /// Candidates confirmed by trace simulation, best-estimate first
+    /// (estimate failures are traced in addition). 0 traces nothing
+    /// unless estimates failed; >= candidate count is exhaustive.
+    std::size_t topK = 4;
+
+    /// Worker threads sharding the candidate set (1 = serial). Both
+    /// phases stride candidates across min(threads, n) slots.
+    unsigned threads = 1;
+
+    /// Pool the workers are drawn from; nullptr lazily creates a
+    /// private pool when threads >= 2. Must outlive the call.
+    util::ThreadPool* pool = nullptr;
+};
+
+/** One candidate's outcome, in ranking order. */
+struct RankedCandidate
+{
+    std::size_t index = 0; ///< position in the input candidate vector
+    std::string label;
+
+    /// Analytic prediction (infinity when the estimate failed).
+    double analyticSeconds = std::numeric_limits<double>::infinity();
+
+    /// Trace-simulated seconds; valid only when traced.
+    double traceSeconds = std::numeric_limits<double>::infinity();
+    bool traced = false;
+
+    /// estimate() threw (DiagnosticError); ranked after every
+    /// successful estimate and always trace-simulated.
+    bool estimateFailed = false;
+};
+
+/** tune()'s result. */
+struct TuneResult
+{
+    /// Every candidate: successful estimates by ascending
+    /// analyticSeconds (ties by index), then failures by index.
+    std::vector<RankedCandidate> ranking;
+
+    /// Input index of the winner: best traceSeconds over the traced
+    /// set (ties by index).
+    std::size_t bestIndex = 0;
+
+    std::size_t tracedCount = 0;
+    std::size_t estimateFailures = 0;
+
+    /// False when every estimate failed and the tuner fell back to
+    /// exhaustive trace search.
+    bool analyticUsed = true;
+
+    /** Ranking entry of the winner. */
+    const RankedCandidate&
+    best() const
+    {
+        for (const RankedCandidate& rc : ranking) {
+            if (rc.index == bestIndex)
+                return rc;
+        }
+        return ranking.front();
+    }
+};
+
+/**
+ * Compile, analytically rank, and trace-confirm @p candidates against
+ * @p workload. Deterministic at any opts.threads. Throws on an empty
+ * candidate set or a candidate whose *compile* fails (a malformed
+ * search space is a caller bug; only estimate() failures degrade).
+ */
+TuneResult tune(const std::vector<Candidate>& candidates,
+                const compiler::Workload& workload,
+                const TunerOptions& opts = {});
+
+} // namespace teaal::tuner

@@ -345,6 +345,36 @@ TEST_F(ServeProtocol, EvaluateValidatesItsArguments)
                 "unknown_id", "d404");
 }
 
+TEST_F(ServeProtocol, EstimateValidatesItsArguments)
+{
+    expectError(call(R"({"op":"estimate"})"), "bad_request", "model");
+    expectError(call(R"({"op":"estimate","model":"m1"})"),
+                "bad_request", "bindings");
+    expectError(
+        call(R"({"op":"estimate","model":"m9","bindings":7})"),
+        "bad_request", "bindings");
+    expectError(
+        call(R"({"op":"estimate","model":"m9","bindings":{}})"),
+        "unknown_id", "m9");
+
+    const Json compiled = call(R"({"op":"compile","accel":"gamma"})");
+    ASSERT_TRUE(compiled.find("ok")->boolean()) << compiled.dump();
+    const std::string prefix = R"({"op":"estimate","model":")" +
+                               compiled.find("model")->str() +
+                               R"(",)";
+    expectError(parseJson(server_.handleLine(
+                    prefix + R"("bindings":{"A":7}})")),
+                "bad_request", "A");
+    expectError(parseJson(server_.handleLine(
+                    prefix + R"("bindings":{"A":"d404"}})")),
+                "unknown_id", "d404");
+    // A resolvable but incomplete workload fails the model's own
+    // validation, in the same structured shape.
+    expectError(parseJson(
+                    server_.handleLine(prefix + R"("bindings":{}})")),
+                "bad_request");
+}
+
 TEST_F(ServeProtocol, DeadlineFieldIsValidated)
 {
     // The field is validated before the model is even looked up, so a
@@ -556,6 +586,60 @@ TEST_F(ServeEndToEnd, LoopbackRoundTripWithPlanCacheReuse)
     client.close();
     server.stop();
     EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeEndToEnd, EstimateScreensMappingsWithoutATraceRun)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client;
+    client.connect(server.port());
+
+    const Json compiled = client.request(
+        parseJson(R"({"op":"compile","accel":"gamma"})"));
+    ASSERT_TRUE(compiled.find("ok")->boolean()) << compiled.dump();
+    const std::string model = compiled.find("model")->str();
+    const std::string da =
+        client.request(parseJson(loadLine(aPath_, "A", "M")))
+            .find("dataset")
+            ->str();
+    const std::string db =
+        client.request(parseJson(loadLine(bPath_, "B", "N")))
+            .find("dataset")
+            ->str();
+    const std::string bindings = R"(","bindings":{"A":")" + da +
+                                 R"(","B":")" + db + R"("}})";
+
+    const Json est = parseJson(client.requestLine(
+        R"({"op":"estimate","model":")" + model + bindings));
+    ASSERT_TRUE(est.find("ok")->boolean()) << est.dump();
+    EXPECT_EQ(est.find("cache")->str(), "miss");
+    EXPECT_GT(est.find("exec_seconds_est")->number(), 0.0);
+    EXPECT_GT(est.find("traffic_bytes_est")->number(), 0.0);
+    EXPECT_GT(est.find("compute_muls_est")->number(), 0.0);
+    EXPECT_GE(est.find("latency_ms")->number(), 0.0);
+
+    // Re-estimating the same (model, bindings) serves the cached
+    // prediction, identically.
+    const Json again = parseJson(client.requestLine(
+        R"({"op":"estimate","model":")" + model + bindings));
+    ASSERT_TRUE(again.find("ok")->boolean()) << again.dump();
+    EXPECT_EQ(again.find("cache")->str(), "hit");
+    EXPECT_DOUBLE_EQ(again.find("exec_seconds_est")->number(),
+                     est.find("exec_seconds_est")->number());
+
+    // The prediction screens against the trace run's answer: same
+    // workload, same model, no order-of-magnitude surprises.
+    const Json eval = parseJson(client.requestLine(
+        R"({"op":"evaluate","model":")" + model + bindings));
+    ASSERT_TRUE(eval.find("ok")->boolean()) << eval.dump();
+    const double traced = eval.find("exec_seconds")->number();
+    const double predicted = est.find("exec_seconds_est")->number();
+    EXPECT_GT(predicted, traced / 10.0);
+    EXPECT_LT(predicted, traced * 10.0);
+
+    client.close();
+    server.stop();
 }
 
 TEST_F(ServeEndToEnd, EvictionUnderBudgetAnswersEvictedNotUnknown)

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The two-speed mapping autotuner (tuner/): analytic ranking prunes,
+ * trace simulation confirms. The contract under test:
+ *
+ *   - the true-best mapping (by exhaustive trace search) survives
+ *     top-K pruning on the explorer's search space;
+ *   - results are identical at any thread count (deterministic
+ *     sharding + index tie-breaking);
+ *   - estimate failures degrade candidates to the trace set instead
+ *     of crashing — injected via the model.analytic.estimate
+ *     failpoint — and an all-fail run becomes an exhaustive trace
+ *     search that still finds the same winner.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tuner/tuner.hpp"
+#include "util/failpoint.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+namespace fp = util::failpoint;
+
+#ifdef TEAAL_FAILPOINTS_ENABLED
+#define TEAAL_REQUIRE_SITES() ((void)0)
+#else
+#define TEAAL_REQUIRE_SITES()                                          \
+    GTEST_SKIP()                                                       \
+        << "failpoint sites not compiled (TEAAL_FAILPOINTS=OFF)"
+#endif
+
+class Tuner : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        a_ = workloads::uniformMatrix("A", 300, 280, 3000, 11,
+                                      {"K", "M"});
+        b_ = workloads::uniformMatrix("B", 300, 320, 3200, 12,
+                                      {"K", "N"});
+        workload_.add("A", a_).add("B", b_);
+    }
+
+    void
+    TearDown() override
+    {
+        fp::clearAll();
+    }
+
+    ft::Tensor a_;
+    ft::Tensor b_;
+    compiler::Workload workload_;
+};
+
+TEST_F(Tuner, SearchSpaceEnumeratesAllAxes)
+{
+    const auto cands = tuner::spmspmSearchSpace();
+    EXPECT_EQ(cands.size(), 36u); // 3 orders x 3 tiles x 2 x 2 formats
+
+    std::set<std::string> labels;
+    for (const auto& c : cands) {
+        labels.insert(c.label);
+        // Every candidate must be a complete, compilable spec.
+        EXPECT_NO_THROW(compiler::compile(c.spec)) << c.label;
+    }
+    EXPECT_EQ(labels.size(), cands.size()); // no duplicate points
+}
+
+TEST_F(Tuner, TrueBestSurvivesTopKPruning)
+{
+    const auto cands = tuner::spmspmSearchSpace();
+
+    tuner::TunerOptions full;
+    full.topK = cands.size();
+    full.threads = 4;
+    const auto exact = tuner::tune(cands, workload_, full);
+    EXPECT_EQ(exact.tracedCount, cands.size());
+
+    tuner::TunerOptions pruned;
+    pruned.topK = 4;
+    pruned.threads = 4;
+    const auto fast = tuner::tune(cands, workload_, pruned);
+    EXPECT_EQ(fast.tracedCount, 4u);
+    EXPECT_EQ(fast.estimateFailures, 0u);
+    EXPECT_TRUE(fast.analyticUsed);
+
+    // The acceptance bar: pruning must not lose the true winner.
+    EXPECT_EQ(fast.bestIndex, exact.bestIndex)
+        << "pruned best " << fast.best().label << " vs exhaustive "
+        << exact.best().label;
+
+    // The ranking covers every candidate, each exactly once.
+    std::set<std::size_t> seen;
+    for (const auto& rc : fast.ranking)
+        seen.insert(rc.index);
+    EXPECT_EQ(seen.size(), cands.size());
+}
+
+TEST_F(Tuner, DeterministicAcrossThreadCounts)
+{
+    const auto cands = tuner::spmspmSearchSpace();
+
+    tuner::TunerOptions serial;
+    serial.topK = 4;
+    serial.threads = 1;
+    const auto one = tuner::tune(cands, workload_, serial);
+
+    tuner::TunerOptions wide;
+    wide.topK = 4;
+    wide.threads = 4;
+    const auto four = tuner::tune(cands, workload_, wide);
+
+    ASSERT_EQ(one.ranking.size(), four.ranking.size());
+    for (std::size_t i = 0; i < one.ranking.size(); ++i) {
+        const auto& l = one.ranking[i];
+        const auto& r = four.ranking[i];
+        EXPECT_EQ(l.index, r.index) << "rank " << i;
+        EXPECT_EQ(l.label, r.label);
+        EXPECT_EQ(l.traced, r.traced);
+        EXPECT_EQ(l.estimateFailed, r.estimateFailed);
+        // Per-candidate work is identical serial code either way, so
+        // the numbers match exactly, not approximately.
+        EXPECT_EQ(l.analyticSeconds, r.analyticSeconds) << l.label;
+        if (l.traced)
+            EXPECT_EQ(l.traceSeconds, r.traceSeconds) << l.label;
+    }
+    EXPECT_EQ(one.bestIndex, four.bestIndex);
+    EXPECT_EQ(one.tracedCount, four.tracedCount);
+}
+
+TEST_F(Tuner, AllEstimatesFailingDegradesToExhaustiveTrace)
+{
+    TEAAL_REQUIRE_SITES();
+
+    // A reduced space keeps the forced-exhaustive run cheap.
+    tuner::SearchSpaceOptions axes;
+    axes.loopOrders = {"gustavson", "outer"};
+    axes.mTiles = {16, 64};
+    const auto cands = tuner::spmspmSearchSpace(axes);
+
+    tuner::TunerOptions opts;
+    opts.topK = 2;
+    opts.threads = 2;
+    const auto healthy = tuner::tune(cands, workload_, opts);
+
+    fp::setFromSpec("model.analytic.estimate",
+                    "error(analytic tier down)");
+    const auto degraded = tuner::tune(cands, workload_, opts);
+
+    EXPECT_FALSE(degraded.analyticUsed);
+    EXPECT_EQ(degraded.estimateFailures, cands.size());
+    EXPECT_EQ(degraded.tracedCount, cands.size()); // exhaustive
+    for (const auto& rc : degraded.ranking) {
+        EXPECT_TRUE(rc.estimateFailed);
+        EXPECT_TRUE(rc.traced);
+    }
+    // Trace-only ranking still finds the same winner.
+    EXPECT_EQ(degraded.bestIndex, healthy.bestIndex);
+    EXPECT_EQ(degraded.best().traceSeconds,
+              healthy.best().traceSeconds);
+}
+
+TEST_F(Tuner, PartialEstimateFailureJoinsTraceSet)
+{
+    TEAAL_REQUIRE_SITES();
+
+    tuner::SearchSpaceOptions axes;
+    axes.loopOrders = {"gustavson", "inner"};
+    axes.mTiles = {16};
+    const auto cands = tuner::spmspmSearchSpace(axes);
+    ASSERT_EQ(cands.size(), 8u);
+
+    // Serial phase 1 visits candidates in index order, so *3 fails
+    // exactly candidates 0..2.
+    fp::setFromSpec("model.analytic.estimate", "error(flaky)*3");
+    tuner::TunerOptions opts;
+    opts.topK = 2;
+    opts.threads = 1;
+    const auto res = tuner::tune(cands, workload_, opts);
+
+    EXPECT_TRUE(res.analyticUsed);
+    EXPECT_EQ(res.estimateFailures, 3u);
+    EXPECT_EQ(res.tracedCount, 5u); // top-2 + the 3 failures
+
+    // Failures rank after every successful estimate, in index order.
+    ASSERT_EQ(res.ranking.size(), 8u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_FALSE(res.ranking[i].estimateFailed) << i;
+    EXPECT_EQ(res.ranking[5].index, 0u);
+    EXPECT_EQ(res.ranking[6].index, 1u);
+    EXPECT_EQ(res.ranking[7].index, 2u);
+}
+
+} // namespace
+} // namespace teaal
