@@ -32,6 +32,7 @@
 #include "format/format.hpp"
 #include "mapping/mapping.hpp"
 #include "model/perf.hpp"
+#include "trace/spill.hpp"
 
 namespace teaal::compiler
 {
@@ -75,6 +76,10 @@ struct SimulationResult
 
     /// DRAM traffic aggregated over the cascade, by tensor.
     std::map<std::string, model::TensorTraffic> traffic;
+
+    /// Out-of-core trace spill totals (RunOptions::spillDir); all
+    /// zero when spilling was off or nothing crossed the threshold.
+    trace::SpillStats spill;
 
     /** The final Einsum's output. */
     const ft::Tensor& result(const Specification& spec) const;

@@ -11,6 +11,7 @@
 #include "model/perf.hpp"
 #include "storage/packed.hpp"
 #include "trace/fanout.hpp"
+#include "trace/spill.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
@@ -552,6 +553,16 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
     if (eo.cancel.armed())
         eo.cancel.throwIfCancelled("before execution");
 
+    // Out-of-core trace capture: one spill context for the whole
+    // cascade (per-slice segment files all land in spillDir; the
+    // aggregate counters become SimulationResult::spill).
+    std::unique_ptr<trace::SpillContext> spill_ctx;
+    if (!opts.spillDir.empty()) {
+        spill_ctx = std::make_unique<trace::SpillContext>(
+            opts.spillDir, opts.spillSegmentBytes, opts.spillKeep);
+        eo.spill = spill_ctx.get();
+    }
+
     std::vector<std::string> produced;
     for (std::size_t i = 0; i < es.expressions.size(); ++i) {
         const einsum::Expression& expr = es.expressions[i];
@@ -667,6 +678,8 @@ CompiledModel::runOn(WorkloadState& st, const Workload& w,
     }
     st.plansComplete = true;
 
+    if (spill_ctx != nullptr)
+        out.spill = spill_ctx->stats();
     out.perf = model::analyze(out.records, spec_.architecture, blocks_);
     for (const model::EinsumRecord& r : out.records) {
         out.energy += energy::energyOf(

@@ -249,6 +249,30 @@ struct RunOptions
     /// CancelReason::Deadline. Checked alongside cancelToken by the
     /// same amortized poll.
     util::Deadline deadline;
+
+    /// Out-of-core trace capture for sharded runs (threads >= 2):
+    /// when non-empty, each slice's captured trace spills to an
+    /// append-only segment file in this directory whenever it crosses
+    /// spillSegmentBytes, and the coordinator streams the frames back
+    /// in slice order — peak resident trace becomes
+    /// O(threads x spillSegmentBytes) instead of growing with the
+    /// input, with results, counters, and delivered trace batches
+    /// byte-identical to the resident path. The directory must exist
+    /// and be writable; segment files are process-private scratch,
+    /// deleted as soon as each slice is replayed. Empty (default)
+    /// keeps the whole trace resident. Serial runs (threads == 1)
+    /// deliver live and never capture, so the option is inert there.
+    std::string spillDir;
+
+    /// Target bytes of buffered trace per spilled segment frame
+    /// (frames are cut at the first fiber-walk boundary past this
+    /// size, never mid-walk).
+    std::size_t spillSegmentBytes = 4u << 20;
+
+    /// Keep the segment files after replay instead of deleting them
+    /// (debugging artifact; files remain meaningful only to the
+    /// writing process — events hold in-process pointers).
+    bool spillKeep = false;
 };
 
 /**

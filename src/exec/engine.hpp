@@ -39,6 +39,11 @@ namespace teaal::storage
 class PackedTensor;
 } // namespace teaal::storage
 
+namespace teaal::trace
+{
+class SpillContext;
+} // namespace teaal::trace
+
 namespace teaal::exec
 {
 
@@ -129,6 +134,18 @@ struct ExecOptions
      * never cancelled is byte-identical to one with no token.
      */
     util::CancelCheck cancel;
+
+    /**
+     * Out-of-core trace capture for sharded runs (borrowed; must
+     * outlive the run). When set, every slice's capture log drains to
+     * a per-slice segment file under the context's directory whenever
+     * it crosses the segment-size threshold, and the coordinator
+     * replays the frames back in order — bounding peak resident trace
+     * at O(threads x segmentBytes) instead of O(total trace), with
+     * results, counters, and delivered streams byte-identical to the
+     * resident path. Null (the default) keeps everything resident.
+     */
+    trace::SpillContext* spill = nullptr;
 };
 
 /**

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "trace/spill.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
@@ -324,11 +325,21 @@ Executor::runSharded(unsigned threads)
         bool done = false;
         bool live = false; // coordinator executed it on the delivery bus
         trace::TraceLog log;
+        /// Out-of-core capture (ExecOptions::spill): this slice's log
+        /// partition. Created for every capture slice; touches disk
+        /// only if the log actually crosses the segment threshold.
+        std::unique_ptr<trace::SpillWriter> spillw;
         ft::Tensor out;
         ExecutionStats stats;
     };
 
     trace::ChunkPool chunk_pool; // outlives the slices below
+    const auto arm_spill = [this](Slice& sl) {
+        if (opts_.spill == nullptr)
+            return;
+        sl.spillw = opts_.spill->makeWriter();
+        sl.log.spill = sl.spillw.get();
+    };
     std::vector<std::unique_ptr<Slice>> slices;
     slices.reserve(sink_cap);
     for (std::size_t s = 0; s < init_shards; ++s) {
@@ -338,6 +349,7 @@ Executor::runSharded(unsigned threads)
         sl->cursor = bounds[s];
         sl->sink = s;
         sl->log.pool = &chunk_pool;
+        arm_spill(*sl);
         slices.push_back(std::move(sl));
     }
 
@@ -408,6 +420,7 @@ Executor::runSharded(unsigned threads)
         stolen->sink = sink_next++;
         stolen->running = true;
         stolen->log.pool = &chunk_pool;
+        arm_spill(*stolen);
         victim->hi = mid;
         Slice* p = stolen.get();
         slices.insert(slices.begin() +
@@ -562,10 +575,30 @@ Executor::runSharded(unsigned threads)
                     if (abort)
                         break;
                 }
-                fixup_adds += fixupReplayLog(
-                    s->log, fixup_state, reduce_mode,
+                trace::Observer* fixup_sink =
                     split_model ? opts_.modelHooks.coordinatorSink
-                                : nullptr);
+                                : nullptr;
+                if (s->spillw != nullptr && s->spillw->frames() > 0) {
+                    // Spilled slice: stream the on-disk frames back
+                    // first (they are a prefix of the slice's stream,
+                    // in write order), then fall through to the
+                    // residual in-memory tail — which the capture
+                    // bus's counter reset left frame-relative, i.e. a
+                    // valid stand-alone log.
+                    s->spillw->seal();
+                    trace::SpillReader reader(s->spillw->path());
+                    trace::TraceLog frame;
+                    while (reader.next(frame)) {
+                        fixup_adds += fixupReplayLog(
+                            frame, fixup_state, reduce_mode,
+                            fixup_sink);
+                        engine_.replayTrace(frame);
+                        frame.clear();
+                    }
+                    s->spillw->discard();
+                }
+                fixup_adds += fixupReplayLog(
+                    s->log, fixup_state, reduce_mode, fixup_sink);
                 engine_.replayTrace(s->log);
                 s->log.clear();
                 agg += s->stats;

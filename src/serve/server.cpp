@@ -14,6 +14,7 @@
 #include <future>
 
 #include "accelerators/accelerators.hpp"
+#include "storage/store.hpp"
 #include "util/diagnostic.hpp"
 #include "util/logging.hpp"
 #include "workloads/mtx.hpp"
@@ -413,8 +414,24 @@ Server::handleLoadDataset(const Json& request)
 
     std::shared_ptr<const storage::PackedTensor> dataset;
     try {
-        dataset = std::make_shared<const storage::PackedTensor>(
-            workloads::readMatrixMarketPacked(path, name, rank_ids));
+        // Store files (teaal-pack output) mmap in milliseconds and
+        // share the page cache across processes; anything else goes
+        // through the streaming Matrix Market parser. Store errors
+        // (bad magic past the sniff, version, checksum, truncation)
+        // surface as DiagnosticError section "store" keyed by path.
+        if (storage::isStoreFile(path)) {
+            dataset = std::make_shared<const storage::PackedTensor>(
+                storage::mapStore(path));
+            if (dataset->name() != name)
+                diagError("store", path,
+                          "store holds tensor '", dataset->name(),
+                          "', request asked for '", name,
+                          "' (pass the packed name or repack)");
+        } else {
+            dataset = std::make_shared<const storage::PackedTensor>(
+                workloads::readMatrixMarketPacked(path, name,
+                                                  rank_ids));
+        }
     } catch (const DiagnosticError&) {
         throw;
     } catch (const SpecError& e) {
@@ -424,10 +441,14 @@ Server::handleLoadDataset(const Json& request)
     Json r = okResponse();
     r.set("dataset",
           Json::makeString(registry_.addDataset(dataset)));
+    // Mapped stores are charged by file size (the pages the mapping
+    // can pin); parsed datasets by heap footprint. Eviction drops the
+    // last owning reference, which unmaps.
     r.set("bytes", Json::makeNumber(
                        static_cast<double>(dataset->residentBytes())));
     r.set("nnz",
           Json::makeNumber(static_cast<double>(dataset->nnz())));
+    r.set("mapped", Json::makeBool(dataset->mapped()));
     return r;
 }
 

@@ -15,7 +15,14 @@
  *   {"op":"compile","accel":"gamma"}            -> {"ok":true,"model":"m1"}
  *   {"op":"compile","spec":"<yaml>","params":{"K1":64}}
  *   {"op":"load_dataset","path":"a.mtx","rank_ids":["K","M"]}
- *                                -> {"ok":true,"dataset":"d1","bytes":N}
+ *                      -> {"ok":true,"dataset":"d1","bytes":N,
+ *                          "mapped":false}
+ *   load_dataset sniffs the file: a packed store (teaal-pack output,
+ *   storage/store.hpp) is mmap-ed read-only — millisecond cold-start,
+ *   pages shared across processes, registry charged by file size,
+ *   eviction unmaps — anything else parses as Matrix Market. Invalid
+ *   stores (bad magic/version/checksum, truncation) answer with error
+ *   section "store" keyed by the path.
  *   {"op":"evaluate","model":"m1",
  *    "bindings":{"A":"d1","B":"d2"},"threads":1}
  *        -> {"ok":true,"latency_ms":...,"exec_seconds":...,

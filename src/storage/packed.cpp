@@ -15,7 +15,7 @@ namespace
 
 /** Coordinate span (last - first + 1) of fiber [lo, hi) in @p crd. */
 ft::Coord
-fiberSpan(const std::vector<ft::Coord>& crd, std::uint64_t lo,
+fiberSpan(const Buf<ft::Coord>& crd, std::uint64_t lo,
           std::uint64_t hi)
 {
     return lo >= hi ? 0 : crd[hi - 1] - crd[lo] + 1;
@@ -180,6 +180,8 @@ PackedTensor::leafCountBelow(std::size_t level, std::size_t pos) const
 std::uint64_t
 PackedTensor::residentBytes() const
 {
+    if (backing_ != nullptr)
+        return mappedBytes_;
     std::uint64_t bytes = vals_.size() * sizeof(ft::Value);
     for (const PackedLevel& L : levels_) {
         bytes += L.seg.size() * sizeof(std::uint64_t);

@@ -26,9 +26,12 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "fibertree/coiter.hpp"
@@ -37,6 +40,89 @@
 
 namespace teaal::storage
 {
+
+/**
+ * A packed rank buffer that is either *owned* (a plain vector filled
+ * by the builders) or *bound* to external read-only memory (a section
+ * of an mmap-ed store file — storage/store.hpp). Readers see one
+ * contiguous [data(), data()+size()) range either way, so the engine
+ * walks heap and mapped tensors through identical code; mutators are
+ * owned-mode only (binders never mutate, they re-bind or copy).
+ */
+template <typename T>
+class Buf
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "packed buffers hold flat PODs");
+
+  public:
+    Buf() = default;
+
+    // ---- owned-mode mutators (vector surface the builders use)
+    void push_back(const T& v) { own_.push_back(v); }
+    void reserve(std::size_t n) { own_.reserve(n); }
+    void resize(std::size_t n, T v = T()) { own_.resize(n, v); }
+    void
+    assign(std::size_t n, T v)
+    {
+        ext_ = nullptr;
+        extSize_ = 0;
+        own_.assign(n, v);
+    }
+    void
+    clear()
+    {
+        ext_ = nullptr;
+        extSize_ = 0;
+        own_.clear();
+    }
+    T& operator[](std::size_t i) { return own_[i]; }
+
+    /** Bind to @p n elements of external memory (drops owned data).
+     *  The caller keeps the memory alive (PackedTensor holds the
+     *  mapping handle). */
+    void
+    bindExternal(const T* p, std::size_t n)
+    {
+        own_.clear();
+        own_.shrink_to_fit();
+        ext_ = p;
+        extSize_ = n;
+    }
+
+    /** True when bound to external (mapped) memory. */
+    bool external() const { return ext_ != nullptr; }
+
+    // ---- readers (both modes)
+    const T*
+    data() const
+    {
+        return ext_ != nullptr ? ext_ : own_.data();
+    }
+    std::size_t
+    size() const
+    {
+        return ext_ != nullptr ? extSize_ : own_.size();
+    }
+    bool empty() const { return size() == 0; }
+    const T& operator[](std::size_t i) const { return data()[i]; }
+    const T& front() const { return data()[0]; }
+    const T& back() const { return data()[size() - 1]; }
+    const T* begin() const { return data(); }
+    const T* end() const { return data() + size(); }
+
+    friend bool
+    operator==(const Buf& a, const Buf& b)
+    {
+        return a.size() == b.size() &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+
+  private:
+    std::vector<T> own_;
+    const T* ext_ = nullptr;
+    std::size_t extSize_ = 0;
+};
 
 /**
  * One rank's packed buffers. Fiber @p f of this rank occupies
@@ -50,10 +136,10 @@ struct PackedLevel
     fmt::RankFormat::Type type = fmt::RankFormat::Type::C;
 
     /// Fiber boundaries: size fiberCount()+1, seg[0] == 0.
-    std::vector<std::uint64_t> seg;
+    Buf<std::uint64_t> seg;
 
     /// Explicit sorted coordinates, all fibers concatenated.
-    std::vector<ft::Coord> crd;
+    Buf<ft::Coord> crd;
 
     // ---- B-format auxiliary: one contiguous bit pool. Fiber f's
     // presence bitmap occupies pool bits [bitBase[f], bitBase[f+1]),
@@ -61,9 +147,9 @@ struct PackedLevel
     // fiber contributes exactly its occupancy in set bits, so the
     // pool-global rank (popcount prefix) of a set bit *is* the global
     // element position.
-    std::vector<std::uint64_t> bits;
-    std::vector<std::uint64_t> bitBase; ///< size fiberCount()+1
-    std::vector<std::uint64_t> bitRank; ///< set bits before each word
+    Buf<std::uint64_t> bits;
+    Buf<std::uint64_t> bitBase; ///< size fiberCount()+1
+    Buf<std::uint64_t> bitRank; ///< set bits before each word
 
     std::size_t fiberCount() const { return seg.empty() ? 0 : seg.size() - 1; }
 };
@@ -106,7 +192,7 @@ class PackedTensor
     std::size_t nnz() const { return vals_.size(); }
 
     const PackedLevel& level(std::size_t l) const { return levels_[l]; }
-    const std::vector<ft::Value>& values() const { return vals_; }
+    const Buf<ft::Value>& values() const { return vals_; }
 
     /** Charged format type of one rank. */
     fmt::RankFormat::Type levelType(std::size_t l) const
@@ -184,12 +270,21 @@ class PackedTensor
      * coordinate, value, and bitmap arrays) — host memory accounting
      * for caches holding packed tensors (serve::Registry's eviction
      * budget), as opposed to packedTensorBits' *charged* format
-     * footprint.
+     * footprint. Mapped tensors (storage/store.hpp) are charged their
+     * store file size: that is the page-cache footprint the mapping
+     * can pin, and what a registry eviction releases by unmapping.
      */
     std::uint64_t residentBytes() const;
 
+    /** True when the buffers point into an mmap-ed store file. */
+    bool mapped() const { return backing_ != nullptr; }
+
+    /** Source file of a mapped tensor (empty for heap tensors). */
+    const std::string& storePath() const { return storePath_; }
+
   private:
     friend class PackedBuilder;
+    friend struct StoreAccess; ///< storage/store.cpp (de)serializer
 
     /** Build the B-format bit pools + rank directories. */
     void buildAux();
@@ -218,8 +313,15 @@ class PackedTensor
     std::string name_;
     std::vector<ft::RankInfo> ranks_;
     std::vector<PackedLevel> levels_; ///< one per rank
-    std::vector<ft::Value> vals_;     ///< leaf payloads
+    Buf<ft::Value> vals_;             ///< leaf payloads
     fmt::TensorFormat format_;
+
+    // Mapped-store backing: keeps the mmap alive for the lifetime of
+    // every copy of this tensor (Buf copies share the same external
+    // pointers, so copies share the mapping — and the pages).
+    std::shared_ptr<void> backing_;
+    std::uint64_t mappedBytes_ = 0; ///< store file size when mapped
+    std::string storePath_;
 };
 
 /**

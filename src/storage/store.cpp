@@ -1,0 +1,574 @@
+#include "storage/store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/diagnostic.hpp"
+#include "util/failpoint.hpp"
+
+namespace teaal::storage
+{
+
+/** Friend key to PackedTensor's private fields (mapStore assembles a
+ *  tensor whose buffers point into the mapping). */
+struct StoreAccess
+{
+    static std::string& name(PackedTensor& t) { return t.name_; }
+    static std::vector<ft::RankInfo>&
+    ranks(PackedTensor& t)
+    {
+        return t.ranks_;
+    }
+    static std::vector<PackedLevel>&
+    levels(PackedTensor& t)
+    {
+        return t.levels_;
+    }
+    static Buf<ft::Value>& vals(PackedTensor& t) { return t.vals_; }
+    static fmt::TensorFormat&
+    format(PackedTensor& t)
+    {
+        return t.format_;
+    }
+    static void
+    bindBacking(PackedTensor& t, std::shared_ptr<void> backing,
+                std::uint64_t bytes, std::string path)
+    {
+        t.backing_ = std::move(backing);
+        t.mappedBytes_ = bytes;
+        t.storePath_ = std::move(path);
+    }
+};
+
+namespace
+{
+
+constexpr std::uint64_t kAlign = 64;
+
+std::uint64_t
+align64(std::uint64_t n)
+{
+    return (n + kAlign - 1) & ~(kAlign - 1);
+}
+
+/** Incremental FNV-1a (64-bit). */
+class Fnv
+{
+  public:
+    void
+    update(const void* data, std::size_t n)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 1099511628211ULL;
+        }
+    }
+
+    /** Feed @p n zero bytes (section padding). */
+    void
+    pad(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= 0;
+            hash_ *= 1099511628211ULL;
+        }
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/** The 64-byte fixed prologue (field offsets documented in store.hpp). */
+struct Prologue
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t rankCount;
+    std::uint64_t headerBytes;
+    std::uint64_t fileBytes;
+    std::uint64_t payloadChecksum;
+    std::uint64_t headerChecksum;
+    std::uint64_t nnz;
+    std::uint64_t reserved;
+};
+static_assert(sizeof(Prologue) == 64, "store prologue is 64 bytes");
+
+/** One section table entry: a payload buffer's location. */
+struct Section
+{
+    std::uint64_t offset = 0; ///< from file start, 64-byte aligned
+    std::uint64_t count = 0;  ///< element count (not bytes)
+};
+
+// ------------------------------------------------- header writing
+
+void
+appendBytes(std::string& out, const void* data, std::size_t n)
+{
+    out.append(static_cast<const char*>(data), n);
+}
+
+void
+appendU64(std::string& out, std::uint64_t v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+void
+appendI64(std::string& out, std::int64_t v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+void
+appendU8(std::string& out, std::uint8_t v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+void
+appendStr(std::string& out, const std::string& s)
+{
+    appendU64(out, s.size());
+    appendBytes(out, s.data(), s.size());
+}
+
+void
+appendOptInt(std::string& out, const std::optional<int>& v)
+{
+    appendU8(out, v.has_value() ? 1 : 0);
+    const std::int32_t raw = v.value_or(0);
+    appendBytes(out, &raw, sizeof(raw));
+}
+
+std::uint8_t
+typeCode(fmt::RankFormat::Type t)
+{
+    switch (t) {
+      case fmt::RankFormat::Type::U: return 0;
+      case fmt::RankFormat::Type::C: return 1;
+      case fmt::RankFormat::Type::B: return 2;
+    }
+    return 1;
+}
+
+// ------------------------------------------------- header reading
+
+/** Bounds-checked little reader over the variable header. */
+class ByteReader
+{
+  public:
+    ByteReader(const unsigned char* begin, const unsigned char* end,
+               const std::string& path)
+        : p_(begin), end_(end), path_(path)
+    {
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        std::int64_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::int32_t
+    i32()
+    {
+        std::int32_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (n > static_cast<std::uint64_t>(end_ - p_))
+            diagError("store", path_,
+                      "truncated header (string of ", n,
+                      " bytes overruns the header section)");
+        std::string s(reinterpret_cast<const char*>(p_),
+                      static_cast<std::size_t>(n));
+        p_ += n;
+        return s;
+    }
+
+    std::optional<int>
+    optInt()
+    {
+        const bool present = u8() != 0;
+        const std::int32_t raw = i32();
+        if (present)
+            return static_cast<int>(raw);
+        return std::nullopt;
+    }
+
+  private:
+    void
+    take(void* out, std::size_t n)
+    {
+        if (static_cast<std::size_t>(end_ - p_) < n)
+            diagError("store", path_, "truncated header");
+        std::memcpy(out, p_, n);
+        p_ += n;
+    }
+
+    const unsigned char* p_;
+    const unsigned char* end_;
+    const std::string& path_;
+};
+
+fmt::RankFormat::Type
+typeFromCode(std::uint8_t code, const std::string& path)
+{
+    switch (code) {
+      case 0: return fmt::RankFormat::Type::U;
+      case 1: return fmt::RankFormat::Type::C;
+      case 2: return fmt::RankFormat::Type::B;
+      default:
+        diagError("store", path, "unknown rank format code ",
+                  static_cast<int>(code));
+    }
+}
+
+/** mmap-ed store file; the last PackedTensor copy unmaps. */
+struct MappedFile
+{
+    void* base = MAP_FAILED;
+    std::size_t length = 0;
+    int fd = -1;
+
+    ~MappedFile()
+    {
+        if (base != MAP_FAILED)
+            ::munmap(base, length);
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+/** The per-level payload buffers, in section-table order. */
+struct LevelBytes
+{
+    const void* data;
+    std::uint64_t count;
+    std::uint64_t elemSize;
+};
+
+std::vector<LevelBytes>
+sectionBuffers(const PackedTensor& t)
+{
+    std::vector<LevelBytes> out;
+    for (std::size_t l = 0; l < t.numRanks(); ++l) {
+        const PackedLevel& L = t.level(l);
+        out.push_back({L.seg.data(), L.seg.size(), sizeof(std::uint64_t)});
+        out.push_back({L.crd.data(), L.crd.size(), sizeof(ft::Coord)});
+        out.push_back(
+            {L.bits.data(), L.bits.size(), sizeof(std::uint64_t)});
+        out.push_back(
+            {L.bitBase.data(), L.bitBase.size(), sizeof(std::uint64_t)});
+        out.push_back(
+            {L.bitRank.data(), L.bitRank.size(), sizeof(std::uint64_t)});
+    }
+    out.push_back(
+        {t.values().data(), t.values().size(), sizeof(ft::Value)});
+    return out;
+}
+
+} // namespace
+
+void
+writeStore(const std::string& path, const PackedTensor& t)
+{
+    const std::size_t nr = t.numRanks();
+    if (nr == 0)
+        diagError("store", path, "cannot write an empty (rankless) "
+                                 "packed tensor");
+
+    // Variable header: metadata first, then the section table (its
+    // size is known up front, so headerBytes — and with it every
+    // section offset — is computable before the table is emitted).
+    std::string meta;
+    appendStr(meta, t.name());
+    for (std::size_t l = 0; l < nr; ++l) {
+        const ft::RankInfo& r = t.rank(l);
+        appendStr(meta, r.id);
+        appendI64(meta, r.shape);
+        appendU64(meta, r.flatIds.size());
+        for (const std::string& id : r.flatIds)
+            appendStr(meta, id);
+        appendU64(meta, r.flatShapes.size());
+        for (const ft::Coord s : r.flatShapes)
+            appendI64(meta, s);
+        appendU8(meta, typeCode(t.levelType(l)));
+    }
+    const fmt::TensorFormat& fmt = t.format();
+    appendStr(meta, fmt.config);
+    appendU64(meta, fmt.rankOrder.size());
+    for (const std::string& id : fmt.rankOrder)
+        appendStr(meta, id);
+    appendU64(meta, fmt.ranks.size());
+    for (const auto& [id, rf] : fmt.ranks) {
+        appendStr(meta, id);
+        appendU8(meta, typeCode(rf.type));
+        appendU8(meta,
+                 rf.layout == fmt::RankFormat::Layout::Interleaved ? 1
+                                                                   : 0);
+        appendOptInt(meta, rf.cbits);
+        appendOptInt(meta, rf.pbits);
+        appendOptInt(meta, rf.fhbits);
+    }
+
+    const std::vector<LevelBytes> buffers = sectionBuffers(t);
+    const std::uint64_t tableBytes = buffers.size() * sizeof(Section);
+    const std::uint64_t headerBytes =
+        align64(sizeof(Prologue) + meta.size() + tableBytes);
+
+    // Lay out the payload and checksum it (including alignment gaps,
+    // so the on-disk byte range is covered end to end).
+    std::vector<Section> table(buffers.size());
+    Fnv payload_sum;
+    std::uint64_t cursor = headerBytes;
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const std::uint64_t aligned = align64(cursor);
+        payload_sum.pad(static_cast<std::size_t>(aligned - cursor));
+        table[i].offset = aligned;
+        table[i].count = buffers[i].count;
+        const std::uint64_t bytes = buffers[i].count * buffers[i].elemSize;
+        payload_sum.update(buffers[i].data,
+                           static_cast<std::size_t>(bytes));
+        cursor = aligned + bytes;
+    }
+    const std::uint64_t fileBytes = cursor;
+
+    Prologue pro{};
+    std::memcpy(pro.magic, kStoreMagic, sizeof(pro.magic));
+    pro.version = kStoreVersion;
+    pro.rankCount = static_cast<std::uint32_t>(nr);
+    pro.headerBytes = headerBytes;
+    pro.fileBytes = fileBytes;
+    pro.payloadChecksum = payload_sum.value();
+    pro.headerChecksum = 0; // covered field reads as zero
+    pro.nnz = t.nnz();
+
+    Fnv header_sum;
+    header_sum.update(&pro, sizeof(pro));
+    header_sum.update(meta.data(), meta.size());
+    header_sum.update(table.data(), static_cast<std::size_t>(tableBytes));
+    header_sum.pad(static_cast<std::size_t>(
+        headerBytes - sizeof(Prologue) - meta.size() - tableBytes));
+    pro.headerChecksum = header_sum.value();
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        diagError("store", path, "cannot open for writing");
+    const std::string zeros(kAlign, '\0');
+    auto put = [&](const void* data, std::uint64_t n) {
+        out.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(n));
+    };
+    put(&pro, sizeof(pro));
+    put(meta.data(), meta.size());
+    put(table.data(), tableBytes);
+    put(zeros.data(),
+        headerBytes - sizeof(Prologue) - meta.size() - tableBytes);
+    cursor = headerBytes;
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        put(zeros.data(), table[i].offset - cursor);
+        const std::uint64_t bytes = buffers[i].count * buffers[i].elemSize;
+        put(buffers[i].data, bytes);
+        cursor = table[i].offset + bytes;
+    }
+    out.flush();
+    if (!out)
+        diagError("store", path, "write failed (disk full?)");
+}
+
+PackedTensor
+mapStore(const std::string& path, bool verifyPayload)
+{
+    auto map = std::make_shared<MappedFile>();
+    map->fd = ::open(path.c_str(), O_RDONLY);
+    if (map->fd < 0)
+        diagError("store", path, "cannot open");
+    struct stat st{};
+    if (::fstat(map->fd, &st) != 0)
+        diagError("store", path, "cannot stat");
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size < sizeof(Prologue))
+        diagError("store", path, "not a packed store file (only ", size,
+                  " bytes)");
+    map->length = static_cast<std::size_t>(size);
+
+    if (!TEAAL_FAILPOINT_TRIGGERED("storage.store.map"))
+        map->base = ::mmap(nullptr, map->length, PROT_READ, MAP_SHARED,
+                           map->fd, 0);
+    if (map->base == MAP_FAILED)
+        diagError("store", path, "mmap failed");
+    const auto* bytes = static_cast<const unsigned char*>(map->base);
+
+    Prologue pro{};
+    std::memcpy(&pro, bytes, sizeof(pro));
+    if (std::memcmp(pro.magic, kStoreMagic, sizeof(pro.magic)) != 0)
+        diagError("store", path, "bad magic (not a packed store file)");
+    if (pro.version != kStoreVersion)
+        diagError("store", path, "unsupported store version ",
+                  pro.version, " (this build reads version ",
+                  kStoreVersion, ")");
+    if (pro.fileBytes != size)
+        diagError("store", path, "truncated store: header says ",
+                  pro.fileBytes, " bytes, file has ", size);
+    if (pro.headerBytes < sizeof(Prologue) || pro.headerBytes > size ||
+        pro.headerBytes % kAlign != 0)
+        diagError("store", path, "corrupt header geometry");
+    if (pro.rankCount == 0 || pro.rankCount > 256)
+        diagError("store", path, "corrupt rank count ", pro.rankCount);
+
+    // Header checksum: the stored field reads as zero.
+    Prologue zeroed = pro;
+    zeroed.headerChecksum = 0;
+    Fnv header_sum;
+    header_sum.update(&zeroed, sizeof(zeroed));
+    header_sum.update(bytes + sizeof(Prologue),
+                      static_cast<std::size_t>(pro.headerBytes) -
+                          sizeof(Prologue));
+    if (header_sum.value() != pro.headerChecksum ||
+        TEAAL_FAILPOINT_TRIGGERED("storage.store.corrupt"))
+        diagError("store", path,
+                  "header checksum mismatch (corrupt store)");
+
+    const std::size_t nr = pro.rankCount;
+    ByteReader reader(bytes + sizeof(Prologue), bytes + pro.headerBytes,
+                      path);
+
+    PackedTensor t;
+    StoreAccess::name(t) = reader.str();
+    std::vector<ft::RankInfo>& ranks = StoreAccess::ranks(t);
+    std::vector<PackedLevel>& levels = StoreAccess::levels(t);
+    ranks.resize(nr);
+    levels.resize(nr);
+    for (std::size_t l = 0; l < nr; ++l) {
+        ranks[l].id = reader.str();
+        ranks[l].shape = reader.i64();
+        const std::uint64_t nfids = reader.u64();
+        if (nfids > 256)
+            diagError("store", path, "corrupt flat-id count");
+        for (std::uint64_t i = 0; i < nfids; ++i)
+            ranks[l].flatIds.push_back(reader.str());
+        const std::uint64_t nfsh = reader.u64();
+        if (nfsh > 256)
+            diagError("store", path, "corrupt flat-shape count");
+        for (std::uint64_t i = 0; i < nfsh; ++i)
+            ranks[l].flatShapes.push_back(reader.i64());
+        levels[l].type = typeFromCode(reader.u8(), path);
+    }
+    fmt::TensorFormat& format = StoreAccess::format(t);
+    format.config = reader.str();
+    const std::uint64_t n_order = reader.u64();
+    if (n_order > 256)
+        diagError("store", path, "corrupt rank-order count");
+    for (std::uint64_t i = 0; i < n_order; ++i)
+        format.rankOrder.push_back(reader.str());
+    const std::uint64_t n_fmt = reader.u64();
+    if (n_fmt > 256)
+        diagError("store", path, "corrupt rank-format count");
+    for (std::uint64_t i = 0; i < n_fmt; ++i) {
+        const std::string id = reader.str();
+        fmt::RankFormat rf;
+        rf.type = typeFromCode(reader.u8(), path);
+        rf.layout = reader.u8() != 0
+                        ? fmt::RankFormat::Layout::Interleaved
+                        : fmt::RankFormat::Layout::Contiguous;
+        rf.cbits = reader.optInt();
+        rf.pbits = reader.optInt();
+        rf.fhbits = reader.optInt();
+        format.ranks.emplace(id, rf);
+    }
+
+    // Section table: bounds-check every range against the file before
+    // any buffer is bound.
+    auto section = [&]() {
+        Section s;
+        s.offset = reader.u64();
+        s.count = reader.u64();
+        return s;
+    };
+    auto bind = [&]<typename T>(Buf<T>& buf, const Section& s) {
+        const std::uint64_t end = s.offset + s.count * sizeof(T);
+        if (s.offset % kAlign != 0 || s.offset < pro.headerBytes ||
+            end > pro.fileBytes || end < s.offset)
+            diagError("store", path,
+                      "corrupt section table (range [", s.offset, ", ",
+                      end, ") outside the file)");
+        buf.bindExternal(reinterpret_cast<const T*>(bytes + s.offset),
+                         static_cast<std::size_t>(s.count));
+    };
+    for (std::size_t l = 0; l < nr; ++l) {
+        bind(levels[l].seg, section());
+        bind(levels[l].crd, section());
+        bind(levels[l].bits, section());
+        bind(levels[l].bitBase, section());
+        bind(levels[l].bitRank, section());
+        // A well-formed level always persists segment sentinels (an
+        // empty interior level still has its single closing entry).
+        if (levels[l].seg.empty())
+            diagError("store", path, "corrupt store: rank '",
+                      ranks[l].id, "' has no segment sentinels");
+    }
+    bind(StoreAccess::vals(t), section());
+    if (StoreAccess::vals(t).size() != pro.nnz)
+        diagError("store", path, "corrupt store: prologue nnz ",
+                  pro.nnz, " != value section count ",
+                  StoreAccess::vals(t).size());
+
+    if (verifyPayload) {
+        Fnv payload_sum;
+        payload_sum.update(bytes + pro.headerBytes,
+                           static_cast<std::size_t>(pro.fileBytes -
+                                                    pro.headerBytes));
+        if (payload_sum.value() != pro.payloadChecksum)
+            diagError("store", path,
+                      "payload checksum mismatch (corrupt store)");
+    }
+
+    StoreAccess::bindBacking(t, std::move(map), pro.fileBytes, path);
+    return t;
+}
+
+bool
+isStoreFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == sizeof(magic) &&
+           std::memcmp(magic, kStoreMagic, sizeof(magic)) == 0;
+}
+
+} // namespace teaal::storage

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Disk-backed packed tensor store: one PackedTensor serialized into a
+ * single versioned, checksummed file that is mmap-ed read-only per
+ * run. Packing a SuiteSparse-scale matrix is paid once (teaal-pack);
+ * every subsequent run — and every concurrent server process mapping
+ * the same file — cold-starts in milliseconds and shares the page
+ * cache, because the packed buffers are walked in place: the engine's
+ * `ft::FiberView`s point straight into the mapping (storage/packed.hpp
+ * Buf external mode), identical to heap buffers.
+ *
+ * File format, version 1 (little-endian, the only host this project
+ * targets; all offsets from file start):
+ *
+ *   [0, 64)  fixed prologue
+ *      0  char[8] magic            "TEAALPK1"
+ *      8  u32     version          1
+ *     12  u32     rankCount
+ *     16  u64     headerBytes      prologue + variable header,
+ *                                  rounded up to 64
+ *     24  u64     fileBytes        total size (truncation check)
+ *     32  u64     payloadChecksum  FNV-1a over [headerBytes, fileBytes)
+ *     40  u64     headerChecksum   FNV-1a over [0, headerBytes) with
+ *                                  this field read as zero
+ *     48  u64     nnz              leaf value count
+ *     56  u64     reserved         0
+ *
+ *   [64, headerBytes)  variable header, a flat byte stream
+ *     (str = u64 byte length + bytes, no terminator):
+ *     str  tensor name
+ *     per rank (rankCount times):
+ *       str rank id, i64 shape,
+ *       u64 flat-id count + that many str,
+ *       u64 flat-shape count + that many i64,
+ *       u8  level format type (0 = U, 1 = C, 2 = B)
+ *     serialized fmt::TensorFormat:
+ *       str config, u64 rankOrder count + that many str,
+ *       u64 rank-format count + per entry: str rank id, u8 type,
+ *       u8 layout, 3 x { u8 present, i32 value } (cbits/pbits/fhbits)
+ *     section table, (5 * rankCount + 1) x { u64 offset, u64 count }:
+ *       per rank seg/crd/bits/bitBase/bitRank, then vals last
+ *
+ *   [headerBytes, fileBytes)  payload: the sections in table order,
+ *     each 64-byte aligned (gaps zero-filled). Element types: seg,
+ *     bits, bitBase, bitRank are u64; crd is i64 (ft::Coord); vals is
+ *     f64 (ft::Value).
+ *
+ * The header checksum is verified on every open — it covers the
+ * section table, so a bit flip there cannot misdirect the walk. The
+ * payload checksum is verified only on request (`teaal-pack --verify`)
+ * to keep mapped cold-start free of a full-file read; a corrupted
+ * payload changes results but cannot read out of bounds (section
+ * ranges are bounds-checked against fileBytes at open).
+ *
+ * Failure surface: every open/map/validate error throws a structured
+ * DiagnosticError with section "store" and the offending path as the
+ * key. Failpoints `storage.store.map` (simulated mmap failure) and
+ * `storage.store.corrupt` (simulated checksum mismatch) arm the two
+ * branches tests cannot reach portably.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/packed.hpp"
+
+namespace teaal::storage
+{
+
+/** Store file magic (first 8 bytes). */
+inline constexpr char kStoreMagic[8] = {'T', 'E', 'A', 'A',
+                                        'L', 'P', 'K', '1'};
+
+/** Current store file version. */
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/**
+ * Serialize @p t into the store file @p path (created or truncated).
+ * Throws DiagnosticError(section "store") on I/O failure. The tensor
+ * may itself be mapped (re-writing a mapped store copies it through).
+ */
+void writeStore(const std::string& path, const PackedTensor& t);
+
+/**
+ * Map the store file @p path read-only and return a PackedTensor
+ * whose buffers point into the mapping (kept alive by the returned
+ * tensor and every copy of it; the last copy unmaps). Validates
+ * magic, version, file size, and the header checksum on every call;
+ * @p verifyPayload additionally checksums the payload (a full-file
+ * read — tool use, not the serving path). Throws
+ * DiagnosticError(section "store") on any validation failure.
+ */
+PackedTensor mapStore(const std::string& path,
+                      bool verifyPayload = false);
+
+/** True iff @p path exists and starts with the store magic (the
+ *  serve daemon's cheap dispatch between store files and Matrix
+ *  Market text). */
+bool isStoreFile(const std::string& path);
+
+} // namespace teaal::storage

@@ -194,6 +194,30 @@ class ChunkPool
     std::vector<std::vector<Event>> free_;
 };
 
+struct TraceLog;
+
+/**
+ * Out-of-core hook: a capture-mode BatchBus consults this at every
+ * walk boundary (the only points where the log is a self-contained
+ * prefix of the stream). An implementation that drains the log to
+ * disk (trace/spill.hpp) returns true, after which the bus restarts
+ * its logged/logical counters at zero — so the residual capture is
+ * itself a valid stand-alone frame with the same invariants as a
+ * fresh log, and frames concatenated in write order reproduce the
+ * original stream exactly.
+ */
+class SpillSink
+{
+  public:
+    virtual ~SpillSink() = default;
+
+    /** Called with the log positioned exactly at a walk boundary
+     *  (walkEnds.back() == eventCount()). Return true iff the log's
+     *  chunks/walkEnds/logicalWalkEnds were drained (filtered, pool,
+     *  and this pointer must be preserved). */
+    virtual bool onWalkBoundary(TraceLog& log) = 0;
+};
+
 struct TraceLog
 {
     /// Events per chunk, sized to ~105 KB — under the common malloc
@@ -222,6 +246,10 @@ struct TraceLog
 
     /// Optional chunk recycler shared between captures.
     ChunkPool* pool = nullptr;
+
+    /// Optional out-of-core drain, consulted at walk boundaries
+    /// (borrowed; survives clear() like `pool` does).
+    SpillSink* spill = nullptr;
 
     std::size_t
     eventCount() const
@@ -456,6 +484,17 @@ class BatchBus
             log_->walkEnds.push_back(logged_);
             if (cls_ != nullptr)
                 log_->logicalWalkEnds.push_back(events_);
+            if (log_->spill != nullptr &&
+                log_->spill->onWalkBoundary(*log_)) {
+                // The sink wrote the log out as one frame. Restart
+                // every counter the log's bookkeeping is relative to,
+                // so the residual capture (and the next frame cut
+                // from it) is internally consistent on its own.
+                logChunk_ = nullptr;
+                logged_ = 0;
+                events_ = 0;
+                pendingLogical_ = 0;
+            }
             return;
         }
         if (pendingLogical_ >= threshold_)

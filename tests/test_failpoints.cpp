@@ -18,6 +18,8 @@
 #include "serve/client.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
+#include "storage/packed.hpp"
+#include "storage/store.hpp"
 #include "util/cancel.hpp"
 #include "util/failpoint.hpp"
 #include "workloads/datasets.hpp"
@@ -357,6 +359,123 @@ TEST_F(FailpointsServe, InflightEvictionAnsweredAndRecoveredByRetry)
 
     client.close();
     server.stop();
+}
+
+// ------------------------------------- store + spill (sites, PR 10)
+
+class FailpointsStore : public Failpoints
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "teaal_failpoint_store";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        path_ = (dir_ / "a.teaal").string();
+        storage::writeStore(
+            path_, storage::PackedTensor::fromTensor(
+                       workloads::uniformMatrix("A", 16, 16, 40, 5,
+                                                {"K", "M"})));
+    }
+
+    void
+    TearDown() override
+    {
+        Failpoints::TearDown();
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::filesystem::path dir_;
+    std::string path_;
+};
+
+TEST_F(FailpointsStore, MapFailureIsStructuredAndRecoverable)
+{
+    TEAAL_REQUIRE_SITES();
+    fp::setFromSpec("storage.store.map", "trig*1");
+    try {
+        (void)storage::mapStore(path_);
+        FAIL() << "expected injected mmap DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "store");
+        EXPECT_EQ(e.diagnostic().key, path_);
+        EXPECT_NE(e.diagnostic().message.find("mmap failed"),
+                  std::string::npos);
+    }
+    // The program is consumed; the same path maps cleanly after.
+    const storage::PackedTensor t = storage::mapStore(path_);
+    EXPECT_TRUE(t.mapped());
+    EXPECT_EQ(t.nnz(), 40u);
+}
+
+TEST_F(FailpointsStore, CorruptionInjectionTripsTheChecksumPath)
+{
+    TEAAL_REQUIRE_SITES();
+    // The file on disk is pristine; the failpoint forces the header
+    // checksum comparison to report corruption, proving the
+    // error path (and its cleanup of the mapping) without crafting
+    // a byte-level corruption.
+    fp::setFromSpec("storage.store.corrupt", "trig");
+    try {
+        (void)storage::mapStore(path_);
+        FAIL() << "expected injected corruption DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "store");
+        EXPECT_NE(e.diagnostic().message.find("checksum mismatch"),
+                  std::string::npos);
+    }
+    fp::clearAll();
+    EXPECT_NO_THROW((void)storage::mapStore(path_, true));
+}
+
+TEST_F(FailpointsStore, SpillWriteErrorCleansUpAndRerunsIdentical)
+{
+    TEAAL_REQUIRE_SITES();
+    ft::Tensor a, b;
+    const Workload w = smallWorkload(a, b);
+    auto model = compiler::compile(accel::gamma());
+
+    // Clean reference: resident sharded run.
+    RunOptions opts;
+    opts.threads = 4;
+    const compiler::SimulationResult reference = model.run(w, opts);
+
+    const std::string spill_dir = (dir_ / "spill").string();
+    std::filesystem::create_directories(spill_dir);
+    opts.spillDir = spill_dir;
+    opts.spillSegmentBytes = 4096; // force frames
+
+    fp::setFromSpec("trace.spill.write_error", "trig");
+    try {
+        model.run(w, opts);
+        FAIL() << "expected injected spill-write DiagnosticError";
+    } catch (const DiagnosticError& e) {
+        EXPECT_EQ(e.diagnostic().section, "spill");
+        EXPECT_NE(e.diagnostic().message.find("write failed"),
+                  std::string::npos);
+    }
+    // Failed writers unlinked their segments on unwind.
+    EXPECT_TRUE(std::filesystem::is_empty(spill_dir));
+
+    // Lift the fault: the spilled rerun matches the clean reference.
+    fp::clearAll();
+    const compiler::SimulationResult rerun = model.run(w, opts);
+    ASSERT_EQ(rerun.records.size(), reference.records.size());
+    for (std::size_t i = 0; i < rerun.records.size(); ++i) {
+        EXPECT_TRUE(rerun.records[i].execStats ==
+                    reference.records[i].execStats);
+        EXPECT_EQ(rerun.records[i].traceEvents,
+                  reference.records[i].traceEvents);
+    }
+    for (const auto& [name, t] : reference.tensors) {
+        const auto it = rerun.tensors.find(name);
+        ASSERT_NE(it, rerun.tensors.end()) << name;
+        EXPECT_TRUE(t.equals(it->second)) << name;
+    }
+    EXPECT_GT(rerun.spill.frames, 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(spill_dir));
 }
 
 } // namespace

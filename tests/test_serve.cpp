@@ -13,6 +13,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <thread>
 
@@ -21,6 +22,8 @@
 #include "serve/json.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "storage/packed.hpp"
+#include "storage/store.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/datasets.hpp"
 #include "workloads/mtx.hpp"
@@ -303,6 +306,118 @@ TEST_F(ServeProtocol, LoadDatasetValidatesItsArguments)
     expectError(call(R"({"op":"load_dataset","path":"x",)"
                      R"("rank_ids":"K"})"),
                 "bad_request", "rank_ids");
+}
+
+/** Protocol matrix for mmap-backed packed stores (PR 10): valid
+ *  stores load with `mapped:true` charged by file size and evaluate
+ *  end-to-end; damaged stores answer structured "store" errors. */
+class ServeProtocolStore : public ServeProtocol
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "teaal_serve_store";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        aPath_ = (dir_ / "a.teaal").string();
+        bPath_ = (dir_ / "b.teaal").string();
+        storage::writeStore(
+            aPath_, storage::PackedTensor::fromTensor(
+                        workloads::uniformMatrix("A", 48, 40, 250, 7,
+                                                 {"K", "M"})));
+        storage::writeStore(
+            bPath_, storage::PackedTensor::fromTensor(
+                        workloads::uniformMatrix("B", 48, 44, 250, 8,
+                                                 {"K", "N"})));
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    Json
+    load(const std::string& path, const std::string& name)
+    {
+        return call(R"({"op":"load_dataset","path":")" + path +
+                    R"(","name":")" + name + R"("})");
+    }
+
+    static void
+    expectStoreError(const Json& r, const std::string& path)
+    {
+        expectError(r, "bad_request", path);
+        EXPECT_EQ(r.find("error")->find("section")->str(), "store")
+            << r.dump();
+    }
+
+    std::filesystem::path dir_;
+    std::string aPath_, bPath_;
+};
+
+TEST_F(ServeProtocolStore, StoresLoadMappedAndEvaluate)
+{
+    const Json da = load(aPath_, "A");
+    ASSERT_TRUE(da.find("ok")->boolean()) << da.dump();
+    EXPECT_TRUE(da.find("mapped")->boolean()) << da.dump();
+    EXPECT_DOUBLE_EQ(da.find("bytes")->number(),
+                     static_cast<double>(
+                         std::filesystem::file_size(aPath_)));
+    const Json db = load(bPath_, "B");
+    ASSERT_TRUE(db.find("ok")->boolean()) << db.dump();
+    EXPECT_TRUE(db.find("mapped")->boolean());
+
+    // Matrix Market loads still answer mapped:false.
+    const std::string mtx = (dir_ / "a.mtx").string();
+    workloads::writeMatrixMarket(
+        mtx, workloads::uniformMatrix("A", 16, 16, 30, 9, {"K", "M"}));
+    const Json dm = load(mtx, "A");
+    ASSERT_TRUE(dm.find("ok")->boolean()) << dm.dump();
+    EXPECT_FALSE(dm.find("mapped")->boolean());
+
+    // The mapped datasets drive a full evaluation.
+    const Json compiled = call(R"({"op":"compile","accel":"gamma"})");
+    ASSERT_TRUE(compiled.find("ok")->boolean()) << compiled.dump();
+    const Json r = call(
+        R"({"op":"evaluate","model":")" +
+        compiled.find("model")->str() + R"(","bindings":{"A":")" +
+        da.find("dataset")->str() + R"(","B":")" +
+        db.find("dataset")->str() + R"("}})");
+    ASSERT_TRUE(r.find("ok")->boolean()) << r.dump();
+    EXPECT_GT(r.find("compute_muls")->number(), 0.0);
+}
+
+TEST_F(ServeProtocolStore, DamagedStoresAnswerStructuredErrors)
+{
+    // Truncation: header promises more bytes than the file holds.
+    const std::string trunc = (dir_ / "trunc.teaal").string();
+    std::filesystem::copy_file(aPath_, trunc);
+    std::filesystem::resize_file(
+        trunc, std::filesystem::file_size(trunc) - 1);
+    expectStoreError(load(trunc, "A"), trunc);
+
+    // Bad magic after the sniff passes is impossible — a non-store
+    // prefix routes to the Matrix Market parser — but a store whose
+    // version this build does not read is a "store" error.
+    const std::string vers = (dir_ / "vers.teaal").string();
+    std::filesystem::copy_file(aPath_, vers);
+    {
+        std::fstream f(vers, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        f.seekp(8); // version field
+        const char v = 9;
+        f.write(&v, 1);
+    }
+    expectStoreError(load(vers, "A"), vers);
+
+    // Name mismatch: the store holds "A", the request asks for "X".
+    expectStoreError(load(aPath_, "X"), aPath_);
+
+    // The registry took none of the failed loads.
+    EXPECT_EQ(server_.registry().stats().datasets, 0u);
 }
 
 TEST_F(ServeProtocol, EvaluateValidatesItsArguments)

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Disk-spilled trace replay (trace/spill.hpp, RunOptions::spillDir):
+ * sharded runs that stream capture-log frames to disk segments must be
+ * byte-identical — results, counters, traffic, delivered stream with
+ * batch boundaries — to resident sharded runs and to the serial
+ * baseline, across every Table 1 accelerator. Plus the lifecycle
+ * rules: segments are process-private scratch deleted after replay
+ * (spillKeep retains them), serial runs never touch the directory,
+ * and SpillStats reports what was written.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "accelerators/accelerators.hpp"
+#include "compiler/pipeline.hpp"
+#include "workloads/datasets.hpp"
+
+namespace teaal
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using compiler::RunOptions;
+using compiler::SimulationResult;
+using compiler::Workload;
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("teaal_spill_") + info->test_suite_name() +
+                "_" + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    ~TempDir() { fs::remove_all(dir_); }
+
+    std::string str() const { return dir_.string(); }
+
+    std::size_t
+    fileCount() const
+    {
+        std::size_t n = 0;
+        for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_))
+            ++n;
+        return n;
+    }
+
+  private:
+    fs::path dir_;
+};
+
+/** Semantic stream log with batch boundaries (the packed-exec test's
+ *  recorder): spilled replay must deliver the identical sequence. */
+class StreamRecorder : public trace::Observer
+{
+  public:
+    std::vector<std::string> log;
+
+    void
+    onEventBatch(const trace::EventBatch& batch) override
+    {
+        log.push_back("batch:" + std::to_string(batch.size()));
+        trace::Observer::onEventBatch(batch);
+    }
+    void
+    onLoopEnter(std::size_t loop, ft::Coord c) override
+    {
+        add("L", loop, c);
+    }
+    void
+    onCoIterate(std::size_t loop, std::size_t steps, std::size_t matches,
+                std::size_t drivers, std::uint64_t pe) override
+    {
+        add("I", loop, steps, matches, drivers, pe);
+    }
+    void
+    onCoordScan(int input, std::size_t level, std::size_t count,
+                std::uint64_t pe) override
+    {
+        add("S", input, level, count, pe);
+    }
+    void
+    onTensorAccess(int input, const std::string& tensor,
+                   std::size_t level, ft::Coord c, const void* key,
+                   const ft::Payload* payload, std::uint64_t pe) override
+    {
+        (void)key;
+        (void)payload;
+        add("A", input, level, c, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onOutputWrite(const std::string& tensor, std::size_t level,
+                  ft::Coord c, std::uint64_t path_key, bool inserted,
+                  bool at_leaf, std::uint64_t pe) override
+    {
+        add("W", level, c, path_key, inserted, at_leaf, pe);
+        log.back() += ":" + tensor;
+    }
+    void
+    onCompute(char op, std::uint64_t pe, std::size_t count) override
+    {
+        add("C", op, pe, count);
+    }
+    void
+    onSwizzle(const std::string& tensor, std::size_t elements,
+              std::size_t ways, bool online) override
+    {
+        add("Z", elements, ways, online);
+        log.back() += ":" + tensor;
+    }
+    void
+    onTensorCopy(const std::string& from, const std::string& to,
+                 std::size_t elements) override
+    {
+        add("Y", elements);
+        log.back() += ":" + from + ">" + to;
+    }
+
+  private:
+    template <typename... Args>
+    void
+    add(const char* tag, Args... args)
+    {
+        std::ostringstream os;
+        os << tag;
+        ((os << ':' << args), ...);
+        log.push_back(os.str());
+    }
+};
+
+void
+expectSameResults(const SimulationResult& x, const SimulationResult& y)
+{
+    ASSERT_EQ(x.records.size(), y.records.size());
+    for (std::size_t i = 0; i < x.records.size(); ++i) {
+        EXPECT_TRUE(x.records[i].execStats == y.records[i].execStats)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceEvents, y.records[i].traceEvents)
+            << "einsum " << i;
+        EXPECT_EQ(x.records[i].traceBatches, y.records[i].traceBatches)
+            << "einsum " << i;
+        ASSERT_EQ(x.records[i].traffic.size(),
+                  y.records[i].traffic.size());
+        for (const auto& [tensor, tt] : x.records[i].traffic) {
+            const auto it = y.records[i].traffic.find(tensor);
+            ASSERT_NE(it, y.records[i].traffic.end()) << tensor;
+            EXPECT_DOUBLE_EQ(tt.readBytes, it->second.readBytes)
+                << tensor;
+            EXPECT_DOUBLE_EQ(tt.writeBytes, it->second.writeBytes)
+                << tensor;
+            EXPECT_DOUBLE_EQ(tt.poBytes, it->second.poBytes) << tensor;
+        }
+    }
+    EXPECT_DOUBLE_EQ(x.perf.totalSeconds, y.perf.totalSeconds);
+    EXPECT_DOUBLE_EQ(x.energy.totalJoules, y.energy.totalJoules);
+    ASSERT_EQ(x.tensors.size(), y.tensors.size());
+    for (const auto& [name, t] : x.tensors) {
+        const auto it = y.tensors.find(name);
+        ASSERT_NE(it, y.tensors.end()) << name;
+        EXPECT_TRUE(t.equals(it->second)) << name;
+    }
+}
+
+compiler::Specification
+specFor(const std::string& name)
+{
+    if (name == "gamma") {
+        accel::GammaConfig cfg;
+        cfg.pes = 4;
+        cfg.rowChunk = 4;
+        cfg.kChunk = 8;
+        cfg.fiberCacheBytes = 64 * 1024;
+        return accel::gamma(cfg);
+    }
+    if (name == "extensor") {
+        accel::ExTensorConfig cfg;
+        cfg.pes = 4;
+        cfg.tileK1 = 16;
+        cfg.tileK0 = 4;
+        cfg.tileM1 = 16;
+        cfg.tileM0 = 4;
+        cfg.tileN1 = 16;
+        cfg.tileN0 = 4;
+        cfg.llcBytes = 256 * 1024;
+        return accel::extensor(cfg);
+    }
+    if (name == "outerspace") {
+        accel::OuterSpaceConfig cfg;
+        cfg.chunkOuter = 32;
+        cfg.chunkInner = 8;
+        cfg.mergeChunkOuter = 16;
+        cfg.mergeChunkInner = 4;
+        return accel::outerSpace(cfg);
+    }
+    accel::SigmaConfig cfg;
+    cfg.kTile = 16;
+    cfg.stationaryChunk = 64;
+    return accel::sigma(cfg);
+}
+
+Workload
+workloadFor(std::uint64_t seed)
+{
+    Workload w;
+    w.add("A",
+          workloads::uniformMatrix("A", 40, 32, 300, seed, {"K", "M"}))
+        .add("B", workloads::uniformMatrix("B", 40, 36, 300, seed + 1,
+                                           {"K", "N"}));
+    return w;
+}
+
+class SpillAccelerators : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpillAccelerators, SpilledShardedRunMatchesResidentAndSerial)
+{
+    auto model = compiler::compile(specFor(GetParam()));
+    const Workload w = workloadFor(41);
+
+    StreamRecorder serial_rec;
+    RunOptions opts;
+    opts.threads = 1;
+    opts.observers = {&serial_rec};
+    const SimulationResult serial = model.run(w, opts);
+
+    StreamRecorder resident_rec;
+    opts.threads = 4;
+    opts.observers = {&resident_rec};
+    const SimulationResult resident = model.run(w, opts);
+
+    const TempDir tmp;
+    StreamRecorder spilled_rec;
+    opts.spillDir = tmp.str();
+    // Tiny segments force many frames per slice, exercising every
+    // frame-boundary path (walkEnd cuts, counter restarts, replay).
+    opts.spillSegmentBytes = 4096;
+    opts.observers = {&spilled_rec};
+    const SimulationResult spilled = model.run(w, opts);
+
+    expectSameResults(serial, resident);
+    expectSameResults(serial, spilled);
+    EXPECT_EQ(serial_rec.log, resident_rec.log);
+    EXPECT_EQ(serial_rec.log, spilled_rec.log);
+
+    // Something actually spilled, and the scratch was cleaned up.
+    EXPECT_GT(spilled.spill.files, 0u) << GetParam();
+    EXPECT_GT(spilled.spill.frames, 0u) << GetParam();
+    EXPECT_GT(spilled.spill.bytes, 0u) << GetParam();
+    EXPECT_EQ(tmp.fileCount(), 0u) << GetParam();
+
+    // Resident runs report no spill activity.
+    EXPECT_EQ(resident.spill.files, 0u);
+    EXPECT_EQ(resident.spill.frames, 0u);
+    EXPECT_EQ(resident.spill.bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SpillAccelerators,
+                         ::testing::Values("gamma", "extensor",
+                                           "outerspace", "sigma"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Spill, SerialRunsNeverTouchTheDirectory)
+{
+    auto model = compiler::compile(specFor("gamma"));
+    const Workload w = workloadFor(42);
+    const TempDir tmp;
+
+    RunOptions opts;
+    opts.threads = 1;
+    opts.spillDir = tmp.str();
+    opts.spillSegmentBytes = 4096;
+    const SimulationResult r = model.run(w, opts);
+    EXPECT_EQ(r.spill.files, 0u);
+    EXPECT_EQ(r.spill.frames, 0u);
+    EXPECT_EQ(tmp.fileCount(), 0u);
+}
+
+TEST(Spill, LargeSegmentsMeanNoFilesButIdenticalResults)
+{
+    // With the default 4 MiB segment nothing in this workload crosses
+    // the threshold: every slice replays the ordinary resident way,
+    // no file is ever created, and results still match.
+    auto model = compiler::compile(specFor("gamma"));
+    const Workload w = workloadFor(43);
+
+    RunOptions opts;
+    opts.threads = 4;
+    const SimulationResult resident = model.run(w, opts);
+
+    const TempDir tmp;
+    opts.spillDir = tmp.str();
+    const SimulationResult spilled = model.run(w, opts);
+
+    expectSameResults(resident, spilled);
+    EXPECT_EQ(spilled.spill.files, 0u);
+    EXPECT_EQ(tmp.fileCount(), 0u);
+}
+
+TEST(Spill, KeepRetainsSegmentsForInspection)
+{
+    auto model = compiler::compile(specFor("gamma"));
+    const Workload w = workloadFor(44);
+    const TempDir tmp;
+
+    RunOptions opts;
+    opts.threads = 4;
+    opts.spillDir = tmp.str();
+    opts.spillSegmentBytes = 4096;
+    opts.spillKeep = true;
+    const SimulationResult r = model.run(w, opts);
+    EXPECT_GT(r.spill.files, 0u);
+    EXPECT_GT(tmp.fileCount(), 0u);
+
+    // Retained segments are real files with the reported bytes.
+    std::uint64_t on_disk = 0;
+    for (const auto& e : fs::directory_iterator(tmp.str())) {
+        EXPECT_NE(e.path().filename().string().find("teaal-spill-"),
+                  std::string::npos);
+        on_disk += static_cast<std::uint64_t>(fs::file_size(e.path()));
+    }
+    EXPECT_EQ(on_disk, r.spill.bytes);
+}
+
+TEST(Spill, RepeatedSpilledRunsAreDeterministic)
+{
+    auto model = compiler::compile(specFor("sigma"));
+    const Workload w = workloadFor(45);
+    const TempDir tmp;
+
+    RunOptions opts;
+    opts.threads = 4;
+    opts.spillDir = tmp.str();
+    opts.spillSegmentBytes = 4096;
+    const SimulationResult first = model.run(w, opts);
+    const SimulationResult second = model.run(w, opts);
+    expectSameResults(first, second);
+    EXPECT_EQ(first.spill.frames, second.spill.frames);
+    EXPECT_EQ(first.spill.bytes, second.spill.bytes);
+}
+
+} // namespace
+} // namespace teaal
